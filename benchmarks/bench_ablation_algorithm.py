@@ -1,0 +1,9 @@
+"""Bench: algorithm design-knob ablations (basis size / ce bits / slicing)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import ablation_algorithm
+
+
+def bench_ablation_algorithm(benchmark):
+    result = run_and_print(benchmark, ablation_algorithm.run)
+    assert len(result.rows) == 11

@@ -1,0 +1,9 @@
+"""Bench: regenerate the §V-B component-contribution ablation."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import ablation_components
+
+
+def bench_ablation_components(benchmark):
+    result = run_and_print(benchmark, ablation_components.run)
+    assert result.rows[-1]["energy_gain_x"] > 1.5

@@ -1,0 +1,10 @@
+"""Bench: batch-size sensitivity of the SmartExchange advantage (§I)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import batch_sensitivity
+
+
+def bench_batch_sensitivity(benchmark):
+    result = run_and_print(benchmark, batch_sensitivity.run)
+    gains = result.column("energy_gain_x")
+    assert gains[0] >= max(gains)  # largest advantage at batch 1

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 10 (normalized energy efficiency)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig10_energy_efficiency
+
+
+def bench_fig10_energy_efficiency(benchmark):
+    result = run_and_print(benchmark, fig10_energy_efficiency.run)
+    geomean = result.rows[-1]
+    assert geomean["smartexchange"] > geomean["scnn"]

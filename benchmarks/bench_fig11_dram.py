@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 11 (normalized #DRAM accesses)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig11_dram_accesses
+
+
+def bench_fig11_dram_accesses(benchmark):
+    result = run_and_print(benchmark, fig11_dram_accesses.run)
+    assert result.rows[-1]["diannao"] > 1.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 12 (normalized speedup)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig12_speedup
+
+
+def bench_fig12_speedup(benchmark):
+    result = run_and_print(benchmark, fig12_speedup.run)
+    assert result.rows[-1]["smartexchange"] > 5.0

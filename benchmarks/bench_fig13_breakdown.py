@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 13 (SE accelerator energy breakdown)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig13_breakdown
+
+
+def bench_fig13a_conv_layers(benchmark):
+    result = run_and_print(benchmark, lambda: fig13_breakdown.run(False))
+    assert all(row["re_pct"] < 1.0 for row in result.rows)
+
+
+def bench_fig13b_all_layers(benchmark):
+    result = run_and_print(benchmark, lambda: fig13_breakdown.run(True))
+    assert len(result.rows) == 7

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 14 (ResNet50 sparsity sweep)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig14_sparsity_sweep
+
+
+def bench_fig14_sparsity_sweep(benchmark):
+    result = run_and_print(benchmark, fig14_sparsity_sweep.run)
+    latencies = result.column("latency_ms")
+    assert latencies[-1] < latencies[0]

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 15 (dedicated compact-dataflow ablation)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig15_compact_ablation
+
+
+def bench_fig15_compact_ablation(benchmark):
+    result = run_and_print(benchmark, fig15_compact_ablation.run)
+    assert all(row["latency_saving_pct"] > 0 for row in result.rows)

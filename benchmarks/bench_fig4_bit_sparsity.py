@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 4 (activation bit sparsity w/ and w/o Booth).
+
+Trains the CI-scale model zoo on first use (cached per process).
+"""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig4_bit_sparsity
+
+
+def bench_fig4_bit_sparsity(benchmark):
+    result = run_and_print(benchmark, fig4_bit_sparsity.run)
+    for row in result.rows:
+        assert row["booth_sparsity_pct"] < row["bit_sparsity_pct"]

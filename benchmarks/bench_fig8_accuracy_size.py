@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 8 (accuracy vs model size vs baselines)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig8_accuracy_size
+
+
+def bench_fig8_accuracy_size(benchmark):
+    result = run_and_print(
+        benchmark,
+        lambda: fig8_accuracy_size.run(models=("vgg19",)),
+    )
+    rows = {row["technique"]: row for row in result.rows}
+    se = rows["smartexchange"]
+    dorefa = rows["dorefa-w2"]
+    # The paper's headline Fig. 8 shape: SmartExchange keeps (near-)
+    # uncompressed accuracy at a size in DoReFa's regime, while DoReFa
+    # loses substantial accuracy.
+    assert se["accuracy_pct"] > dorefa["accuracy_pct"]
+    assert se["cr_x"] > 5.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 9 (decomposition evolution)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig9_evolution
+
+
+def bench_fig9_evolution(benchmark):
+    result = run_and_print(benchmark, lambda: fig9_evolution.run(iterations=20))
+    assert len(result.rows) >= 10

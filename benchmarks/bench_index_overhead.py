@@ -1,0 +1,10 @@
+"""Bench: Fig. 3b quantified (index encoding overheads)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import index_overhead
+
+
+def bench_index_overhead(benchmark):
+    result = run_and_print(benchmark, index_overhead.run)
+    for row in result.rows:
+        assert row["direct_vector_bits"] < row["direct_element_bits"]

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table I (unit energies)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table1_energy
+
+
+def bench_table1_energy(benchmark):
+    result = run_and_print(benchmark, table1_energy.run, rounds=3)
+    assert len(result.rows) == 6

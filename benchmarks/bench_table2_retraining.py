@@ -1,0 +1,21 @@
+"""Bench: regenerate Table II (SmartExchange with re-training).
+
+The heaviest bench: trains and re-trains all six CI-scale models.
+"""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table2_retraining
+
+
+def bench_table2_retraining(benchmark):
+    result = run_and_print(
+        benchmark,
+        lambda: table2_retraining.run(
+            models=("vgg19", "resnet164", "mlp1", "mlp2"), epochs=4
+        ),
+    )
+    for row in result.rows:
+        assert row["cr_x"] > 1.0
+        # Alternating re-training must keep the compressed model usable
+        # (well above the ~17% chance level of the 6/10-class tasks).
+        assert row["acc_se_pct"] > 50.0

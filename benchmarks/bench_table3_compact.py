@@ -1,0 +1,10 @@
+"""Bench: regenerate Table III (SmartExchange on compact models)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table3_compact
+
+
+def bench_table3_compact(benchmark):
+    result = run_and_print(benchmark, lambda: table3_compact.run(epochs=1))
+    for row in result.rows:
+        assert row["cr_x"] > 3.0

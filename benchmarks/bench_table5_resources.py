@@ -1,0 +1,9 @@
+"""Bench: regenerate Tables IV & V (design considerations / resources)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table5_resources
+
+
+def bench_table5_resources(benchmark):
+    result = run_and_print(benchmark, table5_resources.run, rounds=3)
+    assert len(result.rows) == 6

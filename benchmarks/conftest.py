@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table/figure of the paper: it times the
+experiment harness with pytest-benchmark and prints the regenerated
+rows so that ``pytest benchmarks/ --benchmark-only`` reproduces the
+entire evaluation section.
+"""
+
+from __future__ import annotations
+
+
+def run_and_print(benchmark, run_fn, rounds: int = 1):
+    """Benchmark ``run_fn`` once and print its regenerated table."""
+    result = benchmark.pedantic(run_fn, rounds=rounds, iterations=1)
+    print()
+    print(result.as_table())
+    return result

@@ -1,0 +1,38 @@
+"""Hardware evaluation: SmartExchange accelerator vs four baselines.
+
+Simulates the paper's benchmark suite (full-size layer inventories,
+batch 1) on DianNao, SCNN, Cambricon-X, Bit-pragmatic and the
+SmartExchange accelerator, printing Figs. 10-12 style rows: normalized
+energy efficiency, DRAM accesses, and speedup.
+
+Run:  python examples/accelerator_comparison.py
+"""
+
+from repro.experiments import (
+    fig10_energy_efficiency,
+    fig11_dram_accesses,
+    fig12_speedup,
+)
+from repro.hardware import SmartExchangeAccelerator, build_workloads
+
+
+def main() -> None:
+    for module in (fig10_energy_efficiency, fig11_dram_accesses, fig12_speedup):
+        print(module.run().as_table())
+        print()
+
+    # A closer look at one model: per-layer-group energy of the SE design.
+    workloads = build_workloads("resnet50")
+    result = SmartExchangeAccelerator().simulate_model(workloads, "resnet50")
+    print("ResNet50 on the SmartExchange accelerator:")
+    print(f"  total energy : {result.energy_mj():.3f} mJ")
+    print(f"  latency      : {result.latency_ms:.3f} ms (batch 1 @ 1 GHz)")
+    print(f"  DRAM traffic : {result.total_dram_bytes / 2**20:.2f} MiB")
+    breakdown = result.energy_breakdown()
+    total = sum(breakdown.values())
+    for key in sorted(breakdown, key=breakdown.get, reverse=True)[:6]:
+        print(f"  {key:16s} {100 * breakdown[key] / total:5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

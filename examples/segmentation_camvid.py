@@ -1,0 +1,40 @@
+"""Beyond classification: SmartExchange on DeepLabV3+ segmentation.
+
+The paper extends SmartExchange to semantic segmentation (DeepLabV3+
+with a ResNet-50 backbone on CamVid: 10.86x CR at a 3-point mIoU drop).
+This example trains a CI-scale DeepLabV3+ on the synthetic CamVid
+stand-in, compresses it, and reports mIoU before/after.
+
+Run:  python examples/segmentation_camvid.py
+"""
+
+from repro import nn
+from repro.core import SmartExchangeConfig, apply_smartexchange
+from repro.experiments.common import ci_segmentation_model
+
+
+def main() -> None:
+    print("training CI-scale DeepLabV3+ on synthetic CamVid ...")
+    segmenter = ci_segmentation_model(epochs=3)
+    dataset = segmenter.dataset
+    print(f"mIoU before compression: {segmenter.miou:6.1%}")
+
+    config = SmartExchangeConfig(theta=4e-3, max_iterations=6,
+                                 target_row_sparsity=0.35)
+    _, report = apply_smartexchange(segmenter.model, config,
+                                    model_name="deeplabv3plus")
+
+    segmenter.model.eval()
+    predictions = segmenter.model(
+        nn.Tensor(dataset.test_images)
+    ).numpy().argmax(axis=1)
+    miou_after = nn.mean_iou(predictions, dataset.test_masks, dataset.num_classes)
+
+    print(f"mIoU after compression : {miou_after:6.1%}")
+    print(f"compression rate       : {report.compression_rate:5.1f}x "
+          f"(paper: 10.86x at 74.20% -> 71.20% mIoU)")
+    print(f"vector sparsity        : {report.vector_sparsity:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

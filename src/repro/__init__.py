@@ -1,0 +1,25 @@
+"""repro — a reproduction of SmartExchange (ISCA 2020).
+
+SmartExchange trades higher-cost memory storage/access for lower-cost
+computation when running DNN inference.  This package contains:
+
+- :mod:`repro.core` — the SmartExchange algorithm (decomposition of each
+  layer weight matrix into a tiny basis ``B`` and a sparse, power-of-2
+  coefficient matrix ``Ce``).
+- :mod:`repro.nn` — a from-scratch NumPy deep-learning substrate
+  (modules, autograd, optimizers, and the paper's model zoo).
+- :mod:`repro.datasets` — synthetic stand-ins for CIFAR-10 / ImageNet /
+  MNIST / CamVid.
+- :mod:`repro.compression` — the baseline compression techniques the
+  paper compares against (pruning, quantization, combined).
+- :mod:`repro.sparsity` — sparsity metrics, Booth encoding, and sparse
+  index encodings (RLC / CRS / 1-bit direct).
+- :mod:`repro.hardware` — cycle-level simulators for the SmartExchange
+  accelerator and the four baseline accelerators (DianNao, SCNN,
+  Cambricon-X, Bit-pragmatic).
+- :mod:`repro.experiments` — one harness per table/figure in the paper.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Baseline compression techniques the paper compares against.
+
+Each baseline re-implements the essential mechanism of the cited work
+(not its full training recipe): what matters for the Figure 8 / Table II
+comparisons is each technique's accuracy-vs-model-size trade-off shape.
+"""
+
+from repro.compression.base import CompressionReport, Compressor
+from repro.compression.combined import PruneThenQuantize
+from repro.compression.pruning import ChannelPruner, FilterPruner, MagnitudePruner
+from repro.compression.quantization import (
+    DoReFaQuantizer,
+    FP8Quantizer,
+    LinearQuantizer,
+    Pow2Quantizer,
+)
+
+__all__ = [
+    "Compressor",
+    "CompressionReport",
+    "MagnitudePruner",
+    "ChannelPruner",
+    "FilterPruner",
+    "LinearQuantizer",
+    "DoReFaQuantizer",
+    "FP8Quantizer",
+    "Pow2Quantizer",
+    "PruneThenQuantize",
+]

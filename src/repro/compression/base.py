@@ -1,0 +1,73 @@
+"""Common protocol and report for baseline compressors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Protocol
+
+import numpy as np
+
+from repro import nn
+from repro.core.storage import BITS_PER_MB, FP32_BITS
+
+
+@dataclass
+class CompressionReport:
+    """Storage outcome of applying one baseline technique to a model."""
+
+    technique: str
+    model_name: str
+    original_elements: int = 0
+    compressed_bits: int = 0
+    layer_bits: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def original_bits(self) -> int:
+        return self.original_elements * FP32_BITS
+
+    @property
+    def compression_rate(self) -> float:
+        if self.compressed_bits == 0:
+            return 1.0
+        return self.original_bits / self.compressed_bits
+
+    @property
+    def param_mb(self) -> float:
+        return self.compressed_bits / BITS_PER_MB
+
+    @property
+    def original_mb(self) -> float:
+        return self.original_bits / BITS_PER_MB
+
+
+class Compressor(Protocol):
+    """A baseline technique: mutates model weights, returns storage."""
+
+    name: str
+
+    def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
+        """Apply the technique in place and account its storage."""
+        ...  # pragma: no cover - protocol
+
+
+def weight_layers(model: nn.Module) -> List:
+    """(name, module) for every conv / linear layer of the model."""
+    layers = []
+    for name, module in model.named_modules():
+        if isinstance(module, (nn.Conv2d, nn.Linear)):
+            layers.append((name, module))
+    return layers
+
+
+def count_other_elements(model: nn.Module) -> int:
+    """Scalars in parameters that are not conv/linear weights."""
+    weight_ids = {id(m.weight) for _, m in weight_layers(model)}
+    return sum(
+        p.size for _, p in model.named_parameters() if id(p) not in weight_ids
+    )
+
+
+def bitmap_pruned_bits(weight: np.ndarray, value_bits: int) -> int:
+    """Storage for a pruned tensor: non-zeros at ``value_bits`` + 1-bit map."""
+    nnz = int(np.count_nonzero(weight))
+    return nnz * value_bits + weight.size

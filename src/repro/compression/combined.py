@@ -1,0 +1,46 @@
+"""Prune-then-quantize (Deep-Compression / Cambricon-S style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.compression.base import CompressionReport, count_other_elements, weight_layers
+from repro.core.storage import FP32_BITS
+
+
+class PruneThenQuantize:
+    """Magnitude-prune each layer, then quantize survivors.
+
+    Storage: non-zeros at the quantizer's bit width plus a 1-bit presence
+    map — the scheme Cambricon-S and Deep Compression use (minus Huffman,
+    which the paper's CR definition also excludes).
+    """
+
+    def __init__(self, sparsity: float, quantizer) -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+        self.sparsity = sparsity
+        self.quantizer = quantizer
+        self.name = f"prune{sparsity:.0%}+{quantizer.name}"
+
+    def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
+        report = CompressionReport(self.name, model_name)
+        for layer_name, module in weight_layers(model):
+            weight = module.weight.data
+            count = weight.size
+            k = int(np.floor(self.sparsity * count))
+            if k > 0:
+                threshold = np.partition(np.abs(weight).reshape(-1), k - 1)[k - 1]
+                weight[np.abs(weight) <= threshold] = 0.0
+            mask = weight != 0
+            weight[...] = np.where(mask, self.quantizer.quantize(weight), 0.0)
+            nnz = int(mask.sum())
+            bits = nnz * self.quantizer.bits + count  # values + 1-bit map
+            report.layer_bits[layer_name] = bits
+            report.compressed_bits += bits
+            report.original_elements += count
+        other = count_other_elements(model)
+        report.original_elements += other
+        report.compressed_bits += other * FP32_BITS
+        return report

@@ -1,0 +1,159 @@
+"""Quantization baselines.
+
+- :class:`LinearQuantizer` — symmetric linear quantization (the S8 /
+  WAGEU-BN8 family at 8 bits).
+- :class:`DoReFaQuantizer` — DoReFa-Net's tanh-normalized k-bit weights.
+- :class:`FP8Quantizer` — 8-bit floating point (1-4-3 by default, the
+  FP8-training format).
+- :class:`Pow2Quantizer` — power-of-two weights (the [40] baseline; this
+  is the quantization half of SmartExchange without the decomposition).
+
+All operate post-training (weights are snapped in place) and account
+storage at the target bit width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.compression.base import (
+    CompressionReport,
+    count_other_elements,
+    weight_layers,
+)
+from repro.core.omega import fit_omega, quantize_to_omega
+from repro.core.storage import FP32_BITS
+
+
+def _finish(report: CompressionReport, model: nn.Module) -> CompressionReport:
+    other = count_other_elements(model)
+    report.original_elements += other
+    report.compressed_bits += other * FP32_BITS
+    return report
+
+
+class LinearQuantizer:
+    """Per-layer symmetric linear quantization to ``bits`` bits."""
+
+    def __init__(self, bits: int = 8, name: str | None = None) -> None:
+        if bits < 2:
+            raise ValueError("bits must be >= 2")
+        self.bits = bits
+        self.name = name or f"linear-int{bits}"
+
+    def quantize(self, weight: np.ndarray) -> np.ndarray:
+        max_abs = np.abs(weight).max()
+        if max_abs == 0:
+            return weight
+        qmax = 2 ** (self.bits - 1) - 1
+        scale = max_abs / qmax
+        return np.round(weight / scale) * scale
+
+    def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
+        report = CompressionReport(self.name, model_name)
+        for layer_name, module in weight_layers(model):
+            weight = module.weight.data
+            weight[...] = self.quantize(weight)
+            bits = weight.size * self.bits
+            report.layer_bits[layer_name] = bits
+            report.compressed_bits += bits
+            report.original_elements += weight.size
+        return _finish(report, model)
+
+
+class DoReFaQuantizer:
+    """DoReFa-Net weight quantization: tanh-normalize then k-bit uniform."""
+
+    def __init__(self, bits: int = 2) -> None:
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+        self.name = f"dorefa-w{bits}"
+
+    def quantize(self, weight: np.ndarray) -> np.ndarray:
+        if self.bits == 1:
+            scale = np.abs(weight).mean()
+            return np.where(weight >= 0, scale, -scale)
+        tanh = np.tanh(weight)
+        denom = np.abs(tanh).max()
+        if denom == 0:
+            return weight
+        normalized = tanh / (2 * denom) + 0.5  # in [0, 1]
+        levels = 2**self.bits - 1
+        quantized = np.round(normalized * levels) / levels
+        return (2 * quantized - 1) * denom
+
+    def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
+        report = CompressionReport(self.name, model_name)
+        for layer_name, module in weight_layers(model):
+            weight = module.weight.data
+            weight[...] = self.quantize(weight)
+            bits = weight.size * self.bits
+            report.layer_bits[layer_name] = bits
+            report.compressed_bits += bits
+            report.original_elements += weight.size
+        return _finish(report, model)
+
+
+class FP8Quantizer:
+    """8-bit floating point (sign / exponent / mantissa) value snapping."""
+
+    def __init__(self, exponent_bits: int = 4, mantissa_bits: int = 3) -> None:
+        if exponent_bits + mantissa_bits != 7:
+            raise ValueError("FP8 needs exponent_bits + mantissa_bits == 7")
+        self.exponent_bits = exponent_bits
+        self.mantissa_bits = mantissa_bits
+        self.name = f"fp8-e{exponent_bits}m{mantissa_bits}"
+
+    def quantize(self, weight: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(weight)
+        nonzero = weight != 0
+        if not np.any(nonzero):
+            return out
+        values = weight[nonzero]
+        bias = 2 ** (self.exponent_bits - 1) - 1
+        exponents = np.floor(np.log2(np.abs(values)))
+        exponents = np.clip(exponents, -bias, bias)
+        scale = 2.0**exponents
+        mantissa_steps = 2**self.mantissa_bits
+        mantissa = np.round(np.abs(values) / scale * mantissa_steps) / mantissa_steps
+        out[nonzero] = np.sign(values) * mantissa * scale
+        return out
+
+    def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
+        report = CompressionReport(self.name, model_name)
+        for layer_name, module in weight_layers(model):
+            weight = module.weight.data
+            weight[...] = self.quantize(weight)
+            bits = weight.size * 8
+            report.layer_bits[layer_name] = bits
+            report.compressed_bits += bits
+            report.original_elements += weight.size
+        return _finish(report, model)
+
+
+class Pow2Quantizer:
+    """Power-of-two weight quantization (sign x 2^p, small exponent set)."""
+
+    def __init__(self, bits: int = 4) -> None:
+        if bits < 2:
+            raise ValueError("bits must be >= 2")
+        self.bits = bits
+        self.name = f"pow2-w{bits}"
+
+    def quantize(self, weight: np.ndarray) -> np.ndarray:
+        exponent_count = 2 ** (self.bits - 1) - 1
+        omega = fit_omega(weight, exponent_count)
+        return quantize_to_omega(weight, omega)
+
+    def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
+        report = CompressionReport(self.name, model_name)
+        for layer_name, module in weight_layers(model):
+            weight = module.weight.data
+            weight[...] = self.quantize(weight)
+            bits = weight.size * self.bits
+            report.layer_bits[layer_name] = bits
+            report.compressed_bits += bits
+            report.original_elements += weight.size
+        return _finish(report, model)

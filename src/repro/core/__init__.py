@@ -1,0 +1,80 @@
+"""The SmartExchange algorithm (the paper's primary contribution).
+
+Typical use::
+
+    from repro.core import SmartExchangeConfig, apply_smartexchange
+
+    config = SmartExchangeConfig(theta=4e-3, max_iterations=30)
+    se_model, report = apply_smartexchange(model, config)
+    print(report.compression_rate, report.vector_sparsity)
+"""
+
+from repro.core.config import SmartExchangeConfig
+from repro.core.decompose import (
+    Decomposition,
+    DecompositionHistory,
+    smart_exchange_decompose,
+)
+from repro.core.layer_transform import (
+    LayerCompression,
+    compress_conv_weight,
+    compress_fc_weight,
+    rebuild_conv_weight,
+)
+from repro.core.model_transform import (
+    ModelCompressionReport,
+    SmartExchangeModel,
+    apply_smartexchange,
+)
+from repro.core.omega import (
+    OmegaSet,
+    fit_omega,
+    nearest_pow2_exponent,
+    quantization_delta,
+    quantize_to_omega,
+)
+from repro.core.regularize import (
+    apply_proximal_gradient,
+    projection_targets,
+    smartexchange_distance,
+)
+from repro.core.retrain import RetrainResult, retrain
+from repro.core.serialize import load_compressed, save_compressed
+from repro.core.storage import (
+    StorageBreakdown,
+    compression_rate,
+    decomposition_bits,
+    total_bits,
+)
+from repro.core.verify import verify_compression
+
+__all__ = [
+    "SmartExchangeConfig",
+    "Decomposition",
+    "DecompositionHistory",
+    "smart_exchange_decompose",
+    "LayerCompression",
+    "compress_conv_weight",
+    "compress_fc_weight",
+    "rebuild_conv_weight",
+    "SmartExchangeModel",
+    "ModelCompressionReport",
+    "apply_smartexchange",
+    "OmegaSet",
+    "fit_omega",
+    "nearest_pow2_exponent",
+    "quantize_to_omega",
+    "quantization_delta",
+    "RetrainResult",
+    "retrain",
+    "StorageBreakdown",
+    "decomposition_bits",
+    "total_bits",
+    "compression_rate",
+    "smartexchange_distance",
+    "projection_targets",
+    "apply_proximal_gradient",
+    "save_compressed",
+    "load_compressed",
+    "verify_compression",
+]

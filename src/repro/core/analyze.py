@@ -1,0 +1,115 @@
+"""Compression analysis and automatic per-layer target selection.
+
+The paper tunes the vector-sparsity budget "manually controlled per
+layer".  :func:`suggest_sparsity_targets` automates the search: for each
+layer it probes a ladder of sparsity levels and keeps the highest one
+whose reconstruction error stays within a budget — small layers and
+sensitive layers get gentle targets, redundant layers aggressive ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.core.config import SmartExchangeConfig
+from repro.core.layer_transform import (
+    LayerCompression,
+    compress_conv_weight,
+    compress_fc_weight,
+)
+
+DEFAULT_LADDER = (0.0, 0.2, 0.35, 0.5, 0.65, 0.8)
+
+
+@dataclass
+class LayerSensitivity:
+    """Reconstruction error of one layer across the sparsity ladder."""
+
+    name: str
+    kind: str
+    elements: int
+    errors: Dict[float, float]  # sparsity level -> mean relative error
+
+    def best_target(self, error_budget: float) -> float:
+        """Highest probed sparsity whose error fits the budget."""
+        feasible = [level for level, error in self.errors.items()
+                    if error <= error_budget]
+        return max(feasible) if feasible else 0.0
+
+
+def _compress_layer(
+    module: nn.Module, config: SmartExchangeConfig, name: str
+) -> LayerCompression:
+    if isinstance(module, nn.Conv2d):
+        return compress_conv_weight(module.weight.data, config, name=name)
+    return compress_fc_weight(module.weight.data, config, name=name)
+
+
+def probe_sensitivities(
+    model: nn.Module,
+    base_config: Optional[SmartExchangeConfig] = None,
+    ladder: Sequence[float] = DEFAULT_LADDER,
+    min_elements: int = 32,
+) -> List[LayerSensitivity]:
+    """Per-layer reconstruction errors across the sparsity ladder."""
+    base_config = base_config or SmartExchangeConfig(max_iterations=4)
+    sensitivities: List[LayerSensitivity] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, (nn.Conv2d, nn.Linear)):
+            continue
+        if module.weight.size < min_elements:
+            continue
+        errors: Dict[float, float] = {}
+        for level in ladder:
+            config = base_config.with_overrides(
+                target_row_sparsity=level if level > 0 else None
+            )
+            compression = _compress_layer(module, config, name)
+            errors[level] = compression.mean_reconstruction_error
+        sensitivities.append(LayerSensitivity(
+            name=name,
+            kind="conv" if isinstance(module, nn.Conv2d) else "fc",
+            elements=module.weight.size,
+            errors=errors,
+        ))
+    return sensitivities
+
+
+def suggest_sparsity_targets(
+    model: nn.Module,
+    error_budget: float = 0.35,
+    base_config: Optional[SmartExchangeConfig] = None,
+    ladder: Sequence[float] = DEFAULT_LADDER,
+) -> Dict[str, SmartExchangeConfig]:
+    """Per-layer config overrides for
+    :class:`~repro.core.model_transform.SmartExchangeModel`.
+
+    Each layer gets the most aggressive probed sparsity whose mean
+    reconstruction error stays under ``error_budget``.
+    """
+    if error_budget <= 0:
+        raise ValueError("error_budget must be positive")
+    base_config = base_config or SmartExchangeConfig(max_iterations=4)
+    overrides: Dict[str, SmartExchangeConfig] = {}
+    for sensitivity in probe_sensitivities(model, base_config, ladder):
+        target = sensitivity.best_target(error_budget)
+        overrides[sensitivity.name] = base_config.with_overrides(
+            target_row_sparsity=target if target > 0 else None
+        )
+    return overrides
+
+
+def compression_summary(model: nn.Module, report) -> str:
+    """One line per compressed layer: CR, sparsity, reconstruction error."""
+    lines = ["layer                     kind        CR      row-spars  err"]
+    for layer in report.layers:
+        lines.append(
+            f"{layer.name:<25s} {layer.kind:<10s} "
+            f"{layer.compression_rate:6.1f}x {layer.vector_sparsity:9.1%}  "
+            f"{layer.mean_reconstruction_error:.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Configuration for the SmartExchange algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SmartExchangeConfig:
+    """All knobs of the SmartExchange decomposition (paper Section III).
+
+    Attributes
+    ----------
+    basis_size:
+        ``S`` — the width of the basis matrix ``B`` (``r = n = S``).  For
+        conv layers this is taken from the kernel automatically; for FC /
+        1x1 layers this value is used.
+    theta:
+        Element-magnitude threshold used when sparsifying ``Ce`` — the
+        paper's θ (4e-3 in the VGG19 post-processing experiment).
+    row_theta:
+        Row-norm threshold for vector-wise sparsity: a row of ``Ce``
+        whose max-magnitude falls below it is zeroed entirely.  ``None``
+        uses ``theta``.
+    channel_theta:
+        BN-scale threshold for channel pruning (applied once, at the
+        start).  ``None`` disables channel pruning.
+    max_row_nonzeros:
+        Optional hard cap ``Sc`` on the number of non-zero rows per
+        decomposed matrix (the paper's per-layer vector-sparsity budget).
+        ``None`` means threshold-only control.
+    target_row_sparsity:
+        Optional direct control of vector-wise sparsity: the lowest-norm
+        fraction of coefficient rows is zeroed every projection.  This is
+        the practical face of the paper's "Sc is manually controlled per
+        layer" and what the Fig. 14 sparsity sweep dials.
+    ce_bits:
+        Bit-width of a coefficient code.  One code is reserved for zero;
+        the rest encode sign x power-of-2, so the exponent set size is
+        ``Np = 2**(ce_bits - 1) - 1``.
+    b_bits:
+        Bit-width used to store basis-matrix entries (8 in the paper).
+    tol:
+        Convergence tolerance on the quantization difference ``δ(Ce)``.
+    max_iterations:
+        Iteration cap of the alternating loop (30 in the paper).
+    max_rows_per_slice:
+        Decomposed matrices taller than this are sliced along the first
+        dimension (Section III-C's imbalance fix).  ``None`` disables
+        slicing.
+    min_elements:
+        Layers with fewer weight scalars than this are left untouched
+        (decomposing a tiny layer costs more in basis storage than it
+        saves).
+    """
+
+    basis_size: int = 3
+    theta: float = 4e-3
+    row_theta: float | None = None
+    channel_theta: float | None = None
+    max_row_nonzeros: int | None = None
+    target_row_sparsity: float | None = None
+    ce_bits: int = 4
+    b_bits: int = 8
+    tol: float = 1e-10
+    max_iterations: int = 30
+    max_rows_per_slice: int | None = 1024
+    min_elements: int = 32
+
+    def __post_init__(self) -> None:
+        if self.basis_size < 1:
+            raise ValueError(f"basis_size must be >= 1, got {self.basis_size}")
+        if self.ce_bits < 2:
+            raise ValueError(f"ce_bits must be >= 2, got {self.ce_bits}")
+        if self.theta < 0:
+            raise ValueError(f"theta must be >= 0, got {self.theta}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.target_row_sparsity is not None and not (
+            0.0 <= self.target_row_sparsity < 1.0
+        ):
+            raise ValueError("target_row_sparsity must be in [0, 1)")
+
+    @property
+    def exponent_count(self) -> int:
+        """``Np`` — number of representable exponents for non-zeros."""
+        return 2 ** (self.ce_bits - 1) - 1
+
+    @property
+    def effective_row_theta(self) -> float:
+        return self.theta if self.row_theta is None else self.row_theta
+
+    def with_overrides(self, **kwargs) -> "SmartExchangeConfig":
+        """A copy with some fields replaced (per-layer overrides)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,173 @@
+"""Algorithm 1 — the SmartExchange decomposition of a single matrix.
+
+Given ``W (m x n)`` find ``Ce (m x r)`` and ``B (r x n)`` with ``r = n``
+such that ``W ≈ Ce B``, every non-zero of ``Ce`` is a signed power of two
+from a small exponent window, and ``Ce`` is vector-wise (row) sparse.
+
+The loop alternates: quantize ``Ce`` to ΩP → least-squares refit of ``B``
+then ``Ce`` → sparsify ``Ce``; it stops when the quantization difference
+``δ(Ce)`` falls under ``tol`` or the iteration cap is hit, then concludes
+with a final re-quantization of ``Ce`` and a (support-masked) re-fit of
+``B`` so the returned pair is exactly feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SmartExchangeConfig
+from repro.core.fitting import (
+    fit_basis,
+    fit_coefficient,
+    normalize_columns,
+    reconstruction_error,
+)
+from repro.core.omega import (
+    OmegaSet,
+    fit_omega,
+    quantization_delta,
+    quantize_to_omega,
+)
+from repro.core.sparsify import (
+    enforce_row_budget,
+    sparsify_elements,
+    sparsify_rows,
+    sparsify_rows_to_fraction,
+)
+
+
+@dataclass
+class DecompositionHistory:
+    """Per-iteration trajectory (what Figure 9 plots)."""
+
+    errors: List[float] = field(default_factory=list)
+    sparsities: List[float] = field(default_factory=list)
+    basis_drifts: List[float] = field(default_factory=list)
+    deltas: List[float] = field(default_factory=list)
+
+
+@dataclass
+class Decomposition:
+    """The SmartExchange form {Ce, B} of one matrix."""
+
+    coefficient: np.ndarray  # (m, r) — sparse, entries in ΩP
+    basis: np.ndarray  # (r, n)
+    omega: OmegaSet
+    iterations: int
+    history: DecompositionHistory
+    original_shape: tuple
+
+    def rebuild(self) -> np.ndarray:
+        """``W_hat = Ce B`` (the accelerator's RE computes exactly this)."""
+        return self.coefficient @ self.basis
+
+    @property
+    def row_sparsity(self) -> float:
+        """Fraction of all-zero coefficient rows (vector-wise sparsity)."""
+        if self.coefficient.size == 0:
+            return 0.0
+        alive = np.any(self.coefficient != 0, axis=1)
+        return float(1.0 - alive.mean())
+
+    @property
+    def element_sparsity(self) -> float:
+        if self.coefficient.size == 0:
+            return 0.0
+        return float((self.coefficient == 0).mean())
+
+    @property
+    def reconstruction_error(self) -> float:
+        if not self.history.errors:
+            return 0.0
+        return self.history.errors[-1]
+
+
+def _basis_drift(basis: np.ndarray) -> float:
+    """``||B - I||_F / ||I||_F`` with I the initialization (Fig. 9)."""
+    r, n = basis.shape
+    eye = np.eye(r, n)
+    return float(np.linalg.norm(basis - eye) / np.linalg.norm(eye))
+
+
+def _sparsify(coefficient: np.ndarray, config: SmartExchangeConfig) -> np.ndarray:
+    out = sparsify_elements(coefficient, config.theta)
+    out = sparsify_rows(out, config.effective_row_theta)
+    if config.target_row_sparsity is not None:
+        out = sparsify_rows_to_fraction(out, config.target_row_sparsity)
+    return enforce_row_budget(out, config.max_row_nonzeros)
+
+
+def smart_exchange_decompose(
+    weight: np.ndarray,
+    config: Optional[SmartExchangeConfig] = None,
+) -> Decomposition:
+    """Run Algorithm 1 on a 2-D matrix ``weight``.
+
+    ``Ce`` is initialized to ``W`` and ``B`` to the identity, exactly as
+    the paper does ("we initialize Ce = W and B = I for simplicity").
+    """
+    config = config or SmartExchangeConfig()
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {weight.shape}")
+    m, n = weight.shape
+    if m == 0 or n == 0:
+        raise ValueError("cannot decompose an empty matrix")
+
+    coefficient = weight.copy()
+    basis = np.eye(n)
+    history = DecompositionHistory()
+    omega = fit_omega(coefficient, config.exponent_count)
+    iteration = 0
+
+    while iteration < config.max_iterations:
+        # Step 1: normalize columns (scale into B), quantize Ce to ΩP.
+        coefficient, basis = normalize_columns(coefficient, basis)
+        omega = fit_omega(coefficient, config.exponent_count)
+        quantized = quantize_to_omega(coefficient, omega, config.theta)
+        delta = quantization_delta(coefficient, quantized)
+        coefficient = quantized
+
+        # The quantized pair is the feasible point whose trajectory
+        # Figure 9 plots: record it before the unconstrained refit.
+        history.deltas.append(delta)
+        history.errors.append(reconstruction_error(weight, coefficient, basis))
+        history.sparsities.append(float((coefficient == 0).mean()))
+        history.basis_drifts.append(_basis_drift(basis))
+
+        # Step 2: refit B to the quantized Ce, then refit Ce to that B.
+        basis = fit_basis(weight, coefficient)
+        coefficient = fit_coefficient(weight, basis)
+
+        # Step 3: vector-wise (and element) sparsification.
+        coefficient = _sparsify(coefficient, config)
+
+        iteration += 1
+        if delta < config.tol:
+            break
+
+    # Conclude: re-quantize Ce and re-fit B on the final support.
+    coefficient, basis = normalize_columns(coefficient, basis)
+    omega = fit_omega(coefficient, config.exponent_count)
+    coefficient = quantize_to_omega(coefficient, omega, config.theta)
+    if config.target_row_sparsity is not None:
+        coefficient = sparsify_rows_to_fraction(
+            coefficient, config.target_row_sparsity
+        )
+    if np.any(coefficient != 0):
+        basis = fit_basis(weight, coefficient)
+    history.errors.append(reconstruction_error(weight, coefficient, basis))
+    history.sparsities.append(float((coefficient == 0).mean()))
+    history.basis_drifts.append(_basis_drift(basis))
+
+    return Decomposition(
+        coefficient=coefficient,
+        basis=basis,
+        omega=omega,
+        iterations=iteration,
+        history=history,
+        original_shape=(m, n),
+    )

@@ -1,0 +1,72 @@
+"""Step 2 of Algorithm 1: unconstrained least-squares fits of B and Ce."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def fit_basis(weight: np.ndarray, coefficient: np.ndarray) -> np.ndarray:
+    """``argmin_B ||W - Ce B||_F^2`` for fixed ``Ce``.
+
+    A plain least-squares solve; rank deficiency (e.g. a fully-pruned
+    coefficient column) falls back to the minimum-norm solution.
+    """
+    solution, *_ = np.linalg.lstsq(coefficient, weight, rcond=None)
+    return solution
+
+
+def fit_coefficient(weight: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """``argmin_Ce ||W - Ce B||_F^2`` for fixed ``B``.
+
+    Solved row-wise as ``B^T Ce^T = W^T``.
+    """
+    solution, *_ = np.linalg.lstsq(basis.T, weight.T, rcond=None)
+    return solution.T
+
+
+def fit_coefficient_masked(
+    weight: np.ndarray, basis: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Least-squares ``Ce`` constrained to a sparsity pattern.
+
+    Rows of ``Ce`` are independent, so each row solves a small masked
+    least-squares problem over its allowed support.  Used when refitting
+    after sparsification so that zeroed entries stay zero.
+    """
+    if mask.shape != (weight.shape[0], basis.shape[0]):
+        raise ValueError("mask shape must match the coefficient shape")
+    coefficient = np.zeros((weight.shape[0], basis.shape[0]))
+    for row in range(weight.shape[0]):
+        support = np.flatnonzero(mask[row])
+        if support.size == 0:
+            continue
+        sub_basis = basis[support]  # (k, n)
+        solution, *_ = np.linalg.lstsq(sub_basis.T, weight[row], rcond=None)
+        coefficient[row, support] = solution
+    return coefficient
+
+
+def reconstruction_error(
+    weight: np.ndarray, coefficient: np.ndarray, basis: np.ndarray
+) -> float:
+    """Relative Frobenius error ``||W - Ce B||_F / ||W||_F``."""
+    denom = np.linalg.norm(weight)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(weight - coefficient @ basis) / denom)
+
+
+def normalize_columns(
+    coefficient: np.ndarray, basis: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unit-normalize ``Ce`` columns, absorbing scale into ``B`` rows.
+
+    ``Ce B`` is invariant under ``Ce[:, j] /= s_j`` and ``B[j, :] *= s_j``;
+    normalizing removes the scale ambiguity before power-of-2 rounding
+    (paper, Step 1).
+    """
+    norms = np.linalg.norm(coefficient, axis=0)
+    scale = np.where(norms > 0, norms, 1.0)
+    return coefficient / scale, basis * scale[:, None]

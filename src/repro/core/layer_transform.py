@@ -1,0 +1,176 @@
+"""Applying the SmartExchange decomposition to one layer's weight.
+
+A layer weight becomes a list of per-unit (per-filter or per-FC-row)
+decompositions via the Section III-C reshaping rules; this module runs
+Algorithm 1 on each matrix, tracks storage, and can rebuild the layer
+weight exactly as the accelerator's rebuild engines would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SmartExchangeConfig
+from repro.core.decompose import Decomposition, smart_exchange_decompose
+from repro.core.reshape import (
+    ReshapePlan,
+    from_matrices,
+    plan_conv,
+    plan_fc,
+    to_matrices,
+)
+from repro.core.storage import StorageBreakdown, compression_rate, total_bits
+
+
+@dataclass
+class LayerCompression:
+    """The SmartExchange form of one layer."""
+
+    name: str
+    kind: str  # "conv" | "fc"
+    plan: ReshapePlan
+    decompositions: List[Decomposition]
+    storage: StorageBreakdown
+    original_elements: int
+    pruned_filters: Optional[np.ndarray] = None  # boolean keep-mask or None
+
+    def rebuild_weight(self) -> np.ndarray:
+        """Reconstruct the (quantized, sparse) layer weight from {Ce, B}."""
+        matrices = [d.rebuild() for d in self.decompositions]
+        return from_matrices(matrices, self.plan)
+
+    @property
+    def compression_rate(self) -> float:
+        return compression_rate(self.original_elements, self.storage)
+
+    @property
+    def vector_sparsity(self) -> float:
+        """Fraction of zero coefficient rows across all matrices."""
+        total = alive = 0
+        for decomposition in self.decompositions:
+            rows = decomposition.coefficient.shape[0]
+            total += rows
+            alive += int(np.any(decomposition.coefficient != 0, axis=1).sum())
+        if total == 0:
+            return 0.0
+        return 1.0 - alive / total
+
+    @property
+    def element_sparsity(self) -> float:
+        total = zero = 0
+        for decomposition in self.decompositions:
+            total += decomposition.coefficient.size
+            zero += int((decomposition.coefficient == 0).sum())
+        if total == 0:
+            return 0.0
+        return zero / total
+
+    @property
+    def mean_reconstruction_error(self) -> float:
+        errors = [d.reconstruction_error for d in self.decompositions]
+        if not errors:
+            return 0.0
+        return float(np.mean(errors))
+
+
+def _decompose_matrices(
+    matrices: List[np.ndarray], config: SmartExchangeConfig
+) -> List[Decomposition]:
+    return [smart_exchange_decompose(matrix, config) for matrix in matrices]
+
+
+def compress_conv_weight(
+    weight: np.ndarray,
+    config: Optional[SmartExchangeConfig] = None,
+    name: str = "conv",
+    filter_keep_mask: Optional[np.ndarray] = None,
+) -> LayerCompression:
+    """SmartExchange a conv weight (M, C, R, S).
+
+    ``R = S > 1`` uses the per-filter (C*R, S) reshape; ``R = S = 1``
+    collapses to the FC rule on the (M, C) view.  ``filter_keep_mask``
+    (length M) implements the BN-driven channel pruning: dropped filters
+    are zeroed before decomposition so their coefficient rows all vanish.
+    """
+    config = config or SmartExchangeConfig()
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 4:
+        raise ValueError(f"conv weight must be 4-D, got {weight.ndim}-D")
+    m = weight.shape[0]
+    if filter_keep_mask is not None:
+        if len(filter_keep_mask) != m:
+            raise ValueError("filter_keep_mask length must equal out-channels")
+        weight = weight * np.asarray(filter_keep_mask, dtype=np.float64)[
+            :, None, None, None
+        ]
+
+    if weight.shape[2] == weight.shape[3] == 1:
+        flat = weight.reshape(weight.shape[0], weight.shape[1])
+        compression = compress_fc_weight(flat, config, name=name)
+        # Preserve the 4-D original shape for exact rebuild round-trips.
+        plan = compression.plan
+        return LayerCompression(
+            name=name,
+            kind="pointwise",
+            plan=plan,
+            decompositions=compression.decompositions,
+            storage=compression.storage,
+            original_elements=weight.size,
+            pruned_filters=(
+                np.asarray(filter_keep_mask, dtype=bool)
+                if filter_keep_mask is not None
+                else None
+            ),
+        )
+
+    plan = plan_conv(weight.shape, config.max_rows_per_slice)
+    matrices = to_matrices(weight, plan)
+    decompositions = _decompose_matrices(matrices, config)
+    return LayerCompression(
+        name=name,
+        kind="conv",
+        plan=plan,
+        decompositions=decompositions,
+        storage=total_bits(decompositions, config),
+        original_elements=weight.size,
+        pruned_filters=(
+            np.asarray(filter_keep_mask, dtype=bool)
+            if filter_keep_mask is not None
+            else None
+        ),
+    )
+
+
+def compress_fc_weight(
+    weight: np.ndarray,
+    config: Optional[SmartExchangeConfig] = None,
+    name: str = "fc",
+) -> LayerCompression:
+    """SmartExchange an FC weight (M, C) row by row."""
+    config = config or SmartExchangeConfig()
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError(f"fc weight must be 2-D, got {weight.ndim}-D")
+    plan = plan_fc(weight.shape, config.basis_size, config.max_rows_per_slice)
+    matrices = to_matrices(weight, plan)
+    decompositions = _decompose_matrices(matrices, config)
+    return LayerCompression(
+        name=name,
+        kind="fc",
+        plan=plan,
+        decompositions=decompositions,
+        storage=total_bits(decompositions, config),
+        original_elements=weight.size,
+    )
+
+
+def rebuild_conv_weight(compression: LayerCompression) -> np.ndarray:
+    """Rebuild a conv weight, restoring the 4-D shape for 1x1 layers."""
+    rebuilt = compression.rebuild_weight()
+    if compression.kind == "pointwise":
+        m, c = rebuilt.shape
+        return rebuilt.reshape(m, c, 1, 1)
+    return rebuilt

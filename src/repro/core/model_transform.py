@@ -1,0 +1,220 @@
+"""Whole-model SmartExchange application.
+
+``SmartExchangeModel`` wraps an ``nn.Module``: it decomposes every
+eligible conv / FC weight, swaps the rebuilt (sparse, power-of-2
+reconstructed) weights into the live model, and can re-project after
+each re-training epoch (the paper's alternating schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.core.config import SmartExchangeConfig
+from repro.core.layer_transform import (
+    LayerCompression,
+    compress_conv_weight,
+    compress_fc_weight,
+    rebuild_conv_weight,
+)
+from repro.core.sparsify import channel_mask_from_bn
+from repro.core.storage import FP32_BITS, BITS_PER_MB, StorageBreakdown
+
+
+@dataclass
+class ModelCompressionReport:
+    """Aggregated Table-II-style statistics for one compressed model."""
+
+    model_name: str
+    layers: List[LayerCompression] = field(default_factory=list)
+    uncompressed_elements: int = 0
+
+    @property
+    def storage(self) -> StorageBreakdown:
+        out = StorageBreakdown()
+        for layer in self.layers:
+            out = out + layer.storage
+        return out
+
+    @property
+    def original_elements(self) -> int:
+        return sum(l.original_elements for l in self.layers) + self.uncompressed_elements
+
+    @property
+    def compressed_bits(self) -> int:
+        """SmartExchange bits plus FP32 bits of layers left untouched."""
+        return self.storage.total_bits + self.uncompressed_elements * FP32_BITS
+
+    @property
+    def compression_rate(self) -> float:
+        if self.compressed_bits == 0:
+            return 1.0
+        return self.original_elements * FP32_BITS / self.compressed_bits
+
+    @property
+    def param_mb(self) -> float:
+        return self.compressed_bits / BITS_PER_MB
+
+    @property
+    def original_mb(self) -> float:
+        return self.original_elements * FP32_BITS / BITS_PER_MB
+
+    @property
+    def basis_mb(self) -> float:
+        return self.storage.basis_mb
+
+    @property
+    def coefficient_mb(self) -> float:
+        return self.storage.coefficient_mb
+
+    @property
+    def vector_sparsity(self) -> float:
+        """Element-weighted mean vector sparsity over compressed layers."""
+        weights = [l.original_elements for l in self.layers]
+        if not weights:
+            return 0.0
+        values = [l.vector_sparsity for l in self.layers]
+        return float(np.average(values, weights=weights))
+
+    def layer_sparsity(self, name: str) -> float:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer.vector_sparsity
+        raise KeyError(name)
+
+
+def _bn_after_conv(model: nn.Module) -> Dict[int, nn.Module]:
+    """Map ``id(conv)`` -> the BatchNorm that immediately follows it.
+
+    Relies on definition order inside each composite module, which holds
+    for the entire model zoo (conv1/bn1, Sequential(conv, bn, ...), ...).
+    """
+    mapping: Dict[int, nn.Module] = {}
+    for module in model.modules():
+        children = list(module._modules.values())
+        for first, second in zip(children, children[1:]):
+            if isinstance(first, nn.Conv2d) and isinstance(
+                second, (nn.BatchNorm2d, nn.BatchNorm1d)
+            ):
+                mapping[id(first)] = second
+    return mapping
+
+
+class SmartExchangeModel:
+    """A model plus its SmartExchange compression state."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        config: Optional[SmartExchangeConfig] = None,
+        model_name: str = "model",
+        layer_overrides: Optional[Dict[str, SmartExchangeConfig]] = None,
+        compress_depthwise: bool = True,
+    ) -> None:
+        self.model = model
+        self.config = config or SmartExchangeConfig()
+        self.model_name = model_name
+        self.layer_overrides = layer_overrides or {}
+        self.compress_depthwise = compress_depthwise
+        self._channel_masks: Dict[str, np.ndarray] = {}
+        self._report: Optional[ModelCompressionReport] = None
+
+    # ------------------------------------------------------------------
+    def _eligible_layers(self) -> List[Tuple[str, nn.Module]]:
+        eligible = []
+        for name, module in self.model.named_modules():
+            if isinstance(module, nn.Conv2d):
+                if module.is_depthwise and not self.compress_depthwise:
+                    continue
+                eligible.append((name, module))
+            elif isinstance(module, nn.Linear):
+                eligible.append((name, module))
+        return eligible
+
+    def _config_for(self, name: str) -> SmartExchangeConfig:
+        return self.layer_overrides.get(name, self.config)
+
+    def _compute_channel_masks(self) -> None:
+        """BN-|gamma| filter pruning masks, computed once (first epoch)."""
+        bn_map = _bn_after_conv(self.model)
+        for name, module in self._eligible_layers():
+            config = self._config_for(name)
+            if config.channel_theta is None or not isinstance(module, nn.Conv2d):
+                continue
+            bn = bn_map.get(id(module))
+            if bn is None:
+                continue
+            self._channel_masks[name] = channel_mask_from_bn(
+                bn.scale_factors(), config.channel_theta
+            )
+
+    # ------------------------------------------------------------------
+    def compress(self) -> ModelCompressionReport:
+        """Decompose all eligible layers and install rebuilt weights."""
+        if not self._channel_masks:
+            self._compute_channel_masks()
+        report = ModelCompressionReport(model_name=self.model_name)
+        compressed_ids = set()
+        for name, module in self._eligible_layers():
+            config = self._config_for(name)
+            weight = module.weight.data
+            if weight.size < config.min_elements:
+                continue
+            if isinstance(module, nn.Conv2d):
+                compression = compress_conv_weight(
+                    weight,
+                    config,
+                    name=name,
+                    filter_keep_mask=self._channel_masks.get(name),
+                )
+                module.weight.data[...] = rebuild_conv_weight(compression)
+            else:
+                compression = compress_fc_weight(weight, config, name=name)
+                module.weight.data[...] = compression.rebuild_weight()
+            report.layers.append(compression)
+            compressed_ids.add(id(module.weight))
+        report.uncompressed_elements = sum(
+            p.size
+            for _, p in self.model.named_parameters()
+            if id(p) not in compressed_ids
+        )
+        self._report = report
+        return report
+
+    def project(self) -> ModelCompressionReport:
+        """Re-apply the decomposition to the current (re-trained) weights.
+
+        Channel masks are frozen after the first call, matching the paper
+        ("we only apply channel-wise sparsifying at the first training
+        epoch once").
+        """
+        return self.compress()
+
+    @property
+    def report(self) -> ModelCompressionReport:
+        if self._report is None:
+            raise RuntimeError("call compress() first")
+        return self._report
+
+    # Convenience pass-throughs ----------------------------------------
+    def __call__(self, x):
+        return self.model(x)
+
+    def parameters(self):
+        return self.model.parameters()
+
+
+def apply_smartexchange(
+    model: nn.Module,
+    config: Optional[SmartExchangeConfig] = None,
+    model_name: str = "model",
+    **kwargs,
+) -> Tuple[SmartExchangeModel, ModelCompressionReport]:
+    """One-shot post-processing (Section III-C, no re-training)."""
+    wrapper = SmartExchangeModel(model, config, model_name=model_name, **kwargs)
+    report = wrapper.compress()
+    return wrapper, report

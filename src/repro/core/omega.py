@@ -1,0 +1,99 @@
+"""The power-of-2 value set ΩP and its quantizer.
+
+ΩP := {0, ±2^p | p ∈ P}, |P| <= Np.  After quantization every non-zero
+element of ``Ce`` is a signed power of two, so rebuilding ``W = Ce B``
+needs only shift-and-add operations — the "lower-cost computation" that
+SmartExchange trades memory accesses for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OmegaSet:
+    """A concrete ΩP: exponents ``p_min .. p_max`` inclusive, plus zero."""
+
+    p_min: int
+    p_max: int
+
+    def __post_init__(self) -> None:
+        if self.p_min > self.p_max:
+            raise ValueError(f"empty exponent window [{self.p_min}, {self.p_max}]")
+
+    @property
+    def exponent_count(self) -> int:
+        return self.p_max - self.p_min + 1
+
+    @property
+    def values(self) -> np.ndarray:
+        """All representable values (sorted, including 0)."""
+        mags = 2.0 ** np.arange(self.p_min, self.p_max + 1)
+        return np.sort(np.concatenate([-mags, [0.0], mags]))
+
+    def contains(self, values: np.ndarray, atol: float = 0.0) -> np.ndarray:
+        """Boolean mask of elements that are in ΩP (optionally within atol)."""
+        values = np.asarray(values, dtype=np.float64)
+        representable = self.values
+        diffs = np.abs(values[..., None] - representable)
+        return diffs.min(axis=-1) <= atol
+
+
+def nearest_pow2_exponent(magnitudes: np.ndarray) -> np.ndarray:
+    """Exponent of the nearest power of two for positive magnitudes.
+
+    The tie-break follows rounding in log-space *of the value*: ``x`` maps
+    to ``p = floor(log2(x) + log2(4/3))`` which is exactly "nearest power
+    of two in linear distance" (the midpoint between 2^p and 2^(p+1) is
+    1.5 * 2^p).
+    """
+    magnitudes = np.asarray(magnitudes, dtype=np.float64)
+    if np.any(magnitudes <= 0):
+        raise ValueError("magnitudes must be strictly positive")
+    return np.floor(np.log2(magnitudes * (2.0 / 3.0)) + 1.0).astype(np.int64)
+
+
+def fit_omega(values: np.ndarray, exponent_count: int) -> OmegaSet:
+    """Choose the exponent window that covers the largest magnitudes.
+
+    The window is anchored at the largest magnitude present (after
+    nearest-power-of-2 rounding) and extends ``exponent_count`` exponents
+    downwards; smaller values quantize to the window floor or to zero.
+    """
+    if exponent_count < 1:
+        raise ValueError("exponent_count must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    nonzero = np.abs(values[values != 0])
+    if nonzero.size == 0:
+        return OmegaSet(-(exponent_count - 1), 0)
+    p_max = int(nearest_pow2_exponent(np.array([nonzero.max()]))[0])
+    return OmegaSet(p_max - exponent_count + 1, p_max)
+
+
+def quantize_to_omega(
+    values: np.ndarray, omega: OmegaSet, zero_threshold: float = 0.0
+) -> np.ndarray:
+    """Project each element to ΩP (nearest power of two, clipped window).
+
+    Elements with magnitude below ``zero_threshold`` — or below half the
+    smallest representable magnitude — become exactly zero.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(values)
+    mags = np.abs(values)
+    floor_mag = 2.0**omega.p_min
+    cutoff = max(zero_threshold, floor_mag / 2.0)
+    live = mags > cutoff
+    if not np.any(live):
+        return out
+    exponents = nearest_pow2_exponent(mags[live])
+    exponents = np.clip(exponents, omega.p_min, omega.p_max)
+    out[live] = np.sign(values[live]) * 2.0**exponents
+    return out
+
+
+def quantization_delta(values: np.ndarray, quantized: np.ndarray) -> float:
+    """``||δ(Ce)||_F`` — the convergence signal of Algorithm 1."""
+    return float(np.linalg.norm(np.asarray(values) - np.asarray(quantized)))

@@ -1,0 +1,100 @@
+"""Proximal SmartExchange regularization (the paper's future work).
+
+Section III-C closes with: "More analytic solutions will be explored in
+future work, e.g., incorporating SmartExchange algorithm as a
+regularization term [48]".  This module implements that idea as a
+proximal penalty: during re-training, every compressed layer's weight is
+pulled toward its current SmartExchange reconstruction
+
+    L_total = L_task + (strength / 2) * sum_l ||W_l - rebuild(W_l)||_F^2
+
+so the weights stay near the feasible {Ce, B} manifold *between*
+projections instead of drifting freely for a whole epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.layer_transform import rebuild_conv_weight
+from repro.core.model_transform import SmartExchangeModel
+
+
+def projection_targets(se_model: SmartExchangeModel) -> Dict[str, np.ndarray]:
+    """Rebuilt weights per compressed layer name (the proximal anchors)."""
+    targets: Dict[str, np.ndarray] = {}
+    for layer in se_model.report.layers:
+        if layer.kind == "fc":
+            targets[layer.name] = layer.rebuild_weight()
+        else:
+            targets[layer.name] = rebuild_conv_weight(layer)
+    return targets
+
+
+def smartexchange_distance(se_model: SmartExchangeModel) -> float:
+    """Frobenius distance of the live weights from the SE manifold.
+
+    Zero right after a projection; grows during unconstrained training.
+    """
+    modules = dict(se_model.model.named_modules())
+    total = 0.0
+    for name, target in projection_targets(se_model).items():
+        module = modules[name]
+        total += float(np.linalg.norm(module.weight.data - target) ** 2)
+    return float(np.sqrt(total))
+
+
+def apply_proximal_gradient(
+    se_model: SmartExchangeModel,
+    targets: Dict[str, np.ndarray],
+    strength: float,
+) -> None:
+    """Add ``strength * (W - target)`` to each compressed layer's gradient.
+
+    Call after ``loss.backward()`` and before ``optimizer.step()``.
+    """
+    if strength < 0:
+        raise ValueError("strength must be >= 0")
+    if strength == 0:
+        return
+    modules = dict(se_model.model.named_modules())
+    for name, target in targets.items():
+        module = modules[name]
+        penalty_grad = strength * (module.weight.data - target)
+        if module.weight.grad is None:
+            module.weight.grad = penalty_grad
+        else:
+            module.weight.grad = module.weight.grad + penalty_grad
+
+
+def proximal_train_epoch(
+    se_model: SmartExchangeModel,
+    images: np.ndarray,
+    labels: np.ndarray,
+    optimizer,
+    strength: float,
+    batch_size: int = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """One epoch of task loss + proximal SmartExchange penalty.
+
+    Returns the mean task loss.  The proximal anchors are the rebuilt
+    weights of the most recent projection.
+    """
+    from repro.nn.train import iterate_minibatches
+
+    targets = projection_targets(se_model)
+    se_model.model.train()
+    losses = []
+    for batch_x, batch_y in iterate_minibatches(images, labels, batch_size, rng):
+        optimizer.zero_grad()
+        logits = se_model.model(nn.Tensor(batch_x))
+        loss = nn.cross_entropy(logits, batch_y)
+        loss.backward()
+        apply_proximal_gradient(se_model, targets, strength)
+        optimizer.step()
+        losses.append(loss.item())
+    return float(np.mean(losses))

@@ -1,0 +1,156 @@
+"""Section III-C reshaping rules: mapping layer weights to decomposable
+matrices and back.
+
+- **Conv, R = S > 1**: each of the M filters ``(C, R, S)`` is reshaped to
+  a ``(C*R, S)`` matrix (stacking channels as consecutive R-row blocks).
+- **Conv, R = S = 1**: the weight collapses to ``(M, C)`` and is treated
+  as an FC layer.
+- **FC**: each row (length C) is reshaped to ``(ceil(C/S), S)`` with zero
+  padding when S does not divide C.
+- Matrices much taller than wide may additionally be sliced along the
+  first dimension into chunks (the paper's imbalance mitigation).
+
+Every rule here has an exact inverse so the round-trip is lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReshapePlan:
+    """How one layer weight becomes a list of (rows x S) matrices."""
+
+    kind: str  # "conv" | "fc"
+    original_shape: Tuple[int, ...]
+    basis_size: int  # S
+    padded_cols: int  # columns after padding (FC only; = C rounded up)
+    matrices_per_unit: int  # slices per filter/row after slicing
+    unit_rows: int  # rows of the unsliced per-unit matrix
+    slice_rows: int  # rows per slice
+
+    @property
+    def unit_count(self) -> int:
+        """Number of filters (conv) or rows (fc) in the original weight."""
+        return self.original_shape[0]
+
+    @property
+    def total_matrices(self) -> int:
+        return self.unit_count * self.matrices_per_unit
+
+
+def _slice_count(rows: int, max_rows: int | None) -> Tuple[int, int]:
+    """(number of slices, rows per slice) for a matrix of ``rows`` rows."""
+    if max_rows is None or rows <= max_rows:
+        return 1, rows
+    slices = int(np.ceil(rows / max_rows))
+    per_slice = int(np.ceil(rows / slices))
+    return slices, per_slice
+
+
+def plan_conv(
+    weight_shape: Tuple[int, int, int, int],
+    max_rows_per_slice: int | None = None,
+) -> ReshapePlan:
+    """Reshape plan for a conv weight (M, C, R, S) with R = S > 1."""
+    m, c, r, s = weight_shape
+    if r != s:
+        raise ValueError(f"SmartExchange assumes square kernels, got {r}x{s}")
+    if s == 1:
+        raise ValueError("1x1 conv should use plan_fc on the (M, C) view")
+    rows = c * r
+    slices, per_slice = _slice_count(rows, max_rows_per_slice)
+    return ReshapePlan(
+        kind="conv",
+        original_shape=tuple(weight_shape),
+        basis_size=s,
+        padded_cols=s,
+        matrices_per_unit=slices,
+        unit_rows=rows,
+        slice_rows=per_slice,
+    )
+
+
+def plan_fc(
+    weight_shape: Tuple[int, int],
+    basis_size: int,
+    max_rows_per_slice: int | None = None,
+) -> ReshapePlan:
+    """Reshape plan for an FC weight (M, C): each row -> (ceil(C/S), S)."""
+    m, c = weight_shape
+    s = basis_size
+    if s < 1:
+        raise ValueError("basis_size must be >= 1")
+    padded = int(np.ceil(c / s)) * s
+    rows = padded // s
+    slices, per_slice = _slice_count(rows, max_rows_per_slice)
+    return ReshapePlan(
+        kind="fc",
+        original_shape=tuple(weight_shape),
+        basis_size=s,
+        padded_cols=padded,
+        matrices_per_unit=slices,
+        unit_rows=rows,
+        slice_rows=per_slice,
+    )
+
+
+def to_matrices(weight: np.ndarray, plan: ReshapePlan) -> List[np.ndarray]:
+    """Apply the plan: a list of ``total_matrices`` (rows x S) matrices."""
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.shape != plan.original_shape:
+        raise ValueError(
+            f"weight shape {weight.shape} does not match plan "
+            f"{plan.original_shape}"
+        )
+    s = plan.basis_size
+    units: List[np.ndarray] = []
+    if plan.kind == "conv":
+        m, c, r, _ = plan.original_shape
+        for filter_index in range(m):
+            units.append(weight[filter_index].reshape(c * r, s))
+    else:
+        m, c = plan.original_shape
+        for row_index in range(m):
+            row = weight[row_index]
+            if plan.padded_cols != c:
+                row = np.concatenate([row, np.zeros(plan.padded_cols - c)])
+            units.append(row.reshape(plan.unit_rows, s))
+
+    if plan.matrices_per_unit == 1:
+        return units
+    matrices: List[np.ndarray] = []
+    for unit in units:
+        for start in range(0, plan.unit_rows, plan.slice_rows):
+            matrices.append(unit[start : start + plan.slice_rows])
+    return matrices
+
+
+def from_matrices(matrices: List[np.ndarray], plan: ReshapePlan) -> np.ndarray:
+    """Inverse of :func:`to_matrices` (drops FC zero padding)."""
+    if len(matrices) != plan.total_matrices:
+        raise ValueError(
+            f"expected {plan.total_matrices} matrices, got {len(matrices)}"
+        )
+    units: List[np.ndarray] = []
+    if plan.matrices_per_unit == 1:
+        units = list(matrices)
+    else:
+        for start in range(0, len(matrices), plan.matrices_per_unit):
+            units.append(np.vstack(matrices[start : start + plan.matrices_per_unit]))
+
+    if plan.kind == "conv":
+        m, c, r, s = plan.original_shape
+        out = np.empty(plan.original_shape)
+        for filter_index, unit in enumerate(units):
+            out[filter_index] = unit.reshape(c, r, s)
+        return out
+    m, c = plan.original_shape
+    out = np.empty((m, c))
+    for row_index, unit in enumerate(units):
+        out[row_index] = unit.reshape(-1)[:c]
+    return out

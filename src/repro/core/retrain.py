@@ -1,0 +1,101 @@
+"""Re-training interleaved with SmartExchange projection.
+
+The paper alternates 1) one epoch of ordinary training and 2) re-applying
+the SmartExchange algorithm, because unregularized training would destroy
+the {Ce, B} structure.  This module implements that loop on top of
+:class:`repro.core.model_transform.SmartExchangeModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model_transform import ModelCompressionReport, SmartExchangeModel
+from repro.nn.optim import SGD
+from repro.nn.train import evaluate, train_epoch
+
+
+@dataclass
+class RetrainResult:
+    """Trajectory of the alternating re-training loop."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_accuracies: List[float] = field(default_factory=list)
+    projected_accuracies: List[float] = field(default_factory=list)
+    reports: List[ModelCompressionReport] = field(default_factory=list)
+
+    @property
+    def best_projected_accuracy(self) -> float:
+        if not self.projected_accuracies:
+            return 0.0
+        return max(self.projected_accuracies)
+
+    @property
+    def final_report(self) -> ModelCompressionReport:
+        if not self.reports:
+            raise RuntimeError("retraining produced no reports")
+        return self.reports[-1]
+
+
+def retrain(
+    se_model: SmartExchangeModel,
+    train_images: np.ndarray,
+    train_labels: np.ndarray,
+    eval_images: Optional[np.ndarray] = None,
+    eval_labels: Optional[np.ndarray] = None,
+    epochs: int = 5,
+    lr: float = 0.02,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    batch_size: int = 32,
+    seed: int = 0,
+    proximal_strength: float = 0.0,
+) -> RetrainResult:
+    """Alternate (train one epoch) <-> (project back to SmartExchange form).
+
+    After every projection the model's weights are exactly in the {Ce, B}
+    form, so the recorded ``projected_accuracies`` are the accuracies of
+    the *deployable* compressed model, not of a dense intermediate.
+
+    ``proximal_strength > 0`` additionally pulls the weights toward the
+    last projection during each epoch (the paper's future-work
+    regularization; see :mod:`repro.core.regularize`).
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    rng = np.random.default_rng(seed)
+    optimizer = SGD(
+        se_model.model.parameters(),
+        lr=lr,
+        momentum=momentum,
+        weight_decay=weight_decay,
+    )
+    result = RetrainResult()
+    # Initial projection so training starts from the compressed form.
+    result.reports.append(se_model.compress())
+    for _ in range(epochs):
+        if proximal_strength > 0:
+            from repro.core.regularize import proximal_train_epoch
+
+            loss = proximal_train_epoch(
+                se_model, train_images, train_labels, optimizer,
+                proximal_strength, batch_size, rng,
+            )
+            train_acc = evaluate(se_model.model, train_images, train_labels)
+        else:
+            loss, train_acc = train_epoch(
+                se_model.model, train_images, train_labels, optimizer,
+                batch_size, rng,
+            )
+        result.epoch_losses.append(loss)
+        result.epoch_accuracies.append(train_acc)
+        result.reports.append(se_model.project())
+        if eval_images is not None:
+            acc = evaluate(se_model.model, eval_images, eval_labels)
+        else:
+            acc = evaluate(se_model.model, train_images, train_labels)
+        result.projected_accuracies.append(acc)
+    return result

@@ -1,0 +1,114 @@
+"""Step 3 of Algorithm 1: channel-wise and vector-wise sparsification.
+
+Granularity in the reshaped coefficient matrix (Section III-C):
+
+- a *vector* is one **row** of ``Ce`` — it rebuilds one S-wide row of the
+  original weight, so zeroing it creates the vector-wise sparsity the
+  accelerator skips activations with;
+- a *channel* is a contiguous block of R rows (one input channel of one
+  filter); channel pruning is driven by BN scale factors and applied once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def sparsify_elements(coefficient: np.ndarray, theta: float) -> np.ndarray:
+    """Zero out elements with magnitude below ``theta``."""
+    out = coefficient.copy()
+    out[np.abs(out) < theta] = 0.0
+    return out
+
+
+def sparsify_rows(coefficient: np.ndarray, row_theta: float) -> np.ndarray:
+    """Zero out rows whose max-magnitude falls below ``row_theta``."""
+    out = coefficient.copy()
+    row_mags = np.max(np.abs(out), axis=1) if out.size else np.zeros(0)
+    out[row_mags < row_theta] = 0.0
+    return out
+
+
+def enforce_row_budget(
+    coefficient: np.ndarray, max_nonzero_rows: Optional[int]
+) -> np.ndarray:
+    """Keep only the ``Sc`` highest-energy rows (the paper's Sc budget)."""
+    if max_nonzero_rows is None:
+        return coefficient
+    if max_nonzero_rows < 0:
+        raise ValueError("max_nonzero_rows must be >= 0")
+    out = coefficient.copy()
+    energies = np.linalg.norm(out, axis=1)
+    alive = np.flatnonzero(energies > 0)
+    if alive.size <= max_nonzero_rows:
+        return out
+    keep = alive[np.argsort(energies[alive])[::-1][:max_nonzero_rows]]
+    mask = np.zeros(out.shape[0], dtype=bool)
+    mask[keep] = True
+    out[~mask] = 0.0
+    return out
+
+
+def sparsify_rows_to_fraction(
+    coefficient: np.ndarray, target_fraction: float
+) -> np.ndarray:
+    """Zero the lowest-L2-norm rows until ``target_fraction`` are zero.
+
+    Rows that are already zero count toward the target; if the matrix is
+    already sparser than the target it is returned unchanged.
+    """
+    if not 0.0 <= target_fraction < 1.0:
+        raise ValueError("target_fraction must be in [0, 1)")
+    out = coefficient.copy()
+    rows = out.shape[0]
+    if rows == 0:
+        return out
+    want_zero = int(np.floor(target_fraction * rows))
+    norms = np.linalg.norm(out, axis=1)
+    already_zero = int((norms == 0).sum())
+    extra = want_zero - already_zero
+    if extra <= 0:
+        return out
+    alive = np.flatnonzero(norms > 0)
+    victims = alive[np.argsort(norms[alive])[:extra]]
+    out[victims] = 0.0
+    return out
+
+
+def channel_mask_from_bn(
+    scale_factors: np.ndarray, channel_theta: float
+) -> np.ndarray:
+    """Boolean keep-mask over channels from BN |gamma| thresholding.
+
+    At least one channel is always kept so the layer stays functional.
+    """
+    scale_factors = np.asarray(scale_factors, dtype=np.float64)
+    keep = np.abs(scale_factors) >= channel_theta
+    if not keep.any():
+        keep[int(np.argmax(np.abs(scale_factors)))] = True
+    return keep
+
+
+def apply_channel_mask_rows(
+    coefficient: np.ndarray, keep_channels: np.ndarray, rows_per_channel: int
+) -> np.ndarray:
+    """Zero the row-blocks of pruned channels in a reshaped ``Ce``.
+
+    The reshaped conv matrix stacks channels as consecutive blocks of
+    ``rows_per_channel`` (= R) rows; a pruned channel zeroes its block.
+    """
+    out = coefficient.copy()
+    expected_rows = len(keep_channels) * rows_per_channel
+    if out.shape[0] < expected_rows:
+        raise ValueError(
+            f"coefficient has {out.shape[0]} rows; channel mask needs "
+            f">= {expected_rows}"
+        )
+    for channel, keep in enumerate(keep_channels):
+        if keep:
+            continue
+        start = channel * rows_per_channel
+        out[start : start + rows_per_channel] = 0.0
+    return out

@@ -1,0 +1,100 @@
+"""Bit-exact storage accounting and compression rates.
+
+The paper's compression rate (CR) is the ratio between the bits needed
+for the original FP32 weights and the bits for the SmartExchange form:
+coefficient matrices (4-bit codes), basis matrices (8-bit), and the
+encoding overhead (the 1-bit-per-row vector index plus a small per-matrix
+exponent-window descriptor).
+
+Coefficient storage model: rows that survive vector sparsification are
+stored **dense** at ``ce_bits`` per element — one of the ``2**ce_bits``
+codes is reserved for an in-row zero, the remainder encode
+sign x exponent.  Fully-zero rows cost only their 1 index bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.config import SmartExchangeConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.decompose import Decomposition
+
+FP32_BITS = 32
+OMEGA_DESCRIPTOR_BITS = 8  # signed exponent-window anchor, per matrix
+
+BITS_PER_MB = 8 * 1024 * 1024
+
+
+@dataclass
+class StorageBreakdown:
+    """Bits needed to store one or more decompositions."""
+
+    coefficient_bits: int = 0
+    basis_bits: int = 0
+    index_bits: int = 0
+    meta_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.coefficient_bits + self.basis_bits + self.index_bits + self.meta_bits
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bits / BITS_PER_MB
+
+    @property
+    def coefficient_mb(self) -> float:
+        return (self.coefficient_bits + self.index_bits) / BITS_PER_MB
+
+    @property
+    def basis_mb(self) -> float:
+        return self.basis_bits / BITS_PER_MB
+
+    def __add__(self, other: "StorageBreakdown") -> "StorageBreakdown":
+        return StorageBreakdown(
+            self.coefficient_bits + other.coefficient_bits,
+            self.basis_bits + other.basis_bits,
+            self.index_bits + other.index_bits,
+            self.meta_bits + other.meta_bits,
+        )
+
+
+def decomposition_bits(
+    decomposition: "Decomposition", config: SmartExchangeConfig
+) -> StorageBreakdown:
+    """Storage for one {Ce, B} pair under the paper's bit widths."""
+    coefficient = decomposition.coefficient
+    rows, cols = coefficient.shape
+    alive_rows = int(np.any(coefficient != 0, axis=1).sum())
+    return StorageBreakdown(
+        coefficient_bits=alive_rows * cols * config.ce_bits,
+        basis_bits=decomposition.basis.size * config.b_bits,
+        index_bits=rows,  # 1-bit direct index at vector granularity
+        meta_bits=OMEGA_DESCRIPTOR_BITS,
+    )
+
+
+def total_bits(
+    decompositions: Iterable["Decomposition"], config: SmartExchangeConfig
+) -> StorageBreakdown:
+    """Sum of :func:`decomposition_bits` over many matrices."""
+    out = StorageBreakdown()
+    for decomposition in decompositions:
+        out = out + decomposition_bits(decomposition, config)
+    return out
+
+
+def original_bits(element_count: int, bits: int = FP32_BITS) -> int:
+    return element_count * bits
+
+
+def compression_rate(original_element_count: int, storage: StorageBreakdown) -> float:
+    """CR = original FP32 bits / SmartExchange bits (higher is better)."""
+    if storage.total_bits == 0:
+        raise ValueError("compressed storage is empty")
+    return original_bits(original_element_count) / storage.total_bits

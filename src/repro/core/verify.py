@@ -1,0 +1,99 @@
+"""Invariant verification for compressed models.
+
+``verify_compression`` audits a live model against its
+:class:`~repro.core.model_transform.ModelCompressionReport`: every claim
+the SmartExchange form makes (power-of-2 coefficients, weights equal to
+the rebuild, sparsity bookkeeping, storage arithmetic) is re-checked
+from scratch.  Returns a list of human-readable violations — empty means
+the model is exactly in SmartExchange form.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro import nn
+from repro.core.layer_transform import LayerCompression, rebuild_conv_weight
+from repro.core.model_transform import ModelCompressionReport
+
+
+def _check_pow2(layer: LayerCompression, violations: List[str]) -> None:
+    for index, decomposition in enumerate(layer.decompositions):
+        coefficient = decomposition.coefficient
+        nonzero = coefficient[coefficient != 0]
+        if nonzero.size == 0:
+            continue
+        logs = np.log2(np.abs(nonzero))
+        if not np.allclose(logs, np.round(logs)):
+            violations.append(
+                f"{layer.name}[{index}]: coefficient entries are not "
+                f"powers of two"
+            )
+        window = decomposition.omega
+        exponents = np.round(logs).astype(int)
+        if exponents.min() < window.p_min or exponents.max() > window.p_max:
+            violations.append(
+                f"{layer.name}[{index}]: exponents escape the ΩP window "
+                f"[{window.p_min}, {window.p_max}]"
+            )
+
+
+def _check_rebuild(layer: LayerCompression, weight: np.ndarray,
+                   violations: List[str], atol: float) -> None:
+    rebuilt = (
+        rebuild_conv_weight(layer) if weight.ndim == 4 else layer.rebuild_weight()
+    )
+    if rebuilt.shape != weight.shape:
+        violations.append(
+            f"{layer.name}: rebuild shape {rebuilt.shape} != weight "
+            f"shape {weight.shape}"
+        )
+        return
+    error = np.abs(rebuilt - weight).max()
+    if error > atol:
+        violations.append(
+            f"{layer.name}: live weight deviates from Ce@B by {error:.2e} "
+            f"(> {atol:.0e}) — the model drifted since the last projection"
+        )
+
+
+def _check_storage(layer: LayerCompression, violations: List[str]) -> None:
+    # Recompute from the decompositions with the same bit widths the
+    # report used; any mismatch means the bookkeeping is stale.
+    recomputed = 0
+    for decomposition in layer.decompositions:
+        rows, cols = decomposition.coefficient.shape
+        alive = int(np.any(decomposition.coefficient != 0, axis=1).sum())
+        recomputed += alive * cols * 4 + rows + decomposition.basis.size * 8 + 8
+    if recomputed != layer.storage.total_bits:
+        violations.append(
+            f"{layer.name}: storage accounting stale "
+            f"({layer.storage.total_bits} recorded vs {recomputed} recomputed)"
+        )
+
+
+def verify_compression(
+    model: nn.Module,
+    report: ModelCompressionReport,
+    atol: float = 1e-9,
+) -> List[str]:
+    """Audit every compressed layer; return violations (empty = clean).
+
+    Checks, per layer: (1) all coefficient entries are signed powers of
+    two inside the recorded ΩP window; (2) the live module weight equals
+    the {Ce, B} rebuild within ``atol``; (3) the recorded storage bits
+    match a from-scratch recount (assuming the default 4/8-bit widths).
+    """
+    violations: List[str] = []
+    modules = dict(model.named_modules())
+    for layer in report.layers:
+        module = modules.get(layer.name)
+        if module is None:
+            violations.append(f"{layer.name}: module missing from model")
+            continue
+        _check_pow2(layer, violations)
+        _check_rebuild(layer, module.weight.data, violations, atol)
+        _check_storage(layer, violations)
+    return violations

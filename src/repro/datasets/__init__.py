@@ -1,0 +1,30 @@
+"""Synthetic dataset stand-ins.
+
+The paper evaluates on CIFAR-10, ImageNet, MNIST and CamVid.  None of
+those are available offline, so each is replaced by a deterministic
+synthetic generator that preserves what the experiments actually consume:
+tensor shapes, number of classes, and learnability (so that accuracy
+deltas before/after compression are meaningful).  See DESIGN.md §2.
+"""
+
+from repro.datasets.camvid import synthetic_camvid
+from repro.datasets.cifar10 import synthetic_cifar10
+from repro.datasets.imagenet import synthetic_imagenet
+from repro.datasets.mnist import synthetic_mnist
+from repro.datasets.synthetic import (
+    ClassificationDataset,
+    SegmentationDataset,
+    make_classification,
+    make_segmentation,
+)
+
+__all__ = [
+    "ClassificationDataset",
+    "SegmentationDataset",
+    "make_classification",
+    "make_segmentation",
+    "synthetic_cifar10",
+    "synthetic_imagenet",
+    "synthetic_mnist",
+    "synthetic_camvid",
+]

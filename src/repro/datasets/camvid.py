@@ -1,0 +1,36 @@
+"""CamVid stand-in: 11-class street-scene segmentation.
+
+Real CamVid is 360x480 video frames with 11 semantic classes.  The
+synthetic version keeps the class count and an aspect-ratio-preserving
+(but configurable) resolution; geometric "objects" play the role of cars,
+poles, pedestrians etc.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import SegmentationDataset, make_segmentation
+
+CAMVID_CLASSES = 11
+# Resolution used by the full-size DeepLabV3+ layer inventory — 352x480 is
+# the standard CamVid crop rounded so that output-stride 16 divides evenly.
+CAMVID_FULL_HW = (352, 480)
+
+
+def synthetic_camvid(
+    height: int = 48,
+    width: int = 64,
+    num_classes: int = CAMVID_CLASSES,
+    train_count: int = 16,
+    test_count: int = 6,
+    seed: int = 0,
+) -> SegmentationDataset:
+    """Synthetic CamVid-like segmentation task (downscaled by default)."""
+    return make_segmentation(
+        name="camvid-synthetic",
+        num_classes=num_classes,
+        height=height,
+        width=width,
+        train_count=train_count,
+        test_count=test_count,
+        seed=seed,
+    )

@@ -1,0 +1,24 @@
+"""CIFAR-10 stand-in: 10 classes of 3x32x32 images."""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import ClassificationDataset, make_classification
+
+
+def synthetic_cifar10(
+    train_per_class: int = 20,
+    test_per_class: int = 8,
+    image_size: int = 32,
+    num_classes: int = 10,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """Synthetic CIFAR-10: same shape/classes, deterministic given seed."""
+    return make_classification(
+        name="cifar10-synthetic",
+        num_classes=num_classes,
+        image_size=image_size,
+        channels=3,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        seed=seed,
+    )

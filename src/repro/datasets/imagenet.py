@@ -1,0 +1,31 @@
+"""ImageNet stand-in.
+
+Full ImageNet (1000 classes x 224x224) is not tractable for a NumPy
+substrate, so the default scale is a "tiny ImageNet-like" task: 64x64
+images with a configurable class count.  The hardware experiments use the
+*full-size* 224x224 layer inventories from
+:mod:`repro.hardware.modelspecs` regardless of this training scale.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import ClassificationDataset, make_classification
+
+
+def synthetic_imagenet(
+    num_classes: int = 10,
+    image_size: int = 64,
+    train_per_class: int = 16,
+    test_per_class: int = 6,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """Synthetic ImageNet-like task (downscaled, documented in DESIGN.md)."""
+    return make_classification(
+        name="imagenet-synthetic",
+        num_classes=num_classes,
+        image_size=image_size,
+        channels=3,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        seed=seed,
+    )

@@ -1,0 +1,23 @@
+"""MNIST stand-in: 10 classes of 1x28x28 images (for the MLP experiments)."""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import ClassificationDataset, make_classification
+
+
+def synthetic_mnist(
+    train_per_class: int = 30,
+    test_per_class: int = 10,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """Synthetic MNIST: grayscale 28x28, 10 classes."""
+    return make_classification(
+        name="mnist-synthetic",
+        num_classes=10,
+        image_size=28,
+        channels=1,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        noise=0.3,
+        seed=seed,
+    )

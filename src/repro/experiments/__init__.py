@@ -1,0 +1,67 @@
+"""One harness per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> ExperimentResult``; the benches in
+``benchmarks/`` time these harnesses and print the regenerated tables.
+"""
+
+from repro.experiments import (
+    ablation_algorithm,
+    ablation_array_shape,
+    ablation_components,
+    batch_sensitivity,
+    fig4_bit_sparsity,
+    fig8_accuracy_size,
+    fig9_evolution,
+    fig10_energy_efficiency,
+    fig11_dram_accesses,
+    fig12_speedup,
+    fig13_breakdown,
+    fig14_sparsity_sweep,
+    fig15_compact_ablation,
+    index_overhead,
+    posthoc_vgg19,
+    table1_energy,
+    table2_retraining,
+    table3_compact,
+    table5_resources,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    TrainedModel,
+    ci_dataset,
+    ci_model,
+    fresh_ci_model,
+    geometric_mean,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1_energy,
+    "fig4": fig4_bit_sparsity,
+    "fig8": fig8_accuracy_size,
+    "fig9": fig9_evolution,
+    "table2": table2_retraining,
+    "table3": table3_compact,
+    "table5": table5_resources,
+    "fig10": fig10_energy_efficiency,
+    "fig11": fig11_dram_accesses,
+    "fig12": fig12_speedup,
+    "fig13": fig13_breakdown,
+    "fig14": fig14_sparsity_sweep,
+    "fig15": fig15_compact_ablation,
+    "ablation": ablation_components,
+    "ablation-alg": ablation_algorithm,
+    "ablation-array": ablation_array_shape,
+    "batch": batch_sensitivity,
+    "index": index_overhead,
+    "posthoc": posthoc_vgg19,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "TrainedModel",
+    "ci_dataset",
+    "ci_model",
+    "fresh_ci_model",
+    "geometric_mean",
+    "ALL_EXPERIMENTS",
+]

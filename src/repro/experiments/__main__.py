@@ -1,0 +1,42 @@
+"""CLI: regenerate any table/figure from the command line.
+
+Usage::
+
+    python -m repro.experiments              # list experiments
+    python -m repro.experiments fig10        # run one
+    python -m repro.experiments fig10 fig12  # run several
+    python -m repro.experiments all          # run everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list) -> int:
+    names = argv[1:]
+    if not names:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            module = ALL_EXPERIMENTS[name]
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:10s} {summary}")
+        print("\nusage: python -m repro.experiments <name> [<name> ...] | all")
+        return 0
+    if names == ["all"]:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = ALL_EXPERIMENTS[name].run()
+        print(result.as_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

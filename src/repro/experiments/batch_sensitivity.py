@@ -1,0 +1,41 @@
+"""Batch-size sensitivity (paper §I motivation).
+
+The paper motivates SmartExchange with the observation that data
+movement dominates "especially when the inference batch size is small or
+just one": at batch 1 every weight fetched from DRAM is used once, while
+larger batches amortize weight traffic across images.  This experiment
+sweeps the batch size on ResNet-50 and reports how the SmartExchange
+advantage over DianNao changes — it must be largest at batch 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.hardware import DianNao, SmartExchangeAccelerator, build_workloads
+
+BATCH_SIZES = (1, 2, 4, 8, 16)
+
+
+def run(model_name: str = "resnet50") -> ExperimentResult:
+    table = ExperimentResult(
+        f"Batch-size sensitivity — {model_name} (SE gain vs DianNao)"
+    )
+    smartexchange = SmartExchangeAccelerator()
+    diannao = DianNao()
+    for batch in BATCH_SIZES:
+        workloads = build_workloads(model_name, batch=batch)
+        se = smartexchange.simulate_model(workloads, model_name)
+        dn = diannao.simulate_model(workloads, model_name)
+        table.rows.append({
+            "batch": batch,
+            "energy_gain_x": dn.total_energy_pj / se.total_energy_pj,
+            "speedup_x": dn.total_cycles / se.total_cycles,
+            "dn_dram_mb_per_img": dn.total_dram_bytes / batch / 2**20,
+            "se_dram_mb_per_img": se.total_dram_bytes / batch / 2**20,
+        })
+    table.notes = (
+        "Per-image DRAM traffic falls with batch for both designs "
+        "(weight amortization), so the SmartExchange weight-compression "
+        "advantage is largest at batch 1 — the paper's §I motivation."
+    )
+    return table

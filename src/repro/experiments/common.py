@@ -1,0 +1,251 @@
+"""Shared experiment scaffolding.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``.  The
+CI-scale model zoo here trains small-width instances of the paper's
+architectures on the synthetic datasets and caches them in-process so
+that the figure/table harnesses (and their benches) can share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.datasets import (
+    ClassificationDataset,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+from repro.nn import models
+from repro.nn.models.resnet import ResNet
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure plus free-form notes."""
+
+    experiment: str
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def column_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def as_table(self) -> str:
+        """Plain-text table (what the benches print)."""
+        names = self.column_names()
+        if not names:
+            return f"== {self.experiment} == (no rows)"
+
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        widths = {n: len(n) for n in names}
+        rendered = []
+        for row in self.rows:
+            cells = {n: fmt(row.get(n, "")) for n in names}
+            for n in names:
+                widths[n] = max(widths[n], len(cells[n]))
+            rendered.append(cells)
+        header = "  ".join(n.ljust(widths[n]) for n in names)
+        lines = [f"== {self.experiment} ==", header,
+                 "  ".join("-" * widths[n] for n in names)]
+        for cells in rendered:
+            lines.append("  ".join(cells[n].ljust(widths[n]) for n in names))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List:
+        return [row.get(name) for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# CI-scale model zoo
+# ----------------------------------------------------------------------
+@dataclass
+class TrainedModel:
+    """A trained CI-scale stand-in for one of the paper's models."""
+
+    name: str
+    model: nn.Module
+    dataset: ClassificationDataset
+    accuracy: float
+    input_shape: Tuple[int, ...]
+
+
+def _resnet50_ci(num_classes: int) -> ResNet:
+    """Depth-reduced ResNet-50 stand-in: same bottleneck topology, one
+    block per stage, narrow width (documented CI substitution)."""
+    return ResNet([1, 1, 1, 1], [64, 128, 256, 512], num_classes=num_classes,
+                  width_mult=0.125, imagenet_stem=True,
+                  rng=np.random.default_rng(0))
+
+
+def _resnet164_ci(num_classes: int) -> ResNet:
+    """Depth-reduced ResNet-164 stand-in (the depth-29 family member)."""
+    return models.resnet.resnet_cifar(29, num_classes=num_classes, width_mult=0.5)
+
+
+_MODEL_BUILDERS: Dict[str, Callable[[int], nn.Module]] = {
+    "vgg11": lambda nc: models.vgg11(num_classes=nc, width_mult=0.25),
+    "vgg19": lambda nc: models.vgg19(num_classes=nc, width_mult=0.25),
+    "resnet50": _resnet50_ci,
+    "resnet164": _resnet164_ci,
+    "mobilenetv2": lambda nc: models.mobilenet_v2(num_classes=nc, width_mult=0.35),
+    "efficientnet_b0": lambda nc: models.efficientnet_b0(num_classes=nc,
+                                                         width_mult=0.35),
+    "mlp1": lambda nc: models.mlp_1(width_mult=0.1, num_classes=nc),
+    "mlp2": lambda nc: models.mlp_2(width_mult=0.5, num_classes=nc),
+}
+
+_DATASET_FOR_MODEL: Dict[str, str] = {
+    "vgg11": "imagenet",
+    "resnet50": "imagenet",
+    "mobilenetv2": "imagenet",
+    "efficientnet_b0": "imagenet",
+    "vgg19": "cifar10",
+    "resnet164": "cifar10",
+    "mlp1": "mnist",
+    "mlp2": "mnist",
+}
+
+_EPOCHS: Dict[str, int] = {
+    "vgg11": 5, "vgg19": 5, "resnet50": 5, "resnet164": 5,
+    "mobilenetv2": 6, "efficientnet_b0": 6, "mlp1": 5, "mlp2": 5,
+}
+
+# Deep narrow nets need a gentle rate on the small synthetic tasks.
+_CI_LEARNING_RATE = 0.02
+_CI_BATCH_SIZE = 12
+
+_dataset_cache: Dict[str, ClassificationDataset] = {}
+_model_cache: Dict[str, TrainedModel] = {}
+
+
+def ci_dataset(name: str, seed: int = 0) -> ClassificationDataset:
+    """The CI-scale synthetic stand-in for one of the paper's datasets."""
+    key = f"{name}:{seed}"
+    if key in _dataset_cache:
+        return _dataset_cache[key]
+    if name == "cifar10":
+        dataset = synthetic_cifar10(train_per_class=14, test_per_class=6,
+                                    num_classes=6, seed=seed)
+    elif name == "imagenet":
+        dataset = synthetic_imagenet(num_classes=6, image_size=32,
+                                     train_per_class=14, test_per_class=6, seed=seed)
+    elif name == "mnist":
+        dataset = synthetic_mnist(train_per_class=16, test_per_class=8, seed=seed)
+    else:
+        raise KeyError(f"unknown CI dataset {name!r}")
+    _dataset_cache[key] = dataset
+    return dataset
+
+
+def ci_model(name: str, epochs: Optional[int] = None, seed: int = 0) -> TrainedModel:
+    """A trained CI-scale model (cached per process)."""
+    if name not in _MODEL_BUILDERS:
+        raise KeyError(f"unknown CI model {name!r}; known: {sorted(_MODEL_BUILDERS)}")
+    epochs = epochs if epochs is not None else _EPOCHS[name]
+    key = f"{name}:{epochs}:{seed}"
+    if key in _model_cache:
+        return _model_cache[key]
+    dataset = ci_dataset(_DATASET_FOR_MODEL[name], seed=seed)
+    model = _MODEL_BUILDERS[name](dataset.num_classes)
+    history = nn.fit(
+        model,
+        dataset.train_images,
+        dataset.train_labels,
+        dataset.test_images,
+        dataset.test_labels,
+        epochs=epochs,
+        lr=_CI_LEARNING_RATE,
+        momentum=0.9,
+        batch_size=_CI_BATCH_SIZE,
+        seed=seed,
+    )
+    trained = TrainedModel(
+        name=name,
+        model=model,
+        dataset=dataset,
+        accuracy=history.final_accuracy,
+        input_shape=(1, *dataset.image_shape),
+    )
+    _model_cache[key] = trained
+    return trained
+
+
+def fresh_ci_model(name: str, epochs: Optional[int] = None, seed: int = 0) -> TrainedModel:
+    """A newly trained copy (for experiments that mutate weights)."""
+    trained = ci_model(name, epochs=epochs, seed=seed)
+    builder = _MODEL_BUILDERS[name]
+    clone = builder(trained.dataset.num_classes)
+    clone.load_state_dict(trained.model.state_dict())
+    return TrainedModel(
+        name=trained.name,
+        model=clone,
+        dataset=trained.dataset,
+        accuracy=trained.accuracy,
+        input_shape=trained.input_shape,
+    )
+
+
+@dataclass
+class TrainedSegmenter:
+    """A trained CI-scale DeepLabV3+ on the synthetic CamVid stand-in."""
+
+    model: nn.Module
+    dataset: object
+    miou: float
+
+
+_segmenter_cache: Dict[str, TrainedSegmenter] = {}
+
+
+def ci_segmentation_model(epochs: int = 3, seed: int = 0) -> TrainedSegmenter:
+    """A trained CI-scale DeepLabV3+ (cached per process)."""
+    from repro.datasets import synthetic_camvid
+    from repro.nn.optim import SGD
+
+    key = f"{epochs}:{seed}"
+    if key in _segmenter_cache:
+        return _segmenter_cache[key]
+    dataset = synthetic_camvid(height=32, width=32, num_classes=5,
+                               train_count=10, test_count=4, seed=seed)
+    model = models.deeplabv3plus(num_classes=dataset.num_classes,
+                                 width_mult=0.125, seed=seed)
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    rng = np.random.default_rng(seed)
+    for _ in range(epochs):
+        order = rng.permutation(len(dataset.train_images))
+        for start in range(0, len(order), 4):
+            index = order[start : start + 4]
+            optimizer.zero_grad()
+            logits = model(nn.Tensor(dataset.train_images[index]))
+            loss = nn.segmentation_cross_entropy(logits, dataset.train_masks[index])
+            loss.backward()
+            optimizer.step()
+    model.eval()
+    predictions = model(nn.Tensor(dataset.test_images)).numpy().argmax(axis=1)
+    miou = nn.mean_iou(predictions, dataset.test_masks, dataset.num_classes)
+    segmenter = TrainedSegmenter(model=model, dataset=dataset, miou=miou)
+    _segmenter_cache[key] = segmenter
+    return segmenter
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,45 @@
+"""Figure 10: normalized energy efficiency (over DianNao).
+
+Paper values for the SmartExchange bar: VGG11 6.7, ResNet50 3.4,
+MBV2 2.3, EffB0 2.0, VGG19 5.0, ResNet164 3.3, DeepLabV3+ 5.2
+(geometric mean 3.7); SE must be the best design on every model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, geometric_mean
+from repro.experiments.hardware_comparison import ACCELERATOR_ORDER, suite_results
+
+PAPER_SMARTEXCHANGE = {
+    "vgg11": 6.7, "resnet50": 3.4, "mobilenetv2": 2.3, "efficientnet_b0": 2.0,
+    "vgg19": 5.0, "resnet164": 3.3, "deeplabv3plus": 5.2,
+}
+
+
+def run() -> ExperimentResult:
+    results = suite_results(include_fc=False)
+    table = ExperimentResult("Figure 10 — normalized energy efficiency (vs DianNao)")
+    per_accelerator = {name: [] for name in ACCELERATOR_ORDER}
+    for model, per_model in results.items():
+        base = per_model["diannao"].total_energy_pj
+        row = {"model": model}
+        for name in ACCELERATOR_ORDER:
+            if name not in per_model:
+                row[name] = float("nan")
+                continue
+            gain = base / per_model[name].total_energy_pj
+            row[name] = gain
+            per_accelerator[name].append(gain)
+        row["paper_se"] = PAPER_SMARTEXCHANGE[model]
+        table.rows.append(row)
+    geomean_row = {"model": "geomean"}
+    for name in ACCELERATOR_ORDER:
+        geomean_row[name] = geometric_mean(per_accelerator[name])
+    geomean_row["paper_se"] = 3.7
+    table.rows.append(geomean_row)
+    table.notes = (
+        "CONV (+ squeeze-and-excite) layers only, batch 1, 8-bit "
+        "activations, 4-bit/8-bit coefficient/basis precision; SCNN is "
+        "skipped on EfficientNet-B0 as in the paper."
+    )
+    return table

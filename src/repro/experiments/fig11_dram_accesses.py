@@ -1,0 +1,46 @@
+"""Figure 11: normalized number of DRAM accesses (over SmartExchange).
+
+Paper: every baseline needs 1.1x-3.5x the DRAM traffic of the
+SmartExchange accelerator, with the smallest gaps on the
+activation-dominated compact models.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, geometric_mean
+from repro.experiments.hardware_comparison import ACCELERATOR_ORDER, suite_results
+
+PAPER_DIANNAO = {
+    "vgg11": 1.9, "resnet50": 2.4, "mobilenetv2": 1.1, "efficientnet_b0": 1.2,
+    "vgg19": 2.4, "resnet164": 2.0, "deeplabv3plus": 2.4,
+}
+
+
+def run() -> ExperimentResult:
+    results = suite_results(include_fc=False)
+    table = ExperimentResult(
+        "Figure 11 — normalized #DRAM accesses (vs SmartExchange)"
+    )
+    per_accelerator = {name: [] for name in ACCELERATOR_ORDER}
+    for model, per_model in results.items():
+        base = per_model["smartexchange"].total_dram_bytes
+        row = {"model": model}
+        for name in ACCELERATOR_ORDER:
+            if name not in per_model:
+                row[name] = float("nan")
+                continue
+            ratio = per_model[name].total_dram_bytes / base
+            row[name] = ratio
+            per_accelerator[name].append(ratio)
+        row["paper_diannao"] = PAPER_DIANNAO[model]
+        table.rows.append(row)
+    geomean_row = {"model": "geomean"}
+    for name in ACCELERATOR_ORDER:
+        geomean_row[name] = geometric_mean(per_accelerator[name])
+    geomean_row["paper_diannao"] = 1.8
+    table.rows.append(geomean_row)
+    table.notes = (
+        "Weight + activation DRAM accesses; compact models show the "
+        "smallest SmartExchange advantage because activations dominate."
+    )
+    return table

@@ -1,0 +1,44 @@
+"""Figure 12: normalized speedup over DianNao (batch size 1).
+
+Paper SmartExchange speedups: VGG11 19.2, ResNet50 14.5, MBV2 15.7,
+EffB0 8.8, VGG19 13.7, ResNet164 12.6, DeepLabV3+ 13.0 (geomean 13.0);
+the SE accelerator is the fastest design on every model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, geometric_mean
+from repro.experiments.hardware_comparison import ACCELERATOR_ORDER, suite_results
+
+PAPER_SMARTEXCHANGE = {
+    "vgg11": 19.2, "resnet50": 14.5, "mobilenetv2": 15.7, "efficientnet_b0": 8.8,
+    "vgg19": 13.7, "resnet164": 12.6, "deeplabv3plus": 13.0,
+}
+
+
+def run() -> ExperimentResult:
+    results = suite_results(include_fc=False)
+    table = ExperimentResult("Figure 12 — normalized speedup (vs DianNao, batch 1)")
+    per_accelerator = {name: [] for name in ACCELERATOR_ORDER}
+    for model, per_model in results.items():
+        base = per_model["diannao"].total_cycles
+        row = {"model": model}
+        for name in ACCELERATOR_ORDER:
+            if name not in per_model:
+                row[name] = float("nan")
+                continue
+            speedup = base / per_model[name].total_cycles
+            row[name] = speedup
+            per_accelerator[name].append(speedup)
+        row["paper_se"] = PAPER_SMARTEXCHANGE[model]
+        table.rows.append(row)
+    geomean_row = {"model": "geomean"}
+    for name in ACCELERATOR_ORDER:
+        geomean_row[name] = geometric_mean(per_accelerator[name])
+    geomean_row["paper_se"] = 13.0
+    table.rows.append(geomean_row)
+    table.notes = (
+        "Latency of processing one image; SmartExchange exploits weight "
+        "vector sparsity + activation bit/vector sparsity simultaneously."
+    )
+    return table

@@ -1,0 +1,64 @@
+"""Figure 4: activation bit-level sparsity w/ and w/o 4-bit Booth encoding.
+
+The paper measures six models on three datasets with 8-bit activations:
+plain binary zero-bit fractions of 79.8-86.8%, dropping to 66.0-76.9%
+under 4-bit (radix-4) Booth recoding.  We measure the same statistics on
+the CI-scale trained models over their synthetic test sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, ci_model
+from repro.nn.introspect import collect_activations
+from repro.sparsity.booth import booth_term_sparsity
+from repro.sparsity.metrics import bit_sparsity, quantize_to_fixed
+
+MODELS = ("vgg11", "resnet50", "mobilenetv2", "vgg19", "resnet164")
+
+PAPER_VALUES = {
+    "vgg11": (86.5, 76.6),
+    "resnet50": (85.2, 73.9),
+    "mobilenetv2": (79.8, 66.0),
+    "vgg19": (86.8, 76.9),
+    "resnet164": (84.1, 73.0),
+    "deeplabv3plus": (86.7, 76.1),
+}
+
+
+def measure_model(name: str, sample_count: int = 12) -> dict:
+    trained = ci_model(name)
+    images = trained.dataset.test_images[:sample_count]
+    activations = collect_activations(trained.model, images)
+    plain_values = []
+    booth_values = []
+    weights = []
+    for act in activations.values():
+        codes = quantize_to_fixed(act, bits=8)
+        plain_values.append(bit_sparsity(codes, bits=8))
+        booth_values.append(booth_term_sparsity(codes, bits=8))
+        weights.append(codes.size)
+    weights = np.asarray(weights, dtype=np.float64)
+    paper_plain, paper_booth = PAPER_VALUES.get(name, (np.nan, np.nan))
+    return {
+        "model": name,
+        "bit_sparsity_pct": 100 * float(np.average(plain_values, weights=weights)),
+        "booth_sparsity_pct": 100 * float(np.average(booth_values, weights=weights)),
+        "paper_bit_pct": paper_plain,
+        "paper_booth_pct": paper_booth,
+    }
+
+
+def run(models=MODELS) -> ExperimentResult:
+    table = ExperimentResult(
+        "Figure 4 — activation bit sparsity w/o and w/ 4-bit Booth encoding"
+    )
+    for name in models:
+        table.rows.append(measure_model(name))
+    table.notes = (
+        "Booth recoding uses half as many digits as there are bits, so "
+        "its zero-term fraction is systematically lower than the plain "
+        "zero-bit fraction — the paper's headline observation."
+    )
+    return table

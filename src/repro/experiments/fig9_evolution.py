@@ -1,0 +1,55 @@
+"""Figure 9: SmartExchange decomposition evolution.
+
+The paper takes one 192x3 weight matrix from the second conv layer of
+the second block of a CIFAR-10 ResNet-164 and plots, per iteration, the
+normalized reconstruction error, the Ce sparsity ratio, and the distance
+of B from its identity initialization.  Expected dynamics: sparsity
+jumps early at the cost of reconstruction error, the error is then
+remedied while sparsity is maintained, and ||B - I|| grows steadily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SmartExchangeConfig, smart_exchange_decompose
+from repro.experiments.common import ExperimentResult, ci_model
+
+
+def _target_matrix() -> np.ndarray:
+    """A (C*R, S) reshaped conv2 weight from the trained CI ResNet-164."""
+    trained = ci_model("resnet164")
+    blocks = trained.model.blocks
+    conv2 = blocks[1].conv2  # second block's 3x3 conv, as in the paper
+    weight = conv2.weight.data
+    m, c, r, s = weight.shape
+    return weight[0].reshape(c * r, s)
+
+
+def run(iterations: int = 20) -> ExperimentResult:
+    matrix = _target_matrix()
+    config = SmartExchangeConfig(
+        theta=4e-3, max_iterations=iterations, tol=0.0,
+        target_row_sparsity=0.25,
+    )
+    decomposition = smart_exchange_decompose(matrix, config)
+    table = ExperimentResult(
+        "Figure 9 — decomposition evolution "
+        f"(matrix {matrix.shape[0]}x{matrix.shape[1]})"
+    )
+    history = decomposition.history
+    for index, (error, sparsity, drift) in enumerate(
+        zip(history.errors, history.sparsities, history.basis_drifts)
+    ):
+        table.rows.append({
+            "iteration": index + 1,
+            "recon_error": error,
+            "ce_sparsity_pct": 100 * sparsity,
+            "basis_drift": drift,
+        })
+    table.notes = (
+        "Expected: early sparsity rise costs reconstruction error, which "
+        "the alternating fits then remedy; ||B - I|| grows away from the "
+        "identity initialization."
+    )
+    return table

@@ -1,0 +1,51 @@
+"""Shared engine for the Figs. 10-12 accelerator comparison.
+
+Simulates the full benchmark suite (seven models, three datasets) on the
+SmartExchange accelerator and the four baselines, excluding FC layers
+(the paper's fairness rule for SCNN) and excluding EfficientNet-B0 for
+SCNN (SCNN cannot run squeeze-and-excite layers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hardware import (
+    BitPragmatic,
+    CambriconX,
+    DianNao,
+    ModelResult,
+    SCNN,
+    SmartExchangeAccelerator,
+    build_workloads,
+)
+from repro.hardware.workloads import BENCHMARK_SUITE
+
+ACCELERATOR_ORDER = ("diannao", "scnn", "cambricon-x", "bit-pragmatic", "smartexchange")
+
+# (model, accelerator) pairs the paper skips.
+_SKIPPED = {("efficientnet_b0", "scnn")}
+
+
+def suite_results(
+    include_fc: bool = False, batch: int = 1
+) -> Dict[str, Dict[str, ModelResult]]:
+    """{model: {accelerator: ModelResult}} over the benchmark suite."""
+    accelerators = [DianNao(), SCNN(), CambriconX(), BitPragmatic(),
+                    SmartExchangeAccelerator()]
+    out: Dict[str, Dict[str, ModelResult]] = {}
+    for model_name, _dataset in BENCHMARK_SUITE:
+        workloads = build_workloads(model_name, include_fc=include_fc, batch=batch)
+        per_model: Dict[str, ModelResult] = {}
+        for accelerator in accelerators:
+            if (model_name, accelerator.name) in _SKIPPED:
+                continue
+            per_model[accelerator.name] = accelerator.simulate_model(
+                workloads, model_name
+            )
+        out[model_name] = per_model
+    return out
+
+
+def suite_datasets() -> List[Tuple[str, str]]:
+    return list(BENCHMARK_SUITE)

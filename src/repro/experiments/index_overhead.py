@@ -1,0 +1,47 @@
+"""Figure 3(b) quantified: index overhead at element vs vector granularity.
+
+The paper illustrates that vector-wise sparsity needs far fewer index
+bits than unstructured sparsity (18 vs 6 indices in the cartoon).  This
+experiment measures it on real decomposed coefficient matrices: the
+1-bit direct index at vector granularity vs element granularity vs RLC
+vs CRS, for several sparsity levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SmartExchangeConfig, smart_exchange_decompose
+from repro.experiments.common import ExperimentResult
+from repro.sparsity.encoding import (
+    crs_overhead_bits,
+    direct_index_overhead_bits,
+    rlc_overhead_bits,
+)
+
+SPARSITY_LEVELS = (0.3, 0.5, 0.7, 0.9)
+
+
+def run(rows: int = 192, seed: int = 0) -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(scale=0.1, size=(rows, 3))
+    table = ExperimentResult(
+        "Fig. 3b quantified — index bits per encoding (one Ce matrix)"
+    )
+    for sparsity in SPARSITY_LEVELS:
+        config = SmartExchangeConfig(max_iterations=6,
+                                     target_row_sparsity=sparsity)
+        coefficient = smart_exchange_decompose(weight, config).coefficient
+        table.rows.append({
+            "row_sparsity_pct": 100 * sparsity,
+            "direct_vector_bits": direct_index_overhead_bits(rows),
+            "direct_element_bits": direct_index_overhead_bits(coefficient.size),
+            "rlc_bits": rlc_overhead_bits(coefficient),
+            "crs_bits": crs_overhead_bits(coefficient),
+        })
+    table.notes = (
+        "Vector-granular 1-bit direct indexing costs S x fewer bits than "
+        "element-granular indexing and beats RLC/CRS once the zeros "
+        "cluster into whole rows — the paper's reason for choosing it."
+    )
+    return table

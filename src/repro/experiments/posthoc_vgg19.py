@@ -1,0 +1,46 @@
+"""Section III-C post-processing experiment.
+
+The paper applies SmartExchange *without re-training* to a VGG19
+pre-trained on CIFAR-10 with theta = 4e-3, tol = 1e-10 and at most 30
+iterations: >10x compression with a 3.21% accuracy drop, in ~30 s.
+We reproduce the protocol on the CI-scale VGG19.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import SmartExchangeConfig, apply_smartexchange
+from repro.experiments.common import ExperimentResult, fresh_ci_model
+from repro.nn.train import evaluate
+
+
+def run(max_iterations: int = 30) -> ExperimentResult:
+    trained = fresh_ci_model("vgg19")
+    dataset = trained.dataset
+    before = evaluate(trained.model, dataset.test_images, dataset.test_labels)
+    # The paper's post-hoc protocol is threshold-only (theta = 4e-3, no
+    # explicit sparsity budget); sparsity emerges from the thresholds.
+    config = SmartExchangeConfig(
+        theta=4e-3, tol=1e-10, max_iterations=max_iterations,
+    )
+    start = time.perf_counter()
+    _, report = apply_smartexchange(trained.model, config, model_name="vgg19")
+    elapsed = time.perf_counter() - start
+    after = evaluate(trained.model, dataset.test_images, dataset.test_labels)
+    table = ExperimentResult("§III-C — post-hoc SmartExchange on VGG19/CIFAR-10")
+    table.rows.append({
+        "acc_before_pct": 100 * before,
+        "acc_after_pct": 100 * after,
+        "acc_drop_pct": 100 * (before - after),
+        "cr_x": report.compression_rate,
+        "runtime_s": elapsed,
+        "paper_drop_pct": 3.21,
+        "paper_cr_x": 10.0,
+        "paper_runtime_s": 30.0,
+    })
+    table.notes = (
+        "No re-training; the paper reports >10x CR at a 3.21% drop in "
+        "about 30 seconds on the full-size network."
+    )
+    return table

@@ -1,0 +1,60 @@
+"""Table III: SmartExchange on the compact models.
+
+MobileNetV2 and EfficientNet-B0 have little weight redundancy, so the
+paper reports CR ~6.6x with *zero* vector sparsity — the gains come from
+the decomposition + 4-bit power-of-2 coefficients alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core import SmartExchangeConfig, SmartExchangeModel, retrain
+from repro.experiments.common import ExperimentResult, fresh_ci_model
+from repro.nn.train import evaluate
+
+# No sparsity targets: compact models keep every coefficient row.
+COMPACT_CONFIG = SmartExchangeConfig(max_iterations=6, theta=1e-4)
+
+PAPER_ROWS: Dict[str, Tuple[float, float]] = {
+    "mobilenetv2": (6.57, 0.0),
+    "efficientnet_b0": (6.67, 0.0),
+}
+
+
+def run(epochs: int = 2) -> ExperimentResult:
+    table = ExperimentResult("Table III — SmartExchange on compact models")
+    for name, (paper_cr, paper_sparsity) in PAPER_ROWS.items():
+        trained = fresh_ci_model(name)
+        dataset = trained.dataset
+        original = evaluate(trained.model, dataset.test_images, dataset.test_labels)
+        se_model = SmartExchangeModel(trained.model, COMPACT_CONFIG, model_name=name)
+        outcome = retrain(
+            se_model,
+            dataset.train_images,
+            dataset.train_labels,
+            dataset.test_images,
+            dataset.test_labels,
+            epochs=epochs,
+            lr=0.01,
+            momentum=0.5,
+        )
+        report = outcome.final_report
+        table.rows.append({
+            "model": name,
+            "acc_orig_pct": 100 * original,
+            "acc_se_pct": 100 * outcome.best_projected_accuracy,
+            "cr_x": report.compression_rate,
+            "param_mb": report.param_mb,
+            "b_mb": report.basis_mb,
+            "ce_mb": report.coefficient_mb,
+            "sparsity_pct": 100 * report.vector_sparsity,
+            "paper_cr_x": paper_cr,
+            "paper_sparsity_pct": paper_sparsity,
+        })
+    table.notes = (
+        "Compression on compact models comes from decomposition + 4-bit "
+        "power-of-2 coefficients, not sparsity (paper: ~6.6x CR, 0% "
+        "sparsity, ~2% top-1 drop)."
+    )
+    return table

@@ -1,0 +1,42 @@
+"""Tables IV & V: design considerations and resource parity."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.hardware.resources import (
+    BIT_SERIAL_LANES,
+    INPUT_GB_KB,
+    MULTIPLIERS_8BIT,
+    OUTPUT_GB_KB,
+    WEIGHT_GB_KB,
+)
+from repro.hardware.smartexchange.config import DEFAULT_ACCELERATOR_CONFIG
+
+DESIGN_CONSIDERATIONS = {
+    "diannao": "dense models",
+    "cambricon-x": "unstructured weight sparsity",
+    "scnn": "unstructured weight sparsity + activation sparsity",
+    "bit-pragmatic": "bit-level activation sparsity",
+    "smartexchange": (
+        "vector-wise weight sparsity + bit-level and vector-wise "
+        "activation sparsity"
+    ),
+}
+
+
+def run() -> ExperimentResult:
+    table = ExperimentResult("Tables IV & V — design considerations and resources")
+    config = DEFAULT_ACCELERATOR_CONFIG
+    for name, consideration in DESIGN_CONSIDERATIONS.items():
+        table.rows.append({"accelerator": name, "design_consideration": consideration})
+    table.rows.append({
+        "accelerator": "resources",
+        "design_consideration": (
+            f"dimM={config.dim_m}, dimC={config.dim_c}, dimF={config.dim_f}; "
+            f"{BIT_SERIAL_LANES} bit-serial lanes == {MULTIPLIERS_8BIT} 8-bit "
+            f"multipliers; input GB {INPUT_GB_KB:.0f}KB, weight "
+            f"{WEIGHT_GB_KB:.0f}KB, output GB {OUTPUT_GB_KB:.0f}KB; "
+            f"8-bit activations"
+        ),
+    })
+    return table

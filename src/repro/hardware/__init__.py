@@ -1,0 +1,98 @@
+"""Accelerator simulators: SmartExchange + four baselines.
+
+Typical use::
+
+    from repro.hardware import (SmartExchangeAccelerator, DianNao,
+                                build_workloads)
+
+    workloads = build_workloads("resnet50")
+    se = SmartExchangeAccelerator().simulate_model(workloads, "resnet50")
+    dn = DianNao().simulate_model(workloads, "resnet50")
+    print(dn.total_energy_pj / se.total_energy_pj)   # energy-efficiency gain
+"""
+
+from repro.hardware.accelerator import (
+    Accelerator,
+    LayerResult,
+    ModelResult,
+    dram_tiling,
+    lane_utilization,
+)
+from repro.hardware.bit_pragmatic import BitPragmatic
+from repro.hardware.cambricon_x import CambriconX
+from repro.hardware.diannao import DianNao
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel, sram_energy_per_8bit
+from repro.hardware.interface import (
+    CompiledProgram,
+    LayerInstruction,
+    compile_workloads,
+    parse_model,
+)
+from repro.hardware.layers import (
+    LayerKind,
+    LayerSparsity,
+    LayerSpec,
+    LayerWorkload,
+    dense_storage_bits,
+    se_geometry,
+    smartexchange_storage_bits,
+    smartexchange_storage_breakdown,
+    trace_layer_specs,
+)
+from repro.hardware.modelspecs import MODEL_SPEC_BUILDERS, model_specs
+from repro.hardware.profiling import (
+    assign_to_consumers,
+    measure_activation_sparsity,
+)
+from repro.hardware.scnn import SCNN
+from repro.hardware.smartexchange import (
+    SmartExchangeAccelerator,
+    SmartExchangeAcceleratorConfig,
+)
+from repro.hardware.workloads import (
+    BENCHMARK_SUITE,
+    MODEL_PROFILES,
+    ModelSparsityProfile,
+    build_workloads,
+)
+
+BASELINE_ACCELERATORS = (DianNao, SCNN, CambriconX, BitPragmatic)
+
+__all__ = [
+    "Accelerator",
+    "LayerResult",
+    "ModelResult",
+    "lane_utilization",
+    "dram_tiling",
+    "EnergyModel",
+    "DEFAULT_ENERGY_MODEL",
+    "sram_energy_per_8bit",
+    "LayerKind",
+    "LayerSpec",
+    "LayerSparsity",
+    "LayerWorkload",
+    "se_geometry",
+    "smartexchange_storage_bits",
+    "smartexchange_storage_breakdown",
+    "dense_storage_bits",
+    "trace_layer_specs",
+    "model_specs",
+    "MODEL_SPEC_BUILDERS",
+    "DianNao",
+    "SCNN",
+    "CambriconX",
+    "BitPragmatic",
+    "SmartExchangeAccelerator",
+    "SmartExchangeAcceleratorConfig",
+    "BASELINE_ACCELERATORS",
+    "ModelSparsityProfile",
+    "MODEL_PROFILES",
+    "BENCHMARK_SUITE",
+    "build_workloads",
+    "parse_model",
+    "compile_workloads",
+    "CompiledProgram",
+    "LayerInstruction",
+    "measure_activation_sparsity",
+    "assign_to_consumers",
+]

@@ -1,0 +1,183 @@
+"""Shared accelerator-simulation machinery.
+
+Every simulator is a cycle-level *analytical* model: per layer it derives
+
+- DRAM traffic (weights / inputs / outputs / sparse indexes) under a
+  double-buffered tiled dataflow that picks the cheaper loop order,
+- global-buffer (SRAM) access counts given the spatial reuse of the
+  architecture's PE array,
+- effective compute work after the sparsity the architecture can skip,
+- energy from the Table I unit costs, and
+- latency as max(compute-bound, DRAM-bound) cycles at 1 GHz.
+
+Absolute numbers are therefore estimates, but all five accelerators share
+these formulas and differ only in the mechanisms they model — exactly the
+paper's normalized-comparison methodology.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.hardware.layers import LayerWorkload
+
+CLOCK_HZ = 1e9  # all designs run at 1 GHz (paper, experiment setup)
+
+# Canonical energy-breakdown categories (Figure 13's legend).
+ENERGY_CATEGORIES = (
+    "dram_input",
+    "dram_output",
+    "dram_weight",
+    "dram_index",
+    "gb_input_read",
+    "gb_input_write",
+    "gb_output_read",
+    "gb_output_write",
+    "gb_weight_read",
+    "gb_weight_write",
+    "pe",
+    "accumulator",
+    "re",
+    "index_selector",
+)
+
+
+@dataclass
+class LayerResult:
+    """Simulation outcome for one layer on one accelerator."""
+
+    name: str
+    macs: int
+    effective_macs: float
+    compute_cycles: float
+    dram_cycles: float
+    energy_pj: Dict[str, float] = field(default_factory=dict)
+    dram_bytes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.dram_cycles)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return float(sum(self.energy_pj.values()))
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return float(sum(self.dram_bytes.values()))
+
+
+@dataclass
+class ModelResult:
+    """Aggregated simulation outcome for a whole model."""
+
+    accelerator: str
+    model: str
+    layers: List[LayerResult] = field(default_factory=list)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return float(sum(l.total_energy_pj for l in self.layers))
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(l.cycles for l in self.layers))
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_cycles / CLOCK_HZ * 1e3
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return float(sum(l.total_dram_bytes for l in self.layers))
+
+    @property
+    def total_macs(self) -> int:
+        return int(sum(l.macs for l in self.layers))
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        out: Dict[str, float] = {key: 0.0 for key in ENERGY_CATEGORIES}
+        for layer in self.layers:
+            for key, value in layer.energy_pj.items():
+                out[key] = out.get(key, 0.0) + value
+        return out
+
+    def energy_mj(self) -> float:
+        return self.total_energy_pj * 1e-9
+
+    def energy_efficiency(self) -> float:
+        """Useful MACs per pJ (higher is better)."""
+        if self.total_energy_pj == 0:
+            return 0.0
+        return self.total_macs / self.total_energy_pj
+
+    def bound_analysis(self) -> Dict[str, float]:
+        """Fraction of cycles spent compute-bound vs DRAM-bound.
+
+        A layer is DRAM-bound when its memory cycles exceed its compute
+        cycles; the returned fractions weight each layer by its cycles,
+        so they describe where the *time* goes (roofline-style).
+        """
+        compute = sum(l.cycles for l in self.layers
+                      if l.compute_cycles >= l.dram_cycles)
+        dram = sum(l.cycles for l in self.layers
+                   if l.compute_cycles < l.dram_cycles)
+        total = compute + dram
+        if total == 0:
+            return {"compute_bound": 0.0, "dram_bound": 0.0}
+        return {"compute_bound": compute / total, "dram_bound": dram / total}
+
+
+def lane_utilization(work: int, lanes: int) -> float:
+    """Spatial utilization when ``work`` items map onto ``lanes`` lanes."""
+    if work <= 0 or lanes <= 0:
+        return 1.0
+    return work / (lanes * int(np.ceil(work / lanes)))
+
+
+def dram_tiling(
+    weight_bytes: float,
+    input_bytes: float,
+    output_bytes: float,
+    weight_buffer_bytes: float,
+    input_buffer_bytes: float,
+) -> Tuple[float, float, float]:
+    """(dram_weight, dram_input, dram_output) under the cheaper loop order.
+
+    If one operand spills its buffer, the other is re-fetched once per
+    spill pass; a real compiler picks the loop order that minimizes total
+    traffic, so we take the minimum of the two orders.
+    """
+    weight_passes = max(1.0, np.ceil(weight_bytes / max(weight_buffer_bytes, 1)))
+    input_passes = max(1.0, np.ceil(input_bytes / max(input_buffer_bytes, 1)))
+    weight_outer = weight_bytes + input_bytes * weight_passes
+    input_outer = input_bytes + weight_bytes * input_passes
+    if weight_outer <= input_outer:
+        return weight_bytes, input_bytes * weight_passes, output_bytes
+    return weight_bytes * input_passes, input_bytes, output_bytes
+
+
+class Accelerator(ABC):
+    """Base class: per-layer simulation plus model aggregation."""
+
+    name: str = "accelerator"
+
+    def __init__(self, energy_model: EnergyModel = DEFAULT_ENERGY_MODEL) -> None:
+        self.energy = energy_model
+
+    @abstractmethod
+    def simulate_layer(self, workload: LayerWorkload) -> LayerResult:
+        """Simulate one layer; see module docstring for the methodology."""
+
+    def simulate_model(
+        self, workloads: Iterable[LayerWorkload], model_name: str = "model"
+    ) -> ModelResult:
+        result = ModelResult(accelerator=self.name, model=model_name)
+        for workload in workloads:
+            result.layers.append(self.simulate_layer(workload))
+        return result

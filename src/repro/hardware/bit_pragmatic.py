@@ -1,0 +1,88 @@
+"""Bit-pragmatic: activation bit-level-sparsity baseline.
+
+Weights and activations are fetched densely (8-bit), but the multipliers
+are bit-serial and process only the *essential* (non-zero) bits of each
+activation, so compute time and energy scale with the activation
+bit-density instead of the full 8-bit width.  8K bit-serial lanes equal
+the other designs' 1K 8-bit multipliers in silicon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.accelerator import (
+    Accelerator,
+    LayerResult,
+    dram_tiling,
+    lane_utilization,
+)
+from repro.hardware.layers import LayerWorkload
+from repro.hardware.memory import assemble_result
+from repro.hardware.resources import (
+    ACT_BITS,
+    BASELINE_BUFFERS,
+    BIT_SERIAL_LANES,
+    DRAM_BYTES_PER_CYCLE,
+)
+
+COLUMN_LANES = 16  # output-channel lanes
+ROW_LANES = 16  # spatial window lanes
+WEIGHT_GB_REUSE = 8.0
+# Lanes processing the same activation column must wait for the slowest
+# (most essential bits) lane — the paper's synchronization overhead.
+SYNCHRONIZATION_EFFICIENCY = 0.75
+
+
+class BitPragmatic(Accelerator):
+    name = "bit-pragmatic"
+
+    def simulate_layer(self, workload: LayerWorkload) -> LayerResult:
+        spec = workload.spec
+        sparsity = workload.sparsity
+        macs = spec.macs * workload.batch
+        essential_bits = max(ACT_BITS * (1.0 - sparsity.act_bit), 1.0)
+        serial_ops = macs * essential_bits
+
+        weight_bytes = float(spec.weight_count)
+        input_bytes = float(spec.input_count) * workload.batch
+        output_bytes = float(spec.output_count) * workload.batch
+
+        dram_w, dram_i, dram_o = dram_tiling(
+            weight_bytes,
+            0.0 if workload.input_onchip else input_bytes,
+            0.0 if workload.output_onchip else output_bytes,
+            BASELINE_BUFFERS.weight_bytes,
+            BASELINE_BUFFERS.input_bytes,
+        )
+        dram = {"weight": dram_w, "input": dram_i, "output": dram_o}
+
+        m_tiles = int(np.ceil(spec.out_channels / COLUMN_LANES))
+        gb = {
+            "input_read": input_bytes * m_tiles,
+            "weight_read": macs / WEIGHT_GB_REUSE,
+            "output_write": output_bytes,
+        }
+
+        utilization = lane_utilization(spec.out_channels, COLUMN_LANES)
+        utilization *= lane_utilization(spec.out_h * spec.out_w, ROW_LANES)
+        utilization *= SYNCHRONIZATION_EFFICIENCY
+        compute_cycles = serial_ops / (BIT_SERIAL_LANES * max(utilization, 1e-9))
+        compute_energy = {
+            # One shift-and-add per essential bit, plus operand registers.
+            "pe": serial_ops * self.energy.adder
+            + macs * 2 * self.energy.register_file,
+            "accumulator": output_bytes * self.energy.adder,
+        }
+        return assemble_result(
+            name=spec.name,
+            macs=macs,
+            effective_macs=macs,
+            compute_cycles=compute_cycles,
+            dram_bytes=dram,
+            gb_bytes=gb,
+            compute_energy_pj=compute_energy,
+            energy_model=self.energy,
+            buffers=BASELINE_BUFFERS,
+            dram_bytes_per_cycle=DRAM_BYTES_PER_CYCLE,
+        )

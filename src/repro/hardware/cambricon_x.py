@@ -1,0 +1,109 @@
+"""Cambricon-X: unstructured weight-sparsity baseline.
+
+Only non-zero weights are stored (8-bit values plus a 4-bit step index
+each) and multiplied; an on-chip indexing module selects the matching
+activations, so activations are fetched densely from DRAM but only the
+needed ones reach the PEs.  Irregular (unstructured) sparsity costs an
+indexing-efficiency factor on the PE array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.accelerator import (
+    Accelerator,
+    LayerResult,
+    dram_tiling,
+    lane_utilization,
+)
+from repro.hardware.layers import LayerWorkload
+from repro.hardware.memory import assemble_result
+from repro.hardware.resources import (
+    BASELINE_BUFFERS,
+    DRAM_BYTES_PER_CYCLE,
+    MULTIPLIERS_8BIT,
+)
+
+PE_COUNT = 16
+LANES_PER_PE = MULTIPLIERS_8BIT // PE_COUNT
+STEP_INDEX_BITS = 4
+WEIGHT_GB_REUSE = 8.0
+# Unstructured sparsity leaves lanes idle when non-zeros bunch up; the
+# penalty grows with how sparse (irregular) the layer actually is.
+IRREGULARITY_PENALTY = 0.3
+
+
+def irregularity_efficiency(weight_element_sparsity: float) -> float:
+    return 1.0 - IRREGULARITY_PENALTY * weight_element_sparsity
+
+
+class CambriconX(Accelerator):
+    name = "cambricon-x"
+
+    def simulate_layer(self, workload: LayerWorkload) -> LayerResult:
+        spec = workload.spec
+        sparsity = workload.sparsity
+        macs = spec.macs * workload.batch
+        weight_density = 1.0 - sparsity.weight_element
+        effective_macs = macs * weight_density
+
+        nnz_weights = spec.weight_count * weight_density
+        sparse_bytes = nnz_weights * (1.0 + STEP_INDEX_BITS / 8.0)
+        dense_bytes = float(spec.weight_count)
+        if sparse_bytes < dense_bytes:
+            weight_bytes = sparse_bytes
+            index_bytes = nnz_weights * STEP_INDEX_BITS / 8.0
+        else:
+            # Nearly-dense layers are cheaper stored without indexes.
+            weight_bytes = dense_bytes
+            index_bytes = 0.0
+        input_bytes = float(spec.input_count) * workload.batch
+        output_bytes = float(spec.output_count) * workload.batch
+
+        dram_w, dram_i, dram_o = dram_tiling(
+            weight_bytes,
+            0.0 if workload.input_onchip else input_bytes,
+            0.0 if workload.output_onchip else output_bytes,
+            BASELINE_BUFFERS.weight_bytes,
+            BASELINE_BUFFERS.input_bytes,
+        )
+        dram = {
+            "weight": max(dram_w - index_bytes, 0.0),
+            "index": index_bytes,
+            "input": dram_i,
+            "output": dram_o,
+        }
+
+        m_tiles = int(np.ceil(spec.out_channels / PE_COUNT))
+        gb = {
+            # The indexing module reads only activations matched to
+            # non-zero weights.
+            "input_read": input_bytes * m_tiles * weight_density,
+            "weight_read": effective_macs / WEIGHT_GB_REUSE,
+            "output_write": output_bytes,
+        }
+
+        utilization = lane_utilization(spec.out_channels, PE_COUNT)
+        utilization *= lane_utilization(
+            int(np.ceil(spec.reduction_depth * weight_density)), LANES_PER_PE
+        )
+        utilization *= irregularity_efficiency(sparsity.weight_element)
+        compute_cycles = effective_macs / (MULTIPLIERS_8BIT * max(utilization, 1e-9))
+        compute_energy = {
+            "pe": effective_macs * (self.energy.mac + 3 * self.energy.register_file),
+            "accumulator": output_bytes * self.energy.adder,
+            "index_selector": effective_macs * self.energy.register_file * 0.5,
+        }
+        return assemble_result(
+            name=spec.name,
+            macs=macs,
+            effective_macs=effective_macs,
+            compute_cycles=compute_cycles,
+            dram_bytes=dram,
+            gb_bytes=gb,
+            compute_energy_pj=compute_energy,
+            energy_model=self.energy,
+            buffers=BASELINE_BUFFERS,
+            dram_bytes_per_cycle=DRAM_BYTES_PER_CYCLE,
+        )

@@ -1,0 +1,87 @@
+"""DianNao: the dense baseline accelerator.
+
+Models the classic NFU: ``Tn = 16`` output-neuron lanes, ``Ti = 64``
+input lanes (16 x 64 = 1K 8-bit multipliers), adder trees, and NBin /
+NBout / SB buffers.  No sparsity of any kind is exploited: every weight
+and activation is fetched and multiplied.
+
+Modeling choices (shared conventions with the other simulators):
+
+- per-MAC operand accesses are served by pipeline registers (folded into
+  the PE energy at one RF-access apiece for weight / input / psum);
+- the global buffers see each unique datum once per tiling pass: inputs
+  are broadcast across the 16 neuron lanes and re-read once per
+  output-channel tile; weights benefit from wide SB lines, modeled as a
+  reuse factor of 8 before SB is touched again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.accelerator import (
+    Accelerator,
+    LayerResult,
+    dram_tiling,
+    lane_utilization,
+)
+from repro.hardware.layers import LayerWorkload
+from repro.hardware.memory import assemble_result
+from repro.hardware.resources import (
+    BASELINE_BUFFERS,
+    DRAM_BYTES_PER_CYCLE,
+    MULTIPLIERS_8BIT,
+)
+
+TN_LANES = 16  # parallel output neurons
+TI_LANES = MULTIPLIERS_8BIT // TN_LANES  # parallel inputs per neuron
+WEIGHT_GB_REUSE = 8.0  # wide SB line reuse before re-access
+
+
+class DianNao(Accelerator):
+    name = "diannao"
+
+    def simulate_layer(self, workload: LayerWorkload) -> LayerResult:
+        spec = workload.spec
+        macs = spec.macs * workload.batch
+
+        weight_bytes = float(spec.weight_count)  # dense 8-bit
+        input_bytes = float(spec.input_count) * workload.batch
+        output_bytes = float(spec.output_count) * workload.batch
+
+        dram_w, dram_i, dram_o = dram_tiling(
+            weight_bytes,
+            0.0 if workload.input_onchip else input_bytes,
+            0.0 if workload.output_onchip else output_bytes,
+            BASELINE_BUFFERS.weight_bytes,
+            BASELINE_BUFFERS.input_bytes,
+        )
+        dram = {"weight": dram_w, "input": dram_i, "output": dram_o}
+
+        m_tiles = int(np.ceil(spec.out_channels / TN_LANES))
+        gb = {
+            "input_read": input_bytes * m_tiles,
+            "weight_read": macs / WEIGHT_GB_REUSE,
+            "output_write": output_bytes,
+        }
+
+        utilization = lane_utilization(spec.out_channels, TN_LANES)
+        utilization *= lane_utilization(spec.reduction_depth, TI_LANES)
+        compute_cycles = macs / (MULTIPLIERS_8BIT * max(utilization, 1e-9))
+        pe_energy = macs * (self.energy.mac + 3 * self.energy.register_file)
+        compute_energy = {
+            "pe": pe_energy,
+            "accumulator": output_bytes * self.energy.adder,
+        }
+        return assemble_result(
+            name=spec.name,
+            macs=macs,
+            effective_macs=macs,
+            compute_cycles=compute_cycles,
+            dram_bytes=dram,
+            gb_bytes=gb,
+            compute_energy_pj=compute_energy,
+            energy_model=self.energy,
+            buffers=BASELINE_BUFFERS,
+            dram_bytes_per_cycle=DRAM_BYTES_PER_CYCLE,
+        )

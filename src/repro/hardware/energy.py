@@ -1,0 +1,68 @@
+"""Unit energy costs (paper Table I, commercial 28 nm technology).
+
+All values are pJ per 8-bit datum/operation.  DRAM access energy follows
+the paper's reference [50] (100 pJ / 8 bit); SRAM energy depends on the
+macro capacity, for which the paper gives the range 1.36-2.45 pJ — we
+interpolate log-linearly between a 2 KB macro (1.36) and a 512 KB macro
+(2.45), matching how memory compilers scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+PJ_PER_8BIT_DRAM = 100.0
+PJ_PER_8BIT_SRAM_MIN = 1.36  # 2 KB macro
+PJ_PER_8BIT_SRAM_MAX = 2.45  # 512 KB macro
+PJ_MAC_8BIT = 0.143
+PJ_MULT_8BIT = 0.124
+PJ_ADD_8BIT = 0.019
+# Register files are much smaller than any SRAM macro; standard scaling
+# puts an 8-bit RF access well below the smallest SRAM number.
+PJ_RF_8BIT = 0.03
+
+_SRAM_MIN_KB = 2.0
+_SRAM_MAX_KB = 512.0
+
+
+def sram_energy_per_8bit(capacity_kb: float) -> float:
+    """Interpolated SRAM access energy for a macro of ``capacity_kb``."""
+    if capacity_kb <= 0:
+        raise ValueError("capacity must be positive")
+    clamped = min(max(capacity_kb, _SRAM_MIN_KB), _SRAM_MAX_KB)
+    fraction = (np.log2(clamped) - np.log2(_SRAM_MIN_KB)) / (
+        np.log2(_SRAM_MAX_KB) - np.log2(_SRAM_MIN_KB)
+    )
+    return PJ_PER_8BIT_SRAM_MIN + fraction * (
+        PJ_PER_8BIT_SRAM_MAX - PJ_PER_8BIT_SRAM_MIN
+    )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-op energies used by every accelerator simulator."""
+
+    dram: float = PJ_PER_8BIT_DRAM
+    mac: float = PJ_MAC_8BIT
+    multiplier: float = PJ_MULT_8BIT
+    adder: float = PJ_ADD_8BIT
+    register_file: float = PJ_RF_8BIT
+
+    def sram(self, capacity_kb: float) -> float:
+        return sram_energy_per_8bit(capacity_kb)
+
+    def table1_rows(self):
+        """The rows of Table I (for the bench that regenerates it)."""
+        return [
+            ("DRAM", self.dram),
+            ("SRAM (2KB)", self.sram(2)),
+            ("SRAM (512KB)", self.sram(512)),
+            ("MAC", self.mac),
+            ("multiplier", self.multiplier),
+            ("adder", self.adder),
+        ]
+
+
+DEFAULT_ENERGY_MODEL = EnergyModel()

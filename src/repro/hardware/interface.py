@@ -1,0 +1,107 @@
+"""Software-hardware interface (paper Fig. 7): Parser + Compiler.
+
+``parse_model`` extracts layer types and dimensions from a live ``nn``
+model (the Parser); ``compile_workloads`` combines them with a
+SmartExchange compression report into the per-layer workloads + dataflow
+choices the accelerator consumes (the Compiler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import nn
+from repro.core.model_transform import ModelCompressionReport
+from repro.hardware.layers import (
+    LayerKind,
+    LayerSparsity,
+    LayerSpec,
+    LayerWorkload,
+    smartexchange_storage_bits,
+    trace_layer_specs,
+)
+from repro.hardware.smartexchange.config import SmartExchangeAcceleratorConfig
+
+
+def parse_model(model: nn.Module, input_shape: Tuple[int, ...]) -> List[LayerSpec]:
+    """The DNN Parser: layer kinds and dimensions from a live model."""
+    return trace_layer_specs(model, input_shape)
+
+
+@dataclass(frozen=True)
+class LayerInstruction:
+    """One compiled layer: workload + the dataflow the controller uses."""
+
+    workload: LayerWorkload
+    dataflow: str  # "row-stationary" | "depthwise-rows" | "fc-cluster"
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the accelerator controller needs to run a model."""
+
+    model_name: str
+    instructions: List[LayerInstruction] = field(default_factory=list)
+
+    @property
+    def workloads(self) -> List[LayerWorkload]:
+        return [instruction.workload for instruction in self.instructions]
+
+
+def _dataflow_for(spec: LayerSpec, config: SmartExchangeAcceleratorConfig) -> str:
+    if spec.kind == LayerKind.DEPTHWISE:
+        return "depthwise-rows" if config.dedicated_compact_dataflow else "row-stationary"
+    if spec.is_fc_like:
+        return "fc-cluster" if config.dedicated_compact_dataflow else "row-stationary"
+    return "row-stationary"
+
+
+def compile_workloads(
+    specs: List[LayerSpec],
+    report: Optional[ModelCompressionReport] = None,
+    activation_sparsity: Optional[Dict[str, LayerSparsity]] = None,
+    config: Optional[SmartExchangeAcceleratorConfig] = None,
+    model_name: str = "model",
+    batch: int = 1,
+) -> CompiledProgram:
+    """The DNN Compiler: fuse parsed specs with measured sparsities.
+
+    ``report`` supplies measured weight vector sparsity and exact storage
+    bits per layer (matched by layer name); ``activation_sparsity``
+    optionally supplies measured activation statistics.  Missing layers
+    fall back to dense.
+    """
+    config = config or SmartExchangeAcceleratorConfig()
+    by_name = {}
+    if report is not None:
+        by_name = {layer.name: layer for layer in report.layers}
+    program = CompiledProgram(model_name=model_name)
+    for spec in specs:
+        compression = by_name.get(spec.name)
+        act = (activation_sparsity or {}).get(spec.name)
+        weight_vector = compression.vector_sparsity if compression else 0.0
+        weight_element = compression.element_sparsity if compression else 0.0
+        sparsity = LayerSparsity(
+            weight_element=weight_element,
+            weight_vector=weight_vector,
+            act_element=act.act_element if act else 0.0,
+            act_vector=act.act_vector if act else 0.0,
+            act_bit=act.act_bit if act else 0.0,
+            act_booth=act.act_booth if act else 0.0,
+        )
+        storage_bits = (
+            compression.storage.total_bits
+            if compression
+            else smartexchange_storage_bits(spec, weight_vector)
+        )
+        workload = LayerWorkload(
+            spec=spec,
+            sparsity=sparsity,
+            se_storage_bits=storage_bits,
+            batch=batch,
+        )
+        program.instructions.append(
+            LayerInstruction(workload=workload, dataflow=_dataflow_for(spec, config))
+        )
+    return program

@@ -1,0 +1,292 @@
+"""Layer-shape abstraction shared by all five accelerator simulators.
+
+A :class:`LayerSpec` is the hardware view of one layer: shapes, kind and
+derived work counts.  A :class:`LayerWorkload` adds the sparsity profile
+and (for SmartExchange) the compressed weight storage.  Specs can be
+built analytically (see :mod:`repro.hardware.modelspecs`) or traced from
+a live ``nn`` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.nn.functional import conv_output_size
+
+
+class LayerKind(Enum):
+    CONV = "conv"  # standard 2-D convolution (includes 1x1 pointwise)
+    DEPTHWISE = "depthwise"  # depth-wise convolution
+    FC = "fc"  # fully connected
+    SQUEEZE_EXCITE = "squeeze_excite"  # the FC pair of an SE block
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Shapes of one layer as the accelerators see it."""
+
+    name: str
+    kind: LayerKind
+    in_channels: int  # C
+    out_channels: int  # M
+    kernel: int = 1  # R = S
+    stride: int = 1
+    padding: int = 0
+    in_h: int = 1
+    in_w: int = 1
+    dilation: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels < 1 or self.out_channels < 1:
+            raise ValueError(f"{self.name}: channels must be positive")
+        if self.kernel < 1 or self.stride < 1:
+            raise ValueError(f"{self.name}: kernel/stride must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def out_h(self) -> int:
+        if self.kind in (LayerKind.FC, LayerKind.SQUEEZE_EXCITE):
+            return 1
+        return conv_output_size(self.in_h, self.kernel, self.stride, self.padding,
+                                self.dilation)
+
+    @property
+    def out_w(self) -> int:
+        if self.kind in (LayerKind.FC, LayerKind.SQUEEZE_EXCITE):
+            return 1
+        return conv_output_size(self.in_w, self.kernel, self.stride, self.padding,
+                                self.dilation)
+
+    @property
+    def is_fc_like(self) -> bool:
+        return self.kind in (LayerKind.FC, LayerKind.SQUEEZE_EXCITE)
+
+    @property
+    def weight_count(self) -> int:
+        """Scalar weights in the layer."""
+        if self.kind == LayerKind.DEPTHWISE:
+            return self.out_channels * self.kernel * self.kernel
+        return self.out_channels * self.in_channels * self.kernel * self.kernel
+
+    @property
+    def input_count(self) -> int:
+        if self.is_fc_like:
+            return self.in_channels
+        return self.in_channels * self.in_h * self.in_w
+
+    @property
+    def output_count(self) -> int:
+        return self.out_channels * self.out_h * self.out_w
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one inference."""
+        if self.is_fc_like:
+            return self.in_channels * self.out_channels
+        per_output = self.kernel * self.kernel
+        if self.kind != LayerKind.DEPTHWISE:
+            per_output *= self.in_channels
+        return self.output_count * per_output
+
+    @property
+    def reduction_depth(self) -> int:
+        """Accumulation length per output element (C*R*S or R*S or C)."""
+        if self.is_fc_like:
+            return self.in_channels
+        if self.kind == LayerKind.DEPTHWISE:
+            return self.kernel * self.kernel
+        return self.in_channels * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class LayerSparsity:
+    """Sparsity profile of one layer (all values are zero fractions)."""
+
+    weight_element: float = 0.0  # unstructured zero weights
+    weight_vector: float = 0.0  # zero coefficient/weight rows (SE structure)
+    act_element: float = 0.0  # zero activations (ReLU)
+    act_vector: float = 0.0  # all-zero activation rows
+    act_bit: float = 0.0  # zero-bit fraction of 8-bit activations
+    act_booth: float = 0.0  # zero Booth-term fraction
+
+    def __post_init__(self) -> None:
+        for name in ("weight_element", "weight_vector", "act_element",
+                     "act_vector", "act_bit", "act_booth"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a fraction in [0, 1]")
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """A layer plus everything an accelerator needs to simulate it.
+
+    ``input_onchip`` / ``output_onchip`` mark activations that stay
+    resident in the (double-buffered) input global buffer between
+    consecutive layers, skipping the DRAM round trip.  All designs have
+    the same SRAM budget, so the flags apply uniformly.
+    """
+
+    spec: LayerSpec
+    sparsity: LayerSparsity = field(default_factory=LayerSparsity)
+    # SmartExchange-compressed weight storage in bits (None => layer not
+    # SmartExchange-compressed; simulators fall back to dense 8-bit).
+    se_storage_bits: Optional[int] = None
+    batch: int = 1
+    input_onchip: bool = False
+    output_onchip: bool = False
+
+    def with_sparsity(self, **kwargs) -> "LayerWorkload":
+        return replace(self, sparsity=replace(self.sparsity, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# SmartExchange storage model on top of a spec (analytical counterpart of
+# repro.core.storage for full-size inventories).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SEGeometry:
+    """Coefficient-matrix geometry of one layer in SmartExchange form."""
+
+    matrices: int  # independent {Ce, B} pairs (one per filter / FC row)
+    rows: int  # coefficient rows per matrix
+    basis_size: int  # S (columns of Ce, side of B)
+
+    @property
+    def total_rows(self) -> int:
+        return self.matrices * self.rows
+
+
+def se_geometry(spec: LayerSpec, basis_size: Optional[int] = None) -> SEGeometry:
+    """Section III-C reshape geometry for a layer spec.
+
+    Conv (R=S>1): per filter, Ce is (C*R, S) with a per-filter S x S basis.
+    FC / 1x1 / SE: per output row, Ce is (ceil(C/S), S) with its basis.
+    Depthwise: per filter, Ce is (R, S).
+    """
+    s = basis_size or max(spec.kernel, 3)
+    if spec.kind == LayerKind.DEPTHWISE:
+        s = spec.kernel if spec.kernel > 1 else s
+        return SEGeometry(spec.out_channels, spec.kernel, s)
+    if spec.kind == LayerKind.CONV and spec.kernel > 1:
+        return SEGeometry(spec.out_channels, spec.in_channels * spec.kernel,
+                          spec.kernel)
+    rows = int(np.ceil(spec.in_channels / s))
+    return SEGeometry(spec.out_channels, rows, s)
+
+
+def smartexchange_storage_breakdown(
+    spec: LayerSpec,
+    weight_vector_sparsity: float,
+    ce_bits: int = 4,
+    b_bits: int = 8,
+    basis_size: Optional[int] = None,
+) -> dict:
+    """Bits per component: {"coefficient", "basis", "index", "meta"}."""
+    if not 0.0 <= weight_vector_sparsity <= 1.0:
+        raise ValueError("weight_vector_sparsity must be in [0, 1]")
+    geometry = se_geometry(spec, basis_size)
+    alive_rows = int(np.ceil(geometry.rows * (1.0 - weight_vector_sparsity)))
+    s = geometry.basis_size
+    return {
+        "coefficient": geometry.matrices * alive_rows * s * ce_bits,
+        "basis": geometry.matrices * s * s * b_bits,
+        "index": geometry.matrices * geometry.rows,
+        "meta": geometry.matrices * 8,
+    }
+
+
+def smartexchange_storage_bits(
+    spec: LayerSpec,
+    weight_vector_sparsity: float,
+    ce_bits: int = 4,
+    b_bits: int = 8,
+    basis_size: Optional[int] = None,
+) -> int:
+    """Total bits to store a layer in SmartExchange form {Ce, B, index}."""
+    breakdown = smartexchange_storage_breakdown(
+        spec, weight_vector_sparsity, ce_bits, b_bits, basis_size
+    )
+    return int(sum(breakdown.values()))
+
+
+def dense_storage_bits(spec: LayerSpec, weight_bits: int = 8) -> int:
+    """Bits to store the layer's weights densely."""
+    return spec.weight_count * weight_bits
+
+
+# ----------------------------------------------------------------------
+# Tracing specs from a live model
+# ----------------------------------------------------------------------
+def trace_layer_specs(
+    model: nn.Module, input_shape: Tuple[int, ...]
+) -> List[LayerSpec]:
+    """Run one forward pass and record a LayerSpec per conv/linear call.
+
+    Layer kinds are classified from the module: grouped conv with
+    ``groups == C == M`` is DEPTHWISE; 1x1 convs inside a module whose
+    class name contains "SqueezeExcite" are SQUEEZE_EXCITE; Linear is FC.
+    """
+    records: List[LayerSpec] = []
+    name_of = {id(m): n for n, m in model.named_modules()}
+    se_members = set()
+    for module_name, module in model.named_modules():
+        if "SqueezeExcite" in type(module).__name__:
+            for _, child in module.named_modules():
+                se_members.add(id(child))
+
+    original_conv_forward = nn.Conv2d.forward
+    original_linear_forward = nn.Linear.forward
+
+    def conv_forward(self, x):
+        if self.is_depthwise:
+            kind = LayerKind.DEPTHWISE
+        elif id(self) in se_members:
+            kind = LayerKind.SQUEEZE_EXCITE
+        else:
+            kind = LayerKind.CONV
+        if kind == LayerKind.SQUEEZE_EXCITE:
+            records.append(LayerSpec(
+                name=name_of.get(id(self), "conv"),
+                kind=kind,
+                in_channels=self.in_channels,
+                out_channels=self.out_channels,
+            ))
+        else:
+            records.append(LayerSpec(
+                name=name_of.get(id(self), "conv"),
+                kind=kind,
+                in_channels=self.in_channels,
+                out_channels=self.out_channels,
+                kernel=self.kernel_size,
+                stride=self.stride,
+                padding=self.padding,
+                in_h=x.shape[2],
+                in_w=x.shape[3],
+                dilation=self.dilation,
+            ))
+        return original_conv_forward(self, x)
+
+    def linear_forward(self, x):
+        records.append(LayerSpec(
+            name=name_of.get(id(self), "linear"),
+            kind=LayerKind.FC,
+            in_channels=self.in_features,
+            out_channels=self.out_features,
+        ))
+        return original_linear_forward(self, x)
+
+    nn.Conv2d.forward = conv_forward
+    nn.Linear.forward = linear_forward
+    try:
+        model.eval()
+        model(nn.Tensor(np.zeros(input_shape)))
+    finally:
+        nn.Conv2d.forward = original_conv_forward
+        nn.Linear.forward = original_linear_forward
+    return records

@@ -1,0 +1,95 @@
+"""Buffer configuration and the traffic -> LayerResult assembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.accelerator import LayerResult
+from repro.hardware.energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """On-chip buffer capacities and macro sizes.
+
+    ``*_kb`` is the total capacity used for tiling decisions; ``*_macro_kb``
+    is the size of the individual SRAM macro, which sets the per-access
+    energy (the paper's data-type driven memory partition means smaller
+    macros -> cheaper accesses for the SmartExchange design).
+    """
+
+    input_kb: float
+    weight_kb: float
+    output_kb: float
+    input_macro_kb: float
+    weight_macro_kb: float
+    output_macro_kb: float
+
+    @property
+    def input_bytes(self) -> float:
+        return self.input_kb * 1024
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.weight_kb * 1024
+
+    @property
+    def output_bytes(self) -> float:
+        return self.output_kb * 1024
+
+
+def assemble_result(
+    name: str,
+    macs: int,
+    effective_macs: float,
+    compute_cycles: float,
+    dram_bytes: Dict[str, float],
+    gb_bytes: Dict[str, float],
+    compute_energy_pj: Dict[str, float],
+    energy_model: EnergyModel,
+    buffers: BufferConfig,
+    dram_bytes_per_cycle: float,
+) -> LayerResult:
+    """Convert traffic/compute counts into an energy+latency LayerResult.
+
+    - every DRAM byte costs the Table I DRAM energy and implies one
+      global-buffer fill write;
+    - every GB byte costs the macro-size-dependent SRAM energy;
+    - compute energies are taken as given (accelerator-specific).
+    """
+    energy: Dict[str, float] = {}
+    for key, count in dram_bytes.items():
+        energy[f"dram_{key}"] = count * energy_model.dram
+
+    macro_for = {
+        "input": buffers.input_macro_kb,
+        "weight": buffers.weight_macro_kb,
+        "output": buffers.output_macro_kb,
+    }
+    gb_traffic = dict(gb_bytes)
+    # DRAM fills are written into the matching buffer once.
+    for key, count in dram_bytes.items():
+        target = "weight" if key in ("weight", "index") else key
+        gb_traffic[f"{target}_write"] = gb_traffic.get(f"{target}_write", 0.0) + count
+    for key, count in gb_traffic.items():
+        buffer_name, _, direction = key.partition("_")
+        macro = macro_for.get(buffer_name)
+        if macro is None:
+            raise KeyError(f"unknown buffer in gb traffic key {key!r}")
+        energy[f"gb_{key}"] = count * energy_model.sram(macro)
+
+    for key, value in compute_energy_pj.items():
+        energy[key] = energy.get(key, 0.0) + value
+
+    total_dram = float(sum(dram_bytes.values()))
+    dram_cycles = total_dram / dram_bytes_per_cycle
+    return LayerResult(
+        name=name,
+        macs=macs,
+        effective_macs=effective_macs,
+        compute_cycles=compute_cycles,
+        dram_cycles=dram_cycles,
+        energy_pj=energy,
+        dram_bytes=dram_bytes,
+    )

@@ -1,0 +1,275 @@
+"""Full-size layer inventories for the paper's seven benchmark models.
+
+These are built *analytically* from the same configuration tables the
+model zoo uses, so the hardware experiments always see the exact
+full-scale layer shapes (224x224 ImageNet, 32x32 CIFAR-10, 352x480
+CamVid) even though training runs on scaled-down instances.
+
+Shape fidelity is tested against :func:`repro.hardware.layers.trace_layer_specs`
+on small instantiated models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.hardware.layers import LayerKind, LayerSpec
+from repro.nn.functional import conv_output_size
+from repro.nn.models.efficientnet import (
+    EFFICIENTNET_B0_BLOCKS,
+    HEAD_CHANNELS as EFF_HEAD,
+    SE_RATIO,
+    STEM_CHANNELS as EFF_STEM,
+)
+from repro.nn.models.mlp import MLP1_WIDTHS, MLP2_WIDTHS
+from repro.nn.models.mobilenet import (
+    HEAD_CHANNELS as MBV2_HEAD,
+    MOBILENET_V2_BLOCKS,
+    STEM_CHANNELS as MBV2_STEM,
+)
+from repro.nn.models.vgg import VGG_CONFIGS
+
+
+def _conv(name, c, m, k, s, p, h, w, kind=LayerKind.CONV, dilation=1) -> LayerSpec:
+    return LayerSpec(name=name, kind=kind, in_channels=c, out_channels=m,
+                     kernel=k, stride=s, padding=p, in_h=h, in_w=w,
+                     dilation=dilation)
+
+
+def _fc(name, c, m, kind=LayerKind.FC) -> LayerSpec:
+    return LayerSpec(name=name, kind=kind, in_channels=c, out_channels=m)
+
+
+def _after(h: int, w: int, k: int, s: int, p: int, d: int = 1) -> Tuple[int, int]:
+    return (conv_output_size(h, k, s, p, d), conv_output_size(w, k, s, p, d))
+
+
+# ----------------------------------------------------------------------
+# VGG
+# ----------------------------------------------------------------------
+def vgg_specs(config_name: str, input_hw: int, num_classes: int,
+              imagenet_head: bool) -> List[LayerSpec]:
+    specs: List[LayerSpec] = []
+    h = w = input_hw
+    channels = 3
+    conv_index = 0
+    for item in VGG_CONFIGS[config_name]:
+        if item == "M":
+            h, w = h // 2, w // 2
+            continue
+        out = int(item)
+        specs.append(_conv(f"conv{conv_index}", channels, out, 3, 1, 1, h, w))
+        channels = out
+        conv_index += 1
+    if imagenet_head:
+        flat = channels * h * w
+        specs.append(_fc("fc0", flat, 4096))
+        specs.append(_fc("fc1", 4096, 4096))
+        specs.append(_fc("fc2", 4096, num_classes))
+    else:
+        specs.append(_fc("fc0", channels, 512))
+        specs.append(_fc("fc1", 512, num_classes))
+    return specs
+
+
+def vgg11_specs(input_hw: int = 224, num_classes: int = 1000) -> List[LayerSpec]:
+    """VGG11 on ImageNet, with the classic 4096-wide FC head (which is
+    why its FC weights dominate parameter size — Fig. 13's observation)."""
+    return vgg_specs("vgg11", input_hw, num_classes, imagenet_head=True)
+
+
+def vgg19_specs(input_hw: int = 32, num_classes: int = 10) -> List[LayerSpec]:
+    """VGG19 on CIFAR-10 with the compact 512-wide head."""
+    return vgg_specs("vgg19", input_hw, num_classes, imagenet_head=False)
+
+
+# ----------------------------------------------------------------------
+# ResNet
+# ----------------------------------------------------------------------
+def _bottleneck_specs(prefix: str, c_in: int, planes: int, stride: int,
+                      h: int, w: int) -> Tuple[List[LayerSpec], int, int, int]:
+    out_channels = planes * 4
+    specs = [
+        _conv(f"{prefix}.conv1", c_in, planes, 1, 1, 0, h, w),
+    ]
+    h2, w2 = _after(h, w, 3, stride, 1)
+    specs.append(_conv(f"{prefix}.conv2", planes, planes, 3, stride, 1, h, w))
+    specs.append(_conv(f"{prefix}.conv3", planes, out_channels, 1, 1, 0, h2, w2))
+    if stride != 1 or c_in != out_channels:
+        specs.append(_conv(f"{prefix}.down", c_in, out_channels, 1, stride, 0, h, w))
+    return specs, out_channels, h2, w2
+
+
+def resnet50_specs(input_hw: int = 224, num_classes: int = 1000) -> List[LayerSpec]:
+    specs: List[LayerSpec] = []
+    h = w = input_hw
+    specs.append(_conv("stem", 3, 64, 7, 2, 3, h, w))
+    h, w = _after(h, w, 7, 2, 3)
+    h, w = _after(h, w, 3, 2, 1)  # maxpool 3x3/2 pad 1 (PyTorch semantics)
+    channels = 64
+    for stage, (blocks, planes) in enumerate(zip([3, 4, 6, 3], [64, 128, 256, 512])):
+        for index in range(blocks):
+            stride = 2 if (stage > 0 and index == 0) else 1
+            block_specs, channels, h, w = _bottleneck_specs(
+                f"s{stage}b{index}", channels, planes, stride, h, w)
+            specs.extend(block_specs)
+    specs.append(_fc("fc", channels, num_classes))
+    return specs
+
+
+def resnet164_specs(input_hw: int = 32, num_classes: int = 10) -> List[LayerSpec]:
+    specs: List[LayerSpec] = []
+    h = w = input_hw
+    specs.append(_conv("stem", 3, 16, 3, 1, 1, h, w))
+    channels = 16
+    for stage, planes in enumerate([16, 32, 64]):
+        for index in range(18):
+            stride = 2 if (stage > 0 and index == 0) else 1
+            block_specs, channels, h, w = _bottleneck_specs(
+                f"s{stage}b{index}", channels, planes, stride, h, w)
+            specs.extend(block_specs)
+    specs.append(_fc("fc", channels, num_classes))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Compact models
+# ----------------------------------------------------------------------
+def mobilenet_v2_specs(input_hw: int = 224, num_classes: int = 1000) -> List[LayerSpec]:
+    specs: List[LayerSpec] = []
+    h = w = input_hw
+    specs.append(_conv("stem", 3, MBV2_STEM, 3, 2, 1, h, w))
+    h, w = _after(h, w, 3, 2, 1)
+    channels = MBV2_STEM
+    block = 0
+    for expansion, out, repeats, first_stride in MOBILENET_V2_BLOCKS:
+        for index in range(repeats):
+            stride = first_stride if index == 0 else 1
+            hidden = channels * expansion
+            prefix = f"b{block}"
+            if expansion != 1:
+                specs.append(_conv(f"{prefix}.expand", channels, hidden, 1, 1, 0, h, w))
+            specs.append(_conv(f"{prefix}.dw", hidden, hidden, 3, stride, 1, h, w,
+                               kind=LayerKind.DEPTHWISE))
+            h, w = _after(h, w, 3, stride, 1)
+            specs.append(_conv(f"{prefix}.project", hidden, out, 1, 1, 0, h, w))
+            channels = out
+            block += 1
+    specs.append(_conv("head", channels, MBV2_HEAD, 1, 1, 0, h, w))
+    specs.append(_fc("fc", MBV2_HEAD, num_classes))
+    return specs
+
+
+def efficientnet_b0_specs(input_hw: int = 224, num_classes: int = 1000) -> List[LayerSpec]:
+    specs: List[LayerSpec] = []
+    h = w = input_hw
+    specs.append(_conv("stem", 3, EFF_STEM, 3, 2, 1, h, w))
+    h, w = _after(h, w, 3, 2, 1)
+    channels = EFF_STEM
+    block = 0
+    for expansion, out, repeats, first_stride, kernel in EFFICIENTNET_B0_BLOCKS:
+        for index in range(repeats):
+            stride = first_stride if index == 0 else 1
+            hidden = channels * expansion
+            prefix = f"b{block}"
+            if expansion != 1:
+                specs.append(_conv(f"{prefix}.expand", channels, hidden, 1, 1, 0, h, w))
+            specs.append(_conv(f"{prefix}.dw", hidden, hidden, kernel, stride,
+                               kernel // 2, h, w, kind=LayerKind.DEPTHWISE))
+            h, w = _after(h, w, kernel, stride, kernel // 2)
+            reduced = max(1, int(channels * SE_RATIO))
+            specs.append(_fc(f"{prefix}.se_reduce", hidden, reduced,
+                             kind=LayerKind.SQUEEZE_EXCITE))
+            specs.append(_fc(f"{prefix}.se_expand", reduced, hidden,
+                             kind=LayerKind.SQUEEZE_EXCITE))
+            specs.append(_conv(f"{prefix}.project", hidden, out, 1, 1, 0, h, w))
+            channels = out
+            block += 1
+    specs.append(_conv("head", channels, EFF_HEAD, 1, 1, 0, h, w))
+    specs.append(_fc("fc", EFF_HEAD, num_classes))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# DeepLabV3+ (ResNet-50 backbone, output stride 16)
+# ----------------------------------------------------------------------
+def deeplabv3plus_specs(input_h: int = 352, input_w: int = 480,
+                        num_classes: int = 11) -> List[LayerSpec]:
+    specs: List[LayerSpec] = []
+    h, w = input_h, input_w
+    specs.append(_conv("stem", 3, 64, 7, 2, 3, h, w))
+    h, w = _after(h, w, 7, 2, 3)
+    h, w = _after(h, w, 3, 2, 1)
+    channels = 64
+    low_h = low_w = None
+    low_channels = None
+    for stage, (blocks, planes, stride) in enumerate(
+        zip([3, 4, 6, 3], [64, 128, 256, 512], [1, 2, 2, 1])
+    ):
+        for index in range(blocks):
+            s = stride if index == 0 else 1
+            block_specs, channels, h, w = _bottleneck_specs(
+                f"s{stage}b{index}", channels, planes, s, h, w)
+            specs.extend(block_specs)
+        if stage == 0:
+            low_h, low_w, low_channels = h, w, channels
+    aspp = 256
+    specs.append(_conv("aspp.b0", channels, aspp, 1, 1, 0, h, w))
+    for rate in (6, 12, 18):
+        specs.append(_conv(f"aspp.b{rate}", channels, aspp, 3, 1, rate, h, w,
+                           dilation=rate))
+    specs.append(_conv("aspp.image", channels, aspp, 1, 1, 0, 1, 1))
+    specs.append(_conv("aspp.project", 5 * aspp, aspp, 1, 1, 0, h, w))
+    specs.append(_conv("decoder.low", low_channels, 48, 1, 1, 0, low_h, low_w))
+    specs.append(_conv("decoder.fuse", aspp + 48, aspp, 3, 1, 1, low_h, low_w))
+    specs.append(_conv("decoder.classifier", aspp, num_classes, 1, 1, 0,
+                       low_h, low_w))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# MLPs
+# ----------------------------------------------------------------------
+def mlp1_specs() -> List[LayerSpec]:
+    widths = MLP1_WIDTHS
+    return [_fc(f"fc{i}", widths[i], widths[i + 1]) for i in range(len(widths) - 1)]
+
+
+def mlp2_specs() -> List[LayerSpec]:
+    widths = MLP2_WIDTHS
+    return [_fc(f"fc{i}", widths[i], widths[i + 1]) for i in range(len(widths) - 1)]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+MODEL_SPEC_BUILDERS = {
+    "vgg11": vgg11_specs,
+    "vgg19": vgg19_specs,
+    "resnet50": resnet50_specs,
+    "resnet164": resnet164_specs,
+    "mobilenetv2": mobilenet_v2_specs,
+    "efficientnet_b0": efficientnet_b0_specs,
+    "deeplabv3plus": deeplabv3plus_specs,
+    "mlp1": mlp1_specs,
+    "mlp2": mlp2_specs,
+}
+
+
+def model_specs(model_name: str, **kwargs) -> List[LayerSpec]:
+    """Full-size inventory for a registered model."""
+    if model_name not in MODEL_SPEC_BUILDERS:
+        raise KeyError(
+            f"unknown model {model_name!r}; known: {sorted(MODEL_SPEC_BUILDERS)}"
+        )
+    return MODEL_SPEC_BUILDERS[model_name](**kwargs)
+
+
+def total_weight_count(specs: List[LayerSpec]) -> int:
+    return int(np.sum([s.weight_count for s in specs]))
+
+
+def total_macs(specs: List[LayerSpec]) -> int:
+    return int(np.sum([s.macs for s in specs]))

@@ -1,0 +1,80 @@
+"""Measured activation-sparsity profiles for the compiler.
+
+Bridges the algorithm and hardware halves: run a (trained, compressed)
+model on sample inputs, measure each activation's element / vector / bit
+/ Booth sparsity, and hand the result to
+:func:`repro.hardware.interface.compile_workloads` so the simulator uses
+*measured* instead of assumed statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro import nn
+from repro.hardware.layers import LayerSparsity
+from repro.nn.introspect import collect_activations
+from repro.sparsity.booth import booth_term_sparsity
+from repro.sparsity.metrics import bit_sparsity, element_sparsity, quantize_to_fixed
+
+
+def _activation_sparsity(activation: np.ndarray, act_bits: int) -> LayerSparsity:
+    codes = quantize_to_fixed(activation, act_bits)
+    if activation.ndim == 4:
+        rows = activation.transpose(0, 2, 1, 3).reshape(-1, activation.shape[3])
+        vector = float(1.0 - np.any(rows != 0, axis=1).mean()) if rows.size else 0.0
+    else:
+        vector = 0.0
+    return LayerSparsity(
+        act_element=element_sparsity(activation),
+        act_vector=vector,
+        act_bit=bit_sparsity(codes, act_bits),
+        act_booth=booth_term_sparsity(codes, act_bits),
+    )
+
+
+def measure_activation_sparsity(
+    model: nn.Module,
+    images: np.ndarray,
+    act_bits: int = 8,
+) -> Dict[str, LayerSparsity]:
+    """Per-activation-module sparsity statistics over a sample batch.
+
+    The returned mapping is keyed by the activation module's name; to
+    attach it to conv/linear layer names, use
+    :func:`assign_to_consumers`.
+    """
+    captured = collect_activations(model, images)
+    return {
+        name: _activation_sparsity(act, act_bits)
+        for name, act in captured.items()
+    }
+
+
+def assign_to_consumers(
+    model: nn.Module,
+    activation_stats: Dict[str, LayerSparsity],
+) -> Dict[str, LayerSparsity]:
+    """Map each conv/linear layer to the activation stats of its *input*.
+
+    Walks every composite module's ordered children: an activation module
+    followed (possibly after pooling) by a conv/linear feeds that layer.
+    Layers without a preceding measured activation (e.g. the stem) keep
+    dense statistics.
+    """
+    from repro.nn.activation import ReLU, ReLU6, SiLU
+
+    out: Dict[str, LayerSparsity] = {}
+    for module_name, module in model.named_modules():
+        children: List = list(module._modules.items())
+        last_activation: str | None = None
+        for child_name, child in children:
+            full_name = f"{module_name}.{child_name}" if module_name else child_name
+            if isinstance(child, (ReLU, ReLU6, SiLU)):
+                last_activation = full_name
+            elif isinstance(child, (nn.Conv2d, nn.Linear)):
+                if last_activation is not None and last_activation in activation_stats:
+                    out[full_name] = activation_stats[last_activation]
+    return out

@@ -1,0 +1,108 @@
+"""Human-readable reports over simulation results.
+
+Renders per-layer tables and side-by-side design comparisons from
+:class:`~repro.hardware.accelerator.ModelResult` objects — the
+inspection surface a user reaches for when studying where a model's
+time and energy go.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.hardware.accelerator import ModelResult
+
+
+def _format_row(cells: List[str], widths: List[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def _render(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [_format_row(headers, widths),
+             _format_row(["-" * w for w in widths], widths)]
+    lines += [_format_row(row, widths) for row in rows]
+    return "\n".join(lines)
+
+
+def layer_report(result: ModelResult, top: int | None = None) -> str:
+    """Per-layer table: work, cycles, energy, and the binding resource.
+
+    ``top`` keeps only the N most cycle-hungry layers (None = all).
+    """
+    layers = sorted(result.layers, key=lambda l: l.cycles, reverse=True)
+    if top is not None:
+        layers = layers[:top]
+    rows = []
+    total_energy = result.total_energy_pj or 1.0
+    for layer in layers:
+        bound = "dram" if layer.dram_cycles > layer.compute_cycles else "compute"
+        rows.append([
+            layer.name,
+            f"{layer.macs / 1e6:.1f}M",
+            f"{layer.cycles:,.0f}",
+            f"{layer.total_energy_pj / 1e6:.2f}uJ",
+            f"{100 * layer.total_energy_pj / total_energy:.1f}%",
+            bound,
+        ])
+    header = (f"{result.model} on {result.accelerator}: "
+              f"{result.total_cycles:,.0f} cycles, "
+              f"{result.energy_mj():.3f} mJ")
+    table = _render(
+        ["layer", "macs", "cycles", "energy", "share", "bound"], rows
+    )
+    return f"{header}\n{table}"
+
+
+def comparison_report(results: Iterable[ModelResult]) -> str:
+    """Side-by-side comparison of several designs on the same model.
+
+    Normalizes energy efficiency and speedup to the first result.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("no results to compare")
+    models = {r.model for r in results}
+    if len(models) != 1:
+        raise ValueError(f"results span several models: {sorted(models)}")
+    base = results[0]
+    rows = []
+    for result in results:
+        bounds = result.bound_analysis()
+        rows.append([
+            result.accelerator,
+            f"{result.energy_mj():.3f}mJ",
+            f"{base.total_energy_pj / result.total_energy_pj:.2f}x",
+            f"{result.latency_ms:.3f}ms",
+            f"{base.total_cycles / result.total_cycles:.2f}x",
+            f"{result.total_dram_bytes / 2**20:.2f}MiB",
+            f"{100 * bounds['dram_bound']:.0f}%",
+        ])
+    table = _render(
+        ["design", "energy", "eff-gain", "latency", "speedup", "dram",
+         "dram-bound"],
+        rows,
+    )
+    return f"model: {base.model} (normalized to {base.accelerator})\n{table}"
+
+
+def breakdown_report(result: ModelResult, min_share: float = 0.005) -> str:
+    """Energy breakdown sorted by share, hiding sub-``min_share`` rows."""
+    breakdown = result.energy_breakdown()
+    total = sum(breakdown.values()) or 1.0
+    rows = []
+    hidden = 0.0
+    for key in sorted(breakdown, key=breakdown.get, reverse=True):
+        share = breakdown[key] / total
+        if share < min_share:
+            hidden += share
+            continue
+        if breakdown[key] == 0:
+            continue
+        rows.append([key, f"{breakdown[key] / 1e6:.2f}uJ", f"{100 * share:.2f}%"])
+    if hidden:
+        rows.append(["(other)", "", f"{100 * hidden:.2f}%"])
+    return _render(["component", "energy", "share"], rows)

@@ -1,0 +1,48 @@
+"""Shared resource constants (paper Table V).
+
+All accelerators get the same compute and on-chip SRAM budget:
+
+- SmartExchange / Bit-pragmatic: 8K bit-serial multipliers;
+- DianNao / SCNN / Cambricon-X: 1K 8-bit (non-bit-serial) multipliers —
+  the same silicon, since one 8-bit multiplier ~ eight bit-serial lanes;
+- on-chip SRAM: 512 KB input GB (16 KB x 32 banks), 4 KB output GB
+  (2 KB x 2), 256 KB weight storage (2 KB x 2 banks per PE slice x 64).
+
+The baselines use centralized buffers, so their SRAM macros are larger
+(costlier per access) than SmartExchange's data-type partitioned banks.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.memory import BufferConfig
+
+MULTIPLIERS_8BIT = 1024
+BIT_SERIAL_LANES = 8192
+ACT_BITS = 8
+# 64 GB/s at 1 GHz — a standard DDR4-class interface; all designs get the
+# same DRAM bandwidth.
+DRAM_BYTES_PER_CYCLE = 64.0
+
+INPUT_GB_KB = 512.0
+WEIGHT_GB_KB = 256.0
+OUTPUT_GB_KB = 4.0
+
+# Centralized buffers: macro = bank of a large central SRAM.
+BASELINE_BUFFERS = BufferConfig(
+    input_kb=INPUT_GB_KB,
+    weight_kb=WEIGHT_GB_KB,
+    output_kb=OUTPUT_GB_KB,
+    input_macro_kb=64.0,
+    weight_macro_kb=64.0,
+    output_macro_kb=4.0,
+)
+
+# SmartExchange: data-type driven partition (Table V bank sizes).
+SMARTEXCHANGE_BUFFERS = BufferConfig(
+    input_kb=INPUT_GB_KB,
+    weight_kb=WEIGHT_GB_KB,
+    output_kb=OUTPUT_GB_KB,
+    input_macro_kb=16.0,
+    weight_macro_kb=2.0,
+    output_macro_kb=2.0,
+)

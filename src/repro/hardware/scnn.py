@@ -1,0 +1,116 @@
+"""SCNN: weight + activation element-sparsity baseline.
+
+SCNN keeps both operands compressed (values + RLC indexes) end to end and
+multiplies only non-zero pairs in a Cartesian-product PE, so its
+effective work scales with the *product* of weight and activation
+densities.  The cost: products land in arbitrary accumulator banks
+(crossbar + bank-conflict overhead) and the architecture is known to be
+inefficient on 1x1 convolutions and FC layers, where the Cartesian
+product cannot be reused spatially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.accelerator import (
+    Accelerator,
+    LayerResult,
+    dram_tiling,
+    lane_utilization,
+)
+from repro.hardware.layers import LayerWorkload
+from repro.hardware.memory import assemble_result
+from repro.hardware.resources import (
+    BASELINE_BUFFERS,
+    DRAM_BYTES_PER_CYCLE,
+    MULTIPLIERS_8BIT,
+)
+
+PE_COUNT = 64
+LANES_PER_PE = MULTIPLIERS_8BIT // PE_COUNT
+RLC_INDEX_BITS = 4
+# Cartesian-product reuse keeps GB traffic low for 3x3+ convs.
+WEIGHT_GB_REUSE = 16.0
+# Accumulator crossbar conflicts (SCNN paper reports ~20% stall overhead).
+CROSSBAR_EFFICIENCY = 0.8
+# 1x1 / FC layers cannot form useful Cartesian products.
+POINTWISE_EFFICIENCY = 0.5
+
+
+class SCNN(Accelerator):
+    name = "scnn"
+
+    def simulate_layer(self, workload: LayerWorkload) -> LayerResult:
+        spec = workload.spec
+        sparsity = workload.sparsity
+        macs = spec.macs * workload.batch
+        weight_density = 1.0 - sparsity.weight_element
+        act_density = 1.0 - sparsity.act_element
+        effective_macs = macs * weight_density * act_density
+
+        nnz_weights = spec.weight_count * weight_density
+        sparse_bytes = nnz_weights * (1.0 + RLC_INDEX_BITS / 8.0)
+        dense_bytes = float(spec.weight_count)
+        if sparse_bytes < dense_bytes:
+            weight_bytes = sparse_bytes
+            weight_index_bytes = nnz_weights * RLC_INDEX_BITS / 8.0
+        else:
+            # Nearly-dense layers are cheaper stored without indexes.
+            weight_bytes = dense_bytes
+            weight_index_bytes = 0.0
+        input_bytes = (
+            spec.input_count * workload.batch * act_density
+            * (1.0 + RLC_INDEX_BITS / 8.0)
+        )
+        output_bytes = float(spec.output_count) * workload.batch
+
+        dram_w, dram_i, dram_o = dram_tiling(
+            weight_bytes,
+            0.0 if workload.input_onchip else input_bytes,
+            0.0 if workload.output_onchip else output_bytes,
+            BASELINE_BUFFERS.weight_bytes,
+            BASELINE_BUFFERS.input_bytes,
+        )
+        dram = {
+            "weight": max(dram_w - weight_index_bytes, 0.0),
+            "index": weight_index_bytes,
+            "input": dram_i,
+            "output": dram_o,
+        }
+
+        m_tiles = int(np.ceil(spec.out_channels / PE_COUNT))
+        gb = {
+            "input_read": input_bytes * m_tiles,
+            "weight_read": effective_macs / WEIGHT_GB_REUSE,
+            "output_write": output_bytes,
+            # Scattered partial sums bounce through the output banks.
+            "output_read": output_bytes,
+        }
+
+        utilization = lane_utilization(spec.out_channels, PE_COUNT)
+        utilization *= lane_utilization(
+            int(np.ceil(spec.reduction_depth * weight_density)), LANES_PER_PE
+        )
+        utilization *= CROSSBAR_EFFICIENCY
+        if spec.kernel == 1 or spec.is_fc_like:
+            utilization *= POINTWISE_EFFICIENCY
+        compute_cycles = effective_macs / (MULTIPLIERS_8BIT * max(utilization, 1e-9))
+        compute_energy = {
+            "pe": effective_macs * (self.energy.mac + 3 * self.energy.register_file),
+            # Crossbar + accumulator-bank traffic per product.
+            "accumulator": effective_macs * 2 * self.energy.register_file,
+            "index_selector": effective_macs * self.energy.register_file * 0.5,
+        }
+        return assemble_result(
+            name=spec.name,
+            macs=macs,
+            effective_macs=effective_macs,
+            compute_cycles=compute_cycles,
+            dram_bytes=dram,
+            gb_bytes=gb,
+            compute_energy_pj=compute_energy,
+            energy_model=self.energy,
+            buffers=BASELINE_BUFFERS,
+            dram_bytes_per_cycle=DRAM_BYTES_PER_CYCLE,
+        )

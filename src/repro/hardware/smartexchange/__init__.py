@@ -1,0 +1,38 @@
+"""The SmartExchange accelerator (paper Section IV)."""
+
+from repro.hardware.smartexchange.config import (
+    DEFAULT_ACCELERATOR_CONFIG,
+    SmartExchangeAcceleratorConfig,
+)
+from repro.hardware.smartexchange.dataflow import (
+    array_utilization,
+    input_reads_per_element,
+)
+from repro.hardware.smartexchange.index_select import (
+    IndexSelectCost,
+    SkipProfile,
+    index_select_cost,
+)
+from repro.hardware.smartexchange.pe import (
+    BitSerialProfile,
+    pe_energy_pj,
+    serial_ops,
+)
+from repro.hardware.smartexchange.rebuild_engine import RebuildCost, rebuild_cost
+from repro.hardware.smartexchange.simulator import SmartExchangeAccelerator
+
+__all__ = [
+    "SmartExchangeAccelerator",
+    "SmartExchangeAcceleratorConfig",
+    "DEFAULT_ACCELERATOR_CONFIG",
+    "array_utilization",
+    "input_reads_per_element",
+    "BitSerialProfile",
+    "serial_ops",
+    "pe_energy_pj",
+    "RebuildCost",
+    "rebuild_cost",
+    "IndexSelectCost",
+    "SkipProfile",
+    "index_select_cost",
+]

@@ -1,0 +1,57 @@
+"""SmartExchange accelerator configuration (paper Table V + §IV-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SmartExchangeAcceleratorConfig:
+    """Architecture parameters and ablation switches.
+
+    Attributes
+    ----------
+    dim_m / dim_c / dim_f:
+        The 3-D PE array: 64 PE slices (parallel filters) x 16 PE lines
+        (parallel input channels) x 8 MACs (parallel output pixels) =
+        8K bit-serial multipliers.
+    act_bits / ce_bits / b_bits:
+        Data precisions (8-bit activations, 4-bit coefficients, 8-bit
+        basis entries).
+    use_compressed_weights / exploit_vector_sparsity / exploit_bit_sparsity:
+        The three component techniques of the §V-B contribution ablation;
+        all on for the full design.
+    dedicated_compact_dataflow:
+        The depth-wise / squeeze-and-excite handling of §IV-B (Fig. 15's
+        ablation switch).
+    sufficient_dram_bandwidth:
+        When True latency is compute-bound only (the assumption the paper
+        states for its ablation studies).
+    control_pj_per_cycle:
+        Clock/control overhead charged per active cycle; what the
+        dedicated compact dataflow saves on top of pure data movement.
+    """
+
+    dim_m: int = 64
+    dim_c: int = 16
+    dim_f: int = 8
+    act_bits: int = 8
+    ce_bits: int = 4
+    b_bits: int = 8
+    use_compressed_weights: bool = True
+    exploit_vector_sparsity: bool = True
+    exploit_bit_sparsity: bool = True
+    dedicated_compact_dataflow: bool = True
+    sufficient_dram_bandwidth: bool = False
+    dram_bytes_per_cycle: float = 64.0
+    control_pj_per_cycle: float = 8.0
+
+    @property
+    def bit_serial_lanes(self) -> int:
+        return self.dim_m * self.dim_c * self.dim_f
+
+    def with_overrides(self, **kwargs) -> "SmartExchangeAcceleratorConfig":
+        return replace(self, **kwargs)
+
+
+DEFAULT_ACCELERATOR_CONFIG = SmartExchangeAcceleratorConfig()

@@ -1,0 +1,75 @@
+"""Dataflow / utilization model for the SmartExchange PE array.
+
+Standard convolutions map: filters -> the ``dim_m`` PE slices, input
+channels -> the ``dim_c`` PE lines, output pixels -> the ``dim_f`` MACs
+of each line (1-D row stationary inside the line, output stationary
+across the slice).
+
+The *dedicated compact-model dataflow* (§IV-B, Fig. 15) changes two
+mappings:
+
+- depth-wise conv: the layer has one input channel per filter, which
+  would idle 15 of 16 PE lines.  Instead the R kernel rows' 1-D convs
+  spread across the PE lines.
+- squeeze-and-excite / FC: the ``dim_f`` MACs of a line split into
+  clusters driven by the line's two REs, each cluster computing a
+  different output pixel/neuron.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.accelerator import lane_utilization
+from repro.hardware.layers import LayerKind, LayerSpec
+from repro.hardware.smartexchange.config import SmartExchangeAcceleratorConfig
+
+FC_CLUSTERS = 2  # one per RE in a PE line
+
+
+def array_utilization(
+    spec: LayerSpec, config: SmartExchangeAcceleratorConfig
+) -> float:
+    """Fraction of the 3-D PE array doing useful work for this layer."""
+    util_m = lane_utilization(spec.out_channels, config.dim_m)
+
+    if spec.kind == LayerKind.DEPTHWISE:
+        if config.dedicated_compact_dataflow:
+            # The R 1-D convolutions of each filter spread across R PE
+            # lines, so R lines per slice stay busy.
+            util_c = min(1.0, spec.kernel / config.dim_c)
+        else:
+            # One input channel per filter: one PE line alive per slice.
+            util_c = 1.0 / config.dim_c
+        util_f = lane_utilization(spec.out_h * spec.out_w, config.dim_f)
+        return util_m * util_c * util_f
+
+    if spec.is_fc_like:
+        # No weight reuse across pixels; the MAC array only fills if the
+        # clusters split it across output neurons.
+        util_c = lane_utilization(spec.in_channels, config.dim_c)
+        if config.dedicated_compact_dataflow:
+            util_f = min(1.0, FC_CLUSTERS / config.dim_f)
+        else:
+            util_f = 1.0 / config.dim_f
+        return util_m * util_c * util_f
+
+    util_c = lane_utilization(spec.in_channels, config.dim_c)
+    util_f = lane_utilization(spec.out_h * spec.out_w, config.dim_f)
+    return util_m * util_c * util_f
+
+
+def input_reads_per_element(
+    spec: LayerSpec, config: SmartExchangeAcceleratorConfig
+) -> float:
+    """Global-buffer reads per input element (before sparsity skipping).
+
+    Inputs are re-read once per output-channel tile; the FIFO inside the
+    PE line covers the kernel-window reuse, and the dedicated depth-wise
+    mapping shares a fetched row across the PE lines (one read).  The
+    fallback mapping loses the cross-line sharing but its double-buffered
+    FIFO still catches adjacent-row overlap, so it re-reads each row
+    about ceil(kernel / 2) times.
+    """
+    m_tiles = max(1, -(-spec.out_channels // config.dim_m))  # ceil div
+    if spec.kind == LayerKind.DEPTHWISE and not config.dedicated_compact_dataflow:
+        return float(m_tiles * ((spec.kernel + 1) // 2))
+    return float(m_tiles)

@@ -1,0 +1,82 @@
+"""Functional (bit-exact) model of the rebuild engine.
+
+The cost model in :mod:`repro.hardware.smartexchange.rebuild_engine`
+counts operations; this module actually *performs* the rebuild the way
+the RTL would: integer basis entries, and per non-zero coefficient an
+arithmetic **shift** (the power-of-2 multiply) plus an **add** — no
+multiplier anywhere.  Used by tests to verify that the shift-and-add
+datapath reproduces ``Ce @ B`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class RebuildTrace:
+    """Operation log of one functional rebuild."""
+
+    shifts: int = 0
+    adds: int = 0
+    rows_rebuilt: int = 0
+    rows_skipped: int = 0
+
+
+def rebuild_row_shift_add(
+    code_exponents: np.ndarray,
+    code_signs: np.ndarray,
+    basis_int: np.ndarray,
+    trace: RebuildTrace,
+) -> np.ndarray:
+    """Rebuild one weight row with shifts and adds only.
+
+    ``code_exponents[j]`` is the power-of-2 exponent of Ce[i, j] relative
+    to the largest exponent in use (a non-positive integer), or None
+    (marked by sign 0) for zero coefficients.  The accumulator works in
+    integers scaled by ``2**-min_exponent`` so every step is exact.
+    """
+    cols = basis_int.shape[1]
+    accumulator = np.zeros(cols, dtype=np.int64)
+    min_exponent = int(code_exponents.min()) if code_exponents.size else 0
+    for j in range(len(code_exponents)):
+        sign = int(code_signs[j])
+        if sign == 0:
+            continue
+        # shift amount is non-negative because we scale by min_exponent
+        shift = int(code_exponents[j]) - min_exponent
+        shifted = basis_int[j].astype(np.int64) << shift
+        trace.shifts += cols
+        accumulator += sign * shifted
+        trace.adds += cols
+    return accumulator * 2.0**min_exponent
+
+
+def functional_rebuild(
+    coefficient: np.ndarray,
+    basis_int: np.ndarray,
+    trace: RebuildTrace | None = None,
+) -> np.ndarray:
+    """Rebuild ``Ce @ B_int`` using only shifts and adds.
+
+    ``coefficient`` must be in SmartExchange form (entries 0 or ±2^p);
+    ``basis_int`` is the integer basis (e.g. the 8-bit codes).  Returns a
+    float array equal to ``coefficient @ basis_int`` exactly.
+    """
+    trace = trace if trace is not None else RebuildTrace()
+    rows, _ = coefficient.shape
+    out = np.zeros((rows, basis_int.shape[1]))
+    for i in range(rows):
+        row = coefficient[i]
+        if not np.any(row != 0):
+            trace.rows_skipped += 1
+            continue
+        trace.rows_rebuilt += 1
+        signs = np.sign(row).astype(np.int64)
+        exponents = np.zeros(len(row), dtype=np.int64)
+        nonzero = row != 0
+        exponents[nonzero] = np.round(np.log2(np.abs(row[nonzero]))).astype(np.int64)
+        out[i] = rebuild_row_shift_add(exponents, signs, basis_int, trace)
+    return out

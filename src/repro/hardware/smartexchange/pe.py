@@ -1,0 +1,64 @@
+"""PE line model: bit-serial MACs with Booth-encoded activations.
+
+Each PE line is an array of ``dim_f`` bit-serial MACs sharing a weight
+that streams in from the line's REs (1-D row stationary, Fig. 6).  A
+multiplication takes as many cycles as the activation has non-zero
+Booth terms (zero terms are skipped, as in Bit-Tactical)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.energy import EnergyModel
+from repro.sparsity.booth import booth_digits
+
+
+@dataclass(frozen=True)
+class BitSerialProfile:
+    """Average serial work per multiply for one layer's activations."""
+
+    act_bits: int
+    booth_term_sparsity: float  # zero-term fraction under Booth
+    exploit_bit_sparsity: bool = True
+
+    @property
+    def terms_per_mac(self) -> float:
+        """Average shift-and-add cycles per multiply."""
+        digits = booth_digits(self.act_bits)
+        if not self.exploit_bit_sparsity:
+            return float(digits)
+        survived = digits * (1.0 - self.booth_term_sparsity)
+        # At least one cycle per multiply (the MAC must observe the value).
+        return max(survived, 1.0)
+
+
+def serial_ops(effective_macs: float, profile: BitSerialProfile) -> float:
+    """Total shift-and-add operations for a layer."""
+    return effective_macs * profile.terms_per_mac
+
+
+def pe_energy_pj(
+    effective_macs: float,
+    ops: float,
+    input_elements: float,
+    energy: EnergyModel,
+    exploit_bit_sparsity: bool = True,
+) -> dict:
+    """PE-array energy: serial adds + operand registers + Booth encoders.
+
+    Booth encoding each 8-bit activation costs about one add's worth of
+    logic; operand movement within the line costs register accesses.
+    With bit-sparsity exploitation disabled (the §V-B ablation baseline)
+    the array behaves like ordinary 8-bit MACs and pays the full Table I
+    MAC energy per multiply-accumulate.
+    """
+    if not exploit_bit_sparsity:
+        return {
+            "pe": effective_macs * (energy.mac + 2 * energy.register_file),
+            "accumulator": effective_macs * energy.register_file,
+        }
+    return {
+        "pe": ops * energy.adder + effective_macs * 2 * energy.register_file,
+        "accumulator": effective_macs * energy.register_file,
+        "booth_encoder": input_elements * energy.adder,
+    }

@@ -1,0 +1,56 @@
+"""Rebuild engine (RE) cost model.
+
+Each PE line hosts two REs (ping-pong) holding one S x S basis matrix in
+a register file.  Rebuilding one weight row costs, per non-zero
+coefficient, S shift-and-add operations (the coefficient is a power of
+two, so the "multiply" is a shift) plus the basis-row RF reads.
+
+The RE accounts for <1% of total energy in the paper (Fig. 13) — this
+model reproduces that because shift-and-adds cost 0.019 pJ against
+100 pJ DRAM accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.layers import LayerSpec, se_geometry
+
+
+@dataclass(frozen=True)
+class RebuildCost:
+    """Operation counts for rebuilding one layer's weights once."""
+
+    shift_add_ops: int
+    rf_reads: int
+    basis_loads: int  # basis matrices fetched into RE register files
+
+    def energy_pj(self, energy: EnergyModel) -> float:
+        return (
+            self.shift_add_ops * energy.adder
+            + self.rf_reads * energy.register_file
+        )
+
+
+def rebuild_cost(
+    spec: LayerSpec,
+    weight_vector_sparsity: float,
+    basis_size: int | None = None,
+) -> RebuildCost:
+    """Cost of rebuilding all alive weight rows of a layer once.
+
+    Zero coefficient rows are never rebuilt (their index bit short-
+    circuits the RE), so the work scales with (1 - vector sparsity).
+    """
+    geometry = se_geometry(spec, basis_size)
+    alive_rows = int(round(geometry.total_rows * (1.0 - weight_vector_sparsity)))
+    s = geometry.basis_size
+    # Each alive row: S coefficients x S basis elements shift-and-added.
+    ops = alive_rows * s * s
+    rf_reads = alive_rows * s * s  # basis element reads from the RE RF
+    return RebuildCost(
+        shift_add_ops=ops,
+        rf_reads=rf_reads,
+        basis_loads=geometry.matrices,
+    )

@@ -1,0 +1,177 @@
+"""The SmartExchange accelerator simulator (paper Section IV).
+
+Everything the design exploits is switchable for the §V-B ablation:
+
+- ``use_compressed_weights`` — weights move as {B, Ce, index} instead of
+  dense 8-bit (the SmartExchange algorithm's contribution);
+- ``exploit_vector_sparsity`` — the index selector skips zero
+  coefficient-row / activation-row pairs (compute + fetch);
+- ``exploit_bit_sparsity`` — bit-serial MACs skip zero Booth terms;
+- ``dedicated_compact_dataflow`` — the depth-wise / squeeze-and-excite
+  mappings of Fig. 15.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.accelerator import Accelerator, LayerResult, dram_tiling
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.hardware.layers import (
+    LayerWorkload,
+    dense_storage_bits,
+    smartexchange_storage_breakdown,
+)
+from repro.hardware.memory import assemble_result
+from repro.hardware.resources import SMARTEXCHANGE_BUFFERS
+from repro.hardware.smartexchange.config import (
+    DEFAULT_ACCELERATOR_CONFIG,
+    SmartExchangeAcceleratorConfig,
+)
+from repro.hardware.smartexchange.dataflow import (
+    array_utilization,
+    input_reads_per_element,
+)
+from repro.hardware.smartexchange.index_select import (
+    SkipProfile,
+    index_select_cost,
+)
+from repro.hardware.smartexchange.pe import (
+    BitSerialProfile,
+    pe_energy_pj,
+    serial_ops,
+)
+from repro.hardware.smartexchange.rebuild_engine import rebuild_cost
+
+
+# Channel-wise sparsification runs before vector-wise (Algorithm 1), so a
+# sizable share of zero coefficient vectors align across filters on the
+# same input channel; those input regions are never fetched from DRAM at
+# all ("we can bypass reading the regions of the input feature map that
+# correspond to the pruned parameters", §III-B).
+CHANNEL_ALIGNED_SKIP = 0.6
+
+
+class SmartExchangeAccelerator(Accelerator):
+    name = "smartexchange"
+
+    def __init__(
+        self,
+        config: SmartExchangeAcceleratorConfig = DEFAULT_ACCELERATOR_CONFIG,
+        energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    ) -> None:
+        super().__init__(energy_model)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def simulate_layer(self, workload: LayerWorkload) -> LayerResult:
+        spec = workload.spec
+        sparsity = workload.sparsity
+        config = self.config
+        macs = spec.macs * workload.batch
+
+        # ---- sparsity the architecture can exploit -------------------
+        if config.exploit_vector_sparsity:
+            skip = SkipProfile(
+                weight_rows_skipped=sparsity.weight_vector,
+                act_rows_skipped=sparsity.act_vector,
+            )
+        else:
+            skip = SkipProfile(0.0, 0.0)
+        effective_macs = macs * skip.pair_survival
+
+        serial = BitSerialProfile(
+            act_bits=config.act_bits,
+            booth_term_sparsity=sparsity.act_booth,
+            exploit_bit_sparsity=config.exploit_bit_sparsity,
+        )
+        ops = serial_ops(effective_macs, serial)
+
+        # ---- weight storage ------------------------------------------
+        if config.use_compressed_weights:
+            wv = sparsity.weight_vector if config.exploit_vector_sparsity else 0.0
+            if workload.se_storage_bits is not None:
+                weight_bits = float(workload.se_storage_bits)
+                index_bits = smartexchange_storage_breakdown(
+                    spec, wv, config.ce_bits, config.b_bits
+                )["index"]
+            else:
+                breakdown = smartexchange_storage_breakdown(
+                    spec, wv, config.ce_bits, config.b_bits
+                )
+                weight_bits = float(sum(breakdown.values()))
+                index_bits = breakdown["index"]
+        else:
+            weight_bits = float(dense_storage_bits(spec, 8))
+            index_bits = 0.0
+        weight_bytes = weight_bits / 8.0
+        index_bytes = index_bits / 8.0
+
+        # ---- activation traffic --------------------------------------
+        if config.exploit_vector_sparsity:
+            act_keep = 1.0 - sparsity.act_vector
+            act_keep *= 1.0 - CHANNEL_ALIGNED_SKIP * sparsity.weight_vector
+        else:
+            act_keep = 1.0
+        input_bytes = spec.input_count * workload.batch * act_keep
+        output_bytes = float(spec.output_count) * workload.batch
+
+        dram_w, dram_i, dram_o = dram_tiling(
+            weight_bytes,
+            0.0 if workload.input_onchip else input_bytes,
+            0.0 if workload.output_onchip else output_bytes,
+            SMARTEXCHANGE_BUFFERS.weight_bytes,
+            SMARTEXCHANGE_BUFFERS.input_bytes,
+        )
+        dram = {
+            "weight": max(dram_w - index_bytes, 0.0),
+            "index": index_bytes,
+            "input": dram_i,
+            "output": dram_o,
+        }
+
+        # ---- global buffer traffic -----------------------------------
+        reads_per_input = input_reads_per_element(spec, config)
+        gb = {
+            # Basis + coefficients are weight-stationary in the REs: each
+            # stored byte crosses the weight buffer once per input pass.
+            "weight_read": weight_bytes,
+            "input_read": input_bytes * reads_per_input * skip.pair_survival
+            / max(act_keep, 1e-9),
+            "output_write": output_bytes,
+        }
+
+        # ---- compute -------------------------------------------------
+        utilization = array_utilization(spec, config)
+        compute_cycles = ops / (config.bit_serial_lanes * max(utilization, 1e-9))
+        rebuild = rebuild_cost(
+            spec,
+            sparsity.weight_vector if config.exploit_vector_sparsity else 0.0,
+        )
+        selector = index_select_cost(spec)
+        compute_energy = pe_energy_pj(
+            effective_macs,
+            ops,
+            spec.input_count * workload.batch,
+            self.energy,
+            exploit_bit_sparsity=config.exploit_bit_sparsity,
+        )
+        compute_energy["re"] = rebuild.energy_pj(self.energy)
+        compute_energy["index_selector"] = (
+            selector.energy_pj(self.energy) if config.exploit_vector_sparsity else 0.0
+        )
+        compute_energy["control"] = compute_cycles * config.control_pj_per_cycle
+
+        result = assemble_result(
+            name=spec.name,
+            macs=macs,
+            effective_macs=effective_macs,
+            compute_cycles=compute_cycles,
+            dram_bytes=dram,
+            gb_bytes=gb,
+            compute_energy_pj=compute_energy,
+            energy_model=self.energy,
+            buffers=SMARTEXCHANGE_BUFFERS,
+            dram_bytes_per_cycle=config.dram_bytes_per_cycle,
+        )
+        if config.sufficient_dram_bandwidth:
+            result.dram_cycles = 0.0
+        return result

@@ -1,0 +1,150 @@
+"""Benchmark workloads: full-size layer inventories + sparsity profiles.
+
+The hardware experiments run the paper's seven models at full scale.
+The sparsity each accelerator can exploit comes from a per-model profile:
+
+- weight vector sparsity from the paper's Table II/III "Spar." results
+  (conv-only values, since Figs. 10-12 exclude FC layers);
+- activation bit / Booth sparsity from Fig. 4;
+- activation element sparsity (ReLU zeros) and vector sparsity from the
+  paper's §IV-A discussion (up to 27-32% on some layers; modest means).
+
+Profiles are plain data and can be overridden with sparsities measured
+on trained models via :mod:`repro.hardware.interface`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.hardware.layers import (
+    LayerKind,
+    LayerSparsity,
+    LayerSpec,
+    LayerWorkload,
+    smartexchange_storage_bits,
+)
+from repro.hardware.modelspecs import model_specs
+from repro.hardware.resources import INPUT_GB_KB
+
+
+@dataclass(frozen=True)
+class ModelSparsityProfile:
+    """Per-model sparsity assumptions for full-size simulations."""
+
+    conv_weight_vector: float
+    fc_weight_vector: float
+    act_bit: float  # Fig. 4, w/o Booth encoding
+    act_booth: float  # Fig. 4, w/ 4-bit Booth encoding
+    act_element: float = 0.45
+    act_vector: float = 0.08
+    weight_element_extra: float = 0.05  # in-row zeros on top of vector zeros
+
+    def weight_vector(self, spec: LayerSpec) -> float:
+        if spec.is_fc_like:
+            return self.fc_weight_vector
+        return self.conv_weight_vector
+
+    def weight_element(self, spec: LayerSpec) -> float:
+        return min(0.95, self.weight_vector(spec) + self.weight_element_extra)
+
+    def layer_sparsity(self, spec: LayerSpec) -> LayerSparsity:
+        return LayerSparsity(
+            weight_element=self.weight_element(spec),
+            weight_vector=self.weight_vector(spec),
+            act_element=self.act_element,
+            act_vector=self.act_vector,
+            act_bit=self.act_bit,
+            act_booth=self.act_booth,
+        )
+
+
+# Fig. 4 bit/Booth sparsities; Table II/III-informed weight sparsities.
+MODEL_PROFILES: Dict[str, ModelSparsityProfile] = {
+    "vgg11": ModelSparsityProfile(0.70, 0.88, 0.865, 0.766),
+    "resnet50": ModelSparsityProfile(0.45, 0.45, 0.852, 0.739),
+    "mobilenetv2": ModelSparsityProfile(0.0, 0.0, 0.798, 0.660, act_vector=0.12),
+    "efficientnet_b0": ModelSparsityProfile(0.0, 0.0, 0.80, 0.67, act_vector=0.10),
+    "vgg19": ModelSparsityProfile(0.80, 0.90, 0.868, 0.769),
+    "resnet164": ModelSparsityProfile(0.50, 0.50, 0.841, 0.730, act_vector=0.15),
+    "deeplabv3plus": ModelSparsityProfile(0.55, 0.55, 0.867, 0.761),
+    "mlp1": ModelSparsityProfile(0.82, 0.82, 0.85, 0.75),
+    "mlp2": ModelSparsityProfile(0.90, 0.90, 0.85, 0.75),
+}
+
+# The (model, dataset) pairs of the paper's hardware evaluation, in the
+# order Figs. 10-12 plot them.
+BENCHMARK_SUITE = (
+    ("vgg11", "imagenet"),
+    ("resnet50", "imagenet"),
+    ("mobilenetv2", "imagenet"),
+    ("efficientnet_b0", "imagenet"),
+    ("vgg19", "cifar10"),
+    ("resnet164", "cifar10"),
+    ("deeplabv3plus", "camvid"),
+)
+
+
+def build_workloads(
+    model_name: str,
+    include_fc: bool = False,
+    profile: Optional[ModelSparsityProfile] = None,
+    batch: int = 1,
+    weight_vector_override: Optional[float] = None,
+    **spec_kwargs,
+) -> List[LayerWorkload]:
+    """Full-size workloads for a benchmark model.
+
+    ``include_fc=False`` drops FC layers (but keeps squeeze-and-excite),
+    matching the paper's Figs. 10-12 methodology; Fig. 13(b) uses
+    ``include_fc=True``.  ``weight_vector_override`` pins every layer's
+    vector sparsity (the Fig. 14 sweep).
+    """
+    profile = profile or MODEL_PROFILES[model_name]
+    if weight_vector_override is not None:
+        profile = replace(
+            profile,
+            conv_weight_vector=weight_vector_override,
+            fc_weight_vector=weight_vector_override,
+        )
+    workloads: List[LayerWorkload] = []
+    for spec in model_specs(model_name, **spec_kwargs):
+        if spec.kind == LayerKind.FC and not include_fc:
+            continue
+        sparsity = profile.layer_sparsity(spec)
+        storage = smartexchange_storage_bits(spec, sparsity.weight_vector)
+        workloads.append(
+            LayerWorkload(
+                spec=spec,
+                sparsity=sparsity,
+                se_storage_bits=storage,
+                batch=batch,
+            )
+        )
+    return mark_onchip_residency(workloads)
+
+
+def mark_onchip_residency(
+    workloads: List[LayerWorkload], input_gb_kb: float = INPUT_GB_KB
+) -> List[LayerWorkload]:
+    """Flag activations that stay on chip between consecutive layers.
+
+    The input GB is double-buffered: half holds the current layer's
+    input, half collects its output, so a feature map stays resident when
+    it fits in half the buffer.  The first layer's input and the last
+    layer's output always cross DRAM.  Branching topologies (residual
+    adds) are treated as the sequential chain — a slight optimism applied
+    identically to every accelerator.
+    """
+    if not workloads:
+        return workloads
+    half_bytes = input_gb_kb * 1024 / 2
+    out: List[LayerWorkload] = list(workloads)
+    for index in range(len(out) - 1):
+        producer, consumer = out[index], out[index + 1]
+        transfer = consumer.spec.input_count * consumer.batch
+        if transfer <= half_bytes:
+            out[index] = replace(producer, output_onchip=True)
+            out[index + 1] = replace(consumer, input_onchip=True)
+    return out

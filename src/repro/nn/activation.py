@@ -1,0 +1,48 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class ReLU6(Module):
+    """Clipped ReLU used by MobileNetV2."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.clip(0.0, 6.0)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class SiLU(Module):
+    """Swish activation used by EfficientNet."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.silu()
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

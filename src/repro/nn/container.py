@@ -1,0 +1,51 @@
+"""Composite modules: Sequential, Flatten, Identity."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        for index, layer in enumerate(layers):
+            setattr(self, str(index), layer)
+        self._length = len(layers)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Module]:
+        for index in range(self._length):
+            yield self._modules[str(index)]
+
+    def __getitem__(self, index: int) -> Module:
+        if index < 0:
+            index += self._length
+        return self._modules[str(index)]
+
+    def append(self, layer: Module) -> None:
+        setattr(self, str(self._length), layer)
+        object.__setattr__(self, "_length", self._length + 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self:
+            x = layer(x)
+        return x
+
+
+class Flatten(Module):
+    """Flatten all axes after the batch axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

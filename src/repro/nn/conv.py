@@ -1,0 +1,77 @@
+"""Convolution layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+class Conv2d(Module):
+    """2-D convolution with optional grouping.
+
+    ``groups == in_channels == out_channels`` gives a depth-wise
+    convolution (MobileNetV2 / EfficientNet).  The stored weight layout is
+    ``(out_channels, in_channels // groups, kh, kw)`` — the layout the
+    SmartExchange reshaping rules in :mod:`repro.core.reshape` consume.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("channels must be divisible by groups")
+        rng = rng or _DEFAULT_RNG
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.dilation = dilation
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(rng, shape))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.groups == self.in_channels == self.out_channels
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self.kernel_size == 1 and self.groups == 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+            dilation=self.dilation,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, "
+            f"g={self.groups}, d={self.dilation})"
+        )

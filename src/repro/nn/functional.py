@@ -1,0 +1,368 @@
+"""Differentiable NN primitives built on :class:`repro.nn.tensor.Tensor`.
+
+Convolution is implemented with an im2col lowering (stride-tricks view +
+GEMM), which is both the fastest pure-NumPy formulation and a faithful
+model of how the paper's accelerator consumes conv layers (each 2-D conv
+is a sequence of 1-D row convolutions over an unrolled patch matrix).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def conv_output_size(size: int, kernel: int, stride: int, pad: int, dilation: int = 1) -> int:
+    """Spatial output size of a convolution along one axis."""
+    effective = (kernel - 1) * dilation + 1
+    return (size + 2 * pad - effective) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int, dilation: int = 1
+) -> Tuple[np.ndarray, int, int]:
+    """Unroll ``(N, C, H, W)`` into ``(N, C*kh*kw, out_h*out_w)`` patches."""
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    n, c, hp, wp = x.shape
+    out_h = conv_output_size(hp, kh, stride, 0, dilation)
+    out_w = conv_output_size(wp, kw, stride, 0, dilation)
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride {stride}, dilation {dilation}) "
+            f"does not fit input {hp}x{wp}"
+        )
+    s0, s1, s2, s3 = x.strides
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (s0, s1, s2 * dilation, s3 * dilation, s2 * stride, s3 * stride)
+    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = np.ascontiguousarray(cols).reshape(n, c * kh * kw, out_h * out_w)
+    return cols, out_h, out_w
+
+
+def col2im(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back to an image."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = conv_output_size(hp, kh, stride, 0, dilation)
+    out_w = conv_output_size(wp, kw, stride, 0, dilation)
+    dx = np.zeros((n, c, hp, wp), dtype=np.float64)
+    dcols = dcols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_start = i * dilation
+        i_stop = i_start + stride * out_h
+        for j in range(kw):
+            j_start = j * dilation
+            j_stop = j_start + stride * out_w
+            dx[:, :, i_start:i_stop:stride, j_start:j_stop:stride] += dcols[:, :, i, j]
+    if pad:
+        return dx[:, :, pad : pad + h, pad : pad + w]
+    return dx
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+    dilation: int = 1,
+) -> Tensor:
+    """Grouped 2-D convolution with optional dilation (atrous).
+
+    ``weight`` has shape ``(M, C // groups, kh, kw)``; ``groups == C == M``
+    gives the depth-wise convolution used by MobileNetV2 / EfficientNet,
+    and ``dilation > 1`` gives the atrous convolutions used by the
+    DeepLabV3+ ASPP head.
+    """
+    n, c, h, w = x.shape
+    m, c_per_group, kh, kw = weight.shape
+    if c != c_per_group * groups:
+        raise ValueError(
+            f"input channels {c} != weight channels {c_per_group} * groups {groups}"
+        )
+    if m % groups:
+        raise ValueError(f"output channels {m} not divisible by groups {groups}")
+    m_per_group = m // groups
+
+    group_cols = []
+    out_h = out_w = 0
+    for g in range(groups):
+        xg = x.data[:, g * c_per_group : (g + 1) * c_per_group]
+        cols, out_h, out_w = im2col(xg, kh, kw, stride, padding, dilation)
+        group_cols.append(cols)
+
+    out = np.empty((n, m, out_h * out_w), dtype=np.float64)
+    w2d = weight.data.reshape(m, c_per_group * kh * kw)
+    for g in range(groups):
+        wg = w2d[g * m_per_group : (g + 1) * m_per_group]
+        out[:, g * m_per_group : (g + 1) * m_per_group] = wg @ group_cols[g]
+    if bias is not None:
+        out += bias.data.reshape(1, m, 1)
+    out = out.reshape(n, m, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray):
+        g3 = grad.reshape(n, m, out_h * out_w)
+        dw = np.zeros_like(w2d)
+        dx = np.zeros((n, c, h, w), dtype=np.float64)
+        for g in range(groups):
+            row = slice(g * m_per_group, (g + 1) * m_per_group)
+            gg = g3[:, row]
+            cols = group_cols[g]
+            # (Mg, Cg*kh*kw) accumulated over the batch
+            dw[row] = np.einsum("nml,nkl->mk", gg, cols)
+            dcols = np.einsum("mk,nml->nkl", w2d[row], gg)
+            dx[:, g * c_per_group : (g + 1) * c_per_group] = col2im(
+                dcols, (n, c_per_group, h, w), kh, kw, stride, padding, dilation
+            )
+        grads = [(x, dx), (weight, dw.reshape(weight.shape))]
+        if bias is not None:
+            grads.append((bias, g3.sum(axis=(0, 2))))
+        return tuple(grads)
+
+    return Tensor._node(out, parents, backward, "conv2d")
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (M, C)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def _pool_patches(
+    x: np.ndarray, k: int, stride: int, pad: int, fill: float
+) -> Tuple[np.ndarray, int, int]:
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                   constant_values=fill)
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(x.reshape(n * c, 1, h, w), k, k, stride, 0)
+    # (N*C, k*k, L) -> (N, C, L, k*k)
+    patches = cols.reshape(n, c, k * k, out_h * out_w).transpose(0, 1, 3, 2)
+    return patches, out_h, out_w
+
+
+def max_pool2d(
+    x: Tensor, kernel_size: int, stride: Optional[int] = None, padding: int = 0
+) -> Tensor:
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    patches, out_h, out_w = _pool_patches(
+        x.data, kernel_size, stride, padding, fill=-np.inf
+    )
+    arg = patches.argmax(axis=3)
+    out = np.take_along_axis(patches, arg[..., None], axis=3)[..., 0]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        g = grad.reshape(n, c, out_h * out_w)
+        dpatch = np.zeros((n, c, out_h * out_w, kernel_size * kernel_size))
+        np.put_along_axis(dpatch, arg[..., None], g[..., None], axis=3)
+        dcols = dpatch.transpose(0, 1, 3, 2).reshape(
+            n * c, kernel_size * kernel_size, out_h * out_w
+        )
+        dx = col2im(dcols, (n * c, 1, hp, wp), kernel_size, kernel_size, stride, 0)
+        dx = dx.reshape(n, c, hp, wp)
+        if padding:
+            dx = dx[:, :, padding : padding + h, padding : padding + w]
+        return ((x, dx),)
+
+    return Tensor._node(out, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(
+    x: Tensor, kernel_size: int, stride: Optional[int] = None, padding: int = 0
+) -> Tensor:
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    patches, out_h, out_w = _pool_patches(
+        x.data, kernel_size, stride, padding, fill=0.0
+    )
+    out = patches.mean(axis=3).reshape(n, c, out_h, out_w)
+    scale = 1.0 / (kernel_size * kernel_size)
+
+    def backward(grad: np.ndarray):
+        g = grad.reshape(n, c, out_h * out_w)
+        dpatch = np.broadcast_to(
+            (g * scale)[..., None], (n, c, out_h * out_w, kernel_size * kernel_size)
+        )
+        dcols = dpatch.transpose(0, 1, 3, 2).reshape(
+            n * c, kernel_size * kernel_size, out_h * out_w
+        )
+        dx = col2im(dcols, (n * c, 1, hp, wp), kernel_size, kernel_size, stride, 0)
+        dx = dx.reshape(n, c, hp, wp)
+        if padding:
+            dx = dx[:, :, padding : padding + h, padding : padding + w]
+        return ((x, dx),)
+
+    return Tensor._node(out, (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Adaptive average pool to 1x1, keeping the spatial axes."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel axis (axis 1).
+
+    Works for both 2-D ``(N, C)`` and 4-D ``(N, C, H, W)`` inputs.  The
+    running statistics arrays are updated in place when ``training``.
+    """
+    axes = (0,) if x.ndim == 2 else (0, 2, 3)
+    shape = (1, -1) if x.ndim == 2 else (1, -1, 1, 1)
+    count = int(np.prod([x.shape[a] for a in axes]))
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        unbiased = var * count / max(count - 1, 1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.data.reshape(shape) * xhat + beta.data.reshape(shape)
+
+    def backward(grad: np.ndarray):
+        dgamma = (grad * xhat).sum(axis=axes)
+        dbeta = grad.sum(axis=axes)
+        if training:
+            g_mean = grad.mean(axis=axes, keepdims=True)
+            gx_mean = (grad * xhat).mean(axis=axes, keepdims=True)
+            dx = (
+                gamma.data.reshape(shape)
+                * inv_std.reshape(shape)
+                * (grad - g_mean - xhat * gx_mean)
+            )
+        else:
+            dx = gamma.data.reshape(shape) * inv_std.reshape(shape) * grad
+        return ((x, dx), (gamma, dgamma), (beta, dbeta))
+
+    return Tensor._node(out, (x, gamma, beta), backward, "batch_norm")
+
+
+# ----------------------------------------------------------------------
+# Resampling
+# ----------------------------------------------------------------------
+def upsample_nearest(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour upsampling by an integer factor."""
+    n, c, h, w = x.shape
+    out = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+
+    def backward(grad: np.ndarray):
+        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        return ((x, g),)
+
+    return Tensor._node(out, (x,), backward, "upsample_nearest")
+
+
+def upsample_bilinear(x: Tensor, out_h: int, out_w: int) -> Tensor:
+    """Bilinear upsampling to ``(out_h, out_w)`` (align_corners=False)."""
+    n, c, h, w = x.shape
+
+    def axis_weights(out_n: int, in_n: int):
+        src = (np.arange(out_n) + 0.5) * in_n / out_n - 0.5
+        src = np.clip(src, 0, in_n - 1)
+        lo = np.floor(src).astype(np.int64)
+        hi = np.minimum(lo + 1, in_n - 1)
+        frac = src - lo
+        return lo, hi, frac
+
+    y0, y1, fy = axis_weights(out_h, h)
+    x0, x1, fx = axis_weights(out_w, w)
+
+    top = x.data[:, :, y0][:, :, :, x0] * (1 - fx) + x.data[:, :, y0][:, :, :, x1] * fx
+    bot = x.data[:, :, y1][:, :, :, x0] * (1 - fx) + x.data[:, :, y1][:, :, :, x1] * fx
+    out = top * (1 - fy)[None, None, :, None] + bot * fy[None, None, :, None]
+
+    def backward(grad: np.ndarray):
+        dx = np.zeros((n, c, h, w), dtype=np.float64)
+        wy0 = (1 - fy)[None, None, :, None]
+        wy1 = fy[None, None, :, None]
+        g_top = grad * wy0
+        g_bot = grad * wy1
+        for g_rows, rows in ((g_top, y0), (g_bot, y1)):
+            gl = g_rows * (1 - fx)
+            gr = g_rows * fx
+            np.add.at(dx, (slice(None), slice(None), rows[:, None], x0[None, :]), gl)
+            np.add.at(dx, (slice(None), slice(None), rows[:, None], x1[None, :]), gr)
+        return ((x, dx),)
+
+    return Tensor._node(out, (x,), backward, "upsample_bilinear")
+
+
+# ----------------------------------------------------------------------
+# Softmax / dropout
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+    softmax = np.exp(out)
+
+    def backward(grad: np.ndarray):
+        return ((x, grad - softmax * grad.sum(axis=axis, keepdims=True)),)
+
+    return Tensor._node(out, (x,), backward, "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+
+    def backward(grad: np.ndarray):
+        return ((x, grad * mask),)
+
+    return Tensor._node(x.data * mask, (x,), backward, "dropout")

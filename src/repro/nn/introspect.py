@@ -1,0 +1,54 @@
+"""Model introspection: capturing intermediate activations.
+
+Used by the Fig. 4 experiment (activation bit-level sparsity) and by the
+hardware interface when it derives measured activation sparsities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+import numpy as np
+
+from repro.nn.activation import ReLU, ReLU6, SiLU
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+DEFAULT_ACTIVATION_KINDS: Tuple[Type[Module], ...] = (ReLU, ReLU6, SiLU)
+
+
+def collect_activations(
+    model: Module,
+    images: np.ndarray,
+    kinds: Tuple[Type[Module], ...] = DEFAULT_ACTIVATION_KINDS,
+) -> Dict[str, np.ndarray]:
+    """Run ``model`` on ``images`` and capture each activation output.
+
+    Returns a mapping from module name to the activation array.  Capture
+    is implemented by temporarily wrapping the ``forward`` of every
+    matching module instance.
+    """
+    captured: Dict[str, np.ndarray] = {}
+    wrapped_modules: List[Module] = []
+
+    def make_wrapper(name: str, original):
+        def wrapped(x: Tensor) -> Tensor:
+            out = original(x)
+            captured[name] = out.numpy()
+            return out
+
+        return wrapped
+
+    try:
+        for name, module in model.named_modules():
+            if isinstance(module, kinds):
+                original = module.forward
+                object.__setattr__(module, "forward", make_wrapper(name, original))
+                wrapped_modules.append(module)
+        model.eval()
+        model(Tensor(images))
+    finally:
+        for module in wrapped_modules:
+            # Drop the instance attribute so the class method resumes.
+            object.__delattr__(module, "forward")
+    return captured

@@ -1,0 +1,38 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with weight shape ``(out, in)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or _DEFAULT_RNG
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_normal(rng, (out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"

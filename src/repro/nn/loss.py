@@ -1,0 +1,67 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``(N, K)`` logits and integer targets."""
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, K) logits, got shape {logits.shape}")
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def segmentation_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Pixel-wise cross-entropy for ``(N, K, H, W)`` logits.
+
+    Used by the DeepLabV3+ experiments on the synthetic CamVid stand-in.
+    """
+    if logits.ndim != 4:
+        raise ValueError(f"expected (N, K, H, W) logits, got shape {logits.shape}")
+    n, k, h, w = logits.shape
+    flat = logits.transpose(0, 2, 3, 1).reshape(n * h * w, k)
+    return cross_entropy(flat, np.asarray(targets).reshape(-1))
+
+
+def mse(pred: Tensor, target: np.ndarray) -> Tensor:
+    diff = pred - Tensor(target)
+    return (diff * diff).mean()
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy from raw logits."""
+    logits = logits.numpy() if isinstance(logits, Tensor) else np.asarray(logits)
+    return float((logits.argmax(axis=1) == np.asarray(targets)).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy from raw logits."""
+    logits = logits.numpy() if isinstance(logits, Tensor) else np.asarray(logits)
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((top == np.asarray(targets)[:, None]).any(axis=1).mean())
+
+
+def mean_iou(pred_labels: np.ndarray, targets: np.ndarray, num_classes: int) -> float:
+    """Mean intersection-over-union for segmentation maps."""
+    pred_labels = np.asarray(pred_labels).reshape(-1)
+    targets = np.asarray(targets).reshape(-1)
+    ious = []
+    for cls in range(num_classes):
+        pred_mask = pred_labels == cls
+        true_mask = targets == cls
+        union = np.logical_or(pred_mask, true_mask).sum()
+        if union == 0:
+            continue
+        inter = np.logical_and(pred_mask, true_mask).sum()
+        ious.append(inter / union)
+    if not ious:
+        return 0.0
+    return float(np.mean(ious))

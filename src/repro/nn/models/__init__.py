@@ -1,0 +1,44 @@
+"""The paper's model zoo.
+
+Every builder accepts a ``width_mult`` so that tests and CI-scale
+experiments can instantiate narrow models; the architecture (layer
+sequence, kernel sizes, strides) is identical at every width, so the
+SmartExchange reshaping rules and the hardware layer inventories are
+exercised exactly as they would be at full scale.
+"""
+
+from repro.nn.models.deeplab import DeepLabV3Plus, deeplabv3plus
+from repro.nn.models.efficientnet import EFFICIENTNET_B0_BLOCKS, EfficientNet, efficientnet_b0
+from repro.nn.models.mlp import MLP, mlp_1, mlp_2
+from repro.nn.models.mobilenet import MOBILENET_V2_BLOCKS, MobileNetV2, mobilenet_v2
+from repro.nn.models.resnet import (
+    RESNET_CIFAR_DEPTHS,
+    ResNet,
+    resnet50,
+    resnet164,
+    resnet_cifar,
+)
+from repro.nn.models.vgg import VGG, VGG_CONFIGS, vgg11, vgg19
+
+__all__ = [
+    "VGG",
+    "VGG_CONFIGS",
+    "vgg11",
+    "vgg19",
+    "ResNet",
+    "RESNET_CIFAR_DEPTHS",
+    "resnet50",
+    "resnet164",
+    "resnet_cifar",
+    "MobileNetV2",
+    "MOBILENET_V2_BLOCKS",
+    "mobilenet_v2",
+    "EfficientNet",
+    "EFFICIENTNET_B0_BLOCKS",
+    "efficientnet_b0",
+    "DeepLabV3Plus",
+    "deeplabv3plus",
+    "MLP",
+    "mlp_1",
+    "mlp_2",
+]

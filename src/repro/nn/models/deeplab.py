@@ -1,0 +1,144 @@
+"""DeepLabV3+ with a ResNet-50 backbone (output stride 16).
+
+The paper's segmentation workload (CamVid).  The ASPP head uses atrous
+(dilated) 3x3 convolutions; the decoder fuses a low-level backbone feature
+and bilinearly upsamples to the input resolution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.models.resnet import Bottleneck
+
+ASPP_DILATIONS = (1, 6, 12, 18)
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(1, int(round(channels * width_mult)))
+
+
+class _ConvBNReLU(nn.Module):
+    def __init__(self, in_channels, out_channels, kernel, dilation=1, rng=None):
+        super().__init__()
+        padding = dilation * (kernel // 2)
+        self.conv = nn.Conv2d(in_channels, out_channels, kernel, padding=padding,
+                              dilation=dilation, bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.relu(self.bn(self.conv(x)))
+
+
+class ASPP(nn.Module):
+    """Atrous spatial pyramid pooling: parallel 1x1 + three dilated 3x3 +
+    a global-pool image feature, concatenated and projected."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.branch0 = _ConvBNReLU(in_channels, out_channels, 1, rng=rng)
+        self.branch1 = _ConvBNReLU(in_channels, out_channels, 3,
+                                   dilation=ASPP_DILATIONS[1], rng=rng)
+        self.branch2 = _ConvBNReLU(in_channels, out_channels, 3,
+                                   dilation=ASPP_DILATIONS[2], rng=rng)
+        self.branch3 = _ConvBNReLU(in_channels, out_channels, 3,
+                                   dilation=ASPP_DILATIONS[3], rng=rng)
+        self.image_pool = nn.GlobalAvgPool2d()
+        self.image_proj = _ConvBNReLU(in_channels, out_channels, 1, rng=rng)
+        self.project = _ConvBNReLU(5 * out_channels, out_channels, 1, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h, w = x.shape[2], x.shape[3]
+        image_feat = self.image_proj(self.image_pool(x))
+        image_feat = F.upsample_bilinear(image_feat, h, w)
+        merged = nn.concat(
+            [self.branch0(x), self.branch1(x), self.branch2(x), self.branch3(x),
+             image_feat],
+            axis=1,
+        )
+        return self.project(merged)
+
+
+class DeepLabV3Plus(nn.Module):
+    """Encoder-decoder segmentation network.
+
+    The backbone mirrors ResNet-50's four stages but keeps the last stage
+    at stride 1, so the encoder output stride is 16 (the paper's setting);
+    the ASPP head then supplies the multi-rate dilated context.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 11,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        aspp_channels: int = 256,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        planes = [_scaled(p, width_mult) for p in (64, 128, 256, 512)]
+        stem_width = planes[0]
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, stem_width, 7, stride=2, padding=3,
+                      bias=False, rng=rng),
+            nn.BatchNorm2d(stem_width),
+            nn.ReLU(),
+            nn.MaxPool2d(3, stride=2, padding=1),
+        )
+
+        def make_stage(in_ch: int, width: int, blocks: int, stride: int):
+            layers: List[nn.Module] = []
+            channels = in_ch
+            for index in range(blocks):
+                block = Bottleneck(channels, width,
+                                   stride=stride if index == 0 else 1, rng=rng)
+                layers.append(block)
+                channels = block.out_channels
+            return nn.Sequential(*layers), channels
+
+        self.stage1, c1 = make_stage(stem_width, planes[0], 3, 1)
+        self.stage2, c2 = make_stage(c1, planes[1], 4, 2)
+        self.stage3, c3 = make_stage(c2, planes[2], 6, 2)
+        # Final stage at stride 1 => encoder output stride 16.
+        self.stage4, c4 = make_stage(c3, planes[3], 3, 1)
+
+        aspp_out = _scaled(aspp_channels, width_mult)
+        self.aspp = ASPP(c4, aspp_out, rng=rng)
+        low_level_out = _scaled(48, width_mult)
+        self.low_level_proj = _ConvBNReLU(c1, low_level_out, 1, rng=rng)
+        self.decoder = nn.Sequential(
+            _ConvBNReLU(aspp_out + low_level_out, aspp_out, 3, rng=rng),
+            nn.Conv2d(aspp_out, num_classes, 1, rng=rng),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        in_h, in_w = x.shape[2], x.shape[3]
+        x = self.stem(x)
+        low = self.stage1(x)
+        deep = self.stage4(self.stage3(self.stage2(low)))
+        aspp = self.aspp(deep)
+        aspp_up = F.upsample_bilinear(aspp, low.shape[2], low.shape[3])
+        fused = nn.concat([aspp_up, self.low_level_proj(low)], axis=1)
+        logits = self.decoder(fused)
+        return F.upsample_bilinear(logits, in_h, in_w)
+
+    def predict_labels(self, images: np.ndarray) -> np.ndarray:
+        """Per-pixel argmax labels for a batch of images."""
+        self.eval()
+        logits = self(nn.Tensor(images))
+        return logits.numpy().argmax(axis=1)
+
+
+def deeplabv3plus(num_classes: int = 11, width_mult: float = 1.0, seed: int = 0,
+                  **kwargs) -> DeepLabV3Plus:
+    rng = np.random.default_rng(seed)
+    return DeepLabV3Plus(num_classes=num_classes, width_mult=width_mult, rng=rng,
+                         **kwargs)

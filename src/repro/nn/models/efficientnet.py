@@ -1,0 +1,150 @@
+"""EfficientNet-B0 (MBConv blocks with squeeze-and-excite).
+
+The paper's second compact model.  The squeeze-and-excite layers are the
+reason the SmartExchange accelerator grows its PE-line MAC clustering mode
+(Section IV-B "handling of compact models"), and the reason SCNN is
+excluded from the EfficientNet-B0 hardware comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+
+# (expansion, output channels, repeats, first stride, kernel) per stage —
+# the EfficientNet-B0 table; also consumed by the hardware inventory.
+EFFICIENTNET_B0_BLOCKS: List[Tuple[int, int, int, int, int]] = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+]
+
+STEM_CHANNELS = 32
+HEAD_CHANNELS = 1280
+SE_RATIO = 0.25
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(1, int(round(channels * width_mult)))
+
+
+class SqueezeExcite(nn.Module):
+    """Global pool -> reduce FC -> SiLU -> expand FC -> sigmoid gate."""
+
+    def __init__(
+        self,
+        channels: int,
+        reduced: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.pool = nn.GlobalAvgPool2d()
+        self.reduce = nn.Conv2d(channels, reduced, 1, rng=rng)
+        self.act = nn.SiLU()
+        self.expand = nn.Conv2d(reduced, channels, 1, rng=rng)
+        self.gate = nn.Sigmoid()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        scale = self.gate(self.expand(self.act(self.reduce(self.pool(x)))))
+        return x * scale
+
+
+class MBConv(nn.Module):
+    """Inverted residual with squeeze-and-excite and SiLU activations."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        expansion: int,
+        kernel: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        hidden = in_channels * expansion
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers: List[nn.Module] = []
+        if expansion != 1:
+            layers += [
+                nn.Conv2d(in_channels, hidden, 1, bias=False, rng=rng),
+                nn.BatchNorm2d(hidden),
+                nn.SiLU(),
+            ]
+        layers += [
+            nn.Conv2d(hidden, hidden, kernel, stride=stride, padding=kernel // 2,
+                      groups=hidden, bias=False, rng=rng),
+            nn.BatchNorm2d(hidden),
+            nn.SiLU(),
+        ]
+        self.body = nn.Sequential(*layers)
+        reduced = max(1, int(in_channels * SE_RATIO))
+        self.se = SqueezeExcite(hidden, reduced, rng=rng)
+        self.project = nn.Sequential(
+            nn.Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.project(self.se(self.body(x)))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class EfficientNet(nn.Module):
+    """EfficientNet-B0 by default; other widths via ``width_mult``."""
+
+    def __init__(
+        self,
+        num_classes: int = 1000,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        stem = _scaled(STEM_CHANNELS, width_mult)
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, stem, 3, stride=2, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(stem),
+            nn.SiLU(),
+        )
+        blocks: List[nn.Module] = []
+        channels = stem
+        for expansion, base_out, repeats, first_stride, kernel in EFFICIENTNET_B0_BLOCKS:
+            out = _scaled(base_out, width_mult)
+            for index in range(repeats):
+                stride = first_stride if index == 0 else 1
+                blocks.append(MBConv(channels, out, stride, expansion, kernel, rng=rng))
+                channels = out
+        self.blocks = nn.Sequential(*blocks)
+        head = _scaled(HEAD_CHANNELS, width_mult)
+        self.head = nn.Sequential(
+            nn.Conv2d(channels, head, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(head),
+            nn.SiLU(),
+        )
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Linear(head, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.head(self.blocks(self.stem(x)))
+        return self.classifier(self.flatten(self.pool(x)))
+
+
+def efficientnet_b0(num_classes: int = 1000, width_mult: float = 1.0, seed: int = 0,
+                    **kwargs) -> EfficientNet:
+    rng = np.random.default_rng(seed)
+    return EfficientNet(num_classes=num_classes, width_mult=width_mult, rng=rng,
+                        **kwargs)

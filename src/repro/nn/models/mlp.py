@@ -1,0 +1,61 @@
+"""The two MNIST MLPs from the paper's Table II.
+
+Layer widths are inferred from the reported FP32 parameter sizes:
+
+- MLP-1 (from the power-of-two quantization baseline [40]): 14.125 MB of
+  FP32 parameters ≈ 3.70 M weights ⇒ 784-1570-1570-10.
+- MLP-2 (from Cambricon-S [56]): 1.07 MB ≈ 0.27 M weights ⇒ the classic
+  LeNet-300-100 (784-300-100-10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+
+MLP1_WIDTHS = (784, 1570, 1570, 10)
+MLP2_WIDTHS = (784, 300, 100, 10)
+
+
+class MLP(nn.Module):
+    """Plain fully-connected ReLU network over flattened inputs."""
+
+    def __init__(
+        self,
+        widths: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(widths) < 2:
+            raise ValueError("an MLP needs at least input and output widths")
+        rng = rng or np.random.default_rng(0)
+        self.widths = tuple(widths)
+        layers: List[nn.Module] = [nn.Flatten()]
+        for in_w, out_w in zip(widths[:-2], widths[1:-1]):
+            layers.append(nn.Linear(in_w, out_w, rng=rng))
+            layers.append(nn.ReLU())
+        layers.append(nn.Linear(widths[-2], widths[-1], rng=rng))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.body(x)
+
+
+def _scale_widths(widths: Sequence[int], width_mult: float) -> List[int]:
+    inner = [max(4, int(round(w * width_mult))) for w in widths[1:-1]]
+    return [widths[0], *inner, widths[-1]]
+
+
+def mlp_1(width_mult: float = 1.0, in_features: int = 784, num_classes: int = 10,
+          seed: int = 0) -> MLP:
+    widths = _scale_widths((in_features, *MLP1_WIDTHS[1:-1], num_classes), width_mult)
+    return MLP(widths, rng=np.random.default_rng(seed))
+
+
+def mlp_2(width_mult: float = 1.0, in_features: int = 784, num_classes: int = 10,
+          seed: int = 0) -> MLP:
+    widths = _scale_widths((in_features, *MLP2_WIDTHS[1:-1], num_classes), width_mult)
+    return MLP(widths, rng=np.random.default_rng(seed))

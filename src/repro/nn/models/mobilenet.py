@@ -1,0 +1,123 @@
+"""MobileNetV2 (inverted residuals with linear bottlenecks).
+
+One of the paper's two "compact" models (Table III and the Fig. 15
+compact-dataflow ablation).  The depth-wise convolutions in the inverted
+residual blocks are exactly the layers the SmartExchange accelerator's
+dedicated compact-model dataflow targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+
+# (expansion t, output channels c, repeats n, first stride s) — Table 2 of
+# the MobileNetV2 paper; consumed by both the model builder and the
+# hardware layer inventory.
+MOBILENET_V2_BLOCKS: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+STEM_CHANNELS = 32
+HEAD_CHANNELS = 1280
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(1, int(round(channels * width_mult)))
+
+
+class InvertedResidual(nn.Module):
+    """expand (1x1) -> depth-wise (3x3) -> project (1x1) block."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        expansion: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        hidden = in_channels * expansion
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers: List[nn.Module] = []
+        if expansion != 1:
+            layers += [
+                nn.Conv2d(in_channels, hidden, 1, bias=False, rng=rng),
+                nn.BatchNorm2d(hidden),
+                nn.ReLU6(),
+            ]
+        layers += [
+            nn.Conv2d(hidden, hidden, 3, stride=stride, padding=1,
+                      groups=hidden, bias=False, rng=rng),
+            nn.BatchNorm2d(hidden),
+            nn.ReLU6(),
+            nn.Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+        ]
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.body(x)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(nn.Module):
+    def __init__(
+        self,
+        num_classes: int = 1000,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        stem = _scaled(STEM_CHANNELS, width_mult)
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, stem, 3, stride=2, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(stem),
+            nn.ReLU6(),
+        )
+        blocks: List[nn.Module] = []
+        channels = stem
+        for expansion, base_out, repeats, first_stride in MOBILENET_V2_BLOCKS:
+            out = _scaled(base_out, width_mult)
+            for index in range(repeats):
+                stride = first_stride if index == 0 else 1
+                blocks.append(
+                    InvertedResidual(channels, out, stride, expansion, rng=rng)
+                )
+                channels = out
+        self.blocks = nn.Sequential(*blocks)
+        head = _scaled(HEAD_CHANNELS, width_mult)
+        self.head = nn.Sequential(
+            nn.Conv2d(channels, head, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(head),
+            nn.ReLU6(),
+        )
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Linear(head, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.head(self.blocks(self.stem(x)))
+        return self.classifier(self.flatten(self.pool(x)))
+
+
+def mobilenet_v2(num_classes: int = 1000, width_mult: float = 1.0, seed: int = 0,
+                 **kwargs) -> MobileNetV2:
+    rng = np.random.default_rng(seed)
+    return MobileNetV2(num_classes=num_classes, width_mult=width_mult, rng=rng,
+                       **kwargs)

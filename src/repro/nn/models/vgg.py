@@ -1,0 +1,96 @@
+"""VGG-11 / VGG-19 (with batch normalization).
+
+VGG11 is evaluated on ImageNet in the paper; VGG19 on CIFAR-10 (from the
+``pytorch-vgg-cifar10`` repository the paper cites).  Both use BN after
+every conv, which is what SmartExchange's channel-pruning step reads its
+scale factors from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import nn
+
+# Configuration strings: numbers are conv output channels, "M" is a 2x2
+# max-pool.  These are the canonical full-size tables; the hardware layer
+# inventories in repro.hardware.modelspecs consume them directly.
+VGG_CONFIGS = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(1, int(round(channels * width_mult)))
+
+
+class VGG(nn.Module):
+    """VGG backbone + classifier.
+
+    Parameters
+    ----------
+    config:
+        One of the :data:`VGG_CONFIGS` lists (or a custom list).
+    num_classes / in_channels / width_mult:
+        Task shape knobs; ``width_mult`` scales every conv width.
+    classifier_width:
+        Hidden width of the two-layer classifier head (512 for the
+        CIFAR-style head used in the paper's public VGG19 reference).
+    """
+
+    def __init__(
+        self,
+        config: Sequence[Union[int, str]],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        classifier_width: int = 512,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers: List[nn.Module] = []
+        channels = in_channels
+        for item in config:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                continue
+            out_channels = _scaled(int(item), width_mult)
+            layers.append(
+                nn.Conv2d(channels, out_channels, 3, padding=1, bias=False, rng=rng)
+            )
+            layers.append(nn.BatchNorm2d(out_channels))
+            layers.append(nn.ReLU())
+            channels = out_channels
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        hidden = _scaled(classifier_width, width_mult)
+        self.classifier = nn.Sequential(
+            nn.Linear(channels, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.features(x)
+        x = self.flatten(self.pool(x))
+        return self.classifier(x)
+
+
+def vgg11(num_classes: int = 1000, width_mult: float = 1.0, seed: int = 0, **kwargs) -> VGG:
+    """VGG11-BN (the paper's ImageNet model)."""
+    rng = np.random.default_rng(seed)
+    return VGG(VGG_CONFIGS["vgg11"], num_classes=num_classes,
+               width_mult=width_mult, rng=rng, **kwargs)
+
+
+def vgg19(num_classes: int = 10, width_mult: float = 1.0, seed: int = 0, **kwargs) -> VGG:
+    """VGG19-BN (the paper's CIFAR-10 model)."""
+    rng = np.random.default_rng(seed)
+    return VGG(VGG_CONFIGS["vgg19"], num_classes=num_classes,
+               width_mult=width_mult, rng=rng, **kwargs)

@@ -1,0 +1,132 @@
+"""Module / Parameter machinery (the PyTorch-like substrate layer)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that a module owns and an optimizer updates."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses define ``forward(x)``; parameters and child modules are
+    auto-registered via ``__setattr__`` so that :meth:`parameters`,
+    :meth:`named_modules`, etc. work without explicit bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BN running statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode / gradients
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    # State dict (used by the retraining loop to snapshot/restore)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in module._buffers.items():
+                key = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                state[key] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            param.data[...] = state[name]
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in module._buffers.items():
+                key = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                if key in state:
+                    buf[...] = state[key]
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

@@ -1,0 +1,66 @@
+"""Batch normalization layers.
+
+The BN scale factors (``gamma``) drive SmartExchange's channel-wise
+pruning step (Section III-B, Step 3 of the paper): channels whose scaling
+factor falls below a per-layer threshold are pruned once at the first
+re-training epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._check_ndim(x)
+        return F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def _check_ndim(self, x: Tensor) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def scale_factors(self) -> np.ndarray:
+        """Absolute BN scale per channel (the channel-pruning signal)."""
+        return np.abs(self.gamma.data)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_features})"
+
+
+class BatchNorm2d(_BatchNorm):
+    """BN over (N, H, W) for each channel of a 4-D activation."""
+
+    def _check_ndim(self, x: Tensor) -> None:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got {x.ndim}-D")
+
+
+class BatchNorm1d(_BatchNorm):
+    """BN over the batch axis of a 2-D activation."""
+
+    def _check_ndim(self, x: Tensor) -> None:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects 2-D input, got {x.ndim}-D")

@@ -1,0 +1,46 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride}, p={self.padding})"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride}, p={self.padding})"
+
+
+class GlobalAvgPool2d(Module):
+    """Adaptive average pooling to a 1x1 spatial map."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)

@@ -1,0 +1,90 @@
+"""Activation quantization (the paper's 8-bit fixed-point activations).
+
+The SmartExchange models run with 8-bit input/output activations
+(Table II, note 2).  :func:`activation_quantization` is a context
+manager that fake-quantizes the output of every activation module to
+``bits``-bit symmetric fixed point, so accuracy can be measured under
+the same precision regime the accelerator uses.
+
+The quantizer is a straight-through estimator: values are snapped in
+the forward pass, gradients pass through unchanged — so the context is
+also usable during (re-)training.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Tuple, Type
+
+import numpy as np
+
+from repro.nn.activation import ReLU, ReLU6, SiLU
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+DEFAULT_ACTIVATION_KINDS: Tuple[Type[Module], ...] = (ReLU, ReLU6, SiLU)
+
+
+def fake_quantize(x: Tensor, bits: int = 8) -> Tensor:
+    """Symmetric per-tensor fake quantization with a straight-through
+    gradient."""
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    data = x.data
+    max_abs = np.abs(data).max()
+    if max_abs == 0.0:
+        return x
+    qmax = 2 ** (bits - 1) - 1
+    scale = max_abs / qmax
+    quantized = np.round(data / scale) * scale
+
+    def backward(grad: np.ndarray):
+        return ((x, grad),)  # straight-through
+
+    return Tensor._node(quantized, (x,), backward, "fake_quantize")
+
+
+@contextmanager
+def activation_quantization(
+    model: Module,
+    bits: int = 8,
+    kinds: Tuple[Type[Module], ...] = DEFAULT_ACTIVATION_KINDS,
+):
+    """Quantize every activation module's output while the context is open.
+
+    Implemented by temporarily shadowing each matching module's
+    ``forward`` with a wrapper; the original behaviour is restored on
+    exit even if an exception escapes.
+    """
+    wrapped: List[Module] = []
+
+    def make_wrapper(original):
+        def forward(x: Tensor) -> Tensor:
+            return fake_quantize(original(x), bits)
+
+        return forward
+
+    try:
+        for _, module in model.named_modules():
+            if isinstance(module, kinds):
+                object.__setattr__(module, "forward",
+                                   make_wrapper(module.forward))
+                wrapped.append(module)
+        yield model
+    finally:
+        for module in wrapped:
+            object.__delattr__(module, "forward")
+
+
+def evaluate_quantized(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    act_bits: int = 8,
+    batch_size: int = 64,
+) -> float:
+    """Top-1 accuracy with ``act_bits``-bit activations."""
+    from repro.nn.train import evaluate
+
+    with activation_quantization(model, act_bits):
+        return evaluate(model, images, labels, batch_size=batch_size)

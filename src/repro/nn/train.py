@@ -1,0 +1,137 @@
+"""Training / evaluation loops shared by experiments and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.loss import accuracy, cross_entropy, top_k_accuracy
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch record of a training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    eval_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        if self.eval_accuracies:
+            return self.eval_accuracies[-1]
+        if self.train_accuracies:
+            return self.train_accuracies[-1]
+        return 0.0
+
+
+def iterate_minibatches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield shuffled minibatches covering the dataset once."""
+    count = len(images)
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        yield images[index], labels[index]
+
+
+def train_epoch(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    optimizer,
+    batch_size: int = 32,
+    rng: Optional[np.random.Generator] = None,
+    loss_fn: Callable = cross_entropy,
+    epoch_hook: Optional[Callable[[], None]] = None,
+) -> Tuple[float, float]:
+    """One epoch of SGD; returns (mean loss, train accuracy)."""
+    model.train()
+    losses = []
+    correct = 0
+    for batch_x, batch_y in iterate_minibatches(images, labels, batch_size, rng):
+        optimizer.zero_grad()
+        logits = model(Tensor(batch_x))
+        loss = loss_fn(logits, batch_y)
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+        correct += int((logits.numpy().argmax(axis=1) == batch_y).sum())
+    if epoch_hook is not None:
+        epoch_hook()
+    return float(np.mean(losses)), correct / len(images)
+
+
+def evaluate(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 64,
+    top_k: int = 1,
+) -> float:
+    """Top-k accuracy of the model over a dataset."""
+    model.eval()
+    logits_all = predict(model, images, batch_size=batch_size)
+    if top_k == 1:
+        return accuracy(logits_all, labels)
+    return top_k_accuracy(logits_all, labels, k=top_k)
+
+
+def predict(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Raw logits of the model over a dataset (eval mode)."""
+    model.eval()
+    chunks = []
+    for start in range(0, len(images), batch_size):
+        logits = model(Tensor(images[start : start + batch_size]))
+        chunks.append(logits.numpy())
+    return np.concatenate(chunks, axis=0)
+
+
+def fit(
+    model: Module,
+    train_images: np.ndarray,
+    train_labels: np.ndarray,
+    eval_images: Optional[np.ndarray] = None,
+    eval_labels: Optional[np.ndarray] = None,
+    epochs: int = 5,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    batch_size: int = 32,
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainHistory:
+    """Train ``model`` with SGD and record the history."""
+    rng = np.random.default_rng(seed)
+    optimizer = SGD(
+        model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
+    )
+    history = TrainHistory()
+    for epoch in range(epochs):
+        loss, train_acc = train_epoch(
+            model, train_images, train_labels, optimizer, batch_size, rng
+        )
+        history.losses.append(loss)
+        history.train_accuracies.append(train_acc)
+        if eval_images is not None:
+            eval_acc = evaluate(model, eval_images, eval_labels)
+            history.eval_accuracies.append(eval_acc)
+        if verbose:  # pragma: no cover - console output only
+            eval_txt = (
+                f" eval={history.eval_accuracies[-1]:.3f}"
+                if history.eval_accuracies
+                else ""
+            )
+            print(f"epoch {epoch}: loss={loss:.4f} train={train_acc:.3f}{eval_txt}")
+    return history

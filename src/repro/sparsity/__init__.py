@@ -1,0 +1,49 @@
+"""Sparsity metrics, Booth encoding, and sparse-index encodings."""
+
+from repro.sparsity.booth import (
+    booth_decode,
+    booth_digits,
+    booth_encode,
+    booth_nonzero_terms,
+    booth_term_sparsity,
+)
+from repro.sparsity.encoding import (
+    crs_encode,
+    crs_decode,
+    crs_overhead_bits,
+    direct_index_decode,
+    direct_index_encode,
+    direct_index_overhead_bits,
+    rlc_decode,
+    rlc_encode,
+    rlc_overhead_bits,
+)
+from repro.sparsity.metrics import (
+    bit_sparsity,
+    channel_sparsity,
+    element_sparsity,
+    quantize_to_fixed,
+    vector_sparsity,
+)
+
+__all__ = [
+    "element_sparsity",
+    "vector_sparsity",
+    "channel_sparsity",
+    "bit_sparsity",
+    "quantize_to_fixed",
+    "booth_digits",
+    "booth_encode",
+    "booth_decode",
+    "booth_nonzero_terms",
+    "booth_term_sparsity",
+    "rlc_encode",
+    "rlc_decode",
+    "rlc_overhead_bits",
+    "direct_index_encode",
+    "direct_index_decode",
+    "direct_index_overhead_bits",
+    "crs_encode",
+    "crs_decode",
+    "crs_overhead_bits",
+]

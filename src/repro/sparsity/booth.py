@@ -1,0 +1,95 @@
+"""Radix-4 (modified) Booth encoding of signed fixed-point values.
+
+The paper's accelerator (and the Bit-pragmatic / Bit-Tactical baselines)
+process activations bit-serially and skip zero terms.  Radix-4 Booth
+recodes an ``n``-bit two's-complement integer into ``ceil((n + 1) / 2)``
+digits, each in ``{-2, -1, 0, +1, +2}``, such that::
+
+    value = sum(digit[i] * 4**i)
+
+The "4-bit Booth encoding" of Figure 4 refers to this radix-4 recoding of
+8-bit activations (4 digits per activation).  Fewer digits than bits
+means the zero-*term* fraction is lower than the zero-*bit* fraction —
+exactly the drop Figure 4 shows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sparsity.metrics import quantize_to_fixed
+
+BOOTH_DIGIT_VALUES = (-2, -1, 0, 1, 2)
+
+
+def booth_digits(bits: int) -> int:
+    """Number of radix-4 Booth digits for a ``bits``-bit integer."""
+    if bits < 2:
+        raise ValueError("need at least 2 bits")
+    return (bits + 1) // 2
+
+
+def booth_encode(value: int, bits: int = 8) -> List[int]:
+    """Radix-4 Booth digits (LSB first) of a signed ``bits``-bit integer."""
+    lo = -(2 ** (bits - 1))
+    hi = 2 ** (bits - 1) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{value} does not fit in {bits} signed bits")
+    unsigned = value & ((1 << bits) - 1)
+    raw_bits = [(unsigned >> i) & 1 for i in range(bits)]
+    # Sign-extend so the final digit window is well defined.
+    sign = raw_bits[-1]
+    while len(raw_bits) < 2 * booth_digits(bits):
+        raw_bits.append(sign)
+    digits = []
+    prev = 0
+    for i in range(booth_digits(bits)):
+        b0 = raw_bits[2 * i]
+        b1 = raw_bits[2 * i + 1]
+        digit = -2 * b1 + b0 + prev
+        prev = b1
+        digits.append(digit)
+    return digits
+
+
+def booth_decode(digits: List[int], radix: int = 4) -> int:
+    """Inverse of :func:`booth_encode`."""
+    value = 0
+    for position, digit in enumerate(digits):
+        value += digit * radix**position
+    return value
+
+
+def booth_nonzero_terms(values: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Per-element count of non-zero Booth digits.
+
+    This count is the number of shift-and-add cycles a bit-serial MAC with
+    zero-term skipping spends on each activation.
+    """
+    codes = np.asarray(values)
+    if not np.issubdtype(codes.dtype, np.integer):
+        codes = quantize_to_fixed(codes, bits)
+    flat = codes.reshape(-1)
+    counts = np.empty(flat.shape, dtype=np.int64)
+    cache = {}
+    for index, value in enumerate(flat.tolist()):
+        cached = cache.get(value)
+        if cached is None:
+            cached = sum(1 for d in booth_encode(int(value), bits) if d != 0)
+            cache[value] = cached
+        counts[index] = cached
+    return counts.reshape(codes.shape)
+
+
+def booth_term_sparsity(values: np.ndarray, bits: int = 8) -> float:
+    """Fraction of zero Booth digits (the "w/ Booth" series of Fig. 4)."""
+    codes = np.asarray(values)
+    if not np.issubdtype(codes.dtype, np.integer):
+        codes = quantize_to_fixed(codes, bits)
+    if codes.size == 0:
+        return 1.0
+    nonzero = booth_nonzero_terms(codes, bits).sum()
+    total = codes.size * booth_digits(bits)
+    return float(1.0 - nonzero / total)

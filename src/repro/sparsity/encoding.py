@@ -1,0 +1,127 @@
+"""Sparse index encodings and their bit overheads.
+
+Three encodings the paper discusses (Section IV-A):
+
+- **1-bit direct indexing** — one presence bit per element (or per vector,
+  which is how SmartExchange uses it: index values 0/1 stand for vector
+  sparsity, so the overhead is one bit per *row* instead of per scalar —
+  the 18-vs-6-indices illustration of Fig. 3b).
+- **Run-length coding (RLC)** — (zero-run, value) pairs with a fixed
+  run-length field width.
+- **Compressed row storage (CRS)** — per-row non-zero counts plus column
+  indices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# 1-bit direct indexing
+# ----------------------------------------------------------------------
+def direct_index_encode(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a vector into (presence bitmap, packed non-zero values)."""
+    values = np.asarray(values).reshape(-1)
+    bitmap = (values != 0).astype(np.uint8)
+    return bitmap, values[values != 0]
+
+
+def direct_index_decode(bitmap: np.ndarray, packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`direct_index_encode`."""
+    bitmap = np.asarray(bitmap).astype(bool)
+    if int(bitmap.sum()) != len(packed):
+        raise ValueError("bitmap population does not match packed length")
+    out = np.zeros(bitmap.shape, dtype=np.asarray(packed).dtype)
+    out[bitmap] = packed
+    return out
+
+
+def direct_index_overhead_bits(length: int) -> int:
+    """One bit per indexed element (or per vector at vector granularity)."""
+    return int(length)
+
+
+# ----------------------------------------------------------------------
+# Run-length coding
+# ----------------------------------------------------------------------
+def rlc_encode(values: np.ndarray, run_bits: int = 4) -> List[Tuple[int, float]]:
+    """Encode as (zeros-before, value) pairs with bounded run fields.
+
+    Runs longer than ``2**run_bits - 1`` are split by emitting explicit
+    zero values, exactly as Eyeriss-style RLC does.
+    """
+    max_run = 2**run_bits - 1
+    encoded: List[Tuple[int, float]] = []
+    run = 0
+    for value in np.asarray(values).reshape(-1).tolist():
+        if value == 0:
+            run += 1
+            # A filler pair (max_run, 0.0) stands for max_run zeros plus
+            # its own explicit zero value: max_run + 1 zeros in total.
+            if run == max_run + 1:
+                encoded.append((max_run, 0.0))
+                run = 0
+            continue
+        encoded.append((run, float(value)))
+        run = 0
+    if run:
+        encoded.append((run - 1, 0.0))
+    return encoded
+
+
+def rlc_decode(encoded: Sequence[Tuple[int, float]], length: int) -> np.ndarray:
+    """Inverse of :func:`rlc_encode` (needs the original length)."""
+    out: List[float] = []
+    for run, value in encoded:
+        out.extend([0.0] * run)
+        out.append(value)
+    if len(out) > length:
+        raise ValueError("encoded stream longer than declared length")
+    out.extend([0.0] * (length - len(out)))
+    return np.asarray(out)
+
+
+def rlc_overhead_bits(values: np.ndarray, run_bits: int = 4) -> int:
+    """Index bits only (the run fields, one per emitted pair)."""
+    return run_bits * len(rlc_encode(values, run_bits))
+
+
+# ----------------------------------------------------------------------
+# Compressed row storage
+# ----------------------------------------------------------------------
+def crs_encode(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(row_ptr, col_idx, values) of a 2-D matrix."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("CRS encodes 2-D matrices")
+    rows, cols = np.nonzero(matrix)
+    values = matrix[rows, cols]
+    row_ptr = np.zeros(matrix.shape[0] + 1, dtype=np.int64)
+    for row in rows:
+        row_ptr[row + 1] += 1
+    row_ptr = np.cumsum(row_ptr)
+    return row_ptr, cols.astype(np.int64), values
+
+
+def crs_decode(
+    row_ptr: np.ndarray, col_idx: np.ndarray, values: np.ndarray, shape: Tuple[int, int]
+) -> np.ndarray:
+    """Inverse of :func:`crs_encode`."""
+    out = np.zeros(shape, dtype=np.asarray(values).dtype)
+    for row in range(shape[0]):
+        start, stop = int(row_ptr[row]), int(row_ptr[row + 1])
+        out[row, col_idx[start:stop]] = values[start:stop]
+    return out
+
+
+def crs_overhead_bits(matrix: np.ndarray) -> int:
+    """Index bits: column indices + row pointers at minimal widths."""
+    matrix = np.asarray(matrix)
+    rows, cols = matrix.shape
+    nnz = int(np.count_nonzero(matrix))
+    col_bits = max(1, int(np.ceil(np.log2(max(cols, 2)))))
+    ptr_bits = max(1, int(np.ceil(np.log2(max(nnz + 1, 2)))))
+    return nnz * col_bits + (rows + 1) * ptr_bits

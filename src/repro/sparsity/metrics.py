@@ -1,0 +1,89 @@
+"""Sparsity measurements at every granularity the paper uses.
+
+- *element* sparsity: fraction of zero scalars (unstructured pruning).
+- *vector* sparsity: fraction of all-zero rows — the SmartExchange
+  structure (a zero row of ``Ce`` means a zero weight vector, letting the
+  accelerator skip the matching activation row, Fig. 3).
+- *channel* sparsity: fraction of all-zero channels (Network-Slimming
+  style structured pruning).
+- *bit* sparsity: fraction of zero bits in the fixed-point representation
+  of activations (what Bit-pragmatic and the SE bit-serial MACs exploit,
+  Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def element_sparsity(values: np.ndarray) -> float:
+    """Fraction of exactly-zero elements."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0.0
+    return float(np.count_nonzero(values == 0) / values.size)
+
+
+def vector_sparsity(matrix: np.ndarray, axis: int = 1) -> float:
+    """Fraction of all-zero vectors along ``axis``.
+
+    With the default ``axis=1`` a "vector" is a row, matching the paper's
+    row-of-``Ce`` granularity.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim < 2:
+        raise ValueError("vector sparsity needs a >=2-D array")
+    if matrix.size == 0:
+        return 0.0
+    nonzero = np.any(matrix != 0, axis=axis)
+    return float(1.0 - nonzero.mean())
+
+
+def channel_sparsity(weight: np.ndarray) -> float:
+    """Fraction of all-zero input channels of a conv weight (M, C, R, S)."""
+    weight = np.asarray(weight)
+    if weight.ndim != 4:
+        raise ValueError(f"expected a 4-D conv weight, got {weight.ndim}-D")
+    if weight.size == 0:
+        return 0.0
+    channel_alive = np.any(weight != 0, axis=(0, 2, 3))
+    return float(1.0 - channel_alive.mean())
+
+
+def quantize_to_fixed(values: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Symmetric linear quantization to signed ``bits``-bit integers.
+
+    Used to model the 8-bit activations of every accelerator in the
+    evaluation: the integer codes are what bit-level sparsity is measured
+    over.
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits for signed quantization")
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = np.abs(values).max() if values.size else 0.0
+    if max_abs == 0.0:
+        return np.zeros(values.shape, dtype=np.int64)
+    qmax = 2 ** (bits - 1) - 1
+    scaled = np.round(values / max_abs * qmax)
+    return np.clip(scaled, -qmax - 1, qmax).astype(np.int64)
+
+
+def bit_sparsity(values: np.ndarray, bits: int = 8) -> float:
+    """Fraction of zero bits over the magnitude bits of integer codes.
+
+    Matches the Bit-pragmatic notion: the multiplier processes magnitude
+    bit-planes, so the measure is over ``bits - 1`` magnitude bits of the
+    absolute value of each code (sign handled separately).
+    """
+    codes = np.asarray(values)
+    if not np.issubdtype(codes.dtype, np.integer):
+        codes = quantize_to_fixed(codes, bits)
+    if codes.size == 0:
+        return 1.0
+    magnitude_bits = bits - 1
+    mags = np.abs(codes).astype(np.uint64)
+    total_ones = 0
+    for plane in range(magnitude_bits):
+        total_ones += int(((mags >> plane) & 1).sum())
+    total_bits = codes.size * magnitude_bits
+    return float(1.0 - total_ones / total_bits)

@@ -1,0 +1,95 @@
+"""Tests for compression analysis / automatic target selection."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SmartExchangeConfig, SmartExchangeModel
+from repro.core.analyze import (
+    DEFAULT_LADDER,
+    LayerSensitivity,
+    compression_summary,
+    probe_sensitivities,
+    suggest_sparsity_targets,
+)
+
+
+def tiny_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(8, 4, rng=rng),
+    )
+
+
+class TestSensitivity:
+    def test_errors_grow_with_sparsity(self, rng):
+        model = tiny_model(rng)
+        sensitivities = probe_sensitivities(model, ladder=(0.0, 0.4, 0.8))
+        for sensitivity in sensitivities:
+            errors = [sensitivity.errors[l] for l in (0.0, 0.4, 0.8)]
+            assert errors[0] <= errors[-1] + 1e-9
+
+    def test_best_target_respects_budget(self):
+        sensitivity = LayerSensitivity(
+            name="l", kind="fc", elements=100,
+            errors={0.0: 0.1, 0.3: 0.2, 0.6: 0.5},
+        )
+        assert sensitivity.best_target(0.25) == 0.3
+        assert sensitivity.best_target(0.6) == 0.6
+        assert sensitivity.best_target(0.05) == 0.0
+
+    def test_small_layers_skipped(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, bias=False, rng=rng))
+        assert probe_sensitivities(model, min_elements=32) == []
+
+
+class TestSuggestTargets:
+    def test_override_per_layer(self, rng):
+        model = tiny_model(rng)
+        overrides = suggest_sparsity_targets(model, error_budget=0.4,
+                                             ladder=(0.0, 0.3, 0.6))
+        assert set(overrides) == {"0", "5"}  # the conv and the linear
+        for config in overrides.values():
+            assert isinstance(config, SmartExchangeConfig)
+
+    def test_generous_budget_gives_aggressive_targets(self, rng):
+        model = tiny_model(rng)
+        tight = suggest_sparsity_targets(model, error_budget=0.05,
+                                         ladder=(0.0, 0.4))
+        loose = suggest_sparsity_targets(model, error_budget=10.0,
+                                         ladder=(0.0, 0.4))
+        for name in tight:
+            tight_target = tight[name].target_row_sparsity or 0.0
+            loose_target = loose[name].target_row_sparsity or 0.0
+            assert loose_target >= tight_target
+
+    def test_budget_validation(self, rng):
+        with pytest.raises(ValueError):
+            suggest_sparsity_targets(tiny_model(rng), error_budget=0.0)
+
+    def test_overrides_drive_model_transform(self, rng):
+        model = tiny_model(rng)
+        overrides = suggest_sparsity_targets(model, error_budget=10.0,
+                                             ladder=(0.0, 0.5))
+        wrapper = SmartExchangeModel(
+            model, SmartExchangeConfig(max_iterations=3),
+            layer_overrides=overrides,
+        )
+        report = wrapper.compress()
+        # The generous budget picked 0.5 for every layer.
+        assert report.vector_sparsity > 0.35
+
+
+class TestSummary:
+    def test_one_line_per_layer(self, rng):
+        model = tiny_model(rng)
+        wrapper = SmartExchangeModel(model, SmartExchangeConfig(max_iterations=3))
+        report = wrapper.compress()
+        text = compression_summary(model, report)
+        assert len(text.splitlines()) == 1 + len(report.layers)
+        assert "CR" in text

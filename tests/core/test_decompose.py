@@ -1,0 +1,145 @@
+"""Tests for Algorithm 1 (the single-matrix decomposition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SmartExchangeConfig
+from repro.core.decompose import smart_exchange_decompose
+
+
+def pow2_or_zero(values: np.ndarray) -> bool:
+    nonzero = values[values != 0]
+    if nonzero.size == 0:
+        return True
+    logs = np.log2(np.abs(nonzero))
+    return np.allclose(logs, np.round(logs))
+
+
+class TestDecompositionInvariants:
+    def test_coefficient_entries_in_omega(self, rng):
+        weight = rng.normal(scale=0.1, size=(30, 3))
+        result = smart_exchange_decompose(weight, SmartExchangeConfig(max_iterations=8))
+        assert pow2_or_zero(result.coefficient)
+
+    def test_shapes(self, rng):
+        weight = rng.normal(size=(24, 3))
+        result = smart_exchange_decompose(weight)
+        assert result.coefficient.shape == (24, 3)
+        assert result.basis.shape == (3, 3)
+        assert result.rebuild().shape == (24, 3)
+
+    def test_exponent_window_bounded_by_config(self, rng):
+        config = SmartExchangeConfig(ce_bits=4, max_iterations=5)
+        weight = rng.normal(size=(20, 3))
+        result = smart_exchange_decompose(weight, config)
+        assert result.omega.exponent_count <= config.exponent_count == 7
+
+    def test_target_row_sparsity_met(self, rng):
+        config = SmartExchangeConfig(max_iterations=6, target_row_sparsity=0.5)
+        weight = rng.normal(size=(40, 3))
+        result = smart_exchange_decompose(weight, config)
+        assert result.row_sparsity >= 0.5 - 1.0 / 40 - 1e-9
+
+    def test_row_budget_met(self, rng):
+        config = SmartExchangeConfig(max_iterations=6, max_row_nonzeros=5)
+        weight = rng.normal(size=(30, 3))
+        result = smart_exchange_decompose(weight, config)
+        alive = int(np.any(result.coefficient != 0, axis=1).sum())
+        # The concluding re-quantization may only remove rows, not add.
+        assert alive <= 5 + 1  # +1 slack for the final refit/quantize step
+
+    def test_reconstruction_error_reasonable(self, rng):
+        # A matrix with genuine low-rank structure decomposes well.
+        base = rng.normal(size=(30, 3)) @ rng.normal(size=(3, 3))
+        result = smart_exchange_decompose(base, SmartExchangeConfig(max_iterations=15))
+        assert result.reconstruction_error < 0.5
+
+    def test_history_lengths_consistent(self, rng):
+        config = SmartExchangeConfig(max_iterations=7, tol=0.0)
+        result = smart_exchange_decompose(rng.normal(size=(12, 3)), config)
+        history = result.history
+        # One record per iteration plus the concluding snapshot.
+        assert len(history.errors) == result.iterations + 1
+        assert len(history.sparsities) == len(history.errors)
+        assert len(history.basis_drifts) == len(history.errors)
+        assert len(history.deltas) == result.iterations
+
+    def test_tol_stops_early(self, rng):
+        # With a generous tolerance the loop stops after one iteration.
+        config = SmartExchangeConfig(max_iterations=30, tol=1e9)
+        result = smart_exchange_decompose(rng.normal(size=(10, 3)), config)
+        assert result.iterations == 1
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            smart_exchange_decompose(rng.normal(size=(4, 3, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            smart_exchange_decompose(np.zeros((0, 3)))
+
+    def test_all_zero_weight_gives_zero_coefficient(self):
+        result = smart_exchange_decompose(np.zeros((6, 3)))
+        assert (result.coefficient == 0).all()
+
+    def test_row_sparsity_property_matches_manual(self, rng):
+        config = SmartExchangeConfig(max_iterations=5, target_row_sparsity=0.3)
+        result = smart_exchange_decompose(rng.normal(size=(20, 3)), config)
+        manual = 1.0 - np.any(result.coefficient != 0, axis=1).mean()
+        assert result.row_sparsity == pytest.approx(manual)
+
+    def test_element_sparsity_at_least_row_sparsity(self, rng):
+        config = SmartExchangeConfig(max_iterations=5, target_row_sparsity=0.4)
+        result = smart_exchange_decompose(rng.normal(size=(20, 3)), config)
+        assert result.element_sparsity >= result.row_sparsity - 1e-12
+
+
+class TestDecompositionQuality:
+    def test_identity_weight_recovers_exactly(self):
+        weight = np.eye(3)
+        result = smart_exchange_decompose(weight, SmartExchangeConfig(max_iterations=10))
+        np.testing.assert_allclose(result.rebuild(), weight, atol=1e-8)
+
+    def test_pow2_matrix_is_fixed_point(self):
+        # A weight already in SmartExchange form reconstructs (nearly) exactly.
+        rng = np.random.default_rng(3)
+        exponents = rng.integers(-4, 0, size=(12, 3))
+        signs = rng.choice([-1.0, 1.0], size=(12, 3))
+        weight = signs * 2.0**exponents
+        result = smart_exchange_decompose(weight, SmartExchangeConfig(max_iterations=10))
+        assert result.reconstruction_error < 0.05
+
+    def test_better_than_naive_pow2_on_structured_matrix(self, rng):
+        # The basis fit must beat directly rounding W to powers of two
+        # when W has low-rank structure (the whole point of the method).
+        from repro.core.omega import fit_omega, quantize_to_omega
+
+        mixing = rng.normal(size=(3, 3)) + 2 * np.eye(3)
+        weight = (rng.normal(size=(40, 3)) @ mixing) * 0.1
+        result = smart_exchange_decompose(
+            weight, SmartExchangeConfig(max_iterations=20)
+        )
+        naive = quantize_to_omega(weight, fit_omega(weight, 7))
+        naive_error = np.linalg.norm(weight - naive) / np.linalg.norm(weight)
+        assert result.reconstruction_error < naive_error
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.integers(3, 24),
+    seed=st.integers(0, 1000),
+    target=st.sampled_from([None, 0.25, 0.5]),
+)
+def test_decompose_property(rows, seed, target):
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(scale=0.2, size=(rows, 3))
+    config = SmartExchangeConfig(max_iterations=4, target_row_sparsity=target)
+    result = smart_exchange_decompose(weight, config)
+    assert pow2_or_zero(result.coefficient)
+    assert np.isfinite(result.basis).all()
+    if target is not None:
+        expected_zero = int(np.floor(target * rows))
+        zero_rows = rows - int(np.any(result.coefficient != 0, axis=1).sum())
+        assert zero_rows >= expected_zero

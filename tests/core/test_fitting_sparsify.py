@@ -1,0 +1,164 @@
+"""Tests for the least-squares fitting and sparsification steps."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import (
+    fit_basis,
+    fit_coefficient,
+    fit_coefficient_masked,
+    normalize_columns,
+    reconstruction_error,
+)
+from repro.core.sparsify import (
+    apply_channel_mask_rows,
+    channel_mask_from_bn,
+    enforce_row_budget,
+    sparsify_elements,
+    sparsify_rows,
+    sparsify_rows_to_fraction,
+)
+
+
+class TestFitting:
+    def test_fit_basis_exact_when_consistent(self, rng):
+        coefficient = rng.normal(size=(12, 3))
+        basis_true = rng.normal(size=(3, 3))
+        weight = coefficient @ basis_true
+        recovered = fit_basis(weight, coefficient)
+        np.testing.assert_allclose(recovered, basis_true, atol=1e-8)
+
+    def test_fit_coefficient_exact_when_consistent(self, rng):
+        coefficient_true = rng.normal(size=(10, 3))
+        basis = rng.normal(size=(3, 3))
+        weight = coefficient_true @ basis
+        recovered = fit_coefficient(weight, basis)
+        np.testing.assert_allclose(recovered, coefficient_true, atol=1e-8)
+
+    def test_fits_reduce_error_monotonically(self, rng):
+        weight = rng.normal(size=(20, 3))
+        coefficient = rng.normal(size=(20, 3))
+        basis = rng.normal(size=(3, 3))
+        error0 = reconstruction_error(weight, coefficient, basis)
+        basis = fit_basis(weight, coefficient)
+        error1 = reconstruction_error(weight, coefficient, basis)
+        coefficient = fit_coefficient(weight, basis)
+        error2 = reconstruction_error(weight, coefficient, basis)
+        assert error1 <= error0 + 1e-12
+        assert error2 <= error1 + 1e-12
+
+    def test_masked_fit_respects_support(self, rng):
+        weight = rng.normal(size=(6, 3))
+        basis = rng.normal(size=(3, 3))
+        mask = rng.random((6, 3)) > 0.5
+        coefficient = fit_coefficient_masked(weight, basis, mask)
+        assert (coefficient[~mask] == 0).all()
+
+    def test_masked_fit_beats_zero(self, rng):
+        weight = rng.normal(size=(6, 3))
+        basis = np.eye(3)
+        mask = np.ones((6, 3), dtype=bool)
+        mask[:, 0] = False
+        coefficient = fit_coefficient_masked(weight, basis, mask)
+        err = reconstruction_error(weight, coefficient, basis)
+        err_zero = reconstruction_error(weight, np.zeros((6, 3)), basis)
+        assert err < err_zero
+
+    def test_masked_fit_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            fit_coefficient_masked(np.zeros((4, 3)), np.zeros((3, 3)),
+                                   np.ones((5, 3), dtype=bool))
+
+    def test_reconstruction_error_zero_weight(self):
+        assert reconstruction_error(np.zeros((3, 3)), np.zeros((3, 3)),
+                                    np.eye(3)) == 0.0
+
+    def test_normalize_columns_preserves_product(self, rng):
+        coefficient = rng.normal(size=(8, 3))
+        basis = rng.normal(size=(3, 3))
+        normalized, rescaled = normalize_columns(coefficient, basis)
+        np.testing.assert_allclose(normalized @ rescaled, coefficient @ basis)
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=0), 1.0)
+
+    def test_normalize_handles_zero_columns(self, rng):
+        coefficient = rng.normal(size=(8, 3))
+        coefficient[:, 1] = 0.0
+        normalized, _ = normalize_columns(coefficient, np.eye(3))
+        assert np.isfinite(normalized).all()
+        assert (normalized[:, 1] == 0).all()
+
+
+class TestSparsify:
+    def test_element_threshold(self):
+        matrix = np.array([[0.1, -0.001], [0.002, 0.5]])
+        out = sparsify_elements(matrix, 0.01)
+        np.testing.assert_array_equal(out != 0, [[True, False], [False, True]])
+
+    def test_element_does_not_mutate_input(self, rng):
+        matrix = rng.normal(size=(4, 4))
+        original = matrix.copy()
+        sparsify_elements(matrix, 0.5)
+        np.testing.assert_array_equal(matrix, original)
+
+    def test_row_threshold_zeros_whole_rows(self):
+        matrix = np.array([[0.001, 0.002], [1.0, 0.0]])
+        out = sparsify_rows(matrix, 0.01)
+        assert (out[0] == 0).all() and out[1, 0] == 1.0
+
+    def test_row_budget_keeps_top_energy(self, rng):
+        matrix = np.diag([1.0, 3.0, 2.0, 0.5])
+        out = enforce_row_budget(matrix, 2)
+        alive = np.flatnonzero(np.any(out != 0, axis=1))
+        assert set(alive) == {1, 2}
+
+    def test_row_budget_none_is_noop(self, rng):
+        matrix = rng.normal(size=(4, 3))
+        np.testing.assert_array_equal(enforce_row_budget(matrix, None), matrix)
+
+    def test_row_budget_negative_raises(self):
+        with pytest.raises(ValueError):
+            enforce_row_budget(np.ones((2, 2)), -1)
+
+    def test_fraction_target_met_exactly(self, rng):
+        matrix = rng.normal(size=(20, 3))
+        out = sparsify_rows_to_fraction(matrix, 0.4)
+        zero_rows = int((np.linalg.norm(out, axis=1) == 0).sum())
+        assert zero_rows == 8
+
+    def test_fraction_counts_existing_zeros(self, rng):
+        matrix = rng.normal(size=(10, 3))
+        matrix[:5] = 0.0
+        out = sparsify_rows_to_fraction(matrix, 0.5)
+        # Already at 50%: nothing further is pruned.
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_fraction_prunes_smallest_rows(self):
+        matrix = np.diag([5.0, 1.0, 4.0, 2.0, 3.0])
+        out = sparsify_rows_to_fraction(matrix, 0.4)
+        alive = set(np.flatnonzero(np.any(out != 0, axis=1)))
+        assert alive == {0, 2, 4}
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            sparsify_rows_to_fraction(np.ones((2, 2)), 1.0)
+
+
+class TestChannelMask:
+    def test_threshold_masks_small_gammas(self):
+        mask = channel_mask_from_bn(np.array([0.5, 0.001, -0.8, 0.01]), 0.05)
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+
+    def test_at_least_one_channel_kept(self):
+        mask = channel_mask_from_bn(np.array([1e-9, 1e-8]), 0.5)
+        assert mask.sum() == 1
+        assert mask[1]  # the larger |gamma| survives
+
+    def test_apply_channel_mask_zeroes_blocks(self, rng):
+        coefficient = rng.normal(size=(6, 3))  # 2 channels x 3 rows each
+        out = apply_channel_mask_rows(coefficient, np.array([True, False]), 3)
+        np.testing.assert_array_equal(out[3:], 0.0)
+        np.testing.assert_array_equal(out[:3], coefficient[:3])
+
+    def test_apply_channel_mask_shape_check(self):
+        with pytest.raises(ValueError):
+            apply_channel_mask_rows(np.ones((4, 3)), np.array([True, True]), 3)

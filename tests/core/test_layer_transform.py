@@ -1,0 +1,119 @@
+"""Tests for per-layer SmartExchange compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SmartExchangeConfig
+from repro.core.layer_transform import (
+    compress_conv_weight,
+    compress_fc_weight,
+    rebuild_conv_weight,
+)
+
+FAST = SmartExchangeConfig(max_iterations=4)
+
+
+class TestConvCompression:
+    def test_rebuild_shape_and_quality(self, rng):
+        weight = rng.normal(scale=0.1, size=(4, 3, 3, 3))
+        compression = compress_conv_weight(weight, FAST)
+        rebuilt = compression.rebuild_weight()
+        assert rebuilt.shape == weight.shape
+        rel = np.linalg.norm(rebuilt - weight) / np.linalg.norm(weight)
+        assert rel < 0.5
+
+    def test_compression_rate_above_fp32_quantization_floor(self, rng):
+        # 4-bit codes must beat 32/8 = 4x even with basis+index overhead.
+        weight = rng.normal(size=(8, 8, 3, 3))
+        compression = compress_conv_weight(weight, FAST)
+        assert compression.compression_rate > 4.0
+
+    def test_filter_mask_zeroes_filters(self, rng):
+        weight = rng.normal(size=(4, 2, 3, 3))
+        mask = np.array([True, False, True, False])
+        compression = compress_conv_weight(weight, FAST, filter_keep_mask=mask)
+        rebuilt = compression.rebuild_weight()
+        assert (rebuilt[1] == 0).all() and (rebuilt[3] == 0).all()
+        assert (rebuilt[0] != 0).any()
+
+    def test_filter_mask_increases_vector_sparsity(self, rng):
+        weight = rng.normal(size=(4, 2, 3, 3))
+        dense = compress_conv_weight(weight, FAST)
+        masked = compress_conv_weight(
+            weight, FAST, filter_keep_mask=np.array([True, False, True, False])
+        )
+        assert masked.vector_sparsity > dense.vector_sparsity
+        assert masked.vector_sparsity >= 0.5 - 1e-9
+
+    def test_filter_mask_length_check(self, rng):
+        with pytest.raises(ValueError):
+            compress_conv_weight(rng.normal(size=(4, 2, 3, 3)), FAST,
+                                 filter_keep_mask=np.ones(3, dtype=bool))
+
+    def test_pointwise_conv_uses_fc_rule(self, rng):
+        weight = rng.normal(size=(6, 9, 1, 1))
+        compression = compress_conv_weight(weight, FAST)
+        assert compression.kind == "pointwise"
+        rebuilt = rebuild_conv_weight(compression)
+        assert rebuilt.shape == weight.shape
+
+    def test_depthwise_weight_supported(self, rng):
+        weight = rng.normal(size=(8, 1, 3, 3))
+        compression = compress_conv_weight(weight, FAST)
+        assert compression.rebuild_weight().shape == weight.shape
+
+    def test_non_4d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            compress_conv_weight(rng.normal(size=(4, 9)), FAST)
+
+    def test_storage_accounts_all_matrices(self, rng):
+        weight = rng.normal(size=(4, 2, 3, 3))
+        compression = compress_conv_weight(weight, FAST)
+        # 4 filters => 4 basis matrices of 3x3 bytes (8-bit).
+        assert compression.storage.basis_bits == 4 * 9 * 8
+
+    def test_vector_sparsity_target_respected(self, rng):
+        config = SmartExchangeConfig(max_iterations=4, target_row_sparsity=0.5)
+        weight = rng.normal(size=(4, 4, 3, 3))
+        compression = compress_conv_weight(weight, config)
+        assert compression.vector_sparsity >= 0.4
+
+    def test_mean_reconstruction_error_reported(self, rng):
+        weight = rng.normal(size=(2, 2, 3, 3))
+        compression = compress_conv_weight(weight, FAST)
+        assert 0.0 < compression.mean_reconstruction_error < 1.0
+
+
+class TestFCCompression:
+    def test_rebuild_shape(self, rng):
+        weight = rng.normal(size=(6, 20))
+        compression = compress_fc_weight(weight, FAST)
+        assert compression.rebuild_weight().shape == weight.shape
+
+    def test_rebuild_with_padding(self, rng):
+        weight = rng.normal(size=(3, 10))
+        compression = compress_fc_weight(weight, FAST)
+        rebuilt = compression.rebuild_weight()
+        assert rebuilt.shape == (3, 10)
+
+    def test_compression_rate_positive(self, rng):
+        weight = rng.normal(size=(8, 30))
+        compression = compress_fc_weight(weight, FAST)
+        assert compression.compression_rate > 2.0
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            compress_fc_weight(rng.normal(size=(4, 3, 3)), FAST)
+
+    def test_one_decomposition_per_row(self, rng):
+        weight = rng.normal(size=(5, 12))
+        compression = compress_fc_weight(weight, FAST)
+        assert len(compression.decompositions) == 5
+
+    def test_higher_sparsity_means_smaller_storage(self, rng):
+        weight = rng.normal(size=(8, 30))
+        loose = compress_fc_weight(weight, FAST)
+        tight = compress_fc_weight(
+            weight, SmartExchangeConfig(max_iterations=4, target_row_sparsity=0.6)
+        )
+        assert tight.storage.total_bits < loose.storage.total_bits

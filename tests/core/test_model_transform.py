@@ -1,0 +1,177 @@
+"""Tests for whole-model SmartExchange application and re-training."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    SmartExchangeConfig,
+    SmartExchangeModel,
+    apply_smartexchange,
+    retrain,
+)
+from repro.core.model_transform import _bn_after_conv
+
+FAST = SmartExchangeConfig(max_iterations=3)
+
+
+def tiny_cnn(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.Conv2d(8, 8, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(8, 4, rng=rng),
+    )
+
+
+class TestBNMapping:
+    def test_bn_after_conv_found(self):
+        model = tiny_cnn()
+        mapping = _bn_after_conv(model)
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        assert all(id(conv) in mapping for conv in convs)
+
+    def test_bn_mapping_in_bottleneck(self):
+        from repro.nn.models.resnet import Bottleneck
+        block = Bottleneck(8, 4)
+        mapping = _bn_after_conv(block)
+        assert id(block.conv1) in mapping
+        assert mapping[id(block.conv1)] is block.bn1
+
+
+class TestCompress:
+    def test_all_eligible_layers_compressed(self, rng):
+        model = tiny_cnn(rng)
+        wrapper, report = apply_smartexchange(model, FAST, model_name="tiny")
+        # 2 convs + 1 fc are all above min_elements (8*3*9=216, 32 fc).
+        assert len(report.layers) == 3
+
+    def test_min_elements_skips_small_layers(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, bias=False, rng=rng))
+        config = SmartExchangeConfig(max_iterations=3, min_elements=32)
+        _, report = apply_smartexchange(model, config)
+        assert len(report.layers) == 0
+        assert report.compression_rate == pytest.approx(1.0)
+
+    def test_weights_replaced_in_place(self, rng):
+        model = tiny_cnn(rng)
+        before = model[0].weight.data.copy()
+        apply_smartexchange(model, FAST)
+        assert not np.allclose(model[0].weight.data, before)
+
+    def test_forward_still_works(self, rng):
+        model = tiny_cnn(rng)
+        apply_smartexchange(model, FAST)
+        out = model(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 4)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_report_totals_consistent(self, rng):
+        model = tiny_cnn(rng)
+        _, report = apply_smartexchange(model, FAST)
+        assert report.original_elements == model.num_parameters()
+        assert report.param_mb < report.original_mb
+        assert report.compression_rate > 1.0
+
+    def test_depthwise_opt_out(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(8, 8, 3, padding=1, groups=8, bias=False, rng=rng),
+            nn.Conv2d(8, 16, 1, bias=False, rng=rng),
+        )
+        wrapper = SmartExchangeModel(model, FAST, compress_depthwise=False)
+        report = wrapper.compress()
+        assert len(report.layers) == 1  # only the pointwise conv
+
+    def test_channel_theta_prunes_filters(self, rng):
+        model = tiny_cnn(rng)
+        bn = model[1]
+        bn.gamma.data[:4] = 1e-6  # make 4 of 8 filters prunable
+        config = SmartExchangeConfig(max_iterations=3, channel_theta=1e-3)
+        _, report = apply_smartexchange(model, config)
+        conv_weight = model[0].weight.data
+        assert (conv_weight[:4] == 0).all()
+        assert (conv_weight[4:] != 0).any()
+
+    def test_layer_overrides(self, rng):
+        model = tiny_cnn(rng)
+        overrides = {"8": SmartExchangeConfig(max_iterations=3,
+                                              target_row_sparsity=0.7)}
+        wrapper = SmartExchangeModel(model, FAST, layer_overrides=overrides)
+        report = wrapper.compress()
+        fc_layer = next(l for l in report.layers if l.name == "8")
+        conv_layer = next(l for l in report.layers if l.name == "0")
+        assert fc_layer.vector_sparsity > conv_layer.vector_sparsity
+
+    def test_report_before_compress_raises(self, rng):
+        wrapper = SmartExchangeModel(tiny_cnn(rng), FAST)
+        with pytest.raises(RuntimeError):
+            _ = wrapper.report
+
+    def test_layer_sparsity_lookup(self, rng):
+        model = tiny_cnn(rng)
+        _, report = apply_smartexchange(model, FAST)
+        assert report.layer_sparsity("0") >= 0.0
+        with pytest.raises(KeyError):
+            report.layer_sparsity("nope")
+
+    def test_weights_are_rebuildable_from_report(self, rng):
+        model = tiny_cnn(rng)
+        _, report = apply_smartexchange(model, FAST)
+        fc = next(l for l in report.layers if l.kind == "fc")
+        np.testing.assert_allclose(fc.rebuild_weight(), model[8].weight.data)
+
+
+class TestRetrain:
+    def _toy_task(self, rng):
+        images = rng.normal(size=(48, 3, 8, 8))
+        labels = rng.integers(0, 4, size=48)
+        for cls in range(4):
+            images[labels == cls, cls % 3] += 1.2
+        return images, labels
+
+    def test_retrain_improves_or_holds_accuracy(self, rng):
+        images, labels = self._toy_task(rng)
+        model = tiny_cnn(rng)
+        nn.fit(model, images, labels, epochs=3, lr=0.1, batch_size=16)
+        wrapper = SmartExchangeModel(model, FAST, model_name="tiny")
+        result = retrain(wrapper, images, labels, epochs=2, lr=0.05, batch_size=16)
+        first_report = result.reports[0]
+        assert result.best_projected_accuracy >= 0.25  # above chance
+        assert len(result.reports) == 3  # initial + one per epoch
+        assert result.final_report.compression_rate > 1.0
+        assert first_report.model_name == "tiny"
+
+    def test_retrain_keeps_structure(self, rng):
+        images, labels = self._toy_task(rng)
+        model = tiny_cnn(rng)
+        wrapper = SmartExchangeModel(model, FAST)
+        retrain(wrapper, images, labels, epochs=1, lr=0.05)
+        # After the final projection every conv/fc weight must rebuild
+        # exactly from the stored decompositions.
+        for layer in wrapper.report.layers:
+            assert layer.compression_rate > 1.0
+
+    def test_retrain_validates_epochs(self, rng):
+        wrapper = SmartExchangeModel(tiny_cnn(rng), FAST)
+        with pytest.raises(ValueError):
+            retrain(wrapper, np.zeros((4, 3, 8, 8)), np.zeros(4, dtype=int),
+                    epochs=0)
+
+    def test_channel_masks_frozen_across_projections(self, rng):
+        model = tiny_cnn(rng)
+        model[1].gamma.data[:2] = 1e-6
+        config = SmartExchangeConfig(max_iterations=3, channel_theta=1e-3)
+        wrapper = SmartExchangeModel(model, config)
+        wrapper.compress()
+        masks_before = {k: v.copy() for k, v in wrapper._channel_masks.items()}
+        # Make the gammas large again: the mask must not change.
+        model[1].gamma.data[:] = 1.0
+        wrapper.project()
+        for key, mask in wrapper._channel_masks.items():
+            np.testing.assert_array_equal(mask, masks_before[key])

@@ -1,0 +1,134 @@
+"""Tests for the ΩP power-of-2 value set and quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.omega import (
+    OmegaSet,
+    fit_omega,
+    nearest_pow2_exponent,
+    quantization_delta,
+    quantize_to_omega,
+)
+
+
+class TestOmegaSet:
+    def test_values_sorted_and_symmetric(self):
+        omega = OmegaSet(-3, 0)
+        values = omega.values
+        assert (np.diff(values) > 0).all()
+        np.testing.assert_allclose(values, -values[::-1])
+        assert 0.0 in values
+
+    def test_exponent_count(self):
+        assert OmegaSet(-6, 0).exponent_count == 7
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            OmegaSet(1, 0)
+
+    def test_contains(self):
+        omega = OmegaSet(-2, 1)
+        assert omega.contains(np.array([0.5, -2.0, 0.0])).all()
+        assert not omega.contains(np.array([0.3])).any()
+
+
+class TestNearestPow2:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1.0, 0), (2.0, 1), (0.5, -1), (1.4, 0), (1.6, 1), (3.1, 2),
+         (0.74, -1), (0.76, 0)],
+    )
+    def test_known_values(self, value, expected):
+        assert nearest_pow2_exponent(np.array([value]))[0] == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            nearest_pow2_exponent(np.array([0.0]))
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_nearest_in_linear_distance(self, value):
+        exponent = int(nearest_pow2_exponent(np.array([value]))[0])
+        chosen = 2.0**exponent
+        for alt in (2.0 ** (exponent - 1), 2.0 ** (exponent + 1)):
+            assert abs(value - chosen) <= abs(value - alt) + 1e-12
+
+
+class TestFitOmega:
+    def test_window_anchored_at_max(self):
+        omega = fit_omega(np.array([0.9, 0.1, 0.01]), 4)
+        assert omega.p_max == 0  # 0.9 -> 2^0
+        assert omega.p_min == -3
+
+    def test_all_zero_input(self):
+        omega = fit_omega(np.zeros(5), 3)
+        assert omega.exponent_count == 3
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            fit_omega(np.ones(3), 0)
+
+
+class TestQuantizeToOmega:
+    def test_output_in_omega(self, rng):
+        values = rng.normal(size=100)
+        omega = fit_omega(values, 7)
+        quantized = quantize_to_omega(values, omega)
+        assert omega.contains(quantized, atol=0.0).all()
+
+    def test_idempotent(self, rng):
+        values = rng.normal(size=50)
+        omega = fit_omega(values, 7)
+        once = quantize_to_omega(values, omega)
+        twice = quantize_to_omega(once, omega)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_zero_threshold_zeroes_small(self):
+        omega = OmegaSet(-8, 0)
+        out = quantize_to_omega(np.array([0.5, 1e-4]), omega, zero_threshold=1e-3)
+        assert out[0] != 0 and out[1] == 0
+
+    def test_signs_preserved(self, rng):
+        values = rng.normal(size=50)
+        omega = fit_omega(values, 7)
+        quantized = quantize_to_omega(values, omega)
+        live = quantized != 0
+        assert (np.sign(quantized[live]) == np.sign(values[live])).all()
+
+    def test_below_window_floor_becomes_zero(self):
+        omega = OmegaSet(-2, 0)
+        out = quantize_to_omega(np.array([0.05]), omega)
+        assert out[0] == 0.0
+
+    def test_above_window_clipped_to_max(self):
+        omega = OmegaSet(-2, 0)
+        out = quantize_to_omega(np.array([100.0]), omega)
+        assert out[0] == 1.0
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=-4.0, max_value=4.0, allow_nan=False).filter(
+                lambda v: v == 0.0 or abs(v) >= 1e-3
+            ),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_bounded_relative_error_inside_window(self, values):
+        # Magnitudes span < 2^13, well inside a 24-exponent window, so no
+        # value is clipped at the window floor (where the bound breaks).
+        values = np.asarray(values)
+        omega = fit_omega(values, 24)
+        quantized = quantize_to_omega(values, omega)
+        live = quantized != 0
+        if live.any():
+            rel = np.abs(quantized[live] - values[live]) / np.abs(values[live])
+            # Nearest power of two is at most 1/3 away in relative terms.
+            assert rel.max() <= 1.0 / 3.0 + 1e-9
+
+    def test_delta_metric(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, 0.0])
+        assert quantization_delta(a, b) == pytest.approx(2.0)

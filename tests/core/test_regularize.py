@@ -1,0 +1,115 @@
+"""Tests for the proximal SmartExchange regularization (future work)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SmartExchangeConfig, SmartExchangeModel, retrain
+from repro.core.regularize import (
+    apply_proximal_gradient,
+    projection_targets,
+    proximal_train_epoch,
+    smartexchange_distance,
+)
+
+FAST = SmartExchangeConfig(max_iterations=3)
+
+
+def make_wrapper(rng=None):
+    rng = rng or np.random.default_rng(0)
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(8, 4, rng=rng),
+    )
+    wrapper = SmartExchangeModel(model, FAST)
+    wrapper.compress()
+    return wrapper
+
+
+def toy_task(rng):
+    images = rng.normal(size=(32, 3, 8, 8))
+    labels = rng.integers(0, 4, size=32)
+    return images, labels
+
+
+class TestProjectionTargets:
+    def test_targets_match_live_weights_after_projection(self, rng):
+        wrapper = make_wrapper(rng)
+        targets = projection_targets(wrapper)
+        modules = dict(wrapper.model.named_modules())
+        for name, target in targets.items():
+            np.testing.assert_allclose(modules[name].weight.data, target)
+
+    def test_distance_zero_after_projection(self, rng):
+        wrapper = make_wrapper(rng)
+        assert smartexchange_distance(wrapper) == pytest.approx(0.0, abs=1e-9)
+
+    def test_distance_grows_after_perturbation(self, rng):
+        wrapper = make_wrapper(rng)
+        wrapper.model[0].weight.data += 0.1
+        assert smartexchange_distance(wrapper) > 0.01
+
+
+class TestProximalGradient:
+    def test_zero_strength_is_noop(self, rng):
+        wrapper = make_wrapper(rng)
+        targets = projection_targets(wrapper)
+        wrapper.model[0].weight.grad = None
+        apply_proximal_gradient(wrapper, targets, 0.0)
+        assert wrapper.model[0].weight.grad is None
+
+    def test_gradient_points_to_target(self, rng):
+        wrapper = make_wrapper(rng)
+        targets = projection_targets(wrapper)
+        conv = wrapper.model[0]
+        conv.weight.data += 0.5
+        apply_proximal_gradient(wrapper, targets, 2.0)
+        np.testing.assert_allclose(conv.weight.grad, 2.0 * 0.5
+                                   * np.ones_like(conv.weight.data))
+
+    def test_adds_to_existing_gradient(self, rng):
+        wrapper = make_wrapper(rng)
+        targets = projection_targets(wrapper)
+        conv = wrapper.model[0]
+        conv.weight.grad = np.ones_like(conv.weight.data)
+        conv.weight.data += 1.0
+        apply_proximal_gradient(wrapper, targets, 1.0)
+        np.testing.assert_allclose(conv.weight.grad,
+                                   2.0 * np.ones_like(conv.weight.data))
+
+    def test_negative_strength_rejected(self, rng):
+        wrapper = make_wrapper(rng)
+        with pytest.raises(ValueError):
+            apply_proximal_gradient(wrapper, {}, -1.0)
+
+
+class TestProximalTraining:
+    def test_penalty_keeps_weights_near_manifold(self, rng):
+        images, labels = toy_task(rng)
+
+        def drift(strength):
+            wrapper = make_wrapper(np.random.default_rng(1))
+            optimizer = nn.SGD(wrapper.model.parameters(), lr=0.05)
+            if strength > 0:
+                proximal_train_epoch(wrapper, images, labels, optimizer,
+                                     strength, batch_size=16,
+                                     rng=np.random.default_rng(2))
+            else:
+                from repro.nn.train import train_epoch
+                train_epoch(wrapper.model, images, labels, optimizer, 16,
+                            np.random.default_rng(2))
+            return smartexchange_distance(wrapper)
+
+        assert drift(5.0) < drift(0.0)
+
+    def test_retrain_with_proximal_strength(self, rng):
+        images, labels = toy_task(rng)
+        wrapper = make_wrapper(rng)
+        result = retrain(wrapper, images, labels, epochs=1, lr=0.05,
+                         proximal_strength=1.0)
+        assert len(result.reports) == 2
+        assert result.final_report.compression_rate > 1.0

@@ -1,0 +1,139 @@
+"""Tests for the Section III-C reshaping rules (exact round trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reshape import (
+    from_matrices,
+    plan_conv,
+    plan_fc,
+    to_matrices,
+)
+
+
+class TestConvPlan:
+    def test_plan_fields(self):
+        plan = plan_conv((8, 4, 3, 3))
+        assert plan.kind == "conv"
+        assert plan.basis_size == 3
+        assert plan.unit_rows == 12  # C * R
+        assert plan.total_matrices == 8
+
+    def test_non_square_kernel_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            plan_conv((8, 4, 3, 5))
+
+    def test_1x1_rejected(self):
+        with pytest.raises(ValueError, match="plan_fc"):
+            plan_conv((8, 4, 1, 1))
+
+    def test_roundtrip(self, rng):
+        weight = rng.normal(size=(6, 5, 3, 3))
+        plan = plan_conv(weight.shape)
+        matrices = to_matrices(weight, plan)
+        assert all(m.shape == (15, 3) for m in matrices)
+        np.testing.assert_array_equal(from_matrices(matrices, plan), weight)
+
+    def test_roundtrip_5x5(self, rng):
+        weight = rng.normal(size=(2, 3, 5, 5))
+        plan = plan_conv(weight.shape)
+        matrices = to_matrices(weight, plan)
+        assert all(m.shape == (15, 5) for m in matrices)
+        np.testing.assert_array_equal(from_matrices(matrices, plan), weight)
+
+    def test_slicing_tall_matrices(self, rng):
+        weight = rng.normal(size=(2, 16, 3, 3))  # 48 rows per filter
+        plan = plan_conv(weight.shape, max_rows_per_slice=20)
+        assert plan.matrices_per_unit == 3
+        matrices = to_matrices(weight, plan)
+        assert len(matrices) == 6
+        np.testing.assert_array_equal(from_matrices(matrices, plan), weight)
+
+    def test_channel_blocks_are_contiguous(self, rng):
+        weight = rng.normal(size=(1, 4, 3, 3))
+        plan = plan_conv(weight.shape)
+        matrix = to_matrices(weight, plan)[0]
+        # Rows 3c..3c+2 must be channel c's kernel rows.
+        for channel in range(4):
+            np.testing.assert_array_equal(
+                matrix[3 * channel : 3 * channel + 3], weight[0, channel]
+            )
+
+
+class TestFCPlan:
+    def test_divisible_roundtrip(self, rng):
+        weight = rng.normal(size=(4, 12))
+        plan = plan_fc(weight.shape, 3)
+        matrices = to_matrices(weight, plan)
+        assert all(m.shape == (4, 3) for m in matrices)
+        np.testing.assert_array_equal(from_matrices(matrices, plan), weight)
+
+    def test_padding_roundtrip(self, rng):
+        weight = rng.normal(size=(3, 10))  # 10 not divisible by 3
+        plan = plan_fc(weight.shape, 3)
+        assert plan.padded_cols == 12
+        matrices = to_matrices(weight, plan)
+        assert all(m.shape == (4, 3) for m in matrices)
+        np.testing.assert_array_equal(from_matrices(matrices, plan), weight)
+
+    def test_padding_is_zero(self, rng):
+        weight = rng.normal(size=(1, 7))
+        plan = plan_fc(weight.shape, 3)
+        matrix = to_matrices(weight, plan)[0]
+        assert matrix.reshape(-1)[7:].sum() == 0.0
+
+    def test_slicing(self, rng):
+        weight = rng.normal(size=(2, 30))
+        plan = plan_fc(weight.shape, 3, max_rows_per_slice=4)
+        assert plan.matrices_per_unit == 3
+        matrices = to_matrices(weight, plan)
+        assert len(matrices) == 6
+        np.testing.assert_array_equal(from_matrices(matrices, plan), weight)
+
+    def test_invalid_basis_size(self):
+        with pytest.raises(ValueError):
+            plan_fc((2, 10), 0)
+
+    def test_wrong_matrix_count_raises(self, rng):
+        weight = rng.normal(size=(4, 12))
+        plan = plan_fc(weight.shape, 3)
+        matrices = to_matrices(weight, plan)
+        with pytest.raises(ValueError, match="expected"):
+            from_matrices(matrices[:-1], plan)
+
+    def test_wrong_weight_shape_raises(self, rng):
+        plan = plan_fc((4, 12), 3)
+        with pytest.raises(ValueError, match="does not match"):
+            to_matrices(rng.normal(size=(4, 13)), plan)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(1, 5),
+    c=st.integers(1, 8),
+    k=st.sampled_from([3, 5]),
+    max_rows=st.sampled_from([None, 4, 7]),
+)
+def test_conv_roundtrip_property(m, c, k, max_rows):
+    rng = np.random.default_rng(m * 100 + c * 10 + k)
+    weight = rng.normal(size=(m, c, k, k))
+    plan = plan_conv(weight.shape, max_rows)
+    rebuilt = from_matrices(to_matrices(weight, plan), plan)
+    np.testing.assert_array_equal(rebuilt, weight)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(1, 6),
+    c=st.integers(1, 25),
+    s=st.integers(1, 6),
+    max_rows=st.sampled_from([None, 3]),
+)
+def test_fc_roundtrip_property(m, c, s, max_rows):
+    rng = np.random.default_rng(m * 1000 + c * 10 + s)
+    weight = rng.normal(size=(m, c))
+    plan = plan_fc(weight.shape, s, max_rows)
+    rebuilt = from_matrices(to_matrices(weight, plan), plan)
+    np.testing.assert_array_equal(rebuilt, weight)

@@ -1,0 +1,154 @@
+"""Tests for bit-exact serialization of the SmartExchange form."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SmartExchangeConfig, apply_smartexchange, smart_exchange_decompose
+from repro.core.serialize import (
+    decode_coefficient_codes,
+    decomposition_payload,
+    encode_coefficient_codes,
+    load_compressed,
+    pack_nibbles,
+    payload_bytes,
+    payload_weight,
+    quantize_basis,
+    save_compressed,
+    unpack_nibbles,
+)
+from repro.core.storage import decomposition_bits
+
+FAST = SmartExchangeConfig(max_iterations=5, target_row_sparsity=0.3)
+
+
+class TestCodes:
+    def test_roundtrip(self, rng):
+        config = SmartExchangeConfig(max_iterations=5)
+        decomposition = smart_exchange_decompose(
+            rng.normal(size=(20, 3)), config
+        )
+        coefficient = decomposition.coefficient
+        codes = encode_coefficient_codes(
+            coefficient, decomposition.omega.p_min, decomposition.omega.p_max
+        )
+        decoded = decode_coefficient_codes(codes, decomposition.omega.p_min)
+        np.testing.assert_array_equal(decoded, coefficient)
+
+    def test_zero_maps_to_code_zero(self):
+        codes = encode_coefficient_codes(np.zeros((2, 3)), -6, 0)
+        assert (codes == 0).all()
+
+    def test_codes_fit_bit_width(self, rng):
+        config = SmartExchangeConfig(max_iterations=5, ce_bits=4)
+        decomposition = smart_exchange_decompose(rng.normal(size=(12, 3)), config)
+        codes = encode_coefficient_codes(
+            decomposition.coefficient,
+            decomposition.omega.p_min, decomposition.omega.p_max,
+        )
+        assert codes.max() < 16
+
+    def test_too_many_exponents_rejected(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            encode_coefficient_codes(np.zeros((2, 2)), -20, 0, ce_bits=4)
+
+    def test_out_of_window_value_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            encode_coefficient_codes(np.array([[8.0]]), -3, 0)
+
+
+class TestNibblePacking:
+    @pytest.mark.parametrize("count", [0, 1, 2, 7, 8, 33])
+    def test_roundtrip(self, rng, count):
+        codes = rng.integers(0, 16, size=count).astype(np.uint8)
+        packed = pack_nibbles(codes)
+        np.testing.assert_array_equal(unpack_nibbles(packed, count), codes)
+
+    def test_packing_halves_bytes(self):
+        codes = np.arange(16, dtype=np.uint8)
+        assert pack_nibbles(codes).nbytes == 8
+
+
+class TestBasisQuantization:
+    def test_roundtrip_error_bounded(self, rng):
+        basis = rng.normal(size=(3, 3))
+        codes, scale = quantize_basis(basis)
+        rebuilt = codes.astype(np.float64) * scale
+        assert np.abs(rebuilt - basis).max() <= scale / 2 + 1e-12
+
+    def test_zero_basis(self):
+        codes, scale = quantize_basis(np.zeros((3, 3)))
+        assert (codes == 0).all() and scale == 1.0
+
+
+class TestPayload:
+    def test_rebuild_close_to_float_form(self, rng):
+        decomposition = smart_exchange_decompose(rng.normal(size=(24, 3)), FAST)
+        payload = decomposition_payload(decomposition, FAST)
+        rebuilt = payload_weight(payload)
+        reference = decomposition.rebuild()
+        # Only the 8-bit basis quantization separates the two.
+        assert np.abs(rebuilt - reference).max() < 0.02 * max(
+            np.abs(reference).max(), 1e-9
+        ) + 1e-6
+
+    def test_payload_size_matches_analytic_accounting(self, rng):
+        decomposition = smart_exchange_decompose(rng.normal(size=(64, 3)), FAST)
+        payload = decomposition_payload(decomposition, FAST)
+        analytic_bits = decomposition_bits(decomposition, FAST).total_bits
+        measured_bits = payload_bytes(payload) * 8
+        # Byte rounding of the bitmap and nibble stream is the only
+        # divergence from the bit-exact analytic accounting.
+        assert abs(measured_bits - analytic_bits) <= 16
+
+    def test_zero_rows_not_stored(self, rng):
+        sparse_config = SmartExchangeConfig(max_iterations=5,
+                                            target_row_sparsity=0.75)
+        decomposition = smart_exchange_decompose(
+            rng.normal(size=(64, 3)), sparse_config
+        )
+        dense_payload = decomposition_payload(
+            smart_exchange_decompose(rng.normal(size=(64, 3)), FAST), FAST
+        )
+        sparse_payload = decomposition_payload(decomposition, sparse_config)
+        assert sparse_payload["codes"].nbytes < dense_payload["codes"].nbytes
+
+
+class TestModelSaveLoad:
+    def _compressed_model(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 6, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(6),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Flatten(),
+            nn.Linear(6, 4, rng=rng),
+        )
+        _, report = apply_smartexchange(model, FAST)
+        return model, report
+
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        model, report = self._compressed_model(rng)
+        path = tmp_path / "model.npz"
+        save_compressed(path, report, FAST)
+        loaded = load_compressed(path)
+        assert set(loaded) == {layer.name for layer in report.layers}
+        for layer in report.layers:
+            matrices = loaded[layer.name]
+            assert len(matrices) == len(layer.decompositions)
+            for matrix, decomposition in zip(matrices, layer.decompositions):
+                np.testing.assert_allclose(
+                    matrix, decomposition.rebuild(), atol=0.02
+                )
+
+    def test_payload_bytes_reported(self, rng, tmp_path):
+        model, report = self._compressed_model(rng)
+        total = save_compressed(tmp_path / "m.npz", report, FAST)
+        analytic = report.storage.total_bits / 8
+        assert total == pytest.approx(analytic, rel=0.15)
+
+    def test_version_check(self, rng, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, __format__=np.array([99]), __layers__=np.array([0]))
+        with pytest.raises(ValueError, match="version"):
+            load_compressed(path)

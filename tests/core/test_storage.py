@@ -1,0 +1,114 @@
+"""Tests for bit-exact storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SmartExchangeConfig
+from repro.core.decompose import smart_exchange_decompose
+from repro.core.storage import (
+    OMEGA_DESCRIPTOR_BITS,
+    StorageBreakdown,
+    compression_rate,
+    decomposition_bits,
+    original_bits,
+    total_bits,
+)
+
+
+class TestStorageBreakdown:
+    def test_total_is_sum(self):
+        storage = StorageBreakdown(10, 20, 5, 1)
+        assert storage.total_bits == 36
+
+    def test_addition(self):
+        a = StorageBreakdown(1, 2, 3, 4)
+        b = StorageBreakdown(10, 20, 30, 40)
+        combined = a + b
+        assert combined.coefficient_bits == 11
+        assert combined.basis_bits == 22
+        assert combined.index_bits == 33
+        assert combined.meta_bits == 44
+
+    def test_mb_conversions(self):
+        storage = StorageBreakdown(coefficient_bits=8 * 1024 * 1024)
+        assert storage.coefficient_mb == pytest.approx(1.0)
+        assert storage.total_mb == pytest.approx(1.0)
+
+
+class TestDecompositionBits:
+    def test_formula_on_known_sparsity(self, rng):
+        config = SmartExchangeConfig(max_iterations=4, target_row_sparsity=0.5)
+        weight = rng.normal(size=(20, 3))
+        result = smart_exchange_decompose(weight, config)
+        storage = decomposition_bits(result, config)
+        alive = int(np.any(result.coefficient != 0, axis=1).sum())
+        assert storage.coefficient_bits == alive * 3 * config.ce_bits
+        assert storage.basis_bits == 9 * config.b_bits
+        assert storage.index_bits == 20  # one bit per row
+        assert storage.meta_bits == OMEGA_DESCRIPTOR_BITS
+
+    def test_total_bits_sums_decompositions(self, rng):
+        config = SmartExchangeConfig(max_iterations=3)
+        decomps = [
+            smart_exchange_decompose(rng.normal(size=(6, 3)), config)
+            for _ in range(3)
+        ]
+        combined = total_bits(decomps, config)
+        individual = sum(
+            decomposition_bits(d, config).total_bits for d in decomps
+        )
+        assert combined.total_bits == individual
+
+
+class TestCompressionRate:
+    def test_original_bits_fp32(self):
+        assert original_bits(100) == 3200
+
+    def test_rate_definition(self):
+        storage = StorageBreakdown(coefficient_bits=160)  # 160 bits
+        assert compression_rate(100, storage) == pytest.approx(3200 / 160)
+
+    def test_empty_storage_rejected(self):
+        with pytest.raises(ValueError):
+            compression_rate(10, StorageBreakdown())
+
+    def test_sparser_is_smaller(self, rng):
+        weight = rng.normal(size=(40, 3))
+        dense_cfg = SmartExchangeConfig(max_iterations=3)
+        sparse_cfg = SmartExchangeConfig(max_iterations=3, target_row_sparsity=0.7)
+        dense = decomposition_bits(
+            smart_exchange_decompose(weight, dense_cfg), dense_cfg
+        )
+        sparse = decomposition_bits(
+            smart_exchange_decompose(weight, sparse_cfg), sparse_cfg
+        )
+        assert sparse.total_bits < dense.total_bits
+        assert compression_rate(120, sparse) > compression_rate(120, dense)
+
+
+class TestConfig:
+    def test_exponent_count_from_ce_bits(self):
+        assert SmartExchangeConfig(ce_bits=4).exponent_count == 7
+        assert SmartExchangeConfig(ce_bits=3).exponent_count == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartExchangeConfig(basis_size=0)
+        with pytest.raises(ValueError):
+            SmartExchangeConfig(ce_bits=1)
+        with pytest.raises(ValueError):
+            SmartExchangeConfig(theta=-1.0)
+        with pytest.raises(ValueError):
+            SmartExchangeConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            SmartExchangeConfig(target_row_sparsity=1.5)
+
+    def test_with_overrides(self):
+        base = SmartExchangeConfig()
+        derived = base.with_overrides(theta=0.1)
+        assert derived.theta == 0.1
+        assert base.theta == 4e-3  # original untouched
+
+    def test_effective_row_theta(self):
+        assert SmartExchangeConfig(theta=0.2).effective_row_theta == 0.2
+        assert SmartExchangeConfig(theta=0.2, row_theta=0.3).effective_row_theta == 0.3

@@ -1,0 +1,100 @@
+"""Tests for the compression-invariant verifier."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SmartExchangeConfig, apply_smartexchange
+from repro.core.verify import verify_compression
+
+FAST = SmartExchangeConfig(max_iterations=4)
+
+
+@pytest.fixture
+def compressed(rng):
+    model = nn.Sequential(
+        nn.Conv2d(3, 6, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(6),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(6, 4, rng=rng),
+    )
+    _, report = apply_smartexchange(model, FAST)
+    return model, report
+
+
+class TestVerifyCompression:
+    def test_clean_after_compression(self, compressed):
+        model, report = compressed
+        assert verify_compression(model, report) == []
+
+    def test_detects_weight_drift(self, compressed):
+        model, report = compressed
+        model[0].weight.data += 0.01
+        violations = verify_compression(model, report)
+        assert any("drifted" in v for v in violations)
+
+    def test_detects_tampered_coefficient(self, compressed):
+        model, report = compressed
+        decomposition = report.layers[0].decompositions[0]
+        live = np.flatnonzero(np.any(decomposition.coefficient != 0, axis=1))
+        decomposition.coefficient[live[0], 0] = 0.3  # not a power of two
+        violations = verify_compression(model, report)
+        assert any("powers of two" in v for v in violations)
+
+    def test_detects_stale_storage(self, compressed):
+        model, report = compressed
+        report.layers[0].storage.coefficient_bits += 4
+        violations = verify_compression(model, report)
+        assert any("stale" in v for v in violations)
+
+    def test_detects_missing_module(self, compressed):
+        model, report = compressed
+        object.__setattr__(report.layers[0], "name", "ghost")
+        violations = verify_compression(model, report)
+        assert any("missing" in v for v in violations)
+
+    def test_clean_after_retraining_projection(self, rng):
+        from repro.core import SmartExchangeModel, retrain
+        model = nn.Sequential(
+            nn.Conv2d(3, 6, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(6),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Flatten(),
+            nn.Linear(6, 4, rng=rng),
+        )
+        wrapper = SmartExchangeModel(model, FAST)
+        images = rng.normal(size=(24, 3, 8, 8))
+        labels = rng.integers(0, 4, size=24)
+        result = retrain(wrapper, images, labels, epochs=1, lr=0.01)
+        # The loop ends on a projection: the model must verify clean.
+        assert verify_compression(model, result.final_report) == []
+
+
+class TestBoundAnalysis:
+    def test_fractions_sum_to_one(self):
+        from repro.hardware import SmartExchangeAccelerator, build_workloads
+        result = SmartExchangeAccelerator().simulate_model(
+            build_workloads("resnet50"), "resnet50"
+        )
+        bounds = result.bound_analysis()
+        assert bounds["compute_bound"] + bounds["dram_bound"] == pytest.approx(1.0)
+
+    def test_sufficient_bandwidth_is_all_compute_bound(self):
+        from repro.hardware import (
+            SmartExchangeAccelerator,
+            SmartExchangeAcceleratorConfig,
+            build_workloads,
+        )
+        config = SmartExchangeAcceleratorConfig(sufficient_dram_bandwidth=True)
+        result = SmartExchangeAccelerator(config).simulate_model(
+            build_workloads("resnet50"), "resnet50"
+        )
+        assert result.bound_analysis()["compute_bound"] == pytest.approx(1.0)
+
+    def test_empty_model(self):
+        from repro.hardware.accelerator import ModelResult
+        bounds = ModelResult("a", "m").bound_analysis()
+        assert bounds == {"compute_bound": 0.0, "dram_bound": 0.0}

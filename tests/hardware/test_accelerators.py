@@ -1,0 +1,218 @@
+"""Tests for the five accelerator simulators."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    BitPragmatic,
+    CambriconX,
+    DianNao,
+    LayerKind,
+    LayerSparsity,
+    LayerSpec,
+    LayerWorkload,
+    SCNN,
+    SmartExchangeAccelerator,
+    SmartExchangeAcceleratorConfig,
+    dram_tiling,
+    lane_utilization,
+    smartexchange_storage_bits,
+)
+
+ALL_ACCELERATORS = [DianNao, SCNN, CambriconX, BitPragmatic,
+                    SmartExchangeAccelerator]
+
+
+def conv_workload(weight_vector=0.5, act_booth=0.7, act_bit=0.8,
+                  weight_element=0.55, act_element=0.45, act_vector=0.08,
+                  **spec_kwargs) -> LayerWorkload:
+    defaults = dict(name="conv", kind=LayerKind.CONV, in_channels=64,
+                    out_channels=128, kernel=3, stride=1, padding=1,
+                    in_h=28, in_w=28)
+    defaults.update(spec_kwargs)
+    spec = LayerSpec(**defaults)
+    sparsity = LayerSparsity(
+        weight_element=weight_element,
+        weight_vector=weight_vector,
+        act_element=act_element,
+        act_vector=act_vector,
+        act_bit=act_bit,
+        act_booth=act_booth,
+    )
+    return LayerWorkload(
+        spec=spec,
+        sparsity=sparsity,
+        se_storage_bits=smartexchange_storage_bits(spec, weight_vector),
+    )
+
+
+class TestHelpers:
+    def test_lane_utilization_perfect_fit(self):
+        assert lane_utilization(64, 16) == 1.0
+
+    def test_lane_utilization_partial(self):
+        assert lane_utilization(17, 16) == pytest.approx(17 / 32)
+
+    def test_lane_utilization_degenerate(self):
+        assert lane_utilization(0, 16) == 1.0
+        assert lane_utilization(5, 0) == 1.0
+
+    def test_dram_tiling_no_spill(self):
+        weights, inputs, outputs = dram_tiling(100, 200, 50, 1000, 1000)
+        assert (weights, inputs, outputs) == (100, 200, 50)
+
+    def test_dram_tiling_one_resident_operand_means_single_fetch(self):
+        # When one operand fits its buffer, the compiler keeps it inner
+        # and fetches everything exactly once.
+        weights, inputs, _ = dram_tiling(1000, 10, 5, 100, 1000)
+        assert (weights, inputs) == (1000, 10)
+        weights, inputs, _ = dram_tiling(10, 10_000, 5, 1000, 100)
+        assert (weights, inputs) == (10, 10_000)
+
+    def test_dram_tiling_double_spill_refetches_cheaper_operand(self):
+        # Both operands spill: the cheaper loop order re-fetches the
+        # smaller operand once per pass of the larger one.
+        weights, inputs, _ = dram_tiling(1000, 300, 5, 100, 100)
+        weight_outer = 1000 + 300 * 10  # 10 weight passes
+        input_outer = 300 + 1000 * 3  # 3 input passes
+        assert weights + inputs == min(weight_outer, input_outer)
+
+    def test_dram_tiling_total_never_below_unique_bytes(self):
+        weights, inputs, outputs = dram_tiling(777, 333, 111, 100, 100)
+        assert weights >= 777 and inputs >= 333 and outputs == 111
+
+
+class TestAllAcceleratorsBasics:
+    @pytest.mark.parametrize("accelerator_cls", ALL_ACCELERATORS)
+    def test_layer_result_fields(self, accelerator_cls):
+        result = accelerator_cls().simulate_layer(conv_workload())
+        assert result.macs > 0
+        assert result.cycles > 0
+        assert result.total_energy_pj > 0
+        assert result.total_dram_bytes > 0
+        assert result.cycles == max(result.compute_cycles, result.dram_cycles)
+
+    @pytest.mark.parametrize("accelerator_cls", ALL_ACCELERATORS)
+    def test_model_result_aggregates(self, accelerator_cls):
+        workloads = [conv_workload(), conv_workload(out_channels=64)]
+        result = accelerator_cls().simulate_model(workloads, "two-layer")
+        assert len(result.layers) == 2
+        assert result.total_energy_pj == pytest.approx(
+            sum(l.total_energy_pj for l in result.layers)
+        )
+        assert result.latency_ms > 0
+        assert result.model == "two-layer"
+
+    @pytest.mark.parametrize("accelerator_cls", ALL_ACCELERATORS)
+    def test_batch_scales_work(self, accelerator_cls):
+        single = accelerator_cls().simulate_layer(conv_workload())
+        double = accelerator_cls().simulate_layer(
+            LayerWorkload(
+                spec=single and conv_workload().spec,
+                sparsity=conv_workload().sparsity,
+                se_storage_bits=conv_workload().se_storage_bits,
+                batch=2,
+            )
+        )
+        assert double.macs == 2 * single.macs
+
+    @pytest.mark.parametrize("accelerator_cls", ALL_ACCELERATORS)
+    def test_onchip_residency_drops_act_dram(self, accelerator_cls):
+        offchip = conv_workload()
+        from dataclasses import replace
+        onchip = replace(offchip, input_onchip=True, output_onchip=True)
+        r_off = accelerator_cls().simulate_layer(offchip)
+        r_on = accelerator_cls().simulate_layer(onchip)
+        assert r_on.dram_bytes["input"] == 0
+        assert r_on.dram_bytes["output"] == 0
+        assert r_on.total_dram_bytes < r_off.total_dram_bytes
+
+    @pytest.mark.parametrize("accelerator_cls", ALL_ACCELERATORS)
+    def test_energy_breakdown_keys_known(self, accelerator_cls):
+        result = accelerator_cls().simulate_layer(conv_workload())
+        for key in result.energy_pj:
+            assert key.startswith(("dram_", "gb_", "pe", "accumulator",
+                                   "re", "index_selector", "booth_encoder",
+                                   "control"))
+
+
+class TestDianNao:
+    def test_ignores_all_sparsity(self):
+        sparse = DianNao().simulate_layer(conv_workload())
+        dense = DianNao().simulate_layer(
+            conv_workload(weight_vector=0.0, weight_element=0.0,
+                          act_booth=0.0, act_bit=0.0, act_element=0.0,
+                          act_vector=0.0)
+        )
+        assert sparse.cycles == dense.cycles
+        assert sparse.total_energy_pj == dense.total_energy_pj
+
+    def test_depthwise_underutilizes(self):
+        standard = conv_workload()
+        depthwise = conv_workload(kind=LayerKind.DEPTHWISE, in_channels=128)
+        r_std = DianNao().simulate_layer(standard)
+        r_dw = DianNao().simulate_layer(depthwise)
+        cycles_per_mac_std = r_std.compute_cycles / r_std.macs
+        cycles_per_mac_dw = r_dw.compute_cycles / r_dw.macs
+        assert cycles_per_mac_dw > 3 * cycles_per_mac_std
+
+
+class TestCambriconX:
+    def test_weight_sparsity_reduces_cycles_and_weight_dram(self):
+        sparse = CambriconX().simulate_layer(conv_workload(weight_element=0.7))
+        dense = CambriconX().simulate_layer(conv_workload(weight_element=0.0))
+        assert sparse.compute_cycles < dense.compute_cycles
+        assert sparse.dram_bytes["weight"] < dense.dram_bytes["weight"]
+
+    def test_dense_fallback_skips_index(self):
+        dense = CambriconX().simulate_layer(conv_workload(weight_element=0.0))
+        assert dense.dram_bytes["index"] == 0.0
+
+    def test_sparse_pays_index_overhead(self):
+        sparse = CambriconX().simulate_layer(conv_workload(weight_element=0.7))
+        assert sparse.dram_bytes["index"] > 0.0
+
+    def test_activations_fetched_densely(self):
+        sparse = CambriconX().simulate_layer(conv_workload(act_element=0.9))
+        dense = CambriconX().simulate_layer(conv_workload(act_element=0.0))
+        assert sparse.dram_bytes["input"] == dense.dram_bytes["input"]
+
+
+class TestSCNN:
+    def test_both_sparsities_multiply(self):
+        base = SCNN().simulate_layer(
+            conv_workload(weight_element=0.0, act_element=0.0)
+        )
+        both = SCNN().simulate_layer(
+            conv_workload(weight_element=0.5, act_element=0.5)
+        )
+        assert both.effective_macs == pytest.approx(base.effective_macs * 0.25)
+
+    def test_compressed_activations_in_dram(self):
+        sparse = SCNN().simulate_layer(conv_workload(act_element=0.8))
+        dense = SCNN().simulate_layer(conv_workload(act_element=0.0))
+        assert sparse.dram_bytes["input"] < dense.dram_bytes["input"]
+
+    def test_pointwise_inefficiency(self):
+        conv3 = SCNN().simulate_layer(conv_workload())
+        conv1 = SCNN().simulate_layer(conv_workload(kernel=1, padding=0))
+        per_mac_3 = conv3.compute_cycles / conv3.effective_macs
+        per_mac_1 = conv1.compute_cycles / conv1.effective_macs
+        assert per_mac_1 > per_mac_3
+
+
+class TestBitPragmatic:
+    def test_bit_sparsity_cuts_cycles(self):
+        sparse = BitPragmatic().simulate_layer(conv_workload(act_bit=0.9))
+        dense = BitPragmatic().simulate_layer(conv_workload(act_bit=0.0))
+        assert sparse.compute_cycles < dense.compute_cycles / 3
+
+    def test_weight_sparsity_ignored(self):
+        a = BitPragmatic().simulate_layer(conv_workload(weight_element=0.9))
+        b = BitPragmatic().simulate_layer(conv_workload(weight_element=0.0))
+        assert a.cycles == b.cycles
+
+    def test_at_least_one_bit_per_mac(self):
+        # Even at 100% bit sparsity a multiply needs one cycle.
+        result = BitPragmatic().simulate_layer(conv_workload(act_bit=1.0))
+        assert result.compute_cycles > 0

@@ -1,0 +1,193 @@
+"""Tests for the energy model and the layer-spec abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.energy import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyModel,
+    sram_energy_per_8bit,
+)
+from repro.hardware.layers import (
+    LayerKind,
+    LayerSparsity,
+    LayerSpec,
+    LayerWorkload,
+    dense_storage_bits,
+    se_geometry,
+    smartexchange_storage_bits,
+    smartexchange_storage_breakdown,
+)
+
+
+class TestEnergyModel:
+    def test_table1_constants(self):
+        model = DEFAULT_ENERGY_MODEL
+        assert model.dram == 100.0
+        assert model.mac == 0.143
+        assert model.multiplier == 0.124
+        assert model.adder == 0.019
+
+    def test_memory_hierarchy_ordering(self):
+        """Table I's central claim: DRAM >> SRAM >> compute."""
+        model = DEFAULT_ENERGY_MODEL
+        assert model.dram / model.sram(512) > 40
+        assert model.sram(2) / model.mac > 9  # paper: >= 9.5x
+        assert model.mac > model.multiplier > model.adder
+
+    def test_sram_interpolation_endpoints(self):
+        assert sram_energy_per_8bit(2) == pytest.approx(1.36)
+        assert sram_energy_per_8bit(512) == pytest.approx(2.45)
+
+    def test_sram_monotone_in_size(self):
+        sizes = [2, 4, 16, 64, 256, 512]
+        energies = [sram_energy_per_8bit(s) for s in sizes]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_sram_clamps_out_of_range(self):
+        assert sram_energy_per_8bit(1) == pytest.approx(1.36)
+        assert sram_energy_per_8bit(10_000) == pytest.approx(2.45)
+
+    def test_sram_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sram_energy_per_8bit(0)
+
+    def test_table1_rows_complete(self):
+        names = [row[0] for row in DEFAULT_ENERGY_MODEL.table1_rows()]
+        assert names == ["DRAM", "SRAM (2KB)", "SRAM (512KB)", "MAC",
+                         "multiplier", "adder"]
+
+
+def conv_spec(**kwargs) -> LayerSpec:
+    defaults = dict(name="conv", kind=LayerKind.CONV, in_channels=16,
+                    out_channels=32, kernel=3, stride=1, padding=1,
+                    in_h=14, in_w=14)
+    defaults.update(kwargs)
+    return LayerSpec(**defaults)
+
+
+class TestLayerSpec:
+    def test_conv_output_shape(self):
+        spec = conv_spec(stride=2)
+        assert (spec.out_h, spec.out_w) == (7, 7)
+
+    def test_conv_counts(self):
+        spec = conv_spec()
+        assert spec.weight_count == 32 * 16 * 9
+        assert spec.input_count == 16 * 14 * 14
+        assert spec.output_count == 32 * 14 * 14
+        assert spec.macs == 32 * 14 * 14 * 16 * 9
+        assert spec.reduction_depth == 16 * 9
+
+    def test_depthwise_counts(self):
+        spec = conv_spec(kind=LayerKind.DEPTHWISE, in_channels=32,
+                         out_channels=32)
+        assert spec.weight_count == 32 * 9
+        assert spec.macs == 32 * 14 * 14 * 9
+        assert spec.reduction_depth == 9
+
+    def test_fc_counts(self):
+        spec = LayerSpec(name="fc", kind=LayerKind.FC, in_channels=128,
+                         out_channels=10)
+        assert spec.out_h == spec.out_w == 1
+        assert spec.weight_count == 1280
+        assert spec.macs == 1280
+        assert spec.is_fc_like
+
+    def test_squeeze_excite_is_fc_like(self):
+        spec = LayerSpec(name="se", kind=LayerKind.SQUEEZE_EXCITE,
+                         in_channels=64, out_channels=16)
+        assert spec.is_fc_like
+
+    def test_dilation_changes_output(self):
+        base = conv_spec(padding=0)
+        dilated = conv_spec(padding=0, dilation=2)
+        assert dilated.out_h < base.out_h
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conv_spec(in_channels=0)
+        with pytest.raises(ValueError):
+            conv_spec(kernel=0)
+
+
+class TestLayerSparsity:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            LayerSparsity(weight_element=1.5)
+        with pytest.raises(ValueError):
+            LayerSparsity(act_booth=-0.1)
+
+    def test_workload_with_sparsity(self):
+        workload = LayerWorkload(spec=conv_spec())
+        updated = workload.with_sparsity(weight_vector=0.5)
+        assert updated.sparsity.weight_vector == 0.5
+        assert workload.sparsity.weight_vector == 0.0  # original frozen
+
+
+class TestSEGeometry:
+    def test_conv_geometry(self):
+        geometry = se_geometry(conv_spec())
+        assert geometry.matrices == 32
+        assert geometry.rows == 16 * 3
+        assert geometry.basis_size == 3
+        assert geometry.total_rows == 32 * 48
+
+    def test_fc_geometry_with_padding(self):
+        spec = LayerSpec(name="fc", kind=LayerKind.FC, in_channels=10,
+                         out_channels=4)
+        geometry = se_geometry(spec)
+        assert geometry.matrices == 4
+        assert geometry.rows == 4  # ceil(10 / 3)
+
+    def test_depthwise_geometry(self):
+        spec = conv_spec(kind=LayerKind.DEPTHWISE, in_channels=32,
+                         out_channels=32, kernel=5)
+        geometry = se_geometry(spec)
+        assert geometry.rows == 5
+        assert geometry.basis_size == 5
+
+    def test_pointwise_uses_fc_rule(self):
+        spec = conv_spec(kernel=1, padding=0)
+        geometry = se_geometry(spec)
+        assert geometry.rows == int(np.ceil(16 / 3))
+
+
+class TestSEStorage:
+    def test_breakdown_fields(self):
+        spec = conv_spec()
+        breakdown = smartexchange_storage_breakdown(spec, 0.0)
+        assert breakdown["basis"] == 32 * 9 * 8
+        assert breakdown["index"] == 32 * 48
+        assert breakdown["coefficient"] == 32 * 48 * 3 * 4
+
+    def test_sparsity_shrinks_coefficients_only(self):
+        spec = conv_spec()
+        dense = smartexchange_storage_breakdown(spec, 0.0)
+        sparse = smartexchange_storage_breakdown(spec, 0.5)
+        assert sparse["coefficient"] < dense["coefficient"]
+        assert sparse["basis"] == dense["basis"]
+        assert sparse["index"] == dense["index"]
+
+    def test_total_is_sum(self):
+        spec = conv_spec()
+        assert smartexchange_storage_bits(spec, 0.3) == sum(
+            smartexchange_storage_breakdown(spec, 0.3).values()
+        )
+
+    def test_compressed_beats_dense_8bit(self):
+        spec = conv_spec()
+        assert smartexchange_storage_bits(spec, 0.0) < dense_storage_bits(spec)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smartexchange_storage_bits(conv_spec(), 1.5)
+
+    @settings(max_examples=30)
+    @given(sparsity=st.floats(0.0, 1.0))
+    def test_monotone_in_sparsity(self, sparsity):
+        spec = conv_spec()
+        assert (smartexchange_storage_bits(spec, sparsity)
+                <= smartexchange_storage_bits(spec, 0.0))

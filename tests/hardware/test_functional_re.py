@@ -1,0 +1,87 @@
+"""Tests: the shift-and-add rebuild datapath equals Ce @ B exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SmartExchangeConfig, smart_exchange_decompose
+from repro.core.serialize import quantize_basis
+from repro.hardware.smartexchange.functional_re import (
+    RebuildTrace,
+    functional_rebuild,
+)
+
+
+def se_form_matrix(rng, rows=16, cols=3, sparsity=0.3):
+    """A random matrix already in SmartExchange form."""
+    exponents = rng.integers(-6, 1, size=(rows, cols))
+    signs = rng.choice([-1.0, 1.0], size=(rows, cols))
+    matrix = signs * 2.0**exponents
+    matrix[rng.random(rows) < sparsity] = 0.0
+    return matrix
+
+
+class TestFunctionalRebuild:
+    def test_equals_matmul_exactly(self, rng):
+        coefficient = se_form_matrix(rng)
+        basis = rng.integers(-127, 128, size=(3, 3))
+        rebuilt = functional_rebuild(coefficient, basis)
+        np.testing.assert_array_equal(rebuilt, coefficient @ basis)
+
+    def test_zero_rows_skipped(self, rng):
+        coefficient = se_form_matrix(rng, sparsity=0.5)
+        trace = RebuildTrace()
+        functional_rebuild(coefficient, np.eye(3, dtype=np.int64), trace)
+        zero_rows = int((~np.any(coefficient != 0, axis=1)).sum())
+        assert trace.rows_skipped == zero_rows
+        assert trace.rows_rebuilt == coefficient.shape[0] - zero_rows
+
+    def test_no_ops_for_zero_coefficients(self, rng):
+        coefficient = np.zeros((4, 3))
+        coefficient[0, 0] = 0.5
+        trace = RebuildTrace()
+        functional_rebuild(coefficient, np.eye(3, dtype=np.int64), trace)
+        # One non-zero coefficient: S shifts and S adds.
+        assert trace.shifts == 3
+        assert trace.adds == 3
+
+    def test_op_counts_match_cost_model(self, rng):
+        """The functional trace must agree with the analytical RE cost."""
+        from repro.hardware.layers import LayerKind, LayerSpec
+        from repro.hardware.smartexchange.rebuild_engine import rebuild_cost
+
+        coefficient = se_form_matrix(rng, rows=12, cols=3, sparsity=0.0)
+        trace = RebuildTrace()
+        functional_rebuild(coefficient, np.eye(3, dtype=np.int64), trace)
+        spec = LayerSpec(name="x", kind=LayerKind.CONV, in_channels=4,
+                         out_channels=1, kernel=3, in_h=8, in_w=8)
+        cost = rebuild_cost(spec, 0.0)
+        # Same geometry: 12 alive rows x 3 x 3 shift-adds.
+        assert trace.adds == cost.shift_add_ops
+
+    def test_end_to_end_with_decomposition(self, rng):
+        """Decompose -> integer basis -> shift-add rebuild ~= Ce @ B."""
+        config = SmartExchangeConfig(max_iterations=6)
+        decomposition = smart_exchange_decompose(
+            rng.normal(size=(24, 3)), config
+        )
+        basis_codes, scale = quantize_basis(decomposition.basis)
+        rebuilt = functional_rebuild(
+            decomposition.coefficient, basis_codes.astype(np.int64)
+        ) * scale
+        reference = decomposition.coefficient @ (
+            basis_codes.astype(np.float64) * scale
+        )
+        np.testing.assert_allclose(rebuilt, reference, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), sparsity=st.floats(0.0, 0.9))
+def test_shift_add_property(seed, sparsity):
+    rng = np.random.default_rng(seed)
+    coefficient = se_form_matrix(rng, rows=10, cols=3, sparsity=sparsity)
+    basis = rng.integers(-50, 51, size=(3, 3))
+    np.testing.assert_array_equal(
+        functional_rebuild(coefficient, basis), coefficient @ basis
+    )

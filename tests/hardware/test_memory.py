@@ -1,0 +1,85 @@
+"""Tests for the buffer config and the traffic -> result assembler."""
+
+import pytest
+
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL
+from repro.hardware.memory import BufferConfig, assemble_result
+
+BUFFERS = BufferConfig(
+    input_kb=64, weight_kb=32, output_kb=4,
+    input_macro_kb=16, weight_macro_kb=2, output_macro_kb=2,
+)
+
+
+def assemble(**overrides):
+    defaults = dict(
+        name="layer",
+        macs=1000,
+        effective_macs=800.0,
+        compute_cycles=10.0,
+        dram_bytes={"weight": 100.0, "input": 200.0, "output": 50.0},
+        gb_bytes={"input_read": 400.0, "weight_read": 300.0,
+                  "output_write": 50.0},
+        compute_energy_pj={"pe": 5.0},
+        energy_model=DEFAULT_ENERGY_MODEL,
+        buffers=BUFFERS,
+        dram_bytes_per_cycle=10.0,
+    )
+    defaults.update(overrides)
+    return assemble_result(**defaults)
+
+
+class TestBufferConfig:
+    def test_byte_properties(self):
+        assert BUFFERS.input_bytes == 64 * 1024
+        assert BUFFERS.weight_bytes == 32 * 1024
+        assert BUFFERS.output_bytes == 4 * 1024
+
+
+class TestAssembleResult:
+    def test_dram_energy_uses_table1(self):
+        result = assemble()
+        assert result.energy_pj["dram_weight"] == pytest.approx(100 * 100.0)
+        assert result.energy_pj["dram_input"] == pytest.approx(200 * 100.0)
+
+    def test_dram_fills_become_gb_writes(self):
+        result = assemble()
+        # 200 input bytes from DRAM -> 200 bytes written into input GB.
+        input_macro = DEFAULT_ENERGY_MODEL.sram(16)
+        assert result.energy_pj["gb_input_write"] == pytest.approx(
+            200 * input_macro
+        )
+
+    def test_index_fills_go_to_weight_buffer(self):
+        result = assemble(dram_bytes={"weight": 0.0, "index": 80.0,
+                                      "input": 0.0, "output": 0.0})
+        weight_macro = DEFAULT_ENERGY_MODEL.sram(2)
+        assert result.energy_pj["gb_weight_write"] == pytest.approx(
+            80 * weight_macro
+        )
+
+    def test_gb_reads_use_macro_energy(self):
+        result = assemble()
+        weight_macro = DEFAULT_ENERGY_MODEL.sram(2)
+        assert result.energy_pj["gb_weight_read"] == pytest.approx(
+            300 * weight_macro
+        )
+
+    def test_compute_energy_passthrough(self):
+        result = assemble()
+        assert result.energy_pj["pe"] == 5.0
+
+    def test_dram_cycles(self):
+        result = assemble()
+        assert result.dram_cycles == pytest.approx(350 / 10.0)
+        assert result.cycles == max(10.0, 35.0)
+
+    def test_unknown_buffer_rejected(self):
+        with pytest.raises(KeyError, match="unknown buffer"):
+            assemble(gb_bytes={"cache_read": 10.0})
+
+    def test_total_energy_sums_categories(self):
+        result = assemble()
+        assert result.total_energy_pj == pytest.approx(
+            sum(result.energy_pj.values())
+        )

@@ -1,0 +1,154 @@
+"""Tests for the full-size layer inventories (and the model tracer)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.layers import LayerKind, trace_layer_specs
+from repro.hardware.modelspecs import (
+    MODEL_SPEC_BUILDERS,
+    deeplabv3plus_specs,
+    efficientnet_b0_specs,
+    mlp1_specs,
+    mlp2_specs,
+    mobilenet_v2_specs,
+    model_specs,
+    resnet50_specs,
+    resnet164_specs,
+    total_macs,
+    total_weight_count,
+    vgg11_specs,
+    vgg19_specs,
+)
+from repro.nn import models
+
+
+class TestKnownFullSizeNumbers:
+    def test_resnet50_parameter_count(self):
+        # ResNet-50 conv+fc weights: ~25.5 M parameters.
+        count = total_weight_count(resnet50_specs())
+        assert abs(count - 25.5e6) / 25.5e6 < 0.03
+
+    def test_resnet50_mac_count(self):
+        # ~4.1 GMACs at 224x224.
+        macs = total_macs(resnet50_specs())
+        assert abs(macs - 4.1e9) / 4.1e9 < 0.05
+
+    def test_vgg11_is_fc_dominated(self):
+        # Paper Fig. 13: VGG11's FC weights are up to ~95.66% of its size.
+        specs = vgg11_specs()
+        fc_weights = sum(s.weight_count for s in specs
+                         if s.kind == LayerKind.FC)
+        share = fc_weights / total_weight_count(specs)
+        assert share > 0.90
+
+    def test_vgg19_cifar_parameter_count(self):
+        # Paper Table II: VGG19 (CIFAR head) = 80.13 MB FP32 ~ 20 M params.
+        count = total_weight_count(vgg19_specs())
+        assert abs(count - 20.0e6) / 20.0e6 < 0.05
+
+    def test_resnet164_parameter_count(self):
+        # Paper Table II: 6.75 MB FP32 ~ 1.7 M params.
+        count = total_weight_count(resnet164_specs())
+        assert abs(count - 1.7e6) / 1.7e6 < 0.05
+
+    def test_mobilenet_mac_count(self):
+        # ~300 MMACs at 224x224 (the MobileNetV2 paper's number).
+        macs = total_macs(mobilenet_v2_specs())
+        assert abs(macs - 300e6) / 300e6 < 0.15
+
+    def test_efficientnet_b0_mac_count(self):
+        # ~390 MMACs at 224x224.
+        macs = total_macs(efficientnet_b0_specs())
+        assert abs(macs - 390e6) / 390e6 < 0.2
+
+    def test_mlp_sizes(self):
+        assert abs(total_weight_count(mlp1_specs()) * 4 / 2**20 - 14.125) < 0.2
+        assert abs(total_weight_count(mlp2_specs()) * 4 / 2**20 - 1.07) < 0.06
+
+
+class TestInventoryStructure:
+    def test_registry_contains_all_benchmarks(self):
+        for name in ("vgg11", "vgg19", "resnet50", "resnet164", "mobilenetv2",
+                     "efficientnet_b0", "deeplabv3plus", "mlp1", "mlp2"):
+            assert name in MODEL_SPEC_BUILDERS
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            model_specs("alexnet")
+
+    def test_mobilenet_has_depthwise_layers(self):
+        kinds = [s.kind for s in mobilenet_v2_specs()]
+        assert kinds.count(LayerKind.DEPTHWISE) == 17  # one per block
+
+    def test_efficientnet_has_squeeze_excite(self):
+        kinds = [s.kind for s in efficientnet_b0_specs()]
+        assert kinds.count(LayerKind.SQUEEZE_EXCITE) == 2 * 16
+
+    def test_deeplab_has_dilated_branches(self):
+        dilations = {s.dilation for s in deeplabv3plus_specs()}
+        assert {6, 12, 18}.issubset(dilations)
+
+    def test_deeplab_output_stride_16(self):
+        specs = deeplabv3plus_specs(input_h=352, input_w=480)
+        aspp = next(s for s in specs if s.name == "aspp.b0")
+        assert aspp.in_h == 352 // 16
+        assert aspp.in_w == 480 // 16
+
+    def test_spatial_chaining_consistent(self):
+        """Each conv layer's input size must match its predecessor's
+        output size within a sequential segment (VGG inventory)."""
+        specs = vgg19_specs()
+        conv_specs = [s for s in specs if s.kind == LayerKind.CONV]
+        for prev, cur in zip(conv_specs, conv_specs[1:]):
+            assert cur.in_h in (prev.out_h, prev.out_h // 2)
+
+
+class TestTracerAgreement:
+    """The analytic inventories must match a traced live model."""
+
+    def test_vgg19_trace_matches_analytic(self):
+        model = models.vgg19(num_classes=10, width_mult=1.0)
+        traced = trace_layer_specs(model, (1, 3, 32, 32))
+        analytic = vgg19_specs(input_hw=32, num_classes=10)
+        traced_convs = [s for s in traced if s.kind == LayerKind.CONV]
+        analytic_convs = [s for s in analytic if s.kind == LayerKind.CONV]
+        assert len(traced_convs) == len(analytic_convs)
+        for t, a in zip(traced_convs, analytic_convs):
+            assert (t.in_channels, t.out_channels) == (a.in_channels, a.out_channels)
+            assert (t.in_h, t.in_w) == (a.in_h, a.in_w)
+            assert t.stride == a.stride
+
+    def test_resnet50_trace_matches_analytic_shapes(self):
+        model = models.resnet50(num_classes=1000, width_mult=1.0)
+        traced = trace_layer_specs(model, (1, 3, 64, 64))
+        analytic = resnet50_specs(input_hw=64, num_classes=1000)
+        traced_convs = [s for s in traced if s.kind == LayerKind.CONV]
+        analytic_convs = [s for s in analytic if s.kind == LayerKind.CONV]
+        assert len(traced_convs) == len(analytic_convs)
+        traced_shapes = sorted((s.in_channels, s.out_channels, s.kernel,
+                                s.in_h) for s in traced_convs)
+        analytic_shapes = sorted((s.in_channels, s.out_channels, s.kernel,
+                                  s.in_h) for s in analytic_convs)
+        assert traced_shapes == analytic_shapes
+
+    def test_mobilenet_trace_classifies_depthwise(self):
+        model = models.mobilenet_v2(num_classes=10, width_mult=1.0)
+        traced = trace_layer_specs(model, (1, 3, 32, 32))
+        analytic = mobilenet_v2_specs(input_hw=32, num_classes=10)
+        assert ([s.kind for s in traced]
+                == [s.kind for s in analytic])
+
+    def test_efficientnet_trace_finds_squeeze_excite(self):
+        model = models.efficientnet_b0(num_classes=10, width_mult=1.0)
+        traced = trace_layer_specs(model, (1, 3, 32, 32))
+        se_layers = [s for s in traced if s.kind == LayerKind.SQUEEZE_EXCITE]
+        assert len(se_layers) == 2 * 16
+
+    def test_tracer_restores_forward(self):
+        model = models.vgg19(num_classes=10, width_mult=0.125)
+        model.eval()
+        x = np.random.default_rng(0).normal(size=(1, 3, 32, 32))
+        before = model(x).numpy()
+        trace_layer_specs(model, (1, 3, 32, 32))
+        after = model(x).numpy()
+        np.testing.assert_array_equal(before, after)

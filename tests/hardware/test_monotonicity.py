@@ -1,0 +1,93 @@
+"""Property tests: simulator outputs respond monotonically to inputs.
+
+These invariants are what make the normalized comparisons trustworthy:
+more sparsity can never cost more, bigger layers can never be cheaper.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    BitPragmatic,
+    CambriconX,
+    SCNN,
+    SmartExchangeAccelerator,
+)
+from tests.hardware.test_accelerators import conv_workload
+
+fractions = st.floats(0.0, 0.9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(low=fractions, high=fractions)
+def test_se_energy_monotone_in_vector_sparsity(low, high):
+    low, high = sorted((low, high))
+    accelerator = SmartExchangeAccelerator()
+    result_low = accelerator.simulate_layer(conv_workload(weight_vector=low))
+    result_high = accelerator.simulate_layer(conv_workload(weight_vector=high))
+    assert result_high.total_energy_pj <= result_low.total_energy_pj + 1e-6
+    assert result_high.cycles <= result_low.cycles + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(low=fractions, high=fractions)
+def test_se_cycles_monotone_in_booth_sparsity(low, high):
+    low, high = sorted((low, high))
+    accelerator = SmartExchangeAccelerator()
+    result_low = accelerator.simulate_layer(conv_workload(act_booth=low))
+    result_high = accelerator.simulate_layer(conv_workload(act_booth=high))
+    assert result_high.compute_cycles <= result_low.compute_cycles + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(low=fractions, high=fractions)
+def test_cambricon_monotone_in_weight_sparsity(low, high):
+    low, high = sorted((low, high))
+    accelerator = CambriconX()
+    result_low = accelerator.simulate_layer(conv_workload(weight_element=low))
+    result_high = accelerator.simulate_layer(conv_workload(weight_element=high))
+    assert result_high.total_dram_bytes <= result_low.total_dram_bytes + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(low=fractions, high=fractions)
+def test_scnn_monotone_in_act_sparsity(low, high):
+    low, high = sorted((low, high))
+    accelerator = SCNN()
+    result_low = accelerator.simulate_layer(conv_workload(act_element=low))
+    result_high = accelerator.simulate_layer(conv_workload(act_element=high))
+    assert result_high.effective_macs <= result_low.effective_macs + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(low=fractions, high=fractions)
+def test_bit_pragmatic_monotone_in_bit_sparsity(low, high):
+    low, high = sorted((low, high))
+    accelerator = BitPragmatic()
+    result_low = accelerator.simulate_layer(conv_workload(act_bit=low))
+    result_high = accelerator.simulate_layer(conv_workload(act_bit=high))
+    assert result_high.compute_cycles <= result_low.compute_cycles + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(channels=st.sampled_from([16, 32, 64, 128]))
+def test_bigger_layers_cost_more(channels):
+    accelerator = SmartExchangeAccelerator()
+    small = accelerator.simulate_layer(conv_workload(in_channels=channels))
+    big = accelerator.simulate_layer(conv_workload(in_channels=channels * 2))
+    assert big.total_energy_pj > small.total_energy_pj
+    assert big.macs == 2 * small.macs
+
+
+@settings(max_examples=20, deadline=None)
+@given(sparsity=st.floats(0.0, 0.95))
+def test_se_storage_never_exceeds_dense_4bit_equivalent(sparsity):
+    """SE storage = 4-bit coefficients + overheads; even dense it must
+    stay below 8-bit dense storage (the baseline weight format)."""
+    from repro.hardware.layers import (
+        dense_storage_bits,
+        smartexchange_storage_bits,
+    )
+    spec = conv_workload().spec
+    assert smartexchange_storage_bits(spec, sparsity) < dense_storage_bits(spec, 8)

@@ -1,0 +1,87 @@
+"""Tests: the Fig. 6 schedule computes the right thing in the right time."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.smartexchange.pe_line_functional import (
+    reference_1d_convolution,
+    run_1d_convolution,
+    run_2d_window,
+)
+
+
+class TestOneDimensional:
+    def test_matches_reference(self, rng):
+        weights = rng.normal(size=3)
+        inputs = rng.normal(size=8 + 3 - 1)
+        run = run_1d_convolution(weights, inputs, dim_f=8)
+        np.testing.assert_allclose(
+            run.outputs, reference_1d_convolution(weights, inputs, 8)
+        )
+
+    def test_takes_s_cycles(self, rng):
+        run = run_1d_convolution(rng.normal(size=5), rng.normal(size=8 + 4),
+                                 dim_f=8)
+        assert run.cycles == 5
+        assert run.weight_broadcasts == 5  # one weight per cycle, shared
+
+    def test_fifo_depth_enforced(self, rng):
+        with pytest.raises(ValueError, match="dim_f \\+ S - 1"):
+            run_1d_convolution(rng.normal(size=3), rng.normal(size=5), dim_f=8)
+
+    def test_schedule_matches_figure6(self, rng):
+        """Figure 6's cycle table: cycle k broadcasts W_k against the
+        window starting at input k."""
+        run = run_1d_convolution(rng.normal(size=3), rng.normal(size=6),
+                                 dim_f=4, record_schedule=True)
+        assert run.schedule == [
+            "cycle 0: W0 x I[0:4]",
+            "cycle 1: W1 x I[1:5]",
+            "cycle 2: W2 x I[2:6]",
+        ]
+
+    def test_fifo_shifts_counted(self, rng):
+        run = run_1d_convolution(rng.normal(size=3), rng.normal(size=10),
+                                 dim_f=8)
+        assert run.fifo_shifts == 2  # S - 1 shifts
+
+
+class TestTwoDimensional:
+    def test_matches_direct_2d_window(self, rng):
+        weights = rng.normal(size=(3, 3))
+        inputs = rng.normal(size=(3, 8 + 2))
+        run = run_2d_window(weights, inputs, dim_f=8)
+        expected = np.zeros(8)
+        for row in range(3):
+            expected += reference_1d_convolution(weights[row], inputs[row], 8)
+        np.testing.assert_allclose(run.outputs, expected)
+
+    def test_rs_cycles_claim(self, rng):
+        """The paper: one 2-D conv window completes in <= S x R cycles."""
+        run = run_2d_window(rng.normal(size=(3, 3)),
+                            rng.normal(size=(3, 10)), dim_f=8)
+        assert run.cycles == 3 * 3
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            run_2d_window(rng.normal(size=3), rng.normal(size=(3, 10)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    s=st.integers(1, 7),
+    dim_f=st.integers(1, 12),
+    seed=st.integers(0, 10_000),
+)
+def test_schedule_property(s, dim_f, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=s)
+    inputs = rng.normal(size=dim_f + s - 1)
+    run = run_1d_convolution(weights, inputs, dim_f=dim_f)
+    np.testing.assert_allclose(
+        run.outputs, reference_1d_convolution(weights, inputs, dim_f),
+        atol=1e-12,
+    )
+    assert run.cycles == s

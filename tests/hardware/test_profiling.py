@@ -1,0 +1,75 @@
+"""Tests for measured activation-sparsity profiling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.hardware.profiling import (
+    assign_to_consumers,
+    measure_activation_sparsity,
+)
+
+
+def make_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.Conv2d(8, 8, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(8, 4, rng=rng),
+    )
+
+
+class TestMeasurement:
+    def test_stats_per_activation(self, rng):
+        model = make_model(rng)
+        stats = measure_activation_sparsity(model, rng.normal(size=(4, 3, 8, 8)))
+        assert set(stats) == {"2", "5"}
+        for sparsity in stats.values():
+            assert 0.0 <= sparsity.act_element <= 1.0
+            assert 0.0 <= sparsity.act_booth <= 1.0
+
+    def test_relu_outputs_have_element_sparsity(self, rng):
+        model = make_model(rng)
+        stats = measure_activation_sparsity(model, rng.normal(size=(4, 3, 8, 8)))
+        # ReLU zeroes roughly half the pre-activations.
+        assert stats["2"].act_element > 0.2
+
+    def test_booth_below_bit_sparsity(self, rng):
+        model = make_model(rng)
+        stats = measure_activation_sparsity(model, rng.normal(size=(4, 3, 8, 8)))
+        for sparsity in stats.values():
+            assert sparsity.act_booth <= sparsity.act_bit + 1e-9
+
+
+class TestAssignment:
+    def test_consumers_get_producer_stats(self, rng):
+        model = make_model(rng)
+        stats = measure_activation_sparsity(model, rng.normal(size=(2, 3, 8, 8)))
+        assigned = assign_to_consumers(model, stats)
+        # conv "3" consumes ReLU "2"; linear "8" consumes ReLU "5".
+        assert assigned["3"] is stats["2"]
+        assert assigned["8"] is stats["5"]
+
+    def test_stem_layer_unassigned(self, rng):
+        model = make_model(rng)
+        stats = measure_activation_sparsity(model, rng.normal(size=(2, 3, 8, 8)))
+        assigned = assign_to_consumers(model, stats)
+        assert "0" not in assigned  # the stem conv sees the raw input
+
+    def test_compiles_into_workloads(self, rng):
+        from repro.hardware import compile_workloads, parse_model
+        model = make_model(rng)
+        images = rng.normal(size=(2, 3, 8, 8))
+        stats = assign_to_consumers(
+            model, measure_activation_sparsity(model, images)
+        )
+        specs = parse_model(model, (1, 3, 8, 8))
+        program = compile_workloads(specs, activation_sparsity=stats)
+        conv2 = next(w for w in program.workloads if w.spec.name == "3")
+        assert conv2.sparsity.act_booth > 0.0

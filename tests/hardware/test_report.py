@@ -1,0 +1,77 @@
+"""Tests for the human-readable simulation reports."""
+
+import pytest
+
+from repro.hardware import (
+    DianNao,
+    SmartExchangeAccelerator,
+    build_workloads,
+)
+from repro.hardware.report import (
+    breakdown_report,
+    comparison_report,
+    layer_report,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    workloads = build_workloads("resnet164")
+    return (
+        SmartExchangeAccelerator().simulate_model(workloads, "resnet164"),
+        DianNao().simulate_model(workloads, "resnet164"),
+    )
+
+
+class TestLayerReport:
+    def test_contains_every_layer(self, results):
+        se, _ = results
+        text = layer_report(se)
+        for layer in se.layers:
+            assert layer.name in text
+
+    def test_top_filter(self, results):
+        se, _ = results
+        text = layer_report(se, top=3)
+        # header + table header + separator + 3 rows
+        assert len(text.splitlines()) == 6
+
+    def test_header_totals(self, results):
+        se, _ = results
+        assert "resnet164 on smartexchange" in layer_report(se)
+
+    def test_bound_column_values(self, results):
+        se, _ = results
+        text = layer_report(se)
+        assert "compute" in text or "dram" in text
+
+
+class TestComparisonReport:
+    def test_side_by_side(self, results):
+        se, dn = results
+        text = comparison_report([dn, se])
+        assert "diannao" in text and "smartexchange" in text
+        assert "1.00x" in text  # the baseline normalizes to itself
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            comparison_report([])
+
+    def test_rejects_mixed_models(self, results):
+        se, _ = results
+        other = DianNao().simulate_model(build_workloads("vgg19"), "vgg19")
+        with pytest.raises(ValueError, match="several models"):
+            comparison_report([se, other])
+
+
+class TestBreakdownReport:
+    def test_shares_listed(self, results):
+        se, _ = results
+        text = breakdown_report(se)
+        assert "dram_weight" in text
+        assert "%" in text
+
+    def test_small_components_folded(self, results):
+        se, _ = results
+        text = breakdown_report(se, min_share=0.5)
+        assert "(other)" in text

@@ -1,0 +1,235 @@
+"""Tests for the SmartExchange accelerator simulator and its components."""
+
+import pytest
+
+from repro.hardware import (
+    BitPragmatic,
+    CambriconX,
+    DianNao,
+    LayerKind,
+    SCNN,
+    SmartExchangeAccelerator,
+    SmartExchangeAcceleratorConfig,
+    build_workloads,
+)
+from repro.hardware.smartexchange.dataflow import (
+    array_utilization,
+    input_reads_per_element,
+)
+from repro.hardware.smartexchange.index_select import SkipProfile, index_select_cost
+from repro.hardware.smartexchange.pe import BitSerialProfile, serial_ops
+from repro.hardware.smartexchange.rebuild_engine import rebuild_cost
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL
+from tests.hardware.test_accelerators import conv_workload
+
+CONFIG = SmartExchangeAcceleratorConfig()
+
+
+class TestComponents:
+    def test_bit_serial_terms(self):
+        profile = BitSerialProfile(act_bits=8, booth_term_sparsity=0.75)
+        assert profile.terms_per_mac == pytest.approx(1.0)
+        profile = BitSerialProfile(act_bits=8, booth_term_sparsity=0.5)
+        assert profile.terms_per_mac == pytest.approx(2.0)
+
+    def test_bit_serial_disabled_uses_all_digits(self):
+        profile = BitSerialProfile(act_bits=8, booth_term_sparsity=0.9,
+                                   exploit_bit_sparsity=False)
+        assert profile.terms_per_mac == 4.0
+
+    def test_terms_never_below_one(self):
+        profile = BitSerialProfile(act_bits=8, booth_term_sparsity=1.0)
+        assert profile.terms_per_mac == 1.0
+
+    def test_serial_ops(self):
+        profile = BitSerialProfile(act_bits=8, booth_term_sparsity=0.5)
+        assert serial_ops(100.0, profile) == pytest.approx(200.0)
+
+    def test_rebuild_cost_scales_with_sparsity(self):
+        spec = conv_workload().spec
+        dense = rebuild_cost(spec, 0.0)
+        sparse = rebuild_cost(spec, 0.5)
+        assert sparse.shift_add_ops == pytest.approx(dense.shift_add_ops / 2, rel=0.01)
+        assert dense.basis_loads == spec.out_channels
+
+    def test_rebuild_energy_tiny_vs_dram(self):
+        """RE energy must be negligible (paper: <0.78% of total)."""
+        spec = conv_workload().spec
+        cost = rebuild_cost(spec, 0.5)
+        re_energy = cost.energy_pj(DEFAULT_ENERGY_MODEL)
+        dram_energy = spec.input_count * DEFAULT_ENERGY_MODEL.dram
+        assert re_energy < 0.05 * dram_energy
+
+    def test_skip_profile_pair_survival(self):
+        skip = SkipProfile(weight_rows_skipped=0.5, act_rows_skipped=0.2)
+        assert skip.pair_survival == pytest.approx(0.4)
+
+    def test_index_select_cost_positive(self):
+        cost = index_select_cost(conv_workload().spec)
+        assert cost.comparisons > 0
+        assert cost.energy_pj(DEFAULT_ENERGY_MODEL) > 0
+
+
+class TestDataflow:
+    def test_standard_conv_utilization_high(self):
+        workload = conv_workload(out_channels=128, in_channels=64)
+        assert array_utilization(workload.spec, CONFIG) > 0.9
+
+    def test_depthwise_dedicated_beats_fallback(self):
+        spec = conv_workload(kind=LayerKind.DEPTHWISE, in_channels=128).spec
+        dedicated = array_utilization(spec, CONFIG)
+        fallback = array_utilization(
+            spec, CONFIG.with_overrides(dedicated_compact_dataflow=False)
+        )
+        assert dedicated == pytest.approx(fallback * spec.kernel)
+
+    def test_fc_cluster_mode_beats_fallback(self):
+        from repro.hardware.layers import LayerSpec
+        spec = LayerSpec(name="fc", kind=LayerKind.FC, in_channels=512,
+                         out_channels=128)
+        dedicated = array_utilization(spec, CONFIG)
+        fallback = array_utilization(
+            spec, CONFIG.with_overrides(dedicated_compact_dataflow=False)
+        )
+        assert dedicated == pytest.approx(fallback * 2)
+
+    def test_depthwise_fallback_rereads_inputs(self):
+        spec = conv_workload(kind=LayerKind.DEPTHWISE, in_channels=128).spec
+        dedicated = input_reads_per_element(spec, CONFIG)
+        fallback = input_reads_per_element(
+            spec, CONFIG.with_overrides(dedicated_compact_dataflow=False)
+        )
+        assert fallback == dedicated * 2  # ceil(3 / 2)
+
+
+class TestAblationSwitches:
+    def test_compression_reduces_weight_dram(self):
+        on = SmartExchangeAccelerator().simulate_layer(conv_workload())
+        off = SmartExchangeAccelerator(
+            CONFIG.with_overrides(use_compressed_weights=False)
+        ).simulate_layer(conv_workload())
+        assert on.dram_bytes["weight"] < off.dram_bytes["weight"]
+
+    def test_vector_sparsity_reduces_compute(self):
+        on = SmartExchangeAccelerator().simulate_layer(conv_workload())
+        off = SmartExchangeAccelerator(
+            CONFIG.with_overrides(exploit_vector_sparsity=False)
+        ).simulate_layer(conv_workload())
+        assert on.effective_macs < off.effective_macs
+
+    def test_bit_sparsity_reduces_cycles(self):
+        on = SmartExchangeAccelerator().simulate_layer(conv_workload())
+        off = SmartExchangeAccelerator(
+            CONFIG.with_overrides(exploit_bit_sparsity=False)
+        ).simulate_layer(conv_workload())
+        assert on.compute_cycles < off.compute_cycles
+
+    def test_sufficient_bandwidth_zeroes_dram_cycles(self):
+        result = SmartExchangeAccelerator(
+            CONFIG.with_overrides(sufficient_dram_bandwidth=True)
+        ).simulate_layer(conv_workload())
+        assert result.dram_cycles == 0.0
+        assert result.cycles == result.compute_cycles
+
+    def test_full_design_beats_all_off(self):
+        off = SmartExchangeAccelerator(CONFIG.with_overrides(
+            use_compressed_weights=False,
+            exploit_vector_sparsity=False,
+            exploit_bit_sparsity=False,
+            dedicated_compact_dataflow=False,
+        )).simulate_layer(conv_workload())
+        on = SmartExchangeAccelerator().simulate_layer(conv_workload())
+        assert on.total_energy_pj < off.total_energy_pj
+        assert on.cycles < off.cycles
+
+
+class TestPaperShapes:
+    """End-to-end assertions on the headline evaluation shapes."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        from repro.experiments.hardware_comparison import suite_results
+        return suite_results()
+
+    def test_se_wins_energy_everywhere(self, suite):
+        for model, per_model in suite.items():
+            se = per_model["smartexchange"].total_energy_pj
+            for name, result in per_model.items():
+                if name == "smartexchange":
+                    continue
+                assert result.total_energy_pj > se, (model, name)
+
+    def test_se_wins_latency_everywhere(self, suite):
+        for model, per_model in suite.items():
+            se = per_model["smartexchange"].total_cycles
+            for name, result in per_model.items():
+                if name == "smartexchange":
+                    continue
+                assert result.total_cycles > se, (model, name)
+
+    def test_se_needs_least_dram(self, suite):
+        for model, per_model in suite.items():
+            se = per_model["smartexchange"].total_dram_bytes
+            for name, result in per_model.items():
+                if name == "smartexchange":
+                    continue
+                assert result.total_dram_bytes >= se * 1.05, (model, name)
+
+    def test_compact_models_have_smallest_dram_gap(self, suite):
+        """Fig. 11: activation-dominated compact models show the smallest
+        DianNao/SE DRAM ratio."""
+        ratios = {
+            model: per_model["diannao"].total_dram_bytes
+            / per_model["smartexchange"].total_dram_bytes
+            for model, per_model in suite.items()
+        }
+        compact = max(ratios["mobilenetv2"], ratios["efficientnet_b0"])
+        heavy = min(ratios["vgg11"], ratios["resnet50"], ratios["vgg19"])
+        assert compact < heavy
+
+    def test_re_energy_negligible(self, suite):
+        for model, per_model in suite.items():
+            breakdown = per_model["smartexchange"].energy_breakdown()
+            total = sum(breakdown.values())
+            assert breakdown["re"] / total < 0.01, model
+
+    def test_index_selector_energy_negligible(self, suite):
+        for model, per_model in suite.items():
+            breakdown = per_model["smartexchange"].energy_breakdown()
+            total = sum(breakdown.values())
+            assert breakdown["index_selector"] / total < 0.01, model
+
+
+class TestFig14Trend:
+    def test_sparsity_sweep_monotone(self):
+        accelerator = SmartExchangeAccelerator()
+        energies, latencies = [], []
+        for sparsity in (0.45, 0.517, 0.575, 0.60):
+            workloads = build_workloads(
+                "resnet50", weight_vector_override=sparsity
+            )
+            result = accelerator.simulate_model(workloads, "resnet50")
+            energies.append(result.total_energy_pj)
+            latencies.append(result.total_cycles)
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+        assert all(a > b for a, b in zip(latencies, latencies[1:]))
+
+
+class TestFig15Trend:
+    def test_dedicated_design_saves_on_depthwise(self):
+        config = SmartExchangeAcceleratorConfig(sufficient_dram_bandwidth=True)
+        with_design = SmartExchangeAccelerator(config)
+        without_design = SmartExchangeAccelerator(
+            config.with_overrides(dedicated_compact_dataflow=False)
+        )
+        workloads = build_workloads("mobilenetv2")
+        depthwise = [w for w in workloads
+                     if w.spec.kind == LayerKind.DEPTHWISE]
+        assert depthwise
+        for workload in depthwise[:4]:
+            on = with_design.simulate_layer(workload)
+            off = without_design.simulate_layer(workload)
+            latency_saving = 1 - on.cycles / off.cycles
+            energy_saving = 1 - on.total_energy_pj / off.total_energy_pj
+            assert 0.30 <= latency_saving <= 0.75  # paper: 38.3-65.7%
+            assert energy_saving >= 0.0

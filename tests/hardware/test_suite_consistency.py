@@ -1,0 +1,76 @@
+"""Cross-accelerator consistency invariants over the benchmark suite.
+
+These hold regardless of calibration: the same workload must present the
+same nominal work to every design, skipped work can only shrink, and the
+traffic each design reports must be self-consistent.
+"""
+
+import pytest
+
+from repro.experiments.hardware_comparison import suite_results
+from repro.hardware import build_workloads
+from repro.hardware.workloads import BENCHMARK_SUITE
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return suite_results()
+
+
+class TestWorkConsistency:
+    def test_same_nominal_macs_everywhere(self, suite):
+        for model, per_model in suite.items():
+            macs = {name: result.total_macs for name, result in per_model.items()}
+            assert len(set(macs.values())) == 1, (model, macs)
+
+    def test_effective_never_exceeds_nominal(self, suite):
+        for per_model in suite.values():
+            for result in per_model.values():
+                for layer in result.layers:
+                    assert layer.effective_macs <= layer.macs + 1e-6
+
+    def test_layer_counts_match(self, suite):
+        for model, per_model in suite.items():
+            counts = {len(r.layers) for r in per_model.values()}
+            assert len(counts) == 1, model
+
+
+class TestTrafficConsistency:
+    def test_dram_weight_at_least_storage(self, suite):
+        """No design can fetch fewer weight bytes than it stores."""
+        for model, per_model in suite.items():
+            workloads = build_workloads(model)
+            se = per_model["smartexchange"]
+            stored = sum(w.se_storage_bits for w in workloads) / 8
+            fetched = sum(l.dram_bytes.get("weight", 0)
+                          + l.dram_bytes.get("index", 0)
+                          for l in se.layers)
+            assert fetched >= stored * 0.999, model
+
+    def test_energy_positive_everywhere(self, suite):
+        for per_model in suite.values():
+            for result in per_model.values():
+                for layer in result.layers:
+                    assert layer.total_energy_pj > 0
+                    assert all(v >= 0 for v in layer.energy_pj.values())
+
+    def test_latency_at_least_compute_bound(self, suite):
+        for per_model in suite.values():
+            for result in per_model.values():
+                for layer in result.layers:
+                    assert layer.cycles >= layer.compute_cycles
+
+
+class TestSuiteCoverage:
+    def test_all_seven_models_simulated(self, suite):
+        assert set(suite) == {model for model, _ in BENCHMARK_SUITE}
+
+    def test_scnn_skipped_only_for_efficientnet(self, suite):
+        for model, per_model in suite.items():
+            if model == "efficientnet_b0":
+                assert "scnn" not in per_model
+            else:
+                assert "scnn" in per_model
+
+    def test_five_designs_otherwise(self, suite):
+        assert len(suite["resnet50"]) == 5

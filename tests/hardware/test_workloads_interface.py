@@ -1,0 +1,164 @@
+"""Tests for workload building, residency marking, and the SW/HW interface."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SmartExchangeConfig, apply_smartexchange
+from repro.hardware import (
+    LayerKind,
+    LayerSparsity,
+    build_workloads,
+    compile_workloads,
+    parse_model,
+)
+from repro.hardware.workloads import (
+    BENCHMARK_SUITE,
+    MODEL_PROFILES,
+    ModelSparsityProfile,
+    mark_onchip_residency,
+)
+
+
+class TestProfiles:
+    def test_all_benchmark_models_have_profiles(self):
+        for model, _dataset in BENCHMARK_SUITE:
+            assert model in MODEL_PROFILES
+
+    def test_compact_models_have_zero_weight_sparsity(self):
+        # Paper Table III: MBV2/EffB0 compress without sparsity.
+        assert MODEL_PROFILES["mobilenetv2"].conv_weight_vector == 0.0
+        assert MODEL_PROFILES["efficientnet_b0"].conv_weight_vector == 0.0
+
+    def test_profile_layer_sparsity_selects_by_kind(self):
+        profile = ModelSparsityProfile(0.5, 0.9, 0.8, 0.7)
+        conv = build_workloads("vgg19", profile=profile)[0]
+        assert conv.sparsity.weight_vector == 0.5
+        fc = build_workloads("vgg19", profile=profile, include_fc=True)[-1]
+        assert fc.spec.kind == LayerKind.FC
+        assert fc.sparsity.weight_vector == 0.9
+
+    def test_weight_element_capped(self):
+        profile = ModelSparsityProfile(0.93, 0.93, 0.8, 0.7)
+        spec = build_workloads("vgg19", profile=profile)[0].spec
+        assert profile.weight_element(spec) <= 0.95
+
+
+class TestBuildWorkloads:
+    def test_fc_excluded_by_default(self):
+        workloads = build_workloads("vgg19")
+        assert all(w.spec.kind != LayerKind.FC for w in workloads)
+
+    def test_fc_included_on_request(self):
+        workloads = build_workloads("vgg19", include_fc=True)
+        assert any(w.spec.kind == LayerKind.FC for w in workloads)
+
+    def test_squeeze_excite_kept_without_fc(self):
+        workloads = build_workloads("efficientnet_b0")
+        assert any(w.spec.kind == LayerKind.SQUEEZE_EXCITE for w in workloads)
+
+    def test_override_pins_sparsity(self):
+        workloads = build_workloads("resnet50", weight_vector_override=0.6)
+        assert all(w.sparsity.weight_vector == 0.6 for w in workloads)
+
+    def test_storage_bits_attached(self):
+        workloads = build_workloads("resnet50")
+        assert all(w.se_storage_bits and w.se_storage_bits > 0
+                   for w in workloads)
+
+    def test_batch_propagates(self):
+        workloads = build_workloads("vgg19", batch=4)
+        assert all(w.batch == 4 for w in workloads)
+
+
+class TestResidency:
+    def test_small_activations_marked_onchip(self):
+        workloads = build_workloads("resnet164")
+        # CIFAR-scale feature maps fit on chip for nearly every layer.
+        onchip = sum(1 for w in workloads if w.input_onchip)
+        assert onchip > 0.8 * len(workloads)
+
+    def test_first_input_and_last_output_offchip(self):
+        workloads = build_workloads("resnet164")
+        assert not workloads[0].input_onchip
+        assert not workloads[-1].output_onchip
+
+    def test_large_activations_stay_offchip(self):
+        workloads = build_workloads("vgg11")
+        first_convs = workloads[:3]  # 224x224 maps exceed half the GB
+        assert all(not w.input_onchip for w in first_convs)
+
+    def test_producer_consumer_flags_paired(self):
+        workloads = build_workloads("vgg19")
+        for producer, consumer in zip(workloads, workloads[1:]):
+            assert producer.output_onchip == consumer.input_onchip
+
+    def test_empty_list_ok(self):
+        assert mark_onchip_residency([]) == []
+
+
+class TestInterface:
+    def _tiny_model(self):
+        rng = np.random.default_rng(0)
+        return nn.Sequential(
+            nn.Conv2d(3, 8, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(8),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Flatten(),
+            nn.Linear(8, 4, rng=rng),
+        )
+
+    def test_parse_model_finds_layers(self):
+        specs = parse_model(self._tiny_model(), (1, 3, 16, 16))
+        assert len(specs) == 2
+        assert specs[0].kind == LayerKind.CONV
+        assert specs[1].kind == LayerKind.FC
+        assert specs[0].in_h == 16
+
+    def test_compile_without_report_is_dense(self):
+        specs = parse_model(self._tiny_model(), (1, 3, 16, 16))
+        program = compile_workloads(specs, model_name="tiny")
+        assert len(program.instructions) == 2
+        assert all(w.sparsity.weight_vector == 0.0 for w in program.workloads)
+
+    def test_compile_uses_measured_report(self):
+        model = self._tiny_model()
+        config = SmartExchangeConfig(max_iterations=3, target_row_sparsity=0.5)
+        _, report = apply_smartexchange(model, config)
+        specs = parse_model(model, (1, 3, 16, 16))
+        program = compile_workloads(specs, report=report)
+        conv = program.workloads[0]
+        assert conv.sparsity.weight_vector > 0.3
+        assert conv.se_storage_bits == report.layers[0].storage.total_bits
+
+    def test_compile_attaches_activation_sparsity(self):
+        specs = parse_model(self._tiny_model(), (1, 3, 16, 16))
+        acts = {specs[0].name: LayerSparsity(act_bit=0.8, act_booth=0.7)}
+        program = compile_workloads(specs, activation_sparsity=acts)
+        assert program.workloads[0].sparsity.act_booth == 0.7
+
+    def test_dataflow_choices(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Conv2d(8, 8, 3, padding=1, groups=8, bias=False, rng=rng),
+            nn.GlobalAvgPool2d(),
+            nn.Flatten(),
+            nn.Linear(8, 4, rng=rng),
+        )
+        specs = parse_model(model, (1, 8, 8, 8))
+        program = compile_workloads(specs)
+        flows = [i.dataflow for i in program.instructions]
+        assert flows == ["depthwise-rows", "fc-cluster"]
+
+    def test_simulatable_end_to_end(self):
+        from repro.hardware import SmartExchangeAccelerator
+        model = self._tiny_model()
+        config = SmartExchangeConfig(max_iterations=3)
+        _, report = apply_smartexchange(model, config)
+        specs = parse_model(model, (1, 3, 16, 16))
+        program = compile_workloads(specs, report=report, model_name="tiny")
+        result = SmartExchangeAccelerator().simulate_model(
+            program.workloads, "tiny"
+        )
+        assert result.total_energy_pj > 0

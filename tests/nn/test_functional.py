@@ -1,0 +1,280 @@
+"""Tests for conv/pool/norm/upsample primitives against naive references."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+from tests.conftest import assert_grad_matches
+
+
+def naive_conv2d(x, w, b, stride, pad, groups=1, dilation=1):
+    """Direct-loop reference convolution."""
+    n, c, h, width = x.shape
+    m, cg, kh, kw = w.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (x.shape[2] - (kh - 1) * dilation - 1) // stride + 1
+    out_w = (x.shape[3] - (kw - 1) * dilation - 1) // stride + 1
+    out = np.zeros((n, m, out_h, out_w))
+    mg = m // groups
+    for ni in range(n):
+        for mi in range(m):
+            g = mi // mg
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    acc = 0.0
+                    for ci in range(cg):
+                        for ky in range(kh):
+                            for kx in range(kw):
+                                acc += (
+                                    w[mi, ci, ky, kx]
+                                    * x[ni, g * cg + ci,
+                                        oy * stride + ky * dilation,
+                                        ox * stride + kx * dilation]
+                                )
+                    out[ni, mi, oy, ox] = acc
+    if b is not None:
+        out += b.reshape(1, m, 1, 1)
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, pad):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=pad)
+        np.testing.assert_allclose(
+            out.numpy(), naive_conv2d(x, w, b, stride, pad), atol=1e-10
+        )
+
+    def test_dilation_matches_naive(self, rng):
+        x = rng.normal(size=(1, 2, 9, 9))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, padding=2, dilation=2)
+        np.testing.assert_allclose(
+            out.numpy(), naive_conv2d(x, w, None, 1, 2, dilation=2), atol=1e-10
+        )
+
+    def test_depthwise_matches_naive(self, rng):
+        x = rng.normal(size=(1, 4, 6, 6))
+        w = rng.normal(size=(4, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, padding=1, groups=4)
+        np.testing.assert_allclose(
+            out.numpy(), naive_conv2d(x, w, None, 1, 1, groups=4), atol=1e-10
+        )
+
+    def test_grouped_conv_matches_naive(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        w = rng.normal(size=(6, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, padding=1, groups=2)
+        np.testing.assert_allclose(
+            out.numpy(), naive_conv2d(x, w, None, 1, 1, groups=2), atol=1e-10
+        )
+
+    def test_pointwise_conv(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(5, 3, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w), None)
+        expected = np.einsum("mc,nchw->nmhw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out.numpy(), expected, atol=1e-10)
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        (F.conv2d(x, w, b, stride=2, padding=1) ** 2).sum().backward()
+        scalar = lambda: float(
+            (F.conv2d(Tensor(x.data), Tensor(w.data), Tensor(b.data),
+                      stride=2, padding=1).numpy() ** 2).sum()
+        )
+        assert_grad_matches(x, scalar)
+        assert_grad_matches(w, scalar)
+        assert_grad_matches(b, scalar)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        with pytest.raises(ValueError, match="input channels"):
+            F.conv2d(x, w)
+
+    def test_kernel_too_large_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        w = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        with pytest.raises(ValueError, match="does not fit"):
+            F.conv2d(x, w)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.numpy()[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.numpy()[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_with_padding_shape(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 7, 7)))
+        out = F.max_pool2d(x, 3, stride=2, padding=1)
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_max_pool_padding_never_wins(self):
+        # All-negative input: -inf padding must not leak into the output.
+        x = -np.abs(np.arange(1, 17.0)).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 3, stride=2, padding=1)
+        assert np.all(np.isfinite(out.numpy()))
+        assert out.numpy().max() <= x.max()
+
+    def test_pool_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        (F.max_pool2d(x, 2) ** 2).sum().backward()
+        assert_grad_matches(
+            x, lambda: float((F.max_pool2d(Tensor(x.data), 2).numpy() ** 2).sum())
+        )
+
+    def test_avg_pool_gradients_with_padding(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)), requires_grad=True)
+        (F.avg_pool2d(x, 3, stride=2, padding=1) ** 2).sum().backward()
+        assert_grad_matches(
+            x,
+            lambda: float(
+                (F.avg_pool2d(Tensor(x.data), 3, stride=2, padding=1).numpy() ** 2).sum()
+            ),
+        )
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 5))
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(
+            out.numpy()[:, :, 0, 0], x.mean(axis=(2, 3))
+        )
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self, rng):
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)))
+        gamma, beta = Parameter(np.ones(4)), Parameter(np.zeros(4))
+        out = F.batch_norm(x, gamma, beta, np.zeros(4), np.ones(4), training=True)
+        np.testing.assert_allclose(out.numpy().mean(axis=(0, 2, 3)), 0, atol=1e-8)
+        np.testing.assert_allclose(out.numpy().std(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = Tensor(rng.normal(loc=5.0, size=(16, 2, 3, 3)))
+        mean, var = np.zeros(2), np.ones(2)
+        F.batch_norm(x, Parameter(np.ones(2)), Parameter(np.zeros(2)),
+                     mean, var, training=True, momentum=1.0)
+        np.testing.assert_allclose(mean, x.numpy().mean(axis=(0, 2, 3)))
+
+    def test_eval_uses_running_stats(self, rng):
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        mean = np.array([1.0, -1.0])
+        var = np.array([4.0, 9.0])
+        out = F.batch_norm(x, Parameter(np.ones(2)), Parameter(np.zeros(2)),
+                           mean, var, training=False, eps=0.0)
+        expected = (x.numpy() - mean.reshape(1, 2, 1, 1)) / np.sqrt(
+            var.reshape(1, 2, 1, 1)
+        )
+        np.testing.assert_allclose(out.numpy(), expected)
+
+    def test_2d_input_supported(self, rng):
+        x = Tensor(rng.normal(size=(10, 3)))
+        out = F.batch_norm(x, Parameter(np.ones(3)), Parameter(np.zeros(3)),
+                           np.zeros(3), np.ones(3), training=True)
+        np.testing.assert_allclose(out.numpy().mean(axis=0), 0, atol=1e-8)
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        gamma = Parameter(rng.normal(size=2) + 1.0)
+        beta = Parameter(rng.normal(size=2))
+        mean, var = np.zeros(2), np.ones(2)
+        out = F.batch_norm(x, gamma, beta, mean.copy(), var.copy(), training=True)
+        (out**2).sum().backward()
+        scalar = lambda: float(
+            (F.batch_norm(Tensor(x.data), gamma, beta, mean.copy(), var.copy(),
+                          training=True).numpy() ** 2).sum()
+        )
+        assert_grad_matches(x, scalar)
+
+
+class TestResampling:
+    def test_nearest_upsample_values(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2)
+        out = F.upsample_nearest(Tensor(x), 2)
+        np.testing.assert_allclose(
+            out.numpy()[0, 0],
+            [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]],
+        )
+
+    def test_nearest_gradient(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 3, 3)), requires_grad=True)
+        (F.upsample_nearest(x, 2) ** 2).sum().backward()
+        assert_grad_matches(
+            x,
+            lambda: float((F.upsample_nearest(Tensor(x.data), 2).numpy() ** 2).sum()),
+        )
+
+    def test_bilinear_identity_at_same_size(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = F.upsample_bilinear(Tensor(x), 4, 4)
+        np.testing.assert_allclose(out.numpy(), x, atol=1e-10)
+
+    def test_bilinear_preserves_constant(self):
+        x = np.full((1, 2, 3, 3), 7.0)
+        out = F.upsample_bilinear(Tensor(x), 9, 5)
+        np.testing.assert_allclose(out.numpy(), 7.0)
+
+    def test_bilinear_gradient(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3, 4)), requires_grad=True)
+        (F.upsample_bilinear(x, 5, 6) ** 2).sum().backward()
+        assert_grad_matches(
+            x,
+            lambda: float(
+                (F.upsample_bilinear(Tensor(x.data), 5, 6).numpy() ** 2).sum()
+            ),
+        )
+
+
+class TestSoftmaxDropout:
+    def test_log_softmax_normalizes(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)))
+        probs = np.exp(F.log_softmax(x, axis=1).numpy())
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_log_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 5))
+        a = F.log_softmax(Tensor(x), axis=1).numpy()
+        b = F.log_softmax(Tensor(x + 100.0), axis=1).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_log_softmax_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        (F.log_softmax(x, axis=1)[np.arange(3), [0, 1, 2]]).sum().backward()
+        scalar = lambda: float(
+            F.log_softmax(Tensor(x.data), axis=1).numpy()[np.arange(3), [0, 1, 2]].sum()
+        )
+        assert_grad_matches(x, scalar)
+
+    def test_softmax_matches_exp_logsoftmax(self, rng):
+        x = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x), axis=1).numpy(),
+            np.exp(F.log_softmax(Tensor(x), axis=1).numpy()),
+        )
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        out = F.dropout(x, 0.5, training=False, rng=rng)
+        np.testing.assert_allclose(out.numpy(), x.numpy())
+
+    def test_dropout_preserves_expectation(self):
+        generator = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.4, training=True, rng=generator)
+        assert abs(out.numpy().mean() - 1.0) < 0.02

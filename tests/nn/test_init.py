@@ -1,0 +1,42 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import _fan_in_out, kaiming_normal, xavier_uniform
+
+
+class TestFans:
+    def test_linear_fans(self):
+        fan_in, fan_out = _fan_in_out((8, 3))
+        assert (fan_in, fan_out) == (3, 8)
+
+    def test_conv_fans(self):
+        fan_in, fan_out = _fan_in_out((16, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 16 * 9
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            _fan_in_out((3,))
+
+
+class TestDistributions:
+    def test_kaiming_std(self, rng):
+        weights = kaiming_normal(rng, (256, 64))
+        expected = np.sqrt(2.0 / 64)
+        assert abs(weights.std() - expected) / expected < 0.05
+
+    def test_xavier_bound(self, rng):
+        weights = xavier_uniform(rng, (64, 64))
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(weights).max() <= bound
+
+    def test_deterministic_given_generator(self):
+        a = kaiming_normal(np.random.default_rng(7), (4, 4))
+        b = kaiming_normal(np.random.default_rng(7), (4, 4))
+        np.testing.assert_array_equal(a, b)
+
+    def test_shapes(self, rng):
+        assert kaiming_normal(rng, (5, 2, 3, 3)).shape == (5, 2, 3, 3)
+        assert xavier_uniform(rng, (7, 3)).shape == (7, 3)

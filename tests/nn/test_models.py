@@ -1,0 +1,183 @@
+"""Tests for the model zoo (small-width instances)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import models
+from repro.nn.models.resnet import resnet_cifar
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def image_batch():
+    return np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+
+
+class TestVGG:
+    def test_vgg11_forward_shape(self, image_batch):
+        model = models.vgg11(num_classes=7, width_mult=0.125)
+        assert model(Tensor(image_batch)).shape == (2, 7)
+
+    def test_vgg19_forward_shape(self, image_batch):
+        model = models.vgg19(num_classes=10, width_mult=0.125)
+        assert model(Tensor(image_batch)).shape == (2, 10)
+
+    def test_vgg_configs_have_expected_conv_counts(self):
+        assert sum(1 for x in models.VGG_CONFIGS["vgg11"] if x != "M") == 8
+        assert sum(1 for x in models.VGG_CONFIGS["vgg19"] if x != "M") == 16
+
+    def test_width_mult_scales_parameters(self):
+        narrow = models.vgg11(num_classes=10, width_mult=0.125)
+        wide = models.vgg11(num_classes=10, width_mult=0.25)
+        assert wide.num_parameters() > 2 * narrow.num_parameters()
+
+    def test_all_convs_have_bn(self):
+        model = models.vgg19(num_classes=10, width_mult=0.125)
+        convs = sum(isinstance(m, nn.Conv2d) for m in model.features.modules())
+        bns = sum(isinstance(m, nn.BatchNorm2d) for m in model.features.modules())
+        assert convs == bns == 16
+
+
+class TestResNet:
+    def test_resnet50_forward_shape(self, image_batch):
+        model = models.resnet50(num_classes=5, width_mult=0.125)
+        assert model(Tensor(image_batch)).shape == (2, 5)
+
+    def test_resnet164_depth(self):
+        model = models.resnet164(num_classes=10, width_mult=0.25)
+        convs = sum(isinstance(m, nn.Conv2d) for m in model.modules())
+        # 1 stem + 54 blocks x 3 convs + downsamples (3 stage entries).
+        assert convs == 1 + 54 * 3 + 3
+
+    def test_resnet_cifar_family(self, image_batch):
+        model = resnet_cifar(29, num_classes=4, width_mult=0.25)
+        assert model(Tensor(image_batch)).shape == (2, 4)
+
+    def test_resnet_cifar_unknown_depth_raises(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            resnet_cifar(33)
+
+    def test_bottleneck_expansion(self):
+        model = resnet_cifar(29, num_classes=10, width_mult=1.0)
+        assert model.feature_channels == 64 * 4
+
+    def test_residual_identity_when_shapes_match(self, rng):
+        from repro.nn.models.resnet import Bottleneck
+        block = Bottleneck(32, 8, stride=1, rng=rng)
+        assert isinstance(block.downsample, nn.Identity)
+        block2 = Bottleneck(16, 8, stride=1, rng=rng)
+        assert isinstance(block2.downsample, nn.Sequential)
+
+    def test_stage_blocks_mismatch_raises(self):
+        from repro.nn.models.resnet import ResNet
+        with pytest.raises(ValueError):
+            ResNet([2, 2], [16], num_classes=10)
+
+
+class TestCompactModels:
+    def test_mobilenet_forward_shape(self, image_batch):
+        model = models.mobilenet_v2(num_classes=6, width_mult=0.25)
+        assert model(Tensor(image_batch)).shape == (2, 6)
+
+    def test_mobilenet_has_depthwise_convs(self):
+        model = models.mobilenet_v2(num_classes=10, width_mult=0.25)
+        depthwise = [m for m in model.modules()
+                     if isinstance(m, nn.Conv2d) and m.is_depthwise]
+        expected_blocks = sum(n for _, _, n, _ in models.MOBILENET_V2_BLOCKS)
+        assert len(depthwise) == expected_blocks
+
+    def test_mobilenet_residual_connectivity(self, rng):
+        from repro.nn.models.mobilenet import InvertedResidual
+        residual = InvertedResidual(8, 8, stride=1, expansion=6, rng=rng)
+        assert residual.use_residual
+        strided = InvertedResidual(8, 8, stride=2, expansion=6, rng=rng)
+        assert not strided.use_residual
+
+    def test_efficientnet_forward_shape(self, image_batch):
+        model = models.efficientnet_b0(num_classes=6, width_mult=0.25)
+        assert model(Tensor(image_batch)).shape == (2, 6)
+
+    def test_efficientnet_has_squeeze_excite(self):
+        model = models.efficientnet_b0(num_classes=10, width_mult=0.25)
+        from repro.nn.models.efficientnet import SqueezeExcite
+        se_blocks = [m for m in model.modules() if isinstance(m, SqueezeExcite)]
+        expected = sum(n for _, _, n, _, _ in models.EFFICIENTNET_B0_BLOCKS)
+        assert len(se_blocks) == expected
+
+    def test_squeeze_excite_gates_channels(self, rng):
+        from repro.nn.models.efficientnet import SqueezeExcite
+        se = SqueezeExcite(8, 2, rng=rng)
+        x = rng.normal(size=(2, 8, 4, 4))
+        out = se(Tensor(x)).numpy()
+        # Output is the input scaled by per-channel gates in (0, 1).
+        gates = out / np.where(x == 0, 1, x)
+        assert np.nanmax(np.abs(gates)) <= 1.0 + 1e-9
+
+    def test_5x5_kernels_present_in_efficientnet(self):
+        model = models.efficientnet_b0(num_classes=10, width_mult=0.25)
+        kernels = {m.kernel_size for m in model.modules()
+                   if isinstance(m, nn.Conv2d) and m.is_depthwise}
+        assert kernels == {3, 5}
+
+
+class TestDeepLab:
+    def test_forward_restores_input_resolution(self, rng):
+        model = models.deeplabv3plus(num_classes=4, width_mult=0.125)
+        out = model(Tensor(rng.normal(size=(1, 3, 48, 64))))
+        assert out.shape == (1, 4, 48, 64)
+
+    def test_predict_labels(self, rng):
+        model = models.deeplabv3plus(num_classes=3, width_mult=0.125)
+        labels = model.predict_labels(rng.normal(size=(1, 3, 32, 32)))
+        assert labels.shape == (1, 32, 32)
+        assert set(np.unique(labels)).issubset({0, 1, 2})
+
+    def test_aspp_uses_dilated_convs(self):
+        model = models.deeplabv3plus(num_classes=3, width_mult=0.125)
+        dilations = {m.dilation for m in model.aspp.modules()
+                     if isinstance(m, nn.Conv2d)}
+        assert {6, 12, 18}.issubset(dilations)
+
+
+class TestMLP:
+    def test_mlp_forward_flattens(self, rng):
+        model = models.mlp_2()
+        out = model(Tensor(rng.normal(size=(3, 1, 28, 28))))
+        assert out.shape == (3, 10)
+
+    def test_mlp2_matches_paper_size(self):
+        # LeNet-300-100: ~1.07 MB of FP32 parameters (paper Table II).
+        model = models.mlp_2()
+        size_mb = model.num_parameters() * 4 / 2**20
+        assert abs(size_mb - 1.07) < 0.06
+
+    def test_mlp1_matches_paper_size(self):
+        # 784-1500-1500-10: ~14.1 MB of FP32 parameters (paper Table II).
+        model = models.mlp_1()
+        size_mb = model.num_parameters() * 4 / 2**20
+        assert abs(size_mb - 14.125) < 0.5
+
+    def test_mlp_needs_two_widths(self):
+        from repro.nn.models.mlp import MLP
+        with pytest.raises(ValueError):
+            MLP([10])
+
+
+class TestKnownSizes:
+    def test_resnet164_paper_parameter_size(self):
+        # Paper Table II: ResNet164 has 6.75 MB of FP32 parameters.
+        model = models.resnet164(num_classes=10)
+        size_mb = model.num_parameters() * 4 / 2**20
+        assert abs(size_mb - 6.75) < 0.35
+
+    def test_models_trainable_one_step(self, rng):
+        model = models.mobilenet_v2(num_classes=3, width_mult=0.125)
+        x = rng.normal(size=(2, 3, 16, 16))
+        y = np.array([0, 1])
+        optimizer = nn.SGD(model.parameters(), lr=0.01)
+        loss = nn.cross_entropy(model(Tensor(x)), y)
+        loss.backward()
+        optimizer.step()
+        loss2 = nn.cross_entropy(model(Tensor(x)), y)
+        assert np.isfinite(loss2.item())

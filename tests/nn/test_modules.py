@@ -1,0 +1,297 @@
+"""Tests for Module machinery and the layer classes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def small_net(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(4, 2, rng=rng),
+    )
+
+
+class TestModuleMachinery:
+    def test_parameters_are_registered(self):
+        net = small_net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "5.bias" in names
+        assert len(net.parameters()) == 6  # conv w/b, bn gamma/beta, fc w/b
+
+    def test_num_parameters_counts_scalars(self):
+        linear = nn.Linear(3, 2)
+        assert linear.num_parameters() == 3 * 2 + 2
+
+    def test_named_modules_traversal(self):
+        net = small_net()
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "0" in names and "5" in names
+
+    def test_train_eval_propagates(self):
+        net = small_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears(self, rng):
+        net = small_net(rng)
+        out = net(Tensor(rng.normal(size=(2, 1, 6, 6))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        a = small_net(np.random.default_rng(1))
+        b = small_net(np.random.default_rng(2))
+        x = rng.normal(size=(2, 1, 6, 6))
+        assert not np.allclose(a(Tensor(x)).numpy(), b(Tensor(x)).numpy())
+        b.load_state_dict(a.state_dict())
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(Tensor(x)).numpy(), b(Tensor(x)).numpy())
+
+    def test_state_dict_includes_bn_buffers(self, rng):
+        net = small_net(rng)
+        net(Tensor(rng.normal(size=(4, 1, 6, 6))))  # update running stats
+        state = net.state_dict()
+        assert any("running_mean" in key for key in state)
+
+    def test_load_state_dict_missing_key_raises(self):
+        net = small_net()
+        with pytest.raises(KeyError):
+            net.load_state_dict({})
+
+    def test_forward_accepts_ndarray(self, rng):
+        net = small_net(rng)
+        out = net(rng.normal(size=(2, 1, 6, 6)))
+        assert isinstance(out, Tensor)
+
+
+class TestLayers:
+    def test_conv_classification_flags(self):
+        depthwise = nn.Conv2d(8, 8, 3, groups=8)
+        pointwise = nn.Conv2d(8, 16, 1)
+        standard = nn.Conv2d(8, 16, 3)
+        assert depthwise.is_depthwise and not depthwise.is_pointwise
+        assert pointwise.is_pointwise and not pointwise.is_depthwise
+        assert not standard.is_depthwise and not standard.is_pointwise
+
+    def test_conv_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 3, groups=2)
+
+    def test_conv_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_linear_output_shape(self, rng):
+        linear = nn.Linear(5, 3, rng=rng)
+        assert linear(Tensor(rng.normal(size=(4, 5)))).shape == (4, 3)
+
+    def test_linear_no_bias(self, rng):
+        linear = nn.Linear(5, 3, bias=False, rng=rng)
+        assert linear.bias is None
+        assert len(linear.parameters()) == 1
+
+    def test_batchnorm_dimension_checks(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(rng.normal(size=(2, 3))))
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(rng.normal(size=(2, 3, 4, 4))))
+
+    def test_batchnorm_scale_factors(self):
+        bn = nn.BatchNorm2d(4)
+        bn.gamma.data[:] = [-2.0, 0.5, 1.0, -0.1]
+        np.testing.assert_allclose(bn.scale_factors(), [2.0, 0.5, 1.0, 0.1])
+
+    def test_relu6_clips(self):
+        x = Tensor(np.array([-1.0, 3.0, 9.0]))
+        np.testing.assert_allclose(nn.ReLU6()(x).numpy(), [0.0, 3.0, 6.0])
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_dropout_train_vs_eval(self, rng):
+        dropout = nn.Dropout(0.5)
+        x = Tensor(np.ones((100, 100)))
+        dropout.train()
+        train_out = dropout(x).numpy()
+        assert (train_out == 0).any()
+        dropout.eval()
+        np.testing.assert_allclose(dropout(x).numpy(), 1.0)
+
+    def test_sequential_iteration_and_indexing(self):
+        net = small_net()
+        assert len(net) == 6
+        assert isinstance(net[0], nn.Conv2d)
+        assert isinstance(net[-1], nn.Linear)
+        assert len(list(net)) == 6
+
+    def test_sequential_append(self, rng):
+        net = nn.Sequential(nn.Linear(4, 4, rng=rng))
+        net.append(nn.ReLU())
+        assert len(net) == 2
+        out = net(Tensor(rng.normal(size=(2, 4))))
+        assert (out.numpy() >= 0).all()
+
+    def test_identity_passthrough(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert nn.Identity()(x) is x
+
+    def test_maxpool_module_shapes(self, rng):
+        pool = nn.MaxPool2d(3, stride=2, padding=1)
+        out = pool(Tensor(rng.normal(size=(1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+
+class TestOptim:
+    def test_sgd_descends_quadratic(self):
+        param = nn.Parameter(np.array([5.0]))
+        optimizer = nn.SGD([param], lr=0.1)
+        for _ in range(50):
+            optimizer.zero_grad()
+            param.grad = 2 * param.data  # d/dx x^2
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        def losses(momentum):
+            param = nn.Parameter(np.array([5.0]))
+            optimizer = nn.SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                optimizer.zero_grad()
+                param.grad = 2 * param.data
+                optimizer.step()
+            return abs(param.data[0])
+
+        assert losses(0.9) < losses(0.0)
+
+    def test_sgd_weight_decay_shrinks(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_sgd_skips_gradless_params(self):
+        param = nn.Parameter(np.array([1.0]))
+        nn.SGD([param], lr=0.1).step()
+        assert param.data[0] == 1.0
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=-1.0)
+
+    def test_adam_descends(self):
+        param = nn.Parameter(np.array([5.0]))
+        optimizer = nn.Adam([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            param.grad = 2 * param.data
+            optimizer.step()
+        assert abs(param.data[0]) < 0.1
+
+    def test_steplr_decays(self):
+        param = nn.Parameter(np.zeros(1))
+        optimizer = nn.SGD([param], lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == 1.0
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+
+class TestLossesAndMetrics:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 1])
+        loss = nn.cross_entropy(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(expected)
+
+    def test_cross_entropy_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(rng.normal(size=(2, 3, 4))), np.zeros(2))
+
+    def test_segmentation_cross_entropy_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            nn.segmentation_cross_entropy(
+                Tensor(rng.normal(size=(2, 3))), np.zeros((2,))
+            )
+
+    def test_segmentation_cross_entropy_value(self, rng):
+        logits = rng.normal(size=(1, 3, 2, 2))
+        masks = rng.integers(0, 3, size=(1, 2, 2))
+        loss = nn.segmentation_cross_entropy(Tensor(logits), masks)
+        flat = logits.transpose(0, 2, 3, 1).reshape(4, 3)
+        expected = nn.cross_entropy(Tensor(flat), masks.reshape(-1)).item()
+        assert loss.item() == pytest.approx(expected)
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]])
+        assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_top_k_accuracy(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert nn.top_k_accuracy(logits, np.array([2]), k=3) == 1.0
+        assert nn.top_k_accuracy(logits, np.array([3]), k=3) == 0.0
+
+    def test_mean_iou_perfect_and_disjoint(self):
+        labels = np.array([[0, 1], [1, 0]])
+        assert nn.mean_iou(labels, labels, 2) == 1.0
+        assert nn.mean_iou(labels, 1 - labels, 2) == 0.0
+
+    def test_mse(self, rng):
+        pred = rng.normal(size=(3, 3))
+        target = rng.normal(size=(3, 3))
+        assert nn.mse(Tensor(pred), target).item() == pytest.approx(
+            ((pred - target) ** 2).mean()
+        )
+
+
+class TestTraining:
+    def test_fit_learns_separable_task(self, rng):
+        images = rng.normal(size=(80, 1, 6, 6))
+        labels = (images.mean(axis=(1, 2, 3)) > 0).astype(int)
+        images[labels == 1] += 1.0
+        net = small_net(rng)
+        history = nn.fit(net, images, labels, images, labels, epochs=5, lr=0.1,
+                         batch_size=20)
+        assert history.eval_accuracies[-1] > 0.85
+        assert len(history.losses) == 5
+
+    def test_minibatches_cover_dataset(self, rng):
+        images = np.arange(10).reshape(10, 1)
+        labels = np.arange(10)
+        seen = []
+        from repro.nn.train import iterate_minibatches
+        for bx, by in iterate_minibatches(images, labels, 3, rng):
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_predict_shape(self, rng):
+        net = small_net(rng)
+        logits = nn.predict(net, rng.normal(size=(7, 1, 6, 6)), batch_size=3)
+        assert logits.shape == (7, 2)
+
+    def test_evaluate_top_k(self, rng):
+        net = small_net(rng)
+        images = rng.normal(size=(6, 1, 6, 6))
+        labels = rng.integers(0, 2, size=6)
+        assert nn.evaluate(net, images, labels, top_k=2) == 1.0

@@ -1,0 +1,97 @@
+"""Tests for activation fake-quantization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.quantize import (
+    activation_quantization,
+    evaluate_quantized,
+    fake_quantize,
+)
+from repro.nn.tensor import Tensor
+
+
+def make_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(4, 2, rng=rng),
+    )
+
+
+class TestFakeQuantize:
+    def test_levels_bounded(self, rng):
+        x = Tensor(rng.normal(size=500))
+        out = fake_quantize(x, bits=4).numpy()
+        assert len(np.unique(out)) <= 2**4
+
+    def test_max_value_preserved(self, rng):
+        x = Tensor(rng.normal(size=100))
+        out = fake_quantize(x, bits=8).numpy()
+        assert abs(np.abs(out).max() - np.abs(x.numpy()).max()) < 1e-12
+
+    def test_zero_input_passthrough(self):
+        x = Tensor(np.zeros(5))
+        assert fake_quantize(x).numpy().sum() == 0.0
+
+    def test_straight_through_gradient(self, rng):
+        x = Tensor(rng.normal(size=10), requires_grad=True)
+        fake_quantize(x, bits=4).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(10))
+
+    def test_bits_validation(self, rng):
+        with pytest.raises(ValueError):
+            fake_quantize(Tensor(rng.normal(size=3)), bits=1)
+
+    def test_error_shrinks_with_bits(self, rng):
+        x = Tensor(rng.normal(size=1000))
+        err4 = np.abs(fake_quantize(x, 4).numpy() - x.numpy()).mean()
+        err8 = np.abs(fake_quantize(x, 8).numpy() - x.numpy()).mean()
+        assert err8 < err4
+
+
+class TestActivationQuantizationContext:
+    def test_outputs_quantized_inside_context(self, rng):
+        model = make_model(rng)
+        model.eval()
+        x = rng.normal(size=(2, 1, 6, 6))
+        with activation_quantization(model, bits=3):
+            quantized_out = model(x).numpy()
+        plain_out = model(x).numpy()
+        assert not np.allclose(quantized_out, plain_out)
+
+    def test_forward_restored_after_context(self, rng):
+        model = make_model(rng)
+        model.eval()
+        x = rng.normal(size=(2, 1, 6, 6))
+        before = model(x).numpy()
+        with activation_quantization(model, bits=3):
+            model(x)
+        after = model(x).numpy()
+        np.testing.assert_array_equal(before, after)
+        for module in model.modules():
+            assert "forward" not in module.__dict__
+
+    def test_restored_after_exception(self, rng):
+        model = make_model(rng)
+        with pytest.raises(RuntimeError):
+            with activation_quantization(model, bits=8):
+                raise RuntimeError("boom")
+        for module in model.modules():
+            assert "forward" not in module.__dict__
+
+    def test_8bit_accuracy_close_to_float(self, rng):
+        """8-bit activations should barely change predictions — the
+        premise of the paper's precision choice."""
+        model = make_model(rng)
+        images = rng.normal(size=(40, 1, 6, 6))
+        labels = (images.mean(axis=(1, 2, 3)) > 0).astype(int)
+        images[labels == 1] += 1.0
+        nn.fit(model, images, labels, epochs=4, lr=0.1, batch_size=10)
+        float_acc = nn.evaluate(model, images, labels)
+        int8_acc = evaluate_quantized(model, images, labels, act_bits=8)
+        assert abs(float_acc - int8_acc) <= 0.1

@@ -1,0 +1,192 @@
+"""Tests for the autograd tensor: forward values and taped gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat
+from tests.conftest import assert_grad_matches
+
+
+class TestForwardValues:
+    def test_add_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).numpy(), a + b)
+
+    def test_scalar_add_broadcasts(self, rng):
+        a = rng.normal(size=(2, 3))
+        np.testing.assert_allclose((Tensor(a) + 2.5).numpy(), a + 2.5)
+
+    def test_sub_and_rsub(self, rng):
+        a = rng.normal(size=4)
+        np.testing.assert_allclose((1.0 - Tensor(a)).numpy(), 1.0 - a)
+        np.testing.assert_allclose((Tensor(a) - 1.0).numpy(), a - 1.0)
+
+    def test_mul_div_pow_neg(self, rng):
+        a = rng.normal(size=(2, 2)) + 3.0
+        t = Tensor(a)
+        np.testing.assert_allclose((t * t).numpy(), a * a)
+        np.testing.assert_allclose((t / 2.0).numpy(), a / 2.0)
+        np.testing.assert_allclose((2.0 / t).numpy(), 2.0 / a)
+        np.testing.assert_allclose((t**3).numpy(), a**3)
+        np.testing.assert_allclose((-t).numpy(), -a)
+
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b)
+
+    def test_reductions(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        t = Tensor(a)
+        np.testing.assert_allclose(t.sum().numpy(), a.sum())
+        np.testing.assert_allclose(t.sum(axis=1).numpy(), a.sum(axis=1))
+        np.testing.assert_allclose(t.mean(axis=(0, 2)).numpy(), a.mean(axis=(0, 2)))
+        np.testing.assert_allclose(t.max(axis=2).numpy(), a.max(axis=2))
+
+    def test_elementwise_nonlinearities(self, rng):
+        a = rng.normal(size=(3, 3))
+        t = Tensor(a)
+        np.testing.assert_allclose(t.relu().numpy(), np.maximum(a, 0))
+        np.testing.assert_allclose(t.exp().numpy(), np.exp(a))
+        np.testing.assert_allclose(t.sigmoid().numpy(), 1 / (1 + np.exp(-a)))
+        np.testing.assert_allclose(t.silu().numpy(), a / (1 + np.exp(-a)))
+        np.testing.assert_allclose(
+            t.clip(-0.5, 0.5).numpy(), np.clip(a, -0.5, 0.5)
+        )
+
+    def test_log_sqrt_on_positive(self, rng):
+        a = np.abs(rng.normal(size=5)) + 0.1
+        np.testing.assert_allclose(Tensor(a).log().numpy(), np.log(a))
+        np.testing.assert_allclose(Tensor(a).sqrt().numpy(), np.sqrt(a))
+
+    def test_reshape_transpose_getitem(self, rng):
+        a = rng.normal(size=(2, 6))
+        t = Tensor(a)
+        np.testing.assert_allclose(t.reshape(3, 4).numpy(), a.reshape(3, 4))
+        np.testing.assert_allclose(t.transpose().numpy(), a.T)
+        np.testing.assert_allclose(t[0].numpy(), a[0])
+
+    def test_concat(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 5))
+        out = concat([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_allclose(out.numpy(), np.concatenate([a, b], axis=1))
+
+    def test_flatten_batch(self, rng):
+        a = rng.normal(size=(4, 2, 3))
+        assert Tensor(a).flatten_batch().shape == (4, 6)
+
+
+class TestGradients:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t: (t * t).sum(),
+            lambda t: (t + 2.0).sum(),
+            lambda t: (t / 3.0).sum(),
+            lambda t: (t**3).sum(),
+            lambda t: (-t).sum(),
+            lambda t: t.relu().sum(),
+            lambda t: t.sigmoid().sum(),
+            lambda t: t.silu().sum(),
+            lambda t: t.exp().sum(),
+            lambda t: t.clip(-0.5, 0.5).sum(),
+            lambda t: t.mean(axis=1).sum(),
+            lambda t: t.reshape(6).sum(),
+            lambda t: t.transpose().sum(),
+            lambda t: (t.max(axis=1) ** 2).sum(),
+        ],
+    )
+    def test_unary_gradients(self, rng, op):
+        t = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        loss = op(t)
+        loss.backward()
+        assert_grad_matches(t, lambda: float(op(Tensor(t.data)).numpy().sum()))
+
+    def test_matmul_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+        scalar = lambda: float(((a.data @ b.data) ** 2).sum())
+        assert_grad_matches(a, scalar)
+        assert_grad_matches(b, scalar)
+
+    def test_broadcast_add_gradient_shape(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        bias = Tensor(rng.normal(size=3), requires_grad=True)
+        ((a + bias) ** 2).sum().backward()
+        assert bias.grad.shape == (3,)
+        assert_grad_matches(
+            bias, lambda: float(((a.data + bias.data) ** 2).sum())
+        )
+
+    def test_broadcast_mul_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        scale = Tensor(rng.normal(size=(1, 3, 1)), requires_grad=True)
+        ((a * scale).sum()).backward()
+        assert scale.grad.shape == (1, 3, 1)
+        assert_grad_matches(scale, lambda: float((a.data * scale.data).sum()))
+
+    def test_getitem_gradient(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        (a[1:3] ** 2).sum().backward()
+        assert_grad_matches(a, lambda: float((a.data[1:3] ** 2).sum()))
+
+    def test_concat_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        (concat([a, b], axis=1) ** 2).sum().backward()
+        scalar = lambda: float(
+            (np.concatenate([a.data, b.data], axis=1) ** 2).sum()
+        )
+        assert_grad_matches(a, scalar)
+        assert_grad_matches(b, scalar)
+
+    def test_gradient_accumulates_over_reuse(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        loss = (a * a).sum() + (2.0 * a).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 2.0)
+
+    def test_diamond_graph_gradient(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = a * 2.0
+        loss = (b * a).sum()  # d/da (2a^2) = 4a
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 4 * a.data)
+
+    def test_no_grad_for_constants(self, rng):
+        a = Tensor(rng.normal(size=3))
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad is None
+        assert b.grad is not None
+
+    def test_detach_cuts_tape(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        detached = (a * 2.0).detach()
+        (detached * 3.0).sum().backward()
+        assert a.grad is None
+
+
+class TestTensorBasics:
+    def test_dtype_promotion_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_item_and_len(self):
+        assert Tensor(np.array([7.0])).item() == 7.0
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 2)" in repr(Tensor(np.zeros((2, 2))))
+
+    def test_backward_with_explicit_seed_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        out = a * 3.0
+        seed = np.ones((2, 2)) * 0.5
+        out.backward(seed)
+        np.testing.assert_allclose(a.grad, 3.0 * seed)
+
+    def test_wrapping_tensor_shares_data(self, rng):
+        a = Tensor(rng.normal(size=3))
+        b = Tensor(a)
+        assert b.data is a.data

@@ -1,0 +1,103 @@
+"""Edge-case tests for the autograd tensor (beyond the core op tests)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat
+
+
+class TestReductionEdges:
+    def test_sum_keepdims(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3, 4)))
+
+    def test_sum_multiple_axes(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = a.sum(axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3, 4)))
+
+    def test_mean_keepdims_grad_scaling(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        a.mean(axis=0, keepdims=True).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((4, 5), 0.25))
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        # Tied maxima share the incoming gradient equally.
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_max_keepdims(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        assert a.max(axis=1, keepdims=True).shape == (3, 1)
+
+
+class TestShapeEdges:
+    def test_reshape_accepts_tuple(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)))
+        assert a.reshape((3, 4)).shape == (3, 4)
+
+    def test_transpose_explicit_axes(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = a.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+
+    def test_getitem_with_integer_arrays(self, rng):
+        a = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        rows = np.array([0, 2, 2])
+        out = a[rows]
+        assert out.shape == (3, 3)
+        out.sum().backward()
+        # Row 2 picked twice -> gradient 2, row 0 once, others 0.
+        expected = np.zeros((5, 3))
+        expected[0] = 1.0
+        expected[2] = 2.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_concat_three_tensors(self, rng):
+        parts = [Tensor(rng.normal(size=(2, k))) for k in (1, 2, 3)]
+        assert concat(parts, axis=1).shape == (2, 6)
+
+
+class TestTapeEdges:
+    def test_backward_twice_accumulates(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward()
+        first = a.grad.copy()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+    def test_long_chain_gradient(self, rng):
+        a = Tensor(np.array([1.5]), requires_grad=True)
+        out = a
+        for _ in range(50):
+            out = out * 1.01
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.01**50], rtol=1e-12)
+
+    def test_shared_subexpression_counted_once_per_use(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2.0
+        loss = (b + b).sum()  # d/da = 4
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_pow_gradient(self, rng):
+        a = Tensor(np.abs(rng.normal(size=4)) + 0.5, requires_grad=True)
+        (a**0.5).sum().backward()
+        np.testing.assert_allclose(a.grad, 0.5 * a.data**-0.5)
+
+    def test_div_by_tensor_gradient(self, rng):
+        a = Tensor(rng.normal(size=3) + 5.0, requires_grad=True)
+        b = Tensor(rng.normal(size=3) + 5.0, requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b.data)
+        np.testing.assert_allclose(b.grad, -a.data / b.data**2)

@@ -1,0 +1,99 @@
+"""Tests for radix-4 Booth encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sparsity.booth import (
+    booth_decode,
+    booth_digits,
+    booth_encode,
+    booth_nonzero_terms,
+    booth_term_sparsity,
+)
+
+
+class TestBoothEncode:
+    @given(st.integers(-128, 127))
+    def test_roundtrip_8bit(self, value):
+        digits = booth_encode(value, bits=8)
+        assert booth_decode(digits) == value
+
+    @given(st.integers(-8, 7))
+    def test_roundtrip_4bit(self, value):
+        assert booth_decode(booth_encode(value, bits=4)) == value
+
+    @given(st.integers(-128, 127))
+    def test_digit_alphabet(self, value):
+        assert set(booth_encode(value, bits=8)) <= {-2, -1, 0, 1, 2}
+
+    def test_digit_count(self):
+        assert booth_digits(8) == 4
+        assert booth_digits(4) == 2
+        assert booth_digits(7) == 4
+        assert len(booth_encode(100, bits=8)) == 4
+
+    def test_zero_encodes_to_all_zero(self):
+        assert booth_encode(0, bits=8) == [0, 0, 0, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            booth_encode(128, bits=8)
+        with pytest.raises(ValueError):
+            booth_encode(-129, bits=8)
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            booth_digits(1)
+
+    def test_powers_of_four_use_single_term(self):
+        # +/- 4^k align with one radix-4 digit; other powers of two use
+        # at most two (e.g. 2 = -2 + 1*4).
+        for value in (1, 4, 16, 64, -64, -1):
+            digits = booth_encode(value, bits=8)
+            assert sum(1 for d in digits if d != 0) == 1, value
+        for value in (2, 8, 32, -2):
+            digits = booth_encode(value, bits=8)
+            assert sum(1 for d in digits if d != 0) <= 2, value
+
+
+class TestBoothCounts:
+    def test_nonzero_terms_shape_preserved(self, rng):
+        codes = rng.integers(-128, 128, size=(3, 4))
+        counts = booth_nonzero_terms(codes)
+        assert counts.shape == (3, 4)
+
+    def test_counts_match_encoding(self):
+        codes = np.array([0, 1, 85, -1])
+        counts = booth_nonzero_terms(codes)
+        expected = [sum(1 for d in booth_encode(int(v), 8) if d)
+                    for v in codes]
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_term_sparsity_all_zero(self):
+        assert booth_term_sparsity(np.zeros(10, dtype=np.int64)) == 1.0
+
+    def test_term_sparsity_bounds(self, rng):
+        codes = rng.integers(-128, 128, size=500)
+        sparsity = booth_term_sparsity(codes)
+        assert 0.0 <= sparsity <= 1.0
+
+    def test_booth_compresses_runs_of_ones(self):
+        # 127 = 0b1111111 has 7 one-bits but Booth recodes the run as
+        # 128 - 1: just two non-zero terms.
+        assert booth_nonzero_terms(np.array([127]))[0] == 2
+        assert booth_nonzero_terms(np.array([63]))[0] == 2
+
+    def test_float_inputs_are_quantized(self, rng):
+        values = rng.normal(size=100)
+        sparsity = booth_term_sparsity(values, bits=8)
+        assert 0.0 < sparsity < 1.0
+
+    def test_figure4_direction(self, rng):
+        """Booth *term* sparsity is below plain *bit* sparsity (Fig. 4)."""
+        from repro.sparsity.metrics import bit_sparsity
+        acts = np.maximum(rng.normal(size=3000), 0)  # post-ReLU
+        plain = bit_sparsity(acts, bits=8)
+        booth = booth_term_sparsity(acts, bits=8)
+        assert booth < plain

@@ -1,0 +1,115 @@
+"""Tests for sparse index encodings (direct / RLC / CRS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.encoding import (
+    crs_decode,
+    crs_encode,
+    crs_overhead_bits,
+    direct_index_decode,
+    direct_index_encode,
+    direct_index_overhead_bits,
+    rlc_decode,
+    rlc_encode,
+    rlc_overhead_bits,
+)
+
+sparse_vectors = st.lists(
+    st.one_of(st.just(0.0), st.floats(-10, 10, allow_nan=False)),
+    min_size=0, max_size=60,
+)
+
+
+class TestDirectIndex:
+    @given(sparse_vectors)
+    def test_roundtrip(self, values):
+        values = np.asarray(values)
+        bitmap, packed = direct_index_encode(values)
+        np.testing.assert_array_equal(direct_index_decode(bitmap, packed), values)
+
+    def test_bitmap_population(self):
+        bitmap, packed = direct_index_encode(np.array([0, 3, 0, 5]))
+        np.testing.assert_array_equal(bitmap, [0, 1, 0, 1])
+        np.testing.assert_array_equal(packed, [3, 5])
+
+    def test_mismatched_decode_raises(self):
+        with pytest.raises(ValueError):
+            direct_index_decode(np.array([1, 1]), np.array([1.0]))
+
+    def test_overhead_is_one_bit_per_element(self):
+        assert direct_index_overhead_bits(100) == 100
+
+
+class TestRLC:
+    @given(sparse_vectors)
+    def test_roundtrip(self, values):
+        values = np.asarray(values)
+        encoded = rlc_encode(values)
+        np.testing.assert_array_equal(rlc_decode(encoded, len(values)), values)
+
+    def test_long_runs_split(self):
+        values = np.zeros(40)
+        values[-1] = 7.0
+        encoded = rlc_encode(values, run_bits=4)
+        # Runs cap at 15, so 39 zeros need filler pairs.
+        assert len(encoded) >= 3
+        np.testing.assert_array_equal(rlc_decode(encoded, 40), values)
+
+    def test_all_zero_vector(self):
+        values = np.zeros(10)
+        encoded = rlc_encode(values)
+        np.testing.assert_array_equal(rlc_decode(encoded, 10), values)
+
+    def test_decode_overflow_raises(self):
+        with pytest.raises(ValueError):
+            rlc_decode([(0, 1.0), (0, 2.0)], 1)
+
+    def test_overhead_scales_with_nonzeros(self, rng):
+        dense = rng.normal(size=64)
+        sparse = dense.copy()
+        sparse[rng.random(64) < 0.9] = 0.0
+        assert rlc_overhead_bits(sparse) < rlc_overhead_bits(dense)
+
+
+class TestCRS:
+    @given(
+        st.integers(1, 8), st.integers(1, 8), st.integers(0, 10000)
+    )
+    @settings(max_examples=40)
+    def test_roundtrip(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(rows, cols))
+        matrix[rng.random((rows, cols)) < 0.6] = 0.0
+        row_ptr, col_idx, values = crs_encode(matrix)
+        decoded = crs_decode(row_ptr, col_idx, values, matrix.shape)
+        np.testing.assert_array_equal(decoded, matrix)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            crs_encode(np.zeros(4))
+
+    def test_row_ptr_monotone(self, rng):
+        matrix = rng.normal(size=(5, 5))
+        row_ptr, _, _ = crs_encode(matrix)
+        assert (np.diff(row_ptr) >= 0).all()
+        assert row_ptr[-1] == np.count_nonzero(matrix)
+
+    def test_overhead_nonnegative_and_scales(self, rng):
+        sparse = np.zeros((8, 8))
+        sparse[0, 0] = 1.0
+        dense = rng.normal(size=(8, 8))
+        assert crs_overhead_bits(sparse) < crs_overhead_bits(dense)
+
+
+class TestVectorGranularityAdvantage:
+    def test_vector_index_cheaper_than_element_index(self):
+        """Fig. 3b: vector-granular direct indexing needs fewer index bits
+        than element-granular indexing for the same matrix."""
+        rows, cols = 6, 3
+        element_bits = direct_index_overhead_bits(rows * cols)
+        vector_bits = direct_index_overhead_bits(rows)
+        assert vector_bits * cols == element_bits
+        assert vector_bits < element_bits

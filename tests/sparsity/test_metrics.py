@@ -1,0 +1,106 @@
+"""Tests for sparsity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.metrics import (
+    bit_sparsity,
+    channel_sparsity,
+    element_sparsity,
+    quantize_to_fixed,
+    vector_sparsity,
+)
+
+
+class TestElementSparsity:
+    def test_known_fraction(self):
+        assert element_sparsity(np.array([0, 1, 0, 2])) == 0.5
+
+    def test_empty(self):
+        assert element_sparsity(np.array([])) == 0.0
+
+    def test_dense(self, rng):
+        assert element_sparsity(rng.normal(size=10) + 10) == 0.0
+
+    @given(st.integers(0, 20), st.integers(1, 20))
+    def test_fraction_formula(self, zeros, nonzeros):
+        values = np.concatenate([np.zeros(zeros), np.ones(nonzeros)])
+        assert element_sparsity(values) == pytest.approx(
+            zeros / (zeros + nonzeros)
+        )
+
+
+class TestVectorSparsity:
+    def test_rows(self):
+        matrix = np.array([[0, 0], [1, 0], [0, 0]])
+        assert vector_sparsity(matrix) == pytest.approx(2 / 3)
+
+    def test_columns(self):
+        matrix = np.array([[0, 1], [0, 2]])
+        assert vector_sparsity(matrix, axis=0) == pytest.approx(0.5)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            vector_sparsity(np.zeros(4))
+
+    def test_vector_ge_requires_all_zero(self):
+        matrix = np.array([[0.0, 1e-30], [0.0, 0.0]])
+        assert vector_sparsity(matrix) == 0.5  # tiny != zero
+
+
+class TestChannelSparsity:
+    def test_zeroed_channel_detected(self, rng):
+        weight = rng.normal(size=(4, 3, 3, 3))
+        weight[:, 1] = 0.0
+        assert channel_sparsity(weight) == pytest.approx(1 / 3)
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            channel_sparsity(np.zeros((4, 3)))
+
+
+class TestQuantizeToFixed:
+    def test_range(self, rng):
+        codes = quantize_to_fixed(rng.normal(size=100), bits=8)
+        assert codes.max() <= 127 and codes.min() >= -128
+
+    def test_max_maps_to_qmax(self):
+        codes = quantize_to_fixed(np.array([-1.0, 0.5, 1.0]), bits=8)
+        assert codes[2] == 127
+
+    def test_zero_input(self):
+        codes = quantize_to_fixed(np.zeros(5))
+        assert (codes == 0).all()
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            quantize_to_fixed(np.ones(3), bits=1)
+
+    def test_monotone(self, rng):
+        values = np.sort(rng.normal(size=50))
+        codes = quantize_to_fixed(values)
+        assert (np.diff(codes) >= 0).all()
+
+
+class TestBitSparsity:
+    def test_all_zero_codes(self):
+        assert bit_sparsity(np.zeros(10, dtype=np.int64)) == 1.0
+
+    def test_known_code(self):
+        # 0b1010101 = 85 -> 4 ones over 7 magnitude bits.
+        assert bit_sparsity(np.array([85])) == pytest.approx(1 - 4 / 7)
+
+    def test_negative_uses_magnitude(self):
+        assert bit_sparsity(np.array([-85])) == bit_sparsity(np.array([85]))
+
+    def test_float_input_quantized_first(self, rng):
+        values = rng.normal(size=200)
+        measured = bit_sparsity(values, bits=8)
+        assert 0.0 < measured < 1.0
+
+    def test_relu_activations_have_high_bit_sparsity(self, rng):
+        # Post-ReLU activations are mostly small/zero -> sparse bits.
+        acts = np.maximum(rng.normal(size=2000), 0)
+        assert bit_sparsity(acts) > 0.6

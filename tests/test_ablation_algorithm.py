@@ -1,0 +1,63 @@
+"""Tests for the algorithm design-knob ablations."""
+
+import pytest
+
+from repro.experiments import ablation_algorithm
+
+
+class TestBasisSizeSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_algorithm.run_basis_size()
+
+    def test_covers_paper_sizes(self, result):
+        assert result.column("basis_size") == [2, 3, 5, 7]
+
+    def test_basis_storage_grows_with_s(self, result):
+        # Bits per basis matrix grow as S^2, but fewer matrices are
+        # needed; the recorded totals must be positive and vary.
+        bits = result.column("basis_bits")
+        assert all(b > 0 for b in bits)
+
+    def test_all_points_compress(self, result):
+        assert all(row["cr_x"] > 1.0 for row in result.rows)
+
+
+class TestCeBitsSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_algorithm.run_ce_bits()
+
+    def test_more_bits_less_error(self, result):
+        errors = result.column("recon_error")
+        # 8-bit coefficients must reconstruct better than 3-bit ones.
+        assert errors[-1] < errors[0]
+
+    def test_more_bits_lower_cr(self, result):
+        crs = result.column("cr_x")
+        assert crs[-1] < crs[0]
+
+    def test_exponent_counts(self, result):
+        assert result.column("exponents_np") == [3, 7, 31, 127]
+
+
+class TestSlicingSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_algorithm.run_slicing()
+
+    def test_slicing_multiplies_matrices(self, result):
+        counts = result.column("matrices")
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_slicing_reduces_error(self, result):
+        errors = result.column("recon_error")
+        assert errors[-1] <= errors[0] + 1e-9
+
+
+class TestMergedRun:
+    def test_run_concatenates_sweeps(self):
+        result = ablation_algorithm.run()
+        sweeps = set(result.column("sweep"))
+        assert len(sweeps) == 3
+        assert len(result.rows) == 11

@@ -1,0 +1,40 @@
+"""Tests for the PE-array shape design-space exploration."""
+
+import pytest
+
+from repro.experiments import ablation_array_shape
+
+
+class TestArrayShapeSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_array_shape.run()
+
+    def test_all_shapes_have_8k_lanes(self, result):
+        for row in result.rows:
+            assert row["dim_m"] * row["dim_c"] * row["dim_f"] == 8192
+
+    def test_paper_shape_flagged(self, result):
+        flagged = [row for row in result.rows if row["is_paper_shape"]]
+        assert len(flagged) == 1
+        assert (flagged[0]["dim_m"], flagged[0]["dim_c"],
+                flagged[0]["dim_f"]) == (64, 16, 8)
+
+    def test_all_shapes_beat_diannao(self, result):
+        for row in result.rows:
+            assert row["geomean_speedup_x"] > 1.0
+            assert row["geomean_energy_gain_x"] > 1.0
+
+    def test_paper_shape_is_competitive(self, result):
+        """The paper's 64x16x8 must be within 10% of the best shape
+        found by the sweep (it was chosen for a reason)."""
+        best = max(row["geomean_speedup_x"] for row in result.rows)
+        paper = next(row for row in result.rows if row["is_paper_shape"])
+        assert paper["geomean_speedup_x"] >= 0.9 * best
+
+    def test_extreme_aspect_ratio_hurts(self, result):
+        """A severely skewed array (256x16x2) must underperform the
+        paper's shape: dim_f=2 wastes output-pixel parallelism."""
+        skewed = next(row for row in result.rows if row["dim_f"] == 2)
+        paper = next(row for row in result.rows if row["is_paper_shape"])
+        assert skewed["geomean_speedup_x"] <= paper["geomean_speedup_x"]

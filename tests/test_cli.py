@@ -1,0 +1,26 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main(["prog"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table2" in out
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["prog", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "100" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["prog", "table1", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "resources" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["prog", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err

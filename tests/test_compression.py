@@ -1,0 +1,203 @@
+"""Tests for the baseline compression techniques."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compression import (
+    ChannelPruner,
+    DoReFaQuantizer,
+    FilterPruner,
+    FP8Quantizer,
+    LinearQuantizer,
+    MagnitudePruner,
+    Pow2Quantizer,
+    PruneThenQuantize,
+)
+
+
+def tiny_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(8, 4, rng=rng),
+    )
+
+
+class TestMagnitudePruner:
+    def test_sparsity_achieved(self, rng):
+        model = tiny_model(rng)
+        MagnitudePruner(0.5).compress(model)
+        weight = model[0].weight.data
+        assert np.isclose((weight == 0).mean(), 0.5, atol=0.02)
+
+    def test_prunes_smallest(self, rng):
+        model = tiny_model(rng)
+        original = model[5].weight.data.copy()
+        MagnitudePruner(0.25).compress(model)
+        pruned_mask = model[5].weight.data == 0
+        if pruned_mask.any() and (~pruned_mask).any():
+            assert (np.abs(original[pruned_mask]).max()
+                    <= np.abs(original[~pruned_mask]).min() + 1e-12)
+
+    def test_storage_includes_bitmap(self, rng):
+        model = tiny_model(rng)
+        report = MagnitudePruner(0.5).compress(model)
+        conv_bits = report.layer_bits["0"]
+        weight = model[0].weight.data
+        nnz = int(np.count_nonzero(weight))
+        assert conv_bits == nnz * 32 + weight.size
+
+    def test_zero_sparsity_is_identity(self, rng):
+        model = tiny_model(rng)
+        before = model[0].weight.data.copy()
+        MagnitudePruner(0.0).compress(model)
+        np.testing.assert_array_equal(model[0].weight.data, before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MagnitudePruner(1.0)
+
+
+class TestChannelPruner:
+    def test_prunes_lowest_gamma_filters(self, rng):
+        model = tiny_model(rng)
+        model[1].gamma.data[:] = [0.1, 5, 5, 5, 0.2, 5, 5, 5]
+        ChannelPruner(0.25).compress(model)
+        weight = model[0].weight.data
+        assert (weight[0] == 0).all() and (weight[4] == 0).all()
+        assert (weight[1] != 0).any()
+
+    def test_structured_storage_no_index(self, rng):
+        model = tiny_model(rng)
+        report = ChannelPruner(0.5).compress(model)
+        weight = model[0].weight.data
+        kept_filters = int(np.any(weight.reshape(8, -1) != 0, axis=1).sum())
+        expected = kept_filters * int(np.prod(weight.shape[1:])) * 32
+        assert report.layer_bits["0"] == expected
+
+    def test_compression_rate_above_one(self, rng):
+        report = ChannelPruner(0.5).compress(tiny_model(rng))
+        assert report.compression_rate > 1.0
+
+
+class TestFilterPruner:
+    def test_keep_ratio(self, rng):
+        model = tiny_model(rng)
+        FilterPruner(0.5).compress(model)
+        weight = model[0].weight.data
+        alive = int(np.any(weight.reshape(8, -1) != 0, axis=1).sum())
+        assert alive == 4
+
+    def test_keeps_largest_l1(self, rng):
+        model = tiny_model(rng)
+        weight = model[0].weight.data
+        weight[0] = 10.0  # dominant filter must survive
+        FilterPruner(0.5).compress(model)
+        assert (model[0].weight.data[0] != 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FilterPruner(0.0)
+
+
+class TestQuantizers:
+    def test_linear_quantizer_levels(self, rng):
+        quantizer = LinearQuantizer(4)
+        weight = rng.normal(size=100)
+        quantized = quantizer.quantize(weight)
+        assert len(np.unique(quantized)) <= 2**4
+
+    def test_linear_preserves_max(self, rng):
+        weight = rng.normal(size=50)
+        quantized = LinearQuantizer(8).quantize(weight)
+        assert abs(np.abs(quantized).max() - np.abs(weight).max()) < 1e-9
+
+    def test_linear_zero_weight(self):
+        assert (LinearQuantizer(8).quantize(np.zeros(5)) == 0).all()
+
+    def test_dorefa_binary(self, rng):
+        weight = rng.normal(size=100)
+        quantized = DoReFaQuantizer(1).quantize(weight)
+        assert len(np.unique(np.abs(quantized))) == 1
+
+    def test_dorefa_levels(self, rng):
+        weight = rng.normal(size=1000)
+        quantized = DoReFaQuantizer(2).quantize(weight)
+        assert len(np.unique(quantized)) <= 4
+
+    def test_fp8_validation(self):
+        with pytest.raises(ValueError):
+            FP8Quantizer(exponent_bits=5, mantissa_bits=3)
+
+    def test_fp8_relative_error_bounded_for_normals(self, rng):
+        weight = rng.normal(size=500) * 0.1
+        quantized = FP8Quantizer().quantize(weight)
+        # Values inside the normal exponent range; subnormals legitimately
+        # flush with large relative error, as in real FP8.
+        normal = np.abs(weight) >= 2.0**-6
+        rel = (np.abs(quantized[normal] - weight[normal])
+               / np.abs(weight[normal]))
+        # 3 mantissa bits: relative error <= 2^-4 per value.
+        assert rel.max() < 0.07
+
+    def test_pow2_values_are_powers(self, rng):
+        weight = rng.normal(size=200)
+        quantized = Pow2Quantizer(4).quantize(weight)
+        nonzero = quantized[quantized != 0]
+        logs = np.log2(np.abs(nonzero))
+        np.testing.assert_allclose(logs, np.round(logs))
+
+    def test_quantizer_reports(self, rng):
+        for compressor, bits in [
+            (LinearQuantizer(8), 8),
+            (DoReFaQuantizer(2), 2),
+            (Pow2Quantizer(4), 4),
+        ]:
+            model = tiny_model(rng)
+            weight_elements = sum(
+                m.weight.size for m in model.modules()
+                if isinstance(m, (nn.Conv2d, nn.Linear))
+            )
+            report = compressor.compress(model)
+            weight_bits = sum(report.layer_bits.values())
+            assert weight_bits == weight_elements * bits
+
+
+class TestPruneThenQuantize:
+    def test_combined_smaller_than_either(self, rng):
+        prune_report = MagnitudePruner(0.6).compress(tiny_model(rng))
+        quant_report = LinearQuantizer(8).compress(tiny_model(rng))
+        combined_report = PruneThenQuantize(
+            0.6, LinearQuantizer(8)
+        ).compress(tiny_model(rng))
+        assert combined_report.compressed_bits < prune_report.compressed_bits
+        assert combined_report.compressed_bits < quant_report.compressed_bits
+
+    def test_pruned_positions_stay_zero(self, rng):
+        model = tiny_model(rng)
+        PruneThenQuantize(0.5, LinearQuantizer(8)).compress(model)
+        weight = model[0].weight.data
+        assert np.isclose((weight == 0).mean(), 0.5, atol=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PruneThenQuantize(-0.1, LinearQuantizer(8))
+
+
+class TestReports:
+    def test_report_fields(self, rng):
+        report = LinearQuantizer(8).compress(tiny_model(rng), "tiny")
+        assert report.model_name == "tiny"
+        assert report.technique == "linear-int8"
+        assert report.original_mb > report.param_mb
+        assert report.compression_rate > 1.0
+
+    def test_other_parameters_counted(self, rng):
+        model = tiny_model(rng)
+        report = LinearQuantizer(8).compress(model)
+        assert report.original_elements == model.num_parameters()

@@ -1,0 +1,115 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_classification,
+    make_segmentation,
+    synthetic_camvid,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+
+
+class TestClassification:
+    def test_shapes_and_counts(self):
+        dataset = make_classification("t", num_classes=4, image_size=16,
+                                      channels=3, train_per_class=5,
+                                      test_per_class=2)
+        assert dataset.train_images.shape == (20, 3, 16, 16)
+        assert dataset.test_images.shape == (8, 3, 16, 16)
+        assert dataset.image_shape == (3, 16, 16)
+
+    def test_all_classes_present(self):
+        dataset = make_classification("t", 5, 8, train_per_class=3)
+        assert set(dataset.train_labels) == set(range(5))
+
+    def test_deterministic_given_seed(self):
+        a = make_classification("t", 3, 8, seed=7)
+        b = make_classification("t", 3, 8, seed=7)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = make_classification("t", 3, 8, seed=1)
+        b = make_classification("t", 3, 8, seed=2)
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            make_classification("t", 1, 8)
+
+    def test_classes_are_separable_by_prototype(self):
+        """A nearest-prototype classifier must beat chance by a wide
+        margin — the datasets must be learnable for compression deltas
+        to mean anything."""
+        dataset = make_classification("t", 4, 16, train_per_class=10,
+                                      test_per_class=10, noise=0.3, seed=0)
+        prototypes = np.stack([
+            dataset.train_images[dataset.train_labels == cls].mean(axis=0)
+            for cls in range(4)
+        ])
+        flat_test = dataset.test_images.reshape(len(dataset.test_images), -1)
+        flat_proto = prototypes.reshape(4, -1)
+        distances = ((flat_test[:, None] - flat_proto[None]) ** 2).sum(axis=2)
+        accuracy = (distances.argmin(axis=1) == dataset.test_labels).mean()
+        assert accuracy > 0.8
+
+    def test_named_wrappers(self):
+        assert synthetic_cifar10(2, 1).image_shape == (3, 32, 32)
+        assert synthetic_imagenet(num_classes=4, image_size=24,
+                                  train_per_class=2,
+                                  test_per_class=1).num_classes == 4
+        assert synthetic_mnist(2, 1).image_shape == (1, 28, 28)
+
+
+class TestSegmentation:
+    def test_shapes(self):
+        dataset = make_segmentation("s", num_classes=4, height=24, width=32,
+                                    train_count=3, test_count=2)
+        assert dataset.train_images.shape == (3, 3, 24, 32)
+        assert dataset.train_masks.shape == (3, 24, 32)
+        assert dataset.image_shape == (3, 24, 32)
+
+    def test_mask_labels_in_range(self):
+        dataset = make_segmentation("s", num_classes=5, height=16, width=16)
+        assert dataset.train_masks.min() >= 0
+        assert dataset.train_masks.max() < 5
+
+    def test_background_present(self):
+        dataset = make_segmentation("s", num_classes=4, height=32, width=32,
+                                    shapes_per_image=2)
+        assert (dataset.train_masks == 0).any()
+
+    def test_foreground_present(self):
+        dataset = make_segmentation("s", num_classes=4, height=32, width=32,
+                                    shapes_per_image=4)
+        assert (dataset.train_masks > 0).any()
+
+    def test_deterministic(self):
+        a = make_segmentation("s", 3, 16, 16, seed=5)
+        b = make_segmentation("s", 3, 16, 16, seed=5)
+        np.testing.assert_array_equal(a.train_masks, b.train_masks)
+
+    def test_needs_background_plus_one(self):
+        with pytest.raises(ValueError):
+            make_segmentation("s", 1, 16, 16)
+
+    def test_camvid_wrapper(self):
+        dataset = synthetic_camvid(height=16, width=24, train_count=2,
+                                   test_count=1)
+        assert dataset.num_classes == 11
+        assert dataset.train_images.shape == (2, 3, 16, 24)
+
+    def test_shape_colours_match_labels(self):
+        """Pixels of one class share (approximately) one colour, so the
+        task is actually learnable."""
+        dataset = make_segmentation("s", num_classes=3, height=32, width=32,
+                                    noise=0.0, train_count=4, seed=0)
+        for image, mask in zip(dataset.train_images, dataset.train_masks):
+            for cls in np.unique(mask):
+                pixels = image[:, mask == cls]
+                spread = pixels.std(axis=1).max()
+                assert spread < 0.15

@@ -1,0 +1,28 @@
+"""Smoke tests: every example script runs end to end.
+
+Marked slow — each example trains a small model (tens of seconds).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    """The README promises at least five runnable examples."""
+    assert len(ALL_EXAMPLES) >= 5
+    assert "quickstart.py" in ALL_EXAMPLES
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

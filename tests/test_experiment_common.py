@@ -1,0 +1,66 @@
+"""Tests for the CI-scale model zoo cache (uses the fast MLP models)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ci_dataset,
+    ci_model,
+    fresh_ci_model,
+)
+
+
+class TestCIDatasets:
+    def test_known_names(self):
+        for name in ("cifar10", "imagenet", "mnist"):
+            dataset = ci_dataset(name)
+            assert dataset.train_images.ndim == 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            ci_dataset("svhn")
+
+    def test_cached_instance_reused(self):
+        assert ci_dataset("mnist") is ci_dataset("mnist")
+
+    def test_different_seeds_not_shared(self):
+        assert ci_dataset("mnist", seed=0) is not ci_dataset("mnist", seed=1)
+
+
+class TestCIModels:
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            ci_model("lenet")
+
+    def test_trained_model_cached(self):
+        first = ci_model("mlp2")
+        second = ci_model("mlp2")
+        assert first is second
+
+    def test_trained_model_beats_chance(self):
+        trained = ci_model("mlp2")
+        chance = 1.0 / trained.dataset.num_classes
+        assert trained.accuracy > 2 * chance
+
+    def test_fresh_copy_is_independent(self):
+        cached = ci_model("mlp2")
+        fresh = fresh_ci_model("mlp2")
+        assert fresh.model is not cached.model
+        fresh.model.parameters()[0].data += 1.0
+        # The cached model must be unaffected by mutations of the copy.
+        assert not np.allclose(
+            fresh.model.parameters()[0].data,
+            cached.model.parameters()[0].data,
+        )
+
+    def test_fresh_copy_matches_cached_weights(self):
+        cached = ci_model("mlp2")
+        fresh = fresh_ci_model("mlp2")
+        np.testing.assert_allclose(
+            fresh.model.parameters()[0].data,
+            cached.model.parameters()[0].data,
+        )
+
+    def test_input_shape_matches_dataset(self):
+        trained = ci_model("mlp2")
+        assert trained.input_shape == (1, *trained.dataset.image_shape)

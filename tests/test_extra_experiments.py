@@ -1,0 +1,42 @@
+"""Tests for the extension experiments (batch sweep, index overhead)."""
+
+import pytest
+
+from repro.experiments import batch_sensitivity, index_overhead
+
+
+class TestBatchSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return batch_sensitivity.run()
+
+    def test_gain_largest_at_batch_one(self, result):
+        gains = result.column("energy_gain_x")
+        assert gains[0] == max(gains)
+
+    def test_per_image_dram_falls_with_batch(self, result):
+        per_image = result.column("dn_dram_mb_per_img")
+        assert all(a >= b - 1e-9 for a, b in zip(per_image, per_image[1:]))
+
+    def test_se_always_wins(self, result):
+        assert all(row["energy_gain_x"] > 1.0 for row in result.rows)
+        assert all(row["speedup_x"] > 1.0 for row in result.rows)
+
+
+class TestIndexOverhead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return index_overhead.run()
+
+    def test_vector_index_is_smallest_fixed_encoding(self, result):
+        for row in result.rows:
+            assert row["direct_vector_bits"] < row["direct_element_bits"]
+            assert row["direct_vector_bits"] < row["crs_bits"]
+
+    def test_vector_index_constant_across_sparsity(self, result):
+        bits = result.column("direct_vector_bits")
+        assert len(set(bits)) == 1  # 1 bit per row regardless of sparsity
+
+    def test_rlc_shrinks_with_sparsity(self, result):
+        rlc = result.column("rlc_bits")
+        assert rlc[-1] <= rlc[0]

@@ -1,0 +1,55 @@
+"""Tests for activation capture."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.introspect import collect_activations
+
+
+def make_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(4, 4, 3, padding=1, rng=rng),
+        nn.ReLU6(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(4, 2, rng=rng),
+    )
+
+
+class TestCollectActivations:
+    def test_captures_every_activation_module(self, rng):
+        model = make_model(rng)
+        captured = collect_activations(model, rng.normal(size=(2, 1, 8, 8)))
+        assert set(captured) == {"1", "3"}
+
+    def test_captured_shapes(self, rng):
+        model = make_model(rng)
+        captured = collect_activations(model, rng.normal(size=(2, 1, 8, 8)))
+        assert captured["1"].shape == (2, 4, 8, 8)
+
+    def test_relu_outputs_nonnegative(self, rng):
+        model = make_model(rng)
+        captured = collect_activations(model, rng.normal(size=(2, 1, 8, 8)))
+        assert (captured["1"] >= 0).all()
+
+    def test_forward_restored_after_capture(self, rng):
+        model = make_model(rng)
+        model.eval()
+        x = rng.normal(size=(1, 1, 8, 8))
+        before = model(x).numpy()
+        collect_activations(model, x)
+        after = model(x).numpy()
+        np.testing.assert_array_equal(before, after)
+        # No lingering instance-level forward wrappers.
+        for module in model.modules():
+            assert "forward" not in module.__dict__
+
+    def test_kind_filter(self, rng):
+        model = make_model(rng)
+        captured = collect_activations(
+            model, rng.normal(size=(1, 1, 8, 8)), kinds=(nn.ReLU,)
+        )
+        assert set(captured) == {"1"}

@@ -1,0 +1,106 @@
+"""Remaining coverage: small paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.experiments.common import ExperimentResult
+from repro.nn.tensor import Tensor
+
+
+class TestLossEdges:
+    def test_mean_iou_ignores_absent_classes(self):
+        labels = np.zeros((4, 4), dtype=int)
+        # Class 1 never appears in either map: excluded from the mean.
+        assert nn.mean_iou(labels, labels, num_classes=2) == 1.0
+
+    def test_mean_iou_empty_everything(self):
+        # No class present at all in a 0-class setting -> defined as 0.
+        assert nn.mean_iou(np.zeros((2, 2), dtype=int),
+                           np.zeros((2, 2), dtype=int), num_classes=0) == 0.0
+
+    def test_top_k_caps_at_class_count(self):
+        logits = np.array([[1.0, 2.0]])
+        assert nn.top_k_accuracy(logits, np.array([0]), k=10) == 1.0
+
+
+class TestExperimentResultRendering:
+    def test_notes_rendered(self):
+        result = ExperimentResult("t", rows=[{"a": 1}], notes="hello")
+        assert "note: hello" in result.as_table()
+
+    def test_mixed_columns_union(self):
+        result = ExperimentResult("t", rows=[{"a": 1}, {"b": 2}])
+        assert result.column_names() == ["a", "b"]
+        table = result.as_table()
+        assert "a" in table and "b" in table
+
+    def test_float_formatting(self):
+        result = ExperimentResult("t", rows=[{"x": 3.14159265}])
+        assert "3.142" in result.as_table()
+
+
+class TestTrainHistory:
+    def test_final_accuracy_prefers_eval(self):
+        from repro.nn.train import TrainHistory
+        history = TrainHistory(train_accuracies=[0.5], eval_accuracies=[0.7])
+        assert history.final_accuracy == 0.7
+
+    def test_final_accuracy_fallbacks(self):
+        from repro.nn.train import TrainHistory
+        assert TrainHistory(train_accuracies=[0.5]).final_accuracy == 0.5
+        assert TrainHistory().final_accuracy == 0.0
+
+
+class TestRetrainResultProperties:
+    def test_empty_result_guards(self):
+        from repro.core.retrain import RetrainResult
+        result = RetrainResult()
+        assert result.best_projected_accuracy == 0.0
+        with pytest.raises(RuntimeError):
+            _ = result.final_report
+
+
+class TestModuleRepr:
+    def test_layer_reprs_are_informative(self):
+        assert "k=3" in repr(nn.Conv2d(3, 8, 3))
+        assert "Linear(5, 2)" in repr(nn.Linear(5, 2))
+        assert "p=0.3" in repr(nn.Dropout(0.3))
+        assert "BatchNorm2d(4)" in repr(nn.BatchNorm2d(4))
+
+    def test_parameter_repr(self):
+        assert "shape=(2, 3)" in repr(nn.Parameter(np.zeros((2, 3))))
+
+
+class TestCLIAll:
+    def test_all_expands_registry(self, monkeypatch, capsys):
+        """`all` must resolve to every registered experiment (patched to
+        a stub so the test stays fast)."""
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.experiments import __main__ as cli
+
+        calls = []
+
+        class Stub:
+            def __init__(self, name):
+                self.name = name
+
+            def run(self):
+                calls.append(self.name)
+                return ExperimentResult(self.name, rows=[{"ok": 1}])
+
+        stub_registry = {name: Stub(name) for name in ALL_EXPERIMENTS}
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", stub_registry)
+        assert cli.main(["prog", "all"]) == 0
+        assert sorted(calls) == sorted(ALL_EXPERIMENTS)
+
+
+class TestTensorMisc:
+    def test_rsub_and_rtruediv_with_arrays(self, rng):
+        a = Tensor(rng.normal(size=3) + 5.0)
+        np.testing.assert_allclose((10.0 - a).numpy(), 10.0 - a.numpy())
+        np.testing.assert_allclose((10.0 / a).numpy(), 10.0 / a.numpy())
+
+    def test_exp_log_inverse(self, rng):
+        a = Tensor(rng.normal(size=5))
+        np.testing.assert_allclose(a.exp().log().numpy(), a.numpy(), atol=1e-12)
