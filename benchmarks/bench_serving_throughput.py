@@ -1,0 +1,109 @@
+"""Bench: batched vs unbatched throughput of the serving engine.
+
+Publishes a compressed CNN to a temporary artifact store, then serves
+the same synthetic request stream twice through
+:class:`repro.serving.InferenceEngine` — once one-request-per-forward
+(unbatched baseline), once coalesced under the engine's batch policy —
+and reports requests/s plus the rebuild-cache hit rate.
+
+Runs standalone (``python benchmarks/bench_serving_throughput.py``) or
+under pytest-benchmark like the other benches.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import nn
+from repro.core import SmartExchangeConfig, apply_smartexchange
+from repro.experiments.common import ExperimentResult
+from repro.serving import ArtifactStore, BatchPolicy, InferenceEngine, ModelRegistry
+
+REQUESTS = 64
+BATCH_SIZE = 16
+IMAGE_SHAPE = (3, 16, 16)
+
+
+def _build_model(seed: int) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 16, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(16),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(16, 32, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(32),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(32, 10, rng=rng),
+    )
+
+
+def _make_engine(batch_size: int) -> InferenceEngine:
+    model = _build_model(seed=0)
+    config = SmartExchangeConfig(max_iterations=6, target_row_sparsity=0.5)
+    _, report = apply_smartexchange(model, config, model_name="bench-cnn")
+    root = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    store = ArtifactStore(root)
+    store.publish(report, config, model=model)
+    registry = ModelRegistry(store)
+    return InferenceEngine(
+        _build_model(seed=1),
+        registry.get("bench-cnn"),
+        policy=BatchPolicy(max_batch_size=batch_size),
+    )
+
+
+def run() -> ExperimentResult:
+    rng = np.random.default_rng(0)
+    samples = list(rng.normal(size=(REQUESTS, *IMAGE_SHAPE)))
+
+    rows = []
+    for label, batched in (("unbatched", False), ("batched", True)):
+        engine = _make_engine(BATCH_SIZE)
+        engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
+        engine.stats.reset()
+        engine.predict_many(samples, batched=batched)
+        summary = engine.summary()
+        rows.append({
+            "mode": label,
+            "requests": summary["requests"],
+            "mean_batch": summary["mean_batch_size"],
+            "throughput_rps": summary["throughput_rps"],
+            "p50_ms": summary["request_latency_p50_ms"],
+            "cache_hit_rate": summary["rebuild_hit_rate"],
+        })
+
+    unbatched, batched = (row["throughput_rps"] for row in rows)
+    return ExperimentResult(
+        experiment="serving throughput (batched vs unbatched)",
+        rows=rows,
+        notes=f"batching speedup {batched / unbatched:.2f}x over "
+              f"{REQUESTS} requests at max batch {BATCH_SIZE}",
+    )
+
+
+def bench_serving_throughput(benchmark):
+    from benchmarks.conftest import run_and_print
+
+    result = run_and_print(benchmark, run)
+    throughput = result.column("throughput_rps")
+    assert throughput[1] >= throughput[0]  # batched >= unbatched
+    hit_rates = result.column("cache_hit_rate")
+    assert all(rate > 0 for rate in hit_rates)
+
+
+def main() -> None:
+    result = run()
+    print(result.as_table())
+    throughput = result.column("throughput_rps")
+    assert throughput[1] >= throughput[0], "batching did not help"
+
+
+if __name__ == "__main__":
+    main()

@@ -18,8 +18,21 @@ computation when running DNN inference.  This package contains:
   accelerator and the four baseline accelerators (DianNao, SCNN,
   Cambricon-X, Bit-pragmatic).
 - :mod:`repro.experiments` — one harness per table/figure in the paper.
+- :mod:`repro.serving` — the compressed-artifact store and the batched
+  rebuild-on-read inference engine (the paper's trade at the serving
+  layer).
 """
+
+import importlib
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "serving"]
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro` stays cheap; `repro.serving` resolves
+    # on first touch.
+    if name == "serving":
+        return importlib.import_module("repro.serving")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -39,7 +39,7 @@ from repro.core.regularize import (
     smartexchange_distance,
 )
 from repro.core.retrain import RetrainResult, retrain
-from repro.core.serialize import load_compressed, save_compressed
+from repro.core.serialize import load_compressed, load_payloads, save_compressed
 from repro.core.storage import (
     StorageBreakdown,
     compression_rate,
@@ -76,5 +76,6 @@ __all__ = [
     "apply_proximal_gradient",
     "save_compressed",
     "load_compressed",
+    "load_payloads",
     "verify_compression",
 ]

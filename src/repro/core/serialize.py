@@ -186,23 +186,35 @@ def save_compressed(path, report: ModelCompressionReport,
     return total
 
 
-def load_compressed(path) -> Dict[str, List[np.ndarray]]:
-    """Read a saved model: {layer name: [rebuilt matrix, ...]}."""
+def load_payloads(path) -> Dict[str, List[Dict[str, np.ndarray]]]:
+    """Read a saved model without rebuilding: {layer name: [payload, ...]}.
+
+    The payloads stay in the packed DRAM-image form (nibble codes, index
+    bitmap, int8 basis), so the caller decides when to pay the rebuild
+    compute — this is what :mod:`repro.serving.rebuild` consumes.
+    """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["__format__"][0])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported format version {version}")
-        out: Dict[str, List[np.ndarray]] = {}
+        out: Dict[str, List[Dict[str, np.ndarray]]] = {}
         for layer_index in range(int(data["__layers__"][0])):
             name = str(data[f"L{layer_index}.name"][0])
             count = int(data[f"L{layer_index}.count"][0])
-            matrices = []
+            payloads = []
             for matrix_index in range(count):
                 prefix = f"L{layer_index}.M{matrix_index}"
-                payload = {
+                payloads.append({
                     key: data[f"{prefix}.{key}"]
                     for key in ("index", "codes", "basis", "meta", "basis_scale")
-                }
-                matrices.append(payload_weight(payload))
-            out[name] = matrices
+                })
+            out[name] = payloads
     return out
+
+
+def load_compressed(path) -> Dict[str, List[np.ndarray]]:
+    """Read a saved model: {layer name: [rebuilt matrix, ...]}."""
+    return {
+        name: [payload_weight(payload) for payload in payloads]
+        for name, payloads in load_payloads(path).items()
+    }

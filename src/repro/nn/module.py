@@ -105,10 +105,20 @@ class Module:
                 state[key] = buf.copy()
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], strict: bool = True
+    ) -> None:
+        """Install parameters/buffers from ``state``.
+
+        ``strict=False`` skips parameters absent from ``state`` (used
+        when another source — e.g. a compressed artifact bundle —
+        provides the remaining weights).
+        """
         for name, param in self.named_parameters():
             if name not in state:
-                raise KeyError(f"missing parameter {name!r} in state dict")
+                if strict:
+                    raise KeyError(f"missing parameter {name!r} in state dict")
+                continue
             param.data[...] = state[name]
         for mod_name, module in self.named_modules():
             for buf_name, buf in module._buffers.items():

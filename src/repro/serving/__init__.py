@@ -1,0 +1,83 @@
+"""Serving compressed models: the software side of the paper's trade.
+
+The accelerator stores {B, Ce, index} in DRAM and rebuilds weights in
+its PE lines; this package does the same at the systems layer:
+
+- :mod:`repro.serving.artifacts` — versioned on-disk bundles with a
+  manifest, sizes, and SHA-256 checksums (:class:`ArtifactStore`).
+- :mod:`repro.serving.registry` — named/versioned bundles loaded lazily
+  and cached in memory (:class:`ModelRegistry`).
+- :mod:`repro.serving.rebuild` — dense weights rebuilt on read behind a
+  capacity-bounded LRU cache (:class:`RebuildEngine`).
+- :mod:`repro.serving.batching` — request queueing and batch coalescing
+  (:class:`BatchPolicy`, :class:`RequestQueue`).
+- :mod:`repro.serving.engine` — the batched inference engine
+  (:class:`InferenceEngine`), offline and online paths.
+- :mod:`repro.serving.stats` — throughput / latency percentiles /
+  cache behavior / storage-vs-compute telemetry (:class:`ServingStats`).
+
+Typical use::
+
+    from repro.serving import ArtifactStore, InferenceEngine, ModelRegistry
+
+    store = ArtifactStore("artifacts/")
+    manifest = store.publish(report, config, name="vgg19", model=model)
+
+    registry = ModelRegistry(store)
+    engine = InferenceEngine(skeleton, registry.get("vgg19"))
+    logits = engine.predict(batch)            # offline
+    with engine:                              # online, batched
+        tickets = [engine.submit(x) for x in samples]
+        rows = [t.result(timeout=5) for t in tickets]
+"""
+
+from repro.serving.artifacts import (
+    ArtifactCorruptionError,
+    ArtifactError,
+    ArtifactManifest,
+    ArtifactNotFoundError,
+    ArtifactStore,
+    LayerArtifactSpec,
+)
+from repro.serving.batching import (
+    BatchPolicy,
+    QueueClosed,
+    Request,
+    RequestQueue,
+    Ticket,
+    coalesce,
+    stack_batch,
+)
+from repro.serving.engine import InferenceEngine, ServingError
+from repro.serving.rebuild import (
+    RebuildCacheStats,
+    RebuildEngine,
+    rebuild_layer_weight,
+)
+from repro.serving.registry import CompressedModelHandle, ModelRegistry
+from repro.serving.stats import ServingStats, percentiles
+
+__all__ = [
+    "ArtifactStore",
+    "ArtifactManifest",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "ArtifactCorruptionError",
+    "LayerArtifactSpec",
+    "ModelRegistry",
+    "CompressedModelHandle",
+    "RebuildEngine",
+    "RebuildCacheStats",
+    "rebuild_layer_weight",
+    "BatchPolicy",
+    "RequestQueue",
+    "Request",
+    "Ticket",
+    "QueueClosed",
+    "coalesce",
+    "stack_batch",
+    "InferenceEngine",
+    "ServingError",
+    "ServingStats",
+    "percentiles",
+]

@@ -1,0 +1,374 @@
+"""Versioned on-disk store for compressed-model artifacts.
+
+A *bundle* is one published model version::
+
+    <root>/<name>/<version>/
+        manifest.json   # layer specs, sizes, checksums, storage accounting
+        weights.npz     # the SmartExchange DRAM image (core.serialize)
+        residual.npz    # optional: every parameter/buffer NOT compressed
+                        # (biases, BN state, skipped layers)
+
+``weights.npz`` holds only the {B, Ce, index} payloads; the manifest
+records, per layer, the :class:`~repro.core.reshape.ReshapePlan` needed
+to fold rebuilt matrices back into the layer weight, so a reader never
+needs the original model to reconstruct dense weights.
+
+Checksums (SHA-256 per file) gate every load: a flipped byte raises
+:class:`ArtifactCorruptionError` instead of serving garbage weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SmartExchangeConfig
+from repro.core.model_transform import ModelCompressionReport
+from repro.core.reshape import ReshapePlan
+from repro.core.serialize import load_payloads, save_compressed
+
+MANIFEST_FORMAT = 1
+WEIGHTS_FILE = "weights.npz"
+RESIDUAL_FILE = "residual.npz"
+MANIFEST_FILE = "manifest.json"
+FP32_BYTES = 4
+
+
+class ArtifactError(Exception):
+    """Base error for artifact-store failures."""
+
+
+class ArtifactNotFoundError(ArtifactError, KeyError):
+    """The requested model/version is not in the store."""
+
+
+class ArtifactCorruptionError(ArtifactError):
+    """A bundle file does not match its manifest checksum."""
+
+
+@dataclass(frozen=True)
+class LayerArtifactSpec:
+    """Everything needed to rebuild one layer's dense weight."""
+
+    name: str
+    kind: str  # "conv" | "fc" | "pointwise"
+    weight_shape: tuple  # shape of the tensor installed into the model
+    matrix_count: int
+    plan: ReshapePlan
+
+    def to_json(self) -> Dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "weight_shape": list(self.weight_shape),
+            "matrix_count": self.matrix_count,
+            "plan": {
+                "kind": self.plan.kind,
+                "original_shape": list(self.plan.original_shape),
+                "basis_size": self.plan.basis_size,
+                "padded_cols": self.plan.padded_cols,
+                "matrices_per_unit": self.plan.matrices_per_unit,
+                "unit_rows": self.plan.unit_rows,
+                "slice_rows": self.plan.slice_rows,
+            },
+        }
+
+    @staticmethod
+    def from_json(data: Dict) -> "LayerArtifactSpec":
+        plan = data["plan"]
+        return LayerArtifactSpec(
+            name=data["name"],
+            kind=data["kind"],
+            weight_shape=tuple(data["weight_shape"]),
+            matrix_count=int(data["matrix_count"]),
+            plan=ReshapePlan(
+                kind=plan["kind"],
+                original_shape=tuple(plan["original_shape"]),
+                basis_size=int(plan["basis_size"]),
+                padded_cols=int(plan["padded_cols"]),
+                matrices_per_unit=int(plan["matrices_per_unit"]),
+                unit_rows=int(plan["unit_rows"]),
+                slice_rows=int(plan["slice_rows"]),
+            ),
+        )
+
+    @property
+    def dense_bytes(self) -> int:
+        return int(np.prod(self.weight_shape)) * FP32_BYTES
+
+
+@dataclass
+class ArtifactManifest:
+    """The bundle descriptor written next to the payload files."""
+
+    name: str
+    version: str
+    model_name: str
+    created: float
+    layers: List[LayerArtifactSpec] = field(default_factory=list)
+    payload_bytes: int = 0  # analytic DRAM-image bytes (codes+index+basis)
+    dense_bytes: int = 0  # FP32 bytes of the weights the payloads replace
+    compression_rate: float = 1.0
+    vector_sparsity: float = 0.0
+    checksums: Dict[str, str] = field(default_factory=dict)
+    file_bytes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bundle_bytes(self) -> int:
+        """Total on-disk bytes of the payload files."""
+        return sum(self.file_bytes.values())
+
+    @property
+    def bytes_saved(self) -> int:
+        """Dense FP32 bytes avoided by storing the SmartExchange form."""
+        return self.dense_bytes - self.payload_bytes
+
+    def layer(self, name: str) -> LayerArtifactSpec:
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def to_json(self) -> Dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "name": self.name,
+            "version": self.version,
+            "model_name": self.model_name,
+            "created": self.created,
+            "layers": [spec.to_json() for spec in self.layers],
+            "payload_bytes": self.payload_bytes,
+            "dense_bytes": self.dense_bytes,
+            "compression_rate": self.compression_rate,
+            "vector_sparsity": self.vector_sparsity,
+            "checksums": self.checksums,
+            "file_bytes": self.file_bytes,
+        }
+
+    @staticmethod
+    def from_json(data: Dict) -> "ArtifactManifest":
+        if int(data.get("format", -1)) != MANIFEST_FORMAT:
+            raise ArtifactError(
+                f"unsupported manifest format {data.get('format')!r}"
+            )
+        return ArtifactManifest(
+            name=data["name"],
+            version=data["version"],
+            model_name=data["model_name"],
+            created=float(data["created"]),
+            layers=[LayerArtifactSpec.from_json(l) for l in data["layers"]],
+            payload_bytes=int(data["payload_bytes"]),
+            dense_bytes=int(data["dense_bytes"]),
+            compression_rate=float(data["compression_rate"]),
+            vector_sparsity=float(data["vector_sparsity"]),
+            checksums=dict(data["checksums"]),
+            file_bytes={k: int(v) for k, v in data["file_bytes"].items()},
+        )
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _layer_spec(layer) -> LayerArtifactSpec:
+    """Derive the rebuild spec from a LayerCompression."""
+    plan = layer.plan
+    if layer.kind == "pointwise":
+        # Pointwise convs decompose on the (M, C) view; the installed
+        # tensor is the 4-D (M, C, 1, 1) weight.
+        m, c = plan.original_shape
+        weight_shape = (m, c, 1, 1)
+    else:
+        weight_shape = plan.original_shape
+    return LayerArtifactSpec(
+        name=layer.name,
+        kind=layer.kind,
+        weight_shape=weight_shape,
+        matrix_count=len(layer.decompositions),
+        plan=plan,
+    )
+
+
+def _residual_state(model, compressed_layer_names: List[str]) -> Dict[str, np.ndarray]:
+    """Every parameter/buffer the payloads do NOT cover."""
+    compressed_keys = {f"{name}.weight" for name in compressed_layer_names}
+    state = model.state_dict()
+    return {k: v for k, v in state.items() if k not in compressed_keys}
+
+
+class ArtifactStore:
+    """Filesystem-backed store of versioned compressed-model bundles."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        report: ModelCompressionReport,
+        config: SmartExchangeConfig,
+        name: Optional[str] = None,
+        version: Optional[str] = None,
+        model=None,
+    ) -> ArtifactManifest:
+        """Pack a transformed model into a new immutable bundle.
+
+        ``model`` (the live ``nn.Module``) is optional; when given, its
+        non-compressed parameters and buffers are stored alongside so the
+        serving engine can reconstruct the full network, not just the
+        decomposed weights.
+        """
+        name = name or report.model_name
+        version = version or self._next_version(name)
+        bundle = self.root / name / version
+        if bundle.exists():
+            raise ArtifactError(f"bundle {name}:{version} already exists")
+        # Stage into a temp dir and rename into place so a mid-publish
+        # failure never leaves a half-written (manifest-less) bundle.
+        staging = bundle.parent / f".{version}.staging-{os.getpid()}"
+        staging.mkdir(parents=True)
+        try:
+            payload_bytes = save_compressed(
+                staging / WEIGHTS_FILE, report, config
+            )
+            files = [WEIGHTS_FILE]
+            if model is not None:
+                residual = _residual_state(
+                    model, [l.name for l in report.layers]
+                )
+                np.savez_compressed(staging / RESIDUAL_FILE, **residual)
+                files.append(RESIDUAL_FILE)
+
+            specs = [_layer_spec(layer) for layer in report.layers]
+            manifest = ArtifactManifest(
+                name=name,
+                version=version,
+                model_name=report.model_name,
+                created=time.time(),
+                layers=specs,
+                payload_bytes=payload_bytes,
+                dense_bytes=sum(spec.dense_bytes for spec in specs),
+                compression_rate=report.compression_rate,
+                vector_sparsity=report.vector_sparsity,
+                checksums={f: _sha256(staging / f) for f in files},
+                file_bytes={f: (staging / f).stat().st_size for f in files},
+            )
+            with open(staging / MANIFEST_FILE, "w") as handle:
+                json.dump(manifest.to_json(), handle, indent=2, sort_keys=True)
+            staging.rename(bundle)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return manifest
+
+    def _next_version(self, name: str) -> str:
+        numbers = []
+        for version in self.versions(name):
+            if version.startswith("v") and version[1:].isdigit():
+                numbers.append(int(version[1:]))
+        return f"v{max(numbers, default=0) + 1}"
+
+    # ------------------------------------------------------------------
+    # Listing / resolution
+    # ------------------------------------------------------------------
+    def models(self) -> List[str]:
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and any(p.iterdir())
+        )
+
+    def versions(self, name: str) -> List[str]:
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        return sorted(
+            p.name for p in model_dir.iterdir()
+            if not p.name.startswith(".") and (p / MANIFEST_FILE).is_file()
+        )
+
+    def latest_version(self, name: str) -> str:
+        versions = self.versions(name)
+        if not versions:
+            raise ArtifactNotFoundError(f"no bundles for model {name!r}")
+        return max(versions, key=lambda v: self.manifest(name, v).created)
+
+    def _bundle_dir(self, name: str, version: Optional[str]) -> Path:
+        version = version or self.latest_version(name)
+        bundle = self.root / name / version
+        if not (bundle / MANIFEST_FILE).is_file():
+            raise ArtifactNotFoundError(f"no bundle {name}:{version}")
+        return bundle
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def manifest(self, name: str, version: Optional[str] = None) -> ArtifactManifest:
+        bundle = self._bundle_dir(name, version)
+        with open(bundle / MANIFEST_FILE) as handle:
+            return ArtifactManifest.from_json(json.load(handle))
+
+    def verify(self, name: str, version: Optional[str] = None) -> ArtifactManifest:
+        """Checksum every payload file; raise on any mismatch."""
+        manifest = self.manifest(name, version)
+        bundle = self.root / manifest.name / manifest.version
+        for filename, expected in manifest.checksums.items():
+            path = bundle / filename
+            if not path.is_file():
+                raise ArtifactCorruptionError(
+                    f"{manifest.name}:{manifest.version} is missing {filename}"
+                )
+            actual = _sha256(path)
+            if actual != expected:
+                raise ArtifactCorruptionError(
+                    f"{manifest.name}:{manifest.version}/{filename} checksum "
+                    f"mismatch: expected {expected[:12]}…, got {actual[:12]}…"
+                )
+        return manifest
+
+    def load_payloads(
+        self, name: str, version: Optional[str] = None, verify: bool = True
+    ) -> Dict[str, List[Dict[str, np.ndarray]]]:
+        """Checksum-verified raw payloads: {layer: [packed payload, ...]}.
+
+        ``verify=False`` skips the hash pass — for callers that already
+        ran :meth:`verify` on this bundle (e.g. the registry).
+        """
+        manifest = (
+            self.verify(name, version) if verify
+            else self.manifest(name, version)
+        )
+        bundle = self.root / manifest.name / manifest.version
+        return load_payloads(bundle / WEIGHTS_FILE)
+
+    def load_residual(
+        self, name: str, version: Optional[str] = None, verify: bool = True
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """The stored non-compressed state, or None if not published."""
+        manifest = (
+            self.verify(name, version) if verify
+            else self.manifest(name, version)
+        )
+        if RESIDUAL_FILE not in manifest.checksums:
+            return None
+        bundle = self.root / manifest.name / manifest.version
+        with np.load(bundle / RESIDUAL_FILE, allow_pickle=False) as data:
+            return {key: data[key].copy() for key in data.files}
+
+    def bundle_bytes(self, name: str, version: Optional[str] = None) -> int:
+        """Actual on-disk bytes of the bundle's payload files."""
+        return self.manifest(name, version).bundle_bytes

@@ -1,0 +1,166 @@
+"""Request queueing and batch coalescing for the serving engine.
+
+Single requests are enqueued with :meth:`RequestQueue.submit` and
+coalesced into batches under a :class:`BatchPolicy`: a batch closes when
+it reaches ``max_batch_size`` or when ``max_wait_s`` has elapsed since
+the first request in it arrived — the standard latency/throughput
+dial of a serving system.
+
+Everything here is architecture-agnostic: a request's payload is just an
+ndarray (one sample, no batch axis); the engine stacks them on axis 0.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to close a batch."""
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+class Ticket:
+    """Handle returned by ``submit``: blocks until the result is set."""
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self._done = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def set_result(self, value: np.ndarray) -> None:
+        self._result = value
+        self._done.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request {self.request_id} not done")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+@dataclass
+class Request:
+    """One enqueued sample plus its completion ticket."""
+
+    request_id: int
+    payload: np.ndarray
+    ticket: Ticket
+    enqueued_at: float = 0.0
+
+
+class QueueClosed(Exception):
+    """Raised by ``next_batch`` after ``close()`` drains the queue."""
+
+
+class RequestQueue:
+    """Thread-safe queue that hands out policy-coalesced batches."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._pending: List[Request] = []
+        self._closed = False
+        self._ids = itertools.count()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, payload: np.ndarray) -> Ticket:
+        """Enqueue one sample; returns the ticket to wait on."""
+        ticket = Ticket(next(self._ids))
+        request = Request(
+            request_id=ticket.request_id,
+            payload=np.asarray(payload),
+            ticket=ticket,
+            enqueued_at=time.perf_counter(),
+        )
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            self._pending.append(request)
+            self._not_empty.notify()
+        return ticket
+
+    def close(self) -> None:
+        """No new submissions; ``next_batch`` drains then raises."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def next_batch(self, timeout: Optional[float] = None) -> List[Request]:
+        """Block for the next coalesced batch.
+
+        Waits (up to ``timeout``) for at least one request, then keeps
+        collecting until the batch is full or ``max_wait_s`` has passed
+        since the batch opened.  Raises :class:`QueueClosed` once the
+        queue is closed and drained.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._not_empty:
+            while not self._pending:
+                if self._closed:
+                    raise QueueClosed("queue is closed and drained")
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return []
+                self._not_empty.wait(remaining)
+
+            batch_deadline = time.perf_counter() + self.policy.max_wait_s
+            while (
+                len(self._pending) < self.policy.max_batch_size
+                and not self._closed
+            ):
+                remaining = batch_deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._not_empty.wait(remaining)
+            batch = self._pending[: self.policy.max_batch_size]
+            del self._pending[: len(batch)]
+            return batch
+
+
+def coalesce(
+    inputs: Sequence[np.ndarray], max_batch_size: int
+) -> List[List[np.ndarray]]:
+    """Offline batching: greedily group samples into full batches."""
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be >= 1")
+    inputs = list(inputs)
+    return [
+        inputs[start : start + max_batch_size]
+        for start in range(0, len(inputs), max_batch_size)
+    ]
+
+
+def stack_batch(requests: Sequence[Request]) -> np.ndarray:
+    """Stack request payloads into the (N, ...) model input."""
+    return np.stack([request.payload for request in requests], axis=0)

@@ -1,0 +1,248 @@
+"""Batched inference directly from compressed artifacts.
+
+:class:`InferenceEngine` owns one architecture skeleton (an
+``nn.Module`` with the right shapes), one
+:class:`~repro.serving.registry.CompressedModelHandle`, and one
+:class:`~repro.serving.rebuild.RebuildEngine`.  Before every forward
+pass it *installs* each compressed layer's weight from the rebuild
+cache — so the dense model only ever exists layer-by-layer, bounded by
+the cache capacity, while the full network state lives in the small
+{B, Ce, index} payloads.
+
+Two serving paths share the same execution core:
+
+- **offline** — :meth:`predict` / :meth:`predict_many` run (coalesced)
+  batches synchronously; this is what the benchmarks drive.
+- **online** — :meth:`start` launches a worker thread that drains a
+  :class:`~repro.serving.batching.RequestQueue`; :meth:`submit` returns
+  a ticket that resolves to that sample's output row.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.serving.batching import (
+    BatchPolicy,
+    QueueClosed,
+    Request,
+    RequestQueue,
+    Ticket,
+    coalesce,
+    stack_batch,
+)
+from repro.serving.rebuild import RebuildEngine
+from repro.serving.registry import CompressedModelHandle
+from repro.serving.stats import ServingStats
+
+
+class ServingError(Exception):
+    """Engine-level configuration or execution failure."""
+
+
+class InferenceEngine:
+    """Serve predictions for one model version from its bundle."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        handle: CompressedModelHandle,
+        policy: Optional[BatchPolicy] = None,
+        cache_bytes: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.handle = handle
+        self.policy = policy or BatchPolicy()
+        self.stats = ServingStats()
+        self.rebuild = RebuildEngine(
+            payloads=handle.payloads,
+            specs=handle.layer_specs,
+            capacity_bytes=cache_bytes,
+        )
+        self._modules = self._map_modules()
+        if handle.residual is not None:
+            model.load_state_dict(handle.residual, strict=False)
+        model.eval()
+        # Serializes install-weights + forward between the offline path
+        # and the online worker thread (they share one model skeleton
+        # and one rebuild cache).
+        self._forward_lock = threading.Lock()
+        self._queue: Optional[RequestQueue] = None
+        self._worker: Optional[threading.Thread] = None
+        self._worker_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Layer mapping / weight installation
+    # ------------------------------------------------------------------
+    def _map_modules(self) -> Dict[str, nn.Module]:
+        modules = dict(self.model.named_modules())
+        mapped: Dict[str, nn.Module] = {}
+        for name, spec in self.handle.layer_specs.items():
+            module = modules.get(name)
+            if module is None:
+                raise ServingError(
+                    f"model has no module {name!r} for bundle "
+                    f"{self.handle.key}"
+                )
+            weight = getattr(module, "weight", None)
+            if weight is None or tuple(weight.data.shape) != spec.weight_shape:
+                raise ServingError(
+                    f"module {name!r} weight shape "
+                    f"{None if weight is None else weight.data.shape} does "
+                    f"not match bundle layer shape {spec.weight_shape}"
+                )
+            mapped[name] = module
+        return mapped
+
+    def _install_weights(self) -> None:
+        """Pull every compressed layer through the rebuild cache."""
+        for name, module in self._modules.items():
+            module.weight.data[...] = self.rebuild.layer_weight(name)
+
+    # ------------------------------------------------------------------
+    # Offline path
+    # ------------------------------------------------------------------
+    def predict(self, batch: np.ndarray) -> np.ndarray:
+        """Run one already-formed batch; returns the output ndarray."""
+        batch = np.asarray(batch)
+        start = time.perf_counter()
+        with self._forward_lock:
+            self._install_weights()
+            output = self.model(batch)
+            result = output.data if isinstance(output, nn.Tensor) else output
+        latency = time.perf_counter() - start
+        self.stats.record_batch(len(batch), latency)
+        for _ in range(len(batch)):
+            self.stats.record_request(latency)
+        return np.asarray(result)
+
+    def predict_many(
+        self, inputs: Sequence[np.ndarray], batched: bool = True
+    ) -> List[np.ndarray]:
+        """Serve many single-sample requests, optionally coalesced.
+
+        ``batched=False`` runs one forward pass per sample (the
+        unbatched baseline); ``batched=True`` groups them under the
+        engine's policy.  Returns one output row per input, in order.
+        """
+        max_batch = self.policy.max_batch_size if batched else 1
+        outputs: List[np.ndarray] = []
+        for group in coalesce(list(inputs), max_batch):
+            rows = self.predict(np.stack(group, axis=0))
+            outputs.extend(np.asarray(row) for row in rows)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Online path
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceEngine":
+        """Launch the background batching worker."""
+        if self._worker is not None:
+            raise ServingError("engine already started")
+        self._queue = RequestQueue(self.policy)
+        self._worker_error = None
+        self._worker = threading.Thread(
+            target=self._serve_loop,
+            args=(self._queue,),
+            name="repro-serving-worker",
+            daemon=True,
+        )
+        self._worker.start()
+        return self
+
+    def submit(self, sample: np.ndarray) -> Ticket:
+        """Enqueue one sample (no batch axis); returns its ticket."""
+        if self._queue is None:
+            raise ServingError("engine not started; call start() first")
+        if self._worker_error is not None:
+            raise ServingError("worker died") from self._worker_error
+        return self._queue.submit(sample)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain the queue, stop the worker, and surface its errors."""
+        if self._queue is None:
+            return
+        self._queue.close()
+        worker, self._worker = self._worker, None
+        self._queue = None  # engine stays restartable even on timeout
+        if worker is not None:
+            worker.join(timeout)
+            if worker.is_alive():
+                raise ServingError("worker did not stop in time")
+        if self._worker_error is not None:
+            raise ServingError("worker died") from self._worker_error
+
+    def __enter__(self) -> "InferenceEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _serve_loop(self, queue: RequestQueue) -> None:
+        try:
+            while True:
+                try:
+                    requests = queue.next_batch()
+                except QueueClosed:
+                    return
+                if not requests:
+                    continue
+                self._run_requests(requests)
+        except BaseException as error:  # pragma: no cover - defensive
+            self._worker_error = error
+            self._fail_pending(queue, error)
+
+    def _run_requests(self, requests: List[Request]) -> None:
+        start = time.perf_counter()
+        try:
+            batch = stack_batch(requests)
+            with self._forward_lock:
+                self._install_weights()
+                output = self.model(batch)
+                result = (
+                    output.data if isinstance(output, nn.Tensor) else output
+                )
+        except Exception as error:
+            # A bad batch (e.g. malformed sample shape) fails its own
+            # tickets; the worker keeps serving subsequent requests.
+            for request in requests:
+                request.ticket.set_error(error)
+            self.stats.record_failed(len(requests))
+            return
+        finish = time.perf_counter()
+        self.stats.record_batch(len(requests), finish - start)
+        rows = np.asarray(result)
+        for request, row in zip(requests, rows):
+            self.stats.record_request(finish - request.enqueued_at)
+            request.ticket.set_result(np.asarray(row))
+
+    def _fail_pending(
+        self, queue: RequestQueue, error: BaseException
+    ) -> None:
+        queue.close()
+        try:
+            while True:
+                requests = queue.next_batch(timeout=0.0)
+                if not requests:
+                    return
+                for request in requests:
+                    request.ticket.set_error(error)
+        except QueueClosed:
+            pass
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict:
+        """Serving + rebuild-cache + storage-trade counters, one dict."""
+        return self.stats.summary(
+            rebuild=self.rebuild.stats, manifest=self.handle.manifest
+        )
+
+    def report(self) -> str:
+        return self.stats.report(
+            rebuild=self.rebuild.stats, manifest=self.handle.manifest
+        )

@@ -1,0 +1,179 @@
+"""Software rebuild engine: dense weights on demand from {B, Ce, index}.
+
+The serving-side analogue of the accelerator's RE
+(:mod:`repro.hardware.smartexchange.rebuild_engine`): the compressed
+payloads live in memory permanently (they are small), and dense layer
+weights are *rebuilt on read* — decode the nibble codes, dequantize the
+basis, multiply, and fold the matrices back through the layer's
+:class:`~repro.core.reshape.ReshapePlan`.
+
+A capacity-bounded LRU cache keeps hot layers dense so they pay the
+rebuild compute once; cold layers are evicted and rebuilt on their next
+access.  The cache counters expose the realized storage-vs-compute
+trade: ``bytes_saved`` is the dense footprint *not* held resident,
+``rebuilt_bytes`` is the compute paid for it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.reshape import from_matrices
+from repro.core.serialize import payload_weight
+from repro.serving.artifacts import LayerArtifactSpec
+
+
+@dataclass
+class RebuildCacheStats:
+    """Counters for the rebuild-on-read cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    rebuilds: int = 0
+    rebuilt_bytes: int = 0  # dense bytes produced by rebuild compute
+    rebuild_seconds: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def as_dict(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rebuilds": self.rebuilds,
+            "rebuilt_bytes": self.rebuilt_bytes,
+            "rebuild_seconds": self.rebuild_seconds,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def rebuild_layer_weight(
+    payloads: List[Dict[str, np.ndarray]], spec: LayerArtifactSpec
+) -> np.ndarray:
+    """Decode one layer's payloads into its dense weight tensor."""
+    matrices = [payload_weight(payload) for payload in payloads]
+    weight = from_matrices(matrices, spec.plan)
+    if spec.kind == "pointwise":
+        weight = weight.reshape(spec.weight_shape)
+    return weight
+
+
+class RebuildEngine:
+    """LRU-cached rebuild-on-read over one model's compressed payloads.
+
+    ``capacity_bytes`` bounds the *dense* bytes held in the cache (the
+    analogue of the accelerator's on-chip weight buffer).  ``None``
+    means unbounded — every layer is rebuilt at most once.
+    """
+
+    def __init__(
+        self,
+        payloads: Dict[str, List[Dict[str, np.ndarray]]],
+        specs: Dict[str, LayerArtifactSpec],
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        missing = set(specs) - set(payloads)
+        if missing:
+            raise KeyError(f"payloads missing for layers: {sorted(missing)}")
+        self._payloads = payloads
+        self._specs = specs
+        self.capacity_bytes = capacity_bytes
+        self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._cached_bytes = 0
+        self.stats = RebuildCacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def layer_names(self) -> List[str]:
+        return list(self._specs)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._cached_bytes
+
+    @property
+    def cached_layers(self) -> List[str]:
+        return list(self._cache)
+
+    @property
+    def total_dense_bytes(self) -> int:
+        """Resident bytes if every layer were cached dense.
+
+        Counts the float64 arrays the NumPy substrate materializes (the
+        manifest's ``dense_bytes`` counts the FP32 checkpoint instead).
+        """
+        itemsize = np.dtype(np.float64).itemsize
+        return sum(
+            int(np.prod(spec.weight_shape)) * itemsize
+            for spec in self._specs.values()
+        )
+
+    @property
+    def bytes_saved(self) -> int:
+        """Dense bytes not resident right now (paid for with rebuilds)."""
+        return self.total_dense_bytes - self._cached_bytes
+
+    # ------------------------------------------------------------------
+    def layer_weight(self, name: str) -> np.ndarray:
+        """The dense weight for ``name`` (cached or rebuilt).
+
+        The returned array is the cache's copy and is marked read-only;
+        callers install it with ``module.weight.data[...] = w``.
+        """
+        if name not in self._specs:
+            raise KeyError(f"unknown layer {name!r}")
+        cached = self._cache.get(name)
+        if cached is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(name)
+            return cached
+        self.stats.misses += 1
+        weight = self._rebuild(name)
+        self._admit(name, weight)
+        return weight
+
+    def _rebuild(self, name: str) -> np.ndarray:
+        start = time.perf_counter()
+        weight = rebuild_layer_weight(self._payloads[name], self._specs[name])
+        self.stats.rebuild_seconds += time.perf_counter() - start
+        self.stats.rebuilds += 1
+        self.stats.rebuilt_bytes += weight.nbytes
+        weight.setflags(write=False)
+        return weight
+
+    def _admit(self, name: str, weight: np.ndarray) -> None:
+        if self.capacity_bytes is not None and weight.nbytes > self.capacity_bytes:
+            return  # larger than the whole cache: serve uncached
+        self._cache[name] = weight
+        self._cached_bytes += weight.nbytes
+        while (
+            self.capacity_bytes is not None
+            and self._cached_bytes > self.capacity_bytes
+        ):
+            evicted_name, evicted = self._cache.popitem(last=False)
+            self._cached_bytes -= evicted.nbytes
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Touch every layer once (fills the cache up to capacity)."""
+        for name in self._specs:
+            self.layer_weight(name)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._cached_bytes = 0

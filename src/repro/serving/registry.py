@@ -1,0 +1,105 @@
+"""Model registry: lazy, cached access to published bundles.
+
+The registry fronts an :class:`~repro.serving.artifacts.ArtifactStore`
+and hands out :class:`CompressedModelHandle` objects — the checksum-
+verified, in-memory form of one bundle (manifest + packed payloads +
+residual state).  Bundles are loaded on first request and cached, so a
+fleet of engines serving the same model shares one copy of the
+compressed payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.artifacts import (
+    ArtifactManifest,
+    ArtifactStore,
+    LayerArtifactSpec,
+)
+
+
+@dataclass(frozen=True)
+class CompressedModelHandle:
+    """One loaded bundle, ready for a rebuild engine."""
+
+    manifest: ArtifactManifest
+    payloads: Dict[str, List[Dict[str, np.ndarray]]]
+    residual: Optional[Dict[str, np.ndarray]]
+
+    @property
+    def name(self) -> str:
+        return self.manifest.name
+
+    @property
+    def version(self) -> str:
+        return self.manifest.version
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:{self.version}"
+
+    @property
+    def layer_specs(self) -> Dict[str, LayerArtifactSpec]:
+        return {spec.name: spec for spec in self.manifest.layers}
+
+
+class ModelRegistry:
+    """Named, versioned, lazily-loaded compressed models."""
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self.store = store
+        self._lock = threading.Lock()
+        self._loaded: Dict[str, CompressedModelHandle] = {}
+
+    # ------------------------------------------------------------------
+    def models(self) -> List[str]:
+        return self.store.models()
+
+    def versions(self, name: str) -> List[str]:
+        return self.store.versions(name)
+
+    def loaded(self) -> List[str]:
+        """Keys (``name:version``) currently resident in memory."""
+        with self._lock:
+            return sorted(self._loaded)
+
+    # ------------------------------------------------------------------
+    def get(
+        self, name: str, version: Optional[str] = None
+    ) -> CompressedModelHandle:
+        """Load (or fetch the cached) handle for ``name:version``.
+
+        ``version=None`` resolves to the latest published version at
+        call time; the resolved handle is cached under its concrete
+        version, so later publishes are picked up by later ``get``s.
+        """
+        resolved = version or self.store.latest_version(name)
+        key = f"{name}:{resolved}"
+        with self._lock:
+            handle = self._loaded.get(key)
+        if handle is not None:
+            return handle
+        # One hash pass over the bundle, then unverified reads.
+        manifest = self.store.verify(name, resolved)
+        handle = CompressedModelHandle(
+            manifest=manifest,
+            payloads=self.store.load_payloads(name, resolved, verify=False),
+            residual=self.store.load_residual(name, resolved, verify=False),
+        )
+        with self._lock:
+            return self._loaded.setdefault(key, handle)
+
+    def unload(self, name: str, version: Optional[str] = None) -> None:
+        """Drop cached handles for ``name`` (one version or all)."""
+        with self._lock:
+            for key in list(self._loaded):
+                handle_name, _, handle_version = key.partition(":")
+                if handle_name != name:
+                    continue
+                if version is None or handle_version == version:
+                    del self._loaded[key]

@@ -1,0 +1,144 @@
+"""Serving telemetry: throughput, latency percentiles, and the realized
+storage-vs-compute trade.
+
+:class:`ServingStats` is fed by the engine (one ``record_batch`` per
+executed batch, one ``record_request`` per completed request) and folds
+in the rebuild-cache counters and bundle accounting on demand, so one
+``summary()`` call answers: how fast are we serving, what did batching
+buy, how often did the rebuild cache hit, and how many dense bytes did
+the compressed form keep out of memory per request.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.artifacts import ArtifactManifest
+from repro.serving.rebuild import RebuildCacheStats
+
+LATENCY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentiles(
+    values: Sequence[float], points: Sequence[float] = LATENCY_PERCENTILES
+) -> Dict[str, float]:
+    """{"p50": ..., "p90": ..., ...} (zeros when no samples)."""
+    if not values:
+        return {f"p{point:g}": 0.0 for point in points}
+    array = np.asarray(values, dtype=np.float64)
+    return {
+        f"p{point:g}": float(np.percentile(array, point)) for point in points
+    }
+
+
+class ServingStats:
+    """Thread-safe accumulator for the inference engine's counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.request_latencies_s: List[float] = []
+        self.batch_latencies_s: List[float] = []
+        self.batch_sizes: List[int] = []
+        self.busy_seconds = 0.0
+        self.failed_requests = 0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.request_latencies_s = []
+            self.batch_latencies_s = []
+            self.batch_sizes = []
+            self.busy_seconds = 0.0
+            self.failed_requests = 0
+
+    # ------------------------------------------------------------------
+    def record_batch(self, batch_size: int, latency_s: float) -> None:
+        with self._lock:
+            self.batch_sizes.append(int(batch_size))
+            self.batch_latencies_s.append(float(latency_s))
+            self.busy_seconds += float(latency_s)
+
+    def record_request(self, latency_s: float) -> None:
+        """End-to-end latency of one request (queueing + execution)."""
+        with self._lock:
+            self.request_latencies_s.append(float(latency_s))
+
+    def record_failed(self, count: int = 1) -> None:
+        """Requests whose batch raised instead of completing."""
+        with self._lock:
+            self.failed_requests += int(count)
+
+    # ------------------------------------------------------------------
+    @property
+    def request_count(self) -> int:
+        return sum(self.batch_sizes)
+
+    @property
+    def batch_count(self) -> int:
+        return len(self.batch_sizes)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per second of engine busy time."""
+        if self.busy_seconds == 0.0:
+            return 0.0
+        return self.request_count / self.busy_seconds
+
+    # ------------------------------------------------------------------
+    def summary(
+        self,
+        rebuild: Optional[RebuildCacheStats] = None,
+        manifest: Optional[ArtifactManifest] = None,
+    ) -> Dict:
+        """One flat dict of everything a dashboard would plot."""
+        with self._lock:
+            out: Dict = {
+                "requests": self.request_count,
+                "failed_requests": self.failed_requests,
+                "batches": self.batch_count,
+                "mean_batch_size": self.mean_batch_size,
+                "throughput_rps": self.throughput_rps,
+                "busy_seconds": self.busy_seconds,
+            }
+            for key, value in percentiles(self.request_latencies_s).items():
+                out[f"request_latency_{key}_ms"] = value * 1e3
+            for key, value in percentiles(self.batch_latencies_s).items():
+                out[f"batch_latency_{key}_ms"] = value * 1e3
+        if rebuild is not None:
+            for key, value in rebuild.as_dict().items():
+                out[f"rebuild_{key}"] = value
+        if manifest is not None:
+            out["bundle_payload_bytes"] = manifest.payload_bytes
+            out["bundle_dense_bytes"] = manifest.dense_bytes
+            out["bundle_bytes_saved"] = manifest.bytes_saved
+            out["bundle_compression_rate"] = manifest.compression_rate
+            if rebuild is not None:
+                # The trade, per request: rebuild compute paid in place
+                # of holding/loading dense weights (the paper's exchange).
+                out["rebuilt_bytes_per_request"] = (
+                    rebuild.rebuilt_bytes / max(out["requests"], 1)
+                )
+        return out
+
+    def report(
+        self,
+        rebuild: Optional[RebuildCacheStats] = None,
+        manifest: Optional[ArtifactManifest] = None,
+    ) -> str:
+        """Human-readable one-screen summary."""
+        summary = self.summary(rebuild=rebuild, manifest=manifest)
+        lines = ["== serving stats =="]
+        for key, value in summary.items():
+            if isinstance(value, float):
+                lines.append(f"{key:30s} {value:12.4g}")
+            else:
+                lines.append(f"{key:30s} {value!s:>12s}")
+        return "\n".join(lines)

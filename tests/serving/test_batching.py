@@ -1,0 +1,100 @@
+"""Batch coalescing policy and the request queue."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BatchPolicy,
+    QueueClosed,
+    RequestQueue,
+    coalesce,
+    stack_batch,
+)
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch_size >= 1
+        assert policy.max_wait_s >= 0
+
+    @pytest.mark.parametrize("size,wait", [(0, 0.0), (-1, 0.0), (1, -0.1)])
+    def test_invalid_rejected(self, size, wait):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=size, max_wait_s=wait)
+
+
+class TestCoalesce:
+    def test_groups_full_batches(self):
+        groups = coalesce([np.zeros(2)] * 10, max_batch_size=4)
+        assert [len(g) for g in groups] == [4, 4, 2]
+
+    def test_empty(self):
+        assert coalesce([], max_batch_size=4) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            coalesce([np.zeros(2)], max_batch_size=0)
+
+
+class TestRequestQueue:
+    def test_coalesces_up_to_max_batch(self):
+        queue = RequestQueue(BatchPolicy(max_batch_size=3, max_wait_s=0.01))
+        tickets = [queue.submit(np.full(2, i)) for i in range(5)]
+        first = queue.next_batch()
+        second = queue.next_batch()
+        assert [len(first), len(second)] == [3, 2]
+        assert [r.request_id for r in first] == [t.request_id for t in tickets[:3]]
+
+    def test_stack_batch_shape_and_order(self):
+        queue = RequestQueue(BatchPolicy(max_batch_size=4, max_wait_s=0.0))
+        for i in range(3):
+            queue.submit(np.full((2, 2), float(i)))
+        batch = stack_batch(queue.next_batch())
+        assert batch.shape == (3, 2, 2)
+        np.testing.assert_array_equal(batch[:, 0, 0], [0.0, 1.0, 2.0])
+
+    def test_waits_for_stragglers(self):
+        queue = RequestQueue(BatchPolicy(max_batch_size=2, max_wait_s=0.5))
+        queue.submit(np.zeros(1))
+
+        def late_submit():
+            time.sleep(0.05)
+            queue.submit(np.ones(1))
+
+        thread = threading.Thread(target=late_submit)
+        thread.start()
+        batch = queue.next_batch()
+        thread.join()
+        assert len(batch) == 2  # straggler made it within max_wait_s
+
+    def test_timeout_returns_empty(self):
+        queue = RequestQueue(BatchPolicy(max_batch_size=2, max_wait_s=0.0))
+        assert queue.next_batch(timeout=0.01) == []
+
+    def test_close_drains_then_raises(self):
+        queue = RequestQueue(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        queue.submit(np.zeros(1))
+        queue.close()
+        assert len(queue.next_batch()) == 1
+        with pytest.raises(QueueClosed):
+            queue.next_batch()
+        with pytest.raises(QueueClosed):
+            queue.submit(np.zeros(1))
+
+    def test_ticket_result_timeout(self):
+        queue = RequestQueue()
+        ticket = queue.submit(np.zeros(1))
+        assert not ticket.done()
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)
+
+    def test_ticket_error_propagates(self):
+        queue = RequestQueue()
+        ticket = queue.submit(np.zeros(1))
+        ticket.set_error(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            ticket.result(timeout=1.0)

@@ -1,0 +1,62 @@
+"""Model registry: lazy loading, caching, version resolution."""
+
+import pytest
+
+from repro.serving import ArtifactNotFoundError, ModelRegistry
+
+
+class TestRegistry:
+    def test_lazy_load_and_cache(self, published):
+        store, manifest, *_ = published
+        registry = ModelRegistry(store)
+        assert registry.loaded() == []
+        handle = registry.get(manifest.name)
+        assert registry.loaded() == [f"{manifest.name}:{manifest.version}"]
+        assert registry.get(manifest.name) is handle  # cached object
+
+    def test_handle_contents(self, published):
+        store, manifest, _, report, _ = published
+        handle = ModelRegistry(store).get(manifest.name)
+        assert handle.key == f"{manifest.name}:{manifest.version}"
+        assert set(handle.payloads) == {l.name for l in report.layers}
+        assert set(handle.layer_specs) == {l.name for l in report.layers}
+        assert handle.residual is not None
+
+    def test_latest_resolution_tracks_new_publishes(self, published):
+        store, manifest, model, report, config = published
+        registry = ModelRegistry(store)
+        first = registry.get(manifest.name)
+        store.publish(report, config, name=manifest.name, model=model)
+        second = registry.get(manifest.name)
+        assert first.version == "v1"
+        assert second.version == "v2"
+        # Both stay resident under their concrete versions.
+        assert len(registry.loaded()) == 2
+
+    def test_pinned_version(self, published):
+        store, manifest, model, report, config = published
+        store.publish(report, config, name=manifest.name, model=model)
+        registry = ModelRegistry(store)
+        assert registry.get(manifest.name, "v1").version == "v1"
+
+    def test_unload(self, published):
+        store, manifest, model, report, config = published
+        store.publish(report, config, name=manifest.name, model=model)
+        registry = ModelRegistry(store)
+        registry.get(manifest.name, "v1")
+        registry.get(manifest.name, "v2")
+        registry.unload(manifest.name, "v1")
+        assert registry.loaded() == [f"{manifest.name}:v2"]
+        registry.unload(manifest.name)
+        assert registry.loaded() == []
+
+    def test_models_and_versions_passthrough(self, published):
+        store, manifest, *_ = published
+        registry = ModelRegistry(store)
+        assert registry.models() == [manifest.name]
+        assert registry.versions(manifest.name) == [manifest.version]
+
+    def test_unknown_model(self, published):
+        store, *_ = published
+        with pytest.raises(ArtifactNotFoundError):
+            ModelRegistry(store).get("nope")
