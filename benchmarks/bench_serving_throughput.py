@@ -1,15 +1,19 @@
-"""Bench: batched vs unbatched throughput of the serving engine.
+"""Bench: batched vs unbatched, and worker-pool scaling, of the engine.
 
 Publishes a compressed CNN to a temporary artifact store, then serves
-the same synthetic request stream twice through
-:class:`repro.serving.InferenceEngine` — once one-request-per-forward
-(unbatched baseline), once coalesced under the engine's batch policy —
-and reports requests/s plus the rebuild-cache hit rate.
+the same synthetic request stream through
+:class:`repro.serving.InferenceEngine` several ways — one-request-per-
+forward (unbatched baseline), coalesced under the engine's batch policy
+(offline), and through the online worker pool at a sweep of worker
+counts — and reports requests/s (wall-clock), realized parallelism, and
+the rebuild-cache hit rate.
 
-Runs standalone (``python benchmarks/bench_serving_throughput.py``) or
-under pytest-benchmark like the other benches.
+Runs standalone (``python benchmarks/bench_serving_throughput.py``,
+``--smoke`` for a CI-sized run, ``--workers 1,2,4`` to pick the sweep)
+or under pytest-benchmark like the other benches.
 """
 
+import argparse
 import sys
 import tempfile
 from pathlib import Path
@@ -26,6 +30,7 @@ from repro.serving import ArtifactStore, BatchPolicy, InferenceEngine, ModelRegi
 REQUESTS = 64
 BATCH_SIZE = 16
 IMAGE_SHAPE = (3, 16, 16)
+WORKER_SWEEP = (1, 2, 4)
 
 
 def _build_model(seed: int) -> nn.Module:
@@ -55,36 +60,63 @@ def _make_engine(batch_size: int) -> InferenceEngine:
     return InferenceEngine(
         _build_model(seed=1),
         registry.get("bench-cnn"),
-        policy=BatchPolicy(max_batch_size=batch_size),
+        policy=BatchPolicy(max_batch_size=batch_size, max_wait_s=0.001),
     )
 
 
-def run() -> ExperimentResult:
+def _row(engine: InferenceEngine, mode: str, workers: int) -> dict:
+    summary = engine.summary()
+    busy, wall = summary["busy_seconds"], summary["wall_seconds"]
+    return {
+        "mode": mode,
+        "workers": workers,
+        "requests": summary["requests"],
+        "mean_batch": summary["mean_batch_size"],
+        "throughput_rps": summary["throughput_rps"],
+        # wall is the pool window; offline rows (no workers) are a
+        # single thread, i.e. parallelism 1 by construction.
+        "parallelism": busy / wall if wall else 1.0,
+        "p50_ms": summary["request_latency_p50_ms"],
+        "cache_hit_rate": summary["rebuild_hit_rate"],
+    }
+
+
+def run(requests: int = REQUESTS, worker_sweep=WORKER_SWEEP) -> ExperimentResult:
     rng = np.random.default_rng(0)
-    samples = list(rng.normal(size=(REQUESTS, *IMAGE_SHAPE)))
+    samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
 
     rows = []
-    for label, batched in (("unbatched", False), ("batched", True)):
+    for label, batched in (("offline-unbatched", False), ("offline-batched", True)):
         engine = _make_engine(BATCH_SIZE)
         engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
         engine.stats.reset()
         engine.predict_many(samples, batched=batched)
-        summary = engine.summary()
-        rows.append({
-            "mode": label,
-            "requests": summary["requests"],
-            "mean_batch": summary["mean_batch_size"],
-            "throughput_rps": summary["throughput_rps"],
-            "p50_ms": summary["request_latency_p50_ms"],
-            "cache_hit_rate": summary["rebuild_hit_rate"],
-        })
+        rows.append(_row(engine, label, workers=0))
 
-    unbatched, batched = (row["throughput_rps"] for row in rows)
+    for workers in worker_sweep:
+        engine = _make_engine(BATCH_SIZE)
+        engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
+        engine.stats.reset()
+        engine.start(workers=workers)
+        try:
+            tickets = [engine.submit(sample) for sample in samples]
+            for ticket in tickets:
+                ticket.result(timeout=60.0)
+        finally:
+            engine.stop()
+        rows.append(_row(engine, f"online-w{workers}", workers=workers))
+
+    unbatched, batched = (row["throughput_rps"] for row in rows[:2])
+    online = {row["workers"]: row["throughput_rps"] for row in rows[2:]}
+    scaling = online[max(online)] / online[min(online)] if len(online) > 1 else 1.0
     return ExperimentResult(
-        experiment="serving throughput (batched vs unbatched)",
+        experiment="serving throughput (batching + worker pool)",
         rows=rows,
-        notes=f"batching speedup {batched / unbatched:.2f}x over "
-              f"{REQUESTS} requests at max batch {BATCH_SIZE}",
+        notes=(
+            f"batching speedup {batched / unbatched:.2f}x; worker-pool "
+            f"speedup {scaling:.2f}x at {max(online)} vs {min(online)} "
+            f"worker(s) over {requests} requests at max batch {BATCH_SIZE}"
+        ),
     )
 
 
@@ -96,13 +128,32 @@ def bench_serving_throughput(benchmark):
     assert throughput[1] >= throughput[0]  # batched >= unbatched
     hit_rates = result.column("cache_hit_rate")
     assert all(rate > 0 for rate in hit_rates)
+    assert all(rate > 0 for rate in result.column("throughput_rps"))
 
 
 def main() -> None:
-    result = run()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: fewer requests, 1- and 2-worker sweep only",
+    )
+    parser.add_argument(
+        "--workers",
+        type=lambda text: tuple(int(n) for n in text.split(",")),
+        default=None,
+        help="comma-separated worker counts to sweep (default 1,2,4)",
+    )
+    args = parser.parse_args()
+    requests = 16 if args.smoke else REQUESTS
+    sweep = args.workers or ((1, 2) if args.smoke else WORKER_SWEEP)
+
+    result = run(requests=requests, worker_sweep=sweep)
     print(result.as_table())
+    print(result.notes)
     throughput = result.column("throughput_rps")
     assert throughput[1] >= throughput[0], "batching did not help"
+    assert all(rate > 0 for rate in throughput), "a mode served nothing"
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ checkpoint.
 Run:  python examples/serve_compressed.py
 """
 
+import asyncio
 import tempfile
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.core import SmartExchangeConfig, apply_smartexchange
 from repro.datasets import synthetic_cifar10
 from repro.serving import (
     ArtifactStore,
+    AsyncInferenceEngine,
     BatchPolicy,
     InferenceEngine,
     ModelRegistry,
@@ -72,18 +74,33 @@ def main() -> None:
         samples = list(dataset.test_images[:16])
         offline = engine.predict_many(samples, batched=True)
 
-        print("serving the same requests through the online batcher ...")
-        with engine:
+        print("serving the same requests through a 4-worker pool ...")
+        engine.start(workers=4)
+        try:
             tickets = [engine.submit(sample) for sample in samples]
             online = [ticket.result(timeout=30.0) for ticket in tickets]
+        finally:
+            engine.stop()
+
+        print("and once more through the asyncio front door ...")
+
+        async def serve_async():
+            async with AsyncInferenceEngine(engine, workers=2) as serving:
+                return await serving.predict_many(samples)
+
+        from_async = asyncio.run(serve_async())
 
         model.eval()
         direct = nn.predict(model, dataset.test_images[:16]).argmax(axis=1)
         served = np.stack(online).argmax(axis=1)
         agreement = float((served == direct).mean())
         drift = float(np.abs(np.stack(online) - np.stack(offline)).max())
+        async_drift = float(
+            np.abs(np.stack(from_async) - np.stack(online)).max()
+        )
         print(f"served vs direct label agreement: {agreement:6.1%}")
         print(f"online vs offline max drift     : {drift:.2e}")
+        print(f"async vs threaded max drift     : {async_drift:.2e}")
         print(engine.report())
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
@@ -125,6 +126,24 @@ class Module:
                 key = f"{mod_name}.{buf_name}" if mod_name else buf_name
                 if key in state:
                     buf[...] = state[key]
+
+    # ------------------------------------------------------------------
+    # Cloning (used by the serving worker pool: one skeleton per worker)
+    # ------------------------------------------------------------------
+    def clone(self) -> "Module":
+        """An independent deep copy of this module tree.
+
+        The clone shares no storage with the original: parameters,
+        buffers, and child modules are all copied, while the aliasing
+        between attribute references and the ``_parameters`` /
+        ``_modules`` / ``_buffers`` registries is preserved (so
+        ``load_state_dict`` and in-place weight installs keep working
+        on the copy).  Gradients are dropped — a clone starts clean.
+        """
+        cloned = copy.deepcopy(self)
+        for param in cloned.parameters():
+            param.grad = None
+        return cloned
 
     # ------------------------------------------------------------------
     # Forward

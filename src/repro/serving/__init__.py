@@ -12,9 +12,11 @@ its PE lines; this package does the same at the systems layer:
 - :mod:`repro.serving.batching` — request queueing and batch coalescing
   (:class:`BatchPolicy`, :class:`RequestQueue`).
 - :mod:`repro.serving.engine` — the batched inference engine
-  (:class:`InferenceEngine`), offline and online paths.
+  (:class:`InferenceEngine`), offline, online (worker pool), and async
+  (:class:`AsyncInferenceEngine`) paths.
 - :mod:`repro.serving.stats` — throughput / latency percentiles /
-  cache behavior / storage-vs-compute telemetry (:class:`ServingStats`).
+  per-worker counters / cache behavior / storage-vs-compute telemetry
+  (:class:`ServingStats`).
 
 Typical use::
 
@@ -26,9 +28,13 @@ Typical use::
     registry = ModelRegistry(store)
     engine = InferenceEngine(skeleton, registry.get("vgg19"))
     logits = engine.predict(batch)            # offline
-    with engine:                              # online, batched
-        tickets = [engine.submit(x) for x in samples]
-        rows = [t.result(timeout=5) for t in tickets]
+    engine.start(workers=4)                   # online, batched pool
+    tickets = [engine.submit(x) for x in samples]
+    rows = [t.result(timeout=5) for t in tickets]
+    engine.stop()
+
+    async with AsyncInferenceEngine(engine, workers=4) as serving:
+        rows = await serving.predict_many(samples)
 """
 
 from repro.serving.artifacts import (
@@ -46,16 +52,21 @@ from repro.serving.batching import (
     RequestQueue,
     Ticket,
     coalesce,
+    per_ticket_error,
     stack_batch,
 )
-from repro.serving.engine import InferenceEngine, ServingError
+from repro.serving.engine import (
+    AsyncInferenceEngine,
+    InferenceEngine,
+    ServingError,
+)
 from repro.serving.rebuild import (
     RebuildCacheStats,
     RebuildEngine,
     rebuild_layer_weight,
 )
 from repro.serving.registry import CompressedModelHandle, ModelRegistry
-from repro.serving.stats import ServingStats, percentiles
+from repro.serving.stats import ServingStats, WorkerStats, percentiles
 
 __all__ = [
     "ArtifactStore",
@@ -75,9 +86,12 @@ __all__ = [
     "Ticket",
     "QueueClosed",
     "coalesce",
+    "per_ticket_error",
     "stack_batch",
     "InferenceEngine",
+    "AsyncInferenceEngine",
     "ServingError",
     "ServingStats",
+    "WorkerStats",
     "percentiles",
 ]

@@ -12,13 +12,35 @@ ndarray (one sample, no batch axis); the engine stacks them on axis 0.
 
 from __future__ import annotations
 
+import copy
 import itertools
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
+
+
+def per_ticket_error(error: BaseException) -> BaseException:
+    """A fresh exception instance to set on one ticket.
+
+    One batch failure fans out to many tickets, and each ticket's
+    ``result()`` may re-raise from a different waiter thread.  Raising
+    the *same* instance concurrently mutates its ``__traceback__`` and
+    chains ``__context__`` across unrelated callers — so every ticket
+    gets its own copy (same type and args where possible, a
+    ``RuntimeError`` wrapper otherwise), with the original attached as
+    ``__cause__``.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:
+        clone = None
+    if clone is error or type(clone) is not type(error):
+        clone = RuntimeError(f"batch failed: {error!r}")
+    clone.__cause__ = error
+    return clone
 
 
 @dataclass(frozen=True)
@@ -36,21 +58,53 @@ class BatchPolicy:
 
 
 class Ticket:
-    """Handle returned by ``submit``: blocks until the result is set."""
+    """Handle returned by ``submit``: blocks until the result is set.
+
+    Completion can also be observed without blocking via
+    :meth:`add_done_callback` (this is what the asyncio front door
+    uses to bridge worker threads back into an event loop).
+    """
 
     def __init__(self, request_id: int) -> None:
         self.request_id = request_id
         self._done = threading.Event()
         self._result: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Ticket"], None]] = []
+        self._callback_lock = threading.Lock()
 
     def set_result(self, value: np.ndarray) -> None:
         self._result = value
-        self._done.set()
+        self._fire()
 
     def set_error(self, error: BaseException) -> None:
         self._error = error
-        self._done.set()
+        self._fire()
+
+    def _fire(self) -> None:
+        with self._callback_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                # A broken observer (e.g. an asyncio bridge whose event
+                # loop already closed) must not propagate into the
+                # serving worker that completed the ticket.
+                pass
+
+    def add_done_callback(self, fn: Callable[["Ticket"], None]) -> None:
+        """Run ``fn(ticket)`` once the ticket completes.
+
+        Runs immediately (in the calling thread) if the ticket is
+        already done; otherwise runs in the thread that completes it.
+        """
+        with self._callback_lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def done(self) -> bool:
         return self._done.is_set()

@@ -9,17 +9,25 @@ cache — so the dense model only ever exists layer-by-layer, bounded by
 the cache capacity, while the full network state lives in the small
 {B, Ce, index} payloads.
 
-Two serving paths share the same execution core:
+Three serving paths share the same execution core:
 
 - **offline** — :meth:`predict` / :meth:`predict_many` run (coalesced)
   batches synchronously; this is what the benchmarks drive.
-- **online** — :meth:`start` launches a worker thread that drains a
-  :class:`~repro.serving.batching.RequestQueue`; :meth:`submit` returns
-  a ticket that resolves to that sample's output row.
+- **online** — :meth:`start` launches a pool of worker threads that
+  drain one shared :class:`~repro.serving.batching.RequestQueue`;
+  :meth:`submit` returns a ticket that resolves to that sample's
+  output row.  Each worker owns its *own* skeleton (cloned from the
+  engine's), so weight installation and forward passes never contend
+  across workers; all workers share the engine's (internally locked)
+  rebuild cache.
+- **async** — :meth:`submit_async` (or the
+  :class:`AsyncInferenceEngine` wrapper) bridges tickets into asyncio
+  futures for event-loop callers.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from typing import Dict, List, Optional, Sequence
@@ -34,6 +42,7 @@ from repro.serving.batching import (
     RequestQueue,
     Ticket,
     coalesce,
+    per_ticket_error,
     stack_batch,
 )
 from repro.serving.rebuild import RebuildEngine
@@ -43,6 +52,44 @@ from repro.serving.stats import ServingStats
 
 class ServingError(Exception):
     """Engine-level configuration or execution failure."""
+
+
+def _map_modules(
+    model: nn.Module, handle: CompressedModelHandle
+) -> Dict[str, nn.Module]:
+    """Resolve each bundle layer to its module in ``model`` (validated)."""
+    modules = dict(model.named_modules())
+    mapped: Dict[str, nn.Module] = {}
+    for name, spec in handle.layer_specs.items():
+        module = modules.get(name)
+        if module is None:
+            raise ServingError(
+                f"model has no module {name!r} for bundle {handle.key}"
+            )
+        weight = getattr(module, "weight", None)
+        if weight is None or tuple(weight.data.shape) != spec.weight_shape:
+            raise ServingError(
+                f"module {name!r} weight shape "
+                f"{None if weight is None else weight.data.shape} does "
+                f"not match bundle layer shape {spec.weight_shape}"
+            )
+        mapped[name] = module
+    return mapped
+
+
+class _Worker:
+    """One pool member: a thread plus its privately-owned skeleton."""
+
+    def __init__(
+        self,
+        index: int,
+        model: nn.Module,
+        modules: Dict[str, nn.Module],
+    ) -> None:
+        self.index = index
+        self.model = model
+        self.modules = modules
+        self.thread: Optional[threading.Thread] = None
 
 
 class InferenceEngine:
@@ -64,44 +111,26 @@ class InferenceEngine:
             specs=handle.layer_specs,
             capacity_bytes=cache_bytes,
         )
-        self._modules = self._map_modules()
+        self._modules = _map_modules(model, handle)
         if handle.residual is not None:
             model.load_state_dict(handle.residual, strict=False)
         model.eval()
-        # Serializes install-weights + forward between the offline path
-        # and the online worker thread (they share one model skeleton
-        # and one rebuild cache).
+        # Serializes install-weights + forward on the engine's own
+        # skeleton, which the offline path uses directly.  Pool workers
+        # never take it: each owns a private clone of the skeleton.
         self._forward_lock = threading.Lock()
+        # Serializes start()/stop() transitions (worker bookkeeping).
+        self._lifecycle_lock = threading.Lock()
         self._queue: Optional[RequestQueue] = None
-        self._worker: Optional[threading.Thread] = None
+        self._workers: List[_Worker] = []
         self._worker_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
-    # Layer mapping / weight installation
+    # Weight installation
     # ------------------------------------------------------------------
-    def _map_modules(self) -> Dict[str, nn.Module]:
-        modules = dict(self.model.named_modules())
-        mapped: Dict[str, nn.Module] = {}
-        for name, spec in self.handle.layer_specs.items():
-            module = modules.get(name)
-            if module is None:
-                raise ServingError(
-                    f"model has no module {name!r} for bundle "
-                    f"{self.handle.key}"
-                )
-            weight = getattr(module, "weight", None)
-            if weight is None or tuple(weight.data.shape) != spec.weight_shape:
-                raise ServingError(
-                    f"module {name!r} weight shape "
-                    f"{None if weight is None else weight.data.shape} does "
-                    f"not match bundle layer shape {spec.weight_shape}"
-                )
-            mapped[name] = module
-        return mapped
-
-    def _install_weights(self) -> None:
-        """Pull every compressed layer through the rebuild cache."""
-        for name, module in self._modules.items():
+    def _install_weights(self, modules: Dict[str, nn.Module]) -> None:
+        """Pull every compressed layer through the shared rebuild cache."""
+        for name, module in modules.items():
             module.weight.data[...] = self.rebuild.layer_weight(name)
 
     # ------------------------------------------------------------------
@@ -112,7 +141,7 @@ class InferenceEngine:
         batch = np.asarray(batch)
         start = time.perf_counter()
         with self._forward_lock:
-            self._install_weights()
+            self._install_weights(self._modules)
             output = self.model(batch)
             result = output.data if isinstance(output, nn.Tensor) else output
         latency = time.perf_counter() - start
@@ -140,42 +169,122 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Online path
     # ------------------------------------------------------------------
-    def start(self) -> "InferenceEngine":
-        """Launch the background batching worker."""
-        if self._worker is not None:
-            raise ServingError("engine already started")
-        self._queue = RequestQueue(self.policy)
-        self._worker_error = None
-        self._worker = threading.Thread(
-            target=self._serve_loop,
-            args=(self._queue,),
-            name="repro-serving-worker",
-            daemon=True,
-        )
-        self._worker.start()
+    @property
+    def worker_count(self) -> int:
+        """Workers currently tracked (0 when stopped)."""
+        with self._lifecycle_lock:
+            return len(self._workers)
+
+    def start(self, workers: int = 1) -> "InferenceEngine":
+        """Launch ``workers`` background threads draining one queue.
+
+        Every worker gets its own skeleton — cloned from the engine's
+        after residual state was installed — so N workers run
+        install-weights + forward concurrently without sharing mutable
+        model state.  They share the engine's rebuild cache (internally
+        locked, cold misses de-duplicated) and its stats accumulator.
+        """
+        if workers < 1:
+            raise ServingError("workers must be >= 1")
+        with self._lifecycle_lock:
+            if self._workers:
+                raise ServingError("engine already started")
+            queue = RequestQueue(self.policy)
+            self._worker_error = None
+            pool: List[_Worker] = []
+            for index in range(workers):
+                skeleton = self.model.clone()
+                pool.append(
+                    _Worker(index, skeleton, _map_modules(skeleton, self.handle))
+                )
+            for worker in pool:
+                worker.thread = threading.Thread(
+                    target=self._serve_loop,
+                    args=(queue, worker),
+                    name=f"repro-serving-worker-{worker.index}",
+                    daemon=True,
+                )
+            self._queue = queue
+            self._workers = pool
+            for worker in pool:
+                worker.thread.start()
         return self
 
     def submit(self, sample: np.ndarray) -> Ticket:
-        """Enqueue one sample (no batch axis); returns its ticket."""
-        if self._queue is None:
+        """Enqueue one sample (no batch axis); returns its ticket.
+
+        Safe against a concurrent :meth:`stop`: the queue reference is
+        captured once, and a submission that loses the race surfaces as
+        :class:`ServingError`, never ``AttributeError``.
+        """
+        queue = self._queue
+        error = self._worker_error
+        if error is not None:
+            raise ServingError("worker died") from error
+        if queue is None:
             raise ServingError("engine not started; call start() first")
-        if self._worker_error is not None:
-            raise ServingError("worker died") from self._worker_error
-        return self._queue.submit(sample)
+        try:
+            return queue.submit(sample)
+        except QueueClosed as closed:
+            raise ServingError("engine is stopping; queue closed") from closed
+
+    def submit_async(
+        self,
+        sample: np.ndarray,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> "asyncio.Future[np.ndarray]":
+        """Enqueue one sample and return an asyncio future for its row.
+
+        Must be called with a running event loop (or an explicit
+        ``loop``); the ticket's completion — which happens on a worker
+        thread — is marshalled back with ``call_soon_threadsafe``.
+        """
+        loop = loop or asyncio.get_running_loop()
+        ticket = self.submit(sample)
+        future: "asyncio.Future[np.ndarray]" = loop.create_future()
+
+        def resolve(done: Ticket) -> None:
+            def set_on_loop() -> None:
+                if future.cancelled():
+                    return
+                try:
+                    future.set_result(done.result(timeout=0))
+                except BaseException as error:
+                    future.set_exception(error)
+
+            loop.call_soon_threadsafe(set_on_loop)
+
+        ticket.add_done_callback(resolve)
+        return future
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Drain the queue, stop the worker, and surface its errors."""
-        if self._queue is None:
-            return
-        self._queue.close()
-        worker, self._worker = self._worker, None
-        self._queue = None  # engine stays restartable even on timeout
-        if worker is not None:
-            worker.join(timeout)
-            if worker.is_alive():
-                raise ServingError("worker did not stop in time")
-        if self._worker_error is not None:
-            raise ServingError("worker died") from self._worker_error
+        """Drain the queue, stop all workers, and surface their errors.
+
+        Workers are only forgotten after they actually joined: on a
+        join timeout the engine raises but keeps tracking the pool (and
+        the closed queue), so a subsequent :meth:`start` refuses to
+        launch a second pool over still-running threads.  Calling
+        :meth:`stop` again retries the join.
+        """
+        with self._lifecycle_lock:
+            queue, workers = self._queue, self._workers
+            if queue is None and not workers:
+                return
+            if queue is not None:
+                queue.close()
+            deadline = time.perf_counter() + timeout
+            for worker in workers:
+                remaining = max(0.0, deadline - time.perf_counter())
+                worker.thread.join(remaining)
+            stragglers = [w for w in workers if w.thread.is_alive()]
+            if stragglers:
+                raise ServingError(
+                    f"{len(stragglers)} worker(s) did not stop in time"
+                )
+            self._workers = []
+            self._queue = None
+            if self._worker_error is not None:
+                raise ServingError("worker died") from self._worker_error
 
     def __enter__(self) -> "InferenceEngine":
         return self.start()
@@ -183,7 +292,7 @@ class InferenceEngine:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
-    def _serve_loop(self, queue: RequestQueue) -> None:
+    def _serve_loop(self, queue: RequestQueue, worker: _Worker) -> None:
         try:
             while True:
                 try:
@@ -192,34 +301,42 @@ class InferenceEngine:
                     return
                 if not requests:
                     continue
-                self._run_requests(requests)
+                self._run_requests(requests, worker)
         except BaseException as error:  # pragma: no cover - defensive
             self._worker_error = error
             self._fail_pending(queue, error)
 
-    def _run_requests(self, requests: List[Request]) -> None:
+    def _run_requests(self, requests: List[Request], worker: _Worker) -> None:
         start = time.perf_counter()
         try:
             batch = stack_batch(requests)
-            with self._forward_lock:
-                self._install_weights()
-                output = self.model(batch)
-                result = (
-                    output.data if isinstance(output, nn.Tensor) else output
-                )
+            self._install_weights(worker.modules)
+            output = worker.model(batch)
+            result = output.data if isinstance(output, nn.Tensor) else output
         except Exception as error:
             # A bad batch (e.g. malformed sample shape) fails its own
             # tickets; the worker keeps serving subsequent requests.
-            for request in requests:
-                request.ticket.set_error(error)
+            self._fail_tickets(requests, error)
             self.stats.record_failed(len(requests))
             return
         finish = time.perf_counter()
-        self.stats.record_batch(len(requests), finish - start)
+        self.stats.record_batch(
+            len(requests), finish - start, worker=worker.index
+        )
         rows = np.asarray(result)
         for request, row in zip(requests, rows):
             self.stats.record_request(finish - request.enqueued_at)
             request.ticket.set_result(np.asarray(row))
+
+    @staticmethod
+    def _fail_tickets(
+        requests: Sequence[Request], error: BaseException
+    ) -> None:
+        # Each ticket gets its own exception instance: result() may
+        # re-raise from many waiter threads at once, and a shared
+        # instance would have its __traceback__ mutated concurrently.
+        for request in requests:
+            request.ticket.set_error(per_ticket_error(error))
 
     def _fail_pending(
         self, queue: RequestQueue, error: BaseException
@@ -230,8 +347,7 @@ class InferenceEngine:
                 requests = queue.next_batch(timeout=0.0)
                 if not requests:
                     return
-                for request in requests:
-                    request.ticket.set_error(error)
+                self._fail_tickets(requests, error)
         except QueueClosed:
             pass
 
@@ -246,3 +362,64 @@ class InferenceEngine:
         return self.stats.report(
             rebuild=self.rebuild.stats, manifest=self.handle.manifest
         )
+
+
+class AsyncInferenceEngine:
+    """asyncio front door over an :class:`InferenceEngine` pool.
+
+    Wraps an engine's online path in coroutines::
+
+        async with AsyncInferenceEngine(engine, workers=4) as serving:
+            rows = await serving.predict_many(samples)
+
+    Worker threads still do the serving; the wrapper only bridges
+    ticket completion into the caller's event loop, so thousands of
+    in-flight requests cost one future each instead of one blocked
+    thread each.
+    """
+
+    def __init__(self, engine: InferenceEngine, workers: int = 1) -> None:
+        self.engine = engine
+        self.workers = workers
+
+    async def __aenter__(self) -> "AsyncInferenceEngine":
+        return self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    def start(self) -> "AsyncInferenceEngine":
+        self.engine.start(workers=self.workers)
+        return self
+
+    async def stop(self, timeout: float = 10.0) -> None:
+        # stop() joins threads; keep the event loop responsive.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: self.engine.stop(timeout))
+
+    async def predict(self, sample: np.ndarray) -> np.ndarray:
+        """One sample in, one output row out."""
+        return await self.engine.submit_async(sample)
+
+    async def predict_many(
+        self, samples: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Submit all samples concurrently; rows return in order.
+
+        If any sample fails, the first failure is raised — after every
+        future has completed, so no exception goes unretrieved.  A
+        submit that fails mid-loop (engine stopping) first drains the
+        futures already in flight for the same reason.
+        """
+        futures: List["asyncio.Future[np.ndarray]"] = []
+        try:
+            for sample in samples:
+                futures.append(self.engine.submit_async(sample))
+        except BaseException:
+            await asyncio.gather(*futures, return_exceptions=True)
+            raise
+        rows = await asyncio.gather(*futures, return_exceptions=True)
+        for row in rows:
+            if isinstance(row, BaseException):
+                raise row
+        return list(rows)

@@ -16,6 +16,7 @@ trade: ``bytes_saved`` is the dense footprint *not* held resident,
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -78,6 +79,13 @@ class RebuildEngine:
     ``capacity_bytes`` bounds the *dense* bytes held in the cache (the
     analogue of the accelerator's on-chip weight buffer).  ``None``
     means unbounded — every layer is rebuilt at most once.
+
+    The engine is thread-safe and shared by the serving worker pool:
+    cache bookkeeping is guarded by one internal lock, rebuild compute
+    runs *outside* it (hits never wait behind a rebuild of another
+    layer), and concurrent cold misses on the same layer are
+    de-duplicated — the first caller rebuilds while the rest wait on a
+    per-layer in-flight event and then read the cached result.
     """
 
     def __init__(
@@ -95,6 +103,10 @@ class RebuildEngine:
         self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._cached_bytes = 0
         self.stats = RebuildCacheStats()
+        # Guards the cache, the stats, and the in-flight table.  Rebuild
+        # compute itself never runs under this lock.
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, "_InFlightRebuild"] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -103,11 +115,13 @@ class RebuildEngine:
 
     @property
     def cached_bytes(self) -> int:
-        return self._cached_bytes
+        with self._lock:
+            return self._cached_bytes
 
     @property
     def cached_layers(self) -> List[str]:
-        return list(self._cache)
+        with self._lock:
+            return list(self._cache)
 
     @property
     def total_dense_bytes(self) -> int:
@@ -133,29 +147,60 @@ class RebuildEngine:
 
         The returned array is the cache's copy and is marked read-only;
         callers install it with ``module.weight.data[...] = w``.
+
+        Safe for concurrent callers: hits return immediately, and only
+        one thread rebuilds a cold layer at a time — the rest wait on
+        the in-flight rebuild and share its result (counted as hits,
+        since they paid no rebuild compute).  If a rebuild fails, its
+        waiters retry, so each caller raises its own exception.
         """
         if name not in self._specs:
             raise KeyError(f"unknown layer {name!r}")
-        cached = self._cache.get(name)
-        if cached is not None:
-            self.stats.hits += 1
-            self._cache.move_to_end(name)
-            return cached
-        self.stats.misses += 1
-        weight = self._rebuild(name)
-        self._admit(name, weight)
+        while True:
+            with self._lock:
+                cached = self._cache.get(name)
+                if cached is not None:
+                    self.stats.hits += 1
+                    self._cache.move_to_end(name)
+                    return cached
+                flight = self._inflight.get(name)
+                if flight is None:
+                    flight = self._inflight[name] = _InFlightRebuild()
+                    self.stats.misses += 1
+                    break
+            flight.event.wait()
+            if flight.weight is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                return flight.weight
+            # The in-flight rebuild failed; loop and rebuild ourselves.
+        try:
+            weight, seconds = self._rebuild(name)
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(name, None)
+            flight.event.set()
+            raise
+        flight.weight = weight  # published before event.set()
+        with self._lock:
+            self.stats.rebuilds += 1
+            self.stats.rebuilt_bytes += weight.nbytes
+            self.stats.rebuild_seconds += seconds
+            self._admit(name, weight)
+            self._inflight.pop(name, None)
+        flight.event.set()
         return weight
 
-    def _rebuild(self, name: str) -> np.ndarray:
+    def _rebuild(self, name: str) -> "tuple[np.ndarray, float]":
+        """Decode one layer (no locking, no stats): (weight, seconds)."""
         start = time.perf_counter()
         weight = rebuild_layer_weight(self._payloads[name], self._specs[name])
-        self.stats.rebuild_seconds += time.perf_counter() - start
-        self.stats.rebuilds += 1
-        self.stats.rebuilt_bytes += weight.nbytes
+        seconds = time.perf_counter() - start
         weight.setflags(write=False)
-        return weight
+        return weight, seconds
 
     def _admit(self, name: str, weight: np.ndarray) -> None:
+        # Caller holds self._lock.
         if self.capacity_bytes is not None and weight.nbytes > self.capacity_bytes:
             return  # larger than the whole cache: serve uncached
         self._cache[name] = weight
@@ -175,5 +220,16 @@ class RebuildEngine:
             self.layer_weight(name)
 
     def clear(self) -> None:
-        self._cache.clear()
-        self._cached_bytes = 0
+        with self._lock:
+            self._cache.clear()
+            self._cached_bytes = 0
+
+
+class _InFlightRebuild:
+    """One cold-miss rebuild in progress; waiters block on ``event``."""
+
+    __slots__ = ("event", "weight")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.weight: Optional[np.ndarray] = None

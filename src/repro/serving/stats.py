@@ -12,6 +12,7 @@ the compressed form keep out of memory per request.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -34,8 +35,36 @@ def percentiles(
     }
 
 
+class WorkerStats:
+    """Per-worker slice of the engine's counters (one pool member)."""
+
+    __slots__ = ("batches", "requests", "busy_seconds")
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.requests = 0
+        self.busy_seconds = 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "busy_seconds": self.busy_seconds,
+        }
+
+
 class ServingStats:
-    """Thread-safe accumulator for the inference engine's counters."""
+    """Thread-safe accumulator for the inference engine's counters.
+
+    With a worker pool, summed per-batch busy seconds overstate elapsed
+    time (N workers each busy for T seconds overlap in wall-clock), so
+    the accumulator also tracks the observed *pool* serving window —
+    from the start of the first worker batch to the end of the last —
+    and :attr:`throughput_rps` divides pooled requests by that window
+    (offline-only use keeps the busy-seconds denominator).
+    ``busy_seconds`` stays available; ``busy_seconds / wall_seconds``
+    over a pool-only run is the realized parallelism.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -44,6 +73,9 @@ class ServingStats:
         self.batch_sizes: List[int] = []
         self.busy_seconds = 0.0
         self.failed_requests = 0
+        self.per_worker: Dict[int, WorkerStats] = {}
+        self._window_start: Optional[float] = None
+        self._window_end: Optional[float] = None
 
     def reset(self) -> None:
         with self._lock:
@@ -52,13 +84,32 @@ class ServingStats:
             self.batch_sizes = []
             self.busy_seconds = 0.0
             self.failed_requests = 0
+            self.per_worker = {}
+            self._window_start = None
+            self._window_end = None
 
     # ------------------------------------------------------------------
-    def record_batch(self, batch_size: int, latency_s: float) -> None:
+    def record_batch(
+        self, batch_size: int, latency_s: float, worker: Optional[int] = None
+    ) -> None:
+        end = time.perf_counter()
+        start = end - float(latency_s)
         with self._lock:
             self.batch_sizes.append(int(batch_size))
             self.batch_latencies_s.append(float(latency_s))
             self.busy_seconds += float(latency_s)
+            if worker is not None:
+                # The wall window tracks pool serving only, so offline
+                # batches (and the idle gaps around them) never dilute
+                # the pooled throughput.
+                if self._window_start is None or start < self._window_start:
+                    self._window_start = start
+                if self._window_end is None or end > self._window_end:
+                    self._window_end = end
+                stats = self.per_worker.setdefault(worker, WorkerStats())
+                stats.batches += 1
+                stats.requests += int(batch_size)
+                stats.busy_seconds += float(latency_s)
 
     def record_request(self, latency_s: float) -> None:
         """End-to-end latency of one request (queueing + execution)."""
@@ -86,8 +137,34 @@ class ServingStats:
         return float(np.mean(self.batch_sizes))
 
     @property
+    def wall_seconds(self) -> float:
+        """Observed *pool* serving window (first worker batch start →
+        last worker batch end); 0.0 when only the offline path ran."""
+        if self._window_start is None or self._window_end is None:
+            return 0.0
+        return self._window_end - self._window_start
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.per_worker)
+
+    @property
     def throughput_rps(self) -> float:
-        """Requests per second of engine busy time."""
+        """Requests per second of serving time.
+
+        For pool serving (per-worker records exist) this is pooled
+        requests over the pool's wall-clock window, so overlapping
+        workers count as parallelism instead of as extra elapsed time
+        and offline batches never dilute the number.  For the offline
+        path it stays total requests over summed busy seconds —
+        offline calls may be sporadic, and idle gaps between them are
+        not serving time.
+        """
+        if self.per_worker:
+            pooled = sum(w.requests for w in self.per_worker.values())
+            if self.wall_seconds == 0.0:
+                return 0.0
+            return pooled / self.wall_seconds
         if self.busy_seconds == 0.0:
             return 0.0
         return self.request_count / self.busy_seconds
@@ -107,7 +184,14 @@ class ServingStats:
                 "mean_batch_size": self.mean_batch_size,
                 "throughput_rps": self.throughput_rps,
                 "busy_seconds": self.busy_seconds,
+                "wall_seconds": self.wall_seconds,
+                "workers": self.worker_count,
             }
+            if self.per_worker:
+                out["per_worker"] = {
+                    index: stats.as_dict()
+                    for index, stats in sorted(self.per_worker.items())
+                }
             for key, value in percentiles(self.request_latencies_s).items():
                 out[f"request_latency_{key}_ms"] = value * 1e3
             for key, value in percentiles(self.batch_latencies_s).items():
@@ -135,10 +219,17 @@ class ServingStats:
     ) -> str:
         """Human-readable one-screen summary."""
         summary = self.summary(rebuild=rebuild, manifest=manifest)
+        per_worker = summary.pop("per_worker", {})
         lines = ["== serving stats =="]
         for key, value in summary.items():
             if isinstance(value, float):
                 lines.append(f"{key:30s} {value:12.4g}")
             else:
                 lines.append(f"{key:30s} {value!s:>12s}")
+        for index, worker in per_worker.items():
+            lines.append(
+                f"worker[{index}]".ljust(30)
+                + f" {worker['batches']} batches / {worker['requests']} "
+                f"requests / {worker['busy_seconds']:.4g}s busy"
+            )
         return "\n".join(lines)
