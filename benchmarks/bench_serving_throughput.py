@@ -1,4 +1,4 @@
-"""Bench: batched vs unbatched, and worker-pool scaling, of the engine.
+"""Bench: batched vs unbatched, worker-pool scaling, and the codec axis.
 
 Publishes a compressed CNN to a temporary artifact store, then serves
 the same synthetic request stream through
@@ -7,6 +7,13 @@ forward (unbatched baseline), coalesced under the engine's batch policy
 (offline), and through the online worker pool at a sweep of worker
 counts — and reports requests/s (wall-clock), realized parallelism, and
 the rebuild-cache hit rate.
+
+``--codec`` picks the weight codec the bundle is published under
+(``smartexchange`` by default) so every encoding in the registry gets
+the identical treatment; passing a comma-separated list (or ``all``)
+instead runs the apples-to-apples codec comparison — same requests,
+same pool — reporting per-codec throughput, payload bytes, and the
+realized storage-vs-compute trade.
 
 Runs standalone (``python benchmarks/bench_serving_throughput.py``,
 ``--smoke`` for a CI-sized run, ``--workers 1,2,4`` to pick the sweep)
@@ -23,6 +30,12 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro import nn
+from repro.compression import (
+    FP8Quantizer,
+    LinearQuantizer,
+    MagnitudePruner,
+    Pow2Quantizer,
+)
 from repro.core import SmartExchangeConfig, apply_smartexchange
 from repro.experiments.common import ExperimentResult
 from repro.serving import ArtifactStore, BatchPolicy, InferenceEngine, ModelRegistry
@@ -31,6 +44,22 @@ REQUESTS = 64
 BATCH_SIZE = 16
 IMAGE_SHAPE = (3, 16, 16)
 WORKER_SWEEP = (1, 2, 4)
+
+# How each codec's bundle gets produced for "bench-cnn".
+BENCH_CODECS = (
+    "smartexchange",
+    "dense",
+    "quant-linear",
+    "quant-pow2",
+    "quant-fp8",
+    "prune-csr",
+)
+_BASELINE_COMPRESSORS = {
+    "quant-linear": lambda: LinearQuantizer(8),
+    "quant-pow2": lambda: Pow2Quantizer(4),
+    "quant-fp8": lambda: FP8Quantizer(),
+    "prune-csr": lambda: MagnitudePruner(0.6),
+}
 
 
 def _build_model(seed: int) -> nn.Module:
@@ -49,13 +78,27 @@ def _build_model(seed: int) -> nn.Module:
     )
 
 
-def _make_engine(batch_size: int) -> InferenceEngine:
+def _publish(store: ArtifactStore, codec: str) -> None:
     model = _build_model(seed=0)
-    config = SmartExchangeConfig(max_iterations=6, target_row_sparsity=0.5)
-    _, report = apply_smartexchange(model, config, model_name="bench-cnn")
+    if codec == "smartexchange":
+        config = SmartExchangeConfig(max_iterations=6, target_row_sparsity=0.5)
+        _, report = apply_smartexchange(model, config, model_name="bench-cnn")
+        store.publish(report, config, model=model)
+    elif codec == "dense":
+        store.publish_model(model, name="bench-cnn", codec="dense")
+    elif codec in _BASELINE_COMPRESSORS:
+        report = _BASELINE_COMPRESSORS[codec]().compress(model, "bench-cnn")
+        store.publish_compressed(report, name="bench-cnn", model=model)
+    else:
+        raise SystemExit(
+            f"unknown --codec {codec!r}; pick from {', '.join(BENCH_CODECS)}"
+        )
+
+
+def _make_engine(batch_size: int, codec: str = "smartexchange") -> InferenceEngine:
     root = tempfile.mkdtemp(prefix="repro-serving-bench-")
     store = ArtifactStore(root)
-    store.publish(report, config, model=model)
+    _publish(store, codec)
     registry = ModelRegistry(store)
     return InferenceEngine(
         _build_model(seed=1),
@@ -69,6 +112,7 @@ def _row(engine: InferenceEngine, mode: str, workers: int) -> dict:
     busy, wall = summary["busy_seconds"], summary["wall_seconds"]
     return {
         "mode": mode,
+        "codec": summary["codec"],
         "workers": workers,
         "requests": summary["requests"],
         "mean_batch": summary["mean_batch_size"],
@@ -81,20 +125,24 @@ def _row(engine: InferenceEngine, mode: str, workers: int) -> dict:
     }
 
 
-def run(requests: int = REQUESTS, worker_sweep=WORKER_SWEEP) -> ExperimentResult:
+def run(
+    requests: int = REQUESTS,
+    worker_sweep=WORKER_SWEEP,
+    codec: str = "smartexchange",
+) -> ExperimentResult:
     rng = np.random.default_rng(0)
     samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
 
     rows = []
     for label, batched in (("offline-unbatched", False), ("offline-batched", True)):
-        engine = _make_engine(BATCH_SIZE)
+        engine = _make_engine(BATCH_SIZE, codec)
         engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
         engine.stats.reset()
         engine.predict_many(samples, batched=batched)
         rows.append(_row(engine, label, workers=0))
 
     for workers in worker_sweep:
-        engine = _make_engine(BATCH_SIZE)
+        engine = _make_engine(BATCH_SIZE, codec)
         engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
         engine.stats.reset()
         engine.start(workers=workers)
@@ -110,13 +158,59 @@ def run(requests: int = REQUESTS, worker_sweep=WORKER_SWEEP) -> ExperimentResult
     online = {row["workers"]: row["throughput_rps"] for row in rows[2:]}
     scaling = online[max(online)] / online[min(online)] if len(online) > 1 else 1.0
     return ExperimentResult(
-        experiment="serving throughput (batching + worker pool)",
+        experiment=f"serving throughput (batching + worker pool, {codec})",
         rows=rows,
         notes=(
-            f"batching speedup {batched / unbatched:.2f}x; worker-pool "
-            f"speedup {scaling:.2f}x at {max(online)} vs {min(online)} "
-            f"worker(s) over {requests} requests at max batch {BATCH_SIZE}"
+            f"codec {codec}: batching speedup {batched / unbatched:.2f}x; "
+            f"worker-pool speedup {scaling:.2f}x at {max(online)} vs "
+            f"{min(online)} worker(s) over {requests} requests at max "
+            f"batch {BATCH_SIZE}"
         ),
+    )
+
+
+def run_codec_sweep(
+    codec_list=BENCH_CODECS, requests: int = REQUESTS, workers: int = 2
+) -> ExperimentResult:
+    """Same request stream, one bundle per codec: the realized trade."""
+    rng = np.random.default_rng(0)
+    samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
+    rows = []
+    for codec in codec_list:
+        engine = _make_engine(BATCH_SIZE, codec)
+        engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
+        engine.stats.reset()
+        engine.start(workers=workers)
+        try:
+            tickets = [engine.submit(sample) for sample in samples]
+            for ticket in tickets:
+                ticket.result(timeout=60.0)
+        finally:
+            engine.stop()
+        summary = engine.summary()
+        rows.append({
+            "codec": summary["codec"],
+            "throughput_rps": summary["throughput_rps"],
+            "p50_ms": summary["request_latency_p50_ms"],
+            "payload_bytes": summary["bundle_payload_bytes"],
+            "dense_bytes": summary["bundle_dense_bytes"],
+            "bytes_saved": summary["bundle_bytes_saved"],
+            "rebuild_ms": summary["rebuild_rebuild_seconds"] * 1e3,
+            "cache_hit_rate": summary["rebuild_hit_rate"],
+        })
+    dense = next(r for r in rows if r["codec"] == "dense") if any(
+        r["codec"] == "dense" for r in rows
+    ) else None
+    notes = f"{requests} requests through a {workers}-worker pool per codec"
+    if dense is not None:
+        best = max(rows, key=lambda r: r["bytes_saved"])
+        notes += (
+            f"; best storage trade: {best['codec']} stores "
+            f"{best['payload_bytes']} vs dense {dense['payload_bytes']} bytes"
+        )
+    return ExperimentResult(
+        experiment="serving throughput across weight codecs", rows=rows,
+        notes=notes,
     )
 
 
@@ -144,11 +238,33 @@ def main() -> None:
         default=None,
         help="comma-separated worker counts to sweep (default 1,2,4)",
     )
+    parser.add_argument(
+        "--codec",
+        default="smartexchange",
+        help=(
+            "weight codec to publish and serve (one of "
+            f"{', '.join(BENCH_CODECS)}); a comma-separated list or "
+            "'all' runs the cross-codec comparison instead"
+        ),
+    )
     args = parser.parse_args()
     requests = 16 if args.smoke else REQUESTS
     sweep = args.workers or ((1, 2) if args.smoke else WORKER_SWEEP)
 
-    result = run(requests=requests, worker_sweep=sweep)
+    codec_list = (
+        BENCH_CODECS if args.codec == "all"
+        else tuple(args.codec.split(","))
+    )
+    if len(codec_list) > 1:
+        result = run_codec_sweep(
+            codec_list, requests=requests, workers=max(sweep)
+        )
+        print(result.as_table())
+        print(result.notes)
+        assert all(r > 0 for r in result.column("throughput_rps"))
+        return
+
+    result = run(requests=requests, worker_sweep=sweep, codec=codec_list[0])
     print(result.as_table())
     print(result.notes)
     throughput = result.column("throughput_rps")

@@ -18,21 +18,39 @@ computation when running DNN inference.  This package contains:
   accelerator and the four baseline accelerators (DianNao, SCNN,
   Cambricon-X, Bit-pragmatic).
 - :mod:`repro.experiments` — one harness per table/figure in the paper.
+- :mod:`repro.codecs` — the pluggable weight-codec API (encode /
+  decode / registry) shared by compression and serving.
 - :mod:`repro.serving` — the compressed-artifact store and the batched
   rebuild-on-read inference engine (the paper's trade at the serving
-  layer).
+  layer), serving any registered codec.
 """
 
 import importlib
 
 from repro.version import __version__
 
-__all__ = ["__version__", "serving"]
+_SUBPACKAGES = (
+    "codecs",
+    "compression",
+    "core",
+    "datasets",
+    "experiments",
+    "hardware",
+    "nn",
+    "serving",
+    "sparsity",
+)
+
+__all__ = ["__version__", *_SUBPACKAGES]
 
 
 def __getattr__(name: str):
-    # Lazy so that `import repro` stays cheap; `repro.serving` resolves
-    # on first touch.
-    if name == "serving":
-        return importlib.import_module("repro.serving")
+    # Lazy so that `import repro` stays cheap; subpackages resolve on
+    # first attribute touch (e.g. `repro.codecs`, `repro.serving`).
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f"repro.{name}")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBPACKAGES))

@@ -1,0 +1,37 @@
+"""Dense passthrough codec: the no-trade baseline.
+
+Stores the weight as plain FP32 — what a conventional checkpoint
+holds.  Serving a ``dense`` bundle through the rebuild-on-read engine
+measures the pipeline overhead every other codec's gains are judged
+against (the paper's uncompressed baseline column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.base import LayerPayload, check_codec
+
+
+class DenseCodec:
+    """FP32 passthrough: ``decode(encode(w))`` is ``w`` at FP32."""
+
+    name = "dense"
+
+    def encode(self, weight: np.ndarray) -> LayerPayload:
+        weight = np.asarray(weight)
+        return LayerPayload(
+            codec=self.name,
+            weight_shape=tuple(weight.shape),
+            arrays={"weight": weight.astype(np.float32)},
+        )
+
+    def decode(self, payload: LayerPayload) -> np.ndarray:
+        check_codec(payload, self.name)
+        if payload.meta.get("empty"):
+            return np.zeros(payload.weight_shape)
+        return payload.arrays["weight"].astype(np.float64)
+
+    def payload_bytes(self, payload: LayerPayload) -> int:
+        check_codec(payload, self.name)
+        return payload.nbytes

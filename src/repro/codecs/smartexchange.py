@@ -1,0 +1,191 @@
+"""SmartExchange as a codec: the paper's {B, Ce, index} stored form.
+
+Wraps :mod:`repro.core.layer_transform` (encode: decompose into a tiny
+basis and a sparse power-of-2 coefficient matrix) and
+:mod:`repro.core.serialize` (the packed DRAM image: nibble codes,
+row-index bitmap, 8-bit basis) behind the :class:`~repro.codecs.base.
+WeightCodec` protocol, so the serving layer treats the paper's encoding
+exactly like every baseline.
+
+The payload is self-describing: the reshape plan and per-matrix scalar
+metadata travel in ``meta``, so decoding needs no
+:class:`~repro.core.config.SmartExchangeConfig` — the config shapes the
+*encoder's* search only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.codecs.base import (
+    CodecError,
+    LayerPayload,
+    check_codec,
+    decode_empty,
+    empty_payload,
+)
+from repro.core.config import SmartExchangeConfig
+from repro.core.layer_transform import (
+    LayerCompression,
+    compress_conv_weight,
+    compress_fc_weight,
+)
+from repro.core.reshape import ReshapePlan, from_matrices
+from repro.core.serialize import decomposition_payload, payload_weight
+
+
+def plan_to_json(plan: ReshapePlan) -> Dict:
+    return {
+        "kind": plan.kind,
+        "original_shape": list(plan.original_shape),
+        "basis_size": plan.basis_size,
+        "padded_cols": plan.padded_cols,
+        "matrices_per_unit": plan.matrices_per_unit,
+        "unit_rows": plan.unit_rows,
+        "slice_rows": plan.slice_rows,
+    }
+
+
+def plan_from_json(data: Dict) -> ReshapePlan:
+    return ReshapePlan(
+        kind=data["kind"],
+        original_shape=tuple(data["original_shape"]),
+        basis_size=int(data["basis_size"]),
+        padded_cols=int(data["padded_cols"]),
+        matrices_per_unit=int(data["matrices_per_unit"]),
+        unit_rows=int(data["unit_rows"]),
+        slice_rows=int(data["slice_rows"]),
+    )
+
+
+def _weight_shape(kind: str, plan: ReshapePlan) -> tuple:
+    if kind == "pointwise":
+        m, c = plan.original_shape
+        return (m, c, 1, 1)
+    return tuple(plan.original_shape)
+
+
+class SmartExchangeCodec:
+    """{B, Ce, index} decomposition of conv (4-D) and FC (2-D) weights."""
+
+    name = "smartexchange"
+
+    def __init__(self, config: Optional[SmartExchangeConfig] = None) -> None:
+        self.config = config or SmartExchangeConfig()
+
+    # ------------------------------------------------------------------
+    def encode(self, weight: np.ndarray) -> LayerPayload:
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.size == 0:
+            return empty_payload(self.name, weight.shape)
+        if weight.ndim == 4:
+            compression = compress_conv_weight(weight, self.config)
+        elif weight.ndim == 2:
+            compression = compress_fc_weight(weight, self.config)
+        else:
+            raise CodecError(
+                f"smartexchange encodes 2-D or 4-D weights, got {weight.ndim}-D"
+            )
+        return self.payload_from_compression(compression, self.config)
+
+    def payload_from_compression(
+        self, compression: LayerCompression, config: SmartExchangeConfig
+    ) -> LayerPayload:
+        """Pack an existing decomposition (no re-fitting)."""
+        arrays: Dict[str, np.ndarray] = {}
+        matrices: List[Dict] = []
+        for j, decomposition in enumerate(compression.decompositions):
+            image = decomposition_payload(decomposition, config)
+            arrays[f"m{j}.index"] = image["index"]
+            arrays[f"m{j}.codes"] = image["codes"]
+            arrays[f"m{j}.basis"] = image["basis"]
+            p_min, p_max, rows, cols = (int(v) for v in image["meta"])
+            matrices.append({
+                "p_min": p_min,
+                "p_max": p_max,
+                "rows": rows,
+                "cols": cols,
+                "basis_scale": float(image["basis_scale"][0]),
+            })
+        return LayerPayload(
+            codec=self.name,
+            weight_shape=_weight_shape(compression.kind, compression.plan),
+            arrays=arrays,
+            meta={
+                "kind": compression.kind,
+                "plan": plan_to_json(compression.plan),
+                "matrices": matrices,
+            },
+        )
+
+    def payload_from_matrices(
+        self,
+        matrix_payloads: List[Dict[str, np.ndarray]],
+        kind: str,
+        plan: ReshapePlan,
+    ) -> LayerPayload:
+        """Adapt one layer of the legacy ``core.serialize`` npz format."""
+        arrays: Dict[str, np.ndarray] = {}
+        matrices: List[Dict] = []
+        for j, image in enumerate(matrix_payloads):
+            arrays[f"m{j}.index"] = np.asarray(image["index"])
+            arrays[f"m{j}.codes"] = np.asarray(image["codes"])
+            arrays[f"m{j}.basis"] = np.asarray(image["basis"])
+            p_min, p_max, rows, cols = (int(v) for v in image["meta"])
+            matrices.append({
+                "p_min": p_min,
+                "p_max": p_max,
+                "rows": rows,
+                "cols": cols,
+                "basis_scale": float(image["basis_scale"][0]),
+            })
+        return LayerPayload(
+            codec=self.name,
+            weight_shape=_weight_shape(kind, plan),
+            arrays=arrays,
+            meta={
+                "kind": kind,
+                "plan": plan_to_json(plan),
+                "matrices": matrices,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def decode(self, payload: LayerPayload) -> np.ndarray:
+        check_codec(payload, self.name)
+        if payload.meta.get("empty"):
+            return decode_empty(payload)
+        plan = plan_from_json(payload.meta["plan"])
+        rebuilt: List[np.ndarray] = []
+        for j, scalars in enumerate(payload.meta["matrices"]):
+            rebuilt.append(payload_weight({
+                "index": payload.arrays[f"m{j}.index"],
+                "codes": payload.arrays[f"m{j}.codes"],
+                "basis": payload.arrays[f"m{j}.basis"],
+                "meta": np.array([
+                    scalars["p_min"], scalars["p_max"],
+                    scalars["rows"], scalars["cols"],
+                ], dtype=np.int32),
+                "basis_scale": np.array([scalars["basis_scale"]]),
+            }))
+        weight = from_matrices(rebuilt, plan)
+        if payload.meta["kind"] == "pointwise":
+            weight = weight.reshape(payload.weight_shape)
+        return weight
+
+    def payload_bytes(self, payload: LayerPayload) -> int:
+        check_codec(payload, self.name)
+        if payload.meta.get("empty"):
+            return 0
+        image_bytes = payload.nbytes
+        # one ΩP anchor byte per matrix, as in core.serialize
+        return image_bytes + len(payload.meta["matrices"])
+
+
+def payload_matrix_count(payload: LayerPayload) -> int:
+    """Number of decomposed matrices stored in a smartexchange payload."""
+    if payload.meta.get("empty"):
+        return 0
+    return len(payload.meta["matrices"])

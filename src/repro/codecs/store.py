@@ -1,0 +1,174 @@
+"""Persisting codec payloads: the ``weights.npz`` image of a bundle.
+
+Format 2 (written here) stores any codec's payloads generically::
+
+    __format__ = [2]
+    __layers__ = [n]
+    L{i}.name  = [layer name]        L{i}.codec = [registry name]
+    L{i}.shape = weight shape        L{i}.meta  = [meta as JSON]
+    L{i}.keys  = array-key list      L{i}.A.<key> = payload array
+
+Format 1 is the legacy SmartExchange-only layout of
+:mod:`repro.core.serialize` (PR-1/PR-2 bundles); the reader adapts it
+into :class:`~repro.codecs.base.LayerPayload` on the fly so every
+consumer sees one payload type regardless of bundle age.
+
+Reading is *lazy*: :class:`LazyPayloadFile` materializes only the tiny
+per-layer index up front and decompresses a layer's arrays the first
+time that layer is requested — cold models come up without paying for
+layers nobody has asked for yet.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.codecs.base import CodecError, LayerPayload, get_codec
+
+PAYLOAD_FORMAT = 2
+_LEGACY_FORMAT = 1
+_LEGACY_KEYS = ("index", "codes", "basis", "meta", "basis_scale")
+
+
+def write_payloads_npz(path, payloads: Mapping[str, LayerPayload]) -> int:
+    """Write ``{layer: payload}`` as a format-2 npz; returns the total
+    analytic payload bytes (per each payload's codec accounting)."""
+    arrays: Dict[str, np.ndarray] = {
+        "__format__": np.array([PAYLOAD_FORMAT]),
+        "__layers__": np.array([len(payloads)]),
+    }
+    total = 0
+    for i, (name, payload) in enumerate(payloads.items()):
+        total += get_codec(payload.codec).payload_bytes(payload)
+        keys = sorted(payload.arrays)
+        arrays[f"L{i}.name"] = np.array([name])
+        arrays[f"L{i}.codec"] = np.array([payload.codec])
+        arrays[f"L{i}.shape"] = np.array(payload.weight_shape, dtype=np.int64)
+        arrays[f"L{i}.meta"] = np.array([json.dumps(payload.meta)])
+        arrays[f"L{i}.keys"] = np.array(keys, dtype=np.str_)
+        for key in keys:
+            arrays[f"L{i}.A.{key}"] = payload.arrays[key]
+    np.savez_compressed(path, **arrays)
+    return total
+
+
+class LazyPayloadFile(Mapping):
+    """Lazy ``{layer name: LayerPayload}`` view over a ``weights.npz``.
+
+    Holds the npz member index open and decompresses per layer on first
+    access (cached thereafter).  Thread-safe: the serving worker pool
+    may fault in different layers concurrently, and the underlying
+    zipfile handle is not safe for concurrent reads.
+
+    ``legacy_layers`` supplies ``{name: (kind, plan)}`` for format-1
+    files, whose npz carries no reshape metadata of its own (it lived
+    in the manifest); format-2 files ignore it.
+    """
+
+    def __init__(self, path, legacy_layers: Optional[Dict] = None) -> None:
+        self._npz = np.load(path, allow_pickle=False)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._cache: Dict[str, LayerPayload] = {}
+        self._legacy_layers = legacy_layers or {}
+        version = int(self._npz["__format__"][0])
+        if version == PAYLOAD_FORMAT:
+            self._legacy = False
+        elif version == _LEGACY_FORMAT:
+            self._legacy = True
+        else:
+            raise CodecError(f"unsupported weights format {version}")
+        # The index (names, codecs, matrix counts) is tiny; read it
+        # eagerly so iteration and membership never touch array data.
+        self._index: Dict[str, Tuple[int, int]] = {}
+        for i in range(int(self._npz["__layers__"][0])):
+            name = str(self._npz[f"L{i}.name"][0])
+            count = (
+                int(self._npz[f"L{i}.count"][0]) if self._legacy else 0
+            )
+            self._index[name] = (i, count)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> LayerPayload:
+        with self._lock:
+            cached = self._cache.get(name)
+            if cached is not None:
+                return cached
+            if name not in self._index:
+                raise KeyError(name)
+            if self._closed:
+                raise CodecError(
+                    f"payload file is closed; layer {name!r} was never loaded"
+                )
+            payload = (
+                self._load_legacy(name) if self._legacy
+                else self._load(name)
+            )
+            self._cache[name] = payload
+            # Once every layer is resident the zip handle has nothing
+            # left to serve; release the file descriptor.
+            if len(self._cache) == len(self._index):
+                self._close_locked()
+            return payload
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def _load(self, name: str) -> LayerPayload:
+        i, _ = self._index[name]
+        keys = [str(k) for k in self._npz[f"L{i}.keys"]]
+        return LayerPayload(
+            codec=str(self._npz[f"L{i}.codec"][0]),
+            weight_shape=tuple(int(d) for d in self._npz[f"L{i}.shape"]),
+            arrays={key: self._npz[f"L{i}.A.{key}"] for key in keys},
+            meta=json.loads(str(self._npz[f"L{i}.meta"][0])),
+        )
+
+    def _load_legacy(self, name: str) -> LayerPayload:
+        from repro.codecs.smartexchange import SmartExchangeCodec
+
+        spec = self._legacy_layers.get(name)
+        if spec is None:
+            raise CodecError(
+                f"legacy bundle layer {name!r} has no manifest plan"
+            )
+        kind, plan = spec
+        i, count = self._index[name]
+        matrices: List[Dict[str, np.ndarray]] = [
+            {key: self._npz[f"L{i}.M{j}.{key}"] for key in _LEGACY_KEYS}
+            for j in range(count)
+        ]
+        return SmartExchangeCodec().payload_from_matrices(matrices, kind, plan)
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> Dict[str, LayerPayload]:
+        """Load every layer now (eager callers, tests)."""
+        return {name: self[name] for name in self._index}
+
+    @property
+    def loaded_layers(self) -> List[str]:
+        with self._lock:
+            return sorted(self._cache)
+
+    def _close_locked(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._npz.close()
+
+    def close(self) -> None:
+        """Release the npz file handle (loaded layers stay readable)."""
+        with self._lock:
+            self._close_locked()
+
+    def __del__(self) -> None:  # best-effort fd cleanup on GC
+        try:
+            self._close_locked()
+        except Exception:
+            pass

@@ -1,25 +1,41 @@
-"""Common protocol and report for baseline compressors."""
+"""Common protocol and report for baseline compressors.
+
+Every compressor snaps model weights in place, accounts storage
+analytically (``compressed_bits``, the paper's CR definition), and —
+since the codec redesign — also emits one *servable*
+:class:`~repro.codecs.LayerPayload` per layer through its weight codec,
+so ``ArtifactStore.publish_compressed(report)`` turns any baseline into
+a bundle the inference engine can serve next to SmartExchange.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Protocol
+from typing import Dict, List, Optional, Protocol
 
 import numpy as np
 
 from repro import nn
+from repro.codecs import LayerPayload, WeightCodec
 from repro.core.storage import BITS_PER_MB, FP32_BITS
 
 
 @dataclass
 class CompressionReport:
-    """Storage outcome of applying one baseline technique to a model."""
+    """Storage outcome of applying one baseline technique to a model.
+
+    ``payloads`` holds the encoded, servable form of each compressed
+    layer and ``codec`` names the registry decoder for them; both are
+    filled by the compressor that produced the report.
+    """
 
     technique: str
     model_name: str
     original_elements: int = 0
     compressed_bits: int = 0
     layer_bits: Dict[str, int] = field(default_factory=dict)
+    codec: Optional[str] = None
+    payloads: Dict[str, LayerPayload] = field(default_factory=dict)
 
     @property
     def original_bits(self) -> int:
@@ -48,6 +64,17 @@ class Compressor(Protocol):
     def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
         """Apply the technique in place and account its storage."""
         ...  # pragma: no cover - protocol
+
+
+def record_payload(
+    report: CompressionReport,
+    layer_name: str,
+    weight: np.ndarray,
+    codec: WeightCodec,
+) -> None:
+    """Encode the (already snapped/pruned) weight into the report."""
+    report.codec = codec.name
+    report.payloads[layer_name] = codec.encode(weight)
 
 
 def weight_layers(model: nn.Module) -> List:

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
-from repro.compression.base import CompressionReport, count_other_elements, weight_layers
+from repro.codecs import PruneCSRCodec
+from repro.compression.base import (
+    CompressionReport,
+    count_other_elements,
+    record_payload,
+    weight_layers,
+)
 from repro.core.storage import FP32_BITS
 
 
@@ -23,6 +29,10 @@ class PruneThenQuantize:
         self.sparsity = sparsity
         self.quantizer = quantizer
         self.name = f"prune{sparsity:.0%}+{quantizer.name}"
+        # Servable form: sparse values + bitmap.  The values are stored
+        # at FP32 (the analytic bits above stay at the quantizer's
+        # width, matching the paper's CR accounting).
+        self._codec = PruneCSRCodec()
 
     def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
         report = CompressionReport(self.name, model_name)
@@ -37,6 +47,7 @@ class PruneThenQuantize:
             weight[...] = np.where(mask, self.quantizer.quantize(weight), 0.0)
             nnz = int(mask.sum())
             bits = nnz * self.quantizer.bits + count  # values + 1-bit map
+            record_payload(report, layer_name, weight, self._codec)
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits
             report.original_elements += count

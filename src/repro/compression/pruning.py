@@ -13,10 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
+from repro.codecs import PruneCSRCodec
 from repro.compression.base import (
     CompressionReport,
     bitmap_pruned_bits,
     count_other_elements,
+    record_payload,
     weight_layers,
 )
 from repro.core.model_transform import _bn_after_conv
@@ -32,6 +34,7 @@ class MagnitudePruner:
         self.sparsity = sparsity
         self.value_bits = value_bits
         self.name = f"magnitude-prune-{sparsity:.0%}"
+        self._codec = PruneCSRCodec()
 
     def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
         report = CompressionReport(self.name, model_name)
@@ -43,6 +46,7 @@ class MagnitudePruner:
                 threshold = np.partition(np.abs(weight).reshape(-1), k - 1)[k - 1]
                 weight[np.abs(weight) <= threshold] = 0.0
             bits = bitmap_pruned_bits(weight, self.value_bits)
+            record_payload(report, layer_name, weight, self._codec)
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits
             report.original_elements += count
@@ -61,6 +65,7 @@ class ChannelPruner:
         self.fraction = fraction
         self.value_bits = value_bits
         self.name = f"network-slimming-{fraction:.0%}"
+        self._codec = PruneCSRCodec()
 
     def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
         report = CompressionReport(self.name, model_name)
@@ -79,6 +84,7 @@ class ChannelPruner:
                     kept = count - drop * int(np.prod(weight.shape[1:]))
             # Structured pruning stores only surviving filters densely.
             bits = kept * self.value_bits
+            record_payload(report, layer_name, weight, self._codec)
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits
             report.original_elements += count
@@ -97,6 +103,7 @@ class FilterPruner:
         self.keep_ratio = keep_ratio
         self.value_bits = value_bits
         self.name = f"thinet-{int(round(keep_ratio * 100))}"
+        self._codec = PruneCSRCodec()
 
     def compress(self, model: nn.Module, model_name: str = "model") -> CompressionReport:
         report = CompressionReport(self.name, model_name)
@@ -113,6 +120,7 @@ class FilterPruner:
                     weight[victims] = 0.0
                     kept_elements = keep * int(np.prod(weight.shape[1:]))
             bits = kept_elements * self.value_bits
+            record_payload(report, layer_name, weight, self._codec)
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits
             report.original_elements += count

@@ -17,9 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
+from repro.codecs import DenseCodec, FP8Codec, LinearQuantCodec, Pow2QuantCodec
 from repro.compression.base import (
     CompressionReport,
     count_other_elements,
+    record_payload,
     weight_layers,
 )
 from repro.core.omega import fit_omega, quantize_to_omega
@@ -41,6 +43,9 @@ class LinearQuantizer:
             raise ValueError("bits must be >= 2")
         self.bits = bits
         self.name = name or f"linear-int{bits}"
+        # Beyond 32 bits the grid is finer than FP32 itself; the dense
+        # passthrough stores the snapped weights exactly.
+        self._codec = LinearQuantCodec(bits) if bits <= 32 else DenseCodec()
 
     def quantize(self, weight: np.ndarray) -> np.ndarray:
         max_abs = np.abs(weight).max()
@@ -55,6 +60,7 @@ class LinearQuantizer:
         for layer_name, module in weight_layers(model):
             weight = module.weight.data
             weight[...] = self.quantize(weight)
+            record_payload(report, layer_name, weight, self._codec)
             bits = weight.size * self.bits
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits
@@ -70,6 +76,12 @@ class DoReFaQuantizer:
             raise ValueError("bits must be >= 1")
         self.bits = bits
         self.name = f"dorefa-w{bits}"
+        # DoReFa's k-bit grid has 2**k - 1 symmetric steps, which is a
+        # (k+1)-bit symmetric linear grid: scale = denom / (2**k - 1);
+        # past 32 code bits, dense FP32 stores the grid exactly.
+        self._codec = (
+            LinearQuantCodec(bits + 1) if bits + 1 <= 32 else DenseCodec()
+        )
 
     def quantize(self, weight: np.ndarray) -> np.ndarray:
         if self.bits == 1:
@@ -89,6 +101,7 @@ class DoReFaQuantizer:
         for layer_name, module in weight_layers(model):
             weight = module.weight.data
             weight[...] = self.quantize(weight)
+            record_payload(report, layer_name, weight, self._codec)
             bits = weight.size * self.bits
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits
@@ -105,6 +118,7 @@ class FP8Quantizer:
         self.exponent_bits = exponent_bits
         self.mantissa_bits = mantissa_bits
         self.name = f"fp8-e{exponent_bits}m{mantissa_bits}"
+        self._codec = FP8Codec(exponent_bits, mantissa_bits)
 
     def quantize(self, weight: np.ndarray) -> np.ndarray:
         out = np.zeros_like(weight)
@@ -126,6 +140,7 @@ class FP8Quantizer:
         for layer_name, module in weight_layers(model):
             weight = module.weight.data
             weight[...] = self.quantize(weight)
+            record_payload(report, layer_name, weight, self._codec)
             bits = weight.size * 8
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits
@@ -141,6 +156,7 @@ class Pow2Quantizer:
             raise ValueError("bits must be >= 2")
         self.bits = bits
         self.name = f"pow2-w{bits}"
+        self._codec = Pow2QuantCodec(bits)
 
     def quantize(self, weight: np.ndarray) -> np.ndarray:
         exponent_count = 2 ** (self.bits - 1) - 1
@@ -152,6 +168,7 @@ class Pow2Quantizer:
         for layer_name, module in weight_layers(model):
             weight = module.weight.data
             weight[...] = self.quantize(weight)
+            record_payload(report, layer_name, weight, self._codec)
             bits = weight.size * self.bits
             report.layer_bits[layer_name] = bits
             report.compressed_bits += bits

@@ -1,10 +1,18 @@
 """Serving compressed models: the software side of the paper's trade.
 
 The accelerator stores {B, Ce, index} in DRAM and rebuilds weights in
-its PE lines; this package does the same at the systems layer:
+its PE lines; this package does the same at the systems layer — for
+*any* registered weight codec (:mod:`repro.codecs`), not just the
+SmartExchange encoding: a bundle's manifest names the codec that
+encoded each layer, and the rebuild engine dispatches decode through
+the registry, so ``dense`` / ``prune-csr`` / ``quant-*`` baselines
+serve through the identical pipeline.
 
 - :mod:`repro.serving.artifacts` — versioned on-disk bundles with a
-  manifest, sizes, and SHA-256 checksums (:class:`ArtifactStore`).
+  manifest, codec field, sizes, and SHA-256 checksums
+  (:class:`ArtifactStore`; ``publish`` for SmartExchange reports,
+  ``publish_compressed`` for baseline compressors, ``publish_model`` /
+  ``publish_payloads`` for anything else).
 - :mod:`repro.serving.registry` — named/versioned bundles loaded lazily
   and cached in memory (:class:`ModelRegistry`).
 - :mod:`repro.serving.rebuild` — dense weights rebuilt on read behind a
@@ -24,6 +32,7 @@ Typical use::
 
     store = ArtifactStore("artifacts/")
     manifest = store.publish(report, config, name="vgg19", model=model)
+    store.publish_model(model, name="vgg19-dense", codec="dense")
 
     registry = ModelRegistry(store)
     engine = InferenceEngine(skeleton, registry.get("vgg19"))

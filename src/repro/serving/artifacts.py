@@ -3,15 +3,32 @@
 A *bundle* is one published model version::
 
     <root>/<name>/<version>/
-        manifest.json   # layer specs, sizes, checksums, storage accounting
-        weights.npz     # the SmartExchange DRAM image (core.serialize)
-        residual.npz    # optional: every parameter/buffer NOT compressed
+        manifest.json   # layer specs, codec, sizes, checksums
+        weights.npz     # the encoded payloads (any registered codec)
+        residual.npz    # optional: every parameter/buffer NOT encoded
                         # (biases, BN state, skipped layers)
 
-``weights.npz`` holds only the {B, Ce, index} payloads; the manifest
-records, per layer, the :class:`~repro.core.reshape.ReshapePlan` needed
-to fold rebuilt matrices back into the layer weight, so a reader never
-needs the original model to reconstruct dense weights.
+``weights.npz`` holds one :class:`~repro.codecs.LayerPayload` per
+encoded layer; the manifest records, per layer, the codec that encoded
+it plus everything needed to validate the rebuilt tensor against the
+serving skeleton, so a reader never needs the original model (or the
+compressor that produced the bundle) to reconstruct dense weights.
+
+Three publish paths cover the whole compression zoo:
+
+- :meth:`ArtifactStore.publish` — a SmartExchange
+  :class:`~repro.core.model_transform.ModelCompressionReport` (the
+  paper's encoding; kept for compatibility with the PR-1 API).
+- :meth:`ArtifactStore.publish_compressed` — a baseline
+  :class:`~repro.compression.base.CompressionReport` whose compressor
+  emitted payloads (pruning / quantization baselines).
+- :meth:`ArtifactStore.publish_payloads` / :meth:`publish_model` — raw
+  ``{layer: LayerPayload}`` maps, e.g. the ``dense`` passthrough.
+
+Backward compatibility: manifests written before the codec field
+existed (format 1) and their SmartExchange-only ``weights.npz`` layout
+still load and serve — the missing ``codec`` defaults to
+``"smartexchange"`` and the legacy npz is adapted lazily on read.
 
 Checksums (SHA-256 per file) gate every load: a flipped byte raises
 :class:`ArtifactCorruptionError` instead of serving garbage weights.
@@ -26,20 +43,32 @@ import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.codecs import (
+    LayerPayload,
+    LazyPayloadFile,
+    SmartExchangeCodec,
+    WeightCodec,
+    encode_model,
+    get_codec,
+    payload_matrix_count,
+    write_payloads_npz,
+)
+from repro.codecs.smartexchange import plan_from_json, plan_to_json
 from repro.core.config import SmartExchangeConfig
 from repro.core.model_transform import ModelCompressionReport
 from repro.core.reshape import ReshapePlan
-from repro.core.serialize import load_payloads, save_compressed
 
-MANIFEST_FORMAT = 1
+MANIFEST_FORMAT = 2
+_SUPPORTED_FORMATS = (1, 2)
 WEIGHTS_FILE = "weights.npz"
 RESIDUAL_FILE = "residual.npz"
 MANIFEST_FILE = "manifest.json"
 FP32_BYTES = 4
+DEFAULT_CODEC = "smartexchange"  # what pre-codec manifests encoded
 
 
 class ArtifactError(Exception):
@@ -56,48 +85,42 @@ class ArtifactCorruptionError(ArtifactError):
 
 @dataclass(frozen=True)
 class LayerArtifactSpec:
-    """Everything needed to rebuild one layer's dense weight."""
+    """Everything needed to rebuild one layer's dense weight.
+
+    ``codec`` names the registered decoder; ``plan`` / ``matrix_count``
+    describe the SmartExchange reshape and are ``None`` / irrelevant
+    for other codecs (their payloads are self-describing).
+    """
 
     name: str
-    kind: str  # "conv" | "fc" | "pointwise"
+    kind: str  # "conv" | "fc" | "pointwise" | "weight"
     weight_shape: tuple  # shape of the tensor installed into the model
-    matrix_count: int
-    plan: ReshapePlan
+    codec: str = DEFAULT_CODEC
+    matrix_count: int = 1
+    plan: Optional[ReshapePlan] = None
 
     def to_json(self) -> Dict:
-        return {
+        out = {
             "name": self.name,
             "kind": self.kind,
             "weight_shape": list(self.weight_shape),
+            "codec": self.codec,
             "matrix_count": self.matrix_count,
-            "plan": {
-                "kind": self.plan.kind,
-                "original_shape": list(self.plan.original_shape),
-                "basis_size": self.plan.basis_size,
-                "padded_cols": self.plan.padded_cols,
-                "matrices_per_unit": self.plan.matrices_per_unit,
-                "unit_rows": self.plan.unit_rows,
-                "slice_rows": self.plan.slice_rows,
-            },
         }
+        if self.plan is not None:
+            out["plan"] = plan_to_json(self.plan)
+        return out
 
     @staticmethod
     def from_json(data: Dict) -> "LayerArtifactSpec":
-        plan = data["plan"]
+        plan = data.get("plan")
         return LayerArtifactSpec(
             name=data["name"],
             kind=data["kind"],
             weight_shape=tuple(data["weight_shape"]),
+            codec=data.get("codec", DEFAULT_CODEC),
             matrix_count=int(data["matrix_count"]),
-            plan=ReshapePlan(
-                kind=plan["kind"],
-                original_shape=tuple(plan["original_shape"]),
-                basis_size=int(plan["basis_size"]),
-                padded_cols=int(plan["padded_cols"]),
-                matrices_per_unit=int(plan["matrices_per_unit"]),
-                unit_rows=int(plan["unit_rows"]),
-                slice_rows=int(plan["slice_rows"]),
-            ),
+            plan=None if plan is None else plan_from_json(plan),
         )
 
     @property
@@ -114,7 +137,8 @@ class ArtifactManifest:
     model_name: str
     created: float
     layers: List[LayerArtifactSpec] = field(default_factory=list)
-    payload_bytes: int = 0  # analytic DRAM-image bytes (codes+index+basis)
+    codec: str = DEFAULT_CODEC  # bundle-level codec ("mixed" if varied)
+    payload_bytes: int = 0  # analytic encoded bytes (the DRAM image)
     dense_bytes: int = 0  # FP32 bytes of the weights the payloads replace
     compression_rate: float = 1.0
     vector_sparsity: float = 0.0
@@ -128,7 +152,7 @@ class ArtifactManifest:
 
     @property
     def bytes_saved(self) -> int:
-        """Dense FP32 bytes avoided by storing the SmartExchange form."""
+        """Dense FP32 bytes avoided by storing the encoded form."""
         return self.dense_bytes - self.payload_bytes
 
     def layer(self, name: str) -> LayerArtifactSpec:
@@ -144,6 +168,7 @@ class ArtifactManifest:
             "version": self.version,
             "model_name": self.model_name,
             "created": self.created,
+            "codec": self.codec,
             "layers": [spec.to_json() for spec in self.layers],
             "payload_bytes": self.payload_bytes,
             "dense_bytes": self.dense_bytes,
@@ -155,15 +180,18 @@ class ArtifactManifest:
 
     @staticmethod
     def from_json(data: Dict) -> "ArtifactManifest":
-        if int(data.get("format", -1)) != MANIFEST_FORMAT:
+        if int(data.get("format", -1)) not in _SUPPORTED_FORMATS:
             raise ArtifactError(
                 f"unsupported manifest format {data.get('format')!r}"
             )
+        # Pre-codec manifests (format 1) predate the codec field; every
+        # bundle they describe is the SmartExchange encoding.
         return ArtifactManifest(
             name=data["name"],
             version=data["version"],
             model_name=data["model_name"],
             created=float(data["created"]),
+            codec=data.get("codec", DEFAULT_CODEC),
             layers=[LayerArtifactSpec.from_json(l) for l in data["layers"]],
             payload_bytes=int(data["payload_bytes"]),
             dense_bytes=int(data["dense_bytes"]),
@@ -182,22 +210,25 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
-def _layer_spec(layer) -> LayerArtifactSpec:
-    """Derive the rebuild spec from a LayerCompression."""
-    plan = layer.plan
-    if layer.kind == "pointwise":
-        # Pointwise convs decompose on the (M, C) view; the installed
-        # tensor is the 4-D (M, C, 1, 1) weight.
-        m, c = plan.original_shape
-        weight_shape = (m, c, 1, 1)
-    else:
-        weight_shape = plan.original_shape
+def _spec_from_payload(name: str, payload: LayerPayload) -> LayerArtifactSpec:
+    """Derive the manifest spec for one encoded layer."""
+    if payload.codec == "smartexchange" and not payload.meta.get("empty"):
+        return LayerArtifactSpec(
+            name=name,
+            kind=payload.meta["kind"],
+            weight_shape=tuple(payload.weight_shape),
+            codec=payload.codec,
+            matrix_count=payload_matrix_count(payload),
+            plan=plan_from_json(payload.meta["plan"]),
+        )
+    ndim = len(payload.weight_shape)
+    kind = "conv" if ndim == 4 else "fc" if ndim == 2 else "weight"
     return LayerArtifactSpec(
-        name=layer.name,
-        kind=layer.kind,
-        weight_shape=weight_shape,
-        matrix_count=len(layer.decompositions),
-        plan=plan,
+        name=name,
+        kind=kind,
+        weight_shape=tuple(payload.weight_shape),
+        codec=payload.codec,
+        matrix_count=1,
     )
 
 
@@ -218,53 +249,65 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
-    def publish(
+    def publish_payloads(
         self,
-        report: ModelCompressionReport,
-        config: SmartExchangeConfig,
-        name: Optional[str] = None,
+        payloads: Mapping[str, LayerPayload],
+        name: str,
+        model_name: Optional[str] = None,
         version: Optional[str] = None,
         model=None,
+        compression_rate: Optional[float] = None,
+        vector_sparsity: float = 0.0,
     ) -> ArtifactManifest:
-        """Pack a transformed model into a new immutable bundle.
+        """Pack ``{layer: payload}`` into a new immutable bundle.
 
-        ``model`` (the live ``nn.Module``) is optional; when given, its
-        non-compressed parameters and buffers are stored alongside so the
-        serving engine can reconstruct the full network, not just the
-        decomposed weights.
+        The generic publish path every codec goes through.  ``model``
+        (the live ``nn.Module``) is optional; when given, its
+        non-encoded parameters and buffers are stored alongside so the
+        serving engine can reconstruct the full network.  A bundle may
+        mix codecs per layer (the manifest's bundle-level ``codec``
+        reads ``"mixed"`` then); decode dispatch is per layer.
         """
-        name = name or report.model_name
+        if not payloads:
+            raise ArtifactError("refusing to publish an empty payload map")
         version = version or self._next_version(name)
         bundle = self.root / name / version
         if bundle.exists():
             raise ArtifactError(f"bundle {name}:{version} already exists")
+        codec_set = sorted({p.codec for p in payloads.values()})
+        bundle_codec = codec_set[0] if len(codec_set) == 1 else "mixed"
         # Stage into a temp dir and rename into place so a mid-publish
         # failure never leaves a half-written (manifest-less) bundle.
         staging = bundle.parent / f".{version}.staging-{os.getpid()}"
         staging.mkdir(parents=True)
         try:
-            payload_bytes = save_compressed(
-                staging / WEIGHTS_FILE, report, config
-            )
+            payload_bytes = write_payloads_npz(staging / WEIGHTS_FILE, payloads)
             files = [WEIGHTS_FILE]
             if model is not None:
-                residual = _residual_state(
-                    model, [l.name for l in report.layers]
-                )
+                residual = _residual_state(model, list(payloads))
                 np.savez_compressed(staging / RESIDUAL_FILE, **residual)
                 files.append(RESIDUAL_FILE)
 
-            specs = [_layer_spec(layer) for layer in report.layers]
+            specs = [
+                _spec_from_payload(layer, payload)
+                for layer, payload in payloads.items()
+            ]
+            dense_bytes = sum(spec.dense_bytes for spec in specs)
+            if compression_rate is None:
+                compression_rate = (
+                    dense_bytes / payload_bytes if payload_bytes else 1.0
+                )
             manifest = ArtifactManifest(
                 name=name,
                 version=version,
-                model_name=report.model_name,
+                model_name=model_name or name,
                 created=time.time(),
                 layers=specs,
+                codec=bundle_codec,
                 payload_bytes=payload_bytes,
-                dense_bytes=sum(spec.dense_bytes for spec in specs),
-                compression_rate=report.compression_rate,
-                vector_sparsity=report.vector_sparsity,
+                dense_bytes=dense_bytes,
+                compression_rate=compression_rate,
+                vector_sparsity=vector_sparsity,
                 checksums={f: _sha256(staging / f) for f in files},
                 file_bytes={f: (staging / f).stat().st_size for f in files},
             )
@@ -275,6 +318,75 @@ class ArtifactStore:
             shutil.rmtree(staging, ignore_errors=True)
             raise
         return manifest
+
+    def publish(
+        self,
+        report: ModelCompressionReport,
+        config: SmartExchangeConfig,
+        name: Optional[str] = None,
+        version: Optional[str] = None,
+        model=None,
+    ) -> ArtifactManifest:
+        """Publish a SmartExchange-transformed model (the paper's path)."""
+        codec = SmartExchangeCodec(config)
+        payloads = {
+            layer.name: codec.payload_from_compression(layer, config)
+            for layer in report.layers
+        }
+        return self.publish_payloads(
+            payloads,
+            name=name or report.model_name,
+            model_name=report.model_name,
+            version=version,
+            model=model,
+            compression_rate=report.compression_rate,
+            vector_sparsity=report.vector_sparsity,
+        )
+
+    def publish_compressed(
+        self,
+        report,
+        name: Optional[str] = None,
+        version: Optional[str] = None,
+        model=None,
+    ) -> ArtifactManifest:
+        """Publish a baseline-compressor ``CompressionReport``.
+
+        Requires the compressor to have emitted payloads (every
+        :mod:`repro.compression` technique does).
+        """
+        if not getattr(report, "payloads", None):
+            raise ArtifactError(
+                f"compression report {report.technique!r} carries no "
+                "payloads; re-run the compressor on this repo version"
+            )
+        return self.publish_payloads(
+            report.payloads,
+            name=name or report.model_name,
+            model_name=report.model_name,
+            version=version,
+            model=model,
+            compression_rate=report.compression_rate,
+        )
+
+    def publish_model(
+        self,
+        model,
+        name: str,
+        codec: Union[str, WeightCodec] = "dense",
+        version: Optional[str] = None,
+    ) -> ArtifactManifest:
+        """Encode every conv / linear weight of ``model`` and publish.
+
+        The one-call path for baselines that need no compressor state —
+        e.g. ``codec="dense"`` for the uncompressed reference bundle.
+        """
+        if isinstance(codec, str):
+            codec = get_codec(codec)
+        payloads = encode_model(model, codec)
+        return self.publish_payloads(
+            payloads, name=name, version=version, model=model
+        )
 
     def _next_version(self, name: str) -> str:
         numbers = []
@@ -341,9 +453,19 @@ class ArtifactStore:
         return manifest
 
     def load_payloads(
-        self, name: str, version: Optional[str] = None, verify: bool = True
-    ) -> Dict[str, List[Dict[str, np.ndarray]]]:
-        """Checksum-verified raw payloads: {layer: [packed payload, ...]}.
+        self,
+        name: str,
+        version: Optional[str] = None,
+        verify: bool = True,
+        lazy: bool = True,
+    ) -> Mapping[str, LayerPayload]:
+        """Checksum-verified payload map: ``{layer: LayerPayload}``.
+
+        The returned mapping is *lazy*: only the per-layer index is
+        read up front, and a layer's arrays are decompressed on first
+        access (``lazy=False`` materializes everything now).  Legacy
+        SmartExchange-only ``weights.npz`` files are adapted on the fly
+        using the manifest's reshape plans.
 
         ``verify=False`` skips the hash pass — for callers that already
         ran :meth:`verify` on this bundle (e.g. the registry).
@@ -353,7 +475,15 @@ class ArtifactStore:
             else self.manifest(name, version)
         )
         bundle = self.root / manifest.name / manifest.version
-        return load_payloads(bundle / WEIGHTS_FILE)
+        legacy_layers = {
+            spec.name: (spec.kind, spec.plan)
+            for spec in manifest.layers
+            if spec.plan is not None
+        }
+        payloads = LazyPayloadFile(
+            bundle / WEIGHTS_FILE, legacy_layers=legacy_layers
+        )
+        return payloads.materialize() if not lazy else payloads
 
     def load_residual(
         self, name: str, version: Optional[str] = None, verify: bool = True

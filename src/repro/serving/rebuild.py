@@ -1,11 +1,15 @@
-"""Software rebuild engine: dense weights on demand from {B, Ce, index}.
+"""Software rebuild engine: dense weights on demand from encoded payloads.
 
 The serving-side analogue of the accelerator's RE
-(:mod:`repro.hardware.smartexchange.rebuild_engine`): the compressed
+(:mod:`repro.hardware.smartexchange.rebuild_engine`): the encoded
 payloads live in memory permanently (they are small), and dense layer
-weights are *rebuilt on read* — decode the nibble codes, dequantize the
-basis, multiply, and fold the matrices back through the layer's
-:class:`~repro.core.reshape.ReshapePlan`.
+weights are *rebuilt on read* by dispatching each layer's
+:class:`~repro.codecs.LayerPayload` through the codec registry — for
+the paper's ``smartexchange`` codec that means decoding nibble codes,
+dequantizing the basis, multiplying, and folding matrices back through
+the :class:`~repro.core.reshape.ReshapePlan`; for ``quant-*`` /
+``prune-csr`` / ``dense`` bundles the registered decoder runs instead,
+through the identical cache.
 
 A capacity-bounded LRU cache keeps hot layers dense so they pay the
 rebuild compute once; cold layers are evicted and rebuilt on their next
@@ -19,11 +23,12 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.codecs import LayerPayload, get_codec
 from repro.core.reshape import from_matrices
 from repro.core.serialize import payload_weight
 from repro.serving.artifacts import LayerArtifactSpec
@@ -63,12 +68,22 @@ class RebuildCacheStats:
 
 
 def rebuild_layer_weight(
-    payloads: List[Dict[str, np.ndarray]], spec: LayerArtifactSpec
+    payload: Union[LayerPayload, List[Dict[str, np.ndarray]]],
+    spec: LayerArtifactSpec,
 ) -> np.ndarray:
-    """Decode one layer's payloads into its dense weight tensor."""
-    matrices = [payload_weight(payload) for payload in payloads]
-    weight = from_matrices(matrices, spec.plan)
-    if spec.kind == "pointwise":
+    """Decode one layer's payload into its dense weight tensor.
+
+    Dispatches through the codec registry on ``payload.codec``.  A raw
+    list of SmartExchange matrix dicts (the pre-codec
+    ``core.serialize.load_payloads`` shape) is still accepted and
+    decoded via the spec's reshape plan.
+    """
+    if isinstance(payload, (list, tuple)):
+        matrices = [payload_weight(image) for image in payload]
+        weight = from_matrices(matrices, spec.plan)
+    else:
+        weight = get_codec(payload.codec).decode(payload)
+    if tuple(weight.shape) != tuple(spec.weight_shape):
         weight = weight.reshape(spec.weight_shape)
     return weight
 
@@ -90,7 +105,7 @@ class RebuildEngine:
 
     def __init__(
         self,
-        payloads: Dict[str, List[Dict[str, np.ndarray]]],
+        payloads: Mapping[str, LayerPayload],
         specs: Dict[str, LayerArtifactSpec],
         capacity_bytes: Optional[int] = None,
     ) -> None:

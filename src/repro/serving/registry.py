@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.codecs import LayerPayload
 from repro.serving.artifacts import (
     ArtifactManifest,
     ArtifactStore,
@@ -25,10 +26,15 @@ from repro.serving.artifacts import (
 
 @dataclass(frozen=True)
 class CompressedModelHandle:
-    """One loaded bundle, ready for a rebuild engine."""
+    """One loaded bundle, ready for a rebuild engine.
+
+    ``payloads`` is a (possibly lazy) ``{layer: LayerPayload}`` map —
+    layers of a lazily-loaded bundle are decompressed from the npz
+    member index on first access, so loading a handle is cheap.
+    """
 
     manifest: ArtifactManifest
-    payloads: Dict[str, List[Dict[str, np.ndarray]]]
+    payloads: Mapping[str, LayerPayload]
     residual: Optional[Dict[str, np.ndarray]]
 
     @property
@@ -38,6 +44,10 @@ class CompressedModelHandle:
     @property
     def version(self) -> str:
         return self.manifest.version
+
+    @property
+    def codec(self) -> str:
+        return self.manifest.codec
 
     @property
     def key(self) -> str:
@@ -95,7 +105,12 @@ class ModelRegistry:
             return self._loaded.setdefault(key, handle)
 
     def unload(self, name: str, version: Optional[str] = None) -> None:
-        """Drop cached handles for ``name`` (one version or all)."""
+        """Drop cached handles for ``name`` (one version or all).
+
+        The handle's lazy payload file closes itself once every layer
+        is cached or when the last engine holding it is collected, so
+        unloading never yanks the npz out from under a live engine.
+        """
         with self._lock:
             for key in list(self._loaded):
                 handle_name, _, handle_version = key.partition(":")

@@ -200,6 +200,7 @@ class ServingStats:
             for key, value in rebuild.as_dict().items():
                 out[f"rebuild_{key}"] = value
         if manifest is not None:
+            out["codec"] = manifest.codec
             out["bundle_payload_bytes"] = manifest.payload_bytes
             out["bundle_dense_bytes"] = manifest.dense_bytes
             out["bundle_bytes_saved"] = manifest.bytes_saved

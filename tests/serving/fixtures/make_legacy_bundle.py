@@ -1,0 +1,107 @@
+"""Regenerate the checked-in pre-codec (format-1) bundle fixture.
+
+PR 1/2 bundles were written before the manifest had a ``codec`` field:
+``weights.npz`` uses the SmartExchange-only ``core.serialize`` layout
+and ``manifest.json`` is format 1 with a reshape plan per layer and no
+codec keys anywhere.  The regression test ``test_legacy_bundle.py``
+must keep loading and serving exactly this shape, so the fixture is
+checked in; run this script (from the repo root) only if the fixture
+model itself needs to change::
+
+    PYTHONPATH=src python tests/serving/fixtures/make_legacy_bundle.py
+
+The checksums in the manifest are computed at generation time, so the
+fixture stays self-consistent regardless of numpy's npz byte output.
+"""
+
+import hashlib
+import json
+import shutil
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[3]))
+
+from repro.core import apply_smartexchange
+from repro.core.serialize import save_compressed
+
+from tests.serving.conftest import FAST, build_model
+
+FIXTURE_ROOT = Path(__file__).resolve().parent / "legacy"
+MODEL_NAME = "legacy-cnn"
+
+
+def spec_json(layer) -> dict:
+    plan = layer.plan
+    if layer.kind == "pointwise":
+        m, c = plan.original_shape
+        shape = [m, c, 1, 1]
+    else:
+        shape = list(plan.original_shape)
+    return {
+        "name": layer.name,
+        "kind": layer.kind,
+        "weight_shape": shape,
+        "matrix_count": len(layer.decompositions),
+        "plan": {
+            "kind": plan.kind,
+            "original_shape": list(plan.original_shape),
+            "basis_size": plan.basis_size,
+            "padded_cols": plan.padded_cols,
+            "matrices_per_unit": plan.matrices_per_unit,
+            "unit_rows": plan.unit_rows,
+            "slice_rows": plan.slice_rows,
+        },
+    }
+
+
+def main() -> None:
+    model = build_model(seed=0)
+    _, report = apply_smartexchange(model, FAST, model_name=MODEL_NAME)
+
+    bundle = FIXTURE_ROOT / MODEL_NAME / "v1"
+    shutil.rmtree(FIXTURE_ROOT, ignore_errors=True)
+    bundle.mkdir(parents=True)
+
+    payload_bytes = save_compressed(bundle / "weights.npz", report, FAST)
+    compressed = {f"{layer.name}.weight" for layer in report.layers}
+    residual = {
+        k: v for k, v in model.state_dict().items() if k not in compressed
+    }
+    np.savez_compressed(bundle / "residual.npz", **residual)
+
+    sha = lambda p: hashlib.sha256(p.read_bytes()).hexdigest()
+    specs = [spec_json(layer) for layer in report.layers]
+    manifest = {
+        "format": 1,
+        "name": MODEL_NAME,
+        "version": "v1",
+        "model_name": MODEL_NAME,
+        "created": time.time(),
+        "layers": specs,
+        "payload_bytes": payload_bytes,
+        "dense_bytes": sum(
+            int(np.prod(s["weight_shape"])) * 4 for s in specs
+        ),
+        "compression_rate": report.compression_rate,
+        "vector_sparsity": report.vector_sparsity,
+        "checksums": {
+            "weights.npz": sha(bundle / "weights.npz"),
+            "residual.npz": sha(bundle / "residual.npz"),
+        },
+        "file_bytes": {
+            "weights.npz": (bundle / "weights.npz").stat().st_size,
+            "residual.npz": (bundle / "residual.npz").stat().st_size,
+        },
+    }
+    (bundle / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True)
+    )
+    print(f"wrote {bundle} ({payload_bytes} payload bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,20 +67,19 @@ class TestPublish:
     def test_failed_publish_leaves_no_bundle(self, store, compressed_model):
         """A mid-publish crash must not wedge auto-versioning."""
         model, report, config = compressed_model
-        # Unpicklable layer name makes save_compressed blow up late.
         import repro.serving.artifacts as artifacts_mod
 
-        original = artifacts_mod.save_compressed
+        original = artifacts_mod.write_payloads_npz
 
         def explode(*args, **kwargs):
             raise OSError("disk full")
 
-        artifacts_mod.save_compressed = explode
+        artifacts_mod.write_payloads_npz = explode
         try:
             with pytest.raises(OSError):
                 store.publish(report, config)
         finally:
-            artifacts_mod.save_compressed = original
+            artifacts_mod.write_payloads_npz = original
         assert store.versions(report.model_name) == []
         model_dir = store.root / report.model_name
         assert not model_dir.exists() or not any(model_dir.iterdir())
@@ -129,11 +128,27 @@ class TestSerializeRoundTripThroughStore:
         payloads = store.load_payloads(manifest.name)
         for layer in report.layers:
             spec = manifest.layer(layer.name)
-            rebuilt = rebuild_layer_weight(payloads[layer.name], spec)
-            # Bitwise-identical to decoding the payloads by hand ...
-            reference = from_matrices(
-                [payload_weight(p) for p in payloads[layer.name]], spec.plan
-            ).reshape(spec.weight_shape)
+            payload = payloads[layer.name]
+            rebuilt = rebuild_layer_weight(payload, spec)
+            # Bitwise-identical to decoding the packed matrices by hand
+            # (reassembling the per-matrix DRAM images from the payload
+            # arrays and scalar metadata) ...
+            matrices = []
+            for j, scalars in enumerate(payload.meta["matrices"]):
+                matrices.append(payload_weight({
+                    "index": payload.arrays[f"m{j}.index"],
+                    "codes": payload.arrays[f"m{j}.codes"],
+                    "basis": payload.arrays[f"m{j}.basis"],
+                    "meta": np.array(
+                        [scalars["p_min"], scalars["p_max"],
+                         scalars["rows"], scalars["cols"]],
+                        dtype=np.int32,
+                    ),
+                    "basis_scale": np.array([scalars["basis_scale"]]),
+                }))
+            reference = from_matrices(matrices, spec.plan).reshape(
+                spec.weight_shape
+            )
             np.testing.assert_array_equal(rebuilt, reference)
             # ... and equal to the layer_transform rebuild up to the
             # 8-bit basis quantization that serialization applies.

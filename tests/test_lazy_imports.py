@@ -1,0 +1,43 @@
+"""`import repro` stays cheap: subpackages resolve lazily on attribute
+access and are advertised via ``__dir__``."""
+
+import subprocess
+import sys
+
+import repro
+
+
+def test_subpackages_resolve_lazily():
+    for name in ("codecs", "core", "compression", "hardware", "serving"):
+        module = getattr(repro, name)
+        assert module.__name__ == f"repro.{name}"
+
+
+def test_dir_lists_subpackages():
+    listed = dir(repro)
+    for name in ("codecs", "core", "compression", "hardware", "serving",
+                 "nn", "datasets", "sparsity", "experiments"):
+        assert name in listed
+
+
+def test_unknown_attribute_raises():
+    try:
+        repro.not_a_subpackage
+    except AttributeError as error:
+        assert "not_a_subpackage" in str(error)
+    else:
+        raise AssertionError("expected AttributeError")
+
+
+def test_bare_import_does_not_eagerly_load_subpackages():
+    # Run in a clean interpreter: `import repro` must not drag in the
+    # heavy subpackages until they are touched.
+    code = (
+        "import sys, repro; "
+        "heavy = [m for m in sys.modules if m.startswith('repro.') "
+        "and m not in ('repro.version',)]; "
+        "assert not heavy, heavy; "
+        "repro.codecs; "
+        "assert 'repro.codecs' in sys.modules"
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)
