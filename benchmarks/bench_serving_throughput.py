@@ -15,6 +15,15 @@ instead runs the apples-to-apples codec comparison — same requests,
 same pool — reporting per-codec throughput, payload bytes, and the
 realized storage-vs-compute trade.
 
+``--policy`` runs the admission-policy comparison instead: a *mixed*
+bundle (smartexchange convs + a quant-linear head) is served through a
+capacity-bounded rebuild cache under each admission policy — same
+requests, same pool, same capacity — reporting total rebuild seconds,
+hit rate, and rejected/evicted counts; ``--policy all`` sweeps
+``lru`` / ``cost-aware`` / ``size-aware`` plus a cost-aware-batching
+row, and asserts the cost-aware policy pays fewer rebuild seconds than
+LRU (the point of the cost model).
+
 Runs standalone (``python benchmarks/bench_serving_throughput.py``,
 ``--smoke`` for a CI-sized run, ``--workers 1,2,4`` to pick the sweep)
 or under pytest-benchmark like the other benches.
@@ -30,6 +39,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro import nn
+from repro.codecs import SmartExchangeCodec, get_codec
 from repro.compression import (
     FP8Quantizer,
     LinearQuantizer,
@@ -38,12 +48,24 @@ from repro.compression import (
 )
 from repro.core import SmartExchangeConfig, apply_smartexchange
 from repro.experiments.common import ExperimentResult
-from repro.serving import ArtifactStore, BatchPolicy, InferenceEngine, ModelRegistry
+from repro.serving import (
+    ADMISSION_POLICIES,
+    ArtifactStore,
+    CostAwareBatchPolicy,
+    InferenceEngine,
+    ModelRegistry,
+    StaticBatchPolicy,
+)
 
 REQUESTS = 64
 BATCH_SIZE = 16
 IMAGE_SHAPE = (3, 16, 16)
 WORKER_SWEEP = (1, 2, 4)
+POLICY_SWEEP = ("lru", "cost-aware", "size-aware")
+# Fraction of the model's dense bytes the bounded rebuild cache holds
+# in the policy sweep: small enough that every pass must evict or
+# reject something, big enough that the largest layer still fits.
+POLICY_CAPACITY_FRACTION = 0.95
 
 # How each codec's bundle gets produced for "bench-cnn".
 BENCH_CODECS = (
@@ -103,7 +125,44 @@ def _make_engine(batch_size: int, codec: str = "smartexchange") -> InferenceEngi
     return InferenceEngine(
         _build_model(seed=1),
         registry.get("bench-cnn"),
-        policy=BatchPolicy(max_batch_size=batch_size, max_wait_s=0.001),
+        policy=StaticBatchPolicy(max_batch_size=batch_size, max_wait_s=0.001),
+    )
+
+
+def _publish_mixed(store: ArtifactStore) -> None:
+    """The policy-sweep bundle: expensive convs, cheap head.
+
+    Convolutions are encoded with the paper's ``smartexchange`` codec
+    (a rebuild decodes nibble codes and folds matrices — slow per
+    byte); the classifier head with ``quant-linear`` (a rebuild is one
+    multiply — fast).  An admission policy that can tell them apart
+    has something to exploit.
+    """
+    model = _build_model(seed=0)
+    config = SmartExchangeConfig(max_iterations=6, target_row_sparsity=0.5)
+    se, ql = SmartExchangeCodec(config), get_codec("quant-linear")
+    payloads = {}
+    for name, module in model.named_modules():
+        if isinstance(module, nn.Conv2d):
+            payloads[name] = se.encode(module.weight.data)
+        elif isinstance(module, nn.Linear):
+            payloads[name] = ql.encode(module.weight.data)
+    store.publish_payloads(payloads, name="bench-cnn", model=model)
+
+
+def _make_policy_engine(
+    registry: ModelRegistry,
+    admission: str,
+    batch_policy,
+) -> InferenceEngine:
+    handle = registry.get("bench-cnn")
+    return InferenceEngine(
+        _build_model(seed=1),
+        handle,
+        policy=batch_policy,
+        cache_bytes=int(handle.total_dense_bytes * POLICY_CAPACITY_FRACTION),
+        admission=admission,
+        cost_model=registry.cost_model,
     )
 
 
@@ -214,6 +273,86 @@ def run_codec_sweep(
     )
 
 
+def run_policy_sweep(
+    policy_list=POLICY_SWEEP, requests: int = REQUESTS, workers: int = 2
+) -> ExperimentResult:
+    """Same mixed-codec bundle and request stream, one admission policy
+    per row, plus a cost-aware-batching row.
+
+    Every engine gets the identical capacity-bounded cache (too small
+    to hold all layers, so each forward pass forces a real
+    eviction/rejection decision), a warmup pass, and a stats reset —
+    the rows compare steady-state rebuild seconds, the cost the paper
+    says should drive the decision.
+    """
+    rng = np.random.default_rng(0)
+    samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
+    root = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    store = ArtifactStore(root)
+    _publish_mixed(store)
+    registry = ModelRegistry(store)
+
+    configurations = [
+        (admission, StaticBatchPolicy(max_batch_size=BATCH_SIZE, max_wait_s=0.001))
+        for admission in policy_list
+    ]
+    if "cost-aware" in policy_list:
+        configurations.append(
+            (
+                "cost-aware",
+                CostAwareBatchPolicy(max_batch_size=BATCH_SIZE, max_wait_s=0.01),
+            )
+        )
+
+    rows = []
+    for admission, batch_policy in configurations:
+        engine = _make_policy_engine(registry, admission, batch_policy)
+        engine.predict_many(samples[:BATCH_SIZE])  # warm to steady state
+        engine.stats.reset()
+        engine.rebuild.reset_stats()
+        engine.start(workers=workers)
+        try:
+            tickets = [engine.submit(sample) for sample in samples]
+            for ticket in tickets:
+                ticket.result(timeout=60.0)
+        finally:
+            engine.stop()
+        summary = engine.summary()
+        rows.append({
+            "admission": admission,
+            "batching": summary["batch_policy"],
+            "requests": summary["requests"],
+            "throughput_rps": summary["throughput_rps"],
+            "mean_batch": summary["mean_batch_size"],
+            "rebuild_s": summary["rebuild_rebuild_seconds"],
+            "hit_rate": summary["rebuild_hit_rate"],
+            "rejected": summary["rebuild_rejected"],
+            "evictions": summary["rebuild_evictions"],
+            "est_saved_s": summary["rebuild_est_seconds_saved"],
+        })
+
+    by_admission = {
+        (row["admission"], row["batching"]): row["rebuild_s"] for row in rows
+    }
+    notes = (
+        f"mixed bundle (smartexchange convs + quant-linear head), "
+        f"{requests} requests, {workers}-worker pool, cache at "
+        f"{POLICY_CAPACITY_FRACTION:.0%} of dense bytes"
+    )
+    lru = by_admission.get(("lru", "static"))
+    cost = by_admission.get(("cost-aware", "static"))
+    if lru is not None and cost is not None:
+        notes += (
+            f"; cost-aware pays {cost:.4f}s of rebuild vs lru {lru:.4f}s "
+            f"({lru / max(cost, 1e-9):.1f}x less)"
+        )
+    return ExperimentResult(
+        experiment="serving rebuild cost across admission policies",
+        rows=rows,
+        notes=notes,
+    )
+
+
 def bench_serving_throughput(benchmark):
     from benchmarks.conftest import run_and_print
 
@@ -247,9 +386,48 @@ def main() -> None:
             "'all' runs the cross-codec comparison instead"
         ),
     )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        help=(
+            "run the admission-policy comparison on a mixed-codec "
+            "bundle instead: a policy name (one of "
+            f"{', '.join(POLICY_SWEEP)}), a comma-separated list, or "
+            "'all'"
+        ),
+    )
     args = parser.parse_args()
     requests = 16 if args.smoke else REQUESTS
     sweep = args.workers or ((1, 2) if args.smoke else WORKER_SWEEP)
+
+    if args.policy is not None:
+        policy_list = (
+            POLICY_SWEEP if args.policy == "all"
+            else tuple(args.policy.split(","))
+        )
+        unknown = set(policy_list) - set(ADMISSION_POLICIES)
+        if unknown:
+            raise SystemExit(
+                f"unknown --policy {sorted(unknown)}; "
+                f"pick from {', '.join(POLICY_SWEEP)}"
+            )
+        result = run_policy_sweep(
+            policy_list, requests=requests, workers=max(sweep)
+        )
+        print(result.as_table())
+        print(result.notes)
+        rebuild = {
+            (row["admission"], row["batching"]): row["rebuild_s"]
+            for row in result.rows
+        }
+        assert all(
+            row["requests"] == requests for row in result.rows
+        ), "a policy dropped requests"
+        if {"lru", "cost-aware"} <= set(policy_list):
+            assert rebuild[("cost-aware", "static")] < rebuild[
+                ("lru", "static")
+            ], "cost-aware admission did not beat LRU on rebuild seconds"
+        return
 
     codec_list = (
         BENCH_CODECS if args.codec == "all"

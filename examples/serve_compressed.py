@@ -7,10 +7,15 @@ weights on read behind an LRU cache — and show that the served outputs
 match the compressed model while the bundle is a fraction of the dense
 checkpoint.
 
-The same pipeline serves every registered weight codec: the final
+The same pipeline serves every registered weight codec: a later
 section publishes the identical network under the ``quant-linear``
 (int8) baseline codec and serves it through the identical engine —
 only the bundle's ``codec`` field differs.
+
+The final section puts the cost model to work: the same bundle served
+through a capacity-bounded cache under plain LRU vs the cost-aware
+admission policy (rebuild-seconds-per-byte knapsack), showing the
+rebuild compute each policy pays for the identical request stream.
 
 Run:  python examples/serve_compressed.py
 """
@@ -27,9 +32,9 @@ from repro.datasets import synthetic_cifar10
 from repro.serving import (
     ArtifactStore,
     AsyncInferenceEngine,
-    BatchPolicy,
     InferenceEngine,
     ModelRegistry,
+    StaticBatchPolicy,
 )
 
 
@@ -74,7 +79,7 @@ def main() -> None:
         engine = InferenceEngine(
             build_model(np.random.default_rng(1)),
             registry.get("demo-cnn"),
-            policy=BatchPolicy(max_batch_size=8, max_wait_s=0.005),
+            policy=StaticBatchPolicy(max_batch_size=8, max_wait_s=0.005),
         )
 
         samples = list(dataset.test_images[:16])
@@ -119,7 +124,7 @@ def main() -> None:
         q_engine = InferenceEngine(
             build_model(np.random.default_rng(2)),
             registry.get("demo-cnn-int8"),
-            policy=BatchPolicy(max_batch_size=8, max_wait_s=0.005),
+            policy=StaticBatchPolicy(max_batch_size=8, max_wait_s=0.005),
         )
         q_served = np.stack(q_engine.predict_many(samples, batched=True))
         baseline.eval()
@@ -135,6 +140,40 @@ def main() -> None:
                 f"({m.dense_bytes / max(m.payload_bytes, 1):.1f}x smaller)"
             )
         print(f"int8 served vs int8 model label agreement: {q_agreement:6.1%}")
+
+        # The cost-model axis: the same bundle behind a cache too small
+        # to hold every layer.  LRU thrashes — a round-robin install
+        # pass evicts exactly the layer it needs next — while the
+        # cost-aware policy pins the layers whose rebuild is expensive
+        # (measured seconds-per-byte, learned online) and keeps
+        # re-rebuilding only the cheap ones.
+        print("\nadmission-policy comparison (cache at 95% of dense bytes):")
+        handle = registry.get("demo-cnn")
+        capacity = int(handle.total_dense_bytes * 0.95)
+        for admission in ("lru", "cost-aware"):
+            policy_engine = InferenceEngine(
+                build_model(np.random.default_rng(3)),
+                handle,
+                policy=StaticBatchPolicy(max_batch_size=8, max_wait_s=0.005),
+                cache_bytes=capacity,
+                admission=admission,
+                cost_model=registry.cost_model,
+            )
+            policy_engine.predict_many(samples[:8])  # warm to steady state
+            policy_engine.rebuild.reset_stats()
+            policy_engine.stats.reset()
+            policy_served = policy_engine.predict_many(samples)
+            drift = float(
+                np.abs(np.stack(policy_served) - np.stack(offline)).max()
+            )
+            summary = policy_engine.summary()
+            print(
+                f"  {admission:11s} rebuild {summary['rebuild_rebuild_seconds']*1e3:8.2f} ms  "
+                f"hit rate {summary['rebuild_hit_rate']:5.1%}  "
+                f"evictions {summary['rebuild_evictions']:3d}  "
+                f"rejected {summary['rebuild_rejected']:3d}  "
+                f"drift vs offline {drift:.2e}"
+            )
 
 
 if __name__ == "__main__":

@@ -20,6 +20,9 @@ computation when running DNN inference.  This package contains:
 - :mod:`repro.experiments` — one harness per table/figure in the paper.
 - :mod:`repro.codecs` — the pluggable weight-codec API (encode /
   decode / registry) shared by compression and serving.
+- :mod:`repro.costs` — per-codec rebuild cost models (learned online,
+  seeded by calibration or the hardware energy bridge) that drive
+  cost-aware cache admission and batching in the serving layer.
 - :mod:`repro.serving` — the compressed-artifact store and the batched
   rebuild-on-read inference engine (the paper's trade at the serving
   layer), serving any registered codec.
@@ -33,6 +36,7 @@ _SUBPACKAGES = (
     "codecs",
     "compression",
     "core",
+    "costs",
     "datasets",
     "experiments",
     "hardware",

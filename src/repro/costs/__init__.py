@@ -1,0 +1,30 @@
+"""Cost models for the storage-access-vs-compute trade at serving time.
+
+The accelerator side of this repo prices the paper's trade in pJ per
+datum; the serving side pays it in *rebuild seconds*.  ``repro.costs``
+owns the conversion and the bookkeeping:
+
+- :class:`CodecCostModel` — per-codec rebuild seconds-per-dense-byte,
+  learned online (EWMA over observed decodes) and seeded by a one-shot
+  calibration probe per codec.
+- :class:`HardwareCostBridge` — maps
+  :mod:`repro.hardware` energy estimates (DRAM fetch + MAC-class
+  rebuild ops) onto serving-layer seconds, for cost-aware decisions
+  before any traffic has been measured.
+
+The serving layer consumes these through
+:class:`repro.serving.CostAwarePolicy` (cache admission/eviction) and
+:class:`repro.serving.CostAwareBatchPolicy` (batch-close point).
+"""
+
+from repro.costs.model import (
+    DEFAULT_SECONDS_PER_BYTE,
+    CodecCostModel,
+    HardwareCostBridge,
+)
+
+__all__ = [
+    "CodecCostModel",
+    "HardwareCostBridge",
+    "DEFAULT_SECONDS_PER_BYTE",
+]

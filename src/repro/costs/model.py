@@ -1,0 +1,289 @@
+"""Per-codec rebuild cost models: the numbers behind cost-aware serving.
+
+SmartExchange's premise is that the storage-access-vs-compute trade
+should be decided by *measured costs*.  The serving stack realizes the
+trade in software — encoded payloads are decoded ("rebuilt") into dense
+weights on read — so the unit that matters there is **rebuild seconds
+per dense byte**, and it differs by an order of magnitude between
+codecs (a ``smartexchange`` decode walks nibble codes and folds
+matrices; a ``quant-linear`` decode is one multiply).
+
+Two sources feed that number:
+
+- :class:`CodecCostModel` — learned online.  Every observed decode
+  updates an exponentially-weighted moving average of seconds-per-byte
+  for the payload's codec, seeded by a one-shot calibration probe (one
+  timed decode per codec) so estimates are sane before any traffic.
+- :class:`HardwareCostBridge` — derived from the accelerator models.
+  :mod:`repro.hardware.energy` gives per-datum DRAM/SRAM/MAC energies
+  (the paper's Table I); the bridge maps a codec's {payload bytes,
+  dense bytes} onto miss energy and — via an effective-power knob —
+  onto serving-layer seconds, so admission and batching can be driven
+  by simulated hardware when no measurements exist yet.
+
+Consumers are the serving layer's :class:`~repro.serving.rebuild`
+admission policies (``CostAwarePolicy`` evicts cheap-to-rebuild layers
+first) and :class:`~repro.serving.batching.CostAwareBatchPolicy` (the
+batch-close point amortizes the expected per-batch rebuild cost).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional
+
+# 5 ns/byte is a deliberately mid-range prior: slower than a memcpy-like
+# dense decode, faster than a smartexchange rebuild, so an uncalibrated
+# codec is neither pinned nor immediately evicted.
+DEFAULT_SECONDS_PER_BYTE = 5e-9
+
+
+class CodecCostModel:
+    """Learned rebuild seconds-per-dense-byte, one EWMA per codec.
+
+    Thread-safe: the serving worker pool feeds :meth:`observe` from
+    many threads while admission policies read estimates concurrently.
+    Rates converge to the *recent* decode behavior of this host (EWMA
+    with weight ``alpha`` on the newest observation), which is exactly
+    what eviction decisions should price: the cost of a miss *now*.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        default_seconds_per_byte: float = DEFAULT_SECONDS_PER_BYTE,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if default_seconds_per_byte <= 0:
+            raise ValueError("default_seconds_per_byte must be positive")
+        self.alpha = alpha
+        self.default_seconds_per_byte = default_seconds_per_byte
+        self._lock = threading.Lock()
+        self._rates: Dict[str, float] = {}
+        self._observations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def observe(self, codec: str, dense_bytes: int, seconds: float) -> float:
+        """Fold one measured decode into the codec's EWMA; returns it.
+
+        ``dense_bytes`` is the size of the *rebuilt* tensor (the work
+        the decode produced), ``seconds`` the wall time it took.
+        Degenerate observations (no bytes, negative time) are ignored.
+        """
+        if dense_bytes <= 0 or seconds < 0:
+            return self.seconds_per_byte(codec)
+        rate = seconds / dense_bytes
+        with self._lock:
+            previous = self._rates.get(codec)
+            if previous is None:
+                updated = rate
+            else:
+                updated = self.alpha * rate + (1.0 - self.alpha) * previous
+            self._rates[codec] = updated
+            self._observations[codec] = self._observations.get(codec, 0) + 1
+            return updated
+
+    def seed(
+        self, codec: str, seconds_per_byte: float, force: bool = True
+    ) -> None:
+        """Install a prior rate (calibration probe or hardware bridge).
+
+        Seeding does not count as an observation; later :meth:`observe`
+        calls blend measurements into it.  ``force=False`` only fills
+        codecs with no rate yet (how the hardware bridge defers to any
+        measurement that already exists).
+        """
+        if seconds_per_byte <= 0:
+            raise ValueError("seconds_per_byte must be positive")
+        with self._lock:
+            if force or codec not in self._rates:
+                self._rates[codec] = seconds_per_byte
+
+    def calibrate(
+        self, payloads: Mapping[str, Any], specs: Mapping[str, Any],
+        force: bool = False,
+    ) -> Dict[str, float]:
+        """One-shot probe: time one decode per distinct (new) codec.
+
+        ``specs`` maps layer name to an object with a ``codec``
+        attribute (the serving layer's ``LayerArtifactSpec``);
+        ``payloads`` maps the same names to
+        :class:`~repro.codecs.LayerPayload` objects.  For each codec
+        without a rate yet (all of them under ``force=True``), the
+        first layer encoded with it is decoded once, timed, and the
+        measured seconds-per-byte seeded.  Returns ``{codec: rate}``
+        for the codecs probed.
+        """
+        from repro.codecs import LayerPayload, get_codec
+
+        probed: Dict[str, float] = {}
+        for name, spec in specs.items():
+            codec = getattr(spec, "codec", None)
+            if codec is None or codec in probed:
+                continue
+            if not force and self.calibrated(codec):
+                continue
+            try:
+                payload = payloads[name]
+            except KeyError:
+                continue
+            if not isinstance(payload, LayerPayload):
+                continue
+            start = time.perf_counter()
+            weight = get_codec(codec).decode(payload)
+            seconds = time.perf_counter() - start
+            if weight.nbytes <= 0:
+                continue
+            rate = seconds / weight.nbytes
+            if rate <= 0:
+                # A trivially cheap decode on a coarse timer measured
+                # as 0.0 s; keep the default prior instead of seeding
+                # a rate that would make the layer look free to evict.
+                continue
+            self.seed(codec, rate, force=True)
+            probed[codec] = rate
+        return probed
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+    def calibrated(self, codec: str) -> bool:
+        """True once ``codec`` has a rate (seeded or observed)."""
+        with self._lock:
+            return codec in self._rates
+
+    def seconds_per_byte(self, codec: str) -> float:
+        """The current rate for ``codec`` (default prior if unknown)."""
+        with self._lock:
+            return self._rates.get(codec, self.default_seconds_per_byte)
+
+    def snapshot_rates(self) -> Dict[str, float]:
+        """One-lock copy of every known rate — for callers estimating
+        many layers at once (one acquisition instead of one per layer)."""
+        with self._lock:
+            return dict(self._rates)
+
+    def estimate_seconds(self, codec: str, dense_bytes: int) -> float:
+        """Estimated seconds to rebuild ``dense_bytes`` of ``codec``."""
+        return self.seconds_per_byte(codec) * max(int(dense_bytes), 0)
+
+    def observations(self, codec: str) -> int:
+        with self._lock:
+            return self._observations.get(codec, 0)
+
+    def as_dict(self) -> Dict:
+        """Snapshot for telemetry: rates and observation counts."""
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "default_seconds_per_byte": self.default_seconds_per_byte,
+                "codecs": {
+                    codec: {
+                        "seconds_per_byte": rate,
+                        "observations": self._observations.get(codec, 0),
+                    }
+                    for codec, rate in sorted(self._rates.items())
+                },
+            }
+
+
+class HardwareCostBridge:
+    """Map accelerator energy estimates onto serving-layer seconds.
+
+    The accelerator simulators price the paper's trade in pJ per 8-bit
+    datum (:class:`repro.hardware.energy.EnergyModel`): a cache miss at
+    the serving layer corresponds to DRAM-fetching the encoded payload
+    and then spending one MAC-class operation per rebuilt datum, versus
+    DRAM-fetching the full dense tensor when nothing is compressed.
+    ``effective_watts`` converts energy into serving-layer seconds —
+    the sustained power the host dedicates to rebuild compute — so the
+    same numbers that rank codecs in the hardware benches can seed a
+    :class:`CodecCostModel` before any serving traffic exists.
+    """
+
+    def __init__(
+        self,
+        energy=None,
+        effective_watts: float = 10.0,
+        rebuild_ops_per_byte: float = 1.0,
+    ) -> None:
+        if energy is None:
+            # Imported lazily: `repro.costs` must not drag the full
+            # hardware package in unless the bridge is actually used.
+            from repro.hardware.energy import DEFAULT_ENERGY_MODEL
+
+            energy = DEFAULT_ENERGY_MODEL
+        if effective_watts <= 0:
+            raise ValueError("effective_watts must be positive")
+        if rebuild_ops_per_byte < 0:
+            raise ValueError("rebuild_ops_per_byte must be >= 0")
+        self.energy = energy
+        self.effective_watts = effective_watts
+        self.rebuild_ops_per_byte = rebuild_ops_per_byte
+
+    # ------------------------------------------------------------------
+    def miss_energy_pj(self, payload_bytes: int, dense_bytes: int) -> float:
+        """Energy of one rebuild miss: fetch the payload, rebuild dense."""
+        fetch = max(int(payload_bytes), 0) * self.energy.dram
+        rebuild = (
+            max(int(dense_bytes), 0)
+            * self.rebuild_ops_per_byte
+            * self.energy.mac
+        )
+        return fetch + rebuild
+
+    def dense_access_energy_pj(self, dense_bytes: int) -> float:
+        """Energy of fetching the uncompressed tensor instead."""
+        return max(int(dense_bytes), 0) * self.energy.dram
+
+    def energy_saved_pj(self, payload_bytes: int, dense_bytes: int) -> float:
+        """The paper's exchange, in pJ: dense fetch avoided minus the
+        (payload fetch + rebuild compute) paid for it."""
+        return self.dense_access_energy_pj(dense_bytes) - self.miss_energy_pj(
+            payload_bytes, dense_bytes
+        )
+
+    def seconds_per_byte(self, payload_bytes: int, dense_bytes: int) -> float:
+        """Estimated rebuild seconds per dense byte at ``effective_watts``."""
+        dense = max(int(dense_bytes), 1)
+        joules = self.miss_energy_pj(payload_bytes, dense) * 1e-12
+        return joules / self.effective_watts / dense
+
+    # ------------------------------------------------------------------
+    def seed(
+        self,
+        model: CodecCostModel,
+        payloads: Mapping[str, Any],
+        force: bool = False,
+    ) -> Dict[str, float]:
+        """Seed ``model`` with hardware-derived priors, one per codec.
+
+        Aggregates payload/dense bytes over all layers of each codec in
+        ``payloads`` (a ``{layer: LayerPayload}`` map) and seeds the
+        resulting seconds-per-byte.  With ``force=False`` (default) a
+        codec that already has a measured or calibrated rate is left
+        alone — hardware estimates only fill gaps.
+        """
+        from repro.codecs import LayerPayload
+
+        totals: Dict[str, list] = {}
+        for payload in payloads.values():
+            if not isinstance(payload, LayerPayload):
+                continue
+            entry = totals.setdefault(payload.codec, [0, 0])
+            entry[0] += payload.nbytes
+            entry[1] += payload.dense_bytes
+        seeded: Dict[str, float] = {}
+        for codec, (payload_bytes, dense_bytes) in sorted(totals.items()):
+            if dense_bytes <= 0:
+                continue
+            if not force and model.calibrated(codec):
+                continue
+            rate = self.seconds_per_byte(payload_bytes, dense_bytes)
+            model.seed(codec, rate, force=True)
+            seeded[codec] = rate
+        return seeded

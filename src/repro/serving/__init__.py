@@ -14,17 +14,21 @@ serve through the identical pipeline.
   ``publish_compressed`` for baseline compressors, ``publish_model`` /
   ``publish_payloads`` for anything else).
 - :mod:`repro.serving.registry` — named/versioned bundles loaded lazily
-  and cached in memory (:class:`ModelRegistry`).
+  and cached in memory (:class:`ModelRegistry`), sharing one
+  :class:`~repro.costs.CodecCostModel` across a fleet of engines.
 - :mod:`repro.serving.rebuild` — dense weights rebuilt on read behind a
-  capacity-bounded LRU cache (:class:`RebuildEngine`).
+  capacity-bounded cache (:class:`RebuildEngine`) with pluggable
+  admission/eviction (:class:`AdmissionPolicy`: :class:`LRUPolicy`,
+  :class:`CostAwarePolicy`, :class:`SizeAwarePolicy`).
 - :mod:`repro.serving.batching` — request queueing and batch coalescing
-  (:class:`BatchPolicy`, :class:`RequestQueue`).
+  (:class:`BatchPolicy` protocol: :class:`StaticBatchPolicy`,
+  :class:`CostAwareBatchPolicy`; :class:`RequestQueue`).
 - :mod:`repro.serving.engine` — the batched inference engine
   (:class:`InferenceEngine`), offline, online (worker pool), and async
   (:class:`AsyncInferenceEngine`) paths.
 - :mod:`repro.serving.stats` — throughput / latency percentiles /
-  per-worker counters / cache behavior / storage-vs-compute telemetry
-  (:class:`ServingStats`).
+  per-worker and per-policy counters / cache behavior /
+  storage-vs-compute telemetry and trade curves (:class:`ServingStats`).
 
 Typical use::
 
@@ -44,6 +48,17 @@ Typical use::
 
     async with AsyncInferenceEngine(engine, workers=4) as serving:
         rows = await serving.predict_many(samples)
+
+Cost-model-driven serving (capacity-bounded cache, costed batching)::
+
+    engine = InferenceEngine(
+        skeleton, registry.get("vgg19"),
+        policy=CostAwareBatchPolicy(max_batch_size=16),
+        cache_bytes=1 << 20,
+        admission="cost-aware",          # or CostAwarePolicy()
+        cost_model=registry.cost_model,  # shared across the fleet
+    )
+    print(engine.cost_curve())           # the realized trade
 """
 
 from repro.serving.artifacts import (
@@ -56,9 +71,11 @@ from repro.serving.artifacts import (
 )
 from repro.serving.batching import (
     BatchPolicy,
+    CostAwareBatchPolicy,
     QueueClosed,
     Request,
     RequestQueue,
+    StaticBatchPolicy,
     Ticket,
     coalesce,
     per_ticket_error,
@@ -70,12 +87,24 @@ from repro.serving.engine import (
     ServingError,
 )
 from repro.serving.rebuild import (
+    ADMISSION_POLICIES,
+    AdmissionPolicy,
+    CacheEntryView,
+    CostAwarePolicy,
+    LRUPolicy,
     RebuildCacheStats,
     RebuildEngine,
+    SizeAwarePolicy,
+    make_admission_policy,
     rebuild_layer_weight,
 )
 from repro.serving.registry import CompressedModelHandle, ModelRegistry
-from repro.serving.stats import ServingStats, WorkerStats, percentiles
+from repro.serving.stats import (
+    PolicyStats,
+    ServingStats,
+    WorkerStats,
+    percentiles,
+)
 
 __all__ = [
     "ArtifactStore",
@@ -89,7 +118,16 @@ __all__ = [
     "RebuildEngine",
     "RebuildCacheStats",
     "rebuild_layer_weight",
+    "AdmissionPolicy",
+    "ADMISSION_POLICIES",
+    "CacheEntryView",
+    "LRUPolicy",
+    "CostAwarePolicy",
+    "SizeAwarePolicy",
+    "make_admission_policy",
     "BatchPolicy",
+    "StaticBatchPolicy",
+    "CostAwareBatchPolicy",
     "RequestQueue",
     "Request",
     "Ticket",
@@ -102,5 +140,6 @@ __all__ = [
     "ServingError",
     "ServingStats",
     "WorkerStats",
+    "PolicyStats",
     "percentiles",
 ]

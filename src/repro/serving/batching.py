@@ -1,10 +1,19 @@
 """Request queueing and batch coalescing for the serving engine.
 
 Single requests are enqueued with :meth:`RequestQueue.submit` and
-coalesced into batches under a :class:`BatchPolicy`: a batch closes when
-it reaches ``max_batch_size`` or when ``max_wait_s`` has elapsed since
-the first request in it arrived — the standard latency/throughput
-dial of a serving system.
+coalesced into batches under a :class:`BatchPolicy` — a protocol with
+two implementations:
+
+- :class:`StaticBatchPolicy` — the classic dial: a batch closes when it
+  reaches ``max_batch_size`` or when ``max_wait_s`` has elapsed since
+  the first request in it arrived.
+- :class:`CostAwareBatchPolicy` — the batch-close point is derived from
+  the model's layer mix through a rebuild cost model: every batch pays
+  a fixed install cost (expected rebuild seconds for the layers a
+  forward pass pulls through the cache), so the policy keeps waiting
+  while amortizing that cost over one more request is worth more than
+  the time spent waiting, and closes immediately when the cache is warm
+  and a batch costs nothing extra.
 
 Everything here is architecture-agnostic: a request's payload is just an
 ndarray (one sample, no batch axis); the engine stacks them on axis 0.
@@ -17,7 +26,14 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import (
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -43,18 +59,112 @@ def per_ticket_error(error: BaseException) -> BaseException:
     return clone
 
 
+@runtime_checkable
+class BatchPolicy(Protocol):
+    """When to close a batch (the protocol).
+
+    ``max_batch_size`` caps how many requests a batch may hold;
+    ``wait_budget(pending)`` is how long — in seconds since the batch
+    opened — the queue should keep waiting for stragglers given that
+    ``pending`` requests have already been collected.  The queue
+    re-evaluates the budget on every arrival, so a policy can shrink
+    it as the batch grows.
+    """
+
+    name: str
+    max_batch_size: int
+
+    def wait_budget(self, pending: int) -> float:
+        ...  # pragma: no cover - protocol
+
+
 @dataclass(frozen=True)
-class BatchPolicy:
-    """When to close a batch."""
+class StaticBatchPolicy:
+    """The fixed max-batch / max-wait dial (the classic policy)."""
 
     max_batch_size: int = 8
     max_wait_s: float = 0.002
+
+    name = "static"
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+
+    def wait_budget(self, pending: int) -> float:
+        return self.max_wait_s
+
+
+class CostAwareBatchPolicy:
+    """Close batches where the estimated cost curve says to.
+
+    Every batch pays a fixed cost ``C``: the expected rebuild seconds
+    to install the model's layer mix through the rebuild cache (from
+    :meth:`repro.serving.RebuildEngine.estimated_install_seconds`,
+    which prices currently-uncached layers at the cost model's
+    per-codec rates).  With ``n`` requests coalesced, each carries
+    ``C / n`` of it — so waiting for request ``n + 1`` is worth roughly
+    ``C / n`` of extra latency and no more.  The policy therefore sets
+    the wait budget to ``min(max_wait_s, C / n)``: expensive layer
+    mixes (a thrashing smartexchange cache) grow batches toward
+    ``max_batch_size``, while a warm cache (``C ~ 0``) closes batches
+    immediately for minimum latency.
+
+    Until :meth:`bind_costs` attaches a cost source the policy behaves
+    exactly like :class:`StaticBatchPolicy` (budget = ``max_wait_s``);
+    the inference engine binds its rebuild engine automatically.
+    """
+
+    name = "cost-aware"
+
+    def __init__(
+        self, max_batch_size: int = 32, max_wait_s: float = 0.05
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._install_cost: Optional[Callable[[], float]] = None
+
+    def bind_costs(self, source) -> "CostAwareBatchPolicy":
+        """Attach the per-batch cost source.
+
+        ``source`` is a rebuild engine (anything exposing
+        ``estimated_install_seconds()``) or a zero-argument callable
+        returning the expected per-batch install seconds.
+
+        A policy instance prices exactly one engine's cache: rebinding
+        to a *different* source raises rather than silently letting a
+        second engine's (possibly warm) cache set the first engine's
+        wait budget — share the cost *model* across a fleet, not the
+        batch policy.
+        """
+        estimator = getattr(source, "estimated_install_seconds", None)
+        if estimator is None:
+            estimator = source
+        if self._install_cost is not None and self._install_cost != estimator:
+            raise ValueError(
+                "CostAwareBatchPolicy is already bound to another rebuild "
+                "cache; use one policy instance per engine"
+            )
+        self._install_cost = estimator
+        return self
+
+    def expected_batch_seconds(self) -> Optional[float]:
+        """The current per-batch fixed cost (None when unbound)."""
+        if self._install_cost is None:
+            return None
+        return max(0.0, float(self._install_cost()))
+
+    def wait_budget(self, pending: int) -> float:
+        cost = self.expected_batch_seconds()
+        if cost is None:
+            return self.max_wait_s
+        return min(self.max_wait_s, cost / max(pending, 1))
 
 
 class Ticket:
@@ -135,7 +245,7 @@ class RequestQueue:
     """Thread-safe queue that hands out policy-coalesced batches."""
 
     def __init__(self, policy: Optional[BatchPolicy] = None) -> None:
-        self.policy = policy or BatchPolicy()
+        self.policy = policy or StaticBatchPolicy()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._pending: List[Request] = []
@@ -172,9 +282,11 @@ class RequestQueue:
         """Block for the next coalesced batch.
 
         Waits (up to ``timeout``) for at least one request, then keeps
-        collecting until the batch is full or ``max_wait_s`` has passed
-        since the batch opened.  Raises :class:`QueueClosed` once the
-        queue is closed and drained.
+        collecting until the batch is full or the policy's wait budget
+        — re-evaluated on every arrival, since a cost-aware policy
+        shrinks it as the batch grows — has passed since the batch
+        opened.  Raises :class:`QueueClosed` once the queue is closed
+        and drained.
         """
         deadline = None if timeout is None else time.perf_counter() + timeout
         with self._not_empty:
@@ -188,12 +300,13 @@ class RequestQueue:
                         return []
                 self._not_empty.wait(remaining)
 
-            batch_deadline = time.perf_counter() + self.policy.max_wait_s
+            opened_at = time.perf_counter()
             while (
                 len(self._pending) < self.policy.max_batch_size
                 and not self._closed
             ):
-                remaining = batch_deadline - time.perf_counter()
+                budget = self.policy.wait_budget(len(self._pending))
+                remaining = opened_at + budget - time.perf_counter()
                 if remaining <= 0:
                     break
                 self._not_empty.wait(remaining)

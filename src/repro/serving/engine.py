@@ -30,22 +30,24 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import nn
+from repro.costs import CodecCostModel
 from repro.serving.batching import (
     BatchPolicy,
     QueueClosed,
     Request,
     RequestQueue,
+    StaticBatchPolicy,
     Ticket,
     coalesce,
     per_ticket_error,
     stack_batch,
 )
-from repro.serving.rebuild import RebuildEngine
+from repro.serving.rebuild import AdmissionPolicy, RebuildEngine
 from repro.serving.registry import CompressedModelHandle
 from repro.serving.stats import ServingStats
 
@@ -101,16 +103,28 @@ class InferenceEngine:
         handle: CompressedModelHandle,
         policy: Optional[BatchPolicy] = None,
         cache_bytes: Optional[int] = None,
+        admission: "Union[str, AdmissionPolicy, None]" = None,
+        cost_model: Optional[CodecCostModel] = None,
     ) -> None:
         self.model = model
         self.handle = handle
-        self.policy = policy or BatchPolicy()
+        self.policy = policy or StaticBatchPolicy()
         self.stats = ServingStats()
+        # One cost model per engine unless the caller shares one (e.g.
+        # the registry's, so every engine for a store learns together).
+        self.cost_model = cost_model or CodecCostModel()
         self.rebuild = RebuildEngine(
             payloads=handle.payloads,
             specs=handle.layer_specs,
             capacity_bytes=cache_bytes,
+            policy=admission,
+            cost_model=self.cost_model,
         )
+        # A cost-aware batch policy prices batches off this engine's
+        # rebuild cache; other policies have no hook and are left alone.
+        bind = getattr(self.policy, "bind_costs", None)
+        if bind is not None:
+            bind(self.rebuild)
         self._modules = _map_modules(model, handle)
         if handle.residual is not None:
             model.load_state_dict(handle.residual, strict=False)
@@ -145,7 +159,7 @@ class InferenceEngine:
             output = self.model(batch)
             result = output.data if isinstance(output, nn.Tensor) else output
         latency = time.perf_counter() - start
-        self.stats.record_batch(len(batch), latency)
+        self.stats.record_batch(len(batch), latency, policy=self.policy.name)
         for _ in range(len(batch)):
             self.stats.record_request(latency)
         return np.asarray(result)
@@ -321,7 +335,10 @@ class InferenceEngine:
             return
         finish = time.perf_counter()
         self.stats.record_batch(
-            len(requests), finish - start, worker=worker.index
+            len(requests),
+            finish - start,
+            worker=worker.index,
+            policy=self.policy.name,
         )
         rows = np.asarray(result)
         for request, row in zip(requests, rows):
@@ -353,10 +370,27 @@ class InferenceEngine:
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict:
-        """Serving + rebuild-cache + storage-trade counters, one dict."""
-        return self.stats.summary(
+        """Serving + rebuild-cache + storage-trade counters, one dict.
+
+        Includes the policy axis: ``batch_policy`` and the rebuild
+        cache's ``rebuild_policy`` / ``rebuild_rejected`` /
+        ``rebuild_est_seconds_saved`` counters, so two engines running
+        different policies compare on one flat dict.
+        """
+        out = self.stats.summary(
             rebuild=self.rebuild.stats, manifest=self.handle.manifest
         )
+        out["batch_policy"] = self.policy.name
+        return out
+
+    def cost_curve(self) -> Dict:
+        """The realized storage-vs-compute trade of this engine's cache
+        (see :meth:`ServingStats.cost_curve`)."""
+        return self.stats.cost_curve(self.rebuild.stats)
+
+    def layer_cost_estimates(self) -> Dict[str, float]:
+        """Per-layer estimated rebuild seconds at current codec rates."""
+        return self.rebuild.layer_cost_estimates()
 
     def report(self) -> str:
         return self.stats.report(

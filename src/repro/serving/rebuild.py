@@ -11,11 +11,22 @@ the :class:`~repro.core.reshape.ReshapePlan`; for ``quant-*`` /
 ``prune-csr`` / ``dense`` bundles the registered decoder runs instead,
 through the identical cache.
 
-A capacity-bounded LRU cache keeps hot layers dense so they pay the
-rebuild compute once; cold layers are evicted and rebuilt on their next
-access.  The cache counters expose the realized storage-vs-compute
-trade: ``bytes_saved`` is the dense footprint *not* held resident,
-``rebuilt_bytes`` is the compute paid for it.
+A capacity-bounded cache keeps hot layers dense so they pay the rebuild
+compute once; cold layers are evicted and rebuilt on their next access.
+*Which* layers stay resident is a pluggable :class:`AdmissionPolicy`:
+
+- :class:`LRUPolicy` (default) — recency only, blind to rebuild cost.
+- :class:`CostAwarePolicy` — a greedy knapsack on rebuild-seconds-per-
+  resident-byte (estimated by a :class:`~repro.costs.CodecCostModel`),
+  so cheap-to-rebuild layers are evicted first and a layer is only
+  admitted if every byte it displaces was cheaper to rebuild.
+- :class:`SizeAwarePolicy` — evicts the largest resident layer first.
+
+The cache counters expose the realized storage-vs-compute trade:
+``bytes_saved`` is the dense footprint *not* held resident,
+``rebuilt_bytes`` is the compute paid for it, and ``stats.curve``
+samples (accesses, resident bytes, cumulative rebuild seconds) so
+:meth:`repro.serving.ServingStats.cost_curve` can plot the trade.
 """
 
 from __future__ import annotations
@@ -23,15 +34,30 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Union
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from repro.codecs import LayerPayload, get_codec
 from repro.core.reshape import from_matrices
 from repro.core.serialize import payload_weight
+from repro.costs import CodecCostModel
 from repro.serving.artifacts import LayerArtifactSpec
+
+# Bound on the sampled trade curve; when full, every other point is
+# dropped, halving the sampling rate but keeping the whole history.
+_CURVE_LIMIT = 4096
 
 
 @dataclass
@@ -41,9 +67,15 @@ class RebuildCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    rejected: int = 0  # rebuilds the admission policy declined to cache
     rebuilds: int = 0
     rebuilt_bytes: int = 0  # dense bytes produced by rebuild compute
     rebuild_seconds: float = 0.0
+    est_seconds_saved: float = 0.0  # estimated rebuild seconds hits avoided
+    policy: str = "lru"
+    # (accesses, cached_bytes, cumulative rebuild_seconds) samples, one
+    # per rebuild — the realized storage-vs-compute trade over time.
+    curve: List[Tuple[int, int, float]] = field(default_factory=list)
 
     @property
     def accesses(self) -> int:
@@ -57,14 +89,166 @@ class RebuildCacheStats:
 
     def as_dict(self) -> Dict:
         return {
+            "policy": self.policy,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "rejected": self.rejected,
             "rebuilds": self.rebuilds,
             "rebuilt_bytes": self.rebuilt_bytes,
             "rebuild_seconds": self.rebuild_seconds,
+            "est_seconds_saved": self.est_seconds_saved,
             "hit_rate": self.hit_rate,
         }
+
+
+# ----------------------------------------------------------------------
+# Admission policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheEntryView:
+    """What a policy sees of one layer: size, codec, estimated cost.
+
+    ``rebuild_seconds`` is the cost model's current estimate of one
+    rebuild of this layer.  Views handed to a policy are ordered least-
+    recently-used first, so index 0 is the LRU victim.
+    """
+
+    name: str
+    nbytes: int
+    codec: str
+    rebuild_seconds: float
+
+    @property
+    def seconds_per_byte(self) -> float:
+        """Value density: rebuild seconds bought per resident byte."""
+        return self.rebuild_seconds / max(self.nbytes, 1)
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Decides what enters the rebuild cache and what leaves it.
+
+    ``admit`` is asked once per completed rebuild whether the fresh
+    weight should be cached at all (given the current residents, LRU
+    first, and the free bytes under capacity); ``victim`` is asked —
+    possibly repeatedly — which resident to evict to make room (the
+    just-admitted candidate is never offered as a victim).  Policies
+    with ``requires_costs`` trigger a one-shot codec calibration probe
+    when the engine is built, so cost estimates exist before traffic.
+    """
+
+    name: str
+    requires_costs: bool
+
+    def admit(
+        self,
+        candidate: CacheEntryView,
+        resident: Sequence[CacheEntryView],
+        free_bytes: int,
+    ) -> bool:
+        ...  # pragma: no cover - protocol
+
+    def victim(
+        self,
+        candidate: CacheEntryView,
+        resident: Sequence[CacheEntryView],
+    ) -> str:
+        ...  # pragma: no cover - protocol
+
+
+class LRUPolicy:
+    """Classic least-recently-used: admit everything, evict the oldest."""
+
+    name = "lru"
+    requires_costs = False
+
+    def admit(self, candidate, resident, free_bytes) -> bool:
+        return True
+
+    def victim(self, candidate, resident) -> str:
+        return resident[0].name
+
+
+class SizeAwarePolicy:
+    """Admit everything; evict the largest resident layer first.
+
+    Frees the most bytes per eviction, so many small layers stay hot at
+    the cost of re-rebuilding the big ones — the right shape when small
+    layers dominate the access mix.
+    """
+
+    name = "size-aware"
+    requires_costs = False
+
+    def admit(self, candidate, resident, free_bytes) -> bool:
+        return True
+
+    def victim(self, candidate, resident) -> str:
+        # max() keeps the first (least recently used) among size ties.
+        return max(resident, key=lambda view: view.nbytes).name
+
+
+class CostAwarePolicy:
+    """Greedy knapsack on rebuild-seconds-per-resident-byte.
+
+    Each resident byte "earns" the rebuild seconds it avoids; the cache
+    should therefore hold the layers with the highest seconds-per-byte
+    density.  Eviction removes the *cheapest*-density resident first
+    (cheap-to-rebuild layers are the ones to rebuild again), and a
+    candidate is admitted only if every byte it would displace is
+    strictly cheaper per byte than the candidate itself — evicting an
+    expensive smartexchange layer to cache a quant-linear layer whose
+    miss costs ~10x less is exactly the trade this refuses.
+    """
+
+    name = "cost-aware"
+    requires_costs = True
+
+    def admit(self, candidate, resident, free_bytes) -> bool:
+        need = candidate.nbytes - free_bytes
+        if need <= 0:
+            return True
+        density = candidate.seconds_per_byte
+        freed = 0
+        # Cheapest residents are the eviction order; stop as soon as
+        # enough room exists, refuse if anything at least as valuable
+        # per byte would have to go.
+        for view in sorted(resident, key=lambda v: v.seconds_per_byte):
+            if view.seconds_per_byte >= density:
+                return False
+            freed += view.nbytes
+            if freed >= need:
+                return True
+        return False
+
+    def victim(self, candidate, resident) -> str:
+        # min() keeps the first (least recently used) among density ties.
+        return min(resident, key=lambda view: view.seconds_per_byte).name
+
+
+ADMISSION_POLICIES = {
+    LRUPolicy.name: LRUPolicy,
+    CostAwarePolicy.name: CostAwarePolicy,
+    SizeAwarePolicy.name: SizeAwarePolicy,
+}
+
+
+def make_admission_policy(
+    policy: Union[str, AdmissionPolicy, None]
+) -> AdmissionPolicy:
+    """Resolve a policy instance from a name (or pass one through)."""
+    if policy is None:
+        return LRUPolicy()
+    if isinstance(policy, str):
+        try:
+            return ADMISSION_POLICIES[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"known: {sorted(ADMISSION_POLICIES)}"
+            ) from None
+    return policy
 
 
 def rebuild_layer_weight(
@@ -89,11 +273,15 @@ def rebuild_layer_weight(
 
 
 class RebuildEngine:
-    """LRU-cached rebuild-on-read over one model's compressed payloads.
+    """Policy-cached rebuild-on-read over one model's compressed payloads.
 
     ``capacity_bytes`` bounds the *dense* bytes held in the cache (the
     analogue of the accelerator's on-chip weight buffer).  ``None``
-    means unbounded — every layer is rebuilt at most once.
+    means unbounded — every layer is rebuilt at most once.  ``policy``
+    picks the admission/eviction strategy (name or instance; LRU by
+    default) and ``cost_model`` supplies/learns per-codec rebuild cost
+    estimates — every rebuild is observed into it, and cost-requiring
+    policies trigger a one-shot calibration probe per codec up front.
 
     The engine is thread-safe and shared by the serving worker pool:
     cache bookkeeping is guarded by one internal lock, rebuild compute
@@ -108,6 +296,8 @@ class RebuildEngine:
         payloads: Mapping[str, LayerPayload],
         specs: Dict[str, LayerArtifactSpec],
         capacity_bytes: Optional[int] = None,
+        policy: Union[str, AdmissionPolicy, None] = None,
+        cost_model: Optional[CodecCostModel] = None,
     ) -> None:
         missing = set(specs) - set(payloads)
         if missing:
@@ -115,13 +305,31 @@ class RebuildEngine:
         self._payloads = payloads
         self._specs = specs
         self.capacity_bytes = capacity_bytes
+        self.policy = make_admission_policy(policy)
+        self.cost_model = cost_model or CodecCostModel()
+        self._layer_codec = {name: spec.codec for name, spec in specs.items()}
+        # Resident bytes if a layer were cached, before its first
+        # rebuild tells us the decoded dtype: assume the float64 the
+        # NumPy substrate materializes; refined with the actual nbytes
+        # once rebuilt (`_actual_bytes`).
+        itemsize = np.dtype(np.float64).itemsize
+        self._assumed_bytes = {
+            name: int(np.prod(spec.weight_shape)) * itemsize
+            for name, spec in specs.items()
+        }
+        # Computed once: this sum sits on the stats hot path.
+        self._total_dense_bytes = sum(self._assumed_bytes.values())
+        self._actual_bytes: Dict[str, int] = {}
         self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._cached_bytes = 0
-        self.stats = RebuildCacheStats()
+        self.stats = RebuildCacheStats(policy=self.policy.name)
         # Guards the cache, the stats, and the in-flight table.  Rebuild
         # compute itself never runs under this lock.
         self._lock = threading.Lock()
         self._inflight: Dict[str, "_InFlightRebuild"] = {}
+        if getattr(self.policy, "requires_costs", False):
+            # Sane per-codec estimates before the first admission call.
+            self.cost_model.calibrate(payloads, specs)
 
     # ------------------------------------------------------------------
     @property
@@ -145,16 +353,48 @@ class RebuildEngine:
         Counts the float64 arrays the NumPy substrate materializes (the
         manifest's ``dense_bytes`` counts the FP32 checkpoint instead).
         """
-        itemsize = np.dtype(np.float64).itemsize
-        return sum(
-            int(np.prod(spec.weight_shape)) * itemsize
-            for spec in self._specs.values()
-        )
+        return self._total_dense_bytes
 
     @property
     def bytes_saved(self) -> int:
         """Dense bytes not resident right now (paid for with rebuilds)."""
-        return self.total_dense_bytes - self._cached_bytes
+        with self._lock:
+            return self._total_dense_bytes - self._cached_bytes
+
+    # ------------------------------------------------------------------
+    # Cost estimates
+    # ------------------------------------------------------------------
+    def _estimate_seconds(self, name: str) -> float:
+        """Estimated rebuild seconds for one layer (no lock needed)."""
+        nbytes = self._actual_bytes.get(name, self._assumed_bytes[name])
+        return self.cost_model.estimate_seconds(self._layer_codec[name], nbytes)
+
+    def layer_cost_estimates(self) -> Dict[str, float]:
+        """Per-layer estimated rebuild seconds at the current rates."""
+        return {name: self._estimate_seconds(name) for name in self._specs}
+
+    def estimated_install_seconds(self) -> float:
+        """Expected rebuild seconds for one pass over every layer.
+
+        Layers resident right now are expected hits (zero rebuild);
+        everything else is an expected miss priced at the cost model's
+        current per-codec rate.  This is the number the cost-aware
+        batch policy amortizes over a batch — it runs on the request
+        queue's hot path, so the rates are snapshotted in one lock
+        acquisition instead of one per layer.
+        """
+        with self._lock:
+            sizes = {
+                name: self._actual_bytes.get(name, self._assumed_bytes[name])
+                for name in self._specs
+                if name not in self._cache
+            }
+        rates = self.cost_model.snapshot_rates()
+        default = self.cost_model.default_seconds_per_byte
+        return sum(
+            rates.get(self._layer_codec[name], default) * nbytes
+            for name, nbytes in sizes.items()
+        )
 
     # ------------------------------------------------------------------
     def layer_weight(self, name: str) -> np.ndarray:
@@ -176,6 +416,7 @@ class RebuildEngine:
                 cached = self._cache.get(name)
                 if cached is not None:
                     self.stats.hits += 1
+                    self.stats.est_seconds_saved += self._estimate_seconds(name)
                     self._cache.move_to_end(name)
                     return cached
                 flight = self._inflight.get(name)
@@ -187,6 +428,7 @@ class RebuildEngine:
             if flight.weight is not None:
                 with self._lock:
                     self.stats.hits += 1
+                    self.stats.est_seconds_saved += self._estimate_seconds(name)
                 return flight.weight
             # The in-flight rebuild failed; loop and rebuild ourselves.
         try:
@@ -196,12 +438,14 @@ class RebuildEngine:
                 self._inflight.pop(name, None)
             flight.event.set()
             raise
+        self.cost_model.observe(self._layer_codec[name], weight.nbytes, seconds)
         flight.weight = weight  # published before event.set()
         with self._lock:
             self.stats.rebuilds += 1
             self.stats.rebuilt_bytes += weight.nbytes
             self.stats.rebuild_seconds += seconds
             self._admit(name, weight)
+            self._record_curve()
             self._inflight.pop(name, None)
         flight.event.set()
         return weight
@@ -214,19 +458,64 @@ class RebuildEngine:
         weight.setflags(write=False)
         return weight, seconds
 
+    def _view(self, name: str, nbytes: int) -> CacheEntryView:
+        # Caller holds self._lock.
+        return CacheEntryView(
+            name=name,
+            nbytes=nbytes,
+            codec=self._layer_codec[name],
+            rebuild_seconds=self._estimate_seconds(name),
+        )
+
+    def _resident_views(self, exclude: Optional[str] = None) -> List[CacheEntryView]:
+        # Caller holds self._lock.  OrderedDict order IS recency
+        # (hits move_to_end), so views arrive LRU-first.
+        return [
+            self._view(cached_name, array.nbytes)
+            for cached_name, array in self._cache.items()
+            if cached_name != exclude
+        ]
+
     def _admit(self, name: str, weight: np.ndarray) -> None:
         # Caller holds self._lock.
-        if self.capacity_bytes is not None and weight.nbytes > self.capacity_bytes:
+        nbytes = weight.nbytes
+        self._actual_bytes[name] = nbytes
+        if self.capacity_bytes is None:
+            self._cache[name] = weight
+            self._cached_bytes += nbytes
+            return
+        if nbytes > self.capacity_bytes:
             return  # larger than the whole cache: serve uncached
+        candidate = self._view(name, nbytes)
+        free = self.capacity_bytes - self._cached_bytes
+        if not self.policy.admit(candidate, self._resident_views(), free):
+            self.stats.rejected += 1
+            return
         self._cache[name] = weight
-        self._cached_bytes += weight.nbytes
-        while (
-            self.capacity_bytes is not None
-            and self._cached_bytes > self.capacity_bytes
-        ):
-            evicted_name, evicted = self._cache.popitem(last=False)
+        self._cached_bytes += nbytes
+        while self._cached_bytes > self.capacity_bytes:
+            resident = self._resident_views(exclude=name)
+            if not resident:
+                break  # only the candidate remains, and it fits
+            victim = self.policy.victim(candidate, resident)
+            if victim == name or victim not in self._cache:
+                # Defensive against a misbehaving policy: fall back to
+                # the LRU victim rather than looping forever.
+                victim = next(iter(self._cache))
+                if victim == name:
+                    victim = resident[0].name
+            evicted = self._cache.pop(victim)
             self._cached_bytes -= evicted.nbytes
             self.stats.evictions += 1
+
+    def _record_curve(self) -> None:
+        # Caller holds self._lock.
+        curve = self.stats.curve
+        curve.append(
+            (self.stats.accesses, self._cached_bytes, self.stats.rebuild_seconds)
+        )
+        if len(curve) >= _CURVE_LIMIT:
+            del curve[::2]
 
     # ------------------------------------------------------------------
     def warm(self) -> None:
@@ -238,6 +527,13 @@ class RebuildEngine:
         with self._lock:
             self._cache.clear()
             self._cached_bytes = 0
+
+    def reset_stats(self) -> None:
+        """Fresh counters (cache contents kept) — so benchmarks can
+        measure steady-state behavior after a warmup pass without
+        rebuilding the engine."""
+        with self._lock:
+            self.stats = RebuildCacheStats(policy=self.policy.name)
 
 
 class _InFlightRebuild:

@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional
 import numpy as np
 
 from repro.codecs import LayerPayload
+from repro.costs import CodecCostModel
 from repro.serving.artifacts import (
     ArtifactManifest,
     ArtifactStore,
@@ -57,12 +58,43 @@ class CompressedModelHandle:
     def layer_specs(self) -> Dict[str, LayerArtifactSpec]:
         return {spec.name: spec for spec in self.manifest.layers}
 
+    @property
+    def layer_codecs(self) -> Dict[str, str]:
+        """Which registered codec decodes each layer."""
+        return {spec.name: spec.codec for spec in self.manifest.layers}
+
+    @property
+    def total_dense_bytes(self) -> int:
+        """Resident bytes if every layer were rebuilt and cached dense.
+
+        Counts the float64 arrays the NumPy substrate materializes —
+        the unit engine ``cache_bytes`` is expressed in (the manifest's
+        ``dense_bytes`` counts the FP32 checkpoint instead).
+        """
+        itemsize = np.dtype(np.float64).itemsize
+        return sum(
+            int(np.prod(spec.weight_shape)) * itemsize
+            for spec in self.manifest.layers
+        )
+
 
 class ModelRegistry:
-    """Named, versioned, lazily-loaded compressed models."""
+    """Named, versioned, lazily-loaded compressed models.
 
-    def __init__(self, store: ArtifactStore) -> None:
+    The registry also owns one shared :class:`~repro.costs.
+    CodecCostModel`: engines built for its handles can pass
+    ``cost_model=registry.cost_model`` so per-codec rebuild rates
+    learned while serving one model price admission and batching
+    decisions for every other model in the same fleet.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        cost_model: Optional[CodecCostModel] = None,
+    ) -> None:
         self.store = store
+        self.cost_model = cost_model or CodecCostModel()
         self._lock = threading.Lock()
         self._loaded: Dict[str, CompressedModelHandle] = {}
 

@@ -7,6 +7,12 @@ in the rebuild-cache counters and bundle accounting on demand, so one
 ``summary()`` call answers: how fast are we serving, what did batching
 buy, how often did the rebuild cache hit, and how many dense bytes did
 the compressed form keep out of memory per request.
+
+Counters are also sliced per batch policy (``record_batch``'s
+``policy`` tag), and :meth:`ServingStats.cost_curve` summarizes the
+rebuild engine's sampled trade curve — resident bytes vs cumulative
+rebuild seconds over the access stream — which is how the realized
+storage-vs-compute trade of an admission policy gets plotted.
 """
 
 from __future__ import annotations
@@ -53,6 +59,12 @@ class WorkerStats:
         }
 
 
+class PolicyStats(WorkerStats):
+    """Per-batch-policy slice of the engine's counters (same shape)."""
+
+    __slots__ = ()
+
+
 class ServingStats:
     """Thread-safe accumulator for the inference engine's counters.
 
@@ -74,6 +86,7 @@ class ServingStats:
         self.busy_seconds = 0.0
         self.failed_requests = 0
         self.per_worker: Dict[int, WorkerStats] = {}
+        self.per_policy: Dict[str, PolicyStats] = {}
         self._window_start: Optional[float] = None
         self._window_end: Optional[float] = None
 
@@ -85,12 +98,17 @@ class ServingStats:
             self.busy_seconds = 0.0
             self.failed_requests = 0
             self.per_worker = {}
+            self.per_policy = {}
             self._window_start = None
             self._window_end = None
 
     # ------------------------------------------------------------------
     def record_batch(
-        self, batch_size: int, latency_s: float, worker: Optional[int] = None
+        self,
+        batch_size: int,
+        latency_s: float,
+        worker: Optional[int] = None,
+        policy: Optional[str] = None,
     ) -> None:
         end = time.perf_counter()
         start = end - float(latency_s)
@@ -98,6 +116,11 @@ class ServingStats:
             self.batch_sizes.append(int(batch_size))
             self.batch_latencies_s.append(float(latency_s))
             self.busy_seconds += float(latency_s)
+            if policy is not None:
+                slice_ = self.per_policy.setdefault(policy, PolicyStats())
+                slice_.batches += 1
+                slice_.requests += int(batch_size)
+                slice_.busy_seconds += float(latency_s)
             if worker is not None:
                 # The wall window tracks pool serving only, so offline
                 # batches (and the idle gaps around them) never dilute
@@ -192,6 +215,11 @@ class ServingStats:
                     index: stats.as_dict()
                     for index, stats in sorted(self.per_worker.items())
                 }
+            if self.per_policy:
+                out["per_policy"] = {
+                    name: stats.as_dict()
+                    for name, stats in sorted(self.per_policy.items())
+                }
             for key, value in percentiles(self.request_latencies_s).items():
                 out[f"request_latency_{key}_ms"] = value * 1e3
             for key, value in percentiles(self.batch_latencies_s).items():
@@ -221,6 +249,7 @@ class ServingStats:
         """Human-readable one-screen summary."""
         summary = self.summary(rebuild=rebuild, manifest=manifest)
         per_worker = summary.pop("per_worker", {})
+        per_policy = summary.pop("per_policy", {})
         lines = ["== serving stats =="]
         for key, value in summary.items():
             if isinstance(value, float):
@@ -233,4 +262,42 @@ class ServingStats:
                 + f" {worker['batches']} batches / {worker['requests']} "
                 f"requests / {worker['busy_seconds']:.4g}s busy"
             )
+        for name, slice_ in per_policy.items():
+            lines.append(
+                f"policy[{name}]".ljust(30)
+                + f" {slice_['batches']} batches / {slice_['requests']} "
+                f"requests / {slice_['busy_seconds']:.4g}s busy"
+            )
         return "\n".join(lines)
+
+    def cost_curve(
+        self, rebuild: RebuildCacheStats, max_points: int = 64
+    ) -> Dict:
+        """The realized storage-vs-compute trade of one rebuild cache.
+
+        Downsamples the rebuild engine's sampled curve — one point per
+        rebuild: (accesses so far, resident dense bytes, cumulative
+        rebuild seconds) — to at most ``max_points``, and attaches the
+        headline numbers a policy comparison needs: total rebuild
+        seconds paid, the estimated seconds cache hits avoided, and how
+        many admissions the policy declined.
+        """
+        points = list(rebuild.curve)
+        if len(points) > max_points:
+            keep = np.linspace(0, len(points) - 1, max_points).astype(int)
+            points = [points[i] for i in keep]
+        return {
+            "policy": rebuild.policy,
+            "rebuild_seconds": rebuild.rebuild_seconds,
+            "est_seconds_saved": rebuild.est_seconds_saved,
+            "rejected": rebuild.rejected,
+            "evictions": rebuild.evictions,
+            "points": [
+                {
+                    "accesses": accesses,
+                    "cached_bytes": cached_bytes,
+                    "rebuild_seconds": seconds,
+                }
+                for accesses, cached_bytes, seconds in points
+            ],
+        }

@@ -1,0 +1,198 @@
+"""repro.costs: the EWMA codec cost model and the hardware bridge."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_codec
+from repro.costs import (
+    DEFAULT_SECONDS_PER_BYTE,
+    CodecCostModel,
+    HardwareCostBridge,
+)
+
+
+class TestCodecCostModel:
+    def test_default_prior_for_unknown_codec(self):
+        model = CodecCostModel()
+        assert not model.calibrated("quant-linear")
+        assert model.seconds_per_byte("quant-linear") == DEFAULT_SECONDS_PER_BYTE
+        assert model.estimate_seconds("quant-linear", 1000) == pytest.approx(
+            1000 * DEFAULT_SECONDS_PER_BYTE
+        )
+
+    def test_first_observation_sets_rate(self):
+        model = CodecCostModel(alpha=0.25)
+        model.observe("dense", dense_bytes=1000, seconds=1e-3)
+        assert model.seconds_per_byte("dense") == pytest.approx(1e-6)
+        assert model.observations("dense") == 1
+        assert model.calibrated("dense")
+
+    def test_ewma_blends_later_observations(self):
+        model = CodecCostModel(alpha=0.5)
+        model.observe("c", dense_bytes=100, seconds=100 * 1e-6)  # rate 1e-6
+        model.observe("c", dense_bytes=100, seconds=100 * 3e-6)  # rate 3e-6
+        # 0.5 * 3e-6 + 0.5 * 1e-6
+        assert model.seconds_per_byte("c") == pytest.approx(2e-6)
+        assert model.observations("c") == 2
+
+    def test_degenerate_observations_ignored(self):
+        model = CodecCostModel()
+        model.observe("c", dense_bytes=0, seconds=1.0)
+        model.observe("c", dense_bytes=100, seconds=-1.0)
+        assert not model.calibrated("c")
+
+    def test_seed_and_force_semantics(self):
+        model = CodecCostModel()
+        model.seed("c", 2e-6)
+        assert model.seconds_per_byte("c") == pytest.approx(2e-6)
+        model.seed("c", 9e-6, force=False)  # already has a rate: no-op
+        assert model.seconds_per_byte("c") == pytest.approx(2e-6)
+        model.seed("c", 9e-6, force=True)
+        assert model.seconds_per_byte("c") == pytest.approx(9e-6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CodecCostModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            CodecCostModel(default_seconds_per_byte=0.0)
+        with pytest.raises(ValueError):
+            CodecCostModel().seed("c", 0.0)
+
+    def test_calibrate_probes_each_codec_once(self):
+        rng = np.random.default_rng(0)
+        payloads, specs = {}, {}
+
+        class Spec:
+            def __init__(self, codec):
+                self.codec = codec
+
+        for i, codec in enumerate(("dense", "quant-linear", "quant-linear")):
+            weight = rng.normal(size=(8, 16))
+            payloads[f"l{i}"] = get_codec(codec).encode(weight)
+            specs[f"l{i}"] = Spec(codec)
+        model = CodecCostModel()
+        probed = model.calibrate(payloads, specs)
+        assert set(probed) == {"dense", "quant-linear"}
+        for codec, rate in probed.items():
+            assert rate > 0
+            assert model.calibrated(codec)
+        # A second pass without force probes nothing new.
+        assert model.calibrate(payloads, specs) == {}
+        assert model.calibrate(payloads, specs, force=True) != {}
+
+    def test_as_dict_snapshot(self):
+        model = CodecCostModel()
+        model.observe("dense", 100, 1e-4)
+        snap = model.as_dict()
+        assert snap["codecs"]["dense"]["observations"] == 1
+        assert snap["codecs"]["dense"]["seconds_per_byte"] > 0
+
+    def test_snapshot_rates_is_a_copy(self):
+        model = CodecCostModel()
+        model.observe("dense", 100, 1e-4)
+        rates = model.snapshot_rates()
+        assert rates == {"dense": pytest.approx(1e-6)}
+        rates["dense"] = 0.0  # mutating the copy must not leak back
+        assert model.seconds_per_byte("dense") == pytest.approx(1e-6)
+
+    def test_calibrate_tolerates_zero_second_probe(self, monkeypatch):
+        """A decode measured as 0.0 s (coarse timer) keeps the prior."""
+        import repro.costs.model as costs_model
+
+        ticks = iter([1.0, 1.0])  # start == end -> 0.0 s probe
+        monkeypatch.setattr(
+            costs_model.time, "perf_counter", lambda: next(ticks)
+        )
+        payloads = {"a": get_codec("dense").encode(np.ones((4, 4)))}
+
+        class Spec:
+            codec = "dense"
+
+        model = CodecCostModel()
+        assert model.calibrate(payloads, {"a": Spec()}) == {}
+        assert not model.calibrated("dense")
+        assert model.seconds_per_byte("dense") == DEFAULT_SECONDS_PER_BYTE
+
+    def test_concurrent_observers_are_safe(self):
+        model = CodecCostModel()
+        errors = []
+
+        def worker(codec):
+            try:
+                for _ in range(200):
+                    model.observe(codec, 100, 1e-5)
+                    model.seconds_per_byte(codec)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"c{i % 3}",))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = sum(model.observations(f"c{i}") for i in range(3))
+        assert total == 6 * 200
+
+
+class TestHardwareCostBridge:
+    def test_unit_conversion(self):
+        bridge = HardwareCostBridge(effective_watts=1.0)
+        # miss energy in pJ -> joules -> seconds at 1 W, per dense byte
+        pj = bridge.miss_energy_pj(payload_bytes=100, dense_bytes=1000)
+        assert bridge.seconds_per_byte(100, 1000) == pytest.approx(
+            pj * 1e-12 / 1000
+        )
+
+    def test_compression_saves_energy(self):
+        bridge = HardwareCostBridge()
+        dense_bytes = 10_000
+        # A 10x-compressed payload: fetching 1/10th of the bytes from
+        # DRAM dwarfs the MAC-class rebuild ops (the paper's premise).
+        assert bridge.energy_saved_pj(dense_bytes // 10, dense_bytes) > 0
+        # The degenerate "payload as big as dense" trade saves nothing.
+        assert bridge.energy_saved_pj(dense_bytes, dense_bytes) <= 0
+
+    def test_bigger_payload_costs_more(self):
+        bridge = HardwareCostBridge()
+        cheap = bridge.miss_energy_pj(100, 1000)
+        costly = bridge.miss_energy_pj(900, 1000)
+        assert costly > cheap
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCostBridge(effective_watts=0.0)
+        with pytest.raises(ValueError):
+            HardwareCostBridge(rebuild_ops_per_byte=-1.0)
+
+    def test_seed_fills_only_unmeasured_codecs(self):
+        rng = np.random.default_rng(1)
+        payloads = {
+            "a": get_codec("dense").encode(rng.normal(size=(4, 8))),
+            "b": get_codec("quant-linear").encode(rng.normal(size=(4, 8))),
+        }
+        model = CodecCostModel()
+        model.observe("dense", 256, 1e-5)  # "dense" already measured
+        measured = model.seconds_per_byte("dense")
+        seeded = HardwareCostBridge().seed(model, payloads)
+        assert "quant-linear" in seeded
+        assert "dense" not in seeded
+        assert model.seconds_per_byte("dense") == measured
+        assert model.seconds_per_byte("quant-linear") == pytest.approx(
+            seeded["quant-linear"]
+        )
+
+    def test_seed_force_overrides(self):
+        rng = np.random.default_rng(2)
+        payloads = {"a": get_codec("dense").encode(rng.normal(size=(4, 8)))}
+        model = CodecCostModel()
+        model.observe("dense", 256, 1e-5)
+        seeded = HardwareCostBridge().seed(model, payloads, force=True)
+        assert model.seconds_per_byte("dense") == pytest.approx(
+            seeded["dense"]
+        )

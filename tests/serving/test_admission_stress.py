@@ -1,0 +1,129 @@
+"""Concurrent eviction/admission stress across mixed codecs.
+
+N threads hammer one capacity-bounded ``RebuildEngine`` holding layers
+encoded under several codecs, in per-thread shuffled orders, under
+every admission policy — asserting the counters stay consistent
+(``hits + misses == accesses``), the capacity bound is never violated,
+and every returned weight is bit-identical to a fresh decode.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_codec
+from repro.serving import ADMISSION_POLICIES, RebuildEngine
+from repro.serving.artifacts import LayerArtifactSpec
+
+THREADS = 8
+ROUNDS = 12
+
+LAYERS = [
+    # (name, fc shape, codec) — a mixed-codec zoo with size variety.
+    ("se-big", (24, 24), "smartexchange"),
+    ("se-small", (8, 12), "smartexchange"),
+    ("ql-big", (20, 20), "quant-linear"),
+    ("ql-small", (6, 10), "quant-linear"),
+    ("fp8", (12, 12), "quant-fp8"),
+    ("csr", (10, 14), "prune-csr"),
+    ("dense", (9, 9), "dense"),
+]
+
+
+def build_payloads():
+    rng = np.random.default_rng(7)
+    payloads, specs, reference = {}, {}, {}
+    for name, shape, codec in LAYERS:
+        weight = rng.normal(size=shape)
+        payload = get_codec(codec).encode(weight)
+        payloads[name] = payload
+        specs[name] = LayerArtifactSpec(
+            name=name, kind="fc", weight_shape=shape, codec=codec
+        )
+        reference[name] = get_codec(codec).decode(payload)
+    return payloads, specs, reference
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return build_payloads()
+
+
+@pytest.mark.parametrize("policy", sorted(ADMISSION_POLICIES))
+def test_concurrent_mixed_codec_stress(zoo, policy):
+    payloads, specs, reference = zoo
+    total = sum(int(np.prod(shape)) * 8 for _, shape, _ in LAYERS)
+    capacity = int(total * 0.5)  # guarantees eviction/rejection traffic
+    engine = RebuildEngine(
+        payloads=payloads,
+        specs=specs,
+        capacity_bytes=capacity,
+        policy=policy,
+    )
+
+    errors = []
+    barrier = threading.Barrier(THREADS)
+
+    def worker(seed):
+        rng = np.random.default_rng(seed)
+        names = list(specs)
+        try:
+            barrier.wait()
+            for round_index in range(ROUNDS):
+                rng.shuffle(names)
+                for name in names:
+                    weight = engine.layer_weight(name)
+                    np.testing.assert_array_equal(weight, reference[name])
+                # Exercise the lock-guarded telemetry paths mid-flight.
+                assert engine.cached_bytes <= capacity
+                assert engine.bytes_saved >= engine.total_dense_bytes - capacity
+                if round_index == ROUNDS // 2 and seed == 0:
+                    engine.clear()  # one mid-stress flush
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,)) for seed in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors, errors[0]
+    stats = engine.stats
+    accesses = THREADS * ROUNDS * len(LAYERS)
+    assert stats.hits + stats.misses == accesses
+    assert stats.accesses == accesses
+    assert stats.rebuilds <= stats.misses
+    assert engine.cached_bytes <= capacity
+    assert engine.cached_bytes == sum(
+        reference[name].nbytes for name in engine.cached_layers
+    )
+    # The curve is monotone in accesses and cumulative rebuild seconds.
+    curve = stats.curve
+    assert curve, "stress run recorded no trade-curve points"
+    for (a0, _, s0), (a1, _, s1) in zip(curve, curve[1:]):
+        assert a1 >= a0
+        assert s1 >= s0
+    for _, cached_bytes, _ in curve:
+        assert cached_bytes <= capacity
+
+
+@pytest.mark.parametrize("policy", sorted(ADMISSION_POLICIES))
+def test_single_thread_counters_exact(zoo, policy):
+    """Sequential sanity twin of the stress test: exact counter math."""
+    payloads, specs, reference = zoo
+    engine = RebuildEngine(
+        payloads=payloads, specs=specs, capacity_bytes=None, policy=policy
+    )
+    for _ in range(3):
+        for name in specs:
+            np.testing.assert_array_equal(
+                engine.layer_weight(name), reference[name]
+            )
+    assert engine.stats.misses == len(LAYERS)
+    assert engine.stats.hits == 2 * len(LAYERS)
+    assert engine.stats.rebuilds == len(LAYERS)
+    assert engine.bytes_saved == 0

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.serving import (
-    BatchPolicy,
+    StaticBatchPolicy,
     QueueClosed,
     RequestQueue,
     coalesce,
@@ -17,14 +17,14 @@ from repro.serving import (
 
 class TestBatchPolicy:
     def test_defaults(self):
-        policy = BatchPolicy()
+        policy = StaticBatchPolicy()
         assert policy.max_batch_size >= 1
         assert policy.max_wait_s >= 0
 
     @pytest.mark.parametrize("size,wait", [(0, 0.0), (-1, 0.0), (1, -0.1)])
     def test_invalid_rejected(self, size, wait):
         with pytest.raises(ValueError):
-            BatchPolicy(max_batch_size=size, max_wait_s=wait)
+            StaticBatchPolicy(max_batch_size=size, max_wait_s=wait)
 
 
 class TestCoalesce:
@@ -42,7 +42,7 @@ class TestCoalesce:
 
 class TestRequestQueue:
     def test_coalesces_up_to_max_batch(self):
-        queue = RequestQueue(BatchPolicy(max_batch_size=3, max_wait_s=0.01))
+        queue = RequestQueue(StaticBatchPolicy(max_batch_size=3, max_wait_s=0.01))
         tickets = [queue.submit(np.full(2, i)) for i in range(5)]
         first = queue.next_batch()
         second = queue.next_batch()
@@ -50,7 +50,7 @@ class TestRequestQueue:
         assert [r.request_id for r in first] == [t.request_id for t in tickets[:3]]
 
     def test_stack_batch_shape_and_order(self):
-        queue = RequestQueue(BatchPolicy(max_batch_size=4, max_wait_s=0.0))
+        queue = RequestQueue(StaticBatchPolicy(max_batch_size=4, max_wait_s=0.0))
         for i in range(3):
             queue.submit(np.full((2, 2), float(i)))
         batch = stack_batch(queue.next_batch())
@@ -58,7 +58,7 @@ class TestRequestQueue:
         np.testing.assert_array_equal(batch[:, 0, 0], [0.0, 1.0, 2.0])
 
     def test_waits_for_stragglers(self):
-        queue = RequestQueue(BatchPolicy(max_batch_size=2, max_wait_s=0.5))
+        queue = RequestQueue(StaticBatchPolicy(max_batch_size=2, max_wait_s=0.5))
         queue.submit(np.zeros(1))
 
         def late_submit():
@@ -72,11 +72,11 @@ class TestRequestQueue:
         assert len(batch) == 2  # straggler made it within max_wait_s
 
     def test_timeout_returns_empty(self):
-        queue = RequestQueue(BatchPolicy(max_batch_size=2, max_wait_s=0.0))
+        queue = RequestQueue(StaticBatchPolicy(max_batch_size=2, max_wait_s=0.0))
         assert queue.next_batch(timeout=0.01) == []
 
     def test_close_drains_then_raises(self):
-        queue = RequestQueue(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        queue = RequestQueue(StaticBatchPolicy(max_batch_size=8, max_wait_s=0.0))
         queue.submit(np.zeros(1))
         queue.close()
         assert len(queue.next_batch()) == 1

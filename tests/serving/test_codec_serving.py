@@ -18,7 +18,14 @@ from repro.compression import (
     Pow2Quantizer,
 )
 from repro.core import apply_smartexchange
-from repro.serving import ArtifactStore, BatchPolicy, InferenceEngine, ModelRegistry
+from repro.serving import (
+    ADMISSION_POLICIES,
+    ArtifactStore,
+    CostAwareBatchPolicy,
+    InferenceEngine,
+    ModelRegistry,
+    StaticBatchPolicy,
+)
 
 from tests.serving.conftest import FAST, build_model
 
@@ -107,7 +114,7 @@ class TestCodecZoo:
         engine = InferenceEngine(
             build_model(seed=7),
             ModelRegistry(store).get(bundle),
-            policy=BatchPolicy(max_batch_size=4, max_wait_s=0.001),
+            policy=StaticBatchPolicy(max_batch_size=4, max_wait_s=0.001),
         )
         samples = list(np.random.default_rng(2).normal(size=(6, 3, 8, 8)))
         offline = engine.predict_many(samples)
@@ -145,6 +152,63 @@ class TestCodecZoo:
                 trades["m-dense"]["bundle_payload_bytes"]
             )
             assert trades[bundle]["bundle_bytes_saved"] > 0
+
+    @pytest.mark.parametrize("admission", sorted(ADMISSION_POLICIES))
+    @pytest.mark.parametrize("bundle", sorted(EXPECTED_CODECS))
+    def test_every_codec_serves_under_every_policy(
+        self, codec_zoo, bundle, admission
+    ):
+        """The policy matrix: 6 codecs x 3 admission x 2 batch policies.
+
+        A capacity-bounded cache (forcing real eviction/rejection
+        decisions) must not change served outputs — offline under the
+        static batch policy, online worker-pool under the cost-aware
+        batch policy.
+        """
+        store, _ = codec_zoo
+        registry = ModelRegistry(store)
+        handle = registry.get(bundle)
+        total = handle.total_dense_bytes
+        samples = list(np.random.default_rng(5).normal(size=(6, 3, 8, 8)))
+        reference = np.stack(
+            InferenceEngine(build_model(seed=7), handle).predict_many(samples)
+        )
+
+        offline = InferenceEngine(
+            build_model(seed=7),
+            handle,
+            policy=StaticBatchPolicy(max_batch_size=4, max_wait_s=0.001),
+            cache_bytes=int(total * 0.6),
+            admission=admission,
+            cost_model=registry.cost_model,
+        )
+        np.testing.assert_allclose(
+            np.stack(offline.predict_many(samples)), reference, atol=1e-12
+        )
+        assert offline.summary()["rebuild_policy"] == admission
+        assert offline.summary()["batch_policy"] == "static"
+
+        online = InferenceEngine(
+            build_model(seed=7),
+            handle,
+            policy=CostAwareBatchPolicy(max_batch_size=4, max_wait_s=0.01),
+            cache_bytes=int(total * 0.6),
+            admission=admission,
+            cost_model=registry.cost_model,
+        )
+        online.start(workers=2)
+        try:
+            tickets = [online.submit(sample) for sample in samples]
+            rows = [t.result(timeout=30.0) for t in tickets]
+        finally:
+            online.stop()
+        np.testing.assert_allclose(np.stack(rows), reference, atol=1e-12)
+        summary = online.summary()
+        assert summary["batch_policy"] == "cost-aware"
+        assert "cost-aware" in summary["per_policy"]
+        curve = online.cost_curve()
+        assert curve["policy"] == admission
+        assert curve["rebuild_seconds"] >= 0
 
     def test_lazy_loads_only_touched_layers(self, codec_zoo):
         store, _ = codec_zoo

@@ -10,7 +10,7 @@ import pytest
 
 from repro import nn
 from repro.serving import (
-    BatchPolicy,
+    StaticBatchPolicy,
     InferenceEngine,
     ModelRegistry,
     ServingError,
@@ -28,7 +28,7 @@ def engine(published):
     return InferenceEngine(
         build_model(seed=123),
         handle,
-        policy=BatchPolicy(max_batch_size=4, max_wait_s=0.01),
+        policy=StaticBatchPolicy(max_batch_size=4, max_wait_s=0.01),
     )
 
 

@@ -17,7 +17,7 @@ import pytest
 from repro import nn
 from repro.serving import (
     AsyncInferenceEngine,
-    BatchPolicy,
+    StaticBatchPolicy,
     InferenceEngine,
     ModelRegistry,
     RebuildEngine,
@@ -38,7 +38,7 @@ def make_engine(handle, **policy) -> InferenceEngine:
     policy.setdefault("max_batch_size", 4)
     policy.setdefault("max_wait_s", 0.002)
     return InferenceEngine(
-        build_model(seed=123), handle, policy=BatchPolicy(**policy)
+        build_model(seed=123), handle, policy=StaticBatchPolicy(**policy)
     )
 
 

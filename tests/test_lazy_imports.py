@@ -8,15 +8,16 @@ import repro
 
 
 def test_subpackages_resolve_lazily():
-    for name in ("codecs", "core", "compression", "hardware", "serving"):
+    for name in ("codecs", "core", "compression", "costs", "hardware",
+                 "serving"):
         module = getattr(repro, name)
         assert module.__name__ == f"repro.{name}"
 
 
 def test_dir_lists_subpackages():
     listed = dir(repro)
-    for name in ("codecs", "core", "compression", "hardware", "serving",
-                 "nn", "datasets", "sparsity", "experiments"):
+    for name in ("codecs", "core", "compression", "costs", "hardware",
+                 "serving", "nn", "datasets", "sparsity", "experiments"):
         assert name in listed
 
 
