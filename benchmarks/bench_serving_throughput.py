@@ -24,6 +24,16 @@ hit rate, and rejected/evicted counts; ``--policy all`` sweeps
 row, and asserts the cost-aware policy pays fewer rebuild seconds than
 LRU (the point of the cost model).
 
+``--routing`` runs the multi-model host comparison instead: two
+interchangeable bundles of the same network (``smartexchange`` and
+``quant-linear``) are deployed behind one :class:`ServingHost`, the
+smartexchange engine is pre-warmed, and the identical request trace is
+routed under each routing policy — reporting per-engine routed counts
+and total rebuild seconds; ``--routing all`` sweeps ``round-robin`` /
+``least-loaded`` / ``cost-aware`` and asserts cost-aware routing pays
+fewer rebuild seconds than round-robin (it sends the cold-cache-heavy
+trace to the warm engine instead of splitting it).
+
 Runs standalone (``python benchmarks/bench_serving_throughput.py``,
 ``--smoke`` for a CI-sized run, ``--workers 1,2,4`` to pick the sweep)
 or under pytest-benchmark like the other benches.
@@ -50,10 +60,12 @@ from repro.core import SmartExchangeConfig, apply_smartexchange
 from repro.experiments.common import ExperimentResult
 from repro.serving import (
     ADMISSION_POLICIES,
+    ROUTING_POLICIES,
     ArtifactStore,
     CostAwareBatchPolicy,
     InferenceEngine,
     ModelRegistry,
+    ServingHost,
     StaticBatchPolicy,
 )
 
@@ -62,6 +74,7 @@ BATCH_SIZE = 16
 IMAGE_SHAPE = (3, 16, 16)
 WORKER_SWEEP = (1, 2, 4)
 POLICY_SWEEP = ("lru", "cost-aware", "size-aware")
+ROUTING_SWEEP = ("round-robin", "least-loaded", "cost-aware")
 # Fraction of the model's dense bytes the bounded rebuild cache holds
 # in the policy sweep: small enough that every pass must evict or
 # reject something, big enough that the largest layer still fits.
@@ -353,6 +366,96 @@ def run_policy_sweep(
     )
 
 
+def _publish_interchangeable(store: ArtifactStore) -> None:
+    """Two bundles of the *same* network for the routing sweep.
+
+    ``bench-cnn-se`` stores the paper's {B, Ce, index} decomposition (a
+    rebuild is expensive per byte); ``bench-cnn-ql`` stores the same
+    weights under int8 linear quantization (a rebuild is one multiply).
+    A host fronting both can answer any request from either engine —
+    exactly the arbitration cost-aware routing exists for.
+    """
+    se_model = _build_model(seed=0)
+    config = SmartExchangeConfig(max_iterations=6, target_row_sparsity=0.5)
+    _, report = apply_smartexchange(se_model, config, model_name="bench-cnn-se")
+    store.publish(report, config, model=se_model)
+    ql_model = _build_model(seed=0)
+    q_report = LinearQuantizer(8).compress(ql_model, "bench-cnn-ql")
+    store.publish_compressed(q_report, model=ql_model)
+
+
+def run_routing_sweep(
+    routing_list=ROUTING_SWEEP, requests: int = REQUESTS, workers: int = 2
+) -> ExperimentResult:
+    """Same two-engine fleet and request trace, one routing policy per
+    row.
+
+    Every row gets an identical fleet: the smartexchange engine pre-
+    warmed (its rebuild cache full, stats reset to steady state), the
+    quant-linear engine stone cold, a fresh registry/cost model.  The
+    trace is unpinned — any engine may answer — so the routing policy
+    alone decides who pays rebuild compute: round-robin splits the
+    trace and forces the cold engine to install everything, while
+    cost-aware reads ``estimated_install_seconds()`` and drains the
+    trace to the warm engine.
+    """
+    rng = np.random.default_rng(0)
+    samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
+    root = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    store = ArtifactStore(root)
+    _publish_interchangeable(store)
+
+    rows = []
+    for routing in routing_list:
+        registry = ModelRegistry(store)
+        host = ServingHost(registry, routing=routing)
+        batch = lambda: StaticBatchPolicy(
+            max_batch_size=BATCH_SIZE, max_wait_s=0.001
+        )
+        warm = host.deploy("bench-cnn-se", _build_model(seed=1), policy=batch())
+        host.deploy("bench-cnn-ql", _build_model(seed=1), policy=batch())
+        warm.rebuild.warm()
+        warm.rebuild.reset_stats()
+        host.start(workers=workers)
+        try:
+            tickets = [host.submit(sample) for sample in samples]
+            for ticket in tickets:
+                ticket.result(timeout=60.0)
+        finally:
+            host.stop()
+        summary = host.summary()
+        routed = summary["routed_by_engine"]
+        rows.append({
+            "routing": routing,
+            "requests": summary["requests"],
+            "routed_warm": routed.get("bench-cnn-se:v1", 0),
+            "routed_cold": routed.get("bench-cnn-ql:v1", 0),
+            "rebuild_s": summary["rebuild_seconds"],
+            "hit_rate": summary["rebuild_hit_rate"],
+            "throughput_rps": sum(
+                s["throughput_rps"] for s in summary["per_engine"].values()
+            ),
+        })
+
+    by_routing = {row["routing"]: row["rebuild_s"] for row in rows}
+    notes = (
+        f"two interchangeable bundles (smartexchange warm, quant-linear "
+        f"cold), {requests} unpinned requests, {workers} worker(s) per "
+        f"engine"
+    )
+    rr, cost = by_routing.get("round-robin"), by_routing.get("cost-aware")
+    if rr is not None and cost is not None:
+        notes += (
+            f"; cost-aware pays {cost:.4f}s of rebuild vs round-robin "
+            f"{rr:.4f}s"
+        )
+    return ExperimentResult(
+        experiment="serving rebuild cost across routing policies",
+        rows=rows,
+        notes=notes,
+    )
+
+
 def bench_serving_throughput(benchmark):
     from benchmarks.conftest import run_and_print
 
@@ -396,9 +499,52 @@ def main() -> None:
             "'all'"
         ),
     )
+    parser.add_argument(
+        "--routing",
+        default=None,
+        help=(
+            "run the multi-model host comparison instead: a routing "
+            f"policy name (one of {', '.join(ROUTING_SWEEP)}), a "
+            "comma-separated list, or 'all'"
+        ),
+    )
     args = parser.parse_args()
     requests = 16 if args.smoke else REQUESTS
     sweep = args.workers or ((1, 2) if args.smoke else WORKER_SWEEP)
+
+    if args.routing is not None:
+        routing_list = (
+            ROUTING_SWEEP if args.routing == "all"
+            else tuple(args.routing.split(","))
+        )
+        unknown = set(routing_list) - set(ROUTING_POLICIES)
+        if unknown:
+            raise SystemExit(
+                f"unknown --routing {sorted(unknown)}; "
+                f"pick from {', '.join(ROUTING_SWEEP)}"
+            )
+        result = run_routing_sweep(
+            routing_list, requests=requests, workers=max(sweep)
+        )
+        print(result.as_table())
+        print(result.notes)
+        assert all(
+            row["requests"] == requests for row in result.rows
+        ), "a routing policy dropped requests"
+        rebuild = {row["routing"]: row["rebuild_s"] for row in result.rows}
+        if {"round-robin", "cost-aware"} <= set(routing_list):
+            assert rebuild["cost-aware"] < rebuild["round-robin"], (
+                "cost-aware routing did not beat round-robin on rebuild "
+                "seconds"
+            )
+            cost_row = next(
+                row for row in result.rows if row["routing"] == "cost-aware"
+            )
+            assert cost_row["routed_warm"] == requests, (
+                "cost-aware routing did not drain the trace to the warm "
+                "engine"
+            )
+        return
 
     if args.policy is not None:
         policy_list = (

@@ -12,10 +12,16 @@ section publishes the identical network under the ``quant-linear``
 (int8) baseline codec and serves it through the identical engine —
 only the bundle's ``codec`` field differs.
 
-The final section puts the cost model to work: the same bundle served
-through a capacity-bounded cache under plain LRU vs the cost-aware
-admission policy (rebuild-seconds-per-byte knapsack), showing the
-rebuild compute each policy pays for the identical request stream.
+A cost-model section serves the same bundle through a capacity-bounded
+cache under plain LRU vs the cost-aware admission policy
+(rebuild-seconds-per-byte knapsack), showing the rebuild compute each
+policy pays for the identical request stream.
+
+The final section brings up a :class:`ServingHost` over *both* bundles
+— the SmartExchange and the int8 encoding of the same network — and
+routes one unpinned request stream under cost-aware routing: the
+pre-warmed engine bids ~0 expected install seconds, so the traffic
+drains to it instead of waking the cold one.
 
 Run:  python examples/serve_compressed.py
 """
@@ -34,6 +40,7 @@ from repro.serving import (
     AsyncInferenceEngine,
     InferenceEngine,
     ModelRegistry,
+    ServingHost,
     StaticBatchPolicy,
 )
 
@@ -174,6 +181,32 @@ def main() -> None:
                 f"rejected {summary['rebuild_rejected']:3d}  "
                 f"drift vs offline {drift:.2e}"
             )
+
+        # The routing axis: both encodings of the network behind one
+        # multi-model host.  The SmartExchange engine is pre-warmed, so
+        # under cost-aware routing it bids ~0 expected install seconds
+        # and the unpinned stream drains to it; the cold int8 engine
+        # never pays a rebuild.
+        print("\nmulti-model host with cost-aware request routing:")
+        host = ServingHost(registry, routing="cost-aware")
+        warm_engine = host.deploy(
+            "demo-cnn", build_model(np.random.default_rng(4)),
+            policy=StaticBatchPolicy(max_batch_size=8, max_wait_s=0.005),
+        )
+        host.deploy(
+            "demo-cnn-int8", build_model(np.random.default_rng(5)),
+            policy=StaticBatchPolicy(max_batch_size=8, max_wait_s=0.005),
+        )
+        warm_engine.rebuild.warm()
+        host.start(workers=2)
+        try:
+            tickets = [host.submit(sample) for sample in samples]
+            routed_rows = [ticket.result(timeout=30.0) for ticket in tickets]
+        finally:
+            host.stop()
+        drift = float(np.abs(np.stack(routed_rows) - np.stack(offline)).max())
+        print(host.report())
+        print(f"routed vs offline max drift     : {drift:.2e}")
 
 
 if __name__ == "__main__":

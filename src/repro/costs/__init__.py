@@ -4,17 +4,21 @@ The accelerator side of this repo prices the paper's trade in pJ per
 datum; the serving side pays it in *rebuild seconds*.  ``repro.costs``
 owns the conversion and the bookkeeping:
 
-- :class:`CodecCostModel` — per-codec rebuild seconds-per-dense-byte,
-  learned online (EWMA over observed decodes) and seeded by a one-shot
-  calibration probe per codec.
+- :class:`CodecCostModel` — rebuild seconds-per-dense-byte learned
+  online (EWMA over observed decodes), keyed per codec and — when the
+  observer names the layer — per ``(codec, layer)`` with the codec
+  rate as the prior; seeded by a one-shot calibration probe per codec
+  (timing the codec's largest layer).
 - :class:`HardwareCostBridge` — maps
   :mod:`repro.hardware` energy estimates (DRAM fetch + MAC-class
   rebuild ops) onto serving-layer seconds, for cost-aware decisions
   before any traffic has been measured.
 
 The serving layer consumes these through
-:class:`repro.serving.CostAwarePolicy` (cache admission/eviction) and
-:class:`repro.serving.CostAwareBatchPolicy` (batch-close point).
+:class:`repro.serving.CostAwarePolicy` (cache admission/eviction),
+:class:`repro.serving.CostAwareBatchPolicy` (batch-close point), and
+:class:`repro.serving.CostAwareRoutingPolicy` (which engine in a
+multi-model :class:`repro.serving.ServingHost` serves each request).
 """
 
 from repro.costs.model import (

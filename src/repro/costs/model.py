@@ -12,8 +12,13 @@ Two sources feed that number:
 
 - :class:`CodecCostModel` — learned online.  Every observed decode
   updates an exponentially-weighted moving average of seconds-per-byte
-  for the payload's codec, seeded by a one-shot calibration probe (one
-  timed decode per codec) so estimates are sane before any traffic.
+  for the payload's codec — and, when the observer names the layer, a
+  second EWMA keyed on ``(codec, layer)`` whose prior is the codec
+  rate, because a ``smartexchange`` decode's seconds-per-byte varies
+  with the layer's shape and sparsity.  A one-shot calibration probe
+  (one timed decode per codec, on the codec's largest layer so a
+  coarse timer tick cannot misprice the whole codec) seeds the codec
+  rate so estimates are sane before any traffic.
 - :class:`HardwareCostBridge` — derived from the accelerator models.
   :mod:`repro.hardware.energy` gives per-datum DRAM/SRAM/MAC energies
   (the paper's Table I); the bridge maps a codec's {payload bytes,
@@ -31,7 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 # 5 ns/byte is a deliberately mid-range prior: slower than a memcpy-like
 # dense decode, faster than a smartexchange rebuild, so an uncalibrated
@@ -39,8 +44,27 @@ from typing import Any, Dict, Mapping, Optional
 DEFAULT_SECONDS_PER_BYTE = 5e-9
 
 
+def _dense_bytes_of(shape) -> int:
+    """FP32 bytes of a dense weight shape (0 when the shape is unknown)."""
+    if not shape:
+        return 0
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return count * 4
+
+
 class CodecCostModel:
-    """Learned rebuild seconds-per-dense-byte, one EWMA per codec.
+    """Learned rebuild seconds-per-dense-byte, one EWMA per codec —
+    sharpened to one EWMA per ``(codec, layer)`` when observers say
+    which layer they decoded.
+
+    The codec-level rate is the *prior*: a layer with no observations
+    of its own is priced at its codec's rate, and a layer's first
+    observation blends into that prior rather than replacing it, so
+    per-layer rates start sane and diverge only as evidence arrives
+    (a deep ``smartexchange`` conv and a tiny pointwise layer genuinely
+    decode at different seconds-per-byte).
 
     Thread-safe: the serving worker pool feeds :meth:`observe` from
     many threads while admission policies read estimates concurrently.
@@ -63,19 +87,30 @@ class CodecCostModel:
         self._lock = threading.Lock()
         self._rates: Dict[str, float] = {}
         self._observations: Dict[str, int] = {}
+        self._layer_rates: Dict[Tuple[str, str], float] = {}
+        self._layer_observations: Dict[Tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def observe(self, codec: str, dense_bytes: int, seconds: float) -> float:
+    def observe(
+        self,
+        codec: str,
+        dense_bytes: int,
+        seconds: float,
+        layer: Optional[str] = None,
+    ) -> float:
         """Fold one measured decode into the codec's EWMA; returns it.
 
         ``dense_bytes`` is the size of the *rebuilt* tensor (the work
         the decode produced), ``seconds`` the wall time it took.
-        Degenerate observations (no bytes, negative time) are ignored.
+        ``layer`` (optional) additionally folds the observation into
+        the ``(codec, layer)`` EWMA, seeded from the codec rate the
+        first time the layer is seen.  Degenerate observations (no
+        bytes, negative time) are ignored.
         """
         if dense_bytes <= 0 or seconds < 0:
-            return self.seconds_per_byte(codec)
+            return self.seconds_per_byte(codec, layer)
         rate = seconds / dense_bytes
         with self._lock:
             previous = self._rates.get(codec)
@@ -85,6 +120,19 @@ class CodecCostModel:
                 updated = self.alpha * rate + (1.0 - self.alpha) * previous
             self._rates[codec] = updated
             self._observations[codec] = self._observations.get(codec, 0) + 1
+            if layer is not None:
+                key = (codec, layer)
+                # The codec rate *before* this observation is the prior
+                # a fresh layer EWMA starts from.
+                prior = self._layer_rates.get(key, previous)
+                if prior is None:
+                    layer_rate = rate
+                else:
+                    layer_rate = self.alpha * rate + (1.0 - self.alpha) * prior
+                self._layer_rates[key] = layer_rate
+                self._layer_observations[key] = (
+                    self._layer_observations.get(key, 0) + 1
+                )
             return updated
 
     def seed(
@@ -114,38 +162,51 @@ class CodecCostModel:
         ``payloads`` maps the same names to
         :class:`~repro.codecs.LayerPayload` objects.  For each codec
         without a rate yet (all of them under ``force=True``), the
-        first layer encoded with it is decoded once, timed, and the
-        measured seconds-per-byte seeded.  Returns ``{codec: rate}``
-        for the codecs probed.
+        layer with the *largest dense output* encoded with it is
+        decoded once, timed, and the measured seconds-per-byte seeded —
+        probing the largest layer, not the first one encountered,
+        because on a tiny layer a single coarse-timer tick is a huge
+        per-byte error and would misprice the whole codec.  Returns
+        ``{codec: rate}`` for the codecs probed.
         """
         from repro.codecs import LayerPayload, get_codec
 
-        probed: Dict[str, float] = {}
+        # Rank each codec's layers by the spec's dense shape, largest
+        # first — payloads may be lazy (npz-backed), so candidate
+        # selection must not touch them; only probed layers are loaded.
+        candidates: Dict[str, list] = {}
         for name, spec in specs.items():
             codec = getattr(spec, "codec", None)
-            if codec is None or codec in probed:
+            if codec is None or name not in payloads:
                 continue
             if not force and self.calibrated(codec):
                 continue
-            try:
+            shape = getattr(spec, "weight_shape", None)
+            candidates.setdefault(codec, []).append(
+                (_dense_bytes_of(shape), name)
+            )
+        probed: Dict[str, float] = {}
+        for codec, ranked in sorted(candidates.items()):
+            ranked.sort(key=lambda entry: entry[0], reverse=True)
+            for _, name in ranked:
                 payload = payloads[name]
-            except KeyError:
-                continue
-            if not isinstance(payload, LayerPayload):
-                continue
-            start = time.perf_counter()
-            weight = get_codec(codec).decode(payload)
-            seconds = time.perf_counter() - start
-            if weight.nbytes <= 0:
-                continue
-            rate = seconds / weight.nbytes
-            if rate <= 0:
-                # A trivially cheap decode on a coarse timer measured
-                # as 0.0 s; keep the default prior instead of seeding
-                # a rate that would make the layer look free to evict.
-                continue
-            self.seed(codec, rate, force=True)
-            probed[codec] = rate
+                if not isinstance(payload, LayerPayload):
+                    continue  # unusable entry: try the next-largest
+                start = time.perf_counter()
+                weight = get_codec(codec).decode(payload)
+                seconds = time.perf_counter() - start
+                if weight.nbytes <= 0:
+                    continue
+                rate = seconds / weight.nbytes
+                if rate <= 0:
+                    # A trivially cheap decode on a coarse timer
+                    # measured as 0.0 s; keep the default prior instead
+                    # of seeding a rate that would make the layer look
+                    # free to evict.
+                    break
+                self.seed(codec, rate, force=True)
+                probed[codec] = rate
+                break
         return probed
 
     # ------------------------------------------------------------------
@@ -156,28 +217,66 @@ class CodecCostModel:
         with self._lock:
             return codec in self._rates
 
-    def seconds_per_byte(self, codec: str) -> float:
-        """The current rate for ``codec`` (default prior if unknown)."""
+    def seconds_per_byte(
+        self, codec: str, layer: Optional[str] = None
+    ) -> float:
+        """The current rate for ``codec`` (default prior if unknown).
+
+        With ``layer``, the ``(codec, layer)`` rate when that layer has
+        observations of its own; the codec rate is the fallback prior.
+        """
         with self._lock:
+            if layer is not None:
+                rate = self._layer_rates.get((codec, layer))
+                if rate is not None:
+                    return rate
             return self._rates.get(codec, self.default_seconds_per_byte)
 
     def snapshot_rates(self) -> Dict[str, float]:
-        """One-lock copy of every known rate — for callers estimating
-        many layers at once (one acquisition instead of one per layer)."""
+        """One-lock copy of every known codec rate — for callers
+        estimating many layers at once (one acquisition instead of one
+        per layer)."""
         with self._lock:
             return dict(self._rates)
 
-    def estimate_seconds(self, codec: str, dense_bytes: int) -> float:
-        """Estimated seconds to rebuild ``dense_bytes`` of ``codec``."""
-        return self.seconds_per_byte(codec) * max(int(dense_bytes), 0)
-
-    def observations(self, codec: str) -> int:
+    def snapshot_layer_rates(self) -> Dict[Tuple[str, str], float]:
+        """One-lock copy of every known ``(codec, layer)`` rate."""
         with self._lock:
+            return dict(self._layer_rates)
+
+    def snapshot_all_rates(
+        self,
+    ) -> Tuple[Dict[str, float], Dict[Tuple[str, str], float]]:
+        """``(codec rates, layer rates)`` in one lock acquisition — for
+        the install-estimate hot path, which needs both maps."""
+        with self._lock:
+            return dict(self._rates), dict(self._layer_rates)
+
+    def estimate_seconds(
+        self, codec: str, dense_bytes: int, layer: Optional[str] = None
+    ) -> float:
+        """Estimated seconds to rebuild ``dense_bytes`` of ``codec``
+        (sharpened by the layer's own rate when one exists)."""
+        return self.seconds_per_byte(codec, layer) * max(int(dense_bytes), 0)
+
+    def observations(self, codec: str, layer: Optional[str] = None) -> int:
+        with self._lock:
+            if layer is not None:
+                return self._layer_observations.get((codec, layer), 0)
             return self._observations.get(codec, 0)
 
     def as_dict(self) -> Dict:
-        """Snapshot for telemetry: rates and observation counts."""
+        """Snapshot for telemetry: rates and observation counts, with
+        the per-layer EWMAs nested under their codec."""
         with self._lock:
+            layers: Dict[str, Dict[str, Dict]] = {}
+            for (codec, layer), rate in sorted(self._layer_rates.items()):
+                layers.setdefault(codec, {})[layer] = {
+                    "seconds_per_byte": rate,
+                    "observations": self._layer_observations.get(
+                        (codec, layer), 0
+                    ),
+                }
             return {
                 "alpha": self.alpha,
                 "default_seconds_per_byte": self.default_seconds_per_byte,
@@ -185,6 +284,7 @@ class CodecCostModel:
                     codec: {
                         "seconds_per_byte": rate,
                         "observations": self._observations.get(codec, 0),
+                        "layers": layers.get(codec, {}),
                     }
                     for codec, rate in sorted(self._rates.items())
                 },

@@ -26,9 +26,15 @@ serve through the identical pipeline.
 - :mod:`repro.serving.engine` — the batched inference engine
   (:class:`InferenceEngine`), offline, online (worker pool), and async
   (:class:`AsyncInferenceEngine`) paths.
+- :mod:`repro.serving.host` — the multi-model front door
+  (:class:`ServingHost`): a fleet of engines behind one pluggable
+  :class:`RoutingPolicy` (:class:`RoundRobinPolicy`,
+  :class:`LeastLoadedPolicy`, :class:`CostAwareRoutingPolicy` — route
+  to the engine whose expected install cost is lowest right now).
 - :mod:`repro.serving.stats` — throughput / latency percentiles /
   per-worker and per-policy counters / cache behavior /
-  storage-vs-compute telemetry and trade curves (:class:`ServingStats`).
+  storage-vs-compute telemetry and trade curves (:class:`ServingStats`);
+  fleet aggregation for the host (:class:`HostStats`).
 
 Typical use::
 
@@ -59,6 +65,16 @@ Cost-model-driven serving (capacity-bounded cache, costed batching)::
         cost_model=registry.cost_model,  # shared across the fleet
     )
     print(engine.cost_curve())           # the realized trade
+
+Multi-model hosting with cost-aware request routing::
+
+    host = ServingHost(registry, routing="cost-aware")
+    host.deploy("vgg19", build_vgg_skeleton())
+    host.deploy("vgg19-int8", build_vgg_skeleton())
+    with host:                           # starts every engine's pool
+        tickets = [host.submit(x) for x in samples]  # routed by cost
+        rows = [t.result(timeout=5) for t in tickets]
+    print(host.report())                 # per-engine routed counts
 """
 
 from repro.serving.artifacts import (
@@ -98,8 +114,19 @@ from repro.serving.rebuild import (
     make_admission_policy,
     rebuild_layer_weight,
 )
+from repro.serving.host import (
+    ROUTING_POLICIES,
+    CostAwareRoutingPolicy,
+    EngineView,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    ServingHost,
+    make_routing_policy,
+)
 from repro.serving.registry import CompressedModelHandle, ModelRegistry
 from repro.serving.stats import (
+    HostStats,
     PolicyStats,
     ServingStats,
     WorkerStats,
@@ -138,7 +165,16 @@ __all__ = [
     "InferenceEngine",
     "AsyncInferenceEngine",
     "ServingError",
+    "ServingHost",
+    "EngineView",
+    "RoutingPolicy",
+    "ROUTING_POLICIES",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "CostAwareRoutingPolicy",
+    "make_routing_policy",
     "ServingStats",
+    "HostStats",
     "WorkerStats",
     "PolicyStats",
     "percentiles",

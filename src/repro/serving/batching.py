@@ -284,9 +284,9 @@ class RequestQueue:
         Waits (up to ``timeout``) for at least one request, then keeps
         collecting until the batch is full or the policy's wait budget
         — re-evaluated on every arrival, since a cost-aware policy
-        shrinks it as the batch grows — has passed since the batch
-        opened.  Raises :class:`QueueClosed` once the queue is closed
-        and drained.
+        shrinks it as the batch grows — has passed since the *first
+        request in the batch arrived*.  Raises :class:`QueueClosed`
+        once the queue is closed and drained.
         """
         deadline = None if timeout is None else time.perf_counter() + timeout
         with self._not_empty:
@@ -300,7 +300,11 @@ class RequestQueue:
                         return []
                 self._not_empty.wait(remaining)
 
-            opened_at = time.perf_counter()
+            # The wait budget is anchored to the first request's
+            # *arrival*, not to this worker waking up: a request that
+            # already queued behind a slow batch has spent its budget
+            # and must not pay it a second time.
+            opened_at = self._pending[0].enqueued_at
             while (
                 len(self._pending) < self.policy.max_batch_size
                 and not self._closed

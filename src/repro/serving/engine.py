@@ -189,6 +189,24 @@ class InferenceEngine:
         with self._lifecycle_lock:
             return len(self._workers)
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the online queue (0 when stopped).
+
+        The load signal :class:`~repro.serving.host.LeastLoadedPolicy`
+        routes on; captured racily on purpose — routing needs a cheap
+        instantaneous reading, not a fenced one.
+        """
+        queue = self._queue
+        return 0 if queue is None else len(queue)
+
+    def estimated_install_seconds(self) -> float:
+        """Expected rebuild seconds to pull this engine's layer mix
+        through its cache right now (see
+        :meth:`RebuildEngine.estimated_install_seconds`) — the signal
+        cost-aware request routing compares across engines."""
+        return self.rebuild.estimated_install_seconds()
+
     def start(self, workers: int = 1) -> "InferenceEngine":
         """Launch ``workers`` background threads draining one queue.
 

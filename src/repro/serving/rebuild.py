@@ -76,6 +76,10 @@ class RebuildCacheStats:
     # (accesses, cached_bytes, cumulative rebuild_seconds) samples, one
     # per rebuild — the realized storage-vs-compute trade over time.
     curve: List[Tuple[int, int, float]] = field(default_factory=list)
+    # Per-layer access/hit counts: the observed hit distribution that
+    # probabilistic install estimates and routing decisions price.
+    layer_hits: Dict[str, int] = field(default_factory=dict)
+    layer_accesses: Dict[str, int] = field(default_factory=dict)
 
     @property
     def accesses(self) -> int:
@@ -87,11 +91,39 @@ class RebuildCacheStats:
             return 0.0
         return self.hits / self.accesses
 
+    def record_access(self, name: str, hit: bool) -> None:
+        """Count one layer access (callers hold the engine lock)."""
+        self.layer_accesses[name] = self.layer_accesses.get(name, 0) + 1
+        if hit:
+            self.layer_hits[name] = self.layer_hits.get(name, 0) + 1
+
+    def layer_hit_rate(self, name: str) -> float:
+        """Observed hit rate of one layer (0.0 before any access)."""
+        accesses = self.layer_accesses.get(name, 0)
+        if accesses == 0:
+            return 0.0
+        return self.layer_hits.get(name, 0) / accesses
+
+    def layer_hit_rates(self) -> Dict[str, float]:
+        """Observed per-layer hit rates over every accessed layer.
+
+        Safe to call from a telemetry thread while workers record
+        accesses: both dicts are copied first (atomic under the GIL),
+        so a first-access insert cannot resize them mid-iteration.
+        """
+        accesses = dict(self.layer_accesses)
+        hits = dict(self.layer_hits)
+        return {
+            name: hits.get(name, 0) / count if count else 0.0
+            for name, count in sorted(accesses.items())
+        }
+
     def as_dict(self) -> Dict:
         return {
             "policy": self.policy,
             "hits": self.hits,
             "misses": self.misses,
+            "accesses": self.accesses,
             "evictions": self.evictions,
             "rejected": self.rejected,
             "rebuilds": self.rebuilds,
@@ -99,6 +131,8 @@ class RebuildCacheStats:
             "rebuild_seconds": self.rebuild_seconds,
             "est_seconds_saved": self.est_seconds_saved,
             "hit_rate": self.hit_rate,
+            "curve_points": len(self.curve),
+            "layer_hit_rates": self.layer_hit_rates(),
         }
 
 
@@ -367,32 +401,65 @@ class RebuildEngine:
     def _estimate_seconds(self, name: str) -> float:
         """Estimated rebuild seconds for one layer (no lock needed)."""
         nbytes = self._actual_bytes.get(name, self._assumed_bytes[name])
-        return self.cost_model.estimate_seconds(self._layer_codec[name], nbytes)
+        return self.cost_model.estimate_seconds(
+            self._layer_codec[name], nbytes, layer=name
+        )
 
     def layer_cost_estimates(self) -> Dict[str, float]:
         """Per-layer estimated rebuild seconds at the current rates."""
         return {name: self._estimate_seconds(name) for name in self._specs}
 
+    def _rate_for(self, rates, layer_rates, name: str) -> float:
+        """One layer's seconds-per-byte from snapshotted rate maps."""
+        layer_rate = layer_rates.get((self._layer_codec[name], name))
+        if layer_rate is not None:
+            return layer_rate
+        return rates.get(
+            self._layer_codec[name], self.cost_model.default_seconds_per_byte
+        )
+
     def estimated_install_seconds(self) -> float:
         """Expected rebuild seconds for one pass over every layer.
 
         Layers resident right now are expected hits (zero rebuild);
-        everything else is an expected miss priced at the cost model's
-        current per-codec rate.  This is the number the cost-aware
-        batch policy amortizes over a batch — it runs on the request
-        queue's hot path, so the rates are snapshotted in one lock
-        acquisition instead of one per layer.
+        everything else is an expected miss — *discounted by the
+        layer's observed hit rate*, so a working set that historically
+        fits in the cache is not priced as all-misses — at the cost
+        model's ``(codec, layer)`` rate (codec rate as the prior).
+        This is the number the cost-aware batch policy amortizes over a
+        batch and the cost-aware router compares across engines — it
+        runs on the request queue's hot path, so hit counts are read
+        under one engine-lock acquisition and both rate maps under one
+        cost-model acquisition, instead of one per layer.
         """
+        with self._lock:
+            pending = [
+                (
+                    name,
+                    self._actual_bytes.get(name, self._assumed_bytes[name]),
+                    self.stats.layer_hit_rate(name),
+                )
+                for name in self._specs
+                if name not in self._cache
+            ]
+        rates, layer_rates = self.cost_model.snapshot_all_rates()
+        return sum(
+            (1.0 - hit_rate) * self._rate_for(rates, layer_rates, name) * nbytes
+            for name, nbytes, hit_rate in pending
+        )
+
+    def all_miss_install_seconds(self) -> float:
+        """Rebuild seconds if *every* layer missed: the certain-miss
+        ceiling :meth:`estimated_install_seconds` discounts from
+        (residency and observed hit rates ignored)."""
+        rates, layer_rates = self.cost_model.snapshot_all_rates()
         with self._lock:
             sizes = {
                 name: self._actual_bytes.get(name, self._assumed_bytes[name])
                 for name in self._specs
-                if name not in self._cache
             }
-        rates = self.cost_model.snapshot_rates()
-        default = self.cost_model.default_seconds_per_byte
         return sum(
-            rates.get(self._layer_codec[name], default) * nbytes
+            self._rate_for(rates, layer_rates, name) * nbytes
             for name, nbytes in sizes.items()
         )
 
@@ -416,6 +483,7 @@ class RebuildEngine:
                 cached = self._cache.get(name)
                 if cached is not None:
                     self.stats.hits += 1
+                    self.stats.record_access(name, hit=True)
                     self.stats.est_seconds_saved += self._estimate_seconds(name)
                     self._cache.move_to_end(name)
                     return cached
@@ -423,11 +491,13 @@ class RebuildEngine:
                 if flight is None:
                     flight = self._inflight[name] = _InFlightRebuild()
                     self.stats.misses += 1
+                    self.stats.record_access(name, hit=False)
                     break
             flight.event.wait()
             if flight.weight is not None:
                 with self._lock:
                     self.stats.hits += 1
+                    self.stats.record_access(name, hit=True)
                     self.stats.est_seconds_saved += self._estimate_seconds(name)
                 return flight.weight
             # The in-flight rebuild failed; loop and rebuild ourselves.
@@ -438,7 +508,9 @@ class RebuildEngine:
                 self._inflight.pop(name, None)
             flight.event.set()
             raise
-        self.cost_model.observe(self._layer_codec[name], weight.nbytes, seconds)
+        self.cost_model.observe(
+            self._layer_codec[name], weight.nbytes, seconds, layer=name
+        )
         flight.weight = weight  # published before event.set()
         with self._lock:
             self.stats.rebuilds += 1

@@ -97,6 +97,7 @@ class ModelRegistry:
         self.cost_model = cost_model or CodecCostModel()
         self._lock = threading.Lock()
         self._loaded: Dict[str, CompressedModelHandle] = {}
+        self._inflight: Dict[str, "_InFlightLoad"] = {}
 
     # ------------------------------------------------------------------
     def models(self) -> List[str]:
@@ -119,22 +120,48 @@ class ModelRegistry:
         ``version=None`` resolves to the latest published version at
         call time; the resolved handle is cached under its concrete
         version, so later publishes are picked up by later ``get``s.
+
+        Loads are single-flight per key: concurrent callers requesting
+        the same unloaded bundle block on one SHA-256 verify + npz
+        open instead of each running their own and all but one handle
+        (with its open lazy payload file) being thrown away.  A failed
+        load releases its waiters to retry, so each caller raises its
+        own exception.
         """
         resolved = version or self.store.latest_version(name)
         key = f"{name}:{resolved}"
+        while True:
+            with self._lock:
+                handle = self._loaded.get(key)
+                if handle is not None:
+                    return handle
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = self._inflight[key] = _InFlightLoad()
+                    break
+            flight.event.wait()
+            if flight.handle is not None:
+                return flight.handle
+            # The in-flight load failed; loop and load ourselves.
+        try:
+            # One hash pass over the bundle, then unverified reads.
+            manifest = self.store.verify(name, resolved)
+            handle = CompressedModelHandle(
+                manifest=manifest,
+                payloads=self.store.load_payloads(name, resolved, verify=False),
+                residual=self.store.load_residual(name, resolved, verify=False),
+            )
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        flight.handle = handle  # published before event.set()
         with self._lock:
-            handle = self._loaded.get(key)
-        if handle is not None:
-            return handle
-        # One hash pass over the bundle, then unverified reads.
-        manifest = self.store.verify(name, resolved)
-        handle = CompressedModelHandle(
-            manifest=manifest,
-            payloads=self.store.load_payloads(name, resolved, verify=False),
-            residual=self.store.load_residual(name, resolved, verify=False),
-        )
-        with self._lock:
-            return self._loaded.setdefault(key, handle)
+            self._loaded[key] = handle
+            self._inflight.pop(key, None)
+        flight.event.set()
+        return handle
 
     def unload(self, name: str, version: Optional[str] = None) -> None:
         """Drop cached handles for ``name`` (one version or all).
@@ -150,3 +177,13 @@ class ModelRegistry:
                     continue
                 if version is None or handle_version == version:
                     del self._loaded[key]
+
+
+class _InFlightLoad:
+    """One bundle load in progress; waiters block on ``event``."""
+
+    __slots__ = ("event", "handle")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.handle: Optional[CompressedModelHandle] = None

@@ -250,6 +250,9 @@ class ServingStats:
         summary = self.summary(rebuild=rebuild, manifest=manifest)
         per_worker = summary.pop("per_worker", {})
         per_policy = summary.pop("per_policy", {})
+        # Per-layer hit rates are a dict per layer — a plot input, not
+        # a report line; the flat summary keeps them.
+        summary.pop("rebuild_layer_hit_rates", None)
         lines = ["== serving stats =="]
         for key, value in summary.items():
             if isinstance(value, float):
@@ -301,3 +304,118 @@ class ServingStats:
                 for accesses, cached_bytes, seconds in points
             ],
         }
+
+
+class HostStats:
+    """Fleet-level accumulator for a :class:`~repro.serving.host.
+    ServingHost`: routing decisions per engine/model, plus on-demand
+    aggregation over the engines' own summaries.
+
+    The host records one :meth:`record_routed` per routed request;
+    :meth:`summary` folds those counters together with each engine's
+    ``summary()`` dict into the numbers a fleet dashboard needs —
+    total requests and failures, total rebuild seconds paid, and the
+    pooled rebuild-cache hit rate (Σ hits / Σ accesses, not a mean of
+    per-engine rates, so empty engines don't dilute it).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.routed_by_engine: Dict[str, int] = {}
+        self.routed_by_model: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.routed_by_engine = {}
+            self.routed_by_model = {}
+
+    @property
+    def routed_total(self) -> int:
+        with self._lock:
+            return sum(self.routed_by_engine.values())
+
+    def record_routed(self, key: str, model: Optional[str] = None) -> None:
+        """Count one request routed to engine ``key`` (of ``model``)."""
+        with self._lock:
+            self.routed_by_engine[key] = self.routed_by_engine.get(key, 0) + 1
+            if model is not None:
+                self.routed_by_model[model] = (
+                    self.routed_by_model.get(model, 0) + 1
+                )
+
+    def summary(
+        self,
+        per_engine: Optional[Dict[str, Dict]] = None,
+        routing: Optional[str] = None,
+    ) -> Dict:
+        """One dict for the fleet: routed counters plus aggregates over
+        ``per_engine`` (each value one engine's ``summary()`` dict)."""
+        with self._lock:
+            routed_engine = dict(self.routed_by_engine)
+            routed_model = dict(self.routed_by_model)
+        out: Dict = {
+            "routing": routing,
+            "routed": sum(routed_engine.values()),
+            "routed_by_engine": routed_engine,
+            "routed_by_model": routed_model,
+        }
+        if per_engine is None:
+            return out
+        models = {
+            summary.get("model")
+            for summary in per_engine.values()
+            if summary.get("model") is not None
+        }
+        hits = sum(s.get("rebuild_hits", 0) for s in per_engine.values())
+        accesses = sum(
+            s.get("rebuild_accesses", 0) for s in per_engine.values()
+        )
+        out.update(
+            {
+                "engines": len(per_engine),
+                "models": sorted(models),
+                "requests": sum(
+                    s.get("requests", 0) for s in per_engine.values()
+                ),
+                "failed_requests": sum(
+                    s.get("failed_requests", 0) for s in per_engine.values()
+                ),
+                "rebuild_seconds": sum(
+                    s.get("rebuild_rebuild_seconds", 0.0)
+                    for s in per_engine.values()
+                ),
+                "rebuild_hit_rate": hits / accesses if accesses else 0.0,
+                "per_engine": dict(per_engine),
+            }
+        )
+        return out
+
+    def report(self, summary: Dict) -> str:
+        """Human-readable one-screen fleet summary (from :meth:`~repro.
+        serving.host.ServingHost.summary` output)."""
+        lines = [f"== serving host ({summary.get('routing')}) =="]
+        for key in (
+            "engines",
+            "models",
+            "requests",
+            "failed_requests",
+            "routed",
+            "rebuild_seconds",
+            "rebuild_hit_rate",
+        ):
+            if key in summary:
+                value = summary[key]
+                if isinstance(value, float):
+                    lines.append(f"{key:30s} {value:12.4g}")
+                else:
+                    lines.append(f"{key:30s} {value!s:>12s}")
+        for key, engine_summary in summary.get("per_engine", {}).items():
+            routed = summary.get("routed_by_engine", {}).get(key, 0)
+            lines.append(
+                f"engine[{key}]".ljust(30)
+                + f" model={engine_summary.get('model')} routed={routed} "
+                f"requests={engine_summary.get('requests', 0)} "
+                f"rebuild_s={engine_summary.get('rebuild_rebuild_seconds', 0.0):.4g} "
+                f"hit_rate={engine_summary.get('rebuild_hit_rate', 0.0):.1%}"
+            )
+        return "\n".join(lines)

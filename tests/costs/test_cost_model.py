@@ -89,6 +89,120 @@ class TestCodecCostModel:
         assert snap["codecs"]["dense"]["observations"] == 1
         assert snap["codecs"]["dense"]["seconds_per_byte"] > 0
 
+    def test_calibrate_probes_largest_layer_per_codec(self):
+        """Regression: the probe used to time whichever layer came
+        first, so a tiny layer's coarse-timer tick could misprice the
+        whole codec.  The largest-dense-bytes layer must be decoded."""
+        rng = np.random.default_rng(3)
+
+        class Spec:
+            def __init__(self, codec, weight_shape):
+                self.codec = codec
+                self.weight_shape = weight_shape
+
+        shapes = {"tiny": (2, 2), "large": (32, 32), "mid": (8, 8)}
+        payloads, specs = {}, {}
+        for name, shape in shapes.items():
+            weight = rng.normal(size=shape)
+            payloads[name] = get_codec("dense").encode(weight)
+            specs[name] = Spec("dense", shape)
+
+        decoded = []
+        dense = get_codec("dense")
+        original_decode = dense.decode
+
+        def spying_decode(payload):
+            decoded.append(payload.weight_shape)
+            return original_decode(payload)
+
+        dense.decode = spying_decode
+        try:
+            probed = CodecCostModel().calibrate(payloads, specs)
+        finally:
+            dense.decode = original_decode
+        assert set(probed) == {"dense"}
+        assert decoded == [(32, 32)]  # one probe, the largest layer
+
+    def test_per_layer_rate_starts_from_codec_prior(self):
+        model = CodecCostModel(alpha=0.5)
+        model.observe("c", dense_bytes=100, seconds=100 * 2e-6)  # codec 2e-6
+        # A layer's first observation blends into the codec prior
+        # instead of replacing it.
+        model.observe("c", 100, 100 * 6e-6, layer="deep")
+        # 0.5 * 6e-6 + 0.5 * 2e-6 (codec rate before this observation)
+        assert model.seconds_per_byte("c", layer="deep") == pytest.approx(4e-6)
+        assert model.observations("c", layer="deep") == 1
+        # The codec-level EWMA absorbed the observation too.
+        assert model.seconds_per_byte("c") == pytest.approx(4e-6)
+
+    def test_per_layer_rates_diverge_from_codec_prior(self):
+        """Two layers of one codec with different decode behavior end
+        up with different rates — the codec rate is only the prior."""
+        model = CodecCostModel(alpha=0.5)
+        for _ in range(4):
+            model.observe("c", 100, 100 * 1e-6, layer="cheap")
+            model.observe("c", 100, 100 * 9e-6, layer="costly")
+        cheap = model.seconds_per_byte("c", layer="cheap")
+        costly = model.seconds_per_byte("c", layer="costly")
+        codec = model.seconds_per_byte("c")
+        assert cheap < codec < costly
+        # A layer with no observations of its own falls back to the
+        # codec rate.
+        assert model.seconds_per_byte("c", layer="unseen") == codec
+        assert model.estimate_seconds("c", 1000, layer="cheap") < (
+            model.estimate_seconds("c", 1000, layer="costly")
+        )
+
+    def test_snapshot_layer_rates_is_a_copy(self):
+        model = CodecCostModel()
+        model.observe("c", 100, 1e-4, layer="l")
+        rates = model.snapshot_layer_rates()
+        assert ("c", "l") in rates
+        rates[("c", "l")] = 0.0
+        assert model.seconds_per_byte("c", layer="l") > 0
+
+    def test_snapshot_all_rates_matches_individual_snapshots(self):
+        model = CodecCostModel()
+        model.observe("c", 100, 1e-4, layer="l")
+        model.observe("d", 100, 2e-4)
+        codec_rates, layer_rates = model.snapshot_all_rates()
+        assert codec_rates == model.snapshot_rates()
+        assert layer_rates == model.snapshot_layer_rates()
+
+    def test_calibrate_falls_back_past_unusable_largest_layer(self):
+        """If a codec's largest candidate is not a LayerPayload, the
+        next-largest usable layer is probed instead of silently
+        leaving the codec uncalibrated."""
+        rng = np.random.default_rng(5)
+
+        class Spec:
+            def __init__(self, codec, weight_shape):
+                self.codec = codec
+                self.weight_shape = weight_shape
+
+        payloads = {
+            "big": [{"not": "a payload"}],  # legacy/raw entry
+            "mid": get_codec("dense").encode(rng.normal(size=(8, 8))),
+        }
+        specs = {
+            "big": Spec("dense", (32, 32)),
+            "mid": Spec("dense", (8, 8)),
+        }
+        model = CodecCostModel()
+        probed = model.calibrate(payloads, specs)
+        assert set(probed) == {"dense"}
+        assert model.calibrated("dense")
+
+    def test_as_dict_nests_layer_rates(self):
+        model = CodecCostModel()
+        model.observe("c", 100, 1e-4, layer="l0")
+        model.observe("c", 100, 1e-4)
+        snap = model.as_dict()
+        assert snap["codecs"]["c"]["observations"] == 2
+        layer = snap["codecs"]["c"]["layers"]["l0"]
+        assert layer["observations"] == 1
+        assert layer["seconds_per_byte"] > 0
+
     def test_snapshot_rates_is_a_copy(self):
         model = CodecCostModel()
         model.observe("dense", 100, 1e-4)

@@ -98,3 +98,57 @@ class TestRequestQueue:
         ticket.set_error(RuntimeError("boom"))
         with pytest.raises(RuntimeError, match="boom"):
             ticket.result(timeout=1.0)
+
+
+class TestWaitBudgetAnchor:
+    """The batch wait budget starts when the first request *arrived*.
+
+    Regression: ``next_batch`` used to re-anchor the budget to the
+    moment the worker dequeued (``opened_at = perf_counter()``), so a
+    request that had already queued behind a slow batch paid the full
+    wait budget a second time.
+    """
+
+    def test_aged_request_closes_immediately(self):
+        queue = RequestQueue(
+            StaticBatchPolicy(max_batch_size=8, max_wait_s=0.2)
+        )
+        queue.submit(np.zeros(1))
+        time.sleep(0.25)  # the request outlives its whole budget queued
+        start = time.perf_counter()
+        batch = queue.next_batch()
+        elapsed = time.perf_counter() - start
+        assert len(batch) == 1
+        # Budget spent while queued: no second wait. Pre-fix this
+        # waited the full 0.2 s again.
+        assert elapsed < 0.1
+
+    def test_fresh_request_still_waits_for_stragglers(self):
+        queue = RequestQueue(
+            StaticBatchPolicy(max_batch_size=2, max_wait_s=0.5)
+        )
+        queue.submit(np.zeros(1))
+
+        def late_submit():
+            time.sleep(0.05)
+            queue.submit(np.ones(1))
+
+        thread = threading.Thread(target=late_submit)
+        thread.start()
+        batch = queue.next_batch()
+        thread.join()
+        assert len(batch) == 2  # budget anchored at arrival still open
+
+    def test_anchor_stress(self):
+        """50 iterations: an aged request must never wait again."""
+        for _ in range(50):
+            queue = RequestQueue(
+                StaticBatchPolicy(max_batch_size=8, max_wait_s=0.05)
+            )
+            queue.submit(np.zeros(1))
+            time.sleep(0.06)
+            start = time.perf_counter()
+            batch = queue.next_batch()
+            elapsed = time.perf_counter() - start
+            assert len(batch) == 1
+            assert elapsed < 0.04

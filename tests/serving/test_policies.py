@@ -209,9 +209,20 @@ class TestRebuildEngineWithPolicies:
 
     def test_cost_aware_keeps_expensive_layers_resident(self):
         # float64 resident bytes: se0 4608, se1 2048, ql0 2048, ql1 512.
-        # Room for everything except one quant-linear layer.
+        # Room for everything except one quant-linear layer.  Rates are
+        # seeded and learning frozen so the admission decisions under
+        # test are deterministic — with live per-(codec, layer) EWMAs
+        # the two quant-linear layers' measured rates differ and the
+        # knapsack may legitimately swap them once (covered by the
+        # install-estimate tests below).
         capacity = 4608 + 2048 + 2048 + 512 - 512
-        engine = mixed_engine("cost-aware", capacity_bytes=capacity)
+        model = CodecCostModel()
+        model.seed("smartexchange", 1e-5)
+        model.seed("quant-linear", 1e-7)
+        model.observe = lambda *args, **kwargs: 0.0
+        engine = mixed_engine(
+            "cost-aware", capacity_bytes=capacity, cost_model=model
+        )
         for _ in range(4):
             for name in engine.layer_names:
                 engine.layer_weight(name)
@@ -243,6 +254,52 @@ class TestRebuildEngineWithPolicies:
         assert cold > 0
         engine.warm()
         assert engine.estimated_install_seconds() == 0.0
+
+    def test_warmed_engine_estimates_below_all_miss_ceiling(self):
+        """Probabilistic install costs are observable: a warmed engine
+        whose working set fits must price strictly below the certain-
+        all-miss ceiling."""
+        engine = mixed_engine("cost-aware", capacity_bytes=None)
+        engine.warm()
+        ceiling = engine.all_miss_install_seconds()
+        assert ceiling > 0
+        assert engine.estimated_install_seconds() < ceiling
+
+    def test_uncached_layer_discounted_by_observed_hit_rate(self):
+        """A layer with history of hitting is not priced as a certain
+        miss once it falls out of the cache."""
+        engine = mixed_engine("lru", capacity_bytes=None)
+        name = engine.layer_names[0]
+        # 1 miss + 9 hits: observed hit rate 0.9.
+        for _ in range(10):
+            engine.layer_weight(name)
+        certain_miss = engine._estimate_seconds(name)
+        assert certain_miss > 0
+        engine.clear()  # drop residency, keep the hit history
+        estimate = engine.estimated_install_seconds()
+        contributions = {
+            layer: engine._estimate_seconds(layer)
+            for layer in engine.layer_names
+        }
+        all_miss_pending = sum(contributions.values())
+        # The touched layer contributes only (1 - 0.9) of its cost; the
+        # untouched layers still price as certain misses.
+        expected = all_miss_pending - 0.9 * certain_miss
+        assert estimate == pytest.approx(expected, rel=1e-6)
+        assert estimate < all_miss_pending
+
+    def test_install_estimates_use_per_layer_rates(self):
+        """Two same-codec layers with different observed decode rates
+        must estimate differently — the (codec, layer) EWMA at work."""
+        model = CodecCostModel(alpha=1.0)
+        engine = mixed_engine("lru", capacity_bytes=None, cost_model=model)
+        # Same codec, wildly different observed rates per layer.
+        model.observe("quant-linear", 1000, 1000 * 1e-7, layer="ql0")
+        model.observe("quant-linear", 1000, 1000 * 1e-4, layer="ql1")
+        estimates = engine.layer_cost_estimates()
+        # ql0 is the bigger layer (16x16 vs 8x8) yet estimates cheaper:
+        # only a per-layer rate can produce that inversion.
+        assert estimates["ql0"] < estimates["ql1"]
 
     def test_trade_curve_sampled_per_rebuild(self):
         engine = mixed_engine("lru", capacity_bytes=None)

@@ -108,6 +108,22 @@ class TestCacheBehavior:
         engine = make_engine(handle)
         engine.warm()
         stats = engine.stats.as_dict()
-        for key in ("hits", "misses", "evictions", "rebuilds",
-                    "rebuilt_bytes", "rebuild_seconds", "hit_rate"):
+        for key in ("hits", "misses", "accesses", "evictions", "rebuilds",
+                    "rebuilt_bytes", "rebuild_seconds", "hit_rate",
+                    "curve_points", "layer_hit_rates"):
             assert key in stats
+        # Derived counters are materialized, not left for consumers to
+        # re-derive inconsistently.
+        assert stats["accesses"] == stats["hits"] + stats["misses"]
+        assert stats["curve_points"] == len(engine.stats.curve)
+
+    def test_per_layer_hit_rates_tracked(self, handle):
+        engine = make_engine(handle)
+        first = engine.layer_names[0]
+        engine.layer_weight(first)  # miss
+        engine.layer_weight(first)  # hit
+        engine.layer_weight(first)  # hit
+        rates = engine.stats.layer_hit_rates()
+        assert rates[first] == pytest.approx(2 / 3)
+        assert engine.stats.layer_hit_rate("never-touched") == 0.0
+        assert engine.stats.as_dict()["layer_hit_rates"] == rates

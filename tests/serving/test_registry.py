@@ -1,5 +1,7 @@
 """Model registry: lazy loading, caching, version resolution."""
 
+import threading
+
 import pytest
 
 from repro.serving import ArtifactNotFoundError, ModelRegistry
@@ -60,3 +62,92 @@ class TestRegistry:
         store, *_ = published
         with pytest.raises(ArtifactNotFoundError):
             ModelRegistry(store).get("nope")
+
+
+class TestSingleFlightLoads:
+    """Concurrent ``get``s of one unloaded bundle load it exactly once.
+
+    Regression: two threads racing on a cold key both used to run the
+    full SHA-256 verify + npz open, with one handle (and its open lazy
+    payload file) silently discarded by ``setdefault``.
+    """
+
+    def _count_verifies(self, store):
+        counter = {"verifies": 0}
+        counter_lock = threading.Lock()
+        original = store.verify
+
+        def counting_verify(name, version):
+            with counter_lock:
+                counter["verifies"] += 1
+            return original(name, version)
+
+        store.verify = counting_verify
+        return counter
+
+    def test_concurrent_gets_verify_once(self, published):
+        store, manifest, *_ = published
+        counter = self._count_verifies(store)
+        registry = ModelRegistry(store)
+        handles, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def fetch():
+            try:
+                barrier.wait()
+                handles.append(registry.get(manifest.name))
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert counter["verifies"] == 1
+        assert len(handles) == 8
+        assert all(handle is handles[0] for handle in handles)
+
+    def test_single_flight_stress(self, published):
+        """50 iterations with a fresh registry: never more than one load."""
+        store, manifest, *_ = published
+        counter = self._count_verifies(store)
+        for iteration in range(50):
+            registry = ModelRegistry(store)
+            results = [None] * 4
+            barrier = threading.Barrier(4)
+
+            def fetch(index, registry=registry, barrier=barrier,
+                      results=results):
+                barrier.wait()
+                results[index] = registry.get(manifest.name)
+
+            threads = [
+                threading.Thread(target=fetch, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(r is results[0] for r in results)
+            assert counter["verifies"] == iteration + 1
+
+    def test_failed_load_releases_waiters_to_retry(self, published):
+        store, manifest, *_ = published
+        registry = ModelRegistry(store)
+        attempts = {"count": 0}
+        original = store.verify
+
+        def flaky_verify(name, version):
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise RuntimeError("transient checksum failure")
+            return original(name, version)
+
+        store.verify = flaky_verify
+        with pytest.raises(RuntimeError, match="transient"):
+            registry.get(manifest.name)
+        handle = registry.get(manifest.name)  # retried, not wedged
+        assert handle.name == manifest.name
+        assert attempts["count"] == 2
