@@ -34,12 +34,21 @@ and total rebuild seconds; ``--routing all`` sweeps ``round-robin`` /
 fewer rebuild seconds than round-robin (it sends the cold-cache-heavy
 trace to the warm engine instead of splitting it).
 
+``--trace-out`` / ``--metrics-out`` / ``--json-out`` turn the
+observability layer on for the throughput run: one JSONL record per
+request (replayable with :class:`repro.observability.TraceReader`), a
+Prometheus text-format metrics page, and a JSON result document whose
+``phases`` block carries span-derived per-phase (queue / rebuild /
+compute) p50/p95 latencies.
+
 Runs standalone (``python benchmarks/bench_serving_throughput.py``,
 ``--smoke`` for a CI-sized run, ``--workers 1,2,4`` to pick the sweep)
 or under pytest-benchmark like the other benches.
 """
 
 import argparse
+import dataclasses
+import json
 import sys
 import tempfile
 from pathlib import Path
@@ -58,6 +67,7 @@ from repro.compression import (
 )
 from repro.core import SmartExchangeConfig, apply_smartexchange
 from repro.experiments.common import ExperimentResult
+from repro.observability import Observability, TraceRecorder
 from repro.serving import (
     ADMISSION_POLICIES,
     ROUTING_POLICIES,
@@ -130,15 +140,23 @@ def _publish(store: ArtifactStore, codec: str) -> None:
         )
 
 
-def _make_engine(batch_size: int, codec: str = "smartexchange") -> InferenceEngine:
+def _make_engine(
+    batch_size: int,
+    codec: str = "smartexchange",
+    observability: Observability = None,
+) -> InferenceEngine:
     root = tempfile.mkdtemp(prefix="repro-serving-bench-")
     store = ArtifactStore(root)
     _publish(store, codec)
     registry = ModelRegistry(store)
+    kwargs = {}
+    if observability is not None:
+        kwargs["observability"] = observability
     return InferenceEngine(
         _build_model(seed=1),
         registry.get("bench-cnn"),
         policy=StaticBatchPolicy(max_batch_size=batch_size, max_wait_s=0.001),
+        **kwargs,
     )
 
 
@@ -201,6 +219,7 @@ def run(
     requests: int = REQUESTS,
     worker_sweep=WORKER_SWEEP,
     codec: str = "smartexchange",
+    observability: Observability = None,
 ) -> ExperimentResult:
     rng = np.random.default_rng(0)
     samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
@@ -214,7 +233,9 @@ def run(
         rows.append(_row(engine, label, workers=0))
 
     for workers in worker_sweep:
-        engine = _make_engine(BATCH_SIZE, codec)
+        # Only the online sweep is traced, so the span-derived phase
+        # breakdown describes the worker-pool path.
+        engine = _make_engine(BATCH_SIZE, codec, observability=observability)
         engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
         engine.stats.reset()
         engine.start(workers=workers)
@@ -508,6 +529,30 @@ def main() -> None:
             "comma-separated list, or 'all'"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record one JSONL line per served request (replayable with "
+            "repro.observability.TraceReader) during the throughput run"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the Prometheus text-format metrics page here",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the result (rows, notes, span-derived per-phase "
+            "latencies) as a JSON document here"
+        ),
+    )
     args = parser.parse_args()
     requests = 16 if args.smoke else REQUESTS
     sweep = args.workers or ((1, 2) if args.smoke else WORKER_SWEEP)
@@ -588,12 +633,43 @@ def main() -> None:
         assert all(r > 0 for r in result.column("throughput_rps"))
         return
 
-    result = run(requests=requests, worker_sweep=sweep, codec=codec_list[0])
+    observability = None
+    if args.trace_out or args.metrics_out or args.json_out:
+        recorder = TraceRecorder(args.trace_out) if args.trace_out else None
+        observability = Observability(recorder=recorder)
+
+    result = run(
+        requests=requests, worker_sweep=sweep, codec=codec_list[0],
+        observability=observability,
+    )
     print(result.as_table())
     print(result.notes)
     throughput = result.column("throughput_rps")
     assert throughput[1] >= throughput[0], "batching did not help"
     assert all(rate > 0 for rate in throughput), "a mode served nothing"
+
+    if observability is None:
+        return
+    phases = observability.latency_breakdown()
+    for name, stats in phases.items():
+        print(
+            f"phase[{name}] n={stats['count']} p50={stats['p50_ms']:.2f}ms "
+            f"p95={stats['p95_ms']:.2f}ms total={stats['total_s']:.3f}s"
+        )
+    if args.trace_out:
+        observability.recorder.close()
+        print(
+            f"trace: {observability.recorder.records_written} records "
+            f"-> {args.trace_out}"
+        )
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(observability.to_prometheus_text())
+        print(f"metrics -> {args.metrics_out}")
+    if args.json_out:
+        document = dataclasses.asdict(result)
+        document["phases"] = phases
+        Path(args.json_out).write_text(json.dumps(document, indent=2))
+        print(f"result -> {args.json_out}")
 
 
 if __name__ == "__main__":

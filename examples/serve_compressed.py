@@ -21,13 +21,18 @@ The final section brings up a :class:`ServingHost` over *both* bundles
 — the SmartExchange and the int8 encoding of the same network — and
 routes one unpinned request stream under cost-aware routing: the
 pre-warmed engine bids ~0 expected install seconds, so the traffic
-drains to it instead of waking the cold one.
+drains to it instead of waking the cold one.  The host runs with the
+observability layer on: one shared :class:`Observability` handle
+traces every request (route → queue → rebuild → compute spans),
+records a replayable JSONL trace, and exports fleet-wide Prometheus
+metrics that reconcile with the summaries.
 
 Run:  python examples/serve_compressed.py
 """
 
 import asyncio
 import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +40,7 @@ from repro import nn
 from repro.compression import LinearQuantizer
 from repro.core import SmartExchangeConfig, apply_smartexchange
 from repro.datasets import synthetic_cifar10
+from repro.observability import Observability, TraceReader, TraceRecorder
 from repro.serving import (
     ArtifactStore,
     AsyncInferenceEngine,
@@ -188,7 +194,14 @@ def main() -> None:
         # and the unpinned stream drains to it; the cold int8 engine
         # never pays a rebuild.
         print("\nmulti-model host with cost-aware request routing:")
-        host = ServingHost(registry, routing="cost-aware")
+        # One observability handle for the whole fleet: every engine
+        # deployed by the host shares its tracer/recorder, and each
+        # engine's metrics registry federates into one export.
+        trace_path = Path(root) / "requests.jsonl"
+        observability = Observability(recorder=TraceRecorder(trace_path))
+        host = ServingHost(
+            registry, routing="cost-aware", observability=observability
+        )
         warm_engine = host.deploy(
             "demo-cnn", build_model(np.random.default_rng(4)),
             policy=StaticBatchPolicy(max_batch_size=8, max_wait_s=0.005),
@@ -207,6 +220,30 @@ def main() -> None:
         drift = float(np.abs(np.stack(routed_rows) - np.stack(offline)).max())
         print(host.report())
         print(f"routed vs offline max drift     : {drift:.2e}")
+
+        # What the observability layer saw: span-derived per-phase
+        # latencies, the recorded trace (a replayable schedule), and a
+        # Prometheus page any scraper could pull.
+        print("\nspan-derived latency breakdown (queue/rebuild/compute):")
+        for phase, stats in observability.latency_breakdown().items():
+            print(
+                f"  {phase:10s} n={stats['count']:3d} "
+                f"p50={stats['p50_ms']:7.2f} ms  "
+                f"p95={stats['p95_ms']:7.2f} ms  "
+                f"total={stats['total_s']:.3f} s"
+            )
+        observability.recorder.close()
+        schedule = TraceReader(trace_path).schedule()
+        print(
+            f"recorded {len(schedule)} requests; first arrival at "
+            f"{schedule[0].arrival_s * 1e3:.1f} ms, all routed to "
+            f"{sorted({row.engine for row in schedule})}"
+        )
+        metrics_page = observability.to_prometheus_text()
+        print("prometheus export (excerpt):")
+        for line in metrics_page.splitlines():
+            if line.startswith("repro_host_routed_total"):
+                print(f"  {line}")
 
 
 if __name__ == "__main__":

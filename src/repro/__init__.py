@@ -26,6 +26,9 @@ computation when running DNN inference.  This package contains:
 - :mod:`repro.serving` — the compressed-artifact store and the batched
   rebuild-on-read inference engine (the paper's trade at the serving
   layer), serving any registered codec.
+- :mod:`repro.observability` — request tracing (spans), a typed
+  metrics registry with Prometheus/JSON exporters, and JSONL trace
+  recording/replay for the serving stack.
 """
 
 import importlib
@@ -41,6 +44,7 @@ _SUBPACKAGES = (
     "experiments",
     "hardware",
     "nn",
+    "observability",
     "serving",
     "sparsity",
 )

@@ -1,0 +1,77 @@
+"""Observability for the serving stack: tracing, metrics, recording.
+
+The serving stack rebuilds dense weights from compressed payloads on
+the hot path, so the paper's storage-vs-compute trade shows up *per
+request*: time queued, time rebuilding (per layer, per codec, hit or
+miss), time computing.  This package makes those costs visible:
+
+- :mod:`repro.observability.tracing` — nestable :class:`Span`s with a
+  per-request trace id, collected into a bounded ring buffer;
+- :mod:`repro.observability.metrics` — typed :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments in a
+  :class:`MetricsRegistry`, the single store the serving summaries
+  read from, with Prometheus/JSON exporters;
+- :mod:`repro.observability.record` — :class:`TraceRecorder` /
+  :class:`TraceReader` for JSONL request records that replay as
+  request schedules (the policy-lab input format);
+- :mod:`repro.observability.handle` — the :class:`Observability`
+  facade engines accept (``NULL_OBSERVABILITY`` when disabled).
+
+Quick start::
+
+    from repro.observability import Observability, TraceRecorder
+
+    obs = Observability(recorder=TraceRecorder("trace.jsonl"))
+    engine = InferenceEngine(model, handle, observability=obs)
+    ...
+    print(obs.to_prometheus_text())
+    print(obs.latency_breakdown())
+"""
+
+from repro.observability.handle import (
+    NULL_OBSERVABILITY,
+    Observability,
+    REQUEST_PHASES,
+    RequestTrace,
+)
+from repro.observability.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.observability.record import (
+    ReplayRequest,
+    TraceReader,
+    TraceRecorder,
+    jsonable,
+)
+from repro.observability.tracing import (
+    DEFAULT_SPAN_CAPACITY,
+    Span,
+    SpanCollector,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SPAN_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVABILITY",
+    "Observability",
+    "REQUEST_PHASES",
+    "ReplayRequest",
+    "RequestTrace",
+    "Span",
+    "SpanCollector",
+    "TraceReader",
+    "TraceRecorder",
+    "Tracer",
+    "jsonable",
+    "render_prometheus",
+]

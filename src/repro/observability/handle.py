@@ -1,0 +1,258 @@
+"""The shared observability handle the serving stack threads through.
+
+One :class:`Observability` object bundles the three concerns:
+
+- a :class:`~repro.observability.tracing.Tracer` feeding a bounded
+  :class:`~repro.observability.tracing.SpanCollector` (tracing),
+- a fleet-wide metrics view: component registries (one per engine,
+  one for the host) register themselves and
+  :meth:`Observability.to_prometheus_text` /
+  :meth:`Observability.to_json` merge them, labelling every series
+  with its ``source`` (metrics),
+- an optional :class:`~repro.observability.record.TraceRecorder` that
+  persists one JSONL record per completed request (recording).
+
+``Observability(enabled=False)`` — exposed as the module-level
+:data:`NULL_OBSERVABILITY` null object — is what engines fall back to
+when no handle is passed: every serving call site guards on
+``obs.enabled`` before building spans or records, so the disabled hot
+path pays one attribute check and nothing else.
+
+Request lifecycle: the submitting thread calls
+:meth:`Observability.begin_request`, which mints the trace id and
+opens the root ``request`` span; the worker that completes the request
+calls :meth:`Observability.finish_request`, which closes the root,
+derives rebuild seconds from the span tree, and hands the record to
+the recorder.  Arrival times are seconds since the handle's creation
+(its *epoch*), so a recorded trace replays as a relative schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.observability.metrics import MetricsRegistry, render_prometheus
+from repro.observability.record import TraceRecorder
+from repro.observability.tracing import Span, SpanCollector, Tracer
+
+__all__ = ["NULL_OBSERVABILITY", "Observability", "RequestTrace"]
+
+# The span names the serving engine emits for request phases, in
+# wall-clock order.  Shared phase spans re-emitted for batch peers are
+# tagged ``shared`` and excluded from breakdowns (the work was paid
+# once per batch, not once per request).
+REQUEST_PHASES = ("queue_wait", "rebuild", "compute")
+
+
+class RequestTrace:
+    """Per-request trace context: the root span plus routing facts."""
+
+    __slots__ = ("trace_id", "root", "model", "engine", "arrival_s")
+
+    def __init__(
+        self,
+        root: Span,
+        model: Optional[str],
+        engine: Optional[str],
+        arrival_s: float,
+    ) -> None:
+        self.trace_id = root.trace_id
+        self.root = root
+        self.model = model
+        self.engine = engine
+        self.arrival_s = arrival_s
+
+
+def _nearest_rank(sorted_values: Sequence[float], point: float) -> float:
+    """Nearest-rank percentile: always an observed sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(point / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[int(rank)]
+
+
+class Observability:
+    """Tracing + metrics + trace recording behind one handle."""
+
+    def __init__(
+        self,
+        trace_capacity: int = 4096,
+        recorder: Optional[TraceRecorder] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.collector = SpanCollector(trace_capacity)
+        self.tracer = Tracer(self.collector)
+        self.metrics = MetricsRegistry()
+        self.recorder = recorder
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._sources: "Dict[str, MetricsRegistry]" = {}
+
+    # ------------------------------------------------------------------
+    # Metrics federation
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry: MetricsRegistry, name: str) -> str:
+        """Attach a component registry under ``name`` (unique-ified
+        with ``#n`` on collision); returns the name actually used."""
+        with self._lock:
+            unique, n = name, 1
+            while unique in self._sources:
+                if self._sources[unique] is registry:
+                    return unique
+                n += 1
+                unique = f"{name}#{n}"
+            self._sources[unique] = registry
+        return unique
+
+    def metric_sources(self) -> Dict[str, MetricsRegistry]:
+        with self._lock:
+            return dict(self._sources)
+
+    def _merged_snapshot(self) -> List[Dict]:
+        entries = self.metrics.snapshot()
+        for name, registry in sorted(self.metric_sources().items()):
+            entries.extend(registry.snapshot(extra_tags={"source": name}))
+        return entries
+
+    def to_prometheus_text(self) -> str:
+        """One Prometheus text page over every registered source."""
+        return render_prometheus(self._merged_snapshot())
+
+    def to_json(self) -> str:
+        import json
+        import math
+
+        entries = self._merged_snapshot()
+        for entry in entries:
+            if "buckets" in entry:
+                entry["buckets"] = [
+                    ["+Inf" if math.isinf(bound) else bound, count]
+                    for bound, count in entry["buckets"]
+                ]
+        return json.dumps({"metrics": entries}, sort_keys=True)
+
+    def snapshot(self) -> Dict:
+        """Pull-based state dump safe to call from a live fleet."""
+        return {
+            "metrics": self._merged_snapshot(),
+            "spans_buffered": len(self.collector),
+            "spans_total": self.collector.total,
+            "spans_dropped": self.collector.dropped,
+            "records_written": (
+                self.recorder.records_written if self.recorder else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def begin_request(
+        self, model: Optional[str] = None, engine: Optional[str] = None
+    ) -> Optional[RequestTrace]:
+        """Mint a trace and open the root ``request`` span (None when
+        disabled — callers thread the returned handle through)."""
+        if not self.enabled:
+            return None
+        tags: Dict = {}
+        if model is not None:
+            tags["model"] = model
+        if engine is not None:
+            tags["engine"] = engine
+        root = self.tracer.start_span("request", parent=None, tags=tags)
+        return RequestTrace(
+            root, model=model, engine=engine,
+            arrival_s=root.start_s - self.epoch,
+        )
+
+    def finish_request(
+        self,
+        trace: RequestTrace,
+        end_s: Optional[float] = None,
+        batch_id: Optional[int] = None,
+        error: Optional[str] = None,
+        **tags,
+    ) -> Optional[Dict]:
+        """Close the request's root span and (if recording) persist its
+        record.  Rebuild seconds are derived from the span tree —
+        the sum of the root's finished ``rebuild`` children."""
+        if not self.enabled:
+            return None
+        root = trace.root
+        if batch_id is not None:
+            tags["batch_id"] = batch_id
+        if error is not None:
+            tags["error"] = error
+        self.tracer.finish_span(root, end_s=end_s, **tags)
+        rebuild_s = sum(
+            child.duration_s or 0.0
+            for child in root.children
+            if child.name == "rebuild"
+        )
+        if self.recorder is None:
+            return None
+        return self.recorder.record_request(
+            trace_id=trace.trace_id,
+            model=trace.model if trace.model is not None else tags.get("model"),
+            engine=trace.engine if trace.engine is not None else tags.get("engine"),
+            arrival_s=trace.arrival_s,
+            latency_s=root.duration_s or 0.0,
+            rebuild_s=rebuild_s,
+            batch_id=batch_id,
+            spans=root.as_tree(),
+            error=error,
+        )
+
+    # ------------------------------------------------------------------
+    # Span-derived views
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Dict]:
+        """Snapshot of the buffered spans (oldest first)."""
+        return self.collector.export()
+
+    def latency_breakdown(
+        self,
+        phases: Iterable[str] = REQUEST_PHASES,
+        engine: Optional[str] = None,
+    ) -> Dict[str, Dict]:
+        """Per-phase latency summary from the buffered spans.
+
+        Returns ``{phase: {count, p50_ms, p95_ms, mean_ms, total_s}}``
+        over finished spans of each phase name, optionally filtered to
+        one engine's spans (``tags["engine"]``).  Spans tagged
+        ``shared`` (phase costs re-attributed to batch peers) are
+        skipped so a batch's install/compute is counted once.
+        """
+        wanted = tuple(phases)
+        samples: Dict[str, List[float]] = {phase: [] for phase in wanted}
+        for span in self.collector.export():
+            name = span["name"]
+            if name not in samples or span["duration_s"] is None:
+                continue
+            tags = span.get("tags") or {}
+            if tags.get("shared"):
+                continue
+            if engine is not None and tags.get("engine") != engine:
+                continue
+            samples[name].append(span["duration_s"])
+        out: Dict[str, Dict] = {}
+        for phase in wanted:
+            values = sorted(samples[phase])
+            total = sum(values)
+            out[phase] = {
+                "count": len(values),
+                "p50_ms": _nearest_rank(values, 50.0) * 1e3,
+                "p95_ms": _nearest_rank(values, 95.0) * 1e3,
+                "mean_ms": (total / len(values) * 1e3) if values else 0.0,
+                "total_s": total,
+            }
+        return out
+
+
+NULL_OBSERVABILITY = Observability(trace_capacity=1, enabled=False)
+"""Shared null object: the default ``observability=`` of every engine.
+Call sites guard on ``.enabled``, so the disabled hot path costs one
+attribute check."""

@@ -1,0 +1,183 @@
+"""Trace recording and replay: completed requests to JSONL and back.
+
+:class:`TraceRecorder` serializes one record per completed request —
+arrival time (seconds since the observability handle's epoch), model
+key, engine key, batch id, end-to-end latency, rebuild seconds, and
+the request's full span tree — as one JSON object per line.  Records
+are written with sorted keys and compact separators, so a file round-
+trips bit-for-bit: ``json.dumps(json.loads(line), ...)`` under the
+same settings reproduces the line exactly (the round-trip test pins
+this).
+
+:class:`TraceReader` loads a JSONL file back and exposes it as a
+*replayable request schedule*: :meth:`TraceReader.schedule` returns
+:class:`ReplayRequest` rows ordered by arrival, and
+:meth:`TraceReader.by_model` groups them per model — the input format
+a trace-driven policy simulator consumes (replay the arrivals against
+candidate admission/batch/tier policies without standing up a fleet).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["ReplayRequest", "TraceReader", "TraceRecorder", "jsonable"]
+
+_DUMP_KWARGS = {"sort_keys": True, "separators": (",", ":")}
+
+
+def jsonable(value):
+    """Coerce a record value into plain JSON types.
+
+    Numpy scalars (``float64`` latencies, ``int64`` byte counts) leak
+    into span tags easily; ``.item()`` unwraps them without importing
+    numpy here.  Non-finite floats become strings so a record line
+    never contains bare ``NaN``/``Infinity`` (invalid JSON).
+    """
+    if isinstance(value, dict):
+        return {str(key): jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (bool, int, float, str)):
+        try:
+            value = item()
+        except Exception:  # pragma: no cover - exotic .item()
+            return str(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class TraceRecorder:
+    """Thread-safe JSONL writer of completed request records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._written = 0
+
+    @property
+    def records_written(self) -> int:
+        with self._lock:
+            return self._written
+
+    def record(self, record: Dict) -> Dict:
+        """Serialize one record as a JSONL line (returns the cleaned
+        record).  Safe from concurrent worker threads."""
+        cleaned = jsonable(record)
+        line = json.dumps(cleaned, **_DUMP_KWARGS)
+        with self._lock:
+            if self._file.closed:
+                raise ValueError(f"recorder for {self.path} is closed")
+            self._file.write(line + "\n")
+            self._file.flush()
+            self._written += 1
+        return cleaned
+
+    def record_request(
+        self,
+        *,
+        trace_id: str,
+        model: Optional[str],
+        engine: Optional[str],
+        arrival_s: float,
+        latency_s: float,
+        rebuild_s: float = 0.0,
+        batch_id: Optional[int] = None,
+        spans: Optional[Dict] = None,
+        error: Optional[str] = None,
+    ) -> Dict:
+        """Build and write the canonical per-request record."""
+        record: Dict = {
+            "trace_id": trace_id,
+            "model": model,
+            "engine": engine,
+            "arrival_s": arrival_s,
+            "latency_s": latency_s,
+            "rebuild_s": rebuild_s,
+            "batch_id": batch_id,
+            "spans": spans,
+        }
+        if error is not None:
+            record["error"] = error
+        return self.record(record)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ReplayRequest:
+    """One row of a replayable schedule (sorted by ``arrival_s``)."""
+
+    arrival_s: float
+    model: Optional[str]
+    trace_id: str
+    engine: Optional[str] = None
+    batch_id: Optional[int] = None
+    latency_s: float = 0.0
+    rebuild_s: float = 0.0
+
+
+class TraceReader:
+    """Load a recorded JSONL trace back as data + a request schedule."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def __iter__(self) -> Iterator[Dict]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def records(self) -> List[Dict]:
+        return list(self)
+
+    def schedule(self) -> List[ReplayRequest]:
+        """The replayable request schedule, ordered by arrival.
+
+        The sort is stable, so simultaneous arrivals keep their
+        recorded order and a record→schedule→record pass reproduces
+        the same sequence every time.
+        """
+        rows = [
+            ReplayRequest(
+                arrival_s=record.get("arrival_s", 0.0),
+                model=record.get("model"),
+                trace_id=record.get("trace_id", ""),
+                engine=record.get("engine"),
+                batch_id=record.get("batch_id"),
+                latency_s=record.get("latency_s", 0.0),
+                rebuild_s=record.get("rebuild_s", 0.0),
+            )
+            for record in self
+        ]
+        rows.sort(key=lambda row: row.arrival_s)
+        return rows
+
+    def by_model(self) -> Dict[Optional[str], List[ReplayRequest]]:
+        """The schedule grouped per model (arrival order kept)."""
+        grouped: Dict[Optional[str], List[ReplayRequest]] = {}
+        for row in self.schedule():
+            grouped.setdefault(row.model, []).append(row)
+        return grouped

@@ -1,0 +1,265 @@
+"""Lightweight request tracing: spans, a tracer, and a ring buffer.
+
+A :class:`Span` is one timed phase of work — monotonic start
+(``time.perf_counter``), duration, free-form tags, and a parent link —
+and spans of one request share a trace id minted when the request
+enters the system.  Spans nest two ways:
+
+- **explicitly**, by passing ``parent=`` (how the serving engine ties
+  a worker-thread phase span to a root span begun on the submitting
+  thread), and
+- **implicitly**, through a per-thread active-span stack
+  (:meth:`Tracer.span` / :meth:`Tracer.activate`), which is how the
+  rebuild engine's per-layer decode spans land under whatever phase
+  span the worker currently has open without the rebuild engine
+  knowing anything about requests.
+
+Finished spans are appended to a bounded :class:`SpanCollector` ring
+buffer — old spans fall off the back under sustained load, the
+``dropped`` counter says how many — and parents also keep their
+children, so a request's root span carries its whole tree for the
+trace recorder even after the ring has moved on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "SpanCollector", "Tracer"]
+
+DEFAULT_SPAN_CAPACITY = 4096
+
+_INHERIT = object()  # sentinel: resolve parent from the thread-local stack
+
+
+class Span:
+    """One timed phase: name, trace/parent ids, tags, and children."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_s",
+        "duration_s",
+        "tags",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int] = None,
+        start_s: Optional[float] = None,
+        tags: Optional[Dict] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = time.perf_counter() if start_s is None else start_s
+        self.duration_s: Optional[float] = None
+        self.tags: Dict = dict(tags) if tags else {}
+        self.children: List["Span"] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.duration_s is not None
+
+    def as_dict(self) -> Dict:
+        """Flat form (no children) — what the collector stores."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "tags": dict(self.tags),
+        }
+
+    def as_tree(self) -> Dict:
+        """Nested form — what the trace recorder serializes."""
+        out = self.as_dict()
+        out["children"] = [child.as_tree() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, duration={self.duration_s})"
+        )
+
+
+class SpanCollector:
+    """Thread-safe bounded ring buffer of finished spans (flat dicts).
+
+    At capacity the oldest span is evicted per append; ``dropped``
+    counts evictions so a reader can tell a quiet system from one
+    whose history outran the ring.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: "deque[Dict]" = deque(maxlen=capacity)
+        self._dropped = 0
+        self._total = 0
+
+    def add(self, span: Dict) -> None:
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self._dropped += 1
+            self._spans.append(span)
+            self._total += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    @property
+    def total(self) -> int:
+        """Spans ever collected (including since-evicted ones)."""
+        with self._lock:
+            return self._total
+
+    def export(self) -> List[Dict]:
+        """Snapshot of the buffered spans, oldest first (copies)."""
+        with self._lock:
+            return [dict(span) for span in self._spans]
+
+    def drain(self) -> List[Dict]:
+        """Export and clear (eviction/total counters kept)."""
+        with self._lock:
+            spans = [dict(span) for span in self._spans]
+            self._spans.clear()
+        return spans
+
+
+class Tracer:
+    """Mints trace ids, opens/finishes spans, feeds the collector."""
+
+    def __init__(self, collector: Optional[SpanCollector] = None) -> None:
+        # `collector or ...` would discard an *empty* collector: the
+        # ring defines __len__, so a fresh one is falsy.
+        self.collector = collector if collector is not None else SpanCollector()
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def new_trace_id(self) -> str:
+        return f"t{next(self._trace_ids):08d}"
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost active span on *this* thread (or None)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = _INHERIT,
+        trace_id: Optional[str] = None,
+        tags: Optional[Dict] = None,
+        start_s: Optional[float] = None,
+    ) -> Span:
+        """Open a span.  ``parent`` defaults to this thread's active
+        span; pass ``parent=None`` explicitly for a root.  A root with
+        no ``trace_id`` mints a fresh one."""
+        if parent is _INHERIT:
+            parent = self.current_span()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = trace_id or self.new_trace_id()
+            parent_id = None
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent_id,
+            start_s=start_s,
+            tags=tags,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        return span
+
+    def finish_span(
+        self, span: Span, end_s: Optional[float] = None, **tags
+    ) -> Span:
+        """Close a span (idempotent) and push it into the collector."""
+        if span.finished:
+            return span
+        end = time.perf_counter() if end_s is None else end_s
+        span.duration_s = max(0.0, end - span.start_s)
+        if tags:
+            span.tags.update(tags)
+        self.collector.add(span.as_dict())
+        return span
+
+    def emit(
+        self,
+        name: str,
+        start_s: float,
+        end_s: Optional[float] = None,
+        parent: Optional[Span] = _INHERIT,
+        trace_id: Optional[str] = None,
+        tags: Optional[Dict] = None,
+    ) -> Span:
+        """Record an already-measured span in one call."""
+        span = self.start_span(
+            name, parent=parent, trace_id=trace_id, tags=tags, start_s=start_s
+        )
+        return self.finish_span(span, end_s=end_s)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self, span: Span):
+        """Make ``span`` this thread's active span (for implicit
+        nesting) without owning its finish."""
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = _INHERIT,
+        trace_id: Optional[str] = None,
+        tags: Optional[Dict] = None,
+    ):
+        """Open, activate, and finish a span around a block."""
+        opened = self.start_span(name, parent=parent, trace_id=trace_id, tags=tags)
+        with self.activate(opened):
+            try:
+                yield opened
+            finally:
+                self.finish_span(opened)

@@ -34,7 +34,14 @@ serve through the identical pipeline.
 - :mod:`repro.serving.stats` — throughput / latency percentiles /
   per-worker and per-policy counters / cache behavior /
   storage-vs-compute telemetry and trade curves (:class:`ServingStats`);
-  fleet aggregation for the host (:class:`HostStats`).
+  fleet aggregation for the host (:class:`HostStats`).  Counters are
+  backed by :mod:`repro.observability` metric instruments, so one
+  Prometheus/JSON export reports exactly what the summaries report.
+
+Every engine and host accepts an optional shared
+:class:`~repro.observability.Observability` handle (per-request span
+traces, fleet-wide metrics export, JSONL trace recording); without
+one, serving pays a single attribute check per call site.
 
 Typical use::
 

@@ -229,12 +229,19 @@ class Ticket:
 
 @dataclass
 class Request:
-    """One enqueued sample plus its completion ticket."""
+    """One enqueued sample plus its completion ticket.
+
+    ``trace`` carries the request's observability context (a
+    :class:`~repro.observability.RequestTrace` opened at submit, or
+    ``None`` when tracing is off) from the submitting thread to the
+    worker that executes the batch; the queue itself never touches it.
+    """
 
     request_id: int
     payload: np.ndarray
     ticket: Ticket
     enqueued_at: float = 0.0
+    trace: Optional[object] = None
 
 
 class QueueClosed(Exception):
@@ -256,7 +263,7 @@ class RequestQueue:
         with self._lock:
             return len(self._pending)
 
-    def submit(self, payload: np.ndarray) -> Ticket:
+    def submit(self, payload: np.ndarray, trace=None) -> Ticket:
         """Enqueue one sample; returns the ticket to wait on."""
         ticket = Ticket(next(self._ids))
         request = Request(
@@ -264,6 +271,7 @@ class RequestQueue:
             payload=np.asarray(payload),
             ticket=ticket,
             enqueued_at=time.perf_counter(),
+            trace=trace,
         )
         with self._not_empty:
             if self._closed:

@@ -28,6 +28,7 @@ Three serving paths share the same execution core:
 from __future__ import annotations
 
 import asyncio
+import itertools
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Union
@@ -36,6 +37,12 @@ import numpy as np
 
 from repro import nn
 from repro.costs import CodecCostModel
+from repro.observability import (
+    NULL_OBSERVABILITY,
+    MetricsRegistry,
+    Observability,
+    RequestTrace,
+)
 from repro.serving.batching import (
     BatchPolicy,
     QueueClosed,
@@ -105,11 +112,20 @@ class InferenceEngine:
         cache_bytes: Optional[int] = None,
         admission: "Union[str, AdmissionPolicy, None]" = None,
         cost_model: Optional[CodecCostModel] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.model = model
         self.handle = handle
         self.policy = policy or StaticBatchPolicy()
-        self.stats = ServingStats()
+        # All of this engine's instruments (serving + rebuild counters)
+        # live in one private registry; with a shared Observability
+        # handle the registry is federated into the fleet-wide export
+        # under this engine's bundle key.
+        self.metrics = MetricsRegistry()
+        self.observability = (
+            observability if observability is not None else NULL_OBSERVABILITY
+        )
+        self.stats = ServingStats(metrics=self.metrics)
         # One cost model per engine unless the caller shares one (e.g.
         # the registry's, so every engine for a store learns together).
         self.cost_model = cost_model or CodecCostModel()
@@ -119,7 +135,12 @@ class InferenceEngine:
             capacity_bytes=cache_bytes,
             policy=admission,
             cost_model=self.cost_model,
+            metrics=self.metrics,
+            observability=self.observability,
         )
+        if self.observability.enabled:
+            self.observability.register_metrics(self.metrics, name=handle.key)
+        self._batch_ids = itertools.count(1)
         # A cost-aware batch policy prices batches off this engine's
         # rebuild cache; other policies have no hook and are left alone.
         bind = getattr(self.policy, "bind_costs", None)
@@ -150,18 +171,41 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Offline path
     # ------------------------------------------------------------------
-    def predict(self, batch: np.ndarray) -> np.ndarray:
-        """Run one already-formed batch; returns the output ndarray."""
+    def predict(
+        self, batch: np.ndarray, trace: Optional[RequestTrace] = None
+    ) -> np.ndarray:
+        """Run one already-formed batch; returns the output ndarray.
+
+        With observability enabled the install and forward phases emit
+        ``rebuild`` / ``compute`` spans (per-layer ``rebuild.layer``
+        children come from the rebuild engine) — nested under
+        ``trace``'s root when a caller (e.g. the host) passes one.
+        """
         batch = np.asarray(batch)
+        obs = self.observability
         start = time.perf_counter()
         with self._forward_lock:
-            self._install_weights(self._modules)
-            output = self.model(batch)
-            result = output.data if isinstance(output, nn.Tensor) else output
+            if obs.enabled:
+                parent = trace.root if trace is not None else None
+                tags = {"engine": self.handle.key, "path": "offline"}
+                span = obs.tracer.start_span("rebuild", parent=parent, tags=tags)
+                with obs.tracer.activate(span):
+                    self._install_weights(self._modules)
+                obs.tracer.finish_span(span)
+                span = obs.tracer.start_span("compute", parent=parent, tags=tags)
+                output = self.model(batch)
+                result = output.data if isinstance(output, nn.Tensor) else output
+                obs.tracer.finish_span(span, batch_size=len(batch))
+            else:
+                self._install_weights(self._modules)
+                output = self.model(batch)
+                result = output.data if isinstance(output, nn.Tensor) else output
         latency = time.perf_counter() - start
         self.stats.record_batch(len(batch), latency, policy=self.policy.name)
         for _ in range(len(batch)):
             self.stats.record_request(latency)
+        if trace is not None and obs.enabled:
+            obs.finish_request(trace)
         return np.asarray(result)
 
     def predict_many(
@@ -242,23 +286,42 @@ class InferenceEngine:
                 worker.thread.start()
         return self
 
-    def submit(self, sample: np.ndarray) -> Ticket:
+    def submit(
+        self, sample: np.ndarray, trace: Optional[RequestTrace] = None
+    ) -> Ticket:
         """Enqueue one sample (no batch axis); returns its ticket.
+
+        With observability enabled, the request's trace id is minted
+        here (or inherited from ``trace`` when the host already opened
+        one) and rides the queue to the worker that completes it.
 
         Safe against a concurrent :meth:`stop`: the queue reference is
         captured once, and a submission that loses the race surfaces as
         :class:`ServingError`, never ``AttributeError``.
         """
+        obs = self.observability
+        if obs.enabled and trace is None:
+            trace = obs.begin_request(
+                model=self.handle.name, engine=self.handle.key
+            )
         queue = self._queue
         error = self._worker_error
         if error is not None:
+            self._abort_trace(trace, "worker died")
             raise ServingError("worker died") from error
         if queue is None:
+            self._abort_trace(trace, "engine not started")
             raise ServingError("engine not started; call start() first")
         try:
-            return queue.submit(sample)
+            return queue.submit(sample, trace=trace)
         except QueueClosed as closed:
+            self._abort_trace(trace, "queue closed")
             raise ServingError("engine is stopping; queue closed") from closed
+
+    def _abort_trace(self, trace: Optional[RequestTrace], reason: str) -> None:
+        """Close a request trace that never made it into the queue."""
+        if trace is not None and self.observability.enabled:
+            self.observability.finish_request(trace, error=reason)
 
     def submit_async(
         self,
@@ -339,15 +402,79 @@ class InferenceEngine:
             self._fail_pending(queue, error)
 
     def _run_requests(self, requests: List[Request], worker: _Worker) -> None:
+        obs = self.observability
+        traced = (
+            [r for r in requests if r.trace is not None] if obs.enabled else []
+        )
+        batch_id = next(self._batch_ids)
+        dequeued = time.perf_counter()
+        rebuild_span = compute_span = None
+        if traced:
+            # enqueue → dequeue wait, one span per request, against the
+            # policy's (re-evaluated) wait budget for this batch size.
+            budget = self.policy.wait_budget(len(requests))
+            for request in traced:
+                obs.tracer.emit(
+                    "queue_wait",
+                    start_s=request.enqueued_at,
+                    end_s=dequeued,
+                    parent=request.trace.root,
+                    tags={
+                        "engine": self.handle.key,
+                        "worker": worker.index,
+                        "batch_id": batch_id,
+                        "batch_size": len(requests),
+                        "wait_budget_s": budget,
+                    },
+                )
+            # Rebuild + compute run once per batch; the spans hang off
+            # the first traced request (the batch's *primary* trace),
+            # and the peers get duplicate spans tagged ``shared`` below.
+            primary = traced[0].trace
+            phase_tags = {
+                "engine": self.handle.key,
+                "worker": worker.index,
+                "batch_id": batch_id,
+            }
         start = time.perf_counter()
         try:
             batch = stack_batch(requests)
-            self._install_weights(worker.modules)
-            output = worker.model(batch)
-            result = output.data if isinstance(output, nn.Tensor) else output
+            if traced:
+                rebuild_span = obs.tracer.start_span(
+                    "rebuild", parent=primary.root, tags=phase_tags
+                )
+                # Activation nests the rebuild engine's per-layer
+                # ``rebuild.layer`` spans under this phase span.
+                with obs.tracer.activate(rebuild_span):
+                    self._install_weights(worker.modules)
+                obs.tracer.finish_span(
+                    rebuild_span, layers=len(worker.modules)
+                )
+                compute_span = obs.tracer.start_span(
+                    "compute", parent=primary.root, tags=phase_tags
+                )
+                output = worker.model(batch)
+                result = (
+                    output.data if isinstance(output, nn.Tensor) else output
+                )
+                obs.tracer.finish_span(compute_span, batch_size=len(requests))
+            else:
+                self._install_weights(worker.modules)
+                output = worker.model(batch)
+                result = (
+                    output.data if isinstance(output, nn.Tensor) else output
+                )
         except Exception as error:
             # A bad batch (e.g. malformed sample shape) fails its own
             # tickets; the worker keeps serving subsequent requests.
+            for span in (rebuild_span, compute_span):
+                if span is not None and not span.finished:
+                    obs.tracer.finish_span(span, error=type(error).__name__)
+            for request in traced:
+                obs.finish_request(
+                    request.trace, batch_id=batch_id,
+                    error=type(error).__name__,
+                )
             self._fail_tickets(requests, error)
             self.stats.record_failed(len(requests))
             return
@@ -361,6 +488,28 @@ class InferenceEngine:
         rows = np.asarray(result)
         for request, row in zip(requests, rows):
             self.stats.record_request(finish - request.enqueued_at)
+            if request.trace is not None and obs.enabled:
+                if request.trace is not primary:
+                    # Batch peers share the primary's install/forward
+                    # work; they get duplicate phase spans (same
+                    # interval) so each trace tree is self-contained —
+                    # tagged ``shared`` so breakdowns count the work
+                    # once.
+                    for phase in (rebuild_span, compute_span):
+                        obs.tracer.emit(
+                            phase.name,
+                            start_s=phase.start_s,
+                            end_s=phase.start_s + phase.duration_s,
+                            parent=request.trace.root,
+                            tags={
+                                **phase_tags,
+                                "shared": True,
+                                "shared_from": primary.trace_id,
+                            },
+                        )
+                obs.finish_request(
+                    request.trace, end_s=finish, batch_id=batch_id
+                )
             request.ticket.set_result(np.asarray(row))
 
     @staticmethod
@@ -382,6 +531,9 @@ class InferenceEngine:
                 requests = queue.next_batch(timeout=0.0)
                 if not requests:
                     return
+                for request in requests:
+                    if request.trace is not None:
+                        self._abort_trace(request.trace, type(error).__name__)
                 self._fail_tickets(requests, error)
         except QueueClosed:
             pass
@@ -399,6 +551,12 @@ class InferenceEngine:
             rebuild=self.rebuild.stats, manifest=self.handle.manifest
         )
         out["batch_policy"] = self.policy.name
+        if self.observability.enabled:
+            # Span-derived per-phase latency view over this engine's
+            # buffered spans (queue wait / rebuild / compute).
+            out["phase_latency"] = self.observability.latency_breakdown(
+                engine=self.handle.key
+            )
         return out
 
     def cost_curve(self) -> Dict:
@@ -411,8 +569,15 @@ class InferenceEngine:
         return self.rebuild.layer_cost_estimates()
 
     def report(self) -> str:
+        phases = None
+        if self.observability.enabled:
+            phases = self.observability.latency_breakdown(
+                engine=self.handle.key
+            )
         return self.stats.report(
-            rebuild=self.rebuild.stats, manifest=self.handle.manifest
+            rebuild=self.rebuild.stats,
+            manifest=self.handle.manifest,
+            phases=phases,
         )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import (
     Callable,
     Dict,
@@ -49,6 +50,12 @@ from typing import (
 import numpy as np
 
 from repro import nn
+from repro.observability import (
+    NULL_OBSERVABILITY,
+    MetricsRegistry,
+    Observability,
+    RequestTrace,
+)
 from repro.serving.batching import Ticket
 from repro.serving.engine import InferenceEngine, ServingError
 from repro.serving.registry import ModelRegistry
@@ -208,10 +215,19 @@ class ServingHost:
         self,
         registry: Optional[ModelRegistry] = None,
         routing: Union[str, RoutingPolicy, None] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.registry = registry
         self.routing = make_routing_policy(routing)
-        self.stats = HostStats()
+        if observability is None and registry is not None:
+            observability = getattr(registry, "observability", None)
+        self.observability = (
+            observability if observability is not None else NULL_OBSERVABILITY
+        )
+        self.metrics = MetricsRegistry()
+        self.stats = HostStats(metrics=self.metrics)
+        if self.observability.enabled:
+            self.observability.register_metrics(self.metrics, name="host")
         self._lock = threading.Lock()
         self._entries: "Dict[str, _HostedEngine]" = {}
         self._workers = 0  # >0 while started; hot-added engines match it
@@ -245,6 +261,10 @@ class ServingHost:
             )
         handle = self.registry.get(name, version)
         engine_kwargs.setdefault("cost_model", self.registry.cost_model)
+        if self.observability.enabled:
+            # Deployed engines share the host's handle, so one export
+            # covers the whole fleet and traces cross the route hop.
+            engine_kwargs.setdefault("observability", self.observability)
         engine = InferenceEngine(skeleton, handle, **engine_kwargs)
         self.add_engine(engine, model=name, key=key or handle.key)
         return engine
@@ -350,7 +370,13 @@ class ServingHost:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, model: Optional[str]) -> _HostedEngine:
+    def _route(
+        self,
+        model: Optional[str],
+        trace: Optional[RequestTrace] = None,
+    ) -> _HostedEngine:
+        obs = self.observability
+        route_start = time.perf_counter() if obs.enabled else 0.0
         with self._lock:
             candidates = [
                 entry
@@ -364,6 +390,7 @@ class ServingHost:
                 if model is not None
                 else "host has no engines; deploy() first"
             )
+        views: List[EngineView] = []
         if len(candidates) == 1:
             chosen = candidates[0]
         else:
@@ -385,6 +412,30 @@ class ServingHost:
                     "that was not a candidate"
                 )
         self.stats.record_routed(chosen.key, chosen.model)
+        if obs.enabled:
+            tags: Dict = {
+                "policy": self.routing.name,
+                "chosen": chosen.key,
+                "candidates": len(candidates),
+            }
+            if model is not None:
+                tags["model"] = model
+            # Losing bids: install estimates the policy actually
+            # computed (memoized lazily, so load-blind policies show
+            # none) for every candidate that was not chosen.
+            bids = {
+                view.key: view._install
+                for view in views
+                if view._install is not None and view.key != chosen.key
+            }
+            if bids:
+                tags["losing_bids"] = bids
+            obs.tracer.emit(
+                "route",
+                start_s=route_start,
+                parent=trace.root if trace is not None else None,
+                tags=tags,
+            )
         return chosen
 
     def submit(self, sample: np.ndarray, model: Optional[str] = None) -> Ticket:
@@ -393,8 +444,28 @@ class ServingHost:
         ``model=None`` arbitrates across the whole fleet — the
         cost-aware policy's home turf; naming a model (or an engine
         key) restricts the candidates to its replicas.
+
+        With observability enabled, the request's trace is minted
+        *here* — before routing — so the ``route`` span (chosen engine,
+        losing bids) is part of the request's tree.
         """
-        return self._route(model).engine.submit(sample)
+        obs = self.observability
+        trace = obs.begin_request(model=model) if obs.enabled else None
+        try:
+            chosen = self._route(model, trace)
+        except BaseException as exc:
+            if trace is not None:
+                obs.finish_request(trace, error=type(exc).__name__)
+            raise
+        if trace is not None:
+            # Routing resolved the model/engine; stamp them onto the
+            # trace so the recorded schedule groups correctly.
+            trace.engine = chosen.key
+            trace.root.tags["engine"] = chosen.key
+            if trace.model is None:
+                trace.model = chosen.model
+                trace.root.tags["model"] = chosen.model
+        return chosen.engine.submit(sample, trace=trace)
 
     def predict(
         self, batch: np.ndarray, model: Optional[str] = None

@@ -34,7 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Dict,
     List,
@@ -53,6 +53,7 @@ from repro.codecs import LayerPayload, get_codec
 from repro.core.reshape import from_matrices
 from repro.core.serialize import payload_weight
 from repro.costs import CodecCostModel
+from repro.observability import NULL_OBSERVABILITY, MetricsRegistry
 from repro.serving.artifacts import LayerArtifactSpec
 
 # Bound on the sampled trade curve; when full, every other point is
@@ -60,26 +61,150 @@ from repro.serving.artifacts import LayerArtifactSpec
 _CURVE_LIMIT = 4096
 
 
-@dataclass
 class RebuildCacheStats:
-    """Counters for the rebuild-on-read cache."""
+    """Counters for the rebuild-on-read cache.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    rejected: int = 0  # rebuilds the admission policy declined to cache
-    rebuilds: int = 0
-    rebuilt_bytes: int = 0  # dense bytes produced by rebuild compute
-    rebuild_seconds: float = 0.0
-    est_seconds_saved: float = 0.0  # estimated rebuild seconds hits avoided
-    policy: str = "lru"
-    # (accesses, cached_bytes, cumulative rebuild_seconds) samples, one
-    # per rebuild — the realized storage-vs-compute trade over time.
-    curve: List[Tuple[int, int, float]] = field(default_factory=list)
-    # Per-layer access/hit counts: the observed hit distribution that
-    # probabilistic install estimates and routing decisions price.
-    layer_hits: Dict[str, int] = field(default_factory=dict)
-    layer_accesses: Dict[str, int] = field(default_factory=dict)
+    The scalar counters are metric-backed properties over
+    ``repro_rebuild_*`` instruments in a
+    :class:`~repro.observability.metrics.MetricsRegistry` (pass
+    ``metrics=`` to share the engine's registry), so a Prometheus
+    export reports exactly what :meth:`as_dict` reports.  ``+=``
+    mutation keeps working through the setters; callers hold the
+    rebuild engine's lock as before.
+    """
+
+    def __init__(
+        self,
+        policy: str = "lru",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        help_ = "rebuild-on-read cache counter"
+        self._hits = self.metrics.counter(
+            "repro_rebuild_hits_total", "cache hits (rebuild avoided)"
+        )
+        self._misses = self.metrics.counter(
+            "repro_rebuild_misses_total", "cache misses (rebuild paid)"
+        )
+        self._evictions = self.metrics.counter(
+            "repro_rebuild_evictions_total", help_
+        )
+        self._rejected = self.metrics.counter(
+            "repro_rebuild_rejected_total",
+            "rebuilds the admission policy declined to cache",
+        )
+        self._rebuilds = self.metrics.counter(
+            "repro_rebuild_rebuilds_total", help_
+        )
+        self._rebuilt_bytes = self.metrics.counter(
+            "repro_rebuild_rebuilt_bytes_total",
+            "dense bytes produced by rebuild compute",
+        )
+        self._rebuild_seconds = self.metrics.counter(
+            "repro_rebuild_seconds_total", "seconds spent rebuilding"
+        )
+        self._est_seconds_saved = self.metrics.counter(
+            "repro_rebuild_est_seconds_saved_total",
+            "estimated rebuild seconds cache hits avoided",
+        )
+        # (accesses, cached_bytes, cumulative rebuild_seconds) samples,
+        # one per rebuild — the realized storage-vs-compute trade over
+        # time.
+        self.curve: List[Tuple[int, int, float]] = []
+        # Per-layer access/hit counts: the observed hit distribution
+        # that probabilistic install estimates and routing decisions
+        # price.
+        self.layer_hits: Dict[str, int] = {}
+        self.layer_accesses: Dict[str, int] = {}
+
+    # -- metric-backed scalar counters ---------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.set(value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.set(value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.set(value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @rejected.setter
+    def rejected(self, value: int) -> None:
+        self._rejected.set(value)
+
+    @property
+    def rebuilds(self) -> int:
+        return int(self._rebuilds.value)
+
+    @rebuilds.setter
+    def rebuilds(self, value: int) -> None:
+        self._rebuilds.set(value)
+
+    @property
+    def rebuilt_bytes(self) -> int:
+        return int(self._rebuilt_bytes.value)
+
+    @rebuilt_bytes.setter
+    def rebuilt_bytes(self, value: int) -> None:
+        self._rebuilt_bytes.set(value)
+
+    @property
+    def rebuild_seconds(self) -> float:
+        return self._rebuild_seconds.value
+
+    @rebuild_seconds.setter
+    def rebuild_seconds(self, value: float) -> None:
+        self._rebuild_seconds.set(value)
+
+    @property
+    def est_seconds_saved(self) -> float:
+        return self._est_seconds_saved.value
+
+    @est_seconds_saved.setter
+    def est_seconds_saved(self, value: float) -> None:
+        self._est_seconds_saved.set(value)
+
+    def reset(self) -> None:
+        """Zero every counter *in place* (object identity kept).
+
+        Callers hold the engine lock, so an in-flight access counts
+        entirely before or entirely after the reset — the old
+        swap-a-fresh-object reset could split one access's miss and
+        rebuild counts across two stats objects.
+        """
+        for instrument in (
+            self._hits,
+            self._misses,
+            self._evictions,
+            self._rejected,
+            self._rebuilds,
+            self._rebuilt_bytes,
+            self._rebuild_seconds,
+            self._est_seconds_saved,
+        ):
+            instrument.reset()
+        self.curve.clear()
+        self.layer_hits.clear()
+        self.layer_accesses.clear()
 
     @property
     def accesses(self) -> int:
@@ -332,6 +457,8 @@ class RebuildEngine:
         capacity_bytes: Optional[int] = None,
         policy: Union[str, AdmissionPolicy, None] = None,
         cost_model: Optional[CodecCostModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        observability=None,
     ) -> None:
         missing = set(specs) - set(payloads)
         if missing:
@@ -341,6 +468,10 @@ class RebuildEngine:
         self.capacity_bytes = capacity_bytes
         self.policy = make_admission_policy(policy)
         self.cost_model = cost_model or CodecCostModel()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.observability = (
+            observability if observability is not None else NULL_OBSERVABILITY
+        )
         self._layer_codec = {name: spec.codec for name, spec in specs.items()}
         # Resident bytes if a layer were cached, before its first
         # rebuild tells us the decoded dtype: assume the float64 the
@@ -356,7 +487,13 @@ class RebuildEngine:
         self._actual_bytes: Dict[str, int] = {}
         self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._cached_bytes = 0
-        self.stats = RebuildCacheStats(policy=self.policy.name)
+        self.stats = RebuildCacheStats(
+            policy=self.policy.name, metrics=self.metrics
+        )
+        self._cached_bytes_gauge = self.metrics.gauge(
+            "repro_rebuild_cached_bytes",
+            "dense bytes resident in the rebuild cache",
+        )
         # Guards the cache, the stats, and the in-flight table.  Rebuild
         # compute itself never runs under this lock.
         self._lock = threading.Lock()
@@ -475,7 +612,32 @@ class RebuildEngine:
         the in-flight rebuild and share its result (counted as hits,
         since they paid no rebuild compute).  If a rebuild fails, its
         waiters retry, so each caller raises its own exception.
+
+        With observability enabled, each call emits a ``rebuild.layer``
+        span — nested under whatever span the calling thread has active
+        (the engine's per-batch ``rebuild`` phase) — tagged with the
+        layer, codec, hit/miss, dense bytes, and admission verdict.
         """
+        obs = self.observability
+        if not obs.enabled:
+            return self._layer_weight(name, None)
+        info: Dict = {}
+        span = obs.tracer.start_span(
+            "rebuild.layer",
+            tags={"layer": name, "codec": self._layer_codec.get(name, "?")},
+        )
+        try:
+            with obs.tracer.activate(span):
+                weight = self._layer_weight(name, info)
+        except BaseException as exc:
+            obs.tracer.finish_span(span, error=type(exc).__name__, **info)
+            raise
+        obs.tracer.finish_span(span, **info)
+        return weight
+
+    def _layer_weight(self, name: str, info: Optional[Dict]) -> np.ndarray:
+        """The uninstrumented implementation; ``info`` (when given) is
+        filled with hit/miss, dense bytes, and the admission verdict."""
         if name not in self._specs:
             raise KeyError(f"unknown layer {name!r}")
         while True:
@@ -486,6 +648,9 @@ class RebuildEngine:
                     self.stats.record_access(name, hit=True)
                     self.stats.est_seconds_saved += self._estimate_seconds(name)
                     self._cache.move_to_end(name)
+                    if info is not None:
+                        info["hit"] = True
+                        info["dense_bytes"] = cached.nbytes
                     return cached
                 flight = self._inflight.get(name)
                 if flight is None:
@@ -499,6 +664,12 @@ class RebuildEngine:
                     self.stats.hits += 1
                     self.stats.record_access(name, hit=True)
                     self.stats.est_seconds_saved += self._estimate_seconds(name)
+                if info is not None:
+                    # Shared an in-flight rebuild: a hit (no compute
+                    # paid here), flagged so traces can tell it apart.
+                    info["hit"] = True
+                    info["inflight_wait"] = True
+                    info["dense_bytes"] = flight.weight.nbytes
                 return flight.weight
             # The in-flight rebuild failed; loop and rebuild ourselves.
         try:
@@ -516,10 +687,15 @@ class RebuildEngine:
             self.stats.rebuilds += 1
             self.stats.rebuilt_bytes += weight.nbytes
             self.stats.rebuild_seconds += seconds
-            self._admit(name, weight)
+            verdict = self._admit(name, weight)
             self._record_curve()
             self._inflight.pop(name, None)
         flight.event.set()
+        if info is not None:
+            info["hit"] = False
+            info["dense_bytes"] = weight.nbytes
+            info["rebuild_seconds"] = seconds
+            info["admission"] = verdict
         return weight
 
     def _rebuild(self, name: str) -> "tuple[np.ndarray, float]":
@@ -548,21 +724,23 @@ class RebuildEngine:
             if cached_name != exclude
         ]
 
-    def _admit(self, name: str, weight: np.ndarray) -> None:
-        # Caller holds self._lock.
+    def _admit(self, name: str, weight: np.ndarray) -> str:
+        # Caller holds self._lock.  Returns the admission verdict
+        # ("admitted" / "rejected" / "oversized") for the trace tag.
         nbytes = weight.nbytes
         self._actual_bytes[name] = nbytes
         if self.capacity_bytes is None:
             self._cache[name] = weight
             self._cached_bytes += nbytes
-            return
+            self._cached_bytes_gauge.set(self._cached_bytes)
+            return "admitted"
         if nbytes > self.capacity_bytes:
-            return  # larger than the whole cache: serve uncached
+            return "oversized"  # larger than the whole cache: serve uncached
         candidate = self._view(name, nbytes)
         free = self.capacity_bytes - self._cached_bytes
         if not self.policy.admit(candidate, self._resident_views(), free):
             self.stats.rejected += 1
-            return
+            return "rejected"
         self._cache[name] = weight
         self._cached_bytes += nbytes
         while self._cached_bytes > self.capacity_bytes:
@@ -579,6 +757,8 @@ class RebuildEngine:
             evicted = self._cache.pop(victim)
             self._cached_bytes -= evicted.nbytes
             self.stats.evictions += 1
+        self._cached_bytes_gauge.set(self._cached_bytes)
+        return "admitted"
 
     def _record_curve(self) -> None:
         # Caller holds self._lock.
@@ -599,13 +779,21 @@ class RebuildEngine:
         with self._lock:
             self._cache.clear()
             self._cached_bytes = 0
+            self._cached_bytes_gauge.set(0)
 
     def reset_stats(self) -> None:
         """Fresh counters (cache contents kept) — so benchmarks can
         measure steady-state behavior after a warmup pass without
-        rebuilding the engine."""
+        rebuilding the engine.
+
+        Resets *in place* under the engine lock: the stats object (and
+        its metric instruments) keep their identity, so an access that
+        raced the reset lands wholly in the old or wholly in the new
+        epoch instead of splitting its miss and rebuild counts across
+        two objects, and holders of ``engine.stats`` never go stale.
+        """
         with self._lock:
-            self.stats = RebuildCacheStats(policy=self.policy.name)
+            self.stats.reset()
 
 
 class _InFlightRebuild:

@@ -85,16 +85,21 @@ class ModelRegistry:
     CodecCostModel`: engines built for its handles can pass
     ``cost_model=registry.cost_model`` so per-codec rebuild rates
     learned while serving one model price admission and batching
-    decisions for every other model in the same fleet.
+    decisions for every other model in the same fleet.  An optional
+    ``observability`` handle rides along the same way — a
+    :class:`~repro.serving.host.ServingHost` built over the registry
+    adopts it, so one handle traces the whole fleet.
     """
 
     def __init__(
         self,
         store: ArtifactStore,
         cost_model: Optional[CodecCostModel] = None,
+        observability=None,
     ) -> None:
         self.store = store
         self.cost_model = cost_model or CodecCostModel()
+        self.observability = observability
         self._lock = threading.Lock()
         self._loaded: Dict[str, CompressedModelHandle] = {}
         self._inflight: Dict[str, "_InFlightLoad"] = {}

@@ -8,6 +8,15 @@ in the rebuild-cache counters and bundle accounting on demand, so one
 buy, how often did the rebuild cache hit, and how many dense bytes did
 the compressed form keep out of memory per request.
 
+Counters live in a :class:`~repro.observability.metrics.MetricsRegistry`
+rather than ad-hoc fields: each accumulator allocates typed instruments
+(``repro_serving_*`` counters and histograms, per-worker/per-policy
+slices as label dimensions) and reads its summary numbers back out of
+them, so the registry's ``to_prometheus_text()`` export and the
+``summary()`` dict can never drift apart.  Exact latency percentiles
+still come from the raw sample lists (histograms quantize); the
+histograms are the export/streaming view of the same observations.
+
 Counters are also sliced per batch policy (``record_batch``'s
 ``policy`` tag), and :meth:`ServingStats.cost_curve` summarizes the
 rebuild engine's sampled trade curve — resident bytes vs cumulative
@@ -23,33 +32,103 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.observability.metrics import MetricsRegistry
 from repro.serving.artifacts import ArtifactManifest
 from repro.serving.rebuild import RebuildCacheStats
 
 LATENCY_PERCENTILES = (50.0, 90.0, 99.0)
 
+# Batch-size histogram bounds: powers of two up to the largest batch a
+# policy will realistically form.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 
 def percentiles(
     values: Sequence[float], points: Sequence[float] = LATENCY_PERCENTILES
 ) -> Dict[str, float]:
-    """{"p50": ..., "p90": ..., ...} (zeros when no samples)."""
-    if not values:
+    """{"p50": ..., "p90": ..., ...} over the finite samples.
+
+    Well-defined on the edge cases a live accumulator hits:
+
+    - no samples (empty list, empty array) → all points 0.0;
+    - one sample → every point is that sample (nothing to
+      interpolate);
+    - arrays of any shape are flattened, and non-finite samples
+      (NaN/inf from a failed timer) are dropped rather than poisoning
+      every percentile.
+    """
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size:
+        array = array[np.isfinite(array)]
+    if array.size == 0:
         return {f"p{point:g}": 0.0 for point in points}
-    array = np.asarray(values, dtype=np.float64)
+    if array.size == 1:
+        only = float(array[0])
+        return {f"p{point:g}": only for point in points}
     return {
         f"p{point:g}": float(np.percentile(array, point)) for point in points
     }
 
 
 class WorkerStats:
-    """Per-worker slice of the engine's counters (one pool member)."""
+    """Per-worker slice of the engine's counters (one pool member).
 
-    __slots__ = ("batches", "requests", "busy_seconds")
+    The three fields are metric-backed properties over
+    ``repro_serving_worker_*`` counters tagged with the worker index,
+    so the Prometheus export carries the same per-worker slices the
+    summary prints.  ``+=`` keeps working through the setters.
+    """
 
-    def __init__(self) -> None:
-        self.batches = 0
-        self.requests = 0
-        self.busy_seconds = 0.0
+    PREFIX = "repro_serving_worker"
+    HELP = "per-worker slice of the serving pool counters"
+
+    __slots__ = ("_batches", "_requests", "_busy")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tags: Optional[Dict[str, str]] = None,
+    ) -> None:
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        prefix, help_text = self.PREFIX, self.HELP
+        self._batches = metrics.counter(
+            f"{prefix}_batches_total", help_text, tags
+        )
+        self._requests = metrics.counter(
+            f"{prefix}_requests_total", help_text, tags
+        )
+        self._busy = metrics.counter(
+            f"{prefix}_busy_seconds_total", help_text, tags
+        )
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @batches.setter
+    def batches(self, value: int) -> None:
+        self._batches.set(value)
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @requests.setter
+    def requests(self, value: int) -> None:
+        self._requests.set(value)
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy.value
+
+    @busy_seconds.setter
+    def busy_seconds(self, value: float) -> None:
+        self._busy.set(value)
+
+    def reset(self) -> None:
+        self._batches.reset()
+        self._requests.reset()
+        self._busy.reset()
 
     def as_dict(self) -> Dict:
         return {
@@ -61,6 +140,9 @@ class WorkerStats:
 
 class PolicyStats(WorkerStats):
     """Per-batch-policy slice of the engine's counters (same shape)."""
+
+    PREFIX = "repro_serving_policy"
+    HELP = "per-batch-policy slice of the serving counters"
 
     __slots__ = ()
 
@@ -76,31 +158,84 @@ class ServingStats:
     (offline-only use keeps the busy-seconds denominator).
     ``busy_seconds`` stays available; ``busy_seconds / wall_seconds``
     over a pool-only run is the realized parallelism.
+
+    Pass ``metrics=`` to allocate the instruments out of a shared
+    registry (the engine shares one registry between its serving and
+    rebuild stats so one export covers both).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.request_latencies_s: List[float] = []
         self.batch_latencies_s: List[float] = []
         self.batch_sizes: List[int] = []
-        self.busy_seconds = 0.0
-        self.failed_requests = 0
         self.per_worker: Dict[int, WorkerStats] = {}
         self.per_policy: Dict[str, PolicyStats] = {}
         self._window_start: Optional[float] = None
         self._window_end: Optional[float] = None
+        self._requests = self.metrics.counter(
+            "repro_serving_requests_total", "requests served (batched)"
+        )
+        self._batches = self.metrics.counter(
+            "repro_serving_batches_total", "batches executed"
+        )
+        self._failed = self.metrics.counter(
+            "repro_serving_failed_requests_total",
+            "requests whose batch raised instead of completing",
+        )
+        self._busy = self.metrics.counter(
+            "repro_serving_busy_seconds_total",
+            "summed per-batch execution seconds",
+        )
+        self._request_latency = self.metrics.histogram(
+            "repro_serving_request_latency_seconds",
+            "end-to-end request latency (queueing + execution)",
+        )
+        self._batch_latency = self.metrics.histogram(
+            "repro_serving_batch_latency_seconds",
+            "per-batch execution latency",
+        )
+        self._batch_size = self.metrics.histogram(
+            "repro_serving_batch_size",
+            "formed batch sizes",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
 
     def reset(self) -> None:
+        """Zero everything atomically under the stats lock.
+
+        Every piece of state — sample lists, instruments, per-worker /
+        per-policy slices, and the wall-clock window anchors — is
+        cleared inside one critical section, so a concurrent
+        ``record_batch`` lands either entirely before or entirely
+        after the reset, never across it.  Slice instruments are
+        zeroed *before* the dicts are dropped so the metrics registry
+        (where the series outlive the dict entries) agrees with the
+        freshly empty summary.
+        """
         with self._lock:
             self.request_latencies_s = []
             self.batch_latencies_s = []
             self.batch_sizes = []
-            self.busy_seconds = 0.0
-            self.failed_requests = 0
+            for slice_ in self.per_worker.values():
+                slice_.reset()
+            for slice_ in self.per_policy.values():
+                slice_.reset()
             self.per_worker = {}
             self.per_policy = {}
             self._window_start = None
             self._window_end = None
+            for instrument in (
+                self._requests,
+                self._batches,
+                self._failed,
+                self._busy,
+                self._request_latency,
+                self._batch_latency,
+                self._batch_size,
+            ):
+                instrument.reset()
 
     # ------------------------------------------------------------------
     def record_batch(
@@ -115,9 +250,17 @@ class ServingStats:
         with self._lock:
             self.batch_sizes.append(int(batch_size))
             self.batch_latencies_s.append(float(latency_s))
-            self.busy_seconds += float(latency_s)
+            self._requests.inc(int(batch_size))
+            self._batches.inc()
+            self._busy.inc(float(latency_s))
+            self._batch_latency.observe(float(latency_s))
+            self._batch_size.observe(int(batch_size))
             if policy is not None:
-                slice_ = self.per_policy.setdefault(policy, PolicyStats())
+                slice_ = self.per_policy.get(policy)
+                if slice_ is None:
+                    slice_ = self.per_policy[policy] = PolicyStats(
+                        self.metrics, tags={"policy": policy}
+                    )
                 slice_.batches += 1
                 slice_.requests += int(batch_size)
                 slice_.busy_seconds += float(latency_s)
@@ -129,7 +272,11 @@ class ServingStats:
                     self._window_start = start
                 if self._window_end is None or end > self._window_end:
                     self._window_end = end
-                stats = self.per_worker.setdefault(worker, WorkerStats())
+                stats = self.per_worker.get(worker)
+                if stats is None:
+                    stats = self.per_worker[worker] = WorkerStats(
+                        self.metrics, tags={"worker": str(worker)}
+                    )
                 stats.batches += 1
                 stats.requests += int(batch_size)
                 stats.busy_seconds += float(latency_s)
@@ -138,20 +285,29 @@ class ServingStats:
         """End-to-end latency of one request (queueing + execution)."""
         with self._lock:
             self.request_latencies_s.append(float(latency_s))
+            self._request_latency.observe(float(latency_s))
 
     def record_failed(self, count: int = 1) -> None:
         """Requests whose batch raised instead of completing."""
         with self._lock:
-            self.failed_requests += int(count)
+            self._failed.inc(int(count))
 
     # ------------------------------------------------------------------
     @property
     def request_count(self) -> int:
-        return sum(self.batch_sizes)
+        return int(self._requests.value)
 
     @property
     def batch_count(self) -> int:
-        return len(self.batch_sizes)
+        return int(self._batches.value)
+
+    @property
+    def failed_requests(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy.value
 
     @property
     def mean_batch_size(self) -> float:
@@ -245,8 +401,14 @@ class ServingStats:
         self,
         rebuild: Optional[RebuildCacheStats] = None,
         manifest: Optional[ArtifactManifest] = None,
+        phases: Optional[Dict[str, Dict]] = None,
     ) -> str:
-        """Human-readable one-screen summary."""
+        """Human-readable one-screen summary.
+
+        ``phases`` is an optional span-derived latency breakdown
+        (:meth:`repro.observability.Observability.latency_breakdown`):
+        one line per request phase with count / p50 / p95 / total.
+        """
         summary = self.summary(rebuild=rebuild, manifest=manifest)
         per_worker = summary.pop("per_worker", {})
         per_policy = summary.pop("per_policy", {})
@@ -270,6 +432,12 @@ class ServingStats:
                 f"policy[{name}]".ljust(30)
                 + f" {slice_['batches']} batches / {slice_['requests']} "
                 f"requests / {slice_['busy_seconds']:.4g}s busy"
+            )
+        for name, phase in (phases or {}).items():
+            lines.append(
+                f"phase[{name}]".ljust(30)
+                + f" n={phase['count']} p50={phase['p50_ms']:.3g}ms "
+                f"p95={phase['p95_ms']:.3g}ms total={phase['total_s']:.4g}s"
             )
         return "\n".join(lines)
 
@@ -311,6 +479,12 @@ class HostStats:
     ServingHost`: routing decisions per engine/model, plus on-demand
     aggregation over the engines' own summaries.
 
+    Routing counters are ``repro_host_routed_total{engine=...}`` /
+    ``repro_host_routed_model_total{model=...}`` series in the host's
+    metrics registry; the ``routed_by_engine`` / ``routed_by_model``
+    dict views are derived from those series (zero-valued series are
+    filtered, so a freshly reset host reads as empty).
+
     The host records one :meth:`record_routed` per routed request;
     :meth:`summary` folds those counters together with each engine's
     ``summary()`` dict into the numbers a fleet dashboard needs —
@@ -319,29 +493,53 @@ class HostStats:
     per-engine rates, so empty engines don't dilute it).
     """
 
-    def __init__(self) -> None:
+    _ENGINE_SERIES = "repro_host_routed_total"
+    _MODEL_SERIES = "repro_host_routed_model_total"
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self.routed_by_engine: Dict[str, int] = {}
-        self.routed_by_model: Dict[str, int] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def reset(self) -> None:
         with self._lock:
-            self.routed_by_engine = {}
-            self.routed_by_model = {}
+            for name in (self._ENGINE_SERIES, self._MODEL_SERIES):
+                for instrument in self.metrics.series(name):
+                    instrument.reset()
+
+    def _series_dict(self, name: str, tag: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for instrument in self.metrics.series(name):
+            count = int(instrument.value)
+            if count:
+                out[instrument.tag_dict.get(tag, "")] = count
+        return out
+
+    @property
+    def routed_by_engine(self) -> Dict[str, int]:
+        return self._series_dict(self._ENGINE_SERIES, "engine")
+
+    @property
+    def routed_by_model(self) -> Dict[str, int]:
+        return self._series_dict(self._MODEL_SERIES, "model")
 
     @property
     def routed_total(self) -> int:
-        with self._lock:
-            return sum(self.routed_by_engine.values())
+        return sum(self.routed_by_engine.values())
 
     def record_routed(self, key: str, model: Optional[str] = None) -> None:
         """Count one request routed to engine ``key`` (of ``model``)."""
         with self._lock:
-            self.routed_by_engine[key] = self.routed_by_engine.get(key, 0) + 1
+            self.metrics.counter(
+                self._ENGINE_SERIES,
+                "requests routed per engine",
+                tags={"engine": key},
+            ).inc()
             if model is not None:
-                self.routed_by_model[model] = (
-                    self.routed_by_model.get(model, 0) + 1
-                )
+                self.metrics.counter(
+                    self._MODEL_SERIES,
+                    "requests routed per model",
+                    tags={"model": model},
+                ).inc()
 
     def summary(
         self,
@@ -351,8 +549,8 @@ class HostStats:
         """One dict for the fleet: routed counters plus aggregates over
         ``per_engine`` (each value one engine's ``summary()`` dict)."""
         with self._lock:
-            routed_engine = dict(self.routed_by_engine)
-            routed_model = dict(self.routed_by_model)
+            routed_engine = self.routed_by_engine
+            routed_model = self.routed_by_model
         out: Dict = {
             "routing": routing,
             "routed": sum(routed_engine.values()),

@@ -1,0 +1,165 @@
+"""JSONL trace recording, bit-for-bit round trip, and replay."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    Observability,
+    ReplayRequest,
+    TraceReader,
+    TraceRecorder,
+    jsonable,
+)
+
+_DUMP_KWARGS = {"sort_keys": True, "separators": (",", ":")}
+
+
+class TestJsonable:
+    def test_numpy_scalars_unwrap(self):
+        cleaned = jsonable(
+            {"latency": np.float64(0.25), "bytes": np.int64(4096)}
+        )
+        assert cleaned == {"latency": 0.25, "bytes": 4096}
+        # np.float64 subclasses float (json-safe as is); np.int64 does
+        # not subclass int and must be unwrapped.
+        assert isinstance(cleaned["latency"], float)
+        assert type(cleaned["bytes"]) is int
+        json.loads(json.dumps(cleaned, allow_nan=False))
+
+    def test_non_finite_floats_become_strings(self):
+        cleaned = jsonable({"a": math.nan, "b": math.inf, "c": -math.inf})
+        assert cleaned == {"a": "nan", "b": "inf", "c": "-inf"}
+        # The resulting document is strictly valid JSON.
+        json.loads(json.dumps(cleaned, allow_nan=False))
+
+    def test_nested_containers_and_tuples(self):
+        cleaned = jsonable({"rows": [(np.int64(1), None), {"k": True}]})
+        assert cleaned == {"rows": [[1, None], {"k": True}]}
+
+    def test_unknown_objects_stringified(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert jsonable(Opaque()) == "<opaque>"
+
+
+class TestRecorder:
+    def test_writes_one_compact_line_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            recorder.record_request(
+                trace_id="t00000001", model="m:v1", engine="m:v1",
+                arrival_s=0.1, latency_s=0.02,
+            )
+            recorder.record_request(
+                trace_id="t00000002", model="m:v1", engine="m:v1",
+                arrival_s=0.2, latency_s=0.03, batch_id=1,
+                error="ServingError",
+            )
+            assert recorder.records_written == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(": " not in line and ", " not in line for line in lines)
+        assert json.loads(lines[1])["error"] == "ServingError"
+
+    def test_closed_recorder_rejects_writes(self, tmp_path):
+        recorder = TraceRecorder(tmp_path / "trace.jsonl")
+        recorder.close()
+        with pytest.raises(ValueError):
+            recorder.record({"k": 1})
+        recorder.close()  # idempotent
+
+    def test_round_trip_is_bit_for_bit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            recorder.record_request(
+                trace_id="t00000001", model="demo:v1", engine="demo:v1",
+                arrival_s=np.float64(0.125), latency_s=0.5,
+                rebuild_s=0.1, batch_id=3,
+                spans={"name": "request", "tags": {"nan": math.nan},
+                       "children": []},
+            )
+        lines = path.read_text().splitlines()
+        redumped = [
+            json.dumps(json.loads(line), **_DUMP_KWARGS) for line in lines
+        ]
+        assert redumped == lines
+
+
+class TestReader:
+    def write(self, path, rows):
+        with TraceRecorder(path) as recorder:
+            for row in rows:
+                recorder.record_request(**row)
+
+    def test_schedule_sorted_stably_by_arrival(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.write(path, [
+            dict(trace_id="t3", model="b", engine="b",
+                 arrival_s=0.2, latency_s=0.01),
+            dict(trace_id="t1", model="a", engine="a",
+                 arrival_s=0.1, latency_s=0.01),
+            dict(trace_id="t2", model="a", engine="a",
+                 arrival_s=0.1, latency_s=0.02),  # tie: keeps file order
+        ])
+        schedule = TraceReader(path).schedule()
+        assert [row.trace_id for row in schedule] == ["t1", "t2", "t3"]
+        assert all(isinstance(row, ReplayRequest) for row in schedule)
+        # Replaying the reader is deterministic.
+        assert TraceReader(path).schedule() == schedule
+
+    def test_by_model_groups_in_arrival_order(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.write(path, [
+            dict(trace_id="t1", model="a", engine="a",
+                 arrival_s=0.3, latency_s=0.01),
+            dict(trace_id="t2", model="b", engine="b",
+                 arrival_s=0.1, latency_s=0.01),
+            dict(trace_id="t3", model="a", engine="a",
+                 arrival_s=0.2, latency_s=0.01),
+        ])
+        grouped = TraceReader(path).by_model()
+        assert [row.trace_id for row in grouped["a"]] == ["t3", "t1"]
+        assert [row.trace_id for row in grouped["b"]] == ["t2"]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"trace_id":"t1","arrival_s":0.0}\n\n')
+        assert len(TraceReader(path).records()) == 1
+
+
+class TestObservabilityRecordingLifecycle:
+    def test_finish_request_writes_record_with_span_tree(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs = Observability(recorder=TraceRecorder(path))
+        trace = obs.begin_request(model="demo:v1")
+        rebuild = obs.tracer.start_span("rebuild", parent=trace.root)
+        obs.tracer.finish_span(rebuild, end_s=rebuild.start_s + 0.25)
+        obs.finish_request(trace, batch_id=7)
+        obs.recorder.close()
+
+        (record,) = TraceReader(path).records()
+        assert record["trace_id"] == trace.trace_id
+        assert record["model"] == "demo:v1"
+        assert record["batch_id"] == 7
+        # rebuild_s is derived from the root's rebuild children.
+        assert record["rebuild_s"] == pytest.approx(0.25)
+        assert record["spans"]["name"] == "request"
+        assert record["spans"]["children"][0]["name"] == "rebuild"
+        assert record["arrival_s"] == pytest.approx(
+            trace.root.start_s - obs.epoch
+        )
+
+    def test_disabled_handle_records_nothing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(path)
+        obs = Observability(recorder=recorder, enabled=False)
+        assert obs.begin_request(model="demo:v1") is None
+        assert recorder.records_written == 0
+        recorder.close()

@@ -1,0 +1,178 @@
+"""Span nesting, trace ids, the ring buffer, and thread isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import SpanCollector, Tracer
+
+
+class TestSpans:
+    def test_root_span_mints_trace_id(self):
+        tracer = Tracer()
+        a = tracer.start_span("request", parent=None)
+        b = tracer.start_span("request", parent=None)
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+        assert not a.finished
+
+    def test_explicit_parent_links_and_shares_trace_id(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", parent=None)
+        child = tracer.start_span("rebuild", parent=root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert root.children == [child]
+
+    def test_finish_is_idempotent_and_collects_once(self):
+        tracer = Tracer()
+        span = tracer.start_span("compute", parent=None)
+        tracer.finish_span(span, batch_size=4)
+        first = span.duration_s
+        tracer.finish_span(span, batch_size=8)
+        assert span.duration_s == first
+        assert span.tags["batch_size"] == 4
+        assert len(tracer.collector) == 1
+
+    def test_duration_never_negative(self):
+        tracer = Tracer()
+        span = tracer.start_span("compute", parent=None, start_s=100.0)
+        tracer.finish_span(span, end_s=99.0)
+        assert span.duration_s == 0.0
+
+    def test_emit_records_premeasured_interval(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", parent=None)
+        span = tracer.emit(
+            "queue_wait", start_s=1.0, end_s=1.5, parent=root,
+            tags={"worker": 0},
+        )
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.parent_id == root.span_id
+        assert tracer.collector.export()[0]["name"] == "queue_wait"
+
+    def test_as_tree_nests_children(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", parent=None)
+        phase = tracer.start_span("rebuild", parent=root)
+        leaf = tracer.start_span("rebuild.layer", parent=phase)
+        for span in (leaf, phase, root):
+            tracer.finish_span(span)
+        tree = root.as_tree()
+        assert tree["children"][0]["name"] == "rebuild"
+        assert tree["children"][0]["children"][0]["name"] == "rebuild.layer"
+
+
+class TestImplicitNesting:
+    def test_span_context_manager_nests_on_active_stack(self):
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            assert tracer.current_span() is root
+            with tracer.span("rebuild") as phase:
+                inner = tracer.start_span("rebuild.layer")
+                tracer.finish_span(inner)
+            assert inner.parent_id == phase.span_id
+            assert phase.parent_id == root.span_id
+        assert tracer.current_span() is None
+        assert root.finished and phase.finished
+
+    def test_activate_does_not_own_finish(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", parent=None)
+        with tracer.activate(root):
+            child = tracer.start_span("rebuild.layer")
+        assert not root.finished
+        assert child.parent_id == root.span_id
+
+    def test_active_stack_is_per_thread(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", parent=None)
+        seen = {}
+
+        def worker():
+            # A fresh thread sees no active span even while the main
+            # thread holds one open.
+            seen["current"] = tracer.current_span()
+            orphan = tracer.start_span("compute")
+            seen["parent_id"] = orphan.parent_id
+            tracer.finish_span(orphan)
+
+        with tracer.activate(root):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["current"] is None
+        assert seen["parent_id"] is None
+
+    def test_worker_threads_do_not_interleave_trace_ids(self):
+        tracer = Tracer()
+        errors = []
+
+        def request(index):
+            root = tracer.start_span("request", parent=None)
+            with tracer.activate(root):
+                for _ in range(20):
+                    child = tracer.start_span("rebuild.layer")
+                    if child.trace_id != root.trace_id:
+                        errors.append((index, child.trace_id, root.trace_id))
+                    tracer.finish_span(child)
+            tracer.finish_span(root)
+
+        threads = [
+            threading.Thread(target=request, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        spans = tracer.collector.export()
+        roots = [s for s in spans if s["name"] == "request"]
+        assert len({s["trace_id"] for s in roots}) == 8
+
+
+class TestSpanCollector:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanCollector(capacity=0)
+
+    def test_ring_evicts_oldest_and_counts_dropped(self):
+        collector = SpanCollector(capacity=3)
+        tracer = Tracer(collector)
+        for i in range(5):
+            tracer.emit(f"s{i}", start_s=float(i), end_s=float(i) + 1.0,
+                        parent=None)
+        assert len(collector) == 3
+        assert collector.dropped == 2
+        assert collector.total == 5
+        assert [s["name"] for s in collector.export()] == ["s2", "s3", "s4"]
+
+    def test_drain_clears_but_keeps_counters(self):
+        collector = SpanCollector(capacity=2)
+        tracer = Tracer(collector)
+        for i in range(3):
+            tracer.emit(f"s{i}", start_s=0.0, end_s=1.0, parent=None)
+        drained = collector.drain()
+        assert len(drained) == 2
+        assert len(collector) == 0
+        assert collector.total == 3
+        assert collector.dropped == 1
+
+    def test_export_returns_copies(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        tracer.emit("s", start_s=0.0, end_s=1.0, parent=None)
+        collector.export()[0]["name"] = "mutated"
+        assert collector.export()[0]["name"] == "s"
+
+    def test_empty_collector_passed_to_tracer_is_kept(self):
+        # Regression: SpanCollector defines __len__, so an *empty*
+        # collector is falsy — `collector or SpanCollector()` silently
+        # replaced it and finished spans went to a private orphan ring.
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        assert tracer.collector is collector
+        tracer.emit("s", start_s=0.0, end_s=1.0, parent=None)
+        assert len(collector) == 1

@@ -1,0 +1,277 @@
+"""End-to-end observability through a multi-model, multi-worker host.
+
+The acceptance scenario: a 4-worker fleet over a mixed-codec bundle,
+with tracing, metrics, and JSONL recording all on.  The Prometheus
+export must reconcile with the summary totals, the recorded trace must
+replay as the same per-model schedule, and every request's span tree
+must account for (nearly) all of its end-to-end latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.codecs import SmartExchangeCodec, get_codec
+from repro.observability import Observability, TraceReader, TraceRecorder
+from repro.serving import (
+    InferenceEngine,
+    ModelRegistry,
+    ServingHost,
+    StaticBatchPolicy,
+)
+
+from tests.serving.conftest import FAST, build_model
+
+REQUESTS = 24
+SAMPLE_SHAPE = (3, 8, 8)
+
+
+def publish_mixed(store) -> None:
+    """Mixed-codec bundle: smartexchange convs + quant-linear head."""
+    model = build_model(seed=0)
+    se, ql = SmartExchangeCodec(FAST), get_codec("quant-linear")
+    payloads = {}
+    for name, module in model.named_modules():
+        if isinstance(module, nn.Conv2d):
+            payloads[name] = se.encode(module.weight.data)
+        elif isinstance(module, nn.Linear):
+            payloads[name] = ql.encode(module.weight.data)
+    store.publish_payloads(payloads, name="demo", model=model)
+
+
+@pytest.fixture
+def fleet(store, tmp_path):
+    """(host, obs, trace_path): a served 4-worker two-model fleet."""
+    publish_mixed(store)
+    store.publish_model(build_model(seed=0), name="plain", codec="dense")
+    trace_path = tmp_path / "trace.jsonl"
+    obs = Observability(recorder=TraceRecorder(trace_path))
+    registry = ModelRegistry(store, observability=obs)
+    host = ServingHost(registry)
+    policy = lambda: StaticBatchPolicy(max_batch_size=8, max_wait_s=0.001)
+    host.deploy("demo", build_model(seed=1), policy=policy())
+    host.deploy("plain", build_model(seed=1), policy=policy())
+
+    rng = np.random.default_rng(0)
+    samples = rng.normal(size=(REQUESTS, *SAMPLE_SHAPE))
+    models = ["demo" if i % 2 == 0 else "plain" for i in range(REQUESTS)]
+    host.start(workers=4)
+    try:
+        tickets = [
+            host.submit(sample, model=model)
+            for sample, model in zip(samples, models)
+        ]
+        for ticket in tickets:
+            ticket.result(timeout=30.0)
+    finally:
+        host.stop()
+    obs.recorder.close()
+    return host, obs, trace_path
+
+
+def _prometheus_series(text: str, name: str):
+    """[(labels_str, value)] for every sample line of ``name``."""
+    rows = []
+    for line in text.splitlines():
+        if not line.startswith(name):
+            continue
+        rest = line[len(name):]
+        if rest and rest[0] not in ("{", " "):
+            continue  # a longer metric name sharing the prefix
+        labels, _, value = rest.rpartition(" ")
+        rows.append((labels, float(value)))
+    return rows
+
+
+class TestPrometheusReconciliation:
+    def test_request_counters_reconcile_with_summary(self, fleet):
+        host, obs, _ = fleet
+        summary = host.summary()
+        assert summary["requests"] == REQUESTS
+        text = obs.to_prometheus_text()
+        served = _prometheus_series(text, "repro_serving_requests_total")
+        assert sum(value for _, value in served) == REQUESTS
+        # Each engine's registry is labelled with its source key.
+        sources = {labels for labels, _ in served}
+        assert any('source="demo:v1"' in labels for labels in sources)
+        assert any('source="plain:v1"' in labels for labels in sources)
+
+    def test_routed_counters_reconcile(self, fleet):
+        host, obs, _ = fleet
+        routed = host.summary()["routed_by_engine"]
+        assert routed == {"demo:v1": REQUESTS // 2, "plain:v1": REQUESTS // 2}
+        text = obs.to_prometheus_text()
+        series = dict(_prometheus_series(text, "repro_host_routed_total"))
+        for key, count in routed.items():
+            (labels,) = [s for s in series if f'engine="{key}"' in s]
+            assert series[labels] == count
+
+    def test_rebuild_counters_reconcile(self, fleet):
+        host, obs, _ = fleet
+        demo = host.engines()["demo:v1"]
+        text = obs.to_prometheus_text()
+        hits = dict(_prometheus_series(text, "repro_rebuild_hits_total"))
+        (labels,) = [s for s in hits if 'source="demo:v1"' in s]
+        assert hits[labels] == demo.rebuild.stats.hits
+
+    def test_merged_json_export_parses(self, fleet):
+        import json
+
+        _, obs, _ = fleet
+        document = json.loads(obs.to_json())
+        names = {entry["name"] for entry in document["metrics"]}
+        assert "repro_serving_requests_total" in names
+        assert "repro_host_routed_total" in names
+
+
+class TestTraceReplay:
+    def test_every_request_recorded_once(self, fleet):
+        _, obs, trace_path = fleet
+        records = TraceReader(trace_path).records()
+        assert len(records) == REQUESTS
+        assert len({r["trace_id"] for r in records}) == REQUESTS
+
+    def test_replays_identical_per_model_schedule(self, fleet):
+        _, _, trace_path = fleet
+        first = TraceReader(trace_path).by_model()
+        again = TraceReader(trace_path).by_model()
+        assert first == again
+        assert {model: len(rows) for model, rows in first.items()} == {
+            "demo": REQUESTS // 2,
+            "plain": REQUESTS // 2,
+        }
+        for rows in first.values():
+            arrivals = [row.arrival_s for row in rows]
+            # Submissions were sequential, so each model's schedule
+            # replays in submission order.
+            assert arrivals == sorted(arrivals)
+            assert all(row.engine in ("demo:v1", "plain:v1") for row in rows)
+
+    def test_schedule_interleaves_models_by_arrival(self, fleet):
+        _, _, trace_path = fleet
+        schedule = TraceReader(trace_path).schedule()
+        assert [row.model for row in schedule[:4]] == [
+            "demo", "plain", "demo", "plain",
+        ]
+
+
+class TestSpanTrees:
+    def walk(self, node):
+        yield node
+        for child in node.get("children", ()):
+            yield from self.walk(child)
+
+    def test_trace_ids_never_interleave(self, fleet):
+        _, _, trace_path = fleet
+        for record in TraceReader(trace_path):
+            spans = list(self.walk(record["spans"]))
+            assert {s["trace_id"] for s in spans} == {record["trace_id"]}
+
+    def test_span_tree_accounts_for_e2e_latency(self, fleet):
+        _, _, trace_path = fleet
+        total_root = total_phases = 0.0
+        for record in TraceReader(trace_path):
+            root = record["spans"]
+            assert root["name"] == "request"
+            phases = sum(
+                child["duration_s"] for child in root["children"]
+            )
+            # Phases are sequential, so they can never exceed the root
+            # by more than float noise.
+            assert phases <= root["duration_s"] * 1.001 + 1e-9
+            total_root += root["duration_s"]
+            total_phases += phases
+        # In aggregate the phase spans cover nearly all of the
+        # end-to-end time (typically >95%; the slack is scheduling
+        # gaps between spans).
+        assert total_phases >= 0.90 * total_root
+
+    def test_batch_peers_share_phase_spans(self, fleet):
+        _, _, trace_path = fleet
+        shared = real = 0
+        for record in TraceReader(trace_path):
+            for span in self.walk(record["spans"]):
+                if span["name"] in ("rebuild", "compute"):
+                    if span["tags"].get("shared"):
+                        shared += 1
+                        assert span["tags"]["shared_from"]
+                    else:
+                        real += 1
+        # Every record still carries rebuild+compute one way or the
+        # other, and the real spans were paid once per batch.
+        assert real + shared == 2 * REQUESTS
+        assert real >= 2  # at least one primary per engine
+
+    def test_mixed_codecs_visible_in_layer_spans(self, fleet):
+        _, obs, _ = fleet
+        layer_spans = [
+            s for s in obs.spans() if s["name"] == "rebuild.layer"
+        ]
+        codecs = {
+            s["tags"]["codec"]
+            for s in layer_spans
+            if s["tags"].get("engine") != "plain:v1"
+        }
+        # The demo bundle decodes through both codecs.
+        assert {"smartexchange", "quant-linear"} <= codecs
+
+    def test_route_spans_carry_routing_decision(self, fleet):
+        _, obs, _ = fleet
+        routes = [s for s in obs.spans() if s["name"] == "route"]
+        assert len(routes) == REQUESTS
+        assert all(s["tags"]["chosen"] for s in routes)
+
+
+class TestSummaries:
+    def test_engine_summary_has_phase_latency(self, fleet):
+        host, _, _ = fleet
+        summary = host.engines()["demo:v1"].summary()
+        breakdown = summary["phase_latency"]
+        assert set(breakdown) == {"queue_wait", "rebuild", "compute"}
+        assert breakdown["queue_wait"]["count"] == REQUESTS // 2
+        assert breakdown["compute"]["count"] >= 1
+        assert breakdown["compute"]["p95_ms"] >= breakdown["compute"]["p50_ms"]
+
+    def test_engine_report_renders_phase_lines(self, fleet):
+        host, _, _ = fleet
+        report = host.engines()["demo:v1"].report()
+        assert "phase[queue_wait]" in report
+        assert "phase[compute]" in report
+
+    def test_latency_breakdown_filters_by_engine(self, fleet):
+        _, obs, _ = fleet
+        demo = obs.latency_breakdown(engine="demo:v1")
+        fleetwide = obs.latency_breakdown()
+        assert demo["queue_wait"]["count"] == REQUESTS // 2
+        assert fleetwide["queue_wait"]["count"] == REQUESTS
+
+
+class TestDisabled:
+    def test_disabled_observability_stays_silent(self, store, tmp_path):
+        publish_mixed(store)
+        obs = Observability(enabled=False)
+        registry = ModelRegistry(store, observability=obs)
+        host = ServingHost(registry)
+        host.deploy("demo", build_model(seed=1))
+        rng = np.random.default_rng(0)
+        with host:
+            tickets = [
+                host.submit(sample)
+                for sample in rng.normal(size=(6, *SAMPLE_SHAPE))
+            ]
+            for ticket in tickets:
+                ticket.result(timeout=30.0)
+        assert len(obs.collector) == 0
+        assert obs.begin_request(model="demo") is None
+        assert "phase_latency" not in host.engines()["demo:v1"].summary()
+
+    def test_default_engine_needs_no_handle(self, store):
+        publish_mixed(store)
+        registry = ModelRegistry(store)
+        engine = InferenceEngine(build_model(seed=1), registry.get("demo"))
+        rng = np.random.default_rng(0)
+        out = engine.predict(rng.normal(size=(2, *SAMPLE_SHAPE)))
+        assert out.shape == (2, 4)
+        assert "phase_latency" not in engine.summary()

@@ -1,0 +1,167 @@
+"""percentiles() edge cases and atomic reset-while-serving behavior."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.serving import ModelRegistry, ServingStats, StaticBatchPolicy
+from repro.serving.engine import InferenceEngine
+from repro.serving.stats import percentiles
+
+from tests.serving.conftest import build_model
+
+
+class TestPercentilesEdgeCases:
+    def test_empty_list_is_all_zeros(self):
+        assert percentiles([]) == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_empty_ndarray_is_all_zeros(self):
+        # Regression: `if not values` raised on a multi-element array
+        # and an empty array slipped through np.percentile to a warning.
+        assert percentiles(np.array([])) == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_single_sample_is_every_point(self):
+        assert percentiles([0.25]) == {"p50": 0.25, "p90": 0.25, "p99": 0.25}
+        assert percentiles(np.array([0.25]))["p99"] == 0.25
+
+    def test_multi_element_ndarray_accepted(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        out = percentiles(values)
+        assert out["p50"] == pytest.approx(np.percentile(values, 50.0))
+        assert out["p90"] == pytest.approx(np.percentile(values, 90.0))
+
+    def test_non_finite_samples_dropped(self):
+        out = percentiles([np.nan, 1.0, np.inf, 3.0, -np.inf])
+        assert out["p50"] == pytest.approx(2.0)
+        # All-non-finite degrades to the empty case, not NaN output.
+        assert percentiles([np.nan, np.inf])["p50"] == 0.0
+
+    def test_arrays_are_flattened(self):
+        out = percentiles(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert out["p50"] == pytest.approx(2.5)
+
+    def test_custom_points(self):
+        out = percentiles([1.0], points=(5.0, 99.9))
+        assert out == {"p5": 1.0, "p99.9": 1.0}
+
+
+class TestServingStatsReset:
+    def test_reset_clears_everything_in_place(self):
+        stats = ServingStats(metrics=MetricsRegistry())
+        stats.record_batch(4, 0.01, worker=0, policy="static")
+        stats.record_request(0.02)
+        stats.record_failed()
+        stats.reset()
+        assert stats.request_count == 0
+        assert stats.batch_count == 0
+        assert stats.failed_requests == 0
+        assert stats.busy_seconds == 0.0
+        assert stats.per_worker == {}
+        assert stats.per_policy == {}
+        assert stats.request_latencies_s == []
+        summary = stats.summary()
+        assert summary["requests"] == 0
+        assert summary["request_latency_p50_ms"] == 0.0
+
+    def test_reset_zeroes_slice_series_in_registry(self):
+        registry = MetricsRegistry()
+        stats = ServingStats(metrics=registry)
+        stats.record_batch(4, 0.01, worker=0)
+        (series,) = registry.series("repro_serving_worker_requests_total")
+        assert series.value == 4
+        stats.reset()
+        # The series outlives the per_worker dict entry but reads zero,
+        # so the Prometheus export agrees with the fresh summary.
+        assert series.value == 0
+
+    def test_concurrent_reset_never_tears_a_record(self):
+        """record_batch lands entirely before or after a reset.
+
+        Writers hammer batches of a fixed size while a resetter spins;
+        at any instant requests must be a multiple of the batch size
+        and batches * size == requests — a torn record (half cleared)
+        would break the invariant.
+        """
+        stats = ServingStats(metrics=MetricsRegistry())
+        size, stop = 4, threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                stats.record_batch(size, 0.001, worker=0, policy="static")
+                stats.record_request(0.001)
+
+        def checker():
+            while not stop.is_set():
+                with stats._lock:
+                    requests = int(stats._requests.value)
+                    batches = int(stats._batches.value)
+                if requests != batches * size:
+                    torn.append((requests, batches))
+
+        def resetter():
+            for _ in range(200):
+                stats.reset()
+
+        writers = [threading.Thread(target=writer) for _ in range(3)]
+        check = threading.Thread(target=checker)
+        for thread in (*writers, check):
+            thread.start()
+        resetter()
+        stop.set()
+        for thread in (*writers, check):
+            thread.join()
+        assert torn == []
+
+    def test_reset_while_serving_live_engine(self, store, compressed_model):
+        """Stats reset mid-flight leaves a consistent, identical object."""
+        model, report, config = compressed_model
+        store.publish(report, config, model=model)
+        engine = InferenceEngine(
+            build_model(seed=1),
+            ModelRegistry(store).get("demo"),
+            policy=StaticBatchPolicy(max_batch_size=4, max_wait_s=0.001),
+        )
+        stats, rebuild_stats = engine.stats, engine.rebuild.stats
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(48, 3, 8, 8))
+        engine.start(workers=2)
+        try:
+            tickets = [engine.submit(sample) for sample in samples]
+            for _ in range(10):
+                engine.stats.reset()
+                engine.rebuild.reset_stats()
+            for ticket in tickets:
+                ticket.result(timeout=30.0)
+        finally:
+            engine.stop()
+        # Identity preserved: summaries and metric exports keep reading
+        # the same objects the engine writes to.
+        assert engine.stats is stats
+        assert engine.rebuild.stats is rebuild_stats
+        # Post-reset tallies are internally consistent.
+        assert rebuild_stats.accesses == rebuild_stats.hits + rebuild_stats.misses
+        assert stats.request_count <= len(samples)
+        assert engine.summary()["requests"] == stats.request_count
+
+    def test_rebuild_reset_preserves_identity_and_zeroes(
+        self, store, compressed_model
+    ):
+        model, report, config = compressed_model
+        store.publish(report, config, model=model)
+        engine = InferenceEngine(
+            build_model(seed=1), ModelRegistry(store).get("demo")
+        )
+        engine.predict(np.random.default_rng(0).normal(size=(2, 3, 8, 8)))
+        stats = engine.rebuild.stats
+        assert stats.accesses > 0
+        engine.rebuild.reset_stats()
+        assert engine.rebuild.stats is stats
+        assert stats.accesses == 0
+        assert stats.rebuild_seconds == 0.0
+        assert stats.curve == []
+        assert stats.layer_hits == {}
