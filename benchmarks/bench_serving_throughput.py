@@ -24,6 +24,20 @@ hit rate, and rejected/evicted counts; ``--policy all`` sweeps
 row, and asserts the cost-aware policy pays fewer rebuild seconds than
 LRU (the point of the cost model).
 
+``--tiers`` runs the cache-hierarchy comparison instead: the same
+mixed bundle is served through the identical (deliberately tight)
+dense-RAM budget with ``cost-aware`` admission, once with no lower
+tiers, once per tier stack (``compressed``; ``compressed,disk``) —
+reporting rebuild seconds and where accesses were served from; the
+3-tier row must pay strictly less rebuild compute than the single-tier
+row at the equal dense budget.
+
+``--simulate <trace.jsonl>`` replays a previously recorded trace (see
+``--trace-out``) through the offline :class:`repro.serving.
+CacheSimulator` under several candidate tier configs — no fleet, no
+worker pool — and asserts each report carries exactly the live
+engine's stats schema.
+
 ``--routing`` runs the multi-model host comparison instead: two
 interchangeable bundles of the same network (``smartexchange`` and
 ``quant-linear``) are deployed behind one :class:`ServingHost`, the
@@ -75,8 +89,10 @@ from repro.serving import (
     CostAwareBatchPolicy,
     InferenceEngine,
     ModelRegistry,
+    RebuildEngine,
     ServingHost,
     StaticBatchPolicy,
+    simulate_policies,
 )
 
 REQUESTS = 64
@@ -89,6 +105,25 @@ ROUTING_SWEEP = ("round-robin", "least-loaded", "cost-aware")
 # in the policy sweep: small enough that every pass must evict or
 # reject something, big enough that the largest layer still fits.
 POLICY_CAPACITY_FRACTION = 0.95
+# The tier sweep squeezes harder: at 0.6 the big conv does not fit the
+# dense tier at all, so a single-tier cache *must* re-decode it every
+# pass — exactly the miss traffic the lower tiers exist to absorb.
+TIER_CAPACITY_FRACTION = 0.6
+TIER_SWEEP = (
+    ("dense-only", None),
+    ("2-tier", "compressed"),
+    ("3-tier", "compressed,disk"),
+)
+# Candidate configs the --simulate mode replays a recorded trace under.
+SIMULATE_CONFIGS = (
+    {"name": "dense-lru", "admission": "lru"},
+    {"name": "dense-cost", "admission": "cost-aware"},
+    {
+        "name": "3-tier-cost",
+        "admission": "cost-aware",
+        "tiers": "compressed,disk",
+    },
+)
 
 # How each codec's bundle gets produced for "bench-cnn".
 BENCH_CODECS = (
@@ -387,6 +422,155 @@ def run_policy_sweep(
     )
 
 
+def run_tier_sweep(
+    tier_list=TIER_SWEEP, requests: int = REQUESTS, workers: int = 2
+) -> ExperimentResult:
+    """Same mixed bundle, same tight dense budget, one tier stack per
+    row — the marginal value of each level of the hierarchy.
+
+    Every row serves with ``cost-aware`` admission on an identical
+    dense-RAM budget (too small for the big conv, so the single-tier
+    row re-decodes it every pass); only the tiers below differ.  Rows
+    compare steady-state rebuild seconds and where accesses landed.
+    """
+    rng = np.random.default_rng(0)
+    samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
+    root = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    store = ArtifactStore(root)
+    _publish_mixed(store)
+    registry = ModelRegistry(store)
+
+    rows = []
+    for label, tiers in tier_list:
+        handle = registry.get("bench-cnn")
+        engine = InferenceEngine(
+            _build_model(seed=1),
+            handle,
+            policy=StaticBatchPolicy(
+                max_batch_size=BATCH_SIZE, max_wait_s=0.001
+            ),
+            cache_bytes=int(
+                handle.total_dense_bytes * TIER_CAPACITY_FRACTION
+            ),
+            admission="cost-aware",
+            cost_model=registry.cost_model,
+            tiers=tiers,
+        )
+        engine.predict_many(samples[:BATCH_SIZE])  # warm to steady state
+        engine.stats.reset()
+        engine.rebuild.reset_stats()
+        engine.start(workers=workers)
+        try:
+            tickets = [engine.submit(sample) for sample in samples]
+            for ticket in tickets:
+                ticket.result(timeout=60.0)
+        finally:
+            engine.stop()
+        summary = engine.summary()
+        served = engine.rebuild.stats.tier_hit_counts()
+        rows.append({
+            "config": label,
+            "tiers": tiers or "(none)",
+            "requests": summary["requests"],
+            "throughput_rps": summary["throughput_rps"],
+            "rebuild_s": summary["rebuild_rebuild_seconds"],
+            "rebuilds": summary["rebuild_rebuilds"],
+            "dense_hits": served.get("dense-ram", summary["rebuild_hits"]),
+            "tier_hits": sum(
+                count for tier, count in served.items()
+                if tier not in ("dense-ram", "rebuild")
+            ),
+            "hit_rate": summary["rebuild_hit_rate"],
+        })
+        engine.close()
+
+    by_config = {row["config"]: row["rebuild_s"] for row in rows}
+    notes = (
+        f"mixed bundle, cost-aware admission, dense budget at "
+        f"{TIER_CAPACITY_FRACTION:.0%} of dense bytes (the big conv "
+        f"cannot stay resident), {requests} requests, {workers}-worker "
+        f"pool"
+    )
+    flat, deep = by_config.get("dense-only"), by_config.get("3-tier")
+    if flat is not None and deep is not None:
+        notes += (
+            f"; 3-tier pays {deep:.4f}s of rebuild vs single-tier "
+            f"{flat:.4f}s at the same dense-RAM budget"
+        )
+    return ExperimentResult(
+        experiment="serving rebuild cost across cache-tier hierarchies",
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_simulation(
+    trace_path: str, configs=SIMULATE_CONFIGS
+) -> ExperimentResult:
+    """Replay a recorded trace through the offline simulator under
+    candidate tier configs; assert live-schema parity for every report.
+
+    Republishes the deterministic throughput bundle (the trace was
+    recorded against it), replays the schedule through
+    :func:`repro.serving.simulate_policies`, and checks each report's
+    stats dict has exactly the key set a live engine with the same
+    config would export — the contract that makes offline sweeps
+    trustworthy stand-ins for live runs.
+    """
+    root = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    store = ArtifactStore(root)
+    _publish(store, "smartexchange")
+    registry = ModelRegistry(store)
+    handle = registry.get("bench-cnn")
+    capacity = int(handle.total_dense_bytes * TIER_CAPACITY_FRACTION)
+    configs = [
+        {"capacity_bytes": capacity, **dict(config)} for config in configs
+    ]
+    reports = simulate_policies(
+        str(trace_path), handle, configs=configs, model="bench-cnn"
+    )
+    rows = []
+    for config, report in zip(configs, reports):
+        live = RebuildEngine(
+            payloads=handle.payloads,
+            specs=handle.layer_specs,
+            capacity_bytes=config.get("capacity_bytes"),
+            policy=config.get("admission"),
+            cost_model=registry.cost_model,
+            tiers=config.get("tiers"),
+        )
+        live_schema = set(live.stats.as_dict())
+        assert set(report.stats) == live_schema, (
+            f"simulated stats schema diverged from the live engine's "
+            f"for {report.name!r}: {set(report.stats) ^ live_schema}"
+        )
+        live.close()
+        served = report.tier_hit_counts
+        rows.append({
+            "config": report.name,
+            "admission": report.admission,
+            "tiers": ",".join(report.tiers) or "(none)",
+            "requests": report.requests,
+            "batches": report.batches,
+            "sim_rebuild_s": report.rebuild_seconds,
+            "rebuilds": report.stats["rebuilds"],
+            "tier_hits": sum(
+                count for tier, count in served.items()
+                if tier not in ("dense-ram", "rebuild")
+            ),
+            "hit_rate": report.hit_rate,
+        })
+    return ExperimentResult(
+        experiment="offline tier-policy simulation over a recorded trace",
+        rows=rows,
+        notes=(
+            f"replayed {rows[0]['requests'] if rows else 0} requests from "
+            f"{trace_path} against {len(configs)} candidate configs; every "
+            f"report matches the live stats schema"
+        ),
+    )
+
+
 def _publish_interchangeable(store: ArtifactStore) -> None:
     """Two bundles of the *same* network for the routing sweep.
 
@@ -521,6 +705,26 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--tiers",
+        default=None,
+        help=(
+            "run the cache-tier hierarchy comparison instead: 'all' "
+            "for the dense-only / 2-tier / 3-tier sweep, or a "
+            "comma-separated tier spec (e.g. 'compressed,disk') to "
+            "pit one stack against the dense-only baseline"
+        ),
+    )
+    parser.add_argument(
+        "--simulate",
+        default=None,
+        metavar="TRACE",
+        help=(
+            "replay a recorded request trace (see --trace-out) through "
+            "the offline CacheSimulator under candidate tier configs "
+            "instead of serving live traffic"
+        ),
+    )
+    parser.add_argument(
         "--routing",
         default=None,
         help=(
@@ -556,6 +760,46 @@ def main() -> None:
     args = parser.parse_args()
     requests = 16 if args.smoke else REQUESTS
     sweep = args.workers or ((1, 2) if args.smoke else WORKER_SWEEP)
+
+    if args.simulate is not None:
+        if not Path(args.simulate).exists():
+            raise SystemExit(
+                f"--simulate: no trace at {args.simulate!r}; record one "
+                f"first with --trace-out"
+            )
+        result = run_simulation(args.simulate)
+        print(result.as_table())
+        print(result.notes)
+        assert all(
+            row["requests"] > 0 for row in result.rows
+        ), "the simulator replayed an empty schedule"
+        counts = {row["requests"] for row in result.rows}
+        assert len(counts) == 1, (
+            f"configs disagreed on the request count: {counts}"
+        )
+        return
+
+    if args.tiers is not None:
+        tier_list = (
+            TIER_SWEEP if args.tiers == "all"
+            else (("dense-only", None), (args.tiers, args.tiers))
+        )
+        result = run_tier_sweep(
+            tier_list, requests=requests, workers=max(sweep)
+        )
+        print(result.as_table())
+        print(result.notes)
+        assert all(
+            row["requests"] == requests for row in result.rows
+        ), "a tier config dropped requests"
+        rebuild = {row["config"]: row["rebuild_s"] for row in result.rows}
+        if args.tiers == "all":
+            assert rebuild["3-tier"] < rebuild["dense-only"], (
+                "the 3-tier hierarchy did not pay strictly less rebuild "
+                "compute than the single-tier cache at the equal dense "
+                "budget"
+            )
+        return
 
     if args.routing is not None:
         routing_list = (

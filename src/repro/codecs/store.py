@@ -167,6 +167,17 @@ class LazyPayloadFile(Mapping):
         with self._lock:
             self._close_locked()
 
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "LazyPayloadFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __del__(self) -> None:  # best-effort fd cleanup on GC
         try:
             self._close_locked()

@@ -23,6 +23,7 @@ multi-model :class:`repro.serving.ServingHost` serves each request).
 
 from repro.costs.model import (
     DEFAULT_SECONDS_PER_BYTE,
+    DEFAULT_TIER_PRIORS,
     CodecCostModel,
     HardwareCostBridge,
 )
@@ -31,4 +32,5 @@ __all__ = [
     "CodecCostModel",
     "HardwareCostBridge",
     "DEFAULT_SECONDS_PER_BYTE",
+    "DEFAULT_TIER_PRIORS",
 ]

@@ -43,6 +43,16 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 # codec is neither pinned nor immediately evicted.
 DEFAULT_SECONDS_PER_BYTE = 5e-9
 
+# Access-latency priors for the rebuild cache's lower tiers, in seconds
+# per *dense* byte faulted back out of the tier.  ``compressed-ram`` is
+# a zlib inflate (~1 GB/s); ``disk`` adds a file read on top of the
+# inflate.  Both are priors only — every tier fault is timed and folded
+# into a per-tier EWMA, exactly like codec rebuild rates.
+DEFAULT_TIER_PRIORS = {
+    "compressed-ram": 1e-9,
+    "disk": 2e-8,
+}
+
 
 def _dense_bytes_of(shape) -> int:
     """FP32 bytes of a dense weight shape (0 when the shape is unknown)."""
@@ -89,6 +99,8 @@ class CodecCostModel:
         self._observations: Dict[str, int] = {}
         self._layer_rates: Dict[Tuple[str, str], float] = {}
         self._layer_observations: Dict[Tuple[str, str], int] = {}
+        self._tier_rates: Dict[str, float] = {}
+        self._tier_observations: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Updates
@@ -134,6 +146,95 @@ class CodecCostModel:
                     self._layer_observations.get(key, 0) + 1
                 )
             return updated
+
+    def observe_tier_access(
+        self, tier: str, dense_bytes: int, seconds: float
+    ) -> float:
+        """Fold one measured tier fault into the tier's EWMA; returns it.
+
+        ``dense_bytes`` is the size of the dense tensor the tier handed
+        back, ``seconds`` the wall time the fault took (decompress for
+        a RAM tier, read + decompress for a disk tier).  The prior for
+        a tier's first observation is its :data:`DEFAULT_TIER_PRIORS`
+        entry, so the first measurement blends instead of replacing.
+        """
+        if dense_bytes <= 0 or seconds < 0:
+            return self.tier_seconds_per_byte(tier)
+        rate = seconds / dense_bytes
+        with self._lock:
+            prior = self._tier_rates.get(
+                tier, DEFAULT_TIER_PRIORS.get(tier)
+            )
+            if prior is None:
+                updated = rate
+            else:
+                updated = self.alpha * rate + (1.0 - self.alpha) * prior
+            self._tier_rates[tier] = updated
+            self._tier_observations[tier] = (
+                self._tier_observations.get(tier, 0) + 1
+            )
+            return updated
+
+    def seed_tier(
+        self, tier: str, seconds_per_byte: float, force: bool = True
+    ) -> None:
+        """Install a prior access rate for one cache tier.
+
+        Same contract as :meth:`seed`: not counted as an observation,
+        and ``force=False`` only fills tiers with no rate yet.
+        """
+        if seconds_per_byte <= 0:
+            raise ValueError("seconds_per_byte must be positive")
+        with self._lock:
+            if force or tier not in self._tier_rates:
+                self._tier_rates[tier] = seconds_per_byte
+
+    def tier_seconds_per_byte(self, tier: str) -> float:
+        """Current access rate of ``tier`` (its prior if unobserved).
+
+        Unknown tiers fall back to the codec default rate — a tier with
+        no prior and no measurements should look middling, not free.
+        """
+        with self._lock:
+            rate = self._tier_rates.get(tier)
+        if rate is not None:
+            return rate
+        return DEFAULT_TIER_PRIORS.get(tier, self.default_seconds_per_byte)
+
+    def estimate_tier_seconds(self, tier: str, dense_bytes: int) -> float:
+        """Estimated seconds to fault ``dense_bytes`` back from ``tier``."""
+        return self.tier_seconds_per_byte(tier) * max(int(dense_bytes), 0)
+
+    def snapshot_tier_rates(self) -> Dict[str, float]:
+        """One-lock copy of every known tier rate."""
+        with self._lock:
+            return dict(self._tier_rates)
+
+    def tier_observations(self, tier: str) -> int:
+        with self._lock:
+            return self._tier_observations.get(tier, 0)
+
+    def clone(self) -> "CodecCostModel":
+        """An independent copy with the same rates and counts.
+
+        The offline :class:`~repro.serving.simulator.CacheSimulator`
+        replays traces against a clone of the live fleet's cost model:
+        the simulated policies price tiers and codecs exactly as the
+        live engine did, without the simulation's charged (estimated)
+        observations polluting the fleet's learned rates.
+        """
+        twin = CodecCostModel(
+            alpha=self.alpha,
+            default_seconds_per_byte=self.default_seconds_per_byte,
+        )
+        with self._lock:
+            twin._rates = dict(self._rates)
+            twin._observations = dict(self._observations)
+            twin._layer_rates = dict(self._layer_rates)
+            twin._layer_observations = dict(self._layer_observations)
+            twin._tier_rates = dict(self._tier_rates)
+            twin._tier_observations = dict(self._tier_observations)
+        return twin
 
     def seed(
         self, codec: str, seconds_per_byte: float, force: bool = True
@@ -288,6 +389,13 @@ class CodecCostModel:
                     }
                     for codec, rate in sorted(self._rates.items())
                 },
+                "tiers": {
+                    tier: {
+                        "seconds_per_byte": rate,
+                        "observations": self._tier_observations.get(tier, 0),
+                    }
+                    for tier, rate in sorted(self._tier_rates.items())
+                },
             }
 
 
@@ -310,6 +418,7 @@ class HardwareCostBridge:
         energy=None,
         effective_watts: float = 10.0,
         rebuild_ops_per_byte: float = 1.0,
+        disk_bytes_per_second: float = 200e6,
     ) -> None:
         if energy is None:
             # Imported lazily: `repro.costs` must not drag the full
@@ -321,9 +430,12 @@ class HardwareCostBridge:
             raise ValueError("effective_watts must be positive")
         if rebuild_ops_per_byte < 0:
             raise ValueError("rebuild_ops_per_byte must be >= 0")
+        if disk_bytes_per_second <= 0:
+            raise ValueError("disk_bytes_per_second must be positive")
         self.energy = energy
         self.effective_watts = effective_watts
         self.rebuild_ops_per_byte = rebuild_ops_per_byte
+        self.disk_bytes_per_second = disk_bytes_per_second
 
     # ------------------------------------------------------------------
     def miss_energy_pj(self, payload_bytes: int, dense_bytes: int) -> float:
@@ -352,6 +464,23 @@ class HardwareCostBridge:
         dense = max(int(dense_bytes), 1)
         joules = self.miss_energy_pj(payload_bytes, dense) * 1e-12
         return joules / self.effective_watts / dense
+
+    def tier_seconds_per_byte(self, tier: str) -> float:
+        """Hardware-derived access prior for one rebuild-cache tier.
+
+        ``compressed-ram`` is priced as one DRAM fetch plus one
+        MAC-class op per dense byte (read the blob, inflate it) through
+        the same ``effective_watts`` conversion as a rebuild miss;
+        ``disk`` as a sequential read at ``disk_bytes_per_second``.
+        Unknown tiers fall back to the :data:`DEFAULT_TIER_PRIORS`
+        table.
+        """
+        if tier == "compressed-ram":
+            joules = (self.energy.dram + self.energy.mac) * 1e-12
+            return joules / self.effective_watts
+        if tier == "disk":
+            return 1.0 / self.disk_bytes_per_second
+        return DEFAULT_TIER_PRIORS.get(tier, DEFAULT_SECONDS_PER_BYTE)
 
     # ------------------------------------------------------------------
     def seed(
@@ -386,4 +515,29 @@ class HardwareCostBridge:
             rate = self.seconds_per_byte(payload_bytes, dense_bytes)
             model.seed(codec, rate, force=True)
             seeded[codec] = rate
+        return seeded
+
+    def seed_tiers(
+        self,
+        model: CodecCostModel,
+        tiers: Tuple[str, ...] = ("compressed-ram", "disk"),
+        force: bool = False,
+    ) -> Dict[str, float]:
+        """Seed ``model`` with hardware-derived tier access priors.
+
+        Same deference contract as :meth:`seed`: with ``force=False`` a
+        tier that already has a measured or seeded rate is left alone.
+        """
+        seeded: Dict[str, float] = {}
+        for tier in tiers:
+            rate = self.tier_seconds_per_byte(tier)
+            if rate <= 0:
+                continue
+            before = model.tier_observations(tier)
+            if not force and (
+                before > 0 or tier in model.snapshot_tier_rates()
+            ):
+                continue
+            model.seed_tier(tier, rate, force=True)
+            seeded[tier] = rate
         return seeded

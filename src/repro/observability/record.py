@@ -156,9 +156,12 @@ class TraceReader:
     def schedule(self) -> List[ReplayRequest]:
         """The replayable request schedule, ordered by arrival.
 
-        The sort is stable, so simultaneous arrivals keep their
-        recorded order and a record→schedule→record pass reproduces
-        the same sequence every time.
+        Equal-timestamp arrivals are tie-broken by (model, trace id),
+        not by file order: concurrent workers race their records onto
+        disk, so two recordings of the same workload can interleave
+        simultaneous arrivals differently — the tie-break makes every
+        load of every recording of the same requests produce one
+        canonical sequence, which trace-driven simulation depends on.
         """
         rows = [
             ReplayRequest(
@@ -172,7 +175,7 @@ class TraceReader:
             )
             for record in self
         ]
-        rows.sort(key=lambda row: row.arrival_s)
+        rows.sort(key=lambda row: (row.arrival_s, row.model or "", row.trace_id))
         return rows
 
     def by_model(self) -> Dict[Optional[str], List[ReplayRequest]]:

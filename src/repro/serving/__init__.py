@@ -20,6 +20,14 @@ serve through the identical pipeline.
   capacity-bounded cache (:class:`RebuildEngine`) with pluggable
   admission/eviction (:class:`AdmissionPolicy`: :class:`LRUPolicy`,
   :class:`CostAwarePolicy`, :class:`SizeAwarePolicy`).
+- :mod:`repro.serving.tiers` — the cache's lower tiers
+  (:class:`CompressedRamTier`, :class:`DiskSpillTier`): layers leaving
+  the dense tier demote into zlib blobs (RAM, then disk) and fault back
+  on a miss, cost-gated by per-tier access rates.
+- :mod:`repro.serving.simulator` — trace-driven offline policy lab
+  (:class:`CacheSimulator`): replay a recorded request trace against
+  candidate tier/admission configs in-process, same stats schema as the
+  live engine.
 - :mod:`repro.serving.batching` — request queueing and batch coalescing
   (:class:`BatchPolicy` protocol: :class:`StaticBatchPolicy`,
   :class:`CostAwareBatchPolicy`; :class:`RequestQueue`).
@@ -132,6 +140,18 @@ from repro.serving.host import (
     make_routing_policy,
 )
 from repro.serving.registry import CompressedModelHandle, ModelRegistry
+from repro.serving.simulator import (
+    CacheSimulator,
+    SimulationReport,
+    simulate_policies,
+)
+from repro.serving.tiers import (
+    CacheTier,
+    CompressedRamTier,
+    DiskSpillTier,
+    TierEntry,
+    make_tiers,
+)
 from repro.serving.stats import (
     HostStats,
     PolicyStats,
@@ -159,6 +179,14 @@ __all__ = [
     "CostAwarePolicy",
     "SizeAwarePolicy",
     "make_admission_policy",
+    "CacheTier",
+    "CompressedRamTier",
+    "DiskSpillTier",
+    "TierEntry",
+    "make_tiers",
+    "CacheSimulator",
+    "SimulationReport",
+    "simulate_policies",
     "BatchPolicy",
     "StaticBatchPolicy",
     "CostAwareBatchPolicy",

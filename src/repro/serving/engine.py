@@ -113,6 +113,8 @@ class InferenceEngine:
         admission: "Union[str, AdmissionPolicy, None]" = None,
         cost_model: Optional[CodecCostModel] = None,
         observability: Optional[Observability] = None,
+        tiers=None,
+        spill_dir: Optional[str] = None,
     ) -> None:
         self.model = model
         self.handle = handle
@@ -137,6 +139,8 @@ class InferenceEngine:
             cost_model=self.cost_model,
             metrics=self.metrics,
             observability=self.observability,
+            tiers=tiers,
+            spill_dir=spill_dir,
         )
         if self.observability.enabled:
             self.observability.register_metrics(self.metrics, name=handle.key)
@@ -380,6 +384,15 @@ class InferenceEngine:
             self._queue = None
             if self._worker_error is not None:
                 raise ServingError("worker died") from self._worker_error
+
+    def close(self) -> None:
+        """Stop the pool if one runs and release cache-tier resources
+        (spill files).  The bundle handle is *not* closed — it may be
+        shared by other engines via the registry."""
+        try:
+            self.stop()
+        finally:
+            self.rebuild.close()
 
     def __enter__(self) -> "InferenceEngine":
         return self.start()

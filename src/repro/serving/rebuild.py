@@ -117,6 +117,93 @@ class RebuildCacheStats:
         # price.
         self.layer_hits: Dict[str, int] = {}
         self.layer_accesses: Dict[str, int] = {}
+        # Lower-tier counters: one labeled instrument per (tier, event),
+        # created when the engine registers its tiers so the export
+        # schema is complete before any traffic.  Tier registration
+        # order is kept so reports read fastest-tier-first.
+        self._tier_order: List[str] = []
+        self._tier_counters: Dict[Tuple[str, str], "object"] = {}
+
+    # -- lower-tier counters --------------------------------------------
+    # One metric name per event, tiers as the label dimension, per the
+    # registry's naming scheme.
+    TIER_EVENTS: Dict[str, Tuple[str, str]] = {
+        "hits": (
+            "repro_rebuild_tier_hits_total",
+            "dense-tier misses served by faulting from a lower tier",
+        ),
+        "promotions": (
+            "repro_rebuild_tier_promotions_total",
+            "tier faults whose layer was re-admitted to the dense tier",
+        ),
+        "demotions": (
+            "repro_rebuild_tier_demotions_total",
+            "layers pushed down into this tier",
+        ),
+        "evictions": (
+            "repro_rebuild_tier_evictions_total",
+            "entries this tier's placement policy pushed out",
+        ),
+        "rejected": (
+            "repro_rebuild_tier_rejected_total",
+            "demotions this tier's placement policy declined",
+        ),
+        "corrupt": (
+            "repro_rebuild_tier_corrupt_total",
+            "tier faults whose blob failed validation (served as misses)",
+        ),
+        "fault_seconds": (
+            "repro_rebuild_tier_fault_seconds_total",
+            "seconds spent faulting layers back from this tier",
+        ),
+    }
+
+    def register_tier(self, tier: str) -> None:
+        """Pre-create every event counter for one tier, in hierarchy
+        order — the stats schema (and the metric series) must exist
+        before traffic, so live/simulated exports stay comparable."""
+        if tier in self._tier_order:
+            return
+        self._tier_order.append(tier)
+        for event, (name, help_text) in self.TIER_EVENTS.items():
+            self._tier_counters[(tier, event)] = self.metrics.counter(
+                name, help_text, tags={"tier": tier}
+            )
+
+    def record_tier(self, tier: str, event: str, amount: float = 1) -> None:
+        """Count one tier event (callers hold the engine lock)."""
+        counter = self._tier_counters.get((tier, event))
+        if counter is None:
+            self.register_tier(tier)
+            counter = self._tier_counters[(tier, event)]
+        counter.inc(amount)
+
+    def tier_count(self, tier: str, event: str) -> float:
+        counter = self._tier_counters.get((tier, event))
+        if counter is None:
+            return 0
+        value = counter.value
+        return value if event == "fault_seconds" else int(value)
+
+    def tier_counts(self) -> Dict[str, Dict[str, float]]:
+        """Every registered tier's event counters, hierarchy order."""
+        return {
+            tier: {
+                event: self.tier_count(tier, event)
+                for event in self.TIER_EVENTS
+            }
+            for tier in self._tier_order
+        }
+
+    def tier_hit_counts(self) -> Dict[str, int]:
+        """Where accesses were served: dense hits, per-tier faults,
+        full rebuilds — the hierarchy's realized hit distribution (and
+        the exact-parity contract the offline simulator reproduces)."""
+        out = {"dense-ram": self.hits}
+        for tier in self._tier_order:
+            out[tier] = int(self.tier_count(tier, "hits"))
+        out["rebuild"] = self.rebuilds
+        return out
 
     # -- metric-backed scalar counters ---------------------------------
     @property
@@ -202,6 +289,8 @@ class RebuildCacheStats:
             self._est_seconds_saved,
         ):
             instrument.reset()
+        for counter in self._tier_counters.values():
+            counter.reset()
         self.curve.clear()
         self.layer_hits.clear()
         self.layer_accesses.clear()
@@ -244,7 +333,7 @@ class RebuildCacheStats:
         }
 
     def as_dict(self) -> Dict:
-        return {
+        out = {
             "policy": self.policy,
             "hits": self.hits,
             "misses": self.misses,
@@ -259,6 +348,10 @@ class RebuildCacheStats:
             "curve_points": len(self.curve),
             "layer_hit_rates": self.layer_hit_rates(),
         }
+        if self._tier_order:
+            out["tiers"] = self.tier_counts()
+            out["tier_hit_counts"] = self.tier_hit_counts()
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -448,6 +541,22 @@ class RebuildEngine:
     layer), and concurrent cold misses on the same layer are
     de-duplicated — the first caller rebuilds while the rest wait on a
     per-layer in-flight event and then read the cached result.
+
+    ``tiers`` extends the cache into a hierarchy (see
+    :mod:`repro.serving.tiers`): a spec string like
+    ``"compressed,disk"`` (or a list of :class:`~repro.serving.tiers.
+    CacheTier` instances, fastest first).  A dense-tier miss then
+    faults from the closest lower tier that holds the layer — the
+    blob is claimed under the lock and inflated outside it — and
+    layers leaving the dense tier (evicted, rejected, or oversized)
+    are *demoted* down the hierarchy instead of dropped, gated on the
+    cost model pricing the move as a win (``rebuild estimate − tier
+    access estimate > 0``) and on the tier's own placement policy.
+    Demotion compresses under the engine lock; the blob is the
+    deflated form, so the critical section is bounded by one zlib
+    level-1 pass.  Blobs that fail validation on fault (truncated or
+    corrupted spill files) are counted ``corrupt`` and served as full
+    misses, never raised.
     """
 
     def __init__(
@@ -459,6 +568,8 @@ class RebuildEngine:
         cost_model: Optional[CodecCostModel] = None,
         metrics: Optional[MetricsRegistry] = None,
         observability=None,
+        tiers=None,
+        spill_dir: Optional[str] = None,
     ) -> None:
         missing = set(specs) - set(payloads)
         if missing:
@@ -494,11 +605,23 @@ class RebuildEngine:
             "repro_rebuild_cached_bytes",
             "dense bytes resident in the rebuild cache",
         )
-        # Guards the cache, the stats, and the in-flight table.  Rebuild
-        # compute itself never runs under this lock.
+        # Guards the cache (all tiers of it), the stats, and the
+        # in-flight table.  Rebuild compute and tier blob inflation
+        # never run under this lock.
         self._lock = threading.Lock()
         self._inflight: Dict[str, "_InFlightRebuild"] = {}
-        if getattr(self.policy, "requires_costs", False):
+        from repro.serving.tiers import make_tiers  # circular at module load
+
+        self.tiers = make_tiers(
+            tiers, default_capacity=capacity_bytes, spill_dir=spill_dir
+        )
+        for tier in self.tiers:
+            self.stats.register_tier(tier.name)
+        needs_costs = getattr(self.policy, "requires_costs", False) or any(
+            getattr(tier.policy, "requires_costs", False)
+            for tier in self.tiers
+        )
+        if needs_costs:
             # Sane per-codec estimates before the first admission call.
             self.cost_model.calibrate(payloads, specs)
 
@@ -637,9 +760,11 @@ class RebuildEngine:
 
     def _layer_weight(self, name: str, info: Optional[Dict]) -> np.ndarray:
         """The uninstrumented implementation; ``info`` (when given) is
-        filled with hit/miss, dense bytes, and the admission verdict."""
+        filled with hit/miss, serving tier, dense bytes, and the
+        admission verdict."""
         if name not in self._specs:
             raise KeyError(f"unknown layer {name!r}")
+        claimed = None  # (tier, entry) faulted from a lower tier
         while True:
             with self._lock:
                 cached = self._cache.get(name)
@@ -650,6 +775,7 @@ class RebuildEngine:
                     self._cache.move_to_end(name)
                     if info is not None:
                         info["hit"] = True
+                        info["tier"] = "dense-ram"
                         info["dense_bytes"] = cached.nbytes
                     return cached
                 flight = self._inflight.get(name)
@@ -657,6 +783,15 @@ class RebuildEngine:
                     flight = self._inflight[name] = _InFlightRebuild()
                     self.stats.misses += 1
                     self.stats.record_access(name, hit=False)
+                    # This thread owns the miss: claim the layer's blob
+                    # from the closest lower tier (popped under the
+                    # lock, so nobody else can reach it) and inflate it
+                    # outside the lock.
+                    for tier in self.tiers:
+                        entry = tier.claim(name)
+                        if entry is not None:
+                            claimed = (tier, entry)
+                            break
                     break
             flight.event.wait()
             if flight.weight is not None:
@@ -669,34 +804,73 @@ class RebuildEngine:
                     # paid here), flagged so traces can tell it apart.
                     info["hit"] = True
                     info["inflight_wait"] = True
+                    info["tier"] = "dense-ram"
                     info["dense_bytes"] = flight.weight.nbytes
                 return flight.weight
             # The in-flight rebuild failed; loop and rebuild ourselves.
-        try:
-            weight, seconds = self._rebuild(name)
-        except BaseException:
-            with self._lock:
-                self._inflight.pop(name, None)
-            flight.event.set()
-            raise
-        self.cost_model.observe(
-            self._layer_codec[name], weight.nbytes, seconds, layer=name
-        )
+        weight = None
+        source = "rebuild"
+        if claimed is not None:
+            tier, entry = claimed
+            weight, seconds = self._tier_load(tier, entry)
+            if weight is None:
+                # Corrupt/unreadable blob: a miss, not an error — fall
+                # through to the full rebuild.
+                with self._lock:
+                    self.stats.record_tier(tier.name, "corrupt")
+            else:
+                source = tier.name
+                self.cost_model.observe_tier_access(
+                    tier.name, weight.nbytes, seconds
+                )
+        if weight is None:
+            try:
+                weight, seconds = self._rebuild(name)
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(name, None)
+                flight.event.set()
+                raise
+            self.cost_model.observe(
+                self._layer_codec[name], weight.nbytes, seconds, layer=name
+            )
         flight.weight = weight  # published before event.set()
         with self._lock:
-            self.stats.rebuilds += 1
-            self.stats.rebuilt_bytes += weight.nbytes
-            self.stats.rebuild_seconds += seconds
+            if source == "rebuild":
+                self.stats.rebuilds += 1
+                self.stats.rebuilt_bytes += weight.nbytes
+                self.stats.rebuild_seconds += seconds
+            else:
+                # Faulting from a tier paid `seconds` instead of a full
+                # rebuild: count the fault and credit the difference.
+                self.stats.record_tier(source, "hits")
+                self.stats.record_tier(source, "fault_seconds", seconds)
+                self.stats.est_seconds_saved += max(
+                    0.0, self._estimate_seconds(name) - seconds
+                )
             verdict = self._admit(name, weight)
+            if source != "rebuild" and verdict == "admitted":
+                self.stats.record_tier(source, "promotions")
             self._record_curve()
             self._inflight.pop(name, None)
         flight.event.set()
         if info is not None:
             info["hit"] = False
+            info["tier"] = source
             info["dense_bytes"] = weight.nbytes
             info["rebuild_seconds"] = seconds
             info["admission"] = verdict
         return weight
+
+    def _tier_load(self, tier, entry) -> "tuple[Optional[np.ndarray], float]":
+        """Inflate one claimed tier entry (no locking): (weight, seconds).
+
+        Split out so the offline simulator can charge estimated fault
+        time instead of wall time, the same seam :meth:`_rebuild` is.
+        """
+        start = time.perf_counter()
+        weight = tier.load(entry)
+        return weight, time.perf_counter() - start
 
     def _rebuild(self, name: str) -> "tuple[np.ndarray, float]":
         """Decode one layer (no locking, no stats): (weight, seconds)."""
@@ -735,11 +909,15 @@ class RebuildEngine:
             self._cached_bytes_gauge.set(self._cached_bytes)
             return "admitted"
         if nbytes > self.capacity_bytes:
-            return "oversized"  # larger than the whole cache: serve uncached
+            # Larger than the whole dense cache: serve uncached, but a
+            # lower tier may still hold its (smaller) blob.
+            self._demote(name, weight)
+            return "oversized"
         candidate = self._view(name, nbytes)
         free = self.capacity_bytes - self._cached_bytes
         if not self.policy.admit(candidate, self._resident_views(), free):
             self.stats.rejected += 1
+            self._demote(name, weight)
             return "rejected"
         self._cache[name] = weight
         self._cached_bytes += nbytes
@@ -757,8 +935,99 @@ class RebuildEngine:
             evicted = self._cache.pop(victim)
             self._cached_bytes -= evicted.nbytes
             self.stats.evictions += 1
+            self._demote(victim, evicted)
         self._cached_bytes_gauge.set(self._cached_bytes)
         return "admitted"
+
+    # -- tier migration (caller holds self._lock) -----------------------
+    def _demote(self, name: str, weight: np.ndarray) -> bool:
+        """Push a layer leaving the dense tier down the hierarchy.
+
+        Compresses the dense array once and offers the blob from the
+        fastest lower tier down; True if some tier took it.  With no
+        tiers configured this is a no-op and the layer is simply
+        dropped (the pre-hierarchy behavior).
+        """
+        if not self.tiers:
+            return False
+        from repro.serving.tiers import compress_dense
+
+        blob = compress_dense(weight)
+        return self._place_blob(
+            0,
+            name,
+            blob,
+            dense_nbytes=weight.nbytes,
+            dtype=str(weight.dtype),
+            shape=tuple(weight.shape),
+        )
+
+    def _place_blob(
+        self,
+        index: int,
+        name: str,
+        blob: bytes,
+        dense_nbytes: int,
+        dtype: str,
+        shape,
+    ) -> bool:
+        """Offer one blob to tiers ``index`` and below; cost-gated.
+
+        A tier only takes the blob when holding it there is priced as
+        a win — the layer's full-rebuild estimate minus the tier's
+        access estimate, which is also the ``rebuild_seconds`` value
+        its placement policy ranks — and when its policy admits it.
+        Tiers deeper than the first negative-savings tier are never
+        tried (they are strictly slower).  Entries a tier evicts to
+        make room cascade to the next tier down with their existing
+        blobs; whatever falls off the bottom is discarded and will be
+        rebuilt from the payload on its next access.
+        """
+        rebuild_estimate = self.cost_model.estimate_seconds(
+            self._layer_codec[name], dense_nbytes, layer=name
+        )
+        for position in range(index, len(self.tiers)):
+            tier = self.tiers[position]
+            saved = rebuild_estimate - self.cost_model.estimate_tier_seconds(
+                tier.name, dense_nbytes
+            )
+            if saved <= 0.0:
+                break
+            verdict, evicted = tier.store(
+                name,
+                blob,
+                codec=self._layer_codec[name],
+                dense_nbytes=dense_nbytes,
+                dtype=dtype,
+                shape=shape,
+                saved_seconds=saved,
+            )
+            if verdict == "admitted":
+                self.stats.record_tier(tier.name, "demotions")
+                for entry in evicted:
+                    self.stats.record_tier(tier.name, "evictions")
+                    self._cascade_entry(position + 1, tier, entry)
+                return True
+            self.stats.record_tier(tier.name, "rejected")
+        return False
+
+    def _cascade_entry(self, index: int, source_tier, entry) -> None:
+        """Move one evicted entry's blob to the next tier down (or drop
+        it off the bottom of the hierarchy)."""
+        if index >= len(self.tiers):
+            source_tier.discard(entry)
+            return
+        blob = source_tier.extract(entry)
+        if blob is None:
+            return  # unreadable blob: nothing to cascade
+        self._place_blob(
+            index,
+            entry.name,
+            blob,
+            dense_nbytes=entry.dense_nbytes,
+            dtype=entry.dtype,
+            shape=entry.shape,
+        )
 
     def _record_curve(self) -> None:
         # Caller holds self._lock.
@@ -780,6 +1049,24 @@ class RebuildEngine:
             self._cache.clear()
             self._cached_bytes = 0
             self._cached_bytes_gauge.set(0)
+            for tier in self.tiers:
+                tier.clear()
+
+    def close(self) -> None:
+        """Release tier resources (spill files/directories) and empty
+        the cache.  Idempotent; the engine stays usable afterwards (a
+        closed disk tier re-creates its directory on the next spill)."""
+        with self._lock:
+            self._cache.clear()
+            self._cached_bytes = 0
+            self._cached_bytes_gauge.set(0)
+            for tier in self.tiers:
+                tier.close()
+
+    def tier_summaries(self) -> List[Dict]:
+        """Residency snapshot of every lower tier, hierarchy order."""
+        with self._lock:
+            return [tier.as_dict() for tier in self.tiers]
 
     def reset_stats(self) -> None:
         """Fresh counters (cache contents kept) — so benchmarks can

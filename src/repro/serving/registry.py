@@ -77,6 +77,23 @@ class CompressedModelHandle:
             for spec in self.manifest.layers
         )
 
+    def close(self) -> None:
+        """Release the payloads' backing file handle, if one is open.
+
+        Already-loaded layers stay readable; an unloaded layer of a
+        closed lazy bundle raises on first access.  Dict-backed
+        payloads (eager bundles, tests) make this a no-op.
+        """
+        closer = getattr(self.payloads, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "CompressedModelHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class ModelRegistry:
     """Named, versioned, lazily-loaded compressed models.
@@ -182,6 +199,23 @@ class ModelRegistry:
                     continue
                 if version is None or handle_version == version:
                     del self._loaded[key]
+
+    def close(self) -> None:
+        """Tear the registry down: drop every cached handle and close
+        its payload file.  Unlike :meth:`unload` — which only forgets
+        handles and lets their npz handles close themselves — this is
+        for hosts shutting down, where no engine will read again."""
+        with self._lock:
+            handles = list(self._loaded.values())
+            self._loaded.clear()
+        for handle in handles:
+            handle.close()
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class _InFlightLoad:

@@ -415,12 +415,32 @@ class ServingStats:
         # Per-layer hit rates are a dict per layer — a plot input, not
         # a report line; the flat summary keeps them.
         summary.pop("rebuild_layer_hit_rates", None)
+        # Tier counters are dict-of-dicts; render them as one compact
+        # line per tier below the scalars (the flat summary keeps the
+        # full dicts).
+        tier_counts = summary.pop("rebuild_tiers", {})
+        tier_hits = summary.pop("rebuild_tier_hit_counts", {})
         lines = ["== serving stats =="]
         for key, value in summary.items():
             if isinstance(value, float):
                 lines.append(f"{key:30s} {value:12.4g}")
             else:
                 lines.append(f"{key:30s} {value!s:>12s}")
+        if tier_hits:
+            served = " / ".join(
+                f"{tier}:{count}" for tier, count in tier_hits.items()
+            )
+            lines.append(f"{'served_from':30s} {served}")
+        for tier, counts in tier_counts.items():
+            lines.append(
+                f"tier[{tier}]".ljust(30)
+                + f" {counts['hits']:.0f} hits / "
+                f"{counts['demotions']:.0f} demotions / "
+                f"{counts['promotions']:.0f} promotions / "
+                f"{counts['evictions']:.0f} evictions / "
+                f"{counts['corrupt']:.0f} corrupt / "
+                f"{counts['fault_seconds']:.4g}s faulting"
+            )
         for index, worker in per_worker.items():
             lines.append(
                 f"worker[{index}]".ljust(30)

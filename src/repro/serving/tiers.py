@@ -1,0 +1,495 @@
+"""Lower tiers of the rebuild cache: compressed-in-RAM and disk spill.
+
+The paper's trade — pay compute to rebuild weights instead of paying
+memory to store them dense — is binary in a single-level cache: a layer
+is either dense in RAM or rebuilt from scratch.  These tiers make it a
+*hierarchy*.  A layer evicted from (or refused by) the dense tier is
+demoted into a cheaper-per-byte form instead of being dropped, and a
+miss in the dense tier faults the layer back from the closest tier that
+holds it:
+
+- **compressed-in-RAM** (``compressed-ram``) — the dense bytes, zlib-
+  deflated, held in process memory.  A fault is one inflate: orders of
+  magnitude cheaper than a ``smartexchange`` re-decode, at a fraction
+  of the dense resident bytes.
+- **disk spill** (``disk``) — the same blob written to a spill file.  A
+  fault pays a file read plus the inflate; still far cheaper than a
+  full rebuild for expensive codecs.
+
+Both tiers store the *same* blob format (zlib level-1 over the dense
+buffer, with dtype/shape kept in the in-RAM entry), so a demotion
+cascade — dense → compressed → disk — passes blobs down without ever
+re-materializing the dense array.  Tier capacity is charged in *blob*
+bytes (``charge_bytes``), which is what the tier actually spends.
+
+Each tier reuses the dense cache's :class:`~repro.serving.rebuild.
+AdmissionPolicy` protocol as its placement policy: candidates are
+offered as :class:`~repro.serving.rebuild.CacheEntryView` objects whose
+``rebuild_seconds`` is the *seconds saved* by holding the layer at this
+tier rather than rebuilding from scratch, so ``CostAwarePolicy`` ranks
+tier residents by saved-seconds-per-blob-byte with no changes.
+
+Thread model: tiers do **no locking of their own** — every bookkeeping
+method (:meth:`CacheTier.claim`, :meth:`CacheTier.store`, …) is called
+with the owning :class:`~repro.serving.rebuild.RebuildEngine`'s lock
+held.  Only :meth:`CacheTier.load` (inflate / file read) runs outside
+the lock, on an entry already claimed (popped) by the caller, so no
+other thread can reach it.
+
+Fault tolerance: a truncated or corrupted spill file (or blob) is a
+*miss*, never an exception — :meth:`load` validates length and CRC and
+returns ``None``, and the engine falls back to a full rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import zlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving.rebuild import (
+    AdmissionPolicy,
+    CacheEntryView,
+    make_admission_policy,
+)
+
+__all__ = [
+    "CacheTier",
+    "CompressedRamTier",
+    "DiskSpillTier",
+    "TierEntry",
+    "compress_dense",
+    "decompress_dense",
+    "make_tiers",
+]
+
+# zlib level 1: the blob is transient working state, not an archive —
+# fastest deflate wins, and on float weights higher levels buy little.
+_ZLIB_LEVEL = 1
+
+
+def compress_dense(weight: np.ndarray) -> bytes:
+    """The tier blob for one dense weight: zlib over its raw buffer."""
+    return zlib.compress(np.ascontiguousarray(weight).tobytes(), _ZLIB_LEVEL)
+
+
+def decompress_dense(
+    blob: bytes, dense_nbytes: int, dtype: str, shape: Tuple[int, ...]
+) -> Optional[np.ndarray]:
+    """Inflate a tier blob back to its dense array; ``None`` if the
+    blob is corrupt or does not inflate to the recorded size."""
+    try:
+        raw = zlib.decompress(blob)
+    except zlib.error:
+        return None
+    if len(raw) != dense_nbytes:
+        return None
+    try:
+        weight = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    except (TypeError, ValueError):
+        return None
+    # frombuffer over `bytes` is already read-only, matching the dense
+    # cache's contract that returned arrays are not writable.
+    return weight
+
+
+class TierEntry:
+    """In-RAM bookkeeping for one layer resident in a lower tier.
+
+    The dtype/shape/CRC needed to validate and inflate the blob live
+    *here*, never in the spill file — a corrupted file cannot lie about
+    its own integrity check.  ``charge_bytes`` (the blob size) is what
+    counts against the tier's capacity; ``saved_seconds`` is the
+    rebuild-seconds estimate the placement gate priced the entry at.
+    """
+
+    __slots__ = (
+        "name",
+        "codec",
+        "dense_nbytes",
+        "charge_bytes",
+        "dtype",
+        "shape",
+        "saved_seconds",
+        "blob",
+        "path",
+        "crc",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        codec: str,
+        dense_nbytes: int,
+        charge_bytes: int,
+        dtype: str,
+        shape: Tuple[int, ...],
+        saved_seconds: float,
+    ) -> None:
+        self.name = name
+        self.codec = codec
+        self.dense_nbytes = dense_nbytes
+        self.charge_bytes = charge_bytes
+        self.dtype = dtype
+        self.shape = shape
+        self.saved_seconds = saved_seconds
+        self.blob: Optional[bytes] = None
+        self.path: Optional[str] = None
+        self.crc: int = 0
+
+
+class CacheTier:
+    """One level of the rebuild-cache hierarchy below the dense tier.
+
+    Subclasses define where the blob lives (:meth:`_attach` /
+    :meth:`_detach` / :meth:`extract` / :meth:`load`); this base owns
+    the shared residency bookkeeping: an LRU-ordered entry table, blob-
+    byte capacity accounting, and admission/eviction through the same
+    :class:`~repro.serving.rebuild.AdmissionPolicy` protocol the dense
+    tier uses.  ``capacity_bytes=None`` means unbounded.
+
+    All bookkeeping methods are called under the owning engine's lock;
+    see the module docstring for the full thread model.
+    """
+
+    name = "tier"
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        policy: Union[str, AdmissionPolicy, None] = None,
+    ) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.policy = make_admission_policy(policy)
+        self._entries: "OrderedDict[str, TierEntry]" = OrderedDict()
+        self._charged_bytes = 0
+
+    # -- residency bookkeeping (engine lock held) -----------------------
+    @property
+    def charged_bytes(self) -> int:
+        return self._charged_bytes
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def resident_names(self) -> List[str]:
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def claim(self, name: str) -> Optional[TierEntry]:
+        """Pop ``name``'s entry for a fault (caller loads it outside
+        the lock).  The entry leaves the tier immediately — the
+        hierarchy is exclusive, and nobody else can touch a claimed
+        entry's blob."""
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            return None
+        self._charged_bytes -= entry.charge_bytes
+        return entry
+
+    def store(
+        self,
+        name: str,
+        blob: bytes,
+        codec: str,
+        dense_nbytes: int,
+        dtype: str,
+        shape: Tuple[int, ...],
+        saved_seconds: float,
+    ) -> Tuple[str, List[TierEntry]]:
+        """Offer one demoted blob to this tier.
+
+        Returns ``(verdict, evicted)`` where verdict is ``"admitted"``
+        / ``"rejected"`` / ``"oversized"`` (mirroring the dense tier's
+        vocabulary) and ``evicted`` lists the entries pushed out to
+        make room — the caller cascades those to the next tier down
+        (their blobs are still extractable) or discards them.
+        """
+        stale = self.claim(name)
+        if stale is not None:
+            self._detach(stale)
+        charge = len(blob)
+        if self.capacity_bytes is not None and charge > self.capacity_bytes:
+            return "oversized", []
+        candidate = CacheEntryView(
+            name=name, nbytes=charge, codec=codec,
+            rebuild_seconds=saved_seconds,
+        )
+        if self.capacity_bytes is not None:
+            free = self.capacity_bytes - self._charged_bytes
+            if not self.policy.admit(candidate, self._views(), free):
+                return "rejected", []
+        entry = TierEntry(
+            name=name,
+            codec=codec,
+            dense_nbytes=dense_nbytes,
+            charge_bytes=charge,
+            dtype=dtype,
+            shape=shape,
+            saved_seconds=saved_seconds,
+        )
+        self._attach(entry, blob)
+        self._entries[name] = entry
+        self._charged_bytes += charge
+        evicted: List[TierEntry] = []
+        while (
+            self.capacity_bytes is not None
+            and self._charged_bytes > self.capacity_bytes
+        ):
+            resident = self._views(exclude=name)
+            if not resident:
+                break  # only the candidate remains, and it fits
+            victim = self.policy.victim(candidate, resident)
+            if victim == name or victim not in self._entries:
+                # Defensive against a misbehaving policy, same as the
+                # dense tier: fall back to the LRU victim.
+                victim = next(iter(self._entries))
+                if victim == name:
+                    victim = resident[0].name
+            dropped = self._entries.pop(victim)
+            self._charged_bytes -= dropped.charge_bytes
+            evicted.append(dropped)
+        return "admitted", evicted
+
+    def _views(self, exclude: Optional[str] = None) -> List[CacheEntryView]:
+        # OrderedDict order IS recency (stores append), LRU first.
+        return [
+            CacheEntryView(
+                name=entry.name,
+                nbytes=entry.charge_bytes,
+                codec=entry.codec,
+                rebuild_seconds=entry.saved_seconds,
+            )
+            for entry in self._entries.values()
+            if entry.name != exclude
+        ]
+
+    def clear(self) -> None:
+        """Drop every entry and release its resources."""
+        for entry in self._entries.values():
+            self._detach(entry)
+        self._entries.clear()
+        self._charged_bytes = 0
+
+    def close(self) -> None:
+        self.clear()
+
+    def as_dict(self) -> Dict:
+        return {
+            "tier": self.name,
+            "policy": self.policy.name,
+            "capacity_bytes": self.capacity_bytes,
+            "charged_bytes": self._charged_bytes,
+            "entries": len(self._entries),
+        }
+
+    # -- blob storage (subclass responsibility) -------------------------
+    def _attach(self, entry: TierEntry, blob: bytes) -> None:
+        """Bind ``blob`` to a fresh entry (RAM pointer or spill file)."""
+        raise NotImplementedError
+
+    def _detach(self, entry: TierEntry) -> None:
+        """Release a popped entry's resources without reading them."""
+        raise NotImplementedError
+
+    def extract(self, entry: TierEntry) -> Optional[bytes]:
+        """The raw blob of a claimed entry (consumes its resources) —
+        how an evicted entry cascades to the next tier down.  ``None``
+        if the blob can no longer be read back intact."""
+        raise NotImplementedError
+
+    def load(self, entry: TierEntry) -> Optional[np.ndarray]:
+        """Inflate a *claimed* entry back to its dense weight; runs
+        outside the engine lock.  ``None`` means the blob was corrupt
+        or unreadable — the caller treats it as a full miss.  The
+        entry's resources are consumed either way."""
+        blob = self.extract(entry)
+        if blob is None:
+            return None
+        return decompress_dense(
+            blob, entry.dense_nbytes, entry.dtype, entry.shape
+        )
+
+    def discard(self, entry: TierEntry) -> None:
+        """Drop a claimed entry that will not be loaded or cascaded."""
+        self._detach(entry)
+
+
+class CompressedRamTier(CacheTier):
+    """Tier 1: zlib blobs held in process memory."""
+
+    name = "compressed-ram"
+
+    def _attach(self, entry: TierEntry, blob: bytes) -> None:
+        entry.blob = blob
+
+    def _detach(self, entry: TierEntry) -> None:
+        entry.blob = None
+
+    def extract(self, entry: TierEntry) -> Optional[bytes]:
+        blob = entry.blob
+        entry.blob = None
+        return blob
+
+
+class DiskSpillTier(CacheTier):
+    """Tier 2: zlib blobs spilled to files under one directory.
+
+    The CRC and length of every blob stay in the in-RAM entry, so a
+    truncated or bit-flipped spill file is detected on read and
+    reported as a miss (``extract`` → ``None``), never raised.  With no
+    ``directory`` a private temp dir is created on first spill and
+    removed by :meth:`close`.
+    """
+
+    name = "disk"
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        policy: Union[str, AdmissionPolicy, None] = None,
+        directory: Optional[str] = None,
+    ) -> None:
+        super().__init__(capacity_bytes=capacity_bytes, policy=policy)
+        self._directory = directory
+        self._owns_directory = False
+        self._sequence = 0
+
+    @property
+    def directory(self) -> Optional[str]:
+        return self._directory
+
+    def _ensure_directory(self) -> str:
+        if self._directory is None:
+            self._directory = tempfile.mkdtemp(prefix="repro-spill-")
+            self._owns_directory = True
+        else:
+            os.makedirs(self._directory, exist_ok=True)
+        return self._directory
+
+    def _attach(self, entry: TierEntry, blob: bytes) -> None:
+        directory = self._ensure_directory()
+        digest = hashlib.sha1(entry.name.encode("utf-8")).hexdigest()[:16]
+        self._sequence += 1
+        path = os.path.join(directory, f"{digest}-{self._sequence}.blob")
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        entry.path = path
+        entry.crc = zlib.crc32(blob)
+
+    def _detach(self, entry: TierEntry) -> None:
+        path = entry.path
+        entry.path = None
+        if path is not None:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def extract(self, entry: TierEntry) -> Optional[bytes]:
+        path = entry.path
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            blob = None
+        finally:
+            self._detach(entry)
+        if blob is None or len(blob) != entry.charge_bytes:
+            return None
+        if zlib.crc32(blob) != entry.crc:
+            return None
+        return blob
+
+    def close(self) -> None:
+        super().close()
+        if self._owns_directory and self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._directory = None
+            self._owns_directory = False
+
+
+_TIER_FACTORIES = {
+    "compressed": CompressedRamTier,
+    "compressed-ram": CompressedRamTier,
+    "disk": DiskSpillTier,
+    "disk-spill": DiskSpillTier,
+}
+
+
+def make_tiers(
+    spec: Union[str, Sequence[CacheTier], None],
+    default_capacity: Optional[int] = None,
+    policy: Union[str, AdmissionPolicy, None] = None,
+    spill_dir: Optional[str] = None,
+) -> List[CacheTier]:
+    """Resolve a tier stack from a spec string (or pass instances through).
+
+    A spec is a comma list of ``name[:capacity_bytes]`` tokens ordered
+    fastest-first, e.g. ``"compressed:8388608,disk"``.  A leading
+    ``dense`` / ``dense-ram`` token is accepted and ignored (the dense
+    tier is the engine's own cache), so configs can name the whole
+    hierarchy.  A compressed-RAM tier without an explicit capacity gets
+    ``default_capacity`` (callers pass the engine's dense budget: the
+    same RAM spend again, holding many more layers in deflated form);
+    a disk tier defaults to unbounded.  ``policy`` is the placement
+    policy for every created tier (LRU when ``None``); ``spill_dir``
+    pins the disk tier's directory.
+    """
+    if spec is None:
+        return []
+    if not isinstance(spec, str):
+        tiers = list(spec)
+        for tier in tiers:
+            if not isinstance(tier, CacheTier):
+                raise TypeError(f"not a CacheTier: {tier!r}")
+        names = [tier.name for tier in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        return tiers
+    tiers = []
+    for position, token in enumerate(part.strip() for part in spec.split(",")):
+        if not token:
+            continue
+        name, _, capacity_text = token.partition(":")
+        name = name.strip().lower()
+        if name in ("dense", "dense-ram"):
+            if position == 0 and not capacity_text:
+                continue
+            raise ValueError(
+                "the dense tier is the engine's own cache; it takes no "
+                "capacity here and must come first"
+            )
+        factory = _TIER_FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown cache tier {name!r}; "
+                f"known: {sorted(set(_TIER_FACTORIES))}"
+            )
+        if capacity_text:
+            capacity: Optional[int] = int(capacity_text)
+            if capacity <= 0:
+                raise ValueError(f"tier {name!r} capacity must be positive")
+        elif factory is CompressedRamTier:
+            capacity = default_capacity
+        else:
+            capacity = None
+        kwargs = {"capacity_bytes": capacity, "policy": policy}
+        if factory is DiskSpillTier:
+            kwargs["directory"] = spill_dir
+        tiers.append(factory(**kwargs))
+    names = [tier.name for tier in tiers]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate cache tiers in spec {spec!r}")
+    return tiers

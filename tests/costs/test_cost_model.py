@@ -8,6 +8,7 @@ import pytest
 from repro.codecs import get_codec
 from repro.costs import (
     DEFAULT_SECONDS_PER_BYTE,
+    DEFAULT_TIER_PRIORS,
     CodecCostModel,
     HardwareCostBridge,
 )
@@ -309,4 +310,128 @@ class TestHardwareCostBridge:
         seeded = HardwareCostBridge().seed(model, payloads, force=True)
         assert model.seconds_per_byte("dense") == pytest.approx(
             seeded["dense"]
+        )
+
+
+class TestTierRates:
+    def test_known_tier_prior_before_any_observation(self):
+        model = CodecCostModel()
+        for tier, prior in DEFAULT_TIER_PRIORS.items():
+            assert model.tier_seconds_per_byte(tier) == prior
+            assert model.tier_observations(tier) == 0
+
+    def test_unknown_tier_falls_back_to_codec_default(self):
+        model = CodecCostModel()
+        assert model.tier_seconds_per_byte("tape") == DEFAULT_SECONDS_PER_BYTE
+
+    def test_first_observation_blends_into_prior(self):
+        model = CodecCostModel(alpha=0.25)
+        rate = model.observe_tier_access("disk", dense_bytes=1000, seconds=1e-3)
+        expected = 0.25 * 1e-6 + 0.75 * DEFAULT_TIER_PRIORS["disk"]
+        assert rate == pytest.approx(expected)
+        assert model.tier_seconds_per_byte("disk") == pytest.approx(expected)
+        assert model.tier_observations("disk") == 1
+
+    def test_degenerate_observation_ignored(self):
+        model = CodecCostModel()
+        model.observe_tier_access("disk", dense_bytes=0, seconds=1.0)
+        model.observe_tier_access("disk", dense_bytes=100, seconds=-1.0)
+        assert model.tier_observations("disk") == 0
+        assert model.tier_seconds_per_byte("disk") == DEFAULT_TIER_PRIORS["disk"]
+
+    def test_estimate_tier_seconds(self):
+        model = CodecCostModel()
+        model.seed_tier("disk", 1e-8)
+        assert model.estimate_tier_seconds("disk", 1000) == pytest.approx(1e-5)
+        assert model.estimate_tier_seconds("disk", -5) == 0.0
+
+    def test_seed_tier_force_semantics(self):
+        model = CodecCostModel()
+        model.seed_tier("disk", 1e-8)
+        model.seed_tier("disk", 5e-8, force=False)  # defers to existing
+        assert model.tier_seconds_per_byte("disk") == 1e-8
+        model.seed_tier("disk", 5e-8)
+        assert model.tier_seconds_per_byte("disk") == 5e-8
+        with pytest.raises(ValueError):
+            model.seed_tier("disk", 0.0)
+
+    def test_seeding_is_not_an_observation(self):
+        model = CodecCostModel()
+        model.seed_tier("disk", 1e-8)
+        assert model.tier_observations("disk") == 0
+
+    def test_snapshot_tier_rates(self):
+        model = CodecCostModel()
+        assert model.snapshot_tier_rates() == {}
+        model.seed_tier("compressed-ram", 2e-9)
+        assert model.snapshot_tier_rates() == {"compressed-ram": 2e-9}
+
+    def test_clone_is_isolated_both_ways(self):
+        model = CodecCostModel(alpha=0.5)
+        model.observe("dense", 1000, 1e-4)
+        model.observe_tier_access("disk", 1000, 1e-4)
+        twin = model.clone()
+        assert twin.alpha == model.alpha
+        assert twin.seconds_per_byte("dense") == model.seconds_per_byte("dense")
+        assert twin.tier_seconds_per_byte("disk") == model.tier_seconds_per_byte(
+            "disk"
+        )
+        twin.observe_tier_access("disk", 10, 1.0)
+        twin.observe("dense", 10, 1.0)
+        assert twin.tier_seconds_per_byte("disk") != model.tier_seconds_per_byte(
+            "disk"
+        )
+        assert model.tier_observations("disk") == 1
+        assert model.observations("dense") == 1
+
+    def test_as_dict_reports_tiers(self):
+        model = CodecCostModel()
+        model.observe_tier_access("compressed-ram", 1000, 1e-5)
+        snap = model.as_dict()
+        assert snap["tiers"]["compressed-ram"]["observations"] == 1
+        assert snap["tiers"]["compressed-ram"]["seconds_per_byte"] == (
+            model.tier_seconds_per_byte("compressed-ram")
+        )
+
+
+class TestHardwareBridgeTiers:
+    def test_tier_rates_are_positive_and_ordered(self):
+        bridge = HardwareCostBridge()
+        ram = bridge.tier_seconds_per_byte("compressed-ram")
+        disk = bridge.tier_seconds_per_byte("disk")
+        assert 0 < ram < disk  # RAM inflate beats a disk read
+
+    def test_disk_rate_is_reciprocal_bandwidth(self):
+        bridge = HardwareCostBridge(disk_bytes_per_second=100e6)
+        assert bridge.tier_seconds_per_byte("disk") == pytest.approx(1e-8)
+
+    def test_unknown_tier_falls_back_to_priors(self):
+        bridge = HardwareCostBridge()
+        assert (
+            bridge.tier_seconds_per_byte("tape") == DEFAULT_SECONDS_PER_BYTE
+        )
+
+    def test_invalid_disk_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCostBridge(disk_bytes_per_second=0.0)
+
+    def test_seed_tiers_fills_only_unseeded(self):
+        bridge = HardwareCostBridge()
+        model = CodecCostModel()
+        model.seed_tier("disk", 123e-9)
+        seeded = bridge.seed_tiers(model)
+        assert "compressed-ram" in seeded
+        assert "disk" not in seeded
+        assert model.tier_seconds_per_byte("disk") == 123e-9
+        assert model.tier_seconds_per_byte("compressed-ram") == pytest.approx(
+            seeded["compressed-ram"]
+        )
+
+    def test_seed_tiers_force_overrides(self):
+        bridge = HardwareCostBridge()
+        model = CodecCostModel()
+        model.seed_tier("disk", 123e-9)
+        seeded = bridge.seed_tiers(model, force=True)
+        assert model.tier_seconds_per_byte("disk") == pytest.approx(
+            seeded["disk"]
         )

@@ -163,3 +163,44 @@ class TestObservabilityRecordingLifecycle:
         assert obs.begin_request(model="demo:v1") is None
         assert recorder.records_written == 0
         recorder.close()
+
+
+class TestScheduleDeterminism:
+    """Equal-arrival rows must sort the same regardless of file order."""
+
+    ROWS = [
+        {"trace_id": "t2", "model": "b", "arrival_s": 1.0},
+        {"trace_id": "t1", "model": "b", "arrival_s": 1.0},
+        {"trace_id": "t9", "model": "a", "arrival_s": 1.0},
+        {"trace_id": "t0", "model": "a", "arrival_s": 0.5},
+        {"trace_id": "t3", "model": None, "arrival_s": 1.0},
+    ]
+
+    def write(self, path, rows):
+        with TraceRecorder(path) as recorder:
+            for row in rows:
+                recorder.record_request(
+                    trace_id=row["trace_id"],
+                    model=row["model"],
+                    engine=None,
+                    arrival_s=row["arrival_s"],
+                    latency_s=0.0,
+                )
+
+    def test_ties_break_by_model_then_trace_id(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.write(path, self.ROWS)
+        ids = [row.trace_id for row in TraceReader(path).schedule()]
+        # t0 arrives first; then the 1.0 ties: None-model first (sorts
+        # as ""), then model "a", then model "b" by trace id.
+        assert ids == ["t0", "t3", "t9", "t1", "t2"]
+
+    def test_file_order_does_not_matter(self, tmp_path):
+        forward = tmp_path / "fwd.jsonl"
+        backward = tmp_path / "bwd.jsonl"
+        self.write(forward, self.ROWS)
+        self.write(backward, list(reversed(self.ROWS)))
+        assert (
+            TraceReader(forward).schedule()
+            == TraceReader(backward).schedule()
+        )

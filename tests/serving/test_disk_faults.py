@@ -1,0 +1,163 @@
+"""Disk-spill fault tolerance: corrupt blobs are misses, never errors."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.costs import CodecCostModel
+from repro.serving import DiskSpillTier, ModelRegistry, RebuildEngine
+
+
+@pytest.fixture
+def handle(published):
+    store, manifest, *_ = published
+    return ModelRegistry(store).get(manifest.name)
+
+
+def make_engine(handle, tmp_path):
+    """An engine whose every layer lives on the disk tier.
+
+    The dense tier is sized below the smallest layer (every rebuild
+    demotes) and the cost model is seeded so the demotion gate always
+    prices the disk tier as a win, independent of this machine's timer.
+    """
+    model = CodecCostModel()
+    model.seed("smartexchange", 1e-6)
+    model.seed_tier("disk", 1e-9)
+    sizes = [
+        int(np.prod(spec.weight_shape)) * 8
+        for spec in handle.layer_specs.values()
+    ]
+    return RebuildEngine(
+        payloads=handle.payloads,
+        specs=handle.layer_specs,
+        capacity_bytes=min(sizes) - 1,
+        cost_model=model,
+        tiers=[DiskSpillTier(directory=str(tmp_path / "spill"))],
+    )
+
+
+def spill_path(engine, name):
+    return engine.tiers[0]._entries[name].path
+
+
+def reference_weights(handle):
+    probe = RebuildEngine(payloads=handle.payloads, specs=handle.layer_specs)
+    return {
+        name: np.array(probe.layer_weight(name)) for name in probe.layer_names
+    }
+
+
+class TestCorruptSpillFiles:
+    @pytest.fixture
+    def spilled(self, handle, tmp_path):
+        engine = make_engine(handle, tmp_path)
+        for name in engine.layer_names:
+            engine.layer_weight(name)
+        assert all(name in engine.tiers[0] for name in engine.layer_names)
+        return engine
+
+    def assert_served_as_miss(self, spilled, handle, mutate):
+        name = spilled.layer_names[0]
+        mutate(spill_path(spilled, name))
+        rebuilds = spilled.stats.rebuilds
+        weight = spilled.layer_weight(name)
+        np.testing.assert_array_equal(weight, reference_weights(handle)[name])
+        assert spilled.stats.tier_count("disk", "corrupt") == 1
+        assert spilled.stats.tier_count("disk", "hits") == 0
+        assert spilled.stats.rebuilds == rebuilds + 1
+        spilled.close()
+
+    def test_truncated_file_is_a_miss(self, spilled, handle):
+        def truncate(path):
+            with open(path, "r+b") as fh:
+                fh.truncate(max(os.path.getsize(path) // 2, 1))
+
+        self.assert_served_as_miss(spilled, handle, truncate)
+
+    def test_bitflipped_file_is_a_miss(self, spilled, handle):
+        def flip(path):
+            with open(path, "r+b") as fh:
+                first = fh.read(1)
+                fh.seek(0)
+                fh.write(bytes([first[0] ^ 0xFF]))
+
+        self.assert_served_as_miss(spilled, handle, flip)
+
+    def test_grown_file_is_a_miss(self, spilled, handle):
+        def grow(path):
+            with open(path, "ab") as fh:
+                fh.write(b"\x00" * 16)
+
+        self.assert_served_as_miss(spilled, handle, grow)
+
+    def test_deleted_file_is_a_miss(self, spilled, handle):
+        self.assert_served_as_miss(spilled, handle, os.remove)
+
+    def test_corrupt_entry_is_consumed_not_retried(self, spilled, handle):
+        name = spilled.layer_names[0]
+        os.remove(spill_path(spilled, name))
+        spilled.layer_weight(name)
+        assert spilled.stats.tier_count("disk", "corrupt") == 1
+        # The rebuild re-demoted a fresh, intact blob: the next access
+        # faults cleanly instead of tripping on the dead entry again.
+        spilled.layer_weight(name)
+        assert spilled.stats.tier_count("disk", "corrupt") == 1
+        assert spilled.stats.tier_count("disk", "hits") == 1
+        spilled.close()
+
+
+class TestConcurrentDemotionAndLookup:
+    def test_stress_threads_with_live_corruption(self, handle, tmp_path):
+        engine = make_engine(handle, tmp_path)
+        reference = reference_weights(handle)
+        names = engine.layer_names
+        errors = []
+        stop = threading.Event()
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(120):
+                    name = names[int(rng.integers(len(names)))]
+                    got = engine.layer_weight(name)
+                    np.testing.assert_array_equal(got, reference[name])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def saboteur():
+            # Corrupt random spill files while readers fault them back:
+            # every hit must still be validated, every failure must be
+            # served as a rebuild, and nothing may raise.
+            rng = np.random.default_rng(99)
+            spill = tmp_path / "spill"
+            while not stop.is_set():
+                try:
+                    files = list(spill.iterdir()) if spill.exists() else []
+                    if files:
+                        target = files[int(rng.integers(len(files)))]
+                        with open(target, "r+b") as fh:
+                            fh.truncate(1)
+                except OSError:
+                    pass  # raced the engine's own remove: fine
+
+        readers = [
+            threading.Thread(target=reader, args=(seed,)) for seed in range(8)
+        ]
+        chaos = threading.Thread(target=saboteur)
+        chaos.start()
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        chaos.join()
+        assert errors == []
+        stats = engine.stats
+        assert stats.accesses == 8 * 120
+        # Every access was served from somewhere; the partition holds
+        # even under concurrent demotion, corruption, and faulting.
+        assert sum(stats.tier_hit_counts().values()) == stats.accesses
+        engine.close()

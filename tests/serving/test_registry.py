@@ -151,3 +151,74 @@ class TestSingleFlightLoads:
         handle = registry.get(manifest.name)  # retried, not wedged
         assert handle.name == manifest.name
         assert attempts["count"] == 2
+
+
+class TestLifecycle:
+    """Explicit close() / context-manager support (handles + registry)."""
+
+    def test_handle_close_releases_lazy_payload_file(self, published):
+        store, manifest, *_ = published
+        handle = ModelRegistry(store).get(manifest.name)
+        first = next(iter(handle.payloads))
+        loaded = handle.payloads[first]  # fault one layer in
+        assert not handle.payloads.closed
+        handle.close()
+        assert handle.payloads.closed
+        # Already-loaded layers stay readable after close.
+        assert handle.payloads[first] is loaded
+
+    def test_handle_context_manager(self, published):
+        store, manifest, *_ = published
+        with ModelRegistry(store).get(manifest.name) as handle:
+            assert not handle.payloads.closed
+        assert handle.payloads.closed
+
+    def test_handle_close_is_noop_for_dict_payloads(self, published):
+        store, manifest, *_ = published
+        lazy = ModelRegistry(store).get(manifest.name)
+        from repro.serving import CompressedModelHandle
+
+        eager = CompressedModelHandle(
+            manifest=lazy.manifest,
+            payloads=dict(lazy.payloads),
+            residual=lazy.residual,
+        )
+        eager.close()  # must not raise
+
+    def test_payload_file_context_manager(self, published):
+        store, manifest, *_ = published
+        with store.load_payloads(manifest.name) as payloads:
+            assert not payloads.closed
+            list(payloads)  # index access only
+        assert payloads.closed
+
+    def test_registry_close_drops_and_closes_handles(self, published):
+        store, manifest, model, report, config = published
+        store.publish(report, config, name=manifest.name, model=model)
+        registry = ModelRegistry(store)
+        v1 = registry.get(manifest.name, "v1")
+        v2 = registry.get(manifest.name, "v2")
+        assert len(registry.loaded()) == 2
+        registry.close()
+        assert registry.loaded() == []
+        assert v1.payloads.closed and v2.payloads.closed
+        # The registry stays usable: the next get reloads fresh.
+        fresh = registry.get(manifest.name, "v1")
+        assert fresh is not v1
+        assert not fresh.payloads.closed
+
+    def test_registry_context_manager(self, published):
+        store, manifest, *_ = published
+        with ModelRegistry(store) as registry:
+            handle = registry.get(manifest.name)
+        assert registry.loaded() == []
+        assert handle.payloads.closed
+
+    def test_unload_does_not_close_payloads(self, published):
+        store, manifest, *_ = published
+        registry = ModelRegistry(store)
+        handle = registry.get(manifest.name)
+        registry.unload(manifest.name)
+        # unload only forgets; a live engine holding the handle keeps
+        # reading (the file closes itself when fully cached or on GC).
+        assert not handle.payloads.closed
