@@ -1,0 +1,235 @@
+"""Bench: the workload scenario matrix through the sweep harness.
+
+Publishes one *mixed* bundle (smartexchange convs + a quant-linear
+head — the split a cost-aware admission policy can exploit), generates
+a matrix of seeded workload scenarios (uniform / diurnal / flash-crowd
+/ hot-model-skew), and replays every scenario through every candidate
+serving configuration with :class:`repro.workloads.ExperimentHarness`
+— one table per scenario, identical generated requests across the
+configs, so row-to-row differences are the config's doing alone.
+
+Offline (default) runs the schedule through the deterministic
+:class:`repro.serving.CacheSimulator` and asserts the PR's headline on
+the skewed scenario: cost-aware admission pays fewer rebuild seconds
+than LRU on the identical generated trace.
+
+``--live`` additionally serves a flash-crowd + hot-skew
+:class:`~repro.workloads.MixedScenario` through a real
+:class:`~repro.serving.ServingHost` worker pool with two metered
+tenants — one under a tight rate quota — and asserts the tenancy
+contract inline: quota rejections happen at the front door, and the
+summed per-tenant rebuild-seconds / request counts reconcile exactly
+with the fleet totals.
+
+Runs standalone (``python benchmarks/bench_scenario_matrix.py``,
+``--smoke`` for a CI-sized run).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import nn
+from repro.codecs import SmartExchangeCodec, get_codec
+from repro.core import SmartExchangeConfig
+from repro.serving import ArtifactStore, ModelRegistry
+from repro.tenancy import TenantQuota
+from repro.workloads import (
+    DiurnalScenario,
+    ExperimentHarness,
+    FlashCrowdScenario,
+    HotModelSkewScenario,
+    MixedScenario,
+    SweepConfig,
+    UniformScenario,
+)
+
+MODEL_NAME = "bench-cnn"
+CAPACITY_FRACTION = 0.95
+TENANTS = {"acme": 3.0, "globex": 1.0}
+
+
+def build_model(seed: int) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 16, 3, padding=1, bias=False, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(16, 32, 3, padding=1, bias=False, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(32, 10, rng=rng),
+    )
+
+
+def publish_mixed(store: ArtifactStore) -> None:
+    model = build_model(seed=0)
+    config = SmartExchangeConfig(max_iterations=4, target_row_sparsity=0.5)
+    se, ql = SmartExchangeCodec(config), get_codec("quant-linear")
+    payloads = {}
+    for name, module in model.named_modules():
+        if isinstance(module, nn.Conv2d):
+            payloads[name] = se.encode(module.weight.data)
+        elif isinstance(module, nn.Linear):
+            payloads[name] = ql.encode(module.weight.data)
+    store.publish_payloads(payloads, name=MODEL_NAME, model=model)
+
+
+def scenario_matrix(rate: float, duration: float):
+    common = dict(
+        rate_rps=rate, duration_s=duration,
+        models=[MODEL_NAME], tenants=TENANTS,
+    )
+    return [
+        UniformScenario(seed=1, **common),
+        DiurnalScenario(seed=2, period_s=duration, amplitude=0.8, **common),
+        FlashCrowdScenario(
+            seed=3, burst_start_s=duration * 0.4,
+            burst_duration_s=duration * 0.2, burst_multiplier=4.0,
+            burst_tenant="spike", **common,
+        ),
+        HotModelSkewScenario(seed=4, exponent=1.1, **common),
+    ]
+
+
+def sweep_configs():
+    return [
+        SweepConfig(name="lru", admission="lru",
+                    capacity_fraction=CAPACITY_FRACTION),
+        SweepConfig(name="cost-aware", admission="cost-aware",
+                    capacity_fraction=CAPACITY_FRACTION),
+    ]
+
+
+def print_result(result) -> None:
+    tenant_rows = {
+        row["config"]: row.pop("tenants", None) for row in result.rows
+    }
+    print(result.as_table())
+    for config, tenants in tenant_rows.items():
+        if not tenants:
+            continue
+        for tenant, usage in sorted(tenants.items()):
+            print(
+                f"  {config:>12s} tenant[{tenant}] "
+                f"requests={usage['requests']} "
+                f"rebuild_s={usage['rebuild_seconds']:.4g} "
+                f"total_usd={usage['total_usd']:.3g}"
+            )
+
+
+def reconcile(row) -> None:
+    """Σ per-tenant meters must equal the fleet row exactly."""
+    tenants = row.get("tenants")
+    if not tenants:
+        return
+    total_rebuild = sum(u["rebuild_seconds"] for u in tenants.values())
+    assert abs(total_rebuild - row["rebuild_s"]) < 1e-9, (
+        f"tenant rebuild sum {total_rebuild} != fleet {row['rebuild_s']}"
+    )
+    assert sum(u["requests"] for u in tenants.values()) == row["requests"]
+
+
+def run_offline(harness: ExperimentHarness, rate: float, duration: float):
+    rebuild_by = {}
+    for scenario in scenario_matrix(rate, duration):
+        result = harness.sweep(scenario, configs=sweep_configs())
+        for row in result.rows:
+            reconcile(row)
+        rebuild_by[scenario.name] = {
+            row["config"]: row["rebuild_s"] for row in result.rows
+        }
+        print_result(result)
+        print()
+    skew = rebuild_by["hot-skew"]
+    assert skew["cost-aware"] < skew["lru"], (
+        "cost-aware admission must pay fewer rebuild seconds than LRU "
+        f"on the skewed scenario (got {skew})"
+    )
+    print(
+        "offline matrix OK: cost-aware beats lru on hot-skew "
+        f"({skew['cost-aware']:.4g}s < {skew['lru']:.4g}s)"
+    )
+
+
+def run_live(harness: ExperimentHarness, rate: float, duration: float):
+    mix = MixedScenario(components=[
+        (FlashCrowdScenario(
+            rate_rps=rate / 2, duration_s=duration,
+            burst_start_s=duration * 0.3, burst_duration_s=duration * 0.2,
+            burst_multiplier=4.0, burst_tenant="bursty",
+            models=[MODEL_NAME], tenants=TENANTS, seed=5,
+        ), 0.0),
+        (HotModelSkewScenario(
+            rate_rps=rate / 2, duration_s=duration,
+            models=[MODEL_NAME], tenants=TENANTS, seed=6,
+        ), 0.0),
+    ])
+    result = harness.sweep(
+        mix,
+        configs=[SweepConfig(name="live", admission="cost-aware",
+                             capacity_fraction=CAPACITY_FRACTION,
+                             workers=4)],
+        mode="live",
+    )
+    (row,) = result.rows
+    reconcile(row)
+    assert row["rejected"] > 0, (
+        "the bursty tenant's tight rate quota must reject at the front "
+        "door under back-to-back submission"
+    )
+    active_tenants = sum(
+        1 for usage in row.get("tenants", {}).values() if usage["requests"]
+    )
+    print_result(result)
+    print(
+        f"live mix OK: {row['requests']} served across "
+        f"{active_tenants} tenants, "
+        f"{row['rejected']} quota-rejected, per-tenant meters reconcile"
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (short, low rate)")
+    parser.add_argument("--live", action="store_true",
+                        help="also run the live host + quota mix")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="base request rate (req/s)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="scenario duration (s)")
+    args = parser.parse_args(argv)
+
+    rate = args.rate if args.rate is not None else (60.0 if args.smoke else 150.0)
+    duration = (
+        args.duration if args.duration is not None
+        else (1.0 if args.smoke else 4.0)
+    )
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(Path(tmp) / "artifacts")
+        publish_mixed(store)
+        harness = ExperimentHarness(
+            ModelRegistry(store),
+            deployments={MODEL_NAME: lambda: build_model(seed=1)},
+            sample_shape=(3, 8, 8),
+            quotas={
+                "bursty": TenantQuota(max_requests_per_second=2, burst=2)
+            },
+        )
+        run_offline(harness, rate, duration)
+        if args.live:
+            run_live(harness, rate, duration)
+
+
+if __name__ == "__main__":
+    main()

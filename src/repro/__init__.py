@@ -29,6 +29,12 @@ computation when running DNN inference.  This package contains:
 - :mod:`repro.observability` — request tracing (spans), a typed
   metrics registry with Prometheus/JSON exporters, and JSONL trace
   recording/replay for the serving stack.
+- :mod:`repro.tenancy` — per-tenant metering (rebuild seconds, cache
+  residency, request counts), quotas enforced at the serving front
+  door, and usage pricing derived from the cost stack.
+- :mod:`repro.workloads` — seedable workload scenario generators
+  (diurnal, flash-crowd, Zipf model skew, ...) and the sweep harness
+  that runs them across serving configurations.
 """
 
 import importlib
@@ -47,6 +53,8 @@ _SUBPACKAGES = (
     "observability",
     "serving",
     "sparsity",
+    "tenancy",
+    "workloads",
 )
 
 __all__ = ["__version__", *_SUBPACKAGES]

@@ -47,9 +47,14 @@ REQUEST_PHASES = ("queue_wait", "rebuild", "compute")
 
 
 class RequestTrace:
-    """Per-request trace context: the root span plus routing facts."""
+    """Per-request trace context: the root span plus routing facts.
 
-    __slots__ = ("trace_id", "root", "model", "engine", "arrival_s")
+    ``tenant`` is the submitting tenant (``None`` for untenanted
+    traffic); it rides the trace from the front door to the worker so
+    the recorded JSONL replays with tenancy intact.
+    """
+
+    __slots__ = ("trace_id", "root", "model", "engine", "arrival_s", "tenant")
 
     def __init__(
         self,
@@ -57,12 +62,14 @@ class RequestTrace:
         model: Optional[str],
         engine: Optional[str],
         arrival_s: float,
+        tenant: Optional[str] = None,
     ) -> None:
         self.trace_id = root.trace_id
         self.root = root
         self.model = model
         self.engine = engine
         self.arrival_s = arrival_s
+        self.tenant = tenant
 
 
 def _nearest_rank(sorted_values: Sequence[float], point: float) -> float:
@@ -151,7 +158,10 @@ class Observability:
     # Request lifecycle
     # ------------------------------------------------------------------
     def begin_request(
-        self, model: Optional[str] = None, engine: Optional[str] = None
+        self,
+        model: Optional[str] = None,
+        engine: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Optional[RequestTrace]:
         """Mint a trace and open the root ``request`` span (None when
         disabled — callers thread the returned handle through)."""
@@ -162,10 +172,13 @@ class Observability:
             tags["model"] = model
         if engine is not None:
             tags["engine"] = engine
+        if tenant is not None:
+            tags["tenant"] = tenant
         root = self.tracer.start_span("request", parent=None, tags=tags)
         return RequestTrace(
             root, model=model, engine=engine,
             arrival_s=root.start_s - self.epoch,
+            tenant=tenant,
         )
 
     def finish_request(
@@ -202,6 +215,10 @@ class Observability:
             latency_s=root.duration_s or 0.0,
             rebuild_s=rebuild_s,
             batch_id=batch_id,
+            tenant=(
+                trace.tenant if trace.tenant is not None
+                else tags.get("tenant")
+            ),
             spans=root.as_tree(),
             error=error,
         )

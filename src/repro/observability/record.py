@@ -94,10 +94,17 @@ class TraceRecorder:
         latency_s: float,
         rebuild_s: float = 0.0,
         batch_id: Optional[int] = None,
+        tenant: Optional[str] = None,
         spans: Optional[Dict] = None,
         error: Optional[str] = None,
     ) -> Dict:
-        """Build and write the canonical per-request record."""
+        """Build and write the canonical per-request record.
+
+        ``tenant`` carries the submitting tenant (``None`` for
+        untenanted traffic) so a recorded trace replays with tenancy
+        intact; files written before the field existed load fine —
+        the reader defaults the missing key to ``None``.
+        """
         record: Dict = {
             "trace_id": trace_id,
             "model": model,
@@ -106,6 +113,7 @@ class TraceRecorder:
             "latency_s": latency_s,
             "rebuild_s": rebuild_s,
             "batch_id": batch_id,
+            "tenant": tenant,
             "spans": spans,
         }
         if error is not None:
@@ -135,6 +143,7 @@ class ReplayRequest:
     batch_id: Optional[int] = None
     latency_s: float = 0.0
     rebuild_s: float = 0.0
+    tenant: Optional[str] = None
 
 
 class TraceReader:
@@ -172,6 +181,7 @@ class TraceReader:
                 batch_id=record.get("batch_id"),
                 latency_s=record.get("latency_s", 0.0),
                 rebuild_s=record.get("rebuild_s", 0.0),
+                tenant=record.get("tenant"),
             )
             for record in self
         ]

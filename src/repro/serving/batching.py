@@ -234,7 +234,9 @@ class Request:
     ``trace`` carries the request's observability context (a
     :class:`~repro.observability.RequestTrace` opened at submit, or
     ``None`` when tracing is off) from the submitting thread to the
-    worker that executes the batch; the queue itself never touches it.
+    worker that executes the batch; ``tenant`` carries the submitting
+    tenant independently of tracing, so per-tenant metering works with
+    observability disabled.  The queue itself touches neither.
     """
 
     request_id: int
@@ -242,6 +244,7 @@ class Request:
     ticket: Ticket
     enqueued_at: float = 0.0
     trace: Optional[object] = None
+    tenant: Optional[str] = None
 
 
 class QueueClosed(Exception):
@@ -263,7 +266,7 @@ class RequestQueue:
         with self._lock:
             return len(self._pending)
 
-    def submit(self, payload: np.ndarray, trace=None) -> Ticket:
+    def submit(self, payload: np.ndarray, trace=None, tenant=None) -> Ticket:
         """Enqueue one sample; returns the ticket to wait on."""
         ticket = Ticket(next(self._ids))
         request = Request(
@@ -272,6 +275,7 @@ class RequestQueue:
             ticket=ticket,
             enqueued_at=time.perf_counter(),
             trace=trace,
+            tenant=tenant,
         )
         with self._not_empty:
             if self._closed:

@@ -28,6 +28,7 @@ Three serving paths share the same execution core:
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import itertools
 import threading
 import time
@@ -115,10 +116,16 @@ class InferenceEngine:
         observability: Optional[Observability] = None,
         tiers=None,
         spill_dir: Optional[str] = None,
+        ledger=None,
     ) -> None:
         self.model = model
         self.handle = handle
         self.policy = policy or StaticBatchPolicy()
+        # Optional per-tenant accounting hook (a
+        # :class:`~repro.tenancy.TenantLedger`), usually injected by the
+        # host so every engine it deploys books into one ledger.
+        # Duck-typed: this module needs no tenancy import.
+        self.ledger = ledger
         # All of this engine's instruments (serving + rebuild counters)
         # live in one private registry; with a shared Observability
         # handle the registry is federated into the fleet-wide export
@@ -141,6 +148,7 @@ class InferenceEngine:
             observability=self.observability,
             tiers=tiers,
             spill_dir=spill_dir,
+            ledger=ledger,
         )
         if self.observability.enabled:
             self.observability.register_metrics(self.metrics, name=handle.key)
@@ -291,22 +299,30 @@ class InferenceEngine:
         return self
 
     def submit(
-        self, sample: np.ndarray, trace: Optional[RequestTrace] = None
+        self,
+        sample: np.ndarray,
+        trace: Optional[RequestTrace] = None,
+        tenant: Optional[str] = None,
     ) -> Ticket:
         """Enqueue one sample (no batch axis); returns its ticket.
 
         With observability enabled, the request's trace id is minted
         here (or inherited from ``trace`` when the host already opened
         one) and rides the queue to the worker that completes it.
+        ``tenant`` attributes the request in the engine's ledger (when
+        one is attached); a trace carrying a tenant supplies it when
+        the argument is omitted.
 
         Safe against a concurrent :meth:`stop`: the queue reference is
         captured once, and a submission that loses the race surfaces as
         :class:`ServingError`, never ``AttributeError``.
         """
         obs = self.observability
+        if tenant is None and trace is not None:
+            tenant = trace.tenant
         if obs.enabled and trace is None:
             trace = obs.begin_request(
-                model=self.handle.name, engine=self.handle.key
+                model=self.handle.name, engine=self.handle.key, tenant=tenant
             )
         queue = self._queue
         error = self._worker_error
@@ -317,10 +333,13 @@ class InferenceEngine:
             self._abort_trace(trace, "engine not started")
             raise ServingError("engine not started; call start() first")
         try:
-            return queue.submit(sample, trace=trace)
+            ticket = queue.submit(sample, trace=trace, tenant=tenant)
         except QueueClosed as closed:
             self._abort_trace(trace, "queue closed")
             raise ServingError("engine is stopping; queue closed") from closed
+        if self.ledger is not None:
+            self.ledger.record_submitted(tenant)
+        return ticket
 
     def _abort_trace(self, trace: Optional[RequestTrace], reason: str) -> None:
         """Close a request trace that never made it into the queue."""
@@ -449,6 +468,15 @@ class InferenceEngine:
                 "worker": worker.index,
                 "batch_id": batch_id,
             }
+        # Rebuild work below runs on this worker thread; activating the
+        # batch's tenant shares here lets the rebuild engine charge the
+        # measured seconds to exactly the tenants riding this batch.
+        ledger = self.ledger
+        attribution = (
+            ledger.activate(ledger.shares([r.tenant for r in requests]))
+            if ledger is not None
+            else contextlib.nullcontext()
+        )
         start = time.perf_counter()
         try:
             batch = stack_batch(requests)
@@ -459,7 +487,8 @@ class InferenceEngine:
                 # Activation nests the rebuild engine's per-layer
                 # ``rebuild.layer`` spans under this phase span.
                 with obs.tracer.activate(rebuild_span):
-                    self._install_weights(worker.modules)
+                    with attribution:
+                        self._install_weights(worker.modules)
                 obs.tracer.finish_span(
                     rebuild_span, layers=len(worker.modules)
                 )
@@ -472,7 +501,8 @@ class InferenceEngine:
                 )
                 obs.tracer.finish_span(compute_span, batch_size=len(requests))
             else:
-                self._install_weights(worker.modules)
+                with attribution:
+                    self._install_weights(worker.modules)
                 output = worker.model(batch)
                 result = (
                     output.data if isinstance(output, nn.Tensor) else output
@@ -490,6 +520,9 @@ class InferenceEngine:
                 )
             self._fail_tickets(requests, error)
             self.stats.record_failed(len(requests))
+            if ledger is not None:
+                for request in requests:
+                    ledger.record_failed(request.tenant)
             return
         finish = time.perf_counter()
         self.stats.record_batch(
@@ -523,6 +556,8 @@ class InferenceEngine:
                 obs.finish_request(
                     request.trace, end_s=finish, batch_id=batch_id
                 )
+            if ledger is not None:
+                ledger.record_served(request.tenant)
             request.ticket.set_result(np.asarray(row))
 
     @staticmethod

@@ -216,6 +216,8 @@ class ServingHost:
         registry: Optional[ModelRegistry] = None,
         routing: Union[str, RoutingPolicy, None] = None,
         observability: Optional[Observability] = None,
+        ledger=None,
+        quotas=None,
     ) -> None:
         self.registry = registry
         self.routing = make_routing_policy(routing)
@@ -228,6 +230,23 @@ class ServingHost:
         self.stats = HostStats(metrics=self.metrics)
         if self.observability.enabled:
             self.observability.register_metrics(self.metrics, name="host")
+        # Per-tenant metering: pass a ``TenantLedger`` (shared with
+        # other hosts if desired), or just ``quotas={tenant: TenantQuota}``
+        # to have the host build one.  Engines deployed through
+        # :meth:`deploy` inherit the ledger, and :meth:`submit` enforces
+        # quotas at this front door (raising
+        # :class:`~repro.tenancy.QuotaExceededError` *before* tracing or
+        # routing touches the request).
+        if ledger is None and quotas is not None:
+            from repro.tenancy import TenantLedger  # deferred: optional dep
+
+            ledger = TenantLedger(quotas=quotas)
+        elif ledger is not None and quotas:
+            for tenant, quota in dict(quotas).items():
+                ledger.set_quota(tenant, quota)
+        self.ledger = ledger
+        if ledger is not None and self.observability.enabled:
+            self.observability.register_metrics(ledger.metrics, name="tenancy")
         self._lock = threading.Lock()
         self._entries: "Dict[str, _HostedEngine]" = {}
         self._workers = 0  # >0 while started; hot-added engines match it
@@ -261,6 +280,10 @@ class ServingHost:
             )
         handle = self.registry.get(name, version)
         engine_kwargs.setdefault("cost_model", self.registry.cost_model)
+        if self.ledger is not None:
+            # The fleet books into one ledger, so per-tenant rebuild
+            # seconds and residency reconcile across all engines.
+            engine_kwargs.setdefault("ledger", self.ledger)
         if self.observability.enabled:
             # Deployed engines share the host's handle, so one export
             # covers the whole fleet and traces cross the route hop.
@@ -438,19 +461,36 @@ class ServingHost:
             )
         return chosen
 
-    def submit(self, sample: np.ndarray, model: Optional[str] = None) -> Ticket:
+    def submit(
+        self,
+        sample: np.ndarray,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> Ticket:
         """Route one sample (no batch axis) and enqueue it.
 
         ``model=None`` arbitrates across the whole fleet — the
         cost-aware policy's home turf; naming a model (or an engine
-        key) restricts the candidates to its replicas.
+        key) restricts the candidates to its replicas.  ``tenant``
+        attributes the request in the host's ledger; when the tenant
+        has a quota, it is enforced *here* — an over-quota submission
+        raises :class:`~repro.tenancy.QuotaExceededError` before the
+        request is traced, routed, or queued.
 
         With observability enabled, the request's trace is minted
         *here* — before routing — so the ``route`` span (chosen engine,
         losing bids) is part of the request's tree.
         """
+        if self.ledger is not None:
+            # May raise QuotaExceededError; the rejection is counted on
+            # the tenant's own metric series inside the ledger.
+            self.ledger.admit(tenant, model=model)
         obs = self.observability
-        trace = obs.begin_request(model=model) if obs.enabled else None
+        trace = (
+            obs.begin_request(model=model, tenant=tenant)
+            if obs.enabled
+            else None
+        )
         try:
             chosen = self._route(model, trace)
         except BaseException as exc:
@@ -465,7 +505,9 @@ class ServingHost:
             if trace.model is None:
                 trace.model = chosen.model
                 trace.root.tags["model"] = chosen.model
-        return chosen.engine.submit(sample, trace=trace)
+        if self.ledger is not None and tenant is not None:
+            self.ledger.record_routed(tenant, chosen.model)
+        return chosen.engine.submit(sample, trace=trace, tenant=tenant)
 
     def predict(
         self, batch: np.ndarray, model: Optional[str] = None
@@ -486,7 +528,10 @@ class ServingHost:
             engine_summary = entry.engine.summary()
             engine_summary["model"] = entry.model
             per_engine[entry.key] = engine_summary
-        return self.stats.summary(per_engine, routing=self.routing.name)
+        out = self.stats.summary(per_engine, routing=self.routing.name)
+        if self.ledger is not None:
+            out["tenants"] = self.ledger.summary()
+        return out
 
     def report(self) -> str:
         """Human-readable one-screen fleet summary."""

@@ -73,13 +73,24 @@ class RebuildCacheStats:
     rebuild engine's lock as before.
     """
 
+    #: Default EWMA weight for per-layer hit rates: ~0.8^n decay, so a
+    #: phase change (flash crowd shifting the working set) washes the
+    #: old regime out of the rate within a few tens of accesses instead
+    #: of being averaged against the layer's whole history.
+    HIT_RATE_ALPHA = 0.2
+
     def __init__(
         self,
         policy: str = "lru",
         metrics: Optional[MetricsRegistry] = None,
+        hit_rate_alpha: Optional[float] = None,
     ) -> None:
         self.policy = policy
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        alpha = self.HIT_RATE_ALPHA if hit_rate_alpha is None else hit_rate_alpha
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("hit_rate_alpha must be in (0, 1]")
+        self.hit_rate_alpha = alpha
         help_ = "rebuild-on-read cache counter"
         self._hits = self.metrics.counter(
             "repro_rebuild_hits_total", "cache hits (rebuild avoided)"
@@ -112,11 +123,13 @@ class RebuildCacheStats:
         # one per rebuild — the realized storage-vs-compute trade over
         # time.
         self.curve: List[Tuple[int, int, float]] = []
-        # Per-layer access/hit counts: the observed hit distribution
-        # that probabilistic install estimates and routing decisions
-        # price.
+        # Per-layer access/hit counts (all-time, for audit) plus the
+        # EWMA-decayed hit rate that probabilistic install estimates
+        # and routing decisions price — decayed so the estimate tracks
+        # phase changes instead of the lifetime average.
         self.layer_hits: Dict[str, int] = {}
         self.layer_accesses: Dict[str, int] = {}
+        self.layer_hit_ewma: Dict[str, float] = {}
         # Lower-tier counters: one labeled instrument per (tier, event),
         # created when the engine registers its tiers so the export
         # schema is complete before any traffic.  Tier registration
@@ -294,6 +307,7 @@ class RebuildCacheStats:
         self.curve.clear()
         self.layer_hits.clear()
         self.layer_accesses.clear()
+        self.layer_hit_ewma.clear()
 
     @property
     def accesses(self) -> int:
@@ -306,31 +320,46 @@ class RebuildCacheStats:
         return self.hits / self.accesses
 
     def record_access(self, name: str, hit: bool) -> None:
-        """Count one layer access (callers hold the engine lock)."""
+        """Count one layer access (callers hold the engine lock).
+
+        Besides the all-time counts, the per-layer EWMA hit rate is
+        folded here: seeded at the first observation's value, then
+        ``alpha * hit + (1 - alpha) * previous`` — deterministic given
+        the access sequence, which the live/simulator parity contract
+        relies on.
+        """
         self.layer_accesses[name] = self.layer_accesses.get(name, 0) + 1
         if hit:
             self.layer_hits[name] = self.layer_hits.get(name, 0) + 1
+        value = 1.0 if hit else 0.0
+        previous = self.layer_hit_ewma.get(name)
+        if previous is None:
+            self.layer_hit_ewma[name] = value
+        else:
+            alpha = self.hit_rate_alpha
+            self.layer_hit_ewma[name] = alpha * value + (1.0 - alpha) * previous
 
     def layer_hit_rate(self, name: str) -> float:
-        """Observed hit rate of one layer (0.0 before any access)."""
-        accesses = self.layer_accesses.get(name, 0)
-        if accesses == 0:
-            return 0.0
-        return self.layer_hits.get(name, 0) / accesses
+        """EWMA-decayed hit rate of one layer (0.0 before any access).
+
+        This is the rate :meth:`RebuildEngine.estimated_install_seconds`
+        discounts uncached layers by; decay means a working-set phase
+        change (a flash crowd displacing the old hot set) re-prices
+        within tens of accesses, where the old all-time average stayed
+        anchored to stale history.  The raw lifetime counts remain in
+        :attr:`layer_hits` / :attr:`layer_accesses`.
+        """
+        return self.layer_hit_ewma.get(name, 0.0)
 
     def layer_hit_rates(self) -> Dict[str, float]:
-        """Observed per-layer hit rates over every accessed layer.
+        """Decayed per-layer hit rates over every accessed layer.
 
         Safe to call from a telemetry thread while workers record
-        accesses: both dicts are copied first (atomic under the GIL),
-        so a first-access insert cannot resize them mid-iteration.
+        accesses: the dict is copied first (atomic under the GIL), so
+        a first-access insert cannot resize it mid-iteration.
         """
-        accesses = dict(self.layer_accesses)
-        hits = dict(self.layer_hits)
-        return {
-            name: hits.get(name, 0) / count if count else 0.0
-            for name, count in sorted(accesses.items())
-        }
+        rates = dict(self.layer_hit_ewma)
+        return {name: rates[name] for name in sorted(rates)}
 
     def as_dict(self) -> Dict:
         out = {
@@ -570,12 +599,20 @@ class RebuildEngine:
         observability=None,
         tiers=None,
         spill_dir: Optional[str] = None,
+        ledger=None,
     ) -> None:
         missing = set(specs) - set(payloads)
         if missing:
             raise KeyError(f"payloads missing for layers: {sorted(missing)}")
         self._payloads = payloads
         self._specs = specs
+        # Optional per-tenant accounting hook (a
+        # :class:`~repro.tenancy.TenantLedger`): actual rebuild seconds
+        # and hit savings are charged to the thread's active tenant
+        # shares at the same moment they are booked into the stats, and
+        # dense-cache residency is attributed/released on admission and
+        # eviction.  Duck-typed so this module needs no tenancy import.
+        self.ledger = ledger
         self.capacity_bytes = capacity_bytes
         self.policy = make_admission_policy(policy)
         self.cost_model = cost_model or CodecCostModel()
@@ -771,7 +808,10 @@ class RebuildEngine:
                 if cached is not None:
                     self.stats.hits += 1
                     self.stats.record_access(name, hit=True)
-                    self.stats.est_seconds_saved += self._estimate_seconds(name)
+                    saved = self._estimate_seconds(name)
+                    self.stats.est_seconds_saved += saved
+                    if self.ledger is not None:
+                        self.ledger.credit_saved(saved)
                     self._cache.move_to_end(name)
                     if info is not None:
                         info["hit"] = True
@@ -798,7 +838,10 @@ class RebuildEngine:
                 with self._lock:
                     self.stats.hits += 1
                     self.stats.record_access(name, hit=True)
-                    self.stats.est_seconds_saved += self._estimate_seconds(name)
+                    saved = self._estimate_seconds(name)
+                    self.stats.est_seconds_saved += saved
+                    if self.ledger is not None:
+                        self.ledger.credit_saved(saved)
                 if info is not None:
                     # Shared an in-flight rebuild: a hit (no compute
                     # paid here), flagged so traces can tell it apart.
@@ -840,14 +883,21 @@ class RebuildEngine:
                 self.stats.rebuilds += 1
                 self.stats.rebuilt_bytes += weight.nbytes
                 self.stats.rebuild_seconds += seconds
+                if self.ledger is not None:
+                    # Same event, same seconds: the tenant split of the
+                    # fleet counter, so the two totals reconcile.
+                    self.ledger.charge_rebuild(seconds)
             else:
                 # Faulting from a tier paid `seconds` instead of a full
                 # rebuild: count the fault and credit the difference.
                 self.stats.record_tier(source, "hits")
                 self.stats.record_tier(source, "fault_seconds", seconds)
-                self.stats.est_seconds_saved += max(
+                fault_saved = max(
                     0.0, self._estimate_seconds(name) - seconds
                 )
+                self.stats.est_seconds_saved += fault_saved
+                if self.ledger is not None:
+                    self.ledger.credit_saved(fault_saved)
             verdict = self._admit(name, weight)
             if source != "rebuild" and verdict == "admitted":
                 self.stats.record_tier(source, "promotions")
@@ -907,6 +957,7 @@ class RebuildEngine:
             self._cache[name] = weight
             self._cached_bytes += nbytes
             self._cached_bytes_gauge.set(self._cached_bytes)
+            self._attribute_residency(name, nbytes)
             return "admitted"
         if nbytes > self.capacity_bytes:
             # Larger than the whole dense cache: serve uncached, but a
@@ -921,6 +972,7 @@ class RebuildEngine:
             return "rejected"
         self._cache[name] = weight
         self._cached_bytes += nbytes
+        self._attribute_residency(name, nbytes)
         while self._cached_bytes > self.capacity_bytes:
             resident = self._resident_views(exclude=name)
             if not resident:
@@ -935,9 +987,19 @@ class RebuildEngine:
             evicted = self._cache.pop(victim)
             self._cached_bytes -= evicted.nbytes
             self.stats.evictions += 1
+            self._release_residency(victim)
             self._demote(victim, evicted)
         self._cached_bytes_gauge.set(self._cached_bytes)
         return "admitted"
+
+    # -- tenant residency attribution (caller holds self._lock) ---------
+    def _attribute_residency(self, name: str, nbytes: int) -> None:
+        if self.ledger is not None:
+            self.ledger.attribute_residency((id(self), name), nbytes)
+
+    def _release_residency(self, name: str) -> None:
+        if self.ledger is not None:
+            self.ledger.release_residency((id(self), name))
 
     # -- tier migration (caller holds self._lock) -----------------------
     def _demote(self, name: str, weight: np.ndarray) -> bool:
@@ -1046,6 +1108,8 @@ class RebuildEngine:
 
     def clear(self) -> None:
         with self._lock:
+            for name in self._cache:
+                self._release_residency(name)
             self._cache.clear()
             self._cached_bytes = 0
             self._cached_bytes_gauge.set(0)
@@ -1057,6 +1121,8 @@ class RebuildEngine:
         the cache.  Idempotent; the engine stays usable afterwards (a
         closed disk tier re-creates its directory on the next spill)."""
         with self._lock:
+            for name in self._cache:
+                self._release_residency(name)
             self._cache.clear()
             self._cached_bytes = 0
             self._cached_bytes_gauge.set(0)

@@ -182,6 +182,7 @@ class CacheSimulator:
         cost_model: Optional[CodecCostModel] = None,
         spill_dir: Optional[str] = None,
         name: str = "candidate",
+        ledger=None,
     ) -> None:
         if specs is None:
             payloads = getattr(source, "payloads", None)
@@ -202,7 +203,13 @@ class CacheSimulator:
             cost_model=cost_model.clone() if cost_model is not None else None,
             tiers=tiers,
             spill_dir=spill_dir,
+            ledger=ledger,
         )
+        # Optional tenant ledger: replay attributes each batch's
+        # simulated rebuild charges to the tenants recorded on its rows
+        # (same share arithmetic as the live worker), so offline sweeps
+        # produce per-tenant bills too.
+        self.ledger = ledger
         self._requests = 0
         self._batches = 0
 
@@ -232,11 +239,21 @@ class CacheSimulator:
             rows = list(schedule)
         if model is not None:
             rows = [row for row in rows if row.model == model]
+        ledger = self.ledger
         for batch in _group_batches(rows):
             # One install pass per executed batch, spec order — exactly
             # the live engine's `_install_weights` iteration.
-            for layer in self.engine.layer_names:
-                self.engine.layer_weight(layer)
+            if ledger is not None:
+                shares = ledger.shares([row.tenant for row in batch])
+                with ledger.activate(shares):
+                    for layer in self.engine.layer_names:
+                        self.engine.layer_weight(layer)
+                for row in batch:
+                    ledger.record_submitted(row.tenant)
+                    ledger.record_served(row.tenant)
+            else:
+                for layer in self.engine.layer_names:
+                    self.engine.layer_weight(layer)
             self._requests += len(batch)
             self._batches += 1
         return self.report()

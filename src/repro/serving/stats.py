@@ -636,4 +636,13 @@ class HostStats:
                 f"rebuild_s={engine_summary.get('rebuild_rebuild_seconds', 0.0):.4g} "
                 f"hit_rate={engine_summary.get('rebuild_hit_rate', 0.0):.1%}"
             )
+        for tenant, usage in sorted(summary.get("tenants", {}).items()):
+            lines.append(
+                f"tenant[{tenant}]".ljust(30)
+                + f" requests={usage.get('requests', 0)} "
+                f"served={usage.get('served', 0)} "
+                f"rejected={usage.get('rejected', 0)} "
+                f"rebuild_s={usage.get('rebuild_seconds', 0.0):.4g} "
+                f"resident={usage.get('resident_bytes', 0)}B"
+            )
         return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Multi-tenant metering, quotas, and usage billing for serving.
+
+SmartExchange's storage-vs-compute trade becomes a *marketplace*
+problem once many clients share one fleet: bounded dense-cache
+capacity and rebuild compute are contended, priced resources (the
+Memtrade framing).  This package supplies the accounting layer:
+
+- :mod:`repro.tenancy.ledger` — :class:`TenantLedger`: per-tenant
+  requests / rebuild-seconds / resident-cache-bytes / routed-model
+  meters, all backed by metric instruments so fleet Prometheus totals
+  and per-tenant reports reconcile by construction;
+- :mod:`repro.tenancy.quota` — :class:`TenantQuota` (request rate,
+  rebuild-seconds budget) with the typed
+  :class:`QuotaExceededError` the host front door raises;
+- :mod:`repro.tenancy.pricing` — :class:`PricingModel` /
+  :class:`UsageReport`: the meters turned into an itemized bill, with
+  rates derivable from :class:`~repro.costs.HardwareCostBridge`.
+
+Typical use::
+
+    from repro.tenancy import TenantLedger, TenantQuota
+
+    ledger = TenantLedger(quotas={"alice": TenantQuota(
+        max_requests_per_second=100, max_rebuild_seconds=5.0)})
+    host = ServingHost(registry, ledger=ledger)
+    ...
+    host.submit(sample, model="vgg19", tenant="alice")
+    print(ledger.usage_report("alice").as_dict())
+"""
+
+from repro.tenancy.ledger import TenantLedger, UNATTRIBUTED
+from repro.tenancy.pricing import PricingModel, UsageReport
+from repro.tenancy.quota import QuotaExceededError, TenantQuota
+
+__all__ = [
+    "PricingModel",
+    "QuotaExceededError",
+    "TenantLedger",
+    "TenantQuota",
+    "UNATTRIBUTED",
+    "UsageReport",
+]

@@ -1,0 +1,473 @@
+"""Per-tenant metering: who paid which side of the trade.
+
+:class:`TenantLedger` is the accounting spine of multi-tenant serving.
+Every number it tracks lives on a metric instrument in one
+:class:`~repro.observability.MetricsRegistry` (series below), following
+the serving-stats pattern: summaries and :class:`~repro.tenancy.
+pricing.UsageReport` bills are read *back out of the instruments*, so a
+Prometheus export of the ledger's registry reconciles with the reports
+by construction.
+
+Series (``tenant`` is always a label dimension):
+
+- ``repro_tenant_requests_total`` — submissions that entered a queue;
+- ``repro_tenant_served_total`` / ``repro_tenant_failed_total`` —
+  completions, matching the engines' own served/failed counts;
+- ``repro_tenant_rejected_total{reason=...}`` — quota refusals;
+- ``repro_tenant_rebuild_seconds_total`` — rebuild compute *charged*
+  to the tenant: when a worker installs weights for a batch it
+  activates the batch's tenant shares (:meth:`TenantLedger.activate`,
+  a thread-local), and the rebuild engine charges each actual
+  rebuild's seconds to the active shares at the moment it books them
+  into its own ``rebuild_seconds`` counter — so the fleet total and
+  the per-tenant totals are the *same events*, split, and summing the
+  tenant series reproduces the fleet series;
+- ``repro_tenant_est_seconds_saved_total`` — estimated rebuild seconds
+  the tenant's cache hits avoided (the value residency delivered);
+- ``repro_tenant_resident_bytes`` (gauge) /
+  ``repro_tenant_resident_byte_seconds_total`` — dense cache bytes a
+  tenant's admissions currently hold, and that occupancy integrated
+  over time (what storage is billed on);
+- ``repro_tenant_routed_total{model=...}`` — routing decisions.
+
+Charges arriving with no tenant context (a ``warm()`` pass, untraced
+direct traffic) book to the reserved :data:`UNATTRIBUTED` tenant
+rather than vanishing — reconciliation against fleet totals must hold
+for every run, not just all-tenanted ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.observability import MetricsRegistry
+from repro.tenancy.pricing import PricingModel, UsageReport
+from repro.tenancy.quota import QuotaExceededError, TenantQuota
+
+__all__ = ["TenantLedger", "UNATTRIBUTED"]
+
+UNATTRIBUTED = "unattributed"
+"""Reserved tenant name for charges with no tenant context."""
+
+
+class _Account:
+    """One tenant's instruments plus quota-enforcement state."""
+
+    __slots__ = (
+        "name",
+        "requests",
+        "served",
+        "failed",
+        "rebuild_seconds",
+        "est_seconds_saved",
+        "resident_bytes",
+        "resident_byte_seconds",
+        "tokens",
+        "token_stamp",
+        "residency_stamp",
+    )
+
+    def __init__(self, name: str, metrics: MetricsRegistry, now: float) -> None:
+        tags = {"tenant": name}
+        self.name = name
+        self.requests = metrics.counter(
+            "repro_tenant_requests_total",
+            "submissions per tenant that entered an engine queue",
+            tags=tags,
+        )
+        self.served = metrics.counter(
+            "repro_tenant_served_total",
+            "requests completed per tenant",
+            tags=tags,
+        )
+        self.failed = metrics.counter(
+            "repro_tenant_failed_total",
+            "requests failed per tenant (batch execution errors)",
+            tags=tags,
+        )
+        self.rebuild_seconds = metrics.counter(
+            "repro_tenant_rebuild_seconds_total",
+            "rebuild compute charged to the tenant's traffic",
+            tags=tags,
+        )
+        self.est_seconds_saved = metrics.counter(
+            "repro_tenant_est_seconds_saved_total",
+            "estimated rebuild seconds the tenant's cache hits avoided",
+            tags=tags,
+        )
+        self.resident_bytes = metrics.gauge(
+            "repro_tenant_resident_bytes",
+            "dense cache bytes the tenant's admissions hold right now",
+            tags=tags,
+        )
+        self.resident_byte_seconds = metrics.counter(
+            "repro_tenant_resident_byte_seconds_total",
+            "tenant cache occupancy integrated over time",
+            tags=tags,
+        )
+        self.tokens: Optional[float] = None  # lazily seeded from quota
+        self.token_stamp = now
+        self.residency_stamp = now
+
+    def settle_residency(self, now: float) -> None:
+        """Integrate occupancy up to ``now`` (ledger lock held)."""
+        dt = now - self.residency_stamp
+        if dt > 0:
+            held = self.resident_bytes.value
+            if held > 0:
+                self.resident_byte_seconds.inc(held * dt)
+            self.residency_stamp = now
+
+
+class TenantLedger:
+    """Thread-safe per-tenant meters, quotas, and billing.
+
+    ``quotas`` maps tenant name → :class:`~repro.tenancy.quota.
+    TenantQuota`; tenants without one are unlimited.  ``clock`` is
+    injectable (monotonic seconds) so quota and occupancy arithmetic
+    is deterministic under test.  One ledger is shared by a whole
+    fleet: pass it to :class:`~repro.serving.host.ServingHost` (which
+    hands it to every engine it deploys) or directly to
+    :class:`~repro.serving.engine.InferenceEngine` /
+    :class:`~repro.serving.simulator.CacheSimulator`.
+    """
+
+    UNATTRIBUTED = UNATTRIBUTED
+
+    def __init__(
+        self,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._accounts: Dict[str, _Account] = {}
+        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})
+        # layer residency attribution: key -> (nbytes, shares) so an
+        # eviction can release exactly what admission attributed.
+        self._residency: Dict[object, Tuple[int, Dict[str, float]]] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Accounts and quotas
+    # ------------------------------------------------------------------
+    def _account(self, tenant: str) -> _Account:
+        # Caller holds self._lock.
+        account = self._accounts.get(tenant)
+        if account is None:
+            account = self._accounts[tenant] = _Account(
+                tenant, self.metrics, self._clock()
+            )
+        return account
+
+    def tenants(self) -> List[str]:
+        """Every tenant with an account, sorted (quota-only tenants
+        included once traffic or an explicit quota touched them)."""
+        with self._lock:
+            return sorted(set(self._accounts) | set(self._quotas))
+
+    def set_quota(self, tenant: str, quota: Optional[TenantQuota]) -> None:
+        """Install (or clear, with ``None``) one tenant's quota."""
+        with self._lock:
+            if quota is None:
+                self._quotas.pop(tenant, None)
+            else:
+                self._quotas[tenant] = quota
+                # Re-seed the bucket: a raised rate takes effect now.
+                account = self._accounts.get(tenant)
+                if account is not None:
+                    account.tokens = None
+
+    def quota(self, tenant: str) -> Optional[TenantQuota]:
+        with self._lock:
+            return self._quotas.get(tenant)
+
+    # ------------------------------------------------------------------
+    # Front-door enforcement
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str, model: Optional[str] = None) -> None:
+        """Gate one submission; raises :class:`QuotaExceededError`.
+
+        Checked *before* the request is traced or routed.  The rate
+        check is a token bucket (``quota.bucket_depth`` tokens,
+        refilled at ``max_requests_per_second``); the budget check
+        compares the tenant's cumulative charged rebuild seconds
+        against ``max_rebuild_seconds``.  Refusals are counted on
+        ``repro_tenant_rejected_total{reason=...}``.
+        """
+        with self._lock:
+            quota = self._quotas.get(tenant)
+            if quota is None:
+                return
+            account = self._account(tenant)
+            budget = quota.max_rebuild_seconds
+            if budget is not None and account.rebuild_seconds.value >= budget:
+                self._count_rejected(tenant, "rebuild-budget")
+                raise QuotaExceededError(
+                    tenant,
+                    "rebuild-budget",
+                    f"{account.rebuild_seconds.value:.4g}s of "
+                    f"{budget:.4g}s budget spent",
+                )
+            depth = quota.bucket_depth
+            if depth is not None:
+                now = self._clock()
+                if account.tokens is None:
+                    account.tokens = depth
+                else:
+                    elapsed = max(0.0, now - account.token_stamp)
+                    account.tokens = min(
+                        depth,
+                        account.tokens
+                        + elapsed * quota.max_requests_per_second,
+                    )
+                account.token_stamp = now
+                if account.tokens < 1.0:
+                    self._count_rejected(tenant, "rate")
+                    raise QuotaExceededError(
+                        tenant,
+                        "rate",
+                        f"limit {quota.max_requests_per_second:g} req/s",
+                    )
+                account.tokens -= 1.0
+
+    def _count_rejected(self, tenant: str, reason: str) -> None:
+        # Caller holds self._lock.
+        self.metrics.counter(
+            "repro_tenant_rejected_total",
+            "submissions refused at the front door, by quota reason",
+            tags={"tenant": tenant, "reason": reason},
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Request metering
+    # ------------------------------------------------------------------
+    def record_submitted(self, tenant: Optional[str]) -> None:
+        with self._lock:
+            self._account(tenant or UNATTRIBUTED).requests.inc()
+
+    def record_served(self, tenant: Optional[str], count: int = 1) -> None:
+        with self._lock:
+            self._account(tenant or UNATTRIBUTED).served.inc(count)
+
+    def record_failed(self, tenant: Optional[str], count: int = 1) -> None:
+        with self._lock:
+            self._account(tenant or UNATTRIBUTED).failed.inc(count)
+
+    def record_routed(self, tenant: Optional[str], model: str) -> None:
+        with self._lock:
+            self.metrics.counter(
+                "repro_tenant_routed_total",
+                "requests routed per tenant and model",
+                tags={"tenant": tenant or UNATTRIBUTED, "model": model},
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Attribution context (worker threads)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shares(tenants: Iterable[Optional[str]]) -> Dict[str, float]:
+        """Equal-split attribution shares for one batch's tenants.
+
+        A batch's install pass is shared work: each request carries
+        ``1/n`` of whatever the pass rebuilds, so a tenant with k of
+        the n requests is charged ``k/n`` of each rebuild.
+        """
+        counts: Dict[str, int] = {}
+        total = 0
+        for tenant in tenants:
+            name = tenant or UNATTRIBUTED
+            counts[name] = counts.get(name, 0) + 1
+            total += 1
+        if not total:
+            return {UNATTRIBUTED: 1.0}
+        return {name: count / total for name, count in counts.items()}
+
+    @contextmanager
+    def activate(self, shares: Optional[Dict[str, float]]):
+        """Attach attribution shares to the calling thread for the
+        duration of one batch's install pass; the rebuild engine reads
+        them back with :meth:`current_shares` when it books costs."""
+        previous = getattr(self._local, "shares", None)
+        self._local.shares = shares
+        try:
+            yield self
+        finally:
+            self._local.shares = previous
+
+    def current_shares(self) -> Optional[Dict[str, float]]:
+        return getattr(self._local, "shares", None)
+
+    def _resolve_shares(
+        self, shares: Optional[Dict[str, float]]
+    ) -> Dict[str, float]:
+        if shares is None:
+            shares = self.current_shares()
+        if not shares:
+            return {UNATTRIBUTED: 1.0}
+        return shares
+
+    # ------------------------------------------------------------------
+    # Cost attribution (called by the rebuild engine, under its lock)
+    # ------------------------------------------------------------------
+    def charge_rebuild(
+        self, seconds: float, shares: Optional[Dict[str, float]] = None
+    ) -> None:
+        """Split one actual rebuild's measured seconds across shares —
+        called at the same moment the engine books the seconds into
+        its own counter, so fleet and tenant totals are the same
+        events."""
+        shares = self._resolve_shares(shares)
+        with self._lock:
+            for tenant, fraction in shares.items():
+                self._account(tenant).rebuild_seconds.inc(seconds * fraction)
+
+    def credit_saved(
+        self, seconds: float, shares: Optional[Dict[str, float]] = None
+    ) -> None:
+        """Split one cache hit's estimated avoided-rebuild seconds."""
+        shares = self._resolve_shares(shares)
+        with self._lock:
+            for tenant, fraction in shares.items():
+                self._account(tenant).est_seconds_saved.inc(
+                    seconds * fraction
+                )
+
+    # ------------------------------------------------------------------
+    # Residency attribution
+    # ------------------------------------------------------------------
+    def attribute_residency(
+        self,
+        key: object,
+        nbytes: int,
+        shares: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """A layer entered a dense cache on behalf of the active
+        shares; ``key`` must be unique per (engine, layer) so release
+        undoes exactly this attribution."""
+        shares = self._resolve_shares(shares)
+        now = self._clock()
+        with self._lock:
+            stale = self._residency.pop(key, None)
+            if stale is not None:
+                self._release_locked(stale, now)
+            self._residency[key] = (int(nbytes), dict(shares))
+            for tenant, fraction in shares.items():
+                account = self._account(tenant)
+                account.settle_residency(now)
+                account.resident_bytes.inc(nbytes * fraction)
+
+    def release_residency(self, key: object) -> None:
+        """The layer left the dense cache (evicted, cleared, closed)."""
+        now = self._clock()
+        with self._lock:
+            held = self._residency.pop(key, None)
+            if held is not None:
+                self._release_locked(held, now)
+
+    def _release_locked(
+        self, held: Tuple[int, Dict[str, float]], now: float
+    ) -> None:
+        nbytes, shares = held
+        for tenant, fraction in shares.items():
+            account = self._account(tenant)
+            account.settle_residency(now)
+            account.resident_bytes.inc(-nbytes * fraction)
+
+    # ------------------------------------------------------------------
+    # Totals and reports
+    # ------------------------------------------------------------------
+    def _series_total(self, name: str) -> float:
+        return sum(
+            instrument.value for instrument in self.metrics.series(name)
+        )
+
+    def total_rebuild_seconds(self) -> float:
+        """Σ over tenants (``unattributed`` included) — the number that
+        must reconcile with the fleet's ``rebuild_seconds``."""
+        return self._series_total("repro_tenant_rebuild_seconds_total")
+
+    def total_served(self) -> int:
+        return int(self._series_total("repro_tenant_served_total"))
+
+    def total_requests(self) -> int:
+        return int(self._series_total("repro_tenant_requests_total"))
+
+    def routed_by_model(self, tenant: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for instrument in self.metrics.series("repro_tenant_routed_total"):
+            tags = instrument.tag_dict
+            if tags.get("tenant") != tenant:
+                continue
+            count = int(instrument.value)
+            if count:
+                out[tags.get("model", "")] = count
+        return out
+
+    def rejected_counts(self, tenant: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for instrument in self.metrics.series("repro_tenant_rejected_total"):
+            tags = instrument.tag_dict
+            if tags.get("tenant") != tenant:
+                continue
+            count = int(instrument.value)
+            if count:
+                out[tags.get("reason", "")] = count
+        return out
+
+    def usage_report(
+        self, tenant: str, pricing: Optional[PricingModel] = None
+    ) -> UsageReport:
+        """One tenant's itemized usage, occupancy settled to now and
+        priced through ``pricing`` (defaults)."""
+        now = self._clock()
+        with self._lock:
+            account = self._account(tenant)
+            account.settle_residency(now)
+            report = UsageReport(
+                tenant=tenant,
+                requests=int(account.requests.value),
+                served=int(account.served.value),
+                failed=int(account.failed.value),
+                rebuild_seconds=account.rebuild_seconds.value,
+                est_seconds_saved=account.est_seconds_saved.value,
+                resident_bytes=int(account.resident_bytes.value),
+                resident_byte_seconds=account.resident_byte_seconds.value,
+            )
+        report.rejected = sum(self.rejected_counts(tenant).values())
+        report.routed_by_model = self.routed_by_model(tenant)
+        return report.price(pricing or PricingModel())
+
+    def usage_reports(
+        self, pricing: Optional[PricingModel] = None
+    ) -> Dict[str, UsageReport]:
+        pricing = pricing or PricingModel()
+        return {
+            tenant: self.usage_report(tenant, pricing)
+            for tenant in self.tenants()
+        }
+
+    def summary(self, pricing: Optional[PricingModel] = None) -> Dict:
+        """``{tenant: usage dict}`` — what host summaries embed."""
+        return {
+            tenant: report.as_dict()
+            for tenant, report in self.usage_reports(pricing).items()
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument and drop residency attribution (quota
+        definitions kept; token buckets re-seed on next admit)."""
+        now = self._clock()
+        with self._lock:
+            for instrument in self.metrics.instruments():
+                instrument.reset()
+            self._residency.clear()
+            for account in self._accounts.values():
+                account.tokens = None
+                account.token_stamp = now
+                account.residency_stamp = now

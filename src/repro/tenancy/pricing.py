@@ -1,0 +1,145 @@
+"""Usage pricing: a tenant's bill for the trade they exercised.
+
+The serving stack meters three resources per tenant (see
+:class:`~repro.tenancy.ledger.TenantLedger`): rebuild compute paid
+(seconds the tenant's cache misses cost), dense cache bytes occupied
+over time (byte-seconds of residency the tenant's admissions hold),
+and request volume.  :class:`PricingModel` turns those meters into
+currency, and :class:`UsageReport` is the itemized bill.
+
+Rates can be written down directly or derived from the repo's cost
+stack: :meth:`PricingModel.from_hardware` converts a
+:class:`~repro.costs.HardwareCostBridge`'s ``effective_watts`` into a
+$/rebuild-second rate (energy the host's rebuild compute draws, priced
+at grid cost) and a DRAM watts-per-GB figure into the $/GB-hour
+residency rate — so the same energy numbers that rank codecs in the
+hardware benches price the tenant bill.  ``savings_usd`` values the
+hits the tenant's residency bought (the
+:class:`~repro.costs.CodecCostModel`-estimated rebuild seconds their
+cache hits avoided, at the compute rate): a tenant whose bill shows
+``storage_usd`` small and ``savings_usd`` large is exercising the
+paper's exchange profitably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["PricingModel", "UsageReport"]
+
+_SECONDS_PER_HOUR = 3600.0
+_BYTES_PER_GB = 1e9
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Unit rates for the three metered resources."""
+
+    usd_per_rebuild_second: float = 1e-4
+    usd_per_gb_hour: float = 4.5e-5
+    usd_per_million_requests: float = 0.40
+
+    def __post_init__(self) -> None:
+        for name in (
+            "usd_per_rebuild_second",
+            "usd_per_gb_hour",
+            "usd_per_million_requests",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @classmethod
+    def from_hardware(
+        cls,
+        bridge,
+        usd_per_kwh: float = 0.12,
+        dram_watts_per_gb: float = 0.375,
+        usd_per_million_requests: float = 0.40,
+    ) -> "PricingModel":
+        """Derive rates from a :class:`~repro.costs.HardwareCostBridge`.
+
+        One rebuild-second runs the host's rebuild compute at
+        ``bridge.effective_watts``; one resident GB draws
+        ``dram_watts_per_gb`` (DDR4-class refresh + background power).
+        Both are priced at ``usd_per_kwh`` grid cost.
+        """
+        if usd_per_kwh < 0:
+            raise ValueError("usd_per_kwh must be >= 0")
+        watts = float(bridge.effective_watts)
+        return cls(
+            usd_per_rebuild_second=watts * usd_per_kwh / (1000.0 * 3600.0),
+            usd_per_gb_hour=dram_watts_per_gb * usd_per_kwh / 1000.0,
+            usd_per_million_requests=usd_per_million_requests,
+        )
+
+    # -- line items -----------------------------------------------------
+    def compute_usd(self, rebuild_seconds: float) -> float:
+        return max(0.0, rebuild_seconds) * self.usd_per_rebuild_second
+
+    def storage_usd(self, resident_byte_seconds: float) -> float:
+        gb_hours = max(0.0, resident_byte_seconds) / (
+            _BYTES_PER_GB * _SECONDS_PER_HOUR
+        )
+        return gb_hours * self.usd_per_gb_hour
+
+    def requests_usd(self, requests: int) -> float:
+        return max(0, requests) / 1e6 * self.usd_per_million_requests
+
+
+@dataclass
+class UsageReport:
+    """One tenant's itemized usage + bill (see
+    :meth:`~repro.tenancy.ledger.TenantLedger.usage_report`).
+
+    The raw meters come straight off the tenant's metric instruments
+    (the same series a Prometheus export shows, so a bill always
+    reconciles with the fleet export); the ``*_usd`` lines are those
+    meters priced through one :class:`PricingModel`.
+    """
+
+    tenant: str
+    requests: int = 0
+    served: int = 0
+    failed: int = 0
+    rejected: int = 0
+    rebuild_seconds: float = 0.0
+    est_seconds_saved: float = 0.0
+    resident_bytes: int = 0
+    resident_byte_seconds: float = 0.0
+    routed_by_model: Dict[str, int] = field(default_factory=dict)
+    compute_usd: float = 0.0
+    storage_usd: float = 0.0
+    requests_usd: float = 0.0
+    savings_usd: float = 0.0
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.storage_usd + self.requests_usd
+
+    def price(self, pricing: PricingModel) -> "UsageReport":
+        """Fill the ``*_usd`` lines from the raw meters; returns self."""
+        self.compute_usd = pricing.compute_usd(self.rebuild_seconds)
+        self.storage_usd = pricing.storage_usd(self.resident_byte_seconds)
+        self.requests_usd = pricing.requests_usd(self.requests)
+        self.savings_usd = pricing.compute_usd(self.est_seconds_saved)
+        return self
+
+    def as_dict(self) -> Dict:
+        return {
+            "tenant": self.tenant,
+            "requests": self.requests,
+            "served": self.served,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "rebuild_seconds": self.rebuild_seconds,
+            "est_seconds_saved": self.est_seconds_saved,
+            "resident_bytes": self.resident_bytes,
+            "resident_byte_seconds": self.resident_byte_seconds,
+            "routed_by_model": dict(self.routed_by_model),
+            "compute_usd": self.compute_usd,
+            "storage_usd": self.storage_usd,
+            "requests_usd": self.requests_usd,
+            "savings_usd": self.savings_usd,
+            "total_usd": self.total_usd,
+        }

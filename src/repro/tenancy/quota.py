@@ -1,0 +1,77 @@
+"""Tenant quotas and the typed rejection the host front door raises.
+
+A :class:`TenantQuota` bounds what one tenant may consume: a sustained
+request rate (token bucket, ``burst`` deep) and a cumulative
+rebuild-seconds budget — the compute side of the paper's
+storage-vs-compute trade, which multi-tenant contention turns into a
+billable, exhaustible resource (the Memtrade framing: cache capacity
+and rebuild compute are priced goods tenants contend for).
+
+Enforcement lives in :class:`~repro.tenancy.ledger.TenantLedger.admit`,
+called by :meth:`repro.serving.host.ServingHost.submit` *before*
+routing or tracing, so an over-quota request never reaches an engine
+queue.  Rejections raise :class:`QuotaExceededError` — typed, carrying
+the tenant and the reason — and are counted on the tenant's
+``repro_tenant_rejected_total{reason=...}`` series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["QuotaExceededError", "TenantQuota"]
+
+
+class QuotaExceededError(Exception):
+    """A tenant's submission was refused at the host front door.
+
+    ``reason`` is ``"rate"`` (token bucket empty) or
+    ``"rebuild-budget"`` (cumulative rebuild seconds exhausted).
+    """
+
+    def __init__(self, tenant: str, reason: str, detail: str = "") -> None:
+        self.tenant = tenant
+        self.reason = reason
+        message = f"tenant {tenant!r} over quota ({reason})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits; ``None`` fields are unenforced.
+
+    ``max_requests_per_second`` refills a token bucket ``burst`` deep
+    (``burst`` defaults to the rate, floored at 1 token, so a tenant
+    can always send at least one request per window);
+    ``max_rebuild_seconds`` is a *cumulative* budget against the
+    rebuild compute the tenant's misses have caused so far — once the
+    meter crosses it, further submissions are refused until the quota
+    is raised or the ledger reset.
+    """
+
+    max_requests_per_second: Optional[float] = None
+    burst: Optional[float] = None
+    max_rebuild_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.max_requests_per_second is not None
+            and self.max_requests_per_second <= 0
+        ):
+            raise ValueError("max_requests_per_second must be positive")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError("burst must be >= 1 token")
+        if self.max_rebuild_seconds is not None and self.max_rebuild_seconds < 0:
+            raise ValueError("max_rebuild_seconds must be >= 0")
+
+    @property
+    def bucket_depth(self) -> Optional[float]:
+        """Token-bucket capacity: ``burst``, else the rate (min 1)."""
+        if self.max_requests_per_second is None:
+            return None
+        if self.burst is not None:
+            return self.burst
+        return max(1.0, self.max_requests_per_second)

@@ -1,0 +1,66 @@
+"""Workload scenario generation and sweep harnessing.
+
+Serving experiments need *workloads*, not just request counts: a flash
+crowd stresses admission control differently than a diurnal tide or a
+Zipf-skewed model mix.  This package supplies:
+
+- :mod:`repro.workloads.scenarios` — seedable, bit-deterministic
+  schedule generators (:class:`UniformScenario`,
+  :class:`DiurnalScenario`, :class:`FlashCrowdScenario`,
+  :class:`HotModelSkewScenario`, :class:`ColdStartStormScenario`,
+  :class:`MixedScenario`) emitting the same
+  :class:`~repro.observability.ReplayRequest` rows recorded traces
+  replay as, plus :func:`coalesce_schedule` (batch-id assignment for
+  offline replay) and :func:`write_schedule` (canonical JSONL);
+- :mod:`repro.workloads.harness` — :class:`ExperimentHarness` /
+  :class:`SweepConfig`: one scenario x N serving configurations
+  (admission, routing, batching, cache capacity), offline through the
+  :class:`~repro.serving.CacheSimulator` or live through a
+  :class:`~repro.serving.ServingHost`, returning one
+  :class:`~repro.experiments.common.ExperimentResult` table.
+
+Typical use::
+
+    from repro.workloads import (
+        ExperimentHarness, HotModelSkewScenario, SweepConfig,
+    )
+
+    scenario = HotModelSkewScenario(models=["vgg19", "mlp1"], seed=7)
+    harness = ExperimentHarness(registry, {"vgg19": make_vgg, ...})
+    result = harness.sweep(scenario, [
+        SweepConfig("lru", admission="lru"),
+        SweepConfig("cost", admission="cost-aware"),
+    ])
+    print(result.as_table())
+"""
+
+from repro.workloads.harness import ExperimentHarness, SweepConfig
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ColdStartStormScenario,
+    DiurnalScenario,
+    FlashCrowdScenario,
+    HotModelSkewScenario,
+    MixedScenario,
+    Scenario,
+    UniformScenario,
+    coalesce_schedule,
+    make_scenario,
+    write_schedule,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ColdStartStormScenario",
+    "DiurnalScenario",
+    "ExperimentHarness",
+    "FlashCrowdScenario",
+    "HotModelSkewScenario",
+    "MixedScenario",
+    "Scenario",
+    "SweepConfig",
+    "UniformScenario",
+    "coalesce_schedule",
+    "make_scenario",
+    "write_schedule",
+]

@@ -1,0 +1,495 @@
+"""Seedable workload scenario generators for the serving stack.
+
+A *scenario* turns a handful of parameters (rate, duration, model mix,
+tenant mix, a seed) into a deterministic request schedule — a list of
+:class:`~repro.observability.ReplayRequest` rows sorted in the same
+canonical ``(arrival_s, model, trace_id)`` order
+:meth:`~repro.observability.TraceReader.schedule` produces.  The same
+rows drive all three consumers of a schedule:
+
+- the offline :class:`~repro.serving.CacheSimulator` (replay directly,
+  or after :func:`coalesce_schedule` assigns batch ids);
+- a live :class:`~repro.serving.ServingHost` (submit each row's sample
+  with its model/tenant);
+- the JSONL trace format (:func:`write_schedule` round-trips through
+  :class:`~repro.observability.TraceReader` bit-for-bit).
+
+Determinism contract: ``generate()`` builds a fresh
+``np.random.default_rng(seed)`` on every call, so repeated calls — and
+separate processes — produce bit-identical schedules.  The shapes:
+
+- :class:`UniformScenario` — Poisson arrivals, uniform model mix; the
+  null hypothesis every other scenario deviates from.
+- :class:`DiurnalScenario` — sinusoidal intensity (day/night load)
+  via thinning, so the *shape* is exact, not binned.
+- :class:`FlashCrowdScenario` — steady background plus a burst window
+  multiplying the rate, optionally focused on one model/tenant (the
+  retry-storm / viral-event case capacity planning cares about).
+- :class:`HotModelSkewScenario` — Zipf model popularity
+  (``p_i ∝ (i+1)^-s``): a few hot models and a long cold tail, the
+  regime where cost-aware admission/routing beats LRU.
+- :class:`ColdStartStormScenario` — round-robin over the model list
+  (maximal anti-locality): every access lands on the least-recently-
+  used model, the worst case for any bounded rebuild cache.
+- :class:`MixedScenario` — overlay of component scenarios (e.g. a
+  diurnal baseline plus a flash crowd) with per-component time offsets.
+
+``SCENARIOS`` / :func:`make_scenario` follow the serving stack's
+policy-registry idiom so benches and CI can pick scenarios by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.observability import ReplayRequest, TraceRecorder
+
+__all__ = [
+    "SCENARIOS",
+    "ColdStartStormScenario",
+    "DiurnalScenario",
+    "FlashCrowdScenario",
+    "HotModelSkewScenario",
+    "MixedScenario",
+    "Scenario",
+    "UniformScenario",
+    "coalesce_schedule",
+    "make_scenario",
+    "write_schedule",
+]
+
+# Tenant mixes accept a plain list (uniform) or {tenant: weight}.
+TenantMix = Union[Sequence[str], Mapping[str, float], None]
+
+
+@runtime_checkable
+class Scenario(Protocol):
+    """A deterministic request-schedule generator.
+
+    ``generate()`` must be a pure function of the scenario's
+    parameters (fresh rng from ``seed`` per call) returning rows in
+    the canonical ``(arrival_s, model, trace_id)`` sort order.
+    """
+
+    name: str
+
+    def generate(self) -> List[ReplayRequest]:
+        ...  # pragma: no cover - protocol
+
+
+def _sorted_rows(rows: List[ReplayRequest]) -> List[ReplayRequest]:
+    rows.sort(key=lambda row: (row.arrival_s, row.model or "", row.trace_id))
+    return rows
+
+
+def _poisson_arrivals(
+    rng: np.random.Generator, rate_rps: float, duration_s: float
+) -> np.ndarray:
+    """Arrival times of a homogeneous Poisson process on [0, duration)."""
+    if rate_rps <= 0 or duration_s <= 0:
+        return np.empty(0)
+    # Draw in chunks of the expected count (+ margin) until past the end.
+    times: List[np.ndarray] = []
+    t = 0.0
+    chunk = max(16, int(rate_rps * duration_s * 1.2))
+    while t < duration_s:
+        gaps = rng.exponential(1.0 / rate_rps, size=chunk)
+        arrivals = t + np.cumsum(gaps)
+        times.append(arrivals)
+        t = float(arrivals[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times < duration_s]
+
+
+def _pick_models(
+    rng: np.random.Generator,
+    models: Sequence[str],
+    count: int,
+    weights: Optional[np.ndarray] = None,
+) -> List[str]:
+    if not models:
+        return [None] * count  # type: ignore[list-item]
+    if len(models) == 1:
+        return [models[0]] * count
+    index = rng.choice(len(models), size=count, p=weights)
+    return [models[i] for i in index]
+
+
+def _pick_tenants(
+    rng: np.random.Generator, tenants: TenantMix, count: int
+) -> List[Optional[str]]:
+    if not tenants:
+        return [None] * count
+    if isinstance(tenants, Mapping):
+        names = sorted(tenants)
+        raw = np.array([float(tenants[name]) for name in names])
+        if raw.sum() <= 0:
+            raise ValueError("tenant weights must sum to > 0")
+        weights = raw / raw.sum()
+    else:
+        names = list(tenants)
+        weights = None
+    if len(names) == 1:
+        return [names[0]] * count
+    index = rng.choice(len(names), size=count, p=weights)
+    return [names[i] for i in index]
+
+
+def _rows_from(
+    name: str,
+    arrivals: np.ndarray,
+    models: List[str],
+    tenants: List[Optional[str]],
+) -> List[ReplayRequest]:
+    # Ids are assigned in arrival order so the canonical sort is also
+    # generation order — stable across runs by construction.
+    order = np.argsort(arrivals, kind="stable")
+    rows = [
+        ReplayRequest(
+            arrival_s=float(arrivals[i]),
+            model=models[i],
+            trace_id=f"{name}-{position:06d}",
+            tenant=tenants[i],
+        )
+        for position, i in enumerate(order)
+    ]
+    return _sorted_rows(rows)
+
+
+@dataclass(frozen=True)
+class UniformScenario:
+    """Poisson arrivals, uniform model and tenant mixes."""
+
+    rate_rps: float = 50.0
+    duration_s: float = 10.0
+    models: Sequence[str] = ()
+    tenants: TenantMix = None
+    seed: int = 0
+
+    name = "uniform"
+
+    def generate(self) -> List[ReplayRequest]:
+        rng = np.random.default_rng(self.seed)
+        arrivals = _poisson_arrivals(rng, self.rate_rps, self.duration_s)
+        n = len(arrivals)
+        return _rows_from(
+            self.name,
+            arrivals,
+            _pick_models(rng, list(self.models), n),
+            _pick_tenants(rng, self.tenants, n),
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalScenario:
+    """Sinusoidal intensity: ``rate(t) = rate_rps * (1 + amplitude *
+    sin(2π t / period_s))``, realized exactly by thinning a Poisson
+    process at the peak rate (no binning artifacts)."""
+
+    rate_rps: float = 50.0
+    duration_s: float = 10.0
+    period_s: float = 10.0
+    amplitude: float = 0.8
+    models: Sequence[str] = ()
+    tenants: TenantMix = None
+    seed: int = 0
+
+    name = "diurnal"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be > 0")
+
+    def generate(self) -> List[ReplayRequest]:
+        rng = np.random.default_rng(self.seed)
+        peak = self.rate_rps * (1.0 + self.amplitude)
+        candidates = _poisson_arrivals(rng, peak, self.duration_s)
+        if len(candidates):
+            intensity = self.rate_rps * (
+                1.0
+                + self.amplitude
+                * np.sin(2.0 * np.pi * candidates / self.period_s)
+            )
+            keep = rng.random(len(candidates)) < intensity / peak
+            arrivals = candidates[keep]
+        else:
+            arrivals = candidates
+        n = len(arrivals)
+        return _rows_from(
+            self.name,
+            arrivals,
+            _pick_models(rng, list(self.models), n),
+            _pick_tenants(rng, self.tenants, n),
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdScenario:
+    """Steady background plus a burst window at a multiplied rate.
+
+    During ``[burst_start_s, burst_start_s + burst_duration_s)`` an
+    *additional* Poisson stream at ``(burst_multiplier - 1) x`` the
+    base rate arrives, pinned to ``burst_model`` / ``burst_tenant``
+    when given (a single model going viral) and drawn from the normal
+    mixes otherwise.
+    """
+
+    rate_rps: float = 30.0
+    duration_s: float = 10.0
+    burst_start_s: float = 4.0
+    burst_duration_s: float = 2.0
+    burst_multiplier: float = 5.0
+    burst_model: Optional[str] = None
+    burst_tenant: Optional[str] = None
+    models: Sequence[str] = ()
+    tenants: TenantMix = None
+    seed: int = 0
+
+    name = "flash-crowd"
+
+    def __post_init__(self) -> None:
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1")
+
+    def generate(self) -> List[ReplayRequest]:
+        rng = np.random.default_rng(self.seed)
+        base = _poisson_arrivals(rng, self.rate_rps, self.duration_s)
+        extra_rate = self.rate_rps * (self.burst_multiplier - 1.0)
+        burst = self.burst_start_s + _poisson_arrivals(
+            rng, extra_rate, self.burst_duration_s
+        )
+        burst = burst[burst < self.duration_s]
+        arrivals = np.concatenate([base, burst])
+        models = _pick_models(rng, list(self.models), len(base))
+        tenants = _pick_tenants(rng, self.tenants, len(base))
+        if self.burst_model is not None:
+            models += [self.burst_model] * len(burst)
+        else:
+            models += _pick_models(rng, list(self.models), len(burst))
+        if self.burst_tenant is not None:
+            tenants += [self.burst_tenant] * len(burst)
+        else:
+            tenants += _pick_tenants(rng, self.tenants, len(burst))
+        return _rows_from(self.name, arrivals, models, tenants)
+
+
+@dataclass(frozen=True)
+class HotModelSkewScenario:
+    """Zipf model popularity: ``p_i ∝ (i + 1) ** -exponent`` over the
+    model list *in order* (first model hottest).  The explicit
+    normalized mass (not ``rng.zipf``, which is unbounded) keeps every
+    draw inside the deployed model set."""
+
+    rate_rps: float = 50.0
+    duration_s: float = 10.0
+    exponent: float = 1.1
+    models: Sequence[str] = ()
+    tenants: TenantMix = None
+    seed: int = 0
+
+    name = "hot-skew"
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ValueError("exponent must be > 0")
+        if not self.models:
+            raise ValueError("hot-skew needs a non-empty model list")
+
+    def popularity(self) -> Dict[str, float]:
+        """The exact model mass the generator draws from."""
+        raw = np.array(
+            [(i + 1.0) ** -self.exponent for i in range(len(self.models))]
+        )
+        mass = raw / raw.sum()
+        return {model: float(p) for model, p in zip(self.models, mass)}
+
+    def generate(self) -> List[ReplayRequest]:
+        rng = np.random.default_rng(self.seed)
+        arrivals = _poisson_arrivals(rng, self.rate_rps, self.duration_s)
+        n = len(arrivals)
+        mass = np.array(list(self.popularity().values()))
+        return _rows_from(
+            self.name,
+            arrivals,
+            _pick_models(rng, list(self.models), n, weights=mass),
+            _pick_tenants(rng, self.tenants, n),
+        )
+
+
+@dataclass(frozen=True)
+class ColdStartStormScenario:
+    """Round-robin over the model list: every access targets the
+    least-recently-seen model, so any cache smaller than the whole
+    fleet's working set misses maximally — the adversarial floor a
+    policy sweep should include."""
+
+    rate_rps: float = 50.0
+    duration_s: float = 10.0
+    models: Sequence[str] = ()
+    tenants: TenantMix = None
+    seed: int = 0
+
+    name = "cold-storm"
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("cold-storm needs a non-empty model list")
+
+    def generate(self) -> List[ReplayRequest]:
+        rng = np.random.default_rng(self.seed)
+        arrivals = _poisson_arrivals(rng, self.rate_rps, self.duration_s)
+        n = len(arrivals)
+        models = [self.models[i % len(self.models)] for i in range(n)]
+        return _rows_from(
+            self.name,
+            arrivals,
+            models,
+            _pick_tenants(rng, self.tenants, n),
+        )
+
+
+@dataclass(frozen=True)
+class MixedScenario:
+    """Overlay of component scenarios, each optionally time-shifted.
+
+    ``components`` holds scenarios or ``(scenario, offset_s)`` pairs;
+    each component generates with its own seed, its rows are shifted
+    by its offset, trace ids are namespaced ``m<i>:`` so two
+    components of the same class never collide, and the merged
+    schedule is re-sorted canonically.
+    """
+
+    components: Sequence[Union[Scenario, Tuple[Scenario, float]]] = ()
+    seed: int = 0  # unused; kept so make_scenario treats it uniformly
+
+    name = "mixed"
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("mixed scenario needs at least one component")
+
+    def generate(self) -> List[ReplayRequest]:
+        merged: List[ReplayRequest] = []
+        for index, component in enumerate(self.components):
+            if isinstance(component, tuple):
+                scenario, offset_s = component
+            else:
+                scenario, offset_s = component, 0.0
+            for row in scenario.generate():
+                merged.append(
+                    dataclasses.replace(
+                        row,
+                        arrival_s=row.arrival_s + float(offset_s),
+                        trace_id=f"m{index}:{row.trace_id}",
+                    )
+                )
+        return _sorted_rows(merged)
+
+
+SCENARIOS = {
+    UniformScenario.name: UniformScenario,
+    DiurnalScenario.name: DiurnalScenario,
+    FlashCrowdScenario.name: FlashCrowdScenario,
+    HotModelSkewScenario.name: HotModelSkewScenario,
+    ColdStartStormScenario.name: ColdStartStormScenario,
+    MixedScenario.name: MixedScenario,
+}
+
+
+def make_scenario(scenario: Union[str, Scenario], **params) -> Scenario:
+    """Resolve a scenario from a registry name (or pass one through).
+
+    ``params`` are forwarded to the named scenario's constructor; with
+    an instance they must be empty (an instance is already configured).
+    """
+    if isinstance(scenario, str):
+        try:
+            cls = SCENARIOS[scenario]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
+            ) from None
+        return cls(**params)
+    if params:
+        raise ValueError(
+            "params only apply when the scenario is given by name"
+        )
+    return scenario
+
+
+def coalesce_schedule(
+    rows: Sequence[ReplayRequest],
+    max_batch_size: int = 8,
+    max_wait_s: float = 0.02,
+) -> List[ReplayRequest]:
+    """Assign ``(engine, batch_id)`` to a generated schedule by
+    emulating per-model static batching.
+
+    A generated schedule carries no batch ids, so the simulator would
+    replay it one install pass per request — the pathological floor.
+    This walks each model's rows in arrival order and closes a batch
+    when it reaches ``max_batch_size`` or spans more than
+    ``max_wait_s``, exactly the :class:`~repro.serving.
+    StaticBatchPolicy` dial — giving offline replays the live path's
+    batch amortization.  ``engine`` is set to the model name (one
+    engine per model, the harness's deployment shape).
+    """
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be >= 1")
+    batch_ids: Dict[Optional[str], int] = {}
+    state: Dict[Optional[str], Tuple[int, float, int]] = {}
+    out: List[ReplayRequest] = []
+    for row in _sorted_rows(list(rows)):
+        count, opened_at, batch_id = state.get(row.model, (0, 0.0, 0))
+        if (
+            count == 0
+            or count >= max_batch_size
+            or row.arrival_s - opened_at > max_wait_s
+        ):
+            batch_id = batch_ids.get(row.model, 0) + 1
+            batch_ids[row.model] = batch_id
+            count, opened_at = 0, row.arrival_s
+        state[row.model] = (count + 1, opened_at, batch_id)
+        out.append(
+            dataclasses.replace(
+                row, engine=row.model, batch_id=batch_id
+            )
+        )
+    return out
+
+
+def write_schedule(rows: Sequence[ReplayRequest], path) -> int:
+    """Persist a schedule as canonical JSONL (the trace format), so a
+    generated workload round-trips through
+    :meth:`~repro.observability.TraceReader.schedule`; returns the row
+    count."""
+    with TraceRecorder(path) as recorder:
+        for row in rows:
+            recorder.record_request(
+                trace_id=row.trace_id,
+                model=row.model,
+                engine=row.engine,
+                arrival_s=row.arrival_s,
+                latency_s=row.latency_s,
+                rebuild_s=row.rebuild_s,
+                batch_id=row.batch_id,
+                tenant=row.tenant,
+                spans=None,
+            )
+        return recorder.records_written

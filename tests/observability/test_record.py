@@ -133,6 +133,23 @@ class TestReader:
         path.write_text('{"trace_id":"t1","arrival_s":0.0}\n\n')
         assert len(TraceReader(path).records()) == 1
 
+    def test_tenant_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.write(path, [
+            dict(trace_id="t1", model="a", engine="a",
+                 arrival_s=0.1, latency_s=0.01, tenant="acme"),
+        ])
+        (row,) = TraceReader(path).schedule()
+        assert row.tenant == "acme"
+
+    def test_pre_tenant_records_default_to_none(self, tmp_path):
+        # Traces recorded before the schema grew a tenant key must
+        # still replay.
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"trace_id":"t1","arrival_s":0.0,"model":"a"}\n')
+        (row,) = TraceReader(path).schedule()
+        assert row.tenant is None
+
 
 class TestObservabilityRecordingLifecycle:
     def test_finish_request_writes_record_with_span_tree(self, tmp_path):

@@ -1,0 +1,113 @@
+"""EWMA per-layer hit rates: phase changes re-price, history stays.
+
+The decayed rate is what :meth:`RebuildEngine.estimated_install_seconds`
+discounts uncached layers by; the all-time counts stay around for
+audit.  A flash crowd that displaces the old working set must re-price
+within tens of accesses — the old all-time average stayed anchored to
+stale history forever.
+"""
+
+import pytest
+
+from repro.serving import ModelRegistry, RebuildEngine
+from repro.serving.rebuild import RebuildCacheStats
+
+
+@pytest.fixture
+def handle(published):
+    store, manifest, *_ = published
+    return ModelRegistry(store).get(manifest.name)
+
+
+class TestEwmaArithmetic:
+    def test_seeded_at_first_observation(self):
+        stats = RebuildCacheStats()
+        stats.record_access("a", hit=True)
+        assert stats.layer_hit_rate("a") == 1.0
+        stats = RebuildCacheStats()
+        stats.record_access("a", hit=False)
+        assert stats.layer_hit_rate("a") == 0.0
+
+    def test_decay_walk(self):
+        stats = RebuildCacheStats()
+        alpha = stats.hit_rate_alpha
+        stats.record_access("a", hit=False)  # seeds 0.0
+        stats.record_access("a", hit=True)   # alpha
+        stats.record_access("a", hit=True)   # alpha + (1-alpha)*alpha
+        assert stats.layer_hit_rate("a") == pytest.approx(
+            alpha + (1 - alpha) * alpha
+        )
+
+    def test_custom_alpha(self):
+        stats = RebuildCacheStats(hit_rate_alpha=0.5)
+        stats.record_access("a", hit=False)
+        stats.record_access("a", hit=True)
+        assert stats.layer_hit_rate("a") == pytest.approx(0.5)
+        assert stats.hit_rate_alpha == 0.5
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError, match="hit_rate_alpha"):
+            RebuildCacheStats(hit_rate_alpha=0.0)
+        with pytest.raises(ValueError, match="hit_rate_alpha"):
+            RebuildCacheStats(hit_rate_alpha=1.5)
+        # alpha == 1 is legal: no memory, last observation wins.
+        stats = RebuildCacheStats(hit_rate_alpha=1.0)
+        stats.record_access("a", hit=True)
+        stats.record_access("a", hit=False)
+        assert stats.layer_hit_rate("a") == 0.0
+
+    def test_phase_change_forgets_where_average_would_not(self):
+        """After 100 hits then 20 misses the EWMA is near zero; the
+        all-time average is still anchored above 0.8."""
+        stats = RebuildCacheStats()
+        for _ in range(100):
+            stats.record_access("a", hit=True)
+        for _ in range(20):
+            stats.record_access("a", hit=False)
+        ewma = stats.layer_hit_rate("a")
+        all_time = stats.layer_hits["a"] / stats.layer_accesses["a"]
+        assert ewma < 0.02
+        assert all_time > 0.8
+
+    def test_reset_clears_ewma(self):
+        stats = RebuildCacheStats()
+        stats.record_access("a", hit=True)
+        stats.reset()
+        assert stats.layer_hit_rate("a") == 0.0
+        assert stats.layer_hit_rates() == {}
+
+
+class TestInstallEstimateResponds:
+    def test_estimate_tracks_decayed_rate(self, handle):
+        """With the cache cleared, the install estimate discounts each
+        layer by its decayed hit rate — so a hot history prices the
+        pass cheaper than a cold one, and a phase change re-prices it
+        back up."""
+        engine = RebuildEngine(
+            payloads=handle.payloads, specs=handle.layer_specs
+        )
+        try:
+            cold = engine.estimated_install_seconds()
+            assert cold > 0
+            # Build a hot history, then empty the cache so every layer
+            # is pending again: the estimate must now be discounted.
+            for _ in range(40):
+                for name in engine.layer_names:
+                    engine.layer_weight(name)
+            engine.clear()
+            hot = engine.estimated_install_seconds()
+            assert hot < cold
+            # A miss storm (clear between passes) decays the rates
+            # back toward zero and the estimate climbs again.
+            for _ in range(40):
+                for name in engine.layer_names:
+                    engine.layer_weight(name)
+                engine.clear()
+            stormy = engine.estimated_install_seconds()
+            assert stormy > hot
+            assert all(
+                engine.stats.layer_hit_rate(name) < 0.01
+                for name in engine.layer_names
+            )
+        finally:
+            engine.close()

@@ -270,9 +270,11 @@ class TestRebuildEngineWithPolicies:
         miss once it falls out of the cache."""
         engine = mixed_engine("lru", capacity_bytes=None)
         name = engine.layer_names[0]
-        # 1 miss + 9 hits: observed hit rate 0.9.
+        # 1 miss + 9 hits: the decayed (EWMA) hit rate is well above 0.
         for _ in range(10):
             engine.layer_weight(name)
+        hit_rate = engine.stats.layer_hit_rate(name)
+        assert 0.0 < hit_rate < 1.0
         certain_miss = engine._estimate_seconds(name)
         assert certain_miss > 0
         engine.clear()  # drop residency, keep the hit history
@@ -282,9 +284,9 @@ class TestRebuildEngineWithPolicies:
             for layer in engine.layer_names
         }
         all_miss_pending = sum(contributions.values())
-        # The touched layer contributes only (1 - 0.9) of its cost; the
-        # untouched layers still price as certain misses.
-        expected = all_miss_pending - 0.9 * certain_miss
+        # The touched layer contributes only (1 - hit_rate) of its
+        # cost; the untouched layers still price as certain misses.
+        expected = all_miss_pending - hit_rate * certain_miss
         assert estimate == pytest.approx(expected, rel=1e-6)
         assert estimate < all_miss_pending
 

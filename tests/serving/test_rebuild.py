@@ -118,12 +118,19 @@ class TestCacheBehavior:
         assert stats["curve_points"] == len(engine.stats.curve)
 
     def test_per_layer_hit_rates_tracked(self, handle):
+        # Per-layer hit rates are EWMAs (alpha 0.2, seeded at the first
+        # observation), not all-time averages: miss, hit, hit walks
+        # 0.0 -> 0.2 -> 0.36.
         engine = make_engine(handle)
         first = engine.layer_names[0]
-        engine.layer_weight(first)  # miss
-        engine.layer_weight(first)  # hit
-        engine.layer_weight(first)  # hit
+        engine.layer_weight(first)  # miss -> seeds at 0.0
+        engine.layer_weight(first)  # hit  -> 0.2
+        engine.layer_weight(first)  # hit  -> 0.36
         rates = engine.stats.layer_hit_rates()
-        assert rates[first] == pytest.approx(2 / 3)
+        alpha = engine.stats.hit_rate_alpha
+        assert rates[first] == pytest.approx(alpha + (1 - alpha) * alpha)
         assert engine.stats.layer_hit_rate("never-touched") == 0.0
         assert engine.stats.as_dict()["layer_hit_rates"] == rates
+        # All-time counts are still kept for audit.
+        assert engine.stats.layer_hits[first] == 2
+        assert engine.stats.layer_accesses[first] == 3

@@ -1,0 +1,20 @@
+"""Fixtures for the tenancy tests: one published small bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import apply_smartexchange
+from repro.serving import ArtifactStore
+from tests.serving.conftest import FAST, build_model
+
+
+@pytest.fixture
+def published(tmp_path):
+    """(store, manifest, model, report, config) with one bundle —
+    mirrors the serving conftest so host fixtures read the same."""
+    store = ArtifactStore(tmp_path / "artifacts")
+    model = build_model(seed=0)
+    _, report = apply_smartexchange(model, FAST, model_name="demo")
+    manifest = store.publish(report, FAST, model=model)
+    return store, manifest, model, report, FAST

@@ -1,0 +1,203 @@
+"""Scenario generators: determinism, shape, skew, and round-tripping."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.observability import ReplayRequest, TraceReader
+from repro.workloads import (
+    SCENARIOS,
+    ColdStartStormScenario,
+    DiurnalScenario,
+    FlashCrowdScenario,
+    HotModelSkewScenario,
+    MixedScenario,
+    UniformScenario,
+    coalesce_schedule,
+    make_scenario,
+    write_schedule,
+)
+
+MODELS = ["alpha", "beta", "gamma", "delta"]
+
+
+def canonical(rows):
+    return sorted(rows, key=lambda r: (r.arrival_s, r.model or "", r.trace_id))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(set(SCENARIOS) - {"mixed"}))
+    def test_same_seed_bit_identical(self, name):
+        params = {"rate_rps": 80.0, "duration_s": 2.0, "models": MODELS,
+                  "tenants": ["t1", "t2"], "seed": 11}
+        first = make_scenario(name, **params).generate()
+        second = make_scenario(name, **params).generate()
+        assert first == second  # frozen dataclass equality: bit-identical
+        assert len(first) > 0
+
+    def test_different_seed_different_schedule(self):
+        a = UniformScenario(models=MODELS, duration_s=2.0, seed=1).generate()
+        b = UniformScenario(models=MODELS, duration_s=2.0, seed=2).generate()
+        assert a != b
+
+    def test_mixed_composition_deterministic(self):
+        mix = MixedScenario(components=[
+            (DiurnalScenario(rate_rps=40, duration_s=2, period_s=2,
+                             models=MODELS, seed=3), 0.0),
+            (FlashCrowdScenario(rate_rps=20, duration_s=1, burst_start_s=0.2,
+                                burst_duration_s=0.4, burst_model="alpha",
+                                models=MODELS, seed=4), 0.5),
+        ])
+        assert mix.generate() == mix.generate()
+
+    def test_rows_in_canonical_trace_order(self):
+        rows = HotModelSkewScenario(
+            models=MODELS, rate_rps=100, duration_s=2, seed=5
+        ).generate()
+        assert rows == canonical(rows)
+
+    def test_mixed_trace_ids_never_collide(self):
+        same = UniformScenario(models=MODELS, duration_s=1.0, seed=6)
+        mix = MixedScenario(components=[same, same])
+        rows = mix.generate()
+        assert len({row.trace_id for row in rows}) == len(rows)
+
+
+class TestShapes:
+    def test_uniform_rate_approximately_honored(self):
+        rows = UniformScenario(rate_rps=200, duration_s=5, seed=0).generate()
+        assert len(rows) == pytest.approx(1000, rel=0.15)
+        assert all(0 <= row.arrival_s < 5 for row in rows)
+
+    def test_zipf_skew_statistics(self):
+        """Empirical model frequencies must match the explicit Zipf
+        mass — hottest first, monotone decreasing, chi-square sane."""
+        scenario = HotModelSkewScenario(
+            models=MODELS, rate_rps=400, duration_s=10,
+            exponent=1.2, seed=9,
+        )
+        rows = scenario.generate()
+        counts = {model: 0 for model in MODELS}
+        for row in rows:
+            counts[row.model] += 1
+        mass = scenario.popularity()
+        assert list(mass) == MODELS
+        assert all(
+            mass[MODELS[i]] > mass[MODELS[i + 1]]
+            for i in range(len(MODELS) - 1)
+        )
+        total = len(rows)
+        for model in MODELS:
+            assert counts[model] / total == pytest.approx(
+                mass[model], abs=0.03
+            )
+        # The hot model dominates the tail model by roughly the
+        # theoretical ratio (1 vs 4^-1.2 ~ 5.3x).
+        assert counts[MODELS[0]] > 3 * counts[MODELS[-1]]
+
+    def test_diurnal_peak_vs_trough(self):
+        """More arrivals in the sinusoid's peak half-period than in the
+        trough half-period."""
+        rows = DiurnalScenario(
+            rate_rps=200, duration_s=10, period_s=10, amplitude=0.9, seed=2
+        ).generate()
+        peak = sum(1 for row in rows if row.arrival_s < 5.0)
+        trough = len(rows) - peak
+        assert peak > 1.5 * trough
+
+    def test_flash_crowd_burst_window(self):
+        scenario = FlashCrowdScenario(
+            rate_rps=50, duration_s=6, burst_start_s=2.0,
+            burst_duration_s=1.0, burst_multiplier=6.0,
+            burst_model="alpha", burst_tenant="spiky",
+            models=MODELS, tenants=["calm"], seed=3,
+        )
+        rows = scenario.generate()
+        in_burst = [r for r in rows if 2.0 <= r.arrival_s < 3.0]
+        outside = [r for r in rows if not 2.0 <= r.arrival_s < 3.0]
+        # Burst second carries ~6x the base rate; outside ~1x.
+        assert len(in_burst) > 2 * len(outside) / 5.0
+        assert sum(1 for r in in_burst if r.tenant == "spiky") > 0
+        assert all(r.tenant == "calm" for r in outside)
+
+    def test_cold_storm_round_robins_models(self):
+        rows = ColdStartStormScenario(
+            models=MODELS, rate_rps=100, duration_s=2, seed=4
+        ).generate()
+        counts = {model: 0 for model in MODELS}
+        for row in rows:
+            counts[row.model] += 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_tenant_weights(self):
+        rows = UniformScenario(
+            rate_rps=300, duration_s=5, tenants={"big": 4.0, "small": 1.0},
+            seed=8,
+        ).generate()
+        big = sum(1 for row in rows if row.tenant == "big")
+        assert big / len(rows) == pytest.approx(0.8, abs=0.05)
+
+
+class TestRegistry:
+    def test_make_scenario_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("nope")
+
+    def test_make_scenario_passthrough_rejects_params(self):
+        scenario = UniformScenario(seed=1)
+        assert make_scenario(scenario) is scenario
+        with pytest.raises(ValueError, match="params"):
+            make_scenario(scenario, seed=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalScenario(amplitude=1.5)
+        with pytest.raises(ValueError):
+            FlashCrowdScenario(burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            HotModelSkewScenario(models=[])
+        with pytest.raises(ValueError):
+            ColdStartStormScenario(models=[])
+        with pytest.raises(ValueError):
+            MixedScenario(components=[])
+
+
+class TestScheduleTooling:
+    def test_coalesce_assigns_batches_per_model(self):
+        rows = HotModelSkewScenario(
+            models=MODELS, rate_rps=200, duration_s=2, seed=6
+        ).generate()
+        batched = coalesce_schedule(rows, max_batch_size=4, max_wait_s=0.05)
+        assert len(batched) == len(rows)
+        groups = {}
+        for row in batched:
+            assert row.engine == row.model
+            assert row.batch_id is not None
+            groups.setdefault((row.model, row.batch_id), []).append(row)
+        assert all(len(group) <= 4 for group in groups.values())
+        # Batches only span the wait window.
+        for group in groups.values():
+            arrivals = [r.arrival_s for r in group]
+            assert max(arrivals) - min(arrivals) <= 0.05 + 1e-9
+        # Some coalescing actually happened at this rate.
+        assert any(len(group) > 1 for group in groups.values())
+
+    def test_write_schedule_round_trips_through_trace_reader(self, tmp_path):
+        rows = coalesce_schedule(
+            FlashCrowdScenario(
+                rate_rps=40, duration_s=2, models=MODELS,
+                tenants=["t1", "t2"], seed=7,
+            ).generate()
+        )
+        path = tmp_path / "schedule.jsonl"
+        written = write_schedule(rows, path)
+        assert written == len(rows)
+        loaded = TraceReader(path).schedule()
+        assert loaded == rows  # including tenant and batch ids
+
+    def test_replayrequest_compatible(self):
+        row = UniformScenario(duration_s=0.5, seed=0).generate()[0]
+        assert isinstance(row, ReplayRequest)
+        shifted = dataclasses.replace(row, arrival_s=row.arrival_s + 1)
+        assert shifted.tenant == row.tenant
