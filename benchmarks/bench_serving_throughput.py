@@ -48,6 +48,16 @@ and total rebuild seconds; ``--routing all`` sweeps ``round-robin`` /
 fewer rebuild seconds than round-robin (it sends the cold-cache-heavy
 trace to the warm engine instead of splitting it).
 
+``--backend`` picks the worker-pool execution backend for the online
+sweep (``thread`` by default, ``process`` for worker processes over
+the shared-memory payload arena); ``--backend all`` (or a comma-
+separated pair) runs the thread-vs-process comparison instead — the
+identical bundle and request stream served through each backend at
+every worker count, with a long steady-state window so the numbers
+reflect the pipelined process pool rather than its spawn cost.  On a
+GIL-bound host the process rows overtake the thread rows as workers
+grow, which the sweep asserts at the 4-worker point.
+
 ``--trace-out`` / ``--metrics-out`` / ``--json-out`` turn the
 observability layer on for the throughput run: one JSONL record per
 request (replayable with :class:`repro.observability.TraceReader`), a
@@ -63,6 +73,7 @@ or under pytest-benchmark like the other benches.
 import argparse
 import dataclasses
 import json
+import subprocess
 import sys
 import tempfile
 from pathlib import Path
@@ -99,6 +110,11 @@ REQUESTS = 64
 BATCH_SIZE = 16
 IMAGE_SHAPE = (3, 16, 16)
 WORKER_SWEEP = (1, 2, 4)
+BACKEND_SWEEP = ("thread", "process")
+# The backend comparison needs a long steady-state window: process
+# pools pay a per-pool spawn/attach cost and win on per-batch cost, so
+# short streams measure startup, not serving.
+BACKEND_REQUESTS = 1024
 POLICY_SWEEP = ("lru", "cost-aware", "size-aware")
 ROUTING_SWEEP = ("round-robin", "least-loaded", "cost-aware")
 # Fraction of the model's dense bytes the bounded rebuild cache holds
@@ -255,6 +271,7 @@ def run(
     worker_sweep=WORKER_SWEEP,
     codec: str = "smartexchange",
     observability: Observability = None,
+    backend: str = "thread",
 ) -> ExperimentResult:
     rng = np.random.default_rng(0)
     samples = list(rng.normal(size=(requests, *IMAGE_SHAPE)))
@@ -273,7 +290,7 @@ def run(
         engine = _make_engine(BATCH_SIZE, codec, observability=observability)
         engine.predict(np.stack(samples[:1]))  # warm the rebuild cache
         engine.stats.reset()
-        engine.start(workers=workers)
+        engine.start(workers=workers, backend=backend)
         try:
             tickets = [engine.submit(sample) for sample in samples]
             for ticket in tickets:
@@ -294,6 +311,162 @@ def run(
             f"{min(online)} worker(s) over {requests} requests at max "
             f"batch {BATCH_SIZE}"
         ),
+    )
+
+
+def _backend_cell(store_root: str, backend: str, workers: int, requests: int) -> dict:
+    """Measure one (backend, workers) cell against a published store.
+
+    Runs in a *fresh* interpreter (see :func:`run_backend_sweep`), and
+    runs the full pool lifecycle **twice** — build engine, start, warm,
+    measure, stop — reporting the second round.  The first pool a fresh
+    interpreter forks pays one-time host costs its own warm-up window
+    cannot amortize (allocator and page-cache population, copy-on-write
+    faults against a never-touched parent heap); round two forks from a
+    parent whose pages are hot and measures steady-state serving, which
+    is the quantity the sweep compares.  Within a round the pool is
+    warmed past its spawn/attach/first-install window (two full rounds
+    of batches per worker) and the stats window reset before measuring.
+    Samples are independent per-request arrays — the realistic arrival
+    shape — created after the pool is up.
+    """
+    store = ArtifactStore(store_root)
+    registry = ModelRegistry(store)
+    handle = registry.get("bench-cnn")
+
+    def one_round() -> dict:
+        # A fresh frame per round: the prior round's request arrays are
+        # freed before this round's pool forks, so workers inherit a
+        # minimal parent image.
+        engine = InferenceEngine(
+            _build_model(seed=1),
+            handle,
+            policy=StaticBatchPolicy(
+                max_batch_size=BATCH_SIZE, max_wait_s=0.002
+            ),
+            cost_model=registry.cost_model,
+        )
+        engine.start(workers=workers, backend=backend)
+        try:
+            rng = np.random.default_rng(3)
+            samples = [rng.normal(size=IMAGE_SHAPE) for _ in range(requests)]
+            warm = samples[: 2 * workers * BATCH_SIZE]
+            for ticket in [engine.submit(s) for s in warm]:
+                ticket.result(timeout=60.0)
+            engine.stats.reset()
+            tickets = [engine.submit(s) for s in samples]
+            for ticket in tickets:
+                ticket.result(timeout=120.0)
+            return engine.summary()
+        finally:
+            engine.stop()
+
+    one_round()
+    summary = one_round()
+    registry.close()
+    return {
+        "backend": backend,
+        "workers": workers,
+        "requests": summary["requests"],
+        "mean_batch": summary["mean_batch_size"],
+        "throughput_rps": summary["throughput_rps"],
+        "p50_ms": summary["request_latency_p50_ms"],
+        "p90_ms": summary["request_latency_p90_ms"],
+        "respawns": summary.get("worker_respawns", 0),
+    }
+
+
+def run_backend_sweep(
+    backend_list=BACKEND_SWEEP,
+    requests: int = BACKEND_REQUESTS,
+    worker_sweep=WORKER_SWEEP,
+    reps: int = 3,
+) -> ExperimentResult:
+    """Same bundle and request stream, one execution backend per cell.
+
+    Every cell serves the identical smartexchange bundle through the
+    identical queue/batch policy; only ``start(backend=...)`` differs,
+    so cells compare steady-state serving cost: the thread cells pay
+    GIL contention as workers grow, the process cells pay pickling and
+    a pipe round-trip per batch but run the forward pass outside the
+    parent's interpreter lock.
+
+    Two measurement disciplines keep the comparison honest on a noisy
+    shared host.  First, every cell runs in a *fresh interpreter*
+    (the bench re-invokes itself per cell): a long-lived parent's heap
+    history — hugepage collapse, allocator fragmentation, pages the
+    forked workers must copy-on-write — quietly taxes later process
+    pools by tens of percent, which sequential in-process cells cannot
+    distinguish from a real backend difference.  Second, cells are
+    measured ``reps`` times with the backends interleaved within each
+    rep and report their best window, so both backends sample the same
+    weather and the windows a noisy neighbor stomped on are discarded.
+    Third, each cell runs its pool lifecycle twice and reports the
+    second (see :func:`_backend_cell`), so one-time interpreter and
+    page-cache warm-up is paid outside the measured window.
+    """
+    root = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    store = ArtifactStore(root)
+    _publish(store, "smartexchange")
+
+    best = {}
+    for workers in worker_sweep:
+        for _ in range(reps):
+            for backend in backend_list:
+                proc = subprocess.run(
+                    [
+                        sys.executable,
+                        str(Path(__file__).resolve()),
+                        "--cell",
+                        f"{backend}:{workers}:{requests}",
+                        "--cell-store",
+                        root,
+                    ],
+                    capture_output=True,
+                    text=True,
+                    timeout=600,
+                )
+                if proc.returncode != 0:
+                    raise RuntimeError(
+                        f"backend cell {backend} w{workers} failed:\n"
+                        f"{proc.stdout}\n{proc.stderr}"
+                    )
+                row = json.loads(proc.stdout.strip().splitlines()[-1])
+                cell = (backend, workers)
+                held = best.get(cell)
+                if (
+                    held is None
+                    or row["throughput_rps"] > held["throughput_rps"]
+                ):
+                    best[cell] = row
+    rows = [
+        best[(backend, workers)]
+        for workers in worker_sweep
+        for backend in backend_list
+    ]
+
+    cells = {
+        (row["backend"], row["workers"]): row["throughput_rps"]
+        for row in rows
+    }
+    notes = (
+        f"identical smartexchange bundle and {requests}-request stream "
+        f"per cell, max batch {BATCH_SIZE}, warmed and stats-reset "
+        f"before measuring; best of {reps} interleaved windows per cell"
+    )
+    peak = max(worker_sweep)
+    thread_peak = cells.get(("thread", peak))
+    process_peak = cells.get(("process", peak))
+    if thread_peak and process_peak:
+        notes += (
+            f"; at {peak} workers the process backend serves "
+            f"{process_peak / thread_peak:.2f}x the thread backend's "
+            f"throughput"
+        )
+    return ExperimentResult(
+        experiment="serving throughput across execution backends",
+        rows=rows,
+        notes=notes,
     )
 
 
@@ -695,6 +868,25 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--cell",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: one backend-sweep cell
+    )
+    parser.add_argument(
+        "--cell-store",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: published store for --cell
+    )
+    parser.add_argument(
+        "--backend",
+        default="thread",
+        help=(
+            "worker-pool execution backend for the online sweep "
+            "('thread' or 'process'); a comma-separated pair or 'all' "
+            "runs the thread-vs-process backend comparison instead"
+        ),
+    )
+    parser.add_argument(
         "--policy",
         default=None,
         help=(
@@ -758,8 +950,50 @@ def main() -> None:
         ),
     )
     args = parser.parse_args()
+    if args.cell is not None:
+        backend, workers, cell_requests = args.cell.split(":")
+        row = _backend_cell(
+            args.cell_store, backend, int(workers), int(cell_requests)
+        )
+        print(json.dumps(row))
+        return
     requests = 16 if args.smoke else REQUESTS
     sweep = args.workers or ((1, 2) if args.smoke else WORKER_SWEEP)
+
+    backend_list = (
+        BACKEND_SWEEP if args.backend == "all"
+        else tuple(args.backend.split(","))
+    )
+    unknown = set(backend_list) - {"thread", "process"}
+    if unknown:
+        raise SystemExit(
+            f"unknown --backend {sorted(unknown)}; pick from thread, process"
+        )
+    if len(backend_list) > 1:
+        backend_requests = 256 if args.smoke else BACKEND_REQUESTS
+        result = run_backend_sweep(
+            backend_list, requests=backend_requests, worker_sweep=sweep
+        )
+        print(result.as_table())
+        print(result.notes)
+        assert all(
+            row["requests"] == backend_requests for row in result.rows
+        ), "a backend dropped requests"
+        cells = {
+            (row["backend"], row["workers"]): row["throughput_rps"]
+            for row in result.rows
+        }
+        peak = max(sweep)
+        # Short smoke windows measure pool spawn, not steady state, so
+        # the GIL-bound crossover is only asserted on the full stream.
+        if backend_requests >= 512 and ("process", peak) in cells:
+            assert cells[("process", peak)] > cells[("thread", peak)], (
+                f"the process backend did not beat the thread backend "
+                f"at {peak} workers: "
+                f"{cells[('process', peak)]:.1f} vs "
+                f"{cells[('thread', peak)]:.1f} rps"
+            )
+        return
 
     if args.simulate is not None:
         if not Path(args.simulate).exists():
@@ -884,7 +1118,7 @@ def main() -> None:
 
     result = run(
         requests=requests, worker_sweep=sweep, codec=codec_list[0],
-        observability=observability,
+        observability=observability, backend=backend_list[0],
     )
     print(result.as_table())
     print(result.notes)

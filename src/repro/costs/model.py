@@ -53,6 +53,17 @@ DEFAULT_TIER_PRIORS = {
     "disk": 2e-8,
 }
 
+# One-time payload-attach priors per execution backend, in seconds per
+# *compressed* byte.  A thread worker shares the parent's payload map
+# (attach is free); a process worker opens + checksums the shared
+# segment — page-table work plus one CRC pass, amortized over the
+# worker's whole lifetime.  Measured attaches fold into a per-backend
+# EWMA via :meth:`CodecCostModel.observe_attach`.
+DEFAULT_ATTACH_PRIORS = {
+    "thread": 0.0,
+    "process": 5e-10,
+}
+
 
 def _dense_bytes_of(shape) -> int:
     """FP32 bytes of a dense weight shape (0 when the shape is unknown)."""
@@ -101,6 +112,8 @@ class CodecCostModel:
         self._layer_observations: Dict[Tuple[str, str], int] = {}
         self._tier_rates: Dict[str, float] = {}
         self._tier_observations: Dict[str, int] = {}
+        self._attach_rates: Dict[str, float] = {}
+        self._attach_observations: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Updates
@@ -214,6 +227,65 @@ class CodecCostModel:
         with self._lock:
             return self._tier_observations.get(tier, 0)
 
+    # ------------------------------------------------------------------
+    # Per-backend attach rates (thread pool vs process pool)
+    # ------------------------------------------------------------------
+    def observe_attach(
+        self, backend: str, nbytes: int, seconds: float
+    ) -> float:
+        """Fold one measured worker attach into the backend's EWMA.
+
+        ``nbytes`` is the compressed payload footprint the worker
+        attached (the arena segment size for a process worker),
+        ``seconds`` the one-time cost of mapping + validating it.
+        This is the *capital* side of choosing a backend: a process
+        worker pays attach once to escape the GIL, a thread worker
+        pays nothing — :meth:`estimate_attach_seconds` lets sizing
+        logic amortize that against expected traffic.
+        """
+        if nbytes <= 0 or seconds < 0:
+            return self.attach_seconds_per_byte(backend)
+        rate = seconds / nbytes
+        with self._lock:
+            prior = self._attach_rates.get(
+                backend, DEFAULT_ATTACH_PRIORS.get(backend)
+            )
+            if prior is None:
+                updated = rate
+            else:
+                updated = self.alpha * rate + (1.0 - self.alpha) * prior
+            self._attach_rates[backend] = updated
+            self._attach_observations[backend] = (
+                self._attach_observations.get(backend, 0) + 1
+            )
+            return updated
+
+    def attach_seconds_per_byte(self, backend: str) -> float:
+        """Current attach rate of ``backend`` (its prior if unobserved).
+
+        Unknown backends are priced free — attach cost only exists
+        where a measurement or prior says it does.
+        """
+        with self._lock:
+            rate = self._attach_rates.get(backend)
+        if rate is not None:
+            return rate
+        return DEFAULT_ATTACH_PRIORS.get(backend, 0.0)
+
+    def estimate_attach_seconds(self, backend: str, nbytes: int) -> float:
+        """Estimated one-time seconds for a new ``backend`` worker to
+        attach ``nbytes`` of compressed payloads."""
+        return self.attach_seconds_per_byte(backend) * max(int(nbytes), 0)
+
+    def snapshot_attach_rates(self) -> Dict[str, float]:
+        """One-lock copy of every known per-backend attach rate."""
+        with self._lock:
+            return dict(self._attach_rates)
+
+    def attach_observations(self, backend: str) -> int:
+        with self._lock:
+            return self._attach_observations.get(backend, 0)
+
     def clone(self) -> "CodecCostModel":
         """An independent copy with the same rates and counts.
 
@@ -234,6 +306,8 @@ class CodecCostModel:
             twin._layer_observations = dict(self._layer_observations)
             twin._tier_rates = dict(self._tier_rates)
             twin._tier_observations = dict(self._tier_observations)
+            twin._attach_rates = dict(self._attach_rates)
+            twin._attach_observations = dict(self._attach_observations)
         return twin
 
     def seed(
@@ -395,6 +469,15 @@ class CodecCostModel:
                         "observations": self._tier_observations.get(tier, 0),
                     }
                     for tier, rate in sorted(self._tier_rates.items())
+                },
+                "attach": {
+                    backend: {
+                        "seconds_per_byte": rate,
+                        "observations": self._attach_observations.get(
+                            backend, 0
+                        ),
+                    }
+                    for backend, rate in sorted(self._attach_rates.items())
                 },
             }
 

@@ -34,6 +34,14 @@ serve through the identical pipeline.
 - :mod:`repro.serving.engine` — the batched inference engine
   (:class:`InferenceEngine`), offline, online (worker pool), and async
   (:class:`AsyncInferenceEngine`) paths.
+- :mod:`repro.serving.arena` — compressed payloads placed once into a
+  shared-memory segment (:class:`SharedPayloadArena`), attached
+  zero-copy and checksum-validated by worker processes
+  (:class:`ArenaPayloadMap`).
+- :mod:`repro.serving.procpool` — the process execution backend
+  (``engine.start(workers=N, backend="process")``): per-process
+  skeletons and rebuild caches over the shared arena, ticket bridging
+  over pipes, crash respawn (:class:`ProcessPool`).
 - :mod:`repro.serving.host` — the multi-model front door
   (:class:`ServingHost`): a fleet of engines behind one pluggable
   :class:`RoutingPolicy` (:class:`RoundRobinPolicy`,
@@ -116,6 +124,19 @@ from repro.serving.engine import (
     AsyncInferenceEngine,
     InferenceEngine,
     ServingError,
+)
+from repro.serving.arena import (
+    ArenaError,
+    ArenaManifest,
+    ArenaPayloadMap,
+    SharedPayloadArena,
+)
+from repro.serving.procpool import (
+    BatchEnvelope,
+    BatchResult,
+    ProcessPool,
+    ProcessWorkerError,
+    WorkerSpec,
 )
 from repro.serving.rebuild import (
     ADMISSION_POLICIES,
@@ -200,6 +221,15 @@ __all__ = [
     "InferenceEngine",
     "AsyncInferenceEngine",
     "ServingError",
+    "SharedPayloadArena",
+    "ArenaPayloadMap",
+    "ArenaManifest",
+    "ArenaError",
+    "ProcessPool",
+    "ProcessWorkerError",
+    "WorkerSpec",
+    "BatchEnvelope",
+    "BatchResult",
     "ServingHost",
     "EngineView",
     "RoutingPolicy",

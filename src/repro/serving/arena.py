@@ -1,0 +1,516 @@
+"""Shared-memory payload arena: place compressed payloads once, attach everywhere.
+
+The process-backed worker pool (:mod:`repro.serving.procpool`) extends
+the paper's trade — store the small encoded form, recompute dense
+weights on access — across OS processes.  For that to be a win the
+*compressed* payloads must not be copied per worker: this module packs
+every ``LayerPayload`` array of a bundle into one
+``multiprocessing.shared_memory`` segment, exactly once, and hands out
+a picklable :class:`ArenaManifest` describing where each array lives.
+Worker processes attach the segment read-only and wrap it in an
+:class:`ArenaPayloadMap` — a ``Mapping[str, LayerPayload]`` whose
+arrays are zero-copy numpy views over the shared buffer — which slots
+straight into a per-process :class:`~repro.serving.rebuild.RebuildEngine`.
+
+Ownership and lifecycle:
+
+- The **creator** (an engine's ``start(backend="process")`` or
+  :meth:`ModelRegistry.arena`) owns the segment and is responsible for
+  ``close()`` — which unlinks the ``/dev/shm`` name.  Attached readers
+  never unlink.
+- Arenas are **refcounted**: ``acquire()``/``release()`` let several
+  engines share one registry-owned arena; the segment is torn down
+  when the last reference drops or when ``close()`` forces it.
+- Every live arena is tracked in a module-level set with an ``atexit``
+  hook, so a process that exits without ever calling ``stop()`` still
+  unlinks its segments instead of leaking them into ``/dev/shm``.
+- Attach validates the manifest checksum (CRC-32 over the packed
+  bytes) before any payload is served, so a stale manifest pointed at
+  a recycled segment name fails loudly instead of decoding garbage.
+
+POSIX detail: ``SharedMemory`` registers *every* open — attach
+included — with ``multiprocessing.resource_tracker``, which would have
+worker exits spuriously unlink (or warn about) segments the parent
+still serves from (bpo-39959).  :func:`_untrack` unregisters attached
+segments so only the creator's lifecycle controls the name.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import uuid
+import zlib
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.codecs import LayerPayload
+
+
+class ArenaError(Exception):
+    """Arena placement, attach, or lifecycle failure."""
+
+
+#: ``/dev/shm`` name prefix for every arena segment — tests and the CI
+#: leak check glob for it.
+SEGMENT_PREFIX = "repro_arena_"
+
+#: Array placement alignment inside the segment (cache-line friendly,
+#: and sufficient for any numpy dtype's natural alignment).
+_ALIGN = 64
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _tracker_pid() -> Optional[int]:
+    """Pid of this process's resource-tracker helper (if running)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        return getattr(resource_tracker._resource_tracker, "_pid", None)
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
+def _untrack(
+    shm: shared_memory.SharedMemory, creator_tracker_pid: Optional[int]
+) -> None:
+    """Undo the attach-side resource-tracker registration (bpo-39959).
+
+    ``SharedMemory`` registers every open with a resource tracker.
+    multiprocessing children — fork *and* spawn — inherit the
+    creator's tracker (the fd rides the spawn preparation data), so
+    their attach registration is a harmless duplicate set-add and
+    unregistering would strip the creator's own backstop entry,
+    producing a KeyError traceback when the creator later unlinks.
+    An *unrelated* process, however, starts its own tracker, which
+    would unlink the segment out from under the creator when that
+    process exits — there the registration must be removed.  We skip
+    the unregister exactly when this process shares the creator's
+    tracker: it is a multiprocessing child, or it *is* the creator
+    (same tracker pid).
+    """
+    try:
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            return
+    except Exception:  # pragma: no cover - defensive
+        pass
+    if (
+        creator_tracker_pid is not None
+        and _tracker_pid() == creator_tracker_pid
+    ):
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+# ----------------------------------------------------------------------
+# Manifest (picklable: travels to worker processes in their spawn args)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArenaArraySpec:
+    """Where one payload array lives inside the segment."""
+
+    name: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str  # numpy dtype.str, round-trips via np.dtype()
+
+
+@dataclass(frozen=True)
+class ArenaLayerSpec:
+    """One layer's payload, described against the shared buffer."""
+
+    name: str
+    codec: str
+    weight_shape: Tuple[int, ...]
+    arrays: Tuple[ArenaArraySpec, ...]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ArenaManifest:
+    """Everything a worker needs to attach and validate one arena."""
+
+    segment: str
+    nbytes: int
+    checksum: int  # CRC-32 over the first ``nbytes`` of the segment
+    key: str  # bundle key (``name:version``) this arena was placed for
+    layers: Tuple[ArenaLayerSpec, ...]
+    # Pid of the creator's resource-tracker helper: lets attach decide
+    # whether its own tracker is the same one (fork) or a private one
+    # that must be told to forget the segment (spawn) — see _untrack.
+    tracker_pid: Optional[int] = None
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.layers)
+
+
+# ----------------------------------------------------------------------
+# Read-side payload map
+# ----------------------------------------------------------------------
+class ArenaPayloadMap(Mapping):
+    """``Mapping[str, LayerPayload]`` over a shared segment's views.
+
+    Arrays are zero-copy, read-only numpy views into the segment —
+    decodes read them directly, so N worker processes share one copy
+    of the compressed bytes.  Drop-in wherever a payload mapping is
+    accepted (``RebuildEngine``, ``CodecCostModel.calibrate``).
+    """
+
+    def __init__(
+        self,
+        manifest: ArenaManifest,
+        shm: shared_memory.SharedMemory,
+    ) -> None:
+        self._manifest = manifest
+        self._shm = shm
+        self._buf: Optional[memoryview] = shm.buf.toreadonly()
+        self._layers = {spec.name: spec for spec in manifest.layers}
+        self._cache: Dict[str, LayerPayload] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def manifest(self) -> ArenaManifest:
+        return self._manifest
+
+    @property
+    def nbytes(self) -> int:
+        return self._manifest.nbytes
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._layers)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._layers
+
+    def __getitem__(self, name: str) -> LayerPayload:
+        with self._lock:
+            payload = self._cache.get(name)
+            if payload is not None:
+                return payload
+            if self._closed:
+                raise ArenaError(
+                    f"arena payload map for {self._manifest.key!r} is closed"
+                )
+            spec = self._layers.get(name)
+            if spec is None:
+                raise KeyError(name)
+            arrays = {
+                array.name: np.ndarray(
+                    array.shape,
+                    dtype=np.dtype(array.dtype),
+                    buffer=self._buf,
+                    offset=array.offset,
+                )
+                for array in spec.arrays
+            }
+            payload = LayerPayload(
+                codec=spec.codec,
+                weight_shape=spec.weight_shape,
+                arrays=arrays,
+                meta=dict(spec.meta),
+            )
+            self._cache[name] = payload
+            return payload
+
+    def close(self) -> None:
+        """Drop the views and unmap (best effort; never unlinks).
+
+        numpy views handed out earlier keep the mapping alive — the OS
+        reclaims it when the last view goes away (at the latest, when
+        this process exits) — so a ``BufferError`` here is not a leak.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._cache.clear()
+            self._buf = None
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def __enter__(self) -> "ArenaPayloadMap":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Arena (write side / owner)
+# ----------------------------------------------------------------------
+class SharedPayloadArena:
+    """One bundle's payloads, packed once into shared memory.
+
+    Build with :meth:`from_payloads`; ship :attr:`manifest` to worker
+    processes; workers call :meth:`attach`.  The creating process owns
+    the segment: :meth:`close` (or the last :meth:`release`) unmaps
+    and unlinks it.
+    """
+
+    def __init__(
+        self,
+        manifest: ArenaManifest,
+        shm: shared_memory.SharedMemory,
+    ) -> None:
+        self.manifest = manifest
+        self._shm = shm
+        self._lock = threading.Lock()
+        self._refs = 0
+        self._closed = False
+        self._payload_map: Optional[ArenaPayloadMap] = None
+        _track_live(self)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_payloads(
+        cls,
+        payloads: Mapping[str, LayerPayload],
+        key: str = "",
+    ) -> "SharedPayloadArena":
+        """Pack every payload's arrays into one fresh segment.
+
+        Lazy payload mappings are materialized exactly once here — the
+        whole point is that no later reader pays that load again.
+        """
+        plan = []  # (contiguous array, offset)
+        layers = []
+        cursor = 0
+        for name, payload in payloads.items():
+            specs = []
+            for array_name, array in payload.arrays.items():
+                contiguous = np.ascontiguousarray(array)
+                offset = _align(cursor)
+                plan.append((contiguous, offset))
+                specs.append(
+                    ArenaArraySpec(
+                        name=array_name,
+                        offset=offset,
+                        shape=tuple(contiguous.shape),
+                        dtype=contiguous.dtype.str,
+                    )
+                )
+                cursor = offset + int(contiguous.nbytes)
+            layers.append(
+                ArenaLayerSpec(
+                    name=name,
+                    codec=payload.codec,
+                    weight_shape=tuple(payload.weight_shape),
+                    arrays=tuple(specs),
+                    meta=dict(payload.meta),
+                )
+            )
+        segment = f"{SEGMENT_PREFIX}{os.getpid():x}_{uuid.uuid4().hex[:12]}"
+        shm = shared_memory.SharedMemory(
+            name=segment, create=True, size=max(cursor, 1)
+        )
+        try:
+            for contiguous, offset in plan:
+                destination = np.ndarray(
+                    contiguous.shape,
+                    dtype=contiguous.dtype,
+                    buffer=shm.buf,
+                    offset=offset,
+                )
+                destination[...] = contiguous
+            checksum = zlib.crc32(shm.buf[:cursor]) if cursor else 0
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        manifest = ArenaManifest(
+            segment=segment,
+            nbytes=cursor,
+            checksum=checksum,
+            key=key,
+            layers=tuple(layers),
+            tracker_pid=_tracker_pid(),
+        )
+        return cls(manifest, shm)
+
+    # -- read side ------------------------------------------------------
+    @staticmethod
+    def attach(manifest: ArenaManifest) -> ArenaPayloadMap:
+        """Open the segment named by ``manifest`` (reader side).
+
+        Validates the size and CRC-32 checksum before returning, so a
+        manifest pointing at a missing, truncated, or recycled segment
+        raises :class:`ArenaError` instead of serving garbage.
+        """
+        try:
+            shm = shared_memory.SharedMemory(name=manifest.segment)
+        except FileNotFoundError as missing:
+            raise ArenaError(
+                f"arena segment {manifest.segment!r} does not exist "
+                "(creator closed it, or manifest crossed hosts)"
+            ) from missing
+        _untrack(shm, manifest.tracker_pid)
+        if shm.size < manifest.nbytes:
+            shm.close()
+            raise ArenaError(
+                f"arena segment {manifest.segment!r} is "
+                f"{shm.size} bytes, manifest expects {manifest.nbytes}"
+            )
+        actual = (
+            zlib.crc32(shm.buf[: manifest.nbytes]) if manifest.nbytes else 0
+        )
+        if actual != manifest.checksum:
+            shm.close()
+            raise ArenaError(
+                f"arena segment {manifest.segment!r} failed checksum "
+                f"validation (got {actual:#010x}, manifest says "
+                f"{manifest.checksum:#010x})"
+            )
+        return ArenaPayloadMap(manifest, shm)
+
+    def payloads(self) -> ArenaPayloadMap:
+        """This process's own zero-copy view (no re-attach, no copy)."""
+        with self._lock:
+            if self._closed:
+                raise ArenaError(
+                    f"arena {self.manifest.segment!r} is closed"
+                )
+            if self._payload_map is None:
+                self._payload_map = ArenaPayloadMap(self.manifest, self._shm)
+            return self._payload_map
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def segment_name(self) -> str:
+        return self.manifest.segment
+
+    @property
+    def nbytes(self) -> int:
+        return self.manifest.nbytes
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def refcount(self) -> int:
+        return self._refs
+
+    def acquire(self) -> "SharedPayloadArena":
+        """Take a reference (an engine starting over this arena)."""
+        with self._lock:
+            if self._closed:
+                raise ArenaError(
+                    f"arena {self.manifest.segment!r} is closed"
+                )
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop a reference; the last one out tears the segment down.
+
+        A creator that wants the arena to outlive its borrowers (the
+        registry does) holds its own reference or uses :meth:`close`
+        explicitly.
+        """
+        with self._lock:
+            self._refs -= 1
+            if self._refs > 0 or self._closed:
+                return
+            self._closed = True
+        self._teardown()
+
+    def close(self) -> None:
+        """Force teardown regardless of refcount.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._teardown()
+
+    def _teardown(self) -> None:
+        _untrack_live(self)
+        payload_map = self._payload_map
+        self._payload_map = None
+        if payload_map is not None:
+            payload_map.close()
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live numpy views pin the mapping; the *unlink* below is
+            # what prevents a /dev/shm leak, and the OS reclaims the
+            # memory when the views die.
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedPayloadArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Leak protection: every live arena is closed at interpreter exit even
+# if the owner never called stop()/close().
+# ----------------------------------------------------------------------
+_LIVE_LOCK = threading.Lock()
+_LIVE: Dict[int, SharedPayloadArena] = {}
+
+
+def _track_live(arena: SharedPayloadArena) -> None:
+    with _LIVE_LOCK:
+        _LIVE[id(arena)] = arena
+
+
+def _untrack_live(arena: SharedPayloadArena) -> None:
+    with _LIVE_LOCK:
+        _LIVE.pop(id(arena), None)
+
+
+def live_arenas() -> int:
+    """How many arenas this process currently owns (tests/diagnostics)."""
+    with _LIVE_LOCK:
+        return len(_LIVE)
+
+
+def _close_live_arenas() -> None:  # pragma: no cover - atexit path
+    with _LIVE_LOCK:
+        arenas = list(_LIVE.values())
+    for arena in arenas:
+        try:
+            arena.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_arenas)
+
+
+def shm_segments() -> Tuple[str, ...]:
+    """Arena segments currently present in ``/dev/shm`` (leak checks)."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return ()
+    return tuple(
+        sorted(entry for entry in entries if entry.startswith(SEGMENT_PREFIX))
+    )

@@ -121,6 +121,12 @@ class InferenceEngine:
         self.model = model
         self.handle = handle
         self.policy = policy or StaticBatchPolicy()
+        # Construction knobs kept verbatim: the process backend ships
+        # them to worker processes so each child builds a rebuild
+        # engine configured exactly like this one.
+        self.cache_bytes = cache_bytes
+        self.tiers_spec = tiers
+        self.spill_dir = spill_dir
         # Optional per-tenant accounting hook (a
         # :class:`~repro.tenancy.TenantLedger`), usually injected by the
         # host so every engine it deploys books into one ledger.
@@ -171,6 +177,13 @@ class InferenceEngine:
         self._queue: Optional[RequestQueue] = None
         self._workers: List[_Worker] = []
         self._worker_error: Optional[BaseException] = None
+        # Process-backend state (backend="process"): the pool of worker
+        # processes and the shared-memory arena they attach.  The
+        # engine owns the arena only when it placed it itself.
+        self._backend = "thread"
+        self._process_pool = None
+        self._arena = None
+        self._owns_arena = False
 
     # ------------------------------------------------------------------
     # Weight installation
@@ -243,7 +256,22 @@ class InferenceEngine:
     def worker_count(self) -> int:
         """Workers currently tracked (0 when stopped)."""
         with self._lifecycle_lock:
+            if self._process_pool is not None:
+                return self._process_pool.worker_count
             return len(self._workers)
+
+    @property
+    def backend(self) -> str:
+        """Execution backend of the current/last pool (``thread`` or
+        ``process``)."""
+        return self._backend
+
+    def worker_pids(self) -> List[int]:
+        """OS pids of the live worker processes (process backend only;
+        empty for the thread backend).  The crash-recovery tests kill
+        these directly."""
+        pool = self._process_pool
+        return [] if pool is None else pool.pids()
 
     @property
     def queue_depth(self) -> int:
@@ -263,22 +291,48 @@ class InferenceEngine:
         cost-aware request routing compares across engines."""
         return self.rebuild.estimated_install_seconds()
 
-    def start(self, workers: int = 1) -> "InferenceEngine":
-        """Launch ``workers`` background threads draining one queue.
+    def start(
+        self,
+        workers: int = 1,
+        backend: str = "thread",
+        arena=None,
+    ) -> "InferenceEngine":
+        """Launch ``workers`` pool members draining one shared queue.
 
-        Every worker gets its own skeleton — cloned from the engine's
-        after residual state was installed — so N workers run
-        install-weights + forward concurrently without sharing mutable
-        model state.  They share the engine's rebuild cache (internally
-        locked, cold misses de-duplicated) and its stats accumulator.
+        ``backend="thread"`` (default): every worker is a thread with
+        its own skeleton — cloned from the engine's after residual
+        state was installed — so N workers run install-weights +
+        forward concurrently without sharing mutable model state.
+        They share the engine's rebuild cache (internally locked, cold
+        misses de-duplicated) and its stats accumulator.
+
+        ``backend="process"``: every worker is an OS process with its
+        own skeleton, rebuild engine, and dense cache, attached
+        read-only to one shared-memory copy of the compressed payloads
+        — the GIL no longer bounds small-model scaling.  Pass
+        ``arena`` (e.g. ``registry.arena(name)``) to share one
+        placement across engines; without it the engine places (and
+        owns) an arena from its handle's payloads.  ``submit`` /
+        ``submit_async`` / ticket semantics are identical across
+        backends.
         """
         if workers < 1:
             raise ServingError("workers must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ServingError(
+                f"unknown backend {backend!r}; use 'thread' or 'process'"
+            )
+        if backend == "thread" and arena is not None:
+            raise ServingError("arena= requires backend='process'")
         with self._lifecycle_lock:
-            if self._workers:
+            if self._workers or self._process_pool is not None:
                 raise ServingError("engine already started")
             queue = RequestQueue(self.policy)
             self._worker_error = None
+            if backend == "process":
+                self._start_process_pool(queue, workers, arena)
+                return self
+            self._backend = "thread"
             pool: List[_Worker] = []
             for index in range(workers):
                 skeleton = self.model.clone()
@@ -297,6 +351,38 @@ class InferenceEngine:
             for worker in pool:
                 worker.thread.start()
         return self
+
+    def _start_process_pool(
+        self, queue: RequestQueue, workers: int, arena
+    ) -> None:
+        """Place/acquire the arena and launch the process pool
+        (caller holds the lifecycle lock)."""
+        from repro.serving.arena import SharedPayloadArena
+        from repro.serving.procpool import ProcessPool
+
+        if arena is None:
+            arena = SharedPayloadArena.from_payloads(
+                self.handle.payloads, key=self.handle.key
+            )
+            owns = True
+        else:
+            arena.acquire()
+            owns = False
+        try:
+            pool = ProcessPool(
+                engine=self, queue=queue, workers=workers, arena=arena
+            )
+        except BaseException:
+            if owns:
+                arena.close()
+            else:
+                arena.release()
+            raise
+        self._backend = "process"
+        self._arena = arena
+        self._owns_arena = owns
+        self._process_pool = pool
+        self._queue = queue
 
     def submit(
         self,
@@ -386,10 +472,30 @@ class InferenceEngine:
         """
         with self._lifecycle_lock:
             queue, workers = self._queue, self._workers
-            if queue is None and not workers:
+            pool = self._process_pool
+            if queue is None and not workers and pool is None:
                 return
             if queue is not None:
                 queue.close()
+            if pool is not None:
+                # Feeder threads drain the queue, sentinel the worker
+                # processes, and exit; stragglers raise and keep the
+                # pool tracked so a retry can re-join (same contract as
+                # the thread path).
+                pool.stop(timeout)
+                self._process_pool = None
+                self._queue = None
+                arena, owns = self._arena, self._owns_arena
+                self._arena = None
+                self._owns_arena = False
+                if arena is not None:
+                    if owns:
+                        arena.close()
+                    else:
+                        arena.release()
+                if self._worker_error is not None:
+                    raise ServingError("worker died") from self._worker_error
+                return
             deadline = time.perf_counter() + timeout
             for worker in workers:
                 remaining = max(0.0, deadline - time.perf_counter())
@@ -599,6 +705,10 @@ class InferenceEngine:
             rebuild=self.rebuild.stats, manifest=self.handle.manifest
         )
         out["batch_policy"] = self.policy.name
+        out["backend"] = self._backend
+        pool = self._process_pool
+        if pool is not None:
+            out["worker_respawns"] = pool.respawns
         if self.observability.enabled:
             # Span-derived per-phase latency view over this engine's
             # buffered spans (queue wait / rebuild / compute).
@@ -643,9 +753,15 @@ class AsyncInferenceEngine:
     thread each.
     """
 
-    def __init__(self, engine: InferenceEngine, workers: int = 1) -> None:
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        workers: int = 1,
+        backend: str = "thread",
+    ) -> None:
         self.engine = engine
         self.workers = workers
+        self.backend = backend
 
     async def __aenter__(self) -> "AsyncInferenceEngine":
         return self.start()
@@ -654,7 +770,7 @@ class AsyncInferenceEngine:
         await self.stop()
 
     def start(self) -> "AsyncInferenceEngine":
-        self.engine.start(workers=self.workers)
+        self.engine.start(workers=self.workers, backend=self.backend)
         return self
 
     async def stop(self, timeout: float = 10.0) -> None:

@@ -250,6 +250,7 @@ class ServingHost:
         self._lock = threading.Lock()
         self._entries: "Dict[str, _HostedEngine]" = {}
         self._workers = 0  # >0 while started; hot-added engines match it
+        self._backend = "thread"  # execution backend the fleet started with
 
     # ------------------------------------------------------------------
     # Fleet assembly
@@ -316,8 +317,9 @@ class ServingHost:
                 key = f"{base}#{replica}"
             self._entries[key] = _HostedEngine(key, model, engine)
             workers = self._workers
+            backend = self._backend
         if workers:
-            engine.start(workers=workers)
+            engine.start(workers=workers, backend=backend)
         return key
 
     def engines(self) -> Dict[str, InferenceEngine]:
@@ -333,8 +335,17 @@ class ServingHost:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self, workers: int = 1) -> "ServingHost":
-        """Launch every engine's worker pool (``workers`` each)."""
+    def start(
+        self, workers: int = 1, backend: str = "thread"
+    ) -> "ServingHost":
+        """Launch every engine's worker pool (``workers`` each).
+
+        ``backend`` passes through to each engine's
+        :meth:`~repro.serving.engine.InferenceEngine.start` —
+        ``"process"`` gives every engine its own process pool (each
+        placing a shared-memory arena for its bundle); hot-added
+        engines inherit the same backend.
+        """
         if workers < 1:
             raise ServingError("workers must be >= 1")
         with self._lock:
@@ -343,11 +354,12 @@ class ServingHost:
             if not self._entries:
                 raise ServingError("host has no engines; deploy() first")
             self._workers = workers
+            self._backend = backend
             entries = list(self._entries.values())
         started: List[_HostedEngine] = []
         try:
             for entry in entries:
-                entry.engine.start(workers=workers)
+                entry.engine.start(workers=workers, backend=backend)
                 started.append(entry)
         except BaseException:
             # One engine failing to start must not leave the rest

@@ -120,6 +120,11 @@ class ModelRegistry:
         self._lock = threading.Lock()
         self._loaded: Dict[str, CompressedModelHandle] = {}
         self._inflight: Dict[str, "_InFlightLoad"] = {}
+        # Shared-memory arenas placed for process-backed engines, one
+        # per bundle key; serialized separately from bundle loads so a
+        # slow placement never blocks a get().
+        self._arena_lock = threading.Lock()
+        self._arenas: Dict[str, "SharedPayloadArena"] = {}
 
     # ------------------------------------------------------------------
     def models(self) -> List[str]:
@@ -200,16 +205,53 @@ class ModelRegistry:
                 if version is None or handle_version == version:
                     del self._loaded[key]
 
+    def arena(
+        self, name: str, version: Optional[str] = None
+    ) -> "SharedPayloadArena":
+        """One shared-memory arena per bundle, placed on first request.
+
+        Process-backed engines serving the same bundle pass this to
+        ``start(backend="process", arena=...)`` so the compressed
+        payloads land in ``/dev/shm`` exactly once for the whole fleet.
+        The registry holds the owning reference: engines only
+        ``acquire()``/``release()`` around it, and :meth:`close`
+        unlinks every arena the registry placed.
+        """
+        from repro.serving.arena import SharedPayloadArena
+
+        handle = self.get(name, version)
+        with self._arena_lock:
+            arena = self._arenas.get(handle.key)
+            if arena is not None and not arena.closed:
+                return arena
+            arena = SharedPayloadArena.from_payloads(
+                handle.payloads, key=handle.key
+            )
+            # The registry's own reference: engines acquire/release
+            # around it, so the arena survives engine restarts and only
+            # close() (or interpreter exit) unlinks it.
+            arena.acquire()
+            self._arenas[handle.key] = arena
+            return arena
+
     def close(self) -> None:
         """Tear the registry down: drop every cached handle and close
-        its payload file.  Unlike :meth:`unload` — which only forgets
+        its payload file, and unlink every shared-memory arena this
+        registry placed.  Unlike :meth:`unload` — which only forgets
         handles and lets their npz handles close themselves — this is
-        for hosts shutting down, where no engine will read again."""
+        for hosts shutting down, where no engine will read again.
+        Idempotent: arenas already torn down (or closed by ``atexit``)
+        are skipped."""
         with self._lock:
             handles = list(self._loaded.values())
             self._loaded.clear()
         for handle in handles:
             handle.close()
+        with self._arena_lock:
+            arenas = list(self._arenas.values())
+            self._arenas.clear()
+        for arena in arenas:
+            arena.close()
 
     def __enter__(self) -> "ModelRegistry":
         return self

@@ -1,0 +1,163 @@
+"""Shared-memory payload arena: placement, attach, lifecycle, leaks.
+
+The contract the process backend stands on: a bundle's compressed
+payloads are packed into one ``/dev/shm`` segment exactly once, readers
+attach zero-copy and read-only after checksum validation, and no
+teardown path — refcount, ``close()``, or interpreter exit — leaves a
+segment behind.
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.serving import ModelRegistry
+from repro.serving.arena import (
+    ArenaError,
+    ArenaPayloadMap,
+    SharedPayloadArena,
+    live_arenas,
+    shm_segments,
+)
+
+
+@pytest.fixture
+def handle(published):
+    store, manifest, *_ = published
+    return ModelRegistry(store).get(manifest.name)
+
+
+@pytest.fixture
+def arena(handle):
+    arena = SharedPayloadArena.from_payloads(handle.payloads, key=handle.key)
+    yield arena
+    arena.close()
+
+
+class TestPlacement:
+    def test_round_trips_every_payload_array(self, handle, arena):
+        attached = SharedPayloadArena.attach(arena.manifest)
+        try:
+            assert set(attached) == set(handle.payloads)
+            for name in handle.payloads:
+                original, shared = handle.payloads[name], attached[name]
+                assert shared.codec == original.codec
+                assert tuple(shared.weight_shape) == tuple(
+                    original.weight_shape
+                )
+                assert shared.meta == original.meta
+                assert set(shared.arrays) == set(original.arrays)
+                for key, array in original.arrays.items():
+                    np.testing.assert_array_equal(shared.arrays[key], array)
+        finally:
+            attached.close()
+
+    def test_attached_views_are_read_only_and_zero_copy(self, arena):
+        attached = SharedPayloadArena.attach(arena.manifest)
+        try:
+            name = arena.manifest.layers[0].name
+            payload = attached[name]
+            for array in payload.arrays.values():
+                assert not array.flags.writeable
+                assert not array.flags.owndata  # view over the segment
+                with pytest.raises(ValueError):
+                    array[(0,) * array.ndim] = 0
+        finally:
+            attached.close()
+
+    def test_owner_payload_view_needs_no_reattach(self, handle, arena):
+        payloads = arena.payloads()
+        assert isinstance(payloads, ArenaPayloadMap)
+        assert arena.payloads() is payloads  # cached, one view per owner
+        name = next(iter(handle.payloads))
+        assert payloads[name].codec == handle.payloads[name].codec
+
+    def test_mapping_protocol(self, handle, arena):
+        attached = SharedPayloadArena.attach(arena.manifest)
+        try:
+            assert len(attached) == len(handle.payloads)
+            assert set(iter(attached)) == set(handle.payloads)
+            assert next(iter(handle.payloads)) in attached
+            with pytest.raises(KeyError):
+                attached["no-such-layer"]
+        finally:
+            attached.close()
+
+    def test_manifest_travels_by_pickle(self, arena):
+        manifest = pickle.loads(pickle.dumps(arena.manifest))
+        assert manifest == arena.manifest
+        attached = SharedPayloadArena.attach(manifest)
+        attached.close()
+
+
+class TestAttachValidation:
+    def test_checksum_mismatch_refuses_to_serve(self, arena):
+        stale = dataclasses.replace(
+            arena.manifest, checksum=arena.manifest.checksum ^ 0xDEADBEEF
+        )
+        with pytest.raises(ArenaError, match="checksum"):
+            SharedPayloadArena.attach(stale)
+
+    def test_missing_segment_raises_not_garbage(self, arena):
+        ghost = dataclasses.replace(
+            arena.manifest, segment="repro_arena_missing_segment"
+        )
+        with pytest.raises(ArenaError, match="does not exist"):
+            SharedPayloadArena.attach(ghost)
+
+    def test_truncated_segment_rejected(self, arena):
+        bloated = dataclasses.replace(
+            arena.manifest, nbytes=arena.manifest.nbytes + (1 << 20)
+        )
+        with pytest.raises(ArenaError, match="bytes"):
+            SharedPayloadArena.attach(bloated)
+
+
+class TestLifecycle:
+    def test_refcount_tears_down_with_last_release(self, handle):
+        arena = SharedPayloadArena.from_payloads(
+            handle.payloads, key=handle.key
+        )
+        segment = arena.segment_name
+        arena.acquire()
+        arena.acquire()
+        arena.release()
+        assert not arena.closed
+        assert segment in shm_segments()
+        arena.release()
+        assert arena.closed
+        assert segment not in shm_segments()
+
+    def test_close_is_idempotent_and_wins_over_refs(self, handle):
+        arena = SharedPayloadArena.from_payloads(
+            handle.payloads, key=handle.key
+        )
+        arena.acquire()
+        arena.close()
+        arena.close()
+        assert arena.closed
+        assert arena.segment_name not in shm_segments()
+        with pytest.raises(ArenaError):
+            arena.acquire()
+        with pytest.raises(ArenaError):
+            arena.payloads()
+
+    def test_context_manager_unlinks(self, handle):
+        with SharedPayloadArena.from_payloads(handle.payloads) as arena:
+            segment = arena.segment_name
+            assert segment in shm_segments()
+        assert segment not in shm_segments()
+
+    def test_no_segments_or_live_arenas_leak(self, handle):
+        before = live_arenas()
+        arenas = [
+            SharedPayloadArena.from_payloads(handle.payloads, key=str(i))
+            for i in range(3)
+        ]
+        assert live_arenas() == before + 3
+        for arena in arenas:
+            arena.close()
+        assert live_arenas() == before
+        assert shm_segments() == ()

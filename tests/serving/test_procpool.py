@@ -1,0 +1,308 @@
+"""Process-backed serving: parity, crash recovery, wire format, lifecycle.
+
+The acceptance bar for the process backend: ``backend="process"`` is a
+drop-in for the thread pool — bit-identical outputs across every codec
+in the registry — a ``kill -9`` mid-batch fails only the in-flight
+tickets and the pool respawns, every wire envelope survives pickling
+(the spawn start method depends on it), and no run leaves a
+``/dev/shm`` segment behind.
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    FP8Quantizer,
+    LinearQuantizer,
+    MagnitudePruner,
+    Pow2Quantizer,
+)
+from repro.core import apply_smartexchange
+from repro.observability import ReplayRequest
+from repro.serving import (
+    ArtifactStore,
+    InferenceEngine,
+    ModelRegistry,
+    ProcessWorkerError,
+    StaticBatchPolicy,
+)
+from repro.serving.arena import shm_segments
+from repro.serving.procpool import (
+    START_METHOD_ENV,
+    BatchEnvelope,
+    BatchResult,
+    WorkerHello,
+    WorkerSpec,
+)
+
+from tests.serving.conftest import FAST, build_model
+
+
+@pytest.fixture
+def handle(published):
+    store, manifest, *_ = published
+    return ModelRegistry(store).get(manifest.name)
+
+
+def make_engine(handle, **policy) -> InferenceEngine:
+    policy.setdefault("max_batch_size", 4)
+    policy.setdefault("max_wait_s", 0.2)
+    return InferenceEngine(
+        build_model(seed=123), handle, policy=StaticBatchPolicy(**policy)
+    )
+
+
+def serve_all(engine, samples, workers, backend="thread", **start):
+    engine.start(workers=workers, backend=backend, **start)
+    try:
+        tickets = [engine.submit(sample) for sample in samples]
+        return [ticket.result(timeout=60.0) for ticket in tickets]
+    finally:
+        engine.stop()
+
+
+class TestProcessServing:
+    def test_serves_and_reports_backend(self, handle, rng):
+        inputs = list(rng.normal(size=(8, 3, 8, 8)))
+        engine = make_engine(handle)
+        engine.start(workers=2, backend="process")
+        try:
+            assert engine.backend == "process"
+            assert len(engine.worker_pids()) == 2
+            tickets = [engine.submit(sample) for sample in inputs]
+            rows = [ticket.result(timeout=60.0) for ticket in tickets]
+            summary = engine.summary()
+        finally:
+            engine.stop()
+        assert len(rows) == len(inputs)
+        assert summary["backend"] == "process"
+        assert summary["worker_respawns"] == 0
+        assert summary["requests"] == len(inputs)
+        # Children's cache counters folded into the parent's totals.
+        assert summary["rebuild_rebuilds"] > 0
+        assert shm_segments() == ()
+
+    def test_matches_thread_backend_bit_for_bit(self, handle, rng):
+        # Pin batch composition (inputs divide the batch size, generous
+        # wait) so both pools execute the identical batches.
+        inputs = list(rng.normal(size=(16, 3, 8, 8)))
+        threaded = serve_all(make_engine(handle), inputs, workers=1)
+        processed = serve_all(
+            make_engine(handle), inputs, workers=2, backend="process"
+        )
+        np.testing.assert_array_equal(
+            np.stack(processed), np.stack(threaded)
+        )
+
+    def test_spawn_start_method(self, handle, rng, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        inputs = list(rng.normal(size=(4, 3, 8, 8)))
+        rows = serve_all(
+            make_engine(handle), inputs, workers=1, backend="process"
+        )
+        assert len(rows) == len(inputs)
+        assert shm_segments() == ()
+
+
+def publish_codec_zoo(store: ArtifactStore):
+    """One bundle per registered codec; returns the bundle names."""
+    model = build_model(seed=0)
+    _, report = apply_smartexchange(model, FAST, model_name="z-se")
+    store.publish(report, FAST, model=model)
+    store.publish_model(build_model(seed=0), name="z-dense", codec="dense")
+    for bundle, compressor in [
+        ("z-quant", LinearQuantizer(8)),
+        ("z-prune", MagnitudePruner(0.6)),
+        ("z-pow2", Pow2Quantizer(4)),
+        ("z-fp8", FP8Quantizer()),
+    ]:
+        report = compressor.compress(build_model(seed=0), bundle)
+        store.publish_compressed(report, model=build_model(seed=0))
+    return ["z-se", "z-dense", "z-quant", "z-prune", "z-pow2", "z-fp8"]
+
+
+class TestBackendParity:
+    def test_six_codecs_bit_identical_across_backends(
+        self, tmp_path, rng
+    ):
+        store = ArtifactStore(tmp_path / "zoo")
+        bundles = publish_codec_zoo(store)
+        assert len(bundles) == 6
+        registry = ModelRegistry(store)
+        inputs = list(rng.normal(size=(8, 3, 8, 8)))
+        codecs = set()
+        with registry:
+            for bundle in bundles:
+                handle = registry.get(bundle)
+                codecs.add(handle.codec)
+                threaded = serve_all(make_engine(handle), inputs, workers=1)
+                processed = serve_all(
+                    make_engine(handle),
+                    inputs,
+                    workers=2,
+                    backend="process",
+                )
+                np.testing.assert_array_equal(
+                    np.stack(processed),
+                    np.stack(threaded),
+                    err_msg=f"backend outputs diverged for {bundle}",
+                )
+        assert len(codecs) == 6
+        assert shm_segments() == ()
+
+
+class TestWireFormat:
+    """Every envelope survives the pipe (pickle) byte-for-byte."""
+
+    def test_batch_envelope_round_trips(self, rng):
+        batch = rng.normal(size=(4, 3, 8, 8))
+        envelope = BatchEnvelope(batch_id=7, batch=batch, size=4)
+        clone = pickle.loads(pickle.dumps(envelope))
+        assert clone.batch_id == 7
+        assert clone.size == 4
+        np.testing.assert_array_equal(clone.batch, batch)
+
+    def test_batch_result_round_trips(self, rng):
+        rows = rng.normal(size=(4, 10))
+        result = BatchResult(
+            batch_id=3,
+            rows=rows,
+            error=None,
+            install_seconds=0.25,
+            forward_seconds=0.5,
+            rebuild_totals={"hits": 2, "rebuild_seconds": 0.01},
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        np.testing.assert_array_equal(clone.rows, rows)
+        assert clone.rebuild_totals == result.rebuild_totals
+
+    def test_batch_result_carries_exception_instances(self):
+        result = BatchResult(
+            batch_id=1,
+            rows=None,
+            error=ValueError("bad batch"),
+            install_seconds=0.0,
+            forward_seconds=0.0,
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert isinstance(clone.error, ValueError)
+        assert str(clone.error) == "bad batch"
+
+    def test_worker_hello_round_trips(self):
+        hello = WorkerHello(
+            index=2, pid=4242, attach_seconds=0.003, arena_bytes=1 << 16
+        )
+        assert pickle.loads(pickle.dumps(hello)) == hello
+
+    def test_worker_spec_round_trips(self, handle):
+        engine = make_engine(handle)
+        engine.start(workers=1, backend="process")
+        try:
+            spec = engine._process_pool._spec
+            clone = pickle.loads(pickle.dumps(spec))
+            assert isinstance(clone, WorkerSpec)
+            assert clone.manifest == spec.manifest
+            assert set(clone.specs) == set(spec.specs)
+        finally:
+            engine.stop()
+
+    def test_replay_request_round_trips(self):
+        request = ReplayRequest(
+            arrival_s=1.5,
+            model="demo:0001",
+            trace_id="abc123",
+            engine="demo:0001",
+            batch_id=9,
+            latency_s=0.02,
+            rebuild_s=0.001,
+            tenant="acme",
+        )
+        assert pickle.loads(pickle.dumps(request)) == request
+
+
+class TestCrashRecovery:
+    def test_kill_9_fails_only_inflight_and_respawns(self, handle, rng):
+        engine = make_engine(handle, max_wait_s=0.002)
+        engine.start(workers=2, backend="process")
+        try:
+            inputs = list(rng.normal(size=(40, 3, 8, 8)))
+            tickets = [engine.submit(sample) for sample in inputs]
+            victim = engine.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            ok, failed = 0, 0
+            for ticket in tickets:
+                try:
+                    ticket.result(timeout=60.0)
+                    ok += 1
+                except ProcessWorkerError:
+                    failed += 1
+            # Only batches in flight to the dead worker fail; the
+            # survivor and the respawned replacement serve the rest.
+            assert failed > 0
+            assert ok > 0
+            assert failed <= 3 * 4  # pipeline depth + dispatch, 1 batch each
+            summary = engine.summary()
+            assert summary["worker_respawns"] >= 1
+            # The pool is whole again and keeps serving.
+            assert len(engine.worker_pids()) == 2
+            replay = [engine.submit(s) for s in inputs[:8]]
+            for ticket in replay:
+                ticket.result(timeout=60.0)
+        finally:
+            engine.stop()
+        assert shm_segments() == ()
+
+    def test_fatal_init_poisons_instead_of_respawn_looping(
+        self, handle, rng
+    ):
+        from repro.serving.arena import SharedPayloadArena
+        from repro.serving import ServingError
+
+        arena = SharedPayloadArena.from_payloads(
+            handle.payloads, key=handle.key
+        )
+        # Yank the segment before any worker attaches: every spawn
+        # fails identically, so respawning would loop forever.
+        os.unlink(f"/dev/shm/{arena.segment_name}")
+        engine = make_engine(handle, max_wait_s=0.002)
+        engine.start(workers=1, backend="process", arena=arena)
+        ticket = engine.submit(rng.normal(size=(3, 8, 8)))
+        with pytest.raises(ProcessWorkerError, match="failed to initialize"):
+            ticket.result(timeout=60.0)
+        assert engine._process_pool.respawns == 0
+        with pytest.raises(ServingError, match="worker died"):
+            engine.stop()
+        arena.close()
+
+
+class TestRegistryArena:
+    def test_engines_share_one_registry_arena(self, published, rng):
+        store, manifest, *_ = published
+        registry = ModelRegistry(store)
+        handle = registry.get(manifest.name)
+        arena = registry.arena(manifest.name)
+        assert registry.arena(manifest.name) is arena  # placed once
+        inputs = list(rng.normal(size=(8, 3, 8, 8)))
+        before = len(shm_segments())
+        for _ in range(2):  # sequential engines, same segment
+            rows = serve_all(
+                make_engine(handle),
+                inputs,
+                workers=2,
+                backend="process",
+                arena=arena,
+            )
+            assert len(rows) == len(inputs)
+            # Engine stop released its reference but the registry's
+            # own reference keeps the segment alive for the next one.
+            assert not arena.closed
+            assert len(shm_segments()) == before
+        registry.close()
+        assert arena.closed
+        assert shm_segments() == ()
+        registry.close()  # idempotent over already-closed arenas
