@@ -35,6 +35,9 @@ computation when running DNN inference.  This package contains:
 - :mod:`repro.workloads` — seedable workload scenario generators
   (diurnal, flash-crowd, Zipf model skew, ...) and the sweep harness
   that runs them across serving configurations.
+- :mod:`repro.analysis` — AST-based static analysis (lock coverage,
+  wire-object picklability, metrics schema, resource lifecycle, time
+  discipline) run as a CI gate over this package.
 """
 
 import importlib
@@ -42,6 +45,7 @@ import importlib
 from repro.version import __version__
 
 _SUBPACKAGES = (
+    "analysis",
     "codecs",
     "compression",
     "core",

@@ -1,0 +1,50 @@
+"""repro.analysis — AST-based static analysis for the serving stack.
+
+The serving layer is a concurrent system with machine-checkable
+invariants — lock coverage over shared state, picklability of objects
+that cross process pipes, a metrics naming/label schema, resource
+lifecycle for shared-memory segments and spill directories, and
+monotonic-clock discipline in latency paths.  This package enforces
+them at review time:
+
+>>> python -m repro.analysis src/repro
+
+Architecture: a :class:`~repro.analysis.core.Rule` inspects parsed
+:class:`~repro.analysis.walker.SourceFile` objects (one AST parse per
+file per run, shared across rules) and emits
+:class:`~repro.analysis.core.Finding` records; the CLI filters them
+through inline ``# repro: ignore[RULE-ID]`` suppressions and the
+committed ``analysis-baseline.json``, and exits non-zero on anything
+new.  See DESIGN.md ("Static analysis layer") for the rule catalog
+and how to add a rule.
+"""
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import ERROR, WARNING, Finding, Rule, sort_findings
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID, make_rules
+from repro.analysis.walker import Analyzer, SourceFile, iter_python_files
+
+__all__ = [
+    "ALL_RULES",
+    "Analyzer",
+    "BaselineEntry",
+    "DEFAULT_BASELINE",
+    "ERROR",
+    "Finding",
+    "Rule",
+    "RULES_BY_ID",
+    "SourceFile",
+    "WARNING",
+    "apply_baseline",
+    "iter_python_files",
+    "load_baseline",
+    "make_rules",
+    "sort_findings",
+    "write_baseline",
+]

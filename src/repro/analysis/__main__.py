@@ -1,0 +1,200 @@
+"""CLI front door: ``python -m repro.analysis [options] [paths...]``.
+
+Exit codes:
+
+- ``0`` — clean (no findings beyond the baseline; with
+  ``--fail-on-stale``, also no stale baseline entries),
+- ``1`` — findings (or stale baseline entries under
+  ``--fail-on-stale``),
+- ``2`` — usage error (unknown rule id, missing path, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import Finding
+from repro.analysis.rules import ALL_RULES, make_rules
+from repro.analysis.walker import Analyzer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static analysis for the repro serving stack: lock "
+            "coverage, wire-object picklability, metrics schema, "
+            "resource lifecycle, time discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            f"baseline file of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help="exit 1 when the baseline has entries nothing matches",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="root findings/baseline paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids and exit",
+    )
+    return parser
+
+
+def _render_text(
+    findings: Sequence[Finding],
+    stale: Sequence,
+    fail_on_stale: bool,
+    out,
+) -> None:
+    for finding in findings:
+        print(finding.render(), file=out)
+    for entry in stale:
+        marker = "error" if fail_on_stale else "note"
+        print(
+            f"{entry.file}: {entry.rule} {marker}: stale baseline entry "
+            f"(nothing matches {entry.message!r})",
+            file=out,
+        )
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun}", file=out)
+    elif not (stale and fail_on_stale):
+        print("clean", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        if not select:
+            print("error: --select given but no rule ids", file=sys.stderr)
+            return 2
+    try:
+        rules = make_rules(select)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    paths = [Path(raw) for raw in args.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(
+            f"error: no such path(s): {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    analyzer = Analyzer(rules, root=root)
+    findings = analyzer.run(paths)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    stale: List = []
+    if baseline_path.exists():
+        try:
+            entries = load_baseline(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as error:
+            print(f"error: {baseline_path}: {error}", file=sys.stderr)
+            return 2
+        findings, stale = apply_baseline(findings, entries, root)
+    elif args.baseline:
+        print(
+            f"error: baseline {baseline_path} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.format == "json":
+        payload = {
+            "findings": [finding.to_dict() for finding in findings],
+            "stale_baseline": [
+                {
+                    "rule": entry.rule,
+                    "file": entry.file,
+                    "message": entry.message,
+                }
+                for entry in stale
+            ],
+            "counts": {
+                "findings": len(findings),
+                "stale_baseline": len(stale),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        _render_text(findings, stale, args.fail_on_stale, sys.stdout)
+
+    if findings:
+        return 1
+    if stale and args.fail_on_stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

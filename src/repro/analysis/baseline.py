@@ -1,0 +1,94 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing findings that are known and
+deliberately unfixed.  A current finding that matches an entry by
+``(rule, file, message)`` is filtered out of the gate; matching
+ignores line numbers so unrelated edits do not churn the file.  An
+entry that matches *no* current finding — or whose file no longer
+exists — is **stale**, and CI's self-check (``--fail-on-stale``)
+fails so fixed findings get removed from the baseline in the same PR
+that fixes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    file: str
+    message: str
+    line: int = 0  # informational; not used for matching
+
+    @property
+    def key(self) -> tuple:
+        return (self.rule, self.file, self.message)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a baseline file (missing 'findings')")
+    entries = []
+    for raw in data["findings"]:
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                file=str(raw["file"]),
+                message=str(raw["message"]),
+                line=int(raw.get("line", 0)),
+            )
+        )
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "file": finding.file,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+    root: Path,
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Split ``findings`` against the baseline.
+
+    Returns ``(new_findings, stale_entries)``: findings not covered by
+    any entry, and entries that covered nothing (or point at files
+    that no longer exist).  One entry covers every finding sharing its
+    key, so a message that recurs N times needs one entry, not N.
+    """
+    covered: Dict[tuple, bool] = {entry.key: False for entry in entries}
+    new_findings: List[Finding] = []
+    for finding in findings:
+        if finding.baseline_key in covered:
+            covered[finding.baseline_key] = True
+        else:
+            new_findings.append(finding)
+    stale: List[BaselineEntry] = []
+    for entry in entries:
+        if not covered[entry.key] or not (root / entry.file).exists():
+            stale.append(entry)
+    return new_findings, stale

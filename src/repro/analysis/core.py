@@ -1,0 +1,123 @@
+"""Core types for the static-analysis framework.
+
+A :class:`Rule` inspects one parsed source file at a time through
+:meth:`Rule.visit` and may hold cross-file state that it settles in
+:meth:`Rule.finalize` (for project-level checks such as label-schema
+consistency across call sites).  Each problem is reported as a
+:class:`Finding` — a plain record carrying enough identity (rule id,
+file, message) to be matched against the committed baseline and enough
+location (line) for an editor to jump to it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.walker import SourceFile
+
+#: Severity levels, ordered.  The CLI exit code does not depend on
+#: severity — any unbaselined finding gates — but reports sort errors
+#: first and the distinction matters to readers.
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem at one place.
+
+    ``file`` is the path as reported (relative to the analysis root
+    when possible), ``line`` is 1-based.  Baseline matching uses
+    ``(rule, file, message)`` and deliberately ignores ``line``, so a
+    grandfathered finding does not go stale when unrelated edits shift
+    it a few lines.
+    """
+
+    rule: str
+    file: str
+    line: int
+    message: str
+    severity: str = ERROR
+
+    @property
+    def baseline_key(self) -> tuple:
+        return (self.rule, self.file, self.message)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (
+            self.file,
+            self.line,
+            _SEVERITY_ORDER.get(self.severity, 99),
+            self.rule,
+            self.message,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.file}:{self.line}: {self.rule} "
+            f"{self.severity}: {self.message}"
+        )
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set ``id`` (the ``ABC123`` code suppressions and the
+    baseline refer to), ``name`` (a short slug), and ``description``
+    (one line for ``--list-rules``), then override :meth:`visit`.
+    Rules that need the whole project before they can judge (e.g.
+    cross-file schema consistency) accumulate state in :meth:`visit`
+    and report from :meth:`finalize`.
+
+    A fresh instance is built per run, so per-run state can live on
+    ``self`` without leaking between invocations.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = ERROR
+
+    def visit(self, source: "SourceFile") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    # ------------------------------------------------------------------
+    def finding(
+        self,
+        source: "SourceFile",
+        where: Union[ast.AST, int],
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``where`` (a node or a
+        1-based line number) in ``source``."""
+        line = where if isinstance(where, int) else getattr(where, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            file=source.rel,
+            line=int(line),
+            message=message,
+            severity=severity or self.severity,
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda finding: finding.sort_key)

@@ -1,0 +1,49 @@
+"""Rule registry: every built-in rule family, by id."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.hygiene import (
+    BareExceptRule,
+    ImportTimeThreadingRule,
+    MutableDefaultRule,
+    TimeDisciplineRule,
+)
+from repro.analysis.rules.lifecycle import ResourceLifecycleRule
+from repro.analysis.rules.locks import LockCoverageRule
+from repro.analysis.rules.metrics import (
+    CounterDirectionRule,
+    MetricLabelSchemaRule,
+    MetricNameRule,
+)
+from repro.analysis.rules.wire import WirePicklabilityRule
+
+ALL_RULES: List[Type[Rule]] = [
+    LockCoverageRule,
+    WirePicklabilityRule,
+    MetricNameRule,
+    CounterDirectionRule,
+    MetricLabelSchemaRule,
+    ResourceLifecycleRule,
+    TimeDisciplineRule,
+    BareExceptRule,
+    MutableDefaultRule,
+    ImportTimeThreadingRule,
+]
+
+RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
+
+
+def make_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Fresh rule instances for one run; ``select`` narrows by id."""
+    if select is None:
+        return [rule() for rule in ALL_RULES]
+    unknown = [rule_id for rule_id in select if rule_id not in RULES_BY_ID]
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULES_BY_ID))}"
+        )
+    return [RULES_BY_ID[rule_id]() for rule_id in select]

@@ -1,0 +1,252 @@
+"""TIM001 / EXC001 / ARG001 / THR001 — time discipline & hygiene.
+
+- **TIM001**: ``time.time()`` is wall-clock — NTP steps it, VMs warp
+  it — so durations and deadlines must use ``time.monotonic()`` or
+  ``time.perf_counter()``.  The rule flags ``time.time()`` used in
+  subtraction/addition arithmetic, comparisons, or assigned to
+  duration-ish names (``start``, ``t0``, ``deadline``, ...).
+  Timestamps (``created=time.time()``) are legitimate and not
+  flagged.
+- **EXC001**: bare ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; catch ``Exception`` (or ``BaseException``
+  deliberately) instead.
+- **ARG001**: mutable default arguments alias across calls.
+- **THR001**: ``threading`` primitives constructed at import time are
+  inherited in a bad state by forked workers (a lock held at fork
+  time stays held forever in the child); modules imported by
+  worker-spawned processes must create them lazily or register an
+  ``os.register_at_fork`` reset.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.astutil import build_parents, dotted_name, leaf_name
+from repro.analysis.core import Finding, Rule
+from repro.analysis.walker import SourceFile
+
+_DURATION_NAME_RE = re.compile(
+    r"(?:^|_)(start|begin|end|t0|t1|elapsed|deadline|duration)(?:_|$)",
+    re.IGNORECASE,
+)
+
+_THREADING_PRIMITIVES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+
+
+def _imports_time_time(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            if any(alias.name == "time" for alias in node.names):
+                return True
+    return False
+
+
+def _threading_names(tree: ast.Module) -> Set[str]:
+    """Primitive names imported bare from ``threading``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                if alias.name in _THREADING_PRIMITIVES:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+class TimeDisciplineRule(Rule):
+    id = "TIM001"
+    name = "time-discipline"
+    description = (
+        "durations/deadlines must use monotonic()/perf_counter(), "
+        "not time.time()"
+    )
+
+    def visit(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        tree = source.tree
+        parents = build_parents(tree)
+        bare_time = _imports_time_time(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            if not self._is_wall_clock(node.func, bare_time):
+                continue
+            reason = self._duration_context(node, parents)
+            if reason is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"time.time() used {reason}; wall-clock time can "
+                    f"step backwards — use time.monotonic() or "
+                    f"time.perf_counter()",
+                )
+
+    @staticmethod
+    def _is_wall_clock(func: ast.AST, bare_time: bool) -> bool:
+        name = dotted_name(func)
+        if name == "time.time":
+            return True
+        if bare_time and isinstance(func, ast.Name) and func.id == "time":
+            return True
+        return False
+
+    @staticmethod
+    def _duration_context(
+        node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[str]:
+        parent = parents.get(node)
+        if isinstance(parent, ast.BinOp):
+            if isinstance(parent.op, ast.Sub):
+                return "in duration arithmetic (subtraction)"
+            if isinstance(parent.op, ast.Add):
+                return "in deadline arithmetic (addition)"
+        if isinstance(parent, ast.Compare):
+            return "in a deadline comparison"
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                name = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else getattr(target, "attr", None)
+                )
+                if name and _DURATION_NAME_RE.search(name):
+                    return f"to time a duration (assigned to {name!r})"
+        return None
+
+
+class BareExceptRule(Rule):
+    id = "EXC001"
+    name = "bare-except"
+    description = "no bare except: — it swallows KeyboardInterrupt"
+
+    def visit(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    source,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt and "
+                    "SystemExit; catch Exception (or a narrower type) "
+                    "instead",
+                )
+
+
+class MutableDefaultRule(Rule):
+    id = "ARG001"
+    name = "mutable-default"
+    description = "no mutable default arguments"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque"}
+
+    def visit(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults: List[Optional[ast.AST]] = list(args.defaults) + list(
+                args.kw_defaults
+            )
+            for default in defaults:
+                if default is None:
+                    continue
+                if self._is_mutable(default):
+                    func_name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        source,
+                        default,
+                        f"mutable default argument in {func_name}(); "
+                        f"the same object is shared across every call "
+                        f"— default to None and build inside",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            return leaf_name(node.func) in self._MUTABLE_CALLS
+        return False
+
+
+class ImportTimeThreadingRule(Rule):
+    id = "THR001"
+    name = "import-time-threading"
+    description = (
+        "no threading primitives constructed at module import time"
+    )
+
+    def visit(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        tree = source.tree
+        bare_names = _threading_names(tree)
+        yield from self._scan_body(source, tree.body, bare_names)
+
+    def _scan_body(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        bare_names: Set[str],
+    ) -> Iterable[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.If, ast.Try)):
+                # Still module scope: conditional imports, try/except
+                # fallbacks.
+                for block in (
+                    getattr(stmt, "body", []),
+                    getattr(stmt, "orelse", []),
+                    getattr(stmt, "finalbody", []),
+                ):
+                    yield from self._scan_body(source, block, bare_names)
+                for handler in getattr(stmt, "handlers", []):
+                    yield from self._scan_body(
+                        source, handler.body, bare_names
+                    )
+                continue
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.Expr)):
+                continue
+            value = getattr(stmt, "value", None)
+            if value is None:
+                continue
+            for node in ast.walk(value):
+                if not isinstance(node, ast.Call):
+                    continue
+                if self._is_primitive_ctor(node.func, bare_names):
+                    primitive = leaf_name(node.func)
+                    yield self.finding(
+                        source,
+                        node,
+                        f"threading.{primitive}() constructed at import "
+                        f"time; a fork while it is held leaves the "
+                        f"child's copy locked forever — create it "
+                        f"lazily or pair it with os.register_at_fork()",
+                    )
+
+    @staticmethod
+    def _is_primitive_ctor(func: ast.AST, bare_names: Set[str]) -> bool:
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+            and func.attr in _THREADING_PRIMITIVES
+        ):
+            return True
+        if isinstance(func, ast.Name) and func.id in bare_names:
+            return True
+        return False

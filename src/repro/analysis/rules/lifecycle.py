@@ -1,0 +1,260 @@
+"""RES001 — resource-lifecycle reachability.
+
+Constructions that allocate something the OS will not clean up for
+free — ``SharedMemory`` segments (live in ``/dev/shm`` until
+unlinked), ``mkdtemp`` spill directories, temp files, lazy payload
+file handles — must be reachable from a teardown path: a ``with``
+block, a ``close()``/``cleanup()``/``unlink()`` call, a return/yield
+(ownership handed to the caller), storage on ``self`` of a class that
+defines ``close``/``__exit__``/``__del__``, or an ``atexit`` hook in
+the same module.  A construction none of those reach is flagged as
+leak-prone.
+
+The check is intentionally shallow — it answers "is a teardown path
+*reachable*", not "is it taken on every branch" — which keeps it
+free of false alarms while still catching the dropped-on-the-floor
+pattern that leaks ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.astutil import (
+    build_parents,
+    leaf_name,
+    self_attr,
+)
+from repro.analysis.core import Finding, Rule
+from repro.analysis.walker import SourceFile
+
+#: Constructor leaf names whose result owns an OS-level resource.
+_TRACKED = {
+    "SharedMemory",
+    "mkdtemp",
+    "mkstemp",
+    "TemporaryDirectory",
+    "NamedTemporaryFile",
+    "TemporaryFile",
+    "LazyPayloadFile",
+}
+
+_TEARDOWN_METHODS = {"close", "cleanup", "unlink", "terminate", "shutdown"}
+_CLASS_TEARDOWN = {"close", "__exit__", "__del__", "cleanup", "stop"}
+
+
+class ResourceLifecycleRule(Rule):
+    id = "RES001"
+    name = "resource-lifecycle"
+    description = (
+        "OS-resource constructions must be reachable from a teardown path"
+    )
+
+    def visit(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        tree = source.tree
+        parents = build_parents(tree)
+        module_has_atexit = self._module_has_atexit(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = leaf_name(node.func)
+            if ctor not in _TRACKED:
+                continue
+            problem = self._classify(
+                node, ctor, parents, module_has_atexit
+            )
+            if problem is not None:
+                yield self.finding(source, node, problem)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _module_has_atexit(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = leaf_name(node.func)
+                if name == "register" and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    base = node.func.value
+                    if isinstance(base, ast.Name) and base.id == "atexit":
+                        return True
+                if name == "register_at_fork":
+                    return True
+        return False
+
+    def _classify(
+        self,
+        call: ast.Call,
+        ctor: str,
+        parents: Dict[ast.AST, ast.AST],
+        module_has_atexit: bool,
+    ) -> Optional[str]:
+        """Return a finding message, or ``None`` when a teardown path
+        is reachable."""
+        # Climb to the statement that contains the construction,
+        # noting what we pass through on the way up.
+        node: ast.AST = call
+        parent = parents.get(node)
+        while parent is not None and not isinstance(parent, ast.stmt):
+            if isinstance(parent, ast.Call) and node is not parent.func:
+                return None  # ownership handed to another call
+            if isinstance(parent, ast.withitem):
+                return None  # managed by the with block
+            if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return None
+            node, parent = parent, parents.get(parent)
+        stmt = parent
+        if isinstance(stmt, (ast.Return, ast.With, ast.AsyncWith)):
+            return None
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+                return None
+            return (
+                f"{ctor}(...) result is discarded; nothing can ever "
+                f"close or unlink it"
+            )
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            # Inside comparisons, conditions, etc. — too unusual to
+            # judge; stay quiet rather than guess.
+            return None
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        for target in targets:
+            attr = self_attr(target)
+            if attr is not None:
+                cls = self._enclosing_class(stmt, parents)
+                if cls is not None and self._class_has_teardown(cls):
+                    return None
+                if module_has_atexit:
+                    return None
+                return (
+                    f"{ctor}(...) stored on self.{attr} but the class "
+                    f"defines no close()/__exit__()/__del__() and the "
+                    f"module registers no atexit hook"
+                )
+            if isinstance(target, ast.Name):
+                scope = self._enclosing_scope(stmt, parents)
+                if scope is None or self._name_reaches_teardown(
+                    scope, target.id
+                ):
+                    return None
+                if scope is not None and isinstance(
+                    scope, ast.Module
+                ) and module_has_atexit:
+                    return None
+                return (
+                    f"{ctor}(...) bound to '{target.id}' which never "
+                    f"reaches a close()/cleanup()/with/return path in "
+                    f"this scope"
+                )
+            # Tuple unpacking / subscript store: stored into a
+            # container we cannot track; assume managed.
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _enclosing_class(
+        node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[ast.ClassDef]:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            if isinstance(current, ast.Module):
+                return None
+            current = parents.get(current)
+        return None
+
+    @staticmethod
+    def _enclosing_scope(
+        node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[ast.AST]:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module),
+            ):
+                return current
+            current = parents.get(current)
+        return None
+
+    @staticmethod
+    def _class_has_teardown(cls: ast.ClassDef) -> bool:
+        for node in cls.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _CLASS_TEARDOWN
+            ):
+                return True
+        return False
+
+    @classmethod
+    def _mentions_directly(cls, expr: ast.AST, name: str) -> bool:
+        """``expr`` is ``name`` itself, possibly wrapped in container
+        literals (``return shm`` / ``return shm, path``) — but NOT a
+        derived value like ``shm.size``, which hands nothing out."""
+        if isinstance(expr, ast.Name):
+            return expr.id == name
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(
+                cls._mentions_directly(element, name) for element in expr.elts
+            )
+        if isinstance(expr, ast.Starred):
+            return cls._mentions_directly(expr.value, name)
+        if isinstance(expr, ast.IfExp):
+            # ``return obj if cond else fallback`` hands out whichever
+            # branch mentions the object.
+            return cls._mentions_directly(
+                expr.body, name
+            ) or cls._mentions_directly(expr.orelse, name)
+        if isinstance(expr, ast.Dict):
+            return any(
+                value is not None and cls._mentions_directly(value, name)
+                for value in expr.values
+            )
+        return False
+
+    @classmethod
+    def _name_reaches_teardown(cls, scope: ast.AST, name: str) -> bool:
+        """Does ``name`` reach any teardown-ish use inside ``scope``?"""
+        for node in ast.walk(scope):
+            # name.close() / name.cleanup() / name.unlink() ...
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TEARDOWN_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+            # with name: / with closing(name):
+            if isinstance(node, ast.withitem):
+                for inner in ast.walk(node.context_expr):
+                    if isinstance(inner, ast.Name) and inner.id == name:
+                        return True
+            # return name / yield name (ownership handed out)
+            if isinstance(node, (ast.Return, ast.Yield)):
+                value = node.value
+                if value is not None and cls._mentions_directly(value, name):
+                    return True
+            # passed to another call (registered somewhere)
+            if isinstance(node, ast.Call):
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    if cls._mentions_directly(arg, name):
+                        return True
+            # re-homed onto self / into a container
+            if isinstance(node, ast.Assign):
+                if any(
+                    self_attr(target) is not None
+                    or isinstance(target, (ast.Subscript, ast.Attribute))
+                    for target in node.targets
+                ) and cls._mentions_directly(node.value, name):
+                    return True
+        return False

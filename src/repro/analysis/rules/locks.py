@@ -1,0 +1,328 @@
+"""LCK001 — lock-coverage / race detection.
+
+For every class that creates a ``threading.Lock``/``RLock`` on an
+instance attribute, infer which attributes that lock guards (the set
+written while it is held) and flag any access to a guarded attribute
+at a point where the lock is not held.  This is exactly the bug class
+the serving stack has fixed ad hoc over several PRs — the torn
+``bytes_saved`` read, the stop/restart join race — promoted from
+reviewer lore to a machine check.
+
+The rule understands the repo's locking idioms:
+
+- ``self._cond = threading.Condition(self._lock)`` aliases the
+  condition to its lock, so ``with self._cond:`` counts as holding
+  ``self._lock``.
+- Methods named ``*_locked`` are caller-holds-lock helpers: their
+  bodies are analyzed as if the class's lock were held (the single
+  lock when the class has one; every lock when ambiguous).
+- A ``# Caller holds self._lock.`` comment (or docstring sentence)
+  marks the same contract explicitly, naming the lock.
+- ``__init__``/``__post_init__`` are exempt — no concurrency exists
+  before construction returns.
+
+Accesses the code *means* to leave unsynchronized (advisory reads,
+happens-before provided elsewhere) carry ``# repro: ignore[LCK001]``
+with a rationale, which is the point: the exception is written down
+where it happens.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import (
+    build_parents,
+    iter_class_defs,
+    iter_methods,
+    leaf_name,
+    self_attr,
+)
+from repro.analysis.core import Finding, Rule
+from repro.analysis.walker import SourceFile
+
+_LOCK_CTORS = {"Lock", "RLock"}
+_CONDITION_CTORS = {"Condition"}
+
+#: Method calls on an attribute that mutate the object it names —
+#: ``self._pending.append(x)`` is a write to ``_pending`` for
+#: coverage-inference purposes.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+_CALLER_HOLDS_RE = re.compile(
+    r"caller\s+(?:must\s+)?hold\w*\b[^.\n]*?self\.(\w+)", re.IGNORECASE
+)
+
+
+@dataclass
+class _Access:
+    attr: str
+    node: ast.AST
+    held: FrozenSet[str]
+    write: bool
+    method: str
+    exempt: bool = False
+
+
+@dataclass
+class _ClassModel:
+    name: str
+    locks: Set[str] = field(default_factory=set)
+    # condition attr -> underlying lock attr
+    aliases: Dict[str, str] = field(default_factory=dict)
+    accesses: List[_Access] = field(default_factory=list)
+
+    def lock_of(self, attr: str) -> Optional[str]:
+        if attr in self.locks:
+            return attr
+        return self.aliases.get(attr)
+
+
+class LockCoverageRule(Rule):
+    id = "LCK001"
+    name = "lock-coverage"
+    description = (
+        "attribute written under a lock must not be accessed without it"
+    )
+
+    # ------------------------------------------------------------------
+    def visit(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        parents = build_parents(source.tree)
+        findings: List[Finding] = []
+        for cls in iter_class_defs(source.tree):
+            model = self._build_model(cls)
+            if not model.locks:
+                continue
+            self._collect_accesses(source, cls, model, parents)
+            findings.extend(self._judge(source, model))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _build_model(self, cls: ast.ClassDef) -> _ClassModel:
+        model = _ClassModel(name=cls.name)
+        for method in iter_methods(cls):
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                ctor = leaf_name(value.func)
+                for target in node.targets:
+                    attr = self_attr(target)
+                    if attr is None:
+                        continue
+                    if ctor in _LOCK_CTORS:
+                        model.locks.add(attr)
+                    elif ctor in _CONDITION_CTORS:
+                        if value.args:
+                            lock = self_attr(value.args[0])
+                            if lock is not None:
+                                model.aliases[attr] = lock
+                                continue
+                        # Bare Condition() owns its lock; treat the
+                        # condition attribute itself as a lock.
+                        model.locks.add(attr)
+        return model
+
+    # ------------------------------------------------------------------
+    def _base_held(
+        self, source: SourceFile, method: ast.FunctionDef, model: _ClassModel
+    ) -> FrozenSet[str]:
+        """Locks the caller contract says are held on entry."""
+        held: Set[str] = set()
+        segment = source.segment(method)
+        for match in _CALLER_HOLDS_RE.finditer(segment):
+            lock = model.lock_of(match.group(1))
+            if lock is not None:
+                held.add(lock)
+        if method.name.endswith("_locked") and not held:
+            # Single-lock classes are unambiguous; with several locks,
+            # assume all are held rather than guess (under-flagging
+            # beats false alarms for a caller-documented contract).
+            held.update(model.locks)
+        return frozenset(held)
+
+    def _collect_accesses(
+        self,
+        source: SourceFile,
+        cls: ast.ClassDef,
+        model: _ClassModel,
+        parents: Dict[ast.AST, ast.AST],
+    ) -> None:
+        for method in iter_methods(cls):
+            exempt = method.name in _EXEMPT_METHODS
+            base = self._base_held(source, method, model)
+            self._walk(method.body, base, model, parents, method.name, exempt)
+
+    def _walk(
+        self,
+        body: List[ast.stmt],
+        held: FrozenSet[str],
+        model: _ClassModel,
+        parents: Dict[ast.AST, ast.AST],
+        method: str,
+        exempt: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: Set[str] = set()
+                for item in stmt.items:
+                    self._scan_expr(
+                        item.context_expr, held, model, parents, method, exempt
+                    )
+                    attr = self_attr(item.context_expr)
+                    if attr is not None:
+                        lock = model.lock_of(attr)
+                        if lock is not None:
+                            acquired.add(lock)
+                self._walk(
+                    stmt.body,
+                    held | frozenset(acquired),
+                    model,
+                    parents,
+                    method,
+                    exempt,
+                )
+                continue
+            # Recurse into compound statements, scanning their
+            # non-statement children (tests, iterables, targets).
+            for _field_name, value in ast.iter_fields(stmt):
+                children = value if isinstance(value, list) else [value]
+                for child in children:
+                    if isinstance(child, ast.stmt):
+                        self._walk(
+                            [child], held, model, parents, method, exempt
+                        )
+                    elif isinstance(child, ast.excepthandler):
+                        if child.type is not None:
+                            self._scan_expr(
+                                child.type, held, model, parents, method,
+                                exempt,
+                            )
+                        self._walk(
+                            child.body, held, model, parents, method, exempt
+                        )
+                    elif isinstance(child, ast.AST):
+                        self._scan_expr(
+                            child, held, model, parents, method, exempt
+                        )
+
+    def _scan_expr(
+        self,
+        expr: ast.AST,
+        held: FrozenSet[str],
+        model: _ClassModel,
+        parents: Dict[ast.AST, ast.AST],
+        method: str,
+        exempt: bool,
+    ) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = self_attr(node)
+            if attr is None:
+                continue
+            if attr in model.locks or attr in model.aliases:
+                continue
+            model.accesses.append(
+                _Access(
+                    attr=attr,
+                    node=node,
+                    held=held,
+                    write=self._is_write(node, parents),
+                    method=method,
+                    exempt=exempt,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_write(node: ast.Attribute, parents: Dict[ast.AST, ast.AST]) -> bool:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            return True
+        parent = parents.get(node)
+        # self._cache[k] = v / del self._cache[k]
+        if (
+            isinstance(parent, ast.Subscript)
+            and parent.value is node
+            and isinstance(parent.ctx, (ast.Store, ast.Del))
+        ):
+            return True
+        # self.stats.hits += 1 — mutation through the attribute
+        if (
+            isinstance(parent, ast.Attribute)
+            and parent.value is node
+            and isinstance(parent.ctx, (ast.Store, ast.Del))
+        ):
+            return True
+        # self._pending.append(x) and friends
+        if (
+            isinstance(parent, ast.Attribute)
+            and parent.value is node
+            and parent.attr in _MUTATORS
+        ):
+            grand = parents.get(parent)
+            if isinstance(grand, ast.Call) and grand.func is parent:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _judge(
+        self, source: SourceFile, model: _ClassModel
+    ) -> Iterable[Finding]:
+        guarded: Dict[str, Set[str]] = {lock: set() for lock in model.locks}
+        for access in model.accesses:
+            if access.write:
+                for lock in access.held:
+                    guarded.setdefault(lock, set()).add(access.attr)
+        attr_locks: Dict[str, Set[str]] = {}
+        for lock, attrs in guarded.items():
+            for attr in attrs:
+                attr_locks.setdefault(attr, set()).add(lock)
+        if not attr_locks:
+            return
+        seen: Set[Tuple[str, int]] = set()
+        for access in model.accesses:
+            if access.exempt:
+                continue
+            locks = attr_locks.get(access.attr)
+            if locks is None:
+                continue
+            if access.held & locks:
+                continue
+            line = getattr(access.node, "lineno", 1)
+            if (access.attr, line) in seen:
+                continue
+            seen.add((access.attr, line))
+            lock_names = "/".join(sorted(locks))
+            verb = "written" if access.write else "read"
+            yield self.finding(
+                source,
+                access.node,
+                f"{model.name}.{access.attr} is guarded by "
+                f"self.{lock_names} but {verb} in {access.method}() "
+                f"without holding it",
+            )

@@ -1,0 +1,240 @@
+"""WIRE001 — wire-object picklability.
+
+Objects shipped over procpool pipes must survive ``pickle``: no locks,
+threads, conditions, events, queues, shared-memory handles,
+memoryviews, lambdas, or generators in their fields.  A violation here
+is invisible until the first ``conn.send`` at runtime — in the worst
+case only on the crash-recovery path — so the check runs at review
+time instead.
+
+Wire classes are found two ways:
+
+- by name: the known procpool wire set (``WorkerSpec``,
+  ``WorkerHello``, ``BatchEnvelope``, ``BatchResult``,
+  ``ReplayRequest``) plus anything listed in a module-level
+  ``WIRE_CLASSES = (...)`` tuple, and
+- by use: any class constructed directly inside a ``.send(...)`` /
+  ``.put(...)`` call argument in the same file.
+
+Fields are read from dataclass-style annotations in the class body and
+from ``self.X = ...`` assignments in ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.astutil import (
+    iter_class_defs,
+    iter_methods,
+    leaf_name,
+    names_in,
+    self_attr,
+)
+from repro.analysis.core import Finding, Rule
+from repro.analysis.walker import SourceFile
+
+#: Classes known to cross the procpool pipe boundary.
+DEFAULT_WIRE_CLASSES = {
+    "WorkerSpec",
+    "WorkerHello",
+    "BatchEnvelope",
+    "BatchResult",
+    "ReplayRequest",
+}
+
+#: Type/constructor names that do not pickle (or must never be shipped
+#: even where technically picklable, like shared-memory handles whose
+#: lifetime is process-local).
+_FORBIDDEN = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "Thread",
+    "Timer",
+    "local",
+    "Queue",
+    "SimpleQueue",
+    "LifoQueue",
+    "PriorityQueue",
+    "SharedMemory",
+    "ShareableList",
+    "memoryview",
+    "Generator",
+    "Iterator",
+    "TextIOWrapper",
+    "BufferedReader",
+    "BufferedWriter",
+}
+
+_SEND_METHODS = {"send", "send_bytes", "put", "put_nowait"}
+
+
+class WirePicklabilityRule(Rule):
+    id = "WIRE001"
+    name = "wire-picklability"
+    description = (
+        "classes sent over process pipes must not hold unpicklable state"
+    )
+
+    def visit(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        wire_names = set(DEFAULT_WIRE_CLASSES)
+        wire_names.update(self._declared_wire_classes(source.tree))
+        wire_names.update(self._sent_constructions(source.tree))
+        findings: List[Finding] = []
+        for cls in iter_class_defs(source.tree):
+            if cls.name not in wire_names:
+                continue
+            findings.extend(self._check_class(source, cls))
+        return findings
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _declared_wire_classes(tree: ast.Module) -> Set[str]:
+        """Names listed in a module-level ``WIRE_CLASSES`` tuple/list."""
+        names: Set[str] = set()
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == "WIRE_CLASSES"
+                for target in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        names.add(element.value)
+                    elif isinstance(element, ast.Name):
+                        names.add(element.id)
+        return names
+
+    @staticmethod
+    def _sent_constructions(tree: ast.Module) -> Set[str]:
+        """Class names constructed directly inside ``conn.send(...)`` /
+        ``queue.put(...)`` arguments."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in _SEND_METHODS
+            ):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for inner in ast.walk(arg):
+                    if isinstance(inner, ast.Call) and isinstance(
+                        inner.func, ast.Name
+                    ):
+                        name = inner.func.id
+                        if name and name[0].isupper():
+                            names.add(name)
+        return names
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        # Dataclass-style annotated fields.
+        for node in cls.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                yield from self._check_field(
+                    source,
+                    cls.name,
+                    node.target.id,
+                    annotation=node.annotation,
+                    value=node.value,
+                    where=node,
+                )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield from self._check_field(
+                            source,
+                            cls.name,
+                            target.id,
+                            annotation=None,
+                            value=node.value,
+                            where=node,
+                        )
+        # __init__ self-assignments.
+        for method in iter_methods(cls):
+            if method.name != "__init__":
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        attr = self_attr(target)
+                        if attr is not None:
+                            yield from self._check_field(
+                                source,
+                                cls.name,
+                                attr,
+                                annotation=None,
+                                value=node.value,
+                                where=node,
+                            )
+                elif isinstance(node, ast.AnnAssign):
+                    attr = self_attr(node.target)
+                    if attr is not None:
+                        yield from self._check_field(
+                            source,
+                            cls.name,
+                            attr,
+                            annotation=node.annotation,
+                            value=node.value,
+                            where=node,
+                        )
+
+    def _check_field(
+        self,
+        source: SourceFile,
+        class_name: str,
+        field_name: str,
+        annotation: Optional[ast.AST],
+        value: Optional[ast.AST],
+        where: ast.AST,
+    ) -> Iterable[Finding]:
+        offenders: Set[str] = set()
+        for expr in (annotation, value):
+            if expr is None:
+                continue
+            offenders.update(names_in(expr) & _FORBIDDEN)
+            # A lambda *stored in the field* will not pickle; a lambda
+            # used as ``field(default_factory=lambda: [])`` lives on
+            # the class, not the instance, and is fine.
+            factory_lambdas = {
+                keyword.value
+                for inner in ast.walk(expr)
+                if isinstance(inner, ast.Call)
+                and leaf_name(inner.func) == "field"
+                for keyword in inner.keywords
+                if keyword.arg == "default_factory"
+                and isinstance(keyword.value, ast.Lambda)
+            }
+            for inner in ast.walk(expr):
+                if isinstance(inner, ast.Lambda):
+                    if inner not in factory_lambdas:
+                        offenders.add("lambda")
+                elif isinstance(inner, (ast.GeneratorExp,)):
+                    offenders.add("generator expression")
+        if offenders:
+            what = ", ".join(sorted(offenders))
+            yield self.finding(
+                source,
+                where,
+                f"wire class {class_name} field '{field_name}' holds "
+                f"unpicklable state ({what}); it cannot cross a "
+                f"process pipe",
+            )

@@ -1,0 +1,185 @@
+"""Project walker: file discovery, parse-once AST cache, suppressions.
+
+The :class:`Analyzer` feeds every rule the same :class:`SourceFile`
+objects, so a file is read and parsed exactly once per run no matter
+how many rules inspect it.  Inline suppressions use the repo-wide
+comment form::
+
+    self._depth = depth  # repro: ignore[LCK001]
+
+A bare ``# repro: ignore`` (no rule list) silences every rule on that
+line.  A suppression on a comment-only line applies to the following
+line, so a rationale can ride above the code it excuses::
+
+    # Captured racily on purpose: depth is advisory.
+    # repro: ignore[LCK001]
+    return len(self._queue)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.core import ERROR, Finding, Rule, sort_findings
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-, ]+)\])?"
+)
+
+#: Pseudo rule id attached to files that fail to parse.
+PARSE_RULE_ID = "PARSE001"
+
+
+class SourceFile:
+    """One parsed Python file, shared by every rule in a run."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        # line (1-based) -> rule ids silenced there; None = all rules.
+        self.suppressions: Dict[int, Optional[Set[str]]] = {}
+        self._parse()
+        self._scan_suppressions()
+
+    # ------------------------------------------------------------------
+    def _parse(self) -> None:
+        try:
+            self.tree = ast.parse(self.text, filename=str(self.path))
+        except SyntaxError as error:
+            self.parse_error = error
+
+    def _scan_suppressions(self) -> None:
+        for index, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            ids: Optional[Set[str]] = None
+            if rules is not None:
+                ids = {part.strip() for part in rules.split(",") if part.strip()}
+            targets = [index]
+            if line.lstrip().startswith("#"):
+                # Comment-only line: the suppression covers the next line.
+                targets.append(index + 1)
+            for target in targets:
+                existing = self.suppressions.get(target, set())
+                if ids is None or existing is None:
+                    self.suppressions[target] = None
+                else:
+                    self.suppressions[target] = existing | ids
+
+    # ------------------------------------------------------------------
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        for candidate in (line,):
+            if candidate in self.suppressions:
+                ids = self.suppressions[candidate]
+                if ids is None or rule_id in ids:
+                    return True
+        return False
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text spanned by ``node`` (empty if location missing)."""
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is None or end is None:
+            return ""
+        return "\n".join(self.lines[lineno - 1 : end])
+
+
+def iter_python_files(
+    paths: Sequence[Path], root: Path
+) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths`` (files pass through), skipping
+    hidden directories and ``__pycache__``."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py" and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in parts
+            ):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+class Analyzer:
+    """Run a set of rules over a set of paths.
+
+    ``root`` anchors the relative paths findings report (and the
+    baseline stores); it defaults to the current working directory so
+    CI and local runs agree on file keys.
+    """
+
+    def __init__(self, rules: Sequence[Rule], root: Optional[Path] = None) -> None:
+        self.rules = list(rules)
+        self.root = (root or Path.cwd()).resolve()
+        self.sources: Dict[str, SourceFile] = {}
+
+    # ------------------------------------------------------------------
+    def _relative(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def load(self, path: Path) -> SourceFile:
+        rel = self._relative(path)
+        cached = self.sources.get(rel)
+        if cached is not None:
+            return cached
+        text = path.read_text(encoding="utf-8")
+        source = SourceFile(path=path, rel=rel, text=text)
+        self.sources[rel] = source
+        return source
+
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in iter_python_files(paths, self.root):
+            source = self.load(path)
+            if source.parse_error is not None:
+                error = source.parse_error
+                findings.append(
+                    Finding(
+                        rule=PARSE_RULE_ID,
+                        file=source.rel,
+                        line=int(error.lineno or 1),
+                        message=f"file does not parse: {error.msg}",
+                        severity=ERROR,
+                    )
+                )
+                continue
+            for rule in self.rules:
+                findings.extend(rule.visit(source))
+        for rule in self.rules:
+            findings.extend(rule.finalize())
+        return sort_findings(self._filter_suppressed(findings))
+
+    def _filter_suppressed(
+        self, findings: Iterable[Finding]
+    ) -> List[Finding]:
+        kept = []
+        for finding in findings:
+            source = self.sources.get(finding.file)
+            if source is not None and source.suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            kept.append(finding)
+        return kept

@@ -405,11 +405,13 @@ class SharedPayloadArena:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     @property
     def refcount(self) -> int:
-        return self._refs
+        with self._lock:
+            return self._refs
 
     def acquire(self) -> "SharedPayloadArena":
         """Take a reference (an engine starting over this arena)."""
@@ -445,8 +447,12 @@ class SharedPayloadArena:
 
     def _teardown(self) -> None:
         _untrack_live(self)
-        payload_map = self._payload_map
-        self._payload_map = None
+        with self._lock:
+            # Swap the map out under the lock: a payloads() call that
+            # passed its closed-check before we flipped _closed could
+            # otherwise install a fresh map after this read and leak it.
+            payload_map = self._payload_map
+            self._payload_map = None
         if payload_map is not None:
             payload_map.close()
         try:
@@ -471,9 +477,33 @@ class SharedPayloadArena:
 # ----------------------------------------------------------------------
 # Leak protection: every live arena is closed at interpreter exit even
 # if the owner never called stop()/close().
-# ----------------------------------------------------------------------
+#
+# The registry lock is module-level by necessity (it guards a
+# module-level dict) and made fork-safe below via register_at_fork.
+# repro: ignore[THR001]
 _LIVE_LOCK = threading.Lock()
 _LIVE: Dict[int, SharedPayloadArena] = {}
+
+
+def _reset_live_after_fork() -> None:  # pragma: no cover - fork path
+    """Re-arm the live-arena registry in a fork child.
+
+    Two hazards if we don't: a fork while another thread holds
+    ``_LIVE_LOCK`` leaves the child's copy locked forever (its atexit
+    pass would deadlock), and a child that inherits ``_LIVE`` would
+    unlink segments the *parent* still serves when the child's atexit
+    runs.  (Workers spawned via ``multiprocessing`` exit with
+    ``os._exit`` and never run atexit, but a direct ``os.fork`` child
+    does.)  Children never own the parent's arenas, so a fresh lock
+    and an empty registry are the correct state.
+    """
+    global _LIVE_LOCK
+    _LIVE_LOCK = threading.Lock()
+    _LIVE.clear()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows
+    os.register_at_fork(after_in_child=_reset_live_after_fork)
 
 
 def _track_live(arena: SharedPayloadArena) -> None:

@@ -264,13 +264,15 @@ class InferenceEngine:
     def backend(self) -> str:
         """Execution backend of the current/last pool (``thread`` or
         ``process``)."""
-        return self._backend
+        with self._lifecycle_lock:
+            return self._backend
 
     def worker_pids(self) -> List[int]:
         """OS pids of the live worker processes (process backend only;
         empty for the thread backend).  The crash-recovery tests kill
         these directly."""
-        pool = self._process_pool
+        with self._lifecycle_lock:
+            pool = self._process_pool
         return [] if pool is None else pool.pids()
 
     @property
@@ -281,7 +283,7 @@ class InferenceEngine:
         routes on; captured racily on purpose — routing needs a cheap
         instantaneous reading, not a fenced one.
         """
-        queue = self._queue
+        queue = self._queue  # repro: ignore[LCK001] — advisory read
         return 0 if queue is None else len(queue)
 
     def estimated_install_seconds(self) -> float:
@@ -355,8 +357,9 @@ class InferenceEngine:
     def _start_process_pool(
         self, queue: RequestQueue, workers: int, arena
     ) -> None:
-        """Place/acquire the arena and launch the process pool
-        (caller holds the lifecycle lock)."""
+        """Place/acquire the arena and launch the process pool.
+
+        Caller holds ``self._lifecycle_lock``."""
         from repro.serving.arena import SharedPayloadArena
         from repro.serving.procpool import ProcessPool
 
@@ -410,8 +413,10 @@ class InferenceEngine:
             trace = obs.begin_request(
                 model=self.handle.name, engine=self.handle.key, tenant=tenant
             )
-        queue = self._queue
-        error = self._worker_error
+        # Lock-free fast path (see docstring): one racy capture each,
+        # with the loser surfacing as ServingError.
+        queue = self._queue  # repro: ignore[LCK001]
+        error = self._worker_error  # repro: ignore[LCK001]
         if error is not None:
             self._abort_trace(trace, "worker died")
             raise ServingError("worker died") from error
@@ -536,7 +541,10 @@ class InferenceEngine:
                     continue
                 self._run_requests(requests, worker)
         except BaseException as error:  # pragma: no cover - defensive
-            self._worker_error = error
+            # Lock-free on purpose: a single reference store (atomic
+            # under the GIL) that submit() reads racily; last writer
+            # winning is fine — any dead worker fails the engine.
+            self._worker_error = error  # repro: ignore[LCK001]
             self._fail_pending(queue, error)
 
     def _run_requests(self, requests: List[Request], worker: _Worker) -> None:
@@ -705,8 +713,11 @@ class InferenceEngine:
             rebuild=self.rebuild.stats, manifest=self.handle.manifest
         )
         out["batch_policy"] = self.policy.name
-        out["backend"] = self._backend
-        pool = self._process_pool
+        with self._lifecycle_lock:
+            # One coherent snapshot: backend and pool must agree even
+            # mid start()/stop().
+            out["backend"] = self._backend
+            pool = self._process_pool
         if pool is not None:
             out["worker_respawns"] = pool.respawns
         if self.observability.enabled:

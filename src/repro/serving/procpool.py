@@ -462,7 +462,8 @@ class ProcessPool:
     @property
     def respawns(self) -> int:
         """Workers replaced after dying mid-serve (crash recovery)."""
-        return self._respawn_count
+        with self._fold_lock:
+            return self._respawn_count
 
     def pids(self) -> List[int]:
         return [slot.pid for slot in self._slots if slot.pid is not None]

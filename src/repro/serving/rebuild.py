@@ -696,7 +696,10 @@ class RebuildEngine:
     # Cost estimates
     # ------------------------------------------------------------------
     def _estimate_seconds(self, name: str) -> float:
-        """Estimated rebuild seconds for one layer (no lock needed)."""
+        """Estimated rebuild seconds for one layer.
+
+        Caller holds ``self._lock`` (``_actual_bytes`` is updated
+        under it as layers rebuild)."""
         nbytes = self._actual_bytes.get(name, self._assumed_bytes[name])
         return self.cost_model.estimate_seconds(
             self._layer_codec[name], nbytes, layer=name
@@ -704,7 +707,8 @@ class RebuildEngine:
 
     def layer_cost_estimates(self) -> Dict[str, float]:
         """Per-layer estimated rebuild seconds at the current rates."""
-        return {name: self._estimate_seconds(name) for name in self._specs}
+        with self._lock:
+            return {name: self._estimate_seconds(name) for name in self._specs}
 
     def _rate_for(self, rates, layer_rates, name: str) -> float:
         """One layer's seconds-per-byte from snapshotted rate maps."""
@@ -1034,6 +1038,8 @@ class RebuildEngine:
         shape,
     ) -> bool:
         """Offer one blob to tiers ``index`` and below; cost-gated.
+
+        Caller holds ``self._lock``.
 
         A tier only takes the blob when holding it there is priced as
         a win — the layer's full-rebuild estimate minus the tier's

@@ -311,6 +311,11 @@ class ServingStats:
 
     @property
     def mean_batch_size(self) -> float:
+        with self._lock:
+            return self._mean_batch_size_locked()
+
+    def _mean_batch_size_locked(self) -> float:
+        # Caller holds self._lock.
         if not self.batch_sizes:
             return 0.0
         return float(np.mean(self.batch_sizes))
@@ -319,13 +324,20 @@ class ServingStats:
     def wall_seconds(self) -> float:
         """Observed *pool* serving window (first worker batch start →
         last worker batch end); 0.0 when only the offline path ran."""
+        with self._lock:
+            return self._wall_seconds_locked()
+
+    def _wall_seconds_locked(self) -> float:
+        # Caller holds self._lock: the window endpoints move together
+        # under it, so reading the pair here can never tear.
         if self._window_start is None or self._window_end is None:
             return 0.0
         return self._window_end - self._window_start
 
     @property
     def worker_count(self) -> int:
-        return len(self.per_worker)
+        with self._lock:
+            return len(self.per_worker)
 
     @property
     def throughput_rps(self) -> float:
@@ -339,11 +351,17 @@ class ServingStats:
         offline calls may be sporadic, and idle gaps between them are
         not serving time.
         """
+        with self._lock:
+            return self._throughput_rps_locked()
+
+    def _throughput_rps_locked(self) -> float:
+        # Caller holds self._lock.
         if self.per_worker:
-            pooled = sum(w.requests for w in self.per_worker.values())
-            if self.wall_seconds == 0.0:
+            wall = self._wall_seconds_locked()
+            if wall == 0.0:
                 return 0.0
-            return pooled / self.wall_seconds
+            pooled = sum(w.requests for w in self.per_worker.values())
+            return pooled / wall
         if self.busy_seconds == 0.0:
             return 0.0
         return self.request_count / self.busy_seconds
@@ -360,11 +378,11 @@ class ServingStats:
                 "requests": self.request_count,
                 "failed_requests": self.failed_requests,
                 "batches": self.batch_count,
-                "mean_batch_size": self.mean_batch_size,
-                "throughput_rps": self.throughput_rps,
+                "mean_batch_size": self._mean_batch_size_locked(),
+                "throughput_rps": self._throughput_rps_locked(),
                 "busy_seconds": self.busy_seconds,
-                "wall_seconds": self.wall_seconds,
-                "workers": self.worker_count,
+                "wall_seconds": self._wall_seconds_locked(),
+                "workers": len(self.per_worker),
             }
             if self.per_worker:
                 out["per_worker"] = {

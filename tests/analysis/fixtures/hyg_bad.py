@@ -1,0 +1,30 @@
+"""Hygiene violations: wall-clock duration timing, a deadline built
+from time.time(), a bare except, a mutable default argument, and a
+threading primitive constructed at import time."""
+
+import threading
+import time
+
+IMPORT_LOCK = threading.Lock()
+
+
+def measure(fn):
+    start = time.time()
+    fn()
+    return time.time() - start
+
+
+def wait_until(fn, timeout):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if fn():
+            return True
+    return False
+
+
+def swallow(fn, log=[]):
+    try:
+        fn()
+    except:
+        log.append("error")
+    return log

@@ -1,0 +1,33 @@
+"""The same shapes done right: perf_counter for durations, wall-clock
+only as a timestamp, narrow excepts, None defaults, lazily-built
+locks.  Zero findings."""
+
+import threading
+import time
+
+
+class LazyLocked:
+    def __init__(self):
+        self.lock = threading.Lock()
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def stamp_manifest(manifest):
+    # Wall-clock as a *timestamp* is legitimate (manifest metadata).
+    manifest["created"] = time.time()
+    return manifest
+
+
+def swallow(fn, log=None):
+    if log is None:
+        log = []
+    try:
+        fn()
+    except Exception:
+        log.append("error")
+    return log

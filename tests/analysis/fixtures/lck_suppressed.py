@@ -1,0 +1,19 @@
+"""The same torn read, but with an inline suppression — the analyzer
+must honor ``# repro: ignore[LCK001]`` on the flagged line."""
+
+import threading
+
+
+class AdvisoryCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cached_bytes = 0
+
+    def admit(self, nbytes):
+        with self._lock:
+            self._cached_bytes += int(nbytes)
+
+    @property
+    def cached_bytes_hint(self):
+        # Advisory reading for dashboards; staleness is acceptable.
+        return self._cached_bytes  # repro: ignore[LCK001]

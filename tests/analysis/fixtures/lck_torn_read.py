@@ -1,0 +1,29 @@
+"""The historical torn ``bytes_saved`` read, reduced to its skeleton.
+
+Before PR 4, ``RebuildCacheStats.bytes_saved`` subtracted
+``_cached_bytes`` — mutated under the engine lock on every admit and
+evict — without taking the lock, so a reader racing an eviction saw a
+total that never existed.  The lock-coverage rule must re-detect this
+shape.
+"""
+
+import threading
+
+
+class TornCache:
+    def __init__(self, total_dense_bytes):
+        self._lock = threading.Lock()
+        self._total_dense_bytes = int(total_dense_bytes)
+        self._cached_bytes = 0
+
+    def admit(self, nbytes):
+        with self._lock:
+            self._cached_bytes += int(nbytes)
+
+    def evict(self, nbytes):
+        with self._lock:
+            self._cached_bytes -= int(nbytes)
+
+    @property
+    def bytes_saved(self):
+        return self._total_dense_bytes - self._cached_bytes

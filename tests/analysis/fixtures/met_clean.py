@@ -1,0 +1,24 @@
+"""Conforming metrics, including the ``PREFIX`` f-string idiom the
+stats classes use and the documented ``Counter.set`` reset departure.
+Zero findings."""
+
+
+class WorkerSliceStats:
+    PREFIX = "repro_serving_worker"
+
+    def __init__(self, registry, worker):
+        prefix = self.PREFIX
+        tags = {"worker": str(worker)}
+        self.batches = registry.counter(
+            f"{prefix}_batches_total", "batches completed", tags=tags
+        )
+        self.busy = registry.counter(
+            f"{prefix}_busy_seconds_total", "busy seconds", tags=tags
+        )
+        self.depth = registry.gauge(
+            f"{prefix}_queue_depth", "queued requests", tags=tags
+        )
+
+    def reset(self):
+        self.batches.set(0)
+        self.busy.set(0)

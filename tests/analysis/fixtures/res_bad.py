@@ -1,0 +1,20 @@
+"""Leak-prone resource constructions: a segment that nothing can ever
+unlink, a discarded temp directory, and a class that stores a segment
+but defines no teardown."""
+
+import tempfile
+from multiprocessing import shared_memory
+
+
+def leaky_probe(nbytes):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return shm.size
+
+
+def scratch():
+    tempfile.mkdtemp(prefix="repro-test-")
+
+
+class Holder:
+    def __init__(self, nbytes):
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)

@@ -1,0 +1,34 @@
+"""Resource constructions every teardown idiom covers: context
+manager, ownership handed to the caller, stored on a class with
+close(), passed onward.  Zero findings."""
+
+import contextlib
+import shutil
+import tempfile
+from multiprocessing import shared_memory
+
+
+class SpillDir:
+    def __init__(self):
+        self.root = tempfile.mkdtemp(prefix="repro-spill-")
+
+    def close(self):
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+def place_segment(nbytes):
+    """Creator hands the open segment to the caller."""
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return shm
+
+
+def probe_segment(nbytes):
+    with contextlib.closing(
+        shared_memory.SharedMemory(create=True, size=nbytes)
+    ) as shm:
+        return shm.size
+
+
+def register_segment(registry, nbytes):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    registry.adopt(shm)

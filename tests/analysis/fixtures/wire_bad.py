@@ -1,0 +1,27 @@
+"""Wire classes holding unpicklable state: one from the known
+procpool set, one auto-detected from its ``conn.send(...)`` use."""
+
+import threading
+from dataclasses import dataclass
+
+
+class BatchEnvelope:
+    """Known wire name carrying a lock — dies in pickle at send time."""
+
+    def __init__(self, batch_id, samples):
+        self.batch_id = batch_id
+        self.samples = samples
+        self._lock = threading.Lock()
+
+
+@dataclass
+class CustomPing:
+    """Not a known wire name; detected because it is constructed
+    inside a ``.send(...)`` argument below."""
+
+    sequence: int
+    done: threading.Event
+
+
+def ping(conn, sequence, event):
+    conn.send(CustomPing(sequence, done=event))

@@ -1,0 +1,18 @@
+"""A picklable wire class: plain data only.  Zero findings."""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class WorkerHello:
+    worker_index: int
+    pid: int
+    segment: str
+    layer_names: Tuple[str, ...] = ()
+    totals: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+def announce(conn, hello):
+    conn.send(hello)

@@ -1,0 +1,184 @@
+"""CLI contract: exit codes (0 clean / 1 findings / 2 usage error),
+JSON output, baseline round-trip, stale-entry detection."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+CLEAN = "lck_clean.py"
+DIRTY = "lck_torn_read.py"
+
+
+def _copy(tmp_path, *names):
+    for name in names:
+        shutil.copy(FIXTURES / name, tmp_path / name)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        _copy(tmp_path, CLEAN)
+        code = main(["--root", str(tmp_path), str(tmp_path)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _copy(tmp_path, DIRTY)
+        code = main(["--root", str(tmp_path), str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "LCK001" in out
+        assert "bytes_saved" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        code = main(["--select", "NOPE999", str(tmp_path)])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = main([str(tmp_path / "does-not-exist")])
+        assert code == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_exits_two(self, tmp_path, capsys):
+        _copy(tmp_path, CLEAN)
+        code = main(
+            [
+                "--root", str(tmp_path),
+                "--baseline", str(tmp_path / "absent.json"),
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("LCK001", "WIRE001", "MET001", "RES001", "TIM001"):
+            assert rule_id in out
+
+
+class TestJsonFormat:
+    def test_findings_as_json(self, tmp_path, capsys):
+        _copy(tmp_path, DIRTY)
+        code = main(
+            ["--root", str(tmp_path), "--format", "json", str(tmp_path)]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["findings"] == len(payload["findings"]) > 0
+        finding = payload["findings"][0]
+        assert finding["rule"] == "LCK001"
+        assert finding["file"] == DIRTY
+        assert finding["severity"] == "error"
+        assert isinstance(finding["line"], int)
+
+
+class TestBaseline:
+    def test_write_then_rerun_is_clean(self, tmp_path, capsys):
+        """--write-baseline then a re-run against it exits 0."""
+        _copy(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "--root", str(tmp_path),
+                    "--baseline", str(baseline),
+                    "--write-baseline",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "--root", str(tmp_path),
+                "--baseline", str(baseline),
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+
+    def test_stale_entry_fails_with_flag(self, tmp_path, capsys):
+        """Fixing the finding makes its baseline entry stale; the CI
+        self-check flag turns that into a failure."""
+        _copy(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main(
+            [
+                "--root", str(tmp_path),
+                "--baseline", str(baseline),
+                "--write-baseline",
+                str(tmp_path),
+            ]
+        )
+        # "Fix" the finding by replacing the file with the clean fixture.
+        shutil.copy(FIXTURES / CLEAN, tmp_path / DIRTY)
+        capsys.readouterr()
+        args = [
+            "--root", str(tmp_path),
+            "--baseline", str(baseline),
+            str(tmp_path),
+        ]
+        assert main(args) == 0  # stale alone is only a note...
+        assert "stale" in capsys.readouterr().out
+        assert main(["--fail-on-stale"] + args) == 1  # ...until CI asks
+
+    def test_default_baseline_picked_up_from_root(self, tmp_path, capsys):
+        _copy(tmp_path, DIRTY)
+        main(
+            [
+                "--root", str(tmp_path),
+                "--baseline", str(tmp_path / "analysis-baseline.json"),
+                "--write-baseline",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        # No --baseline flag: <root>/analysis-baseline.json applies.
+        assert main(["--root", str(tmp_path), str(tmp_path)]) == 0
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_front_door(self, tmp_path):
+        """``python -m repro.analysis`` works end to end."""
+        _copy(tmp_path, DIRTY)
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.analysis",
+                "--root", str(tmp_path), str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "LCK001" in result.stdout
+
+
+class TestRepoIsClean:
+    def test_src_repro_passes_the_gate(self, capsys):
+        """The acceptance bar: the analyzer over src/repro, with the
+        committed baseline, exits 0."""
+        root = Path(__file__).resolve().parents[2]
+        code = main(["--root", str(root), str(root / "src" / "repro")])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_committed_baseline_has_no_stale_entries(self, capsys):
+        root = Path(__file__).resolve().parents[2]
+        code = main(
+            [
+                "--root", str(root),
+                "--fail-on-stale",
+                str(root / "src" / "repro"),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
